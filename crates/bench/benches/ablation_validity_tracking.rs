@@ -1,0 +1,47 @@
+//! §8.1 ablation: per-query cost of the database-side TxCache support
+//! (validity-interval tracking + invalidation-tag assignment) versus a stock
+//! database with the machinery disabled. The paper reports no observable
+//! difference; the two cases here should be within a few percent.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mvdb::{Database, DbConfig, ExecOptions, Predicate, SelectQuery, Value};
+use rubis::RubisScale;
+use txtypes::SimClock;
+
+fn build_db(track_validity: bool) -> Database {
+    let db = Database::new(
+        DbConfig {
+            exec: ExecOptions {
+                track_validity,
+                predicate_before_visibility: true,
+            },
+            ..DbConfig::default()
+        },
+        SimClock::new(),
+    );
+    rubis::create_tables(&db).unwrap();
+    rubis::populate(&db, &RubisScale::tiny(), 1).unwrap();
+    db
+}
+
+fn bench_validity_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("db_query");
+    group.sample_size(30);
+    for (name, track) in [("stock (tracking off)", false), ("modified (tracking on)", true)] {
+        let db = build_db(track);
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || SelectQuery::table("items").filter(Predicate::eq("id", 17i64)),
+                |q| {
+                    let out = db.query_ro_once(&q).unwrap();
+                    assert_eq!(out.result.get(0, "id").unwrap(), &Value::Int(17));
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_validity_tracking);
+criterion_main!(benches);

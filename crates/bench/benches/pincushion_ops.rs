@@ -1,0 +1,43 @@
+//! §5.4: the pincushion is on every transaction's critical path but performs
+//! little work; the paper reports sub-0.2 ms responses. These benches measure
+//! the registry operations themselves (the network round trip is modelled by
+//! the harness cost model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pincushion::{Pincushion, PincushionConfig};
+use txtypes::{SimClock, Staleness, Timestamp};
+
+fn bench_pincushion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pincushion");
+    group.sample_size(50);
+
+    group.bench_function("register", |b| {
+        let clock = SimClock::new();
+        let pc = Pincushion::new(PincushionConfig::default(), clock.clone());
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 1;
+            pc.register(Timestamp(ts), clock.now());
+        });
+    });
+
+    group.bench_function("fresh_pins_and_release", |b| {
+        let clock = SimClock::new();
+        let pc = Pincushion::new(PincushionConfig::default(), clock.clone());
+        for ts in 0..64u64 {
+            pc.register(Timestamp(ts), clock.now());
+            clock.advance_micros(100_000);
+        }
+        b.iter(|| {
+            let pins = pc.fresh_pins(Staleness::seconds(30));
+            let timestamps: Vec<Timestamp> = pins.iter().map(|p| p.timestamp).collect();
+            pc.release(&timestamps);
+            pins.len()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pincushion);
+criterion_main!(benches);

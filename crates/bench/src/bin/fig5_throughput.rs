@@ -1,0 +1,84 @@
+//! Figure 5: peak throughput as a function of cache size.
+//!
+//! Reproduces both panels: (a) the in-memory database with the *No
+//! consistency*, *TxCache*, and *No caching* series, and (b) the disk-bound
+//! database with the *TxCache* and *No caching* series. Cache sizes follow
+//! the paper's x-axes (64 MB–1 GB and 1–9 GB), scaled by `--scale` along with
+//! the dataset.
+
+use bench::{format_size, BenchArgs};
+use harness::{run_experiment, throughput_table, DbKind, ExperimentConfig, ExperimentResult};
+use txcache::CacheMode;
+
+fn sweep(
+    base: &ExperimentConfig,
+    sizes_full_scale: &[usize],
+    mode: CacheMode,
+) -> Vec<(String, ExperimentResult)> {
+    sizes_full_scale
+        .iter()
+        .map(|&bytes| {
+            let config = ExperimentConfig {
+                cache_bytes_full_scale: bytes,
+                mode,
+                ..*base
+            };
+            let result = run_experiment(&config).expect("experiment failed");
+            (format_size(bytes), result)
+        })
+        .collect()
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+
+    // ---- Figure 5(a): in-memory database ----
+    let base = args.config(DbKind::InMemory);
+    let sizes_a: Vec<usize> = [64usize, 256, 512, 768, 1024]
+        .iter()
+        .map(|mb| mb << 20)
+        .collect();
+    let no_consistency = sweep(&base, &sizes_a, CacheMode::NoConsistency);
+    let txcache = sweep(&base, &sizes_a, CacheMode::Full);
+    let baseline = sweep(&base, &sizes_a[..1], CacheMode::Disabled);
+    let baseline_rps = baseline[0].1.peak_throughput;
+
+    println!(
+        "{}",
+        throughput_table(
+            "Figure 5(a): in-memory database, 30 s staleness",
+            &[("No consistency", no_consistency), ("TxCache", txcache.clone())],
+        )
+    );
+    println!("No caching (baseline): {baseline_rps:.0} req/s  (paper: 928 req/s)\n");
+    for (label, r) in &txcache {
+        println!(
+            "  TxCache {label:>6}: {:>7.0} req/s  speedup {:.1}x",
+            r.peak_throughput,
+            r.peak_throughput / baseline_rps
+        );
+    }
+
+    // ---- Figure 5(b): disk-bound database ----
+    let base = args.config(DbKind::DiskBound);
+    let sizes_b: Vec<usize> = [1usize, 2, 3, 5, 7, 9].iter().map(|gb| gb << 30).collect();
+    let txcache_b = sweep(&base, &sizes_b, CacheMode::Full);
+    let baseline_b = sweep(&base, &sizes_b[..1], CacheMode::Disabled);
+    let baseline_b_rps = baseline_b[0].1.peak_throughput;
+
+    println!(
+        "\n{}",
+        throughput_table(
+            "Figure 5(b): disk-bound database, 30 s staleness",
+            &[("TxCache", txcache_b.clone())],
+        )
+    );
+    println!("No caching (baseline): {baseline_b_rps:.0} req/s  (paper: 136 req/s)\n");
+    for (label, r) in &txcache_b {
+        println!(
+            "  TxCache {label:>6}: {:>7.0} req/s  speedup {:.1}x",
+            r.peak_throughput,
+            r.peak_throughput / baseline_b_rps
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 6: cache hit rate as a function of cache size, for the in-memory
+//! and disk-bound configurations (30 s staleness limit).
+
+use bench::{format_size, BenchArgs};
+use harness::{hit_rate_table, run_experiment, DbKind, ExperimentConfig};
+
+fn main() {
+    let args = BenchArgs::parse();
+
+    for (title, db_kind, sizes_full_scale) in [
+        (
+            "Figure 6(a): hit rate, in-memory database",
+            DbKind::InMemory,
+            [64usize, 256, 512, 768, 1024]
+                .iter()
+                .map(|mb| mb << 20)
+                .collect::<Vec<_>>(),
+        ),
+        (
+            "Figure 6(b): hit rate, disk-bound database",
+            DbKind::DiskBound,
+            [1usize, 2, 3, 5, 7, 9].iter().map(|gb| gb << 30).collect(),
+        ),
+    ] {
+        let base = args.config(db_kind);
+        let points: Vec<_> = sizes_full_scale
+            .iter()
+            .map(|&bytes| {
+                let config = ExperimentConfig {
+                    cache_bytes_full_scale: bytes,
+                    ..base
+                };
+                let result = run_experiment(&config).expect("experiment failed");
+                (format_size(bytes), result)
+            })
+            .collect();
+        println!("{}", hit_rate_table(title, &points));
+    }
+}

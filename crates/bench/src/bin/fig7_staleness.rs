@@ -1,0 +1,48 @@
+//! Figure 7: relative peak throughput as a function of the staleness limit
+//! (1–120 s), for the in-memory (512 MB cache) and disk-bound (9 GB cache)
+//! configurations, normalized to the no-caching baseline.
+
+use bench::BenchArgs;
+use harness::{run_experiment, DbKind, ExperimentConfig};
+use txcache::CacheMode;
+use txtypes::Staleness;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let staleness_limits = [1u64, 5, 10, 20, 30, 60, 120];
+
+    for (title, db_kind, cache_bytes) in [
+        ("in-memory DB, 512MB cache", DbKind::InMemory, 512usize << 20),
+        ("disk-bound DB, 9GB cache", DbKind::DiskBound, 9usize << 30),
+    ] {
+        let base = ExperimentConfig {
+            cache_bytes_full_scale: cache_bytes,
+            ..args.config(db_kind)
+        };
+        let baseline = run_experiment(&ExperimentConfig {
+            mode: CacheMode::Disabled,
+            ..base
+        })
+        .expect("baseline failed");
+
+        println!("# Figure 7: staleness limit vs relative throughput ({title})");
+        println!("{:<12}{:>16}{:>14}", "staleness", "peak req/s", "relative");
+        for secs in staleness_limits {
+            let result = run_experiment(&ExperimentConfig {
+                staleness: Staleness::seconds(secs),
+                ..base
+            })
+            .expect("experiment failed");
+            println!(
+                "{:<12}{:>16.0}{:>13.2}x",
+                format!("{secs}s"),
+                result.peak_throughput,
+                result.peak_throughput / baseline.peak_throughput
+            );
+        }
+        println!(
+            "{:<12}{:>16.0}{:>13.2}x  (no caching baseline)\n",
+            "-", baseline.peak_throughput, 1.0
+        );
+    }
+}

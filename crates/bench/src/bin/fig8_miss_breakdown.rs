@@ -1,0 +1,38 @@
+//! Figure 8: breakdown of cache misses by type (compulsory, staleness,
+//! capacity, consistency) for the paper's four configurations:
+//! in-memory 512 MB / 30 s, in-memory 512 MB / 15 s, in-memory 64 MB / 30 s,
+//! and disk-bound 9 GB / 30 s.
+
+use bench::BenchArgs;
+use harness::{miss_breakdown_table, run_experiment, DbKind, ExperimentConfig};
+use txtypes::Staleness;
+
+fn main() {
+    let args = BenchArgs::parse();
+
+    let columns = [
+        ("512MB, 30s", DbKind::InMemory, 512usize << 20, 30u64),
+        ("512MB, 15s", DbKind::InMemory, 512usize << 20, 15),
+        ("64MB, 30s", DbKind::InMemory, 64usize << 20, 30),
+        ("disk 9GB, 30s", DbKind::DiskBound, 9usize << 30, 30),
+    ];
+
+    let mut results = Vec::new();
+    for (label, db_kind, cache_bytes, staleness_secs) in columns {
+        let config = ExperimentConfig {
+            cache_bytes_full_scale: cache_bytes,
+            staleness: Staleness::seconds(staleness_secs),
+            ..args.config(db_kind)
+        };
+        let result = run_experiment(&config).expect("experiment failed");
+        results.push((label, result));
+    }
+
+    println!("# Figure 8: breakdown of cache misses by type (percent of total misses)");
+    println!("{}", miss_breakdown_table(&results));
+    println!("Paper reference values:");
+    println!("  512MB/30s: compulsory 33.2%, stale/capacity 59.0%, consistency 7.8%");
+    println!("  512MB/15s: compulsory 28.5%, stale/capacity 66.1%, consistency 5.4%");
+    println!("   64MB/30s: compulsory  4.3%, stale/capacity 95.5%, consistency 0.2%");
+    println!("   9GB/30s : compulsory 63.0%, stale/capacity 36.3%, consistency 0.7%");
+}

@@ -1,0 +1,111 @@
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure from the paper's
+//! evaluation (see `DESIGN.md` §2 and `EXPERIMENTS.md`). They accept a small
+//! set of command-line flags so the full-scale experiments can be run when
+//! more time is available:
+//!
+//! * `--scale <f>`    — dataset scale factor (default 0.01 = 1% of the paper's sizes)
+//! * `--requests <n>` — measured requests per experiment point (default 2000)
+//! * `--quick`        — shrink everything for a fast smoke run
+
+#![forbid(unsafe_code)]
+
+use harness::{DbKind, ExperimentConfig};
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchArgs {
+    /// Dataset scale factor relative to the paper's configuration.
+    pub scale: f64,
+    /// Measured requests per experiment point.
+    pub requests: usize,
+    /// Warm-up requests per experiment point.
+    pub warmup: usize,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            scale: 0.01,
+            requests: 2_000,
+            warmup: 1_200,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses the common flags from `std::env::args`, ignoring unknown
+    /// arguments (binaries may add their own).
+    #[must_use]
+    pub fn parse() -> BenchArgs {
+        let mut out = BenchArgs::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" if i + 1 < args.len() => {
+                    if let Ok(v) = args[i + 1].parse() {
+                        out.scale = v;
+                    }
+                    i += 1;
+                }
+                "--requests" if i + 1 < args.len() => {
+                    if let Ok(v) = args[i + 1].parse() {
+                        out.requests = v;
+                    }
+                    i += 1;
+                }
+                "--quick" => {
+                    out.scale = 0.004;
+                    out.requests = 600;
+                    out.warmup = 300;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out.warmup = out.warmup.min(out.requests);
+        out
+    }
+
+    /// Builds an experiment configuration for `db_kind` with these sizes.
+    #[must_use]
+    pub fn config(&self, db_kind: DbKind) -> ExperimentConfig {
+        ExperimentConfig {
+            scale_factor: self.scale,
+            requests: self.requests,
+            warmup_requests: self.warmup,
+            ..ExperimentConfig::new(db_kind)
+        }
+    }
+}
+
+/// Formats a byte count as the paper writes cache sizes ("64MB", "1GB").
+#[must_use]
+pub fn format_size(bytes: usize) -> String {
+    if bytes >= 1 << 30 {
+        format!("{}GB", bytes >> 30)
+    } else {
+        format!("{}MB", bytes >> 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_config() {
+        let args = BenchArgs::default();
+        let cfg = args.config(DbKind::InMemory);
+        assert_eq!(cfg.requests, 2_000);
+        assert!((cfg.scale_factor - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_formatting() {
+        assert_eq!(format_size(64 << 20), "64MB");
+        assert_eq!(format_size(9 << 30), "9GB");
+    }
+}

@@ -1,0 +1,228 @@
+//! A cluster of cache nodes behind a consistent-hash ring.
+//!
+//! [`CacheCluster`] is what the TxCache library talks to: it routes lookups
+//! and inserts to the responsible node, fans invalidation messages out to
+//! every node (standing in for the paper's reliable multicast), and
+//! aggregates statistics. Nodes are individually locked so concurrent
+//! application servers contend only when they touch the same node, mirroring
+//! the sharded deployment in the paper.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use txtypes::{CacheKey, TagSet, Timestamp, ValidityInterval, WallClock};
+
+use crate::entry::{LookupOutcome, LookupRequest};
+use crate::node::{CacheNode, NodeConfig};
+use crate::ring::ConsistentHashRing;
+use crate::stats::CacheStats;
+
+/// A set of cache nodes plus the ring that places keys on them.
+pub struct CacheCluster {
+    nodes: Vec<Mutex<CacheNode>>,
+    ring: ConsistentHashRing,
+}
+
+impl CacheCluster {
+    /// Creates a cluster of `node_count` nodes, each with `capacity_bytes` of
+    /// memory. The paper's experiments vary the *total* cache size; use
+    /// [`CacheCluster::with_total_capacity`] for that.
+    #[must_use]
+    pub fn new(node_count: usize, capacity_bytes: usize) -> CacheCluster {
+        let node_count = node_count.max(1);
+        let names: Vec<String> = (0..node_count).map(|i| format!("cache-{i}")).collect();
+        let nodes = names
+            .iter()
+            .map(|n| Mutex::new(CacheNode::new(n.clone(), NodeConfig { capacity_bytes })))
+            .collect();
+        CacheCluster {
+            nodes,
+            ring: ConsistentHashRing::with_nodes(names),
+        }
+    }
+
+    /// Creates a cluster whose per-node capacity divides `total_bytes`
+    /// evenly.
+    #[must_use]
+    pub fn with_total_capacity(node_count: usize, total_bytes: usize) -> CacheCluster {
+        let node_count = node_count.max(1);
+        CacheCluster::new(node_count, total_bytes / node_count)
+    }
+
+    /// Number of nodes in the cluster.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Looks up a key on the responsible node.
+    pub fn lookup(&self, key: &CacheKey, request: &LookupRequest) -> LookupOutcome {
+        let idx = self.ring.node_for(key);
+        self.nodes[idx].lock().lookup(key, request)
+    }
+
+    /// Inserts a value on the responsible node.
+    pub fn insert(
+        &self,
+        key: CacheKey,
+        value: Bytes,
+        validity: ValidityInterval,
+        tags: TagSet,
+        now: WallClock,
+    ) {
+        let idx = self.ring.node_for(&key);
+        self.nodes[idx].lock().insert(key, value, validity, tags, now);
+    }
+
+    /// Delivers one invalidation-stream message to every node (the multicast
+    /// of §4.2). Messages must be applied in commit order.
+    pub fn apply_invalidation(&self, timestamp: Timestamp, tags: &TagSet) {
+        for node in &self.nodes {
+            node.lock().apply_invalidation(timestamp, tags);
+        }
+    }
+
+    /// Propagates a timestamp heartbeat to every node: all invalidations up
+    /// to `ts` have been delivered, so still-valid entries may be served for
+    /// lookups up to `ts`.
+    pub fn note_timestamp(&self, ts: Timestamp) {
+        for node in &self.nodes {
+            node.lock().note_timestamp(ts);
+        }
+    }
+
+    /// Eagerly evicts entries that ended before `min_useful_ts` on every
+    /// node.
+    pub fn evict_stale(&self, min_useful_ts: Timestamp) {
+        for node in &self.nodes {
+            node.lock().evict_stale(min_useful_ts);
+        }
+    }
+
+    /// Aggregated statistics across all nodes.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for node in &self.nodes {
+            total.merge(&node.lock().stats());
+        }
+        total
+    }
+
+    /// Resets hit/miss counters on every node.
+    pub fn reset_stats(&self) {
+        for node in &self.nodes {
+            node.lock().reset_stats();
+        }
+    }
+
+    /// Total bytes of cached data across the cluster.
+    #[must_use]
+    pub fn used_bytes(&self) -> usize {
+        self.nodes.iter().map(|n| n.lock().used_bytes()).sum()
+    }
+
+    /// Total number of entries across the cluster.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.lock().entry_count()).sum()
+    }
+}
+
+impl std::fmt::Debug for CacheCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheCluster")
+            .field("nodes", &self.node_count())
+            .field("entries", &self.entry_count())
+            .field("used_bytes", &self.used_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtypes::InvalidationTag;
+
+    fn key(i: u64) -> CacheKey {
+        CacheKey::new("f", format!("[{i}]"))
+    }
+
+    fn cluster() -> CacheCluster {
+        CacheCluster::new(3, 1 << 20)
+    }
+
+    #[test]
+    fn insert_and_lookup_route_to_same_node() {
+        let c = cluster();
+        for i in 0..50 {
+            c.insert(
+                key(i),
+                Bytes::from(vec![i as u8; 8]),
+                ValidityInterval::unbounded(Timestamp(1)),
+                TagSet::new(),
+                WallClock::ZERO,
+            );
+        }
+        for i in 0..50 {
+            assert!(c.lookup(&key(i), &LookupRequest::at(Timestamp(1))).is_hit());
+        }
+        let stats = c.stats();
+        assert_eq!(stats.hits, 50);
+        assert_eq!(stats.insertions, 50);
+        assert!(c.used_bytes() > 0);
+        assert_eq!(c.entry_count(), 50);
+        assert_eq!(c.node_count(), 3);
+    }
+
+    #[test]
+    fn invalidations_reach_every_node() {
+        let c = cluster();
+        for i in 0..30 {
+            c.insert(
+                key(i),
+                Bytes::from_static(b"v"),
+                ValidityInterval::unbounded(Timestamp(1)),
+                [InvalidationTag::keyed("items", format!("id={i}"))]
+                    .into_iter()
+                    .collect(),
+                WallClock::ZERO,
+            );
+        }
+        // Invalidate a single item: exactly one entry somewhere is affected.
+        c.apply_invalidation(
+            Timestamp(10),
+            &[InvalidationTag::keyed("items", "id=7")].into_iter().collect(),
+        );
+        assert_eq!(c.stats().invalidated_entries, 1);
+        // Every node processed the message.
+        assert_eq!(c.stats().invalidation_messages, 3);
+        // The invalidated key now misses at ts 10.
+        assert!(!c
+            .lookup(&key(7), &LookupRequest::range(Timestamp(10), Timestamp(10)))
+            .is_hit());
+    }
+
+    #[test]
+    fn stale_eviction_and_reset() {
+        let c = cluster();
+        c.insert(
+            key(1),
+            Bytes::from_static(b"old"),
+            ValidityInterval::bounded(Timestamp(1), Timestamp(5)).unwrap(),
+            TagSet::new(),
+            WallClock::ZERO,
+        );
+        c.evict_stale(Timestamp(10));
+        assert_eq!(c.entry_count(), 0);
+        c.reset_stats();
+        assert_eq!(c.stats().lookups(), 0);
+    }
+
+    #[test]
+    fn with_total_capacity_divides_evenly() {
+        let c = CacheCluster::with_total_capacity(4, 4 << 20);
+        assert_eq!(c.node_count(), 4);
+        let debug = format!("{c:?}");
+        assert!(debug.contains("CacheCluster"));
+    }
+}

@@ -1,0 +1,720 @@
+//! A single versioned cache node (§4).
+//!
+//! The node stores multiple versions per key, each tagged with its validity
+//! interval; versions of one key have disjoint intervals because only one
+//! value is current at any timestamp. Lookups specify a range of acceptable
+//! timestamps and receive the most recent matching version. Still-valid
+//! entries carry invalidation tags; when the node processes the invalidation
+//! stream it truncates the validity of every affected entry at the update
+//! transaction's commit timestamp. Eviction combines LRU with eager removal
+//! of entries too stale to satisfy any transaction.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use bytes::Bytes;
+use txtypes::{CacheKey, InvalidationTag, TagSet, Timestamp, ValidityInterval, WallClock};
+
+use crate::entry::{CacheEntry, LookupOutcome, LookupRequest, MissKind};
+use crate::stats::CacheStats;
+
+/// Internal identifier of a stored entry.
+type EntryId = u64;
+
+/// Configuration of a cache node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    /// Memory budget for cached data, in bytes.
+    pub capacity_bytes: usize,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            capacity_bytes: 64 << 20,
+        }
+    }
+}
+
+/// One cache server process.
+#[derive(Debug)]
+pub struct CacheNode {
+    name: String,
+    config: NodeConfig,
+    entries: HashMap<EntryId, CacheEntry>,
+    by_key: HashMap<CacheKey, Vec<EntryId>>,
+    /// Still-valid entries indexed by each of their dependency tags.
+    tag_index: HashMap<InvalidationTag, HashSet<EntryId>>,
+    /// Still-valid entries indexed by dependency table (for wildcard
+    /// invalidations).
+    table_index: HashMap<String, HashSet<EntryId>>,
+    /// LRU order: tick of last access → entry.
+    lru: BTreeMap<u64, EntryId>,
+    /// entry → its current LRU tick (to remove stale LRU positions).
+    lru_pos: HashMap<EntryId, u64>,
+    tick: u64,
+    next_id: EntryId,
+    used_bytes: usize,
+    /// Timestamp of the most recent invalidation message processed.
+    last_invalidation: Timestamp,
+    /// History of processed invalidations, used to close the insert/invalidate
+    /// race for entries inserted with an unbounded interval (§4.2).
+    invalidation_history: Vec<(Timestamp, TagSet)>,
+    /// Keys that have ever been inserted, for compulsory-miss classification.
+    known_keys: HashSet<CacheKey>,
+    stats: CacheStats,
+}
+
+impl CacheNode {
+    /// Creates an empty node.
+    #[must_use]
+    pub fn new(name: impl Into<String>, config: NodeConfig) -> CacheNode {
+        CacheNode {
+            name: name.into(),
+            config,
+            entries: HashMap::new(),
+            by_key: HashMap::new(),
+            tag_index: HashMap::new(),
+            table_index: HashMap::new(),
+            lru: BTreeMap::new(),
+            lru_pos: HashMap::new(),
+            tick: 0,
+            next_id: 1,
+            used_bytes: 0,
+            last_invalidation: Timestamp::ZERO,
+            invalidation_history: Vec::new(),
+            known_keys: HashSet::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The node's name (used by the consistent-hash ring and diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bytes of cached data currently stored.
+    #[must_use]
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Number of entries currently stored.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The node's statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let mut s = self.stats;
+        s.used_bytes = self.used_bytes as u64;
+        s
+    }
+
+    /// Resets the hit/miss counters (contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// The timestamp of the last invalidation message processed.
+    #[must_use]
+    pub fn last_invalidation(&self) -> Timestamp {
+        self.last_invalidation
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// Looks up `key` for a transaction whose acceptable timestamps are
+    /// described by `request`. Returns the most recent matching version, or a
+    /// classified miss.
+    pub fn lookup(&mut self, key: &CacheKey, request: &LookupRequest) -> LookupOutcome {
+        self.tick += 1;
+        let Some(ids) = self.by_key.get(key) else {
+            let kind = if self.known_keys.contains(key) {
+                MissKind::Capacity
+            } else {
+                MissKind::Compulsory
+            };
+            self.stats.record_miss(kind);
+            return LookupOutcome::Miss(kind);
+        };
+
+        // Find the matching version with the largest lower bound (most
+        // recent), treating still-valid entries as bounded by the last
+        // processed invalidation.
+        let mut best: Option<(EntryId, ValidityInterval)> = None;
+        let mut fresh_enough_exists = false;
+        let mut any_version = false;
+        for id in ids {
+            let Some(entry) = self.entries.get(id) else { continue };
+            any_version = true;
+            let effective_upper = entry.validity.effective_upper(self.last_invalidation);
+            let effective = ValidityInterval {
+                lower: entry.validity.lower,
+                upper: Some(effective_upper),
+            };
+            // Fresh enough to satisfy the staleness limit alone?
+            if effective.intersects_range(request.freshness_lo, Timestamp::MAX) {
+                fresh_enough_exists = true;
+            }
+            if effective.intersects_range(request.pinset_lo, request.pinset_hi) {
+                match &best {
+                    Some((_, b)) if b.lower >= effective.lower => {}
+                    _ => best = Some((*id, effective)),
+                }
+            }
+        }
+
+        if let Some((id, effective)) = best {
+            let tick = self.tick;
+            if let Some(prev) = self.lru_pos.insert(id, tick) {
+                self.lru.remove(&prev);
+            }
+            self.lru.insert(tick, id);
+            self.stats.hits += 1;
+            let entry = &self.entries[&id];
+            return LookupOutcome::Hit {
+                value: entry.value.clone(),
+                validity: effective,
+                stored_validity: entry.validity,
+                tags: entry.tags.clone(),
+            };
+        }
+
+        let kind = if !any_version {
+            if self.known_keys.contains(key) {
+                MissKind::Capacity
+            } else {
+                MissKind::Compulsory
+            }
+        } else if fresh_enough_exists {
+            MissKind::Consistency
+        } else {
+            MissKind::Staleness
+        };
+        self.stats.record_miss(kind);
+        LookupOutcome::Miss(kind)
+    }
+
+    // ------------------------------------------------------------------
+    // Insert
+    // ------------------------------------------------------------------
+
+    /// Inserts a value computed by the TxCache library.
+    ///
+    /// If the entry is still valid (unbounded interval) the node first checks
+    /// the invalidations it has already processed: any matching invalidation
+    /// newer than the entry's lower bound truncates it immediately, closing
+    /// the race between an update committing and the freshly-computed (but
+    /// already stale) value arriving at the cache.
+    pub fn insert(
+        &mut self,
+        key: CacheKey,
+        value: Bytes,
+        mut validity: ValidityInterval,
+        tags: TagSet,
+        now: WallClock,
+    ) {
+        self.known_keys.insert(key.clone());
+
+        // Close the insert/invalidate race for still-valid entries.
+        if validity.is_unbounded() {
+            let mut earliest_hit: Option<Timestamp> = None;
+            for (ts, inv_tags) in &self.invalidation_history {
+                if *ts > validity.lower && tags.intersects(inv_tags) {
+                    earliest_hit = Some(match earliest_hit {
+                        Some(cur) => cur.min(*ts),
+                        None => *ts,
+                    });
+                }
+            }
+            if let Some(ts) = earliest_hit {
+                match validity.truncate_at(ts) {
+                    Some(truncated) => validity = truncated,
+                    None => return, // the value was never current as far as the cache can tell
+                }
+            }
+        }
+
+        // Skip the insert if an existing version already covers the interval.
+        if let Some(ids) = self.by_key.get(&key) {
+            for id in ids {
+                if let Some(existing) = self.entries.get(id) {
+                    let covers = existing.validity.lower <= validity.lower
+                        && match (existing.validity.upper, validity.upper) {
+                            (None, _) => true,
+                            (Some(a), Some(b)) => a >= b,
+                            (Some(_), None) => false,
+                        };
+                    if covers {
+                        self.stats.duplicate_insertions += 1;
+                        return;
+                    }
+                }
+            }
+        }
+
+        let entry = CacheEntry {
+            key: key.clone(),
+            value,
+            validity,
+            tags,
+            inserted_at: now,
+        };
+        let size = entry.size_bytes();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.tick += 1;
+
+        if validity.is_unbounded() {
+            for tag in entry.tags.iter() {
+                self.tag_index.entry(tag.clone()).or_default().insert(id);
+                self.table_index
+                    .entry(tag.table.clone())
+                    .or_default()
+                    .insert(id);
+            }
+        }
+        self.by_key.entry(key).or_default().push(id);
+        self.lru.insert(self.tick, id);
+        self.lru_pos.insert(id, self.tick);
+        self.entries.insert(id, entry);
+        self.used_bytes += size;
+        self.stats.insertions += 1;
+
+        self.enforce_capacity();
+    }
+
+    /// Evicts least-recently-used entries until the node fits its budget.
+    fn enforce_capacity(&mut self) {
+        while self.used_bytes > self.config.capacity_bytes {
+            let Some((&tick, &id)) = self.lru.iter().next() else { break };
+            self.lru.remove(&tick);
+            self.remove_entry(id);
+            self.stats.lru_evictions += 1;
+        }
+    }
+
+    /// Removes an entry from every index. The LRU map entry is removed lazily
+    /// by callers that iterate it; `lru_pos` is authoritative.
+    fn remove_entry(&mut self, id: EntryId) {
+        let Some(entry) = self.entries.remove(&id) else { return };
+        self.used_bytes = self.used_bytes.saturating_sub(entry.size_bytes());
+        if let Some(pos) = self.lru_pos.remove(&id) {
+            self.lru.remove(&pos);
+        }
+        if let Some(ids) = self.by_key.get_mut(&entry.key) {
+            ids.retain(|e| *e != id);
+            if ids.is_empty() {
+                self.by_key.remove(&entry.key);
+            }
+        }
+        for tag in entry.tags.iter() {
+            if let Some(set) = self.tag_index.get_mut(tag) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.tag_index.remove(tag);
+                }
+            }
+            if let Some(set) = self.table_index.get_mut(&tag.table) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.table_index.remove(&tag.table);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Invalidation
+    // ------------------------------------------------------------------
+
+    /// Processes one invalidation-stream message: truncates the validity of
+    /// every still-valid entry whose dependency tags match, and advances the
+    /// node's notion of "now" in timestamp space.
+    pub fn apply_invalidation(&mut self, timestamp: Timestamp, tags: &TagSet) {
+        let mut affected: HashSet<EntryId> = HashSet::new();
+        for tag in tags.iter() {
+            if tag.is_wildcard() {
+                if let Some(ids) = self.table_index.get(&tag.table) {
+                    affected.extend(ids.iter().copied());
+                }
+            } else {
+                if let Some(ids) = self.tag_index.get(tag) {
+                    affected.extend(ids.iter().copied());
+                }
+                // Entries that depend on the whole table (wildcard dependency)
+                // are affected by any keyed update on that table.
+                if let Some(ids) = self.tag_index.get(&InvalidationTag::wildcard(&tag.table)) {
+                    affected.extend(ids.iter().copied());
+                }
+            }
+        }
+
+        for id in affected {
+            let Some(entry) = self.entries.get_mut(&id) else { continue };
+            if !entry.validity.is_unbounded() {
+                continue;
+            }
+            match entry.validity.truncate_at(timestamp) {
+                Some(truncated) => {
+                    entry.validity = truncated;
+                    self.stats.invalidated_entries += 1;
+                    // No longer still-valid: drop it from the tag indexes.
+                    let tags: Vec<InvalidationTag> = entry.tags.iter().cloned().collect();
+                    for tag in tags {
+                        if let Some(set) = self.tag_index.get_mut(&tag) {
+                            set.remove(&id);
+                        }
+                        if let Some(set) = self.table_index.get_mut(&tag.table) {
+                            set.remove(&id);
+                        }
+                    }
+                }
+                None => {
+                    // The entry was never valid before this invalidation —
+                    // discard it outright.
+                    self.remove_entry(id);
+                    self.stats.invalidated_entries += 1;
+                }
+            }
+        }
+
+        self.last_invalidation = self.last_invalidation.max(timestamp);
+        self.invalidation_history.push((timestamp, tags.clone()));
+        self.stats.invalidation_messages += 1;
+    }
+
+    /// Informs the node that every invalidation up to `ts` has been
+    /// delivered (a heartbeat). Still-valid entries may then be served for
+    /// lookups up to `ts` even when no recent commit touched their tags.
+    /// The caller must have already delivered every invalidation message with
+    /// a timestamp at or below `ts`.
+    pub fn note_timestamp(&mut self, ts: Timestamp) {
+        self.last_invalidation = self.last_invalidation.max(ts);
+    }
+
+    // ------------------------------------------------------------------
+    // Staleness eviction
+    // ------------------------------------------------------------------
+
+    /// Eagerly removes entries whose validity ended before `min_useful_ts`
+    /// (no transaction within the staleness limit can ever use them again),
+    /// and prunes the invalidation history below the same horizon.
+    pub fn evict_stale(&mut self, min_useful_ts: Timestamp) {
+        let stale: Vec<EntryId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.validity.upper.is_some_and(|u| u <= min_useful_ts))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in stale {
+            self.remove_entry(id);
+            self.stats.staleness_evictions += 1;
+        }
+        self.invalidation_history
+            .retain(|(ts, _)| *ts >= min_useful_ts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> CacheKey {
+        CacheKey::new("f", format!("[{i}]"))
+    }
+
+    fn node() -> CacheNode {
+        CacheNode::new("n0", NodeConfig { capacity_bytes: 10_000 })
+    }
+
+    fn tags_for(table: &str, id: u64) -> TagSet {
+        [InvalidationTag::keyed(table, format!("id={id}"))]
+            .into_iter()
+            .collect()
+    }
+
+    fn insert_simple(n: &mut CacheNode, k: u64, lower: u64) {
+        n.insert(
+            key(k),
+            Bytes::from(vec![1u8; 10]),
+            ValidityInterval::unbounded(Timestamp(lower)),
+            tags_for("items", k),
+            WallClock::ZERO,
+        );
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut n = node();
+        let out = n.lookup(&key(1), &LookupRequest::at(Timestamp(5)));
+        assert_eq!(out.miss_kind(), Some(MissKind::Compulsory));
+        insert_simple(&mut n, 1, 5);
+        let out = n.lookup(&key(1), &LookupRequest::at(Timestamp(5)));
+        assert!(out.is_hit());
+        assert_eq!(n.stats().hits, 1);
+        assert_eq!(n.stats().compulsory_misses, 1);
+        assert_eq!(n.entry_count(), 1);
+        assert_eq!(n.name(), "n0");
+    }
+
+    #[test]
+    fn lookup_honors_pinset_range_and_returns_most_recent() {
+        let mut n = node();
+        // Two versions of the same key with disjoint intervals.
+        n.insert(
+            key(1),
+            Bytes::from_static(b"old"),
+            ValidityInterval::bounded(Timestamp(10), Timestamp(20)).unwrap(),
+            TagSet::new(),
+            WallClock::ZERO,
+        );
+        n.insert(
+            key(1),
+            Bytes::from_static(b"new"),
+            ValidityInterval::bounded(Timestamp(20), Timestamp(30)).unwrap(),
+            TagSet::new(),
+            WallClock::ZERO,
+        );
+        // A request spanning both gets the most recent.
+        if let LookupOutcome::Hit { value, .. } =
+            n.lookup(&key(1), &LookupRequest::range(Timestamp(15), Timestamp(25)))
+        {
+            assert_eq!(&value[..], b"new");
+        } else {
+            panic!("expected hit");
+        }
+        // A request only the old version satisfies gets the old one.
+        if let LookupOutcome::Hit { value, .. } =
+            n.lookup(&key(1), &LookupRequest::range(Timestamp(12), Timestamp(15)))
+        {
+            assert_eq!(&value[..], b"old");
+        } else {
+            panic!("expected hit");
+        }
+        // A request outside both is a miss.
+        assert!(!n
+            .lookup(&key(1), &LookupRequest::range(Timestamp(40), Timestamp(50)))
+            .is_hit());
+    }
+
+    #[test]
+    fn still_valid_entries_bounded_by_last_invalidation() {
+        let mut n = node();
+        insert_simple(&mut n, 1, 5);
+        // No invalidation processed yet: a lookup at ts 50 cannot prove the
+        // entry is still current at 50, so it conservatively misses.
+        let out = n.lookup(&key(1), &LookupRequest::range(Timestamp(50), Timestamp(50)));
+        assert!(!out.is_hit());
+        // After an unrelated invalidation at 60 the entry is known current
+        // through 60.
+        n.apply_invalidation(Timestamp(60), &tags_for("users", 9));
+        let out = n.lookup(&key(1), &LookupRequest::range(Timestamp(50), Timestamp(50)));
+        assert!(out.is_hit());
+    }
+
+    #[test]
+    fn invalidation_truncates_matching_entries() {
+        let mut n = node();
+        insert_simple(&mut n, 1, 5);
+        insert_simple(&mut n, 2, 5);
+        n.apply_invalidation(Timestamp(40), &tags_for("items", 1));
+        // Key 1 is now bounded at 40; key 2 unaffected.
+        let out = n.lookup(&key(1), &LookupRequest::range(Timestamp(40), Timestamp(40)));
+        assert_eq!(out.miss_kind(), Some(MissKind::Staleness));
+        let out = n.lookup(&key(2), &LookupRequest::range(Timestamp(40), Timestamp(40)));
+        assert!(out.is_hit());
+        assert_eq!(n.stats().invalidated_entries, 1);
+        assert_eq!(n.last_invalidation(), Timestamp(40));
+    }
+
+    #[test]
+    fn wildcard_invalidation_hits_all_entries_on_table() {
+        let mut n = node();
+        insert_simple(&mut n, 1, 5);
+        insert_simple(&mut n, 2, 5);
+        let wild: TagSet = [InvalidationTag::wildcard("items")].into_iter().collect();
+        n.apply_invalidation(Timestamp(40), &wild);
+        assert_eq!(n.stats().invalidated_entries, 2);
+    }
+
+    #[test]
+    fn keyed_invalidation_hits_wildcard_dependency() {
+        let mut n = node();
+        let wild_dep: TagSet = [InvalidationTag::wildcard("items")].into_iter().collect();
+        n.insert(
+            key(1),
+            Bytes::from_static(b"scan result"),
+            ValidityInterval::unbounded(Timestamp(5)),
+            wild_dep,
+            WallClock::ZERO,
+        );
+        n.apply_invalidation(Timestamp(40), &tags_for("items", 77));
+        assert_eq!(n.stats().invalidated_entries, 1);
+    }
+
+    #[test]
+    fn insert_after_invalidation_is_truncated_or_dropped() {
+        let mut n = node();
+        // The cache has already seen an invalidation for items:id=1 at ts 50.
+        n.apply_invalidation(Timestamp(50), &tags_for("items", 1));
+        // A stale computation (validity from 40, unbounded) now arrives.
+        n.insert(
+            key(1),
+            Bytes::from_static(b"stale"),
+            ValidityInterval::unbounded(Timestamp(40)),
+            tags_for("items", 1),
+            WallClock::ZERO,
+        );
+        // It must not be served as current at ts >= 50.
+        let out = n.lookup(&key(1), &LookupRequest::range(Timestamp(55), Timestamp(55)));
+        assert!(!out.is_hit());
+        // But it can still serve timestamps in [40, 50).
+        let out = n.lookup(&key(1), &LookupRequest::range(Timestamp(45), Timestamp(45)));
+        assert!(out.is_hit());
+
+        // A value computed *after* that commit (validity starting at 50)
+        // reflects the update and is served as current.
+        n.insert(
+            key(1),
+            Bytes::from_static(b"recomputed"),
+            ValidityInterval::unbounded(Timestamp(50)),
+            tags_for("items", 1),
+            WallClock::ZERO,
+        );
+        if let LookupOutcome::Hit { value, .. } =
+            n.lookup(&key(1), &LookupRequest::range(Timestamp(50), Timestamp(50)))
+        {
+            assert_eq!(&value[..], b"recomputed");
+        } else {
+            panic!("expected hit on the recomputed value");
+        }
+    }
+
+    #[test]
+    fn duplicate_insertions_are_skipped() {
+        let mut n = node();
+        insert_simple(&mut n, 1, 5);
+        insert_simple(&mut n, 1, 5);
+        assert_eq!(n.stats().insertions, 1);
+        assert_eq!(n.stats().duplicate_insertions, 1);
+        assert_eq!(n.entry_count(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_under_memory_pressure() {
+        let mut n = CacheNode::new("n0", NodeConfig { capacity_bytes: 2_000 });
+        for i in 0..100 {
+            n.insert(
+                key(i),
+                Bytes::from(vec![0u8; 100]),
+                ValidityInterval::unbounded(Timestamp(1)),
+                TagSet::new(),
+                WallClock::ZERO,
+            );
+        }
+        assert!(n.used_bytes() <= 2_000);
+        assert!(n.stats().lru_evictions > 0);
+        assert!(n.entry_count() < 100);
+        // Early keys were evicted: their misses are capacity misses.
+        let out = n.lookup(&key(0), &LookupRequest::at(Timestamp(1)));
+        assert_eq!(out.miss_kind(), Some(MissKind::Capacity));
+    }
+
+    #[test]
+    fn lru_keeps_recently_used_entries() {
+        let mut n = CacheNode::new("n0", NodeConfig { capacity_bytes: 1_000 });
+        n.apply_invalidation(Timestamp(100), &TagSet::new());
+        for i in 0..4 {
+            n.insert(
+                key(i),
+                Bytes::from(vec![0u8; 100]),
+                ValidityInterval::unbounded(Timestamp(1)),
+                TagSet::new(),
+                WallClock::ZERO,
+            );
+        }
+        // Touch key 0 so it is the most recently used.
+        assert!(n.lookup(&key(0), &LookupRequest::at(Timestamp(50))).is_hit());
+        // Force evictions.
+        for i in 10..14 {
+            n.insert(
+                key(i),
+                Bytes::from(vec![0u8; 100]),
+                ValidityInterval::unbounded(Timestamp(1)),
+                TagSet::new(),
+                WallClock::ZERO,
+            );
+        }
+        assert!(
+            n.lookup(&key(0), &LookupRequest::at(Timestamp(50))).is_hit(),
+            "recently used key survives eviction"
+        );
+    }
+
+    #[test]
+    fn staleness_eviction_removes_dead_entries() {
+        let mut n = node();
+        n.insert(
+            key(1),
+            Bytes::from_static(b"old"),
+            ValidityInterval::bounded(Timestamp(10), Timestamp(20)).unwrap(),
+            TagSet::new(),
+            WallClock::ZERO,
+        );
+        insert_simple(&mut n, 2, 15);
+        n.evict_stale(Timestamp(30));
+        assert_eq!(n.entry_count(), 1);
+        assert_eq!(n.stats().staleness_evictions, 1);
+        // Its next miss counts as capacity (the server cannot distinguish).
+        let out = n.lookup(&key(1), &LookupRequest::range(Timestamp(12), Timestamp(12)));
+        assert_eq!(out.miss_kind(), Some(MissKind::Capacity));
+    }
+
+    #[test]
+    fn consistency_miss_classification() {
+        let mut n = node();
+        // A version valid only in [30, 40).
+        n.insert(
+            key(1),
+            Bytes::from_static(b"v"),
+            ValidityInterval::bounded(Timestamp(30), Timestamp(40)).unwrap(),
+            TagSet::new(),
+            WallClock::ZERO,
+        );
+        // The transaction's staleness limit allows anything from ts 20, but
+        // its pin set has already narrowed to [22, 25]: a fresh-enough version
+        // exists (30..40 ≥ 20) yet none intersects the pin set.
+        let req = LookupRequest {
+            pinset_lo: Timestamp(22),
+            pinset_hi: Timestamp(25),
+            freshness_lo: Timestamp(20),
+        };
+        let out = n.lookup(&key(1), &req);
+        assert_eq!(out.miss_kind(), Some(MissKind::Consistency));
+
+        // If even the staleness limit cannot reach any version, it is a
+        // staleness miss instead.
+        let req = LookupRequest {
+            pinset_lo: Timestamp(45),
+            pinset_hi: Timestamp(50),
+            freshness_lo: Timestamp(45),
+        };
+        assert_eq!(n.lookup(&key(1), &req).miss_kind(), Some(MissKind::Staleness));
+    }
+
+    #[test]
+    fn reset_stats_preserves_contents() {
+        let mut n = node();
+        insert_simple(&mut n, 1, 5);
+        n.lookup(&key(1), &LookupRequest::at(Timestamp(5)));
+        n.reset_stats();
+        assert_eq!(n.stats().lookups(), 0);
+        assert!(n.lookup(&key(1), &LookupRequest::at(Timestamp(5))).is_hit());
+    }
+}

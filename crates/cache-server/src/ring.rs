@@ -1,0 +1,163 @@
+//! Consistent hashing (§4).
+//!
+//! Cached data is partitioned across cache nodes with consistent hashing so
+//! that adding or removing a node relocates only a small fraction of the
+//! keys. Unlike a DHT, every client knows the full node list and can map a
+//! key to its node directly.
+
+use std::collections::BTreeMap;
+
+use txtypes::key::stable_hash_of;
+use txtypes::CacheKey;
+
+/// A consistent-hash ring over named nodes.
+#[derive(Debug, Clone)]
+pub struct ConsistentHashRing {
+    /// hash point → node index.
+    points: BTreeMap<u64, usize>,
+    node_names: Vec<String>,
+    replicas: usize,
+}
+
+impl ConsistentHashRing {
+    /// Default number of virtual points per node.
+    pub const DEFAULT_REPLICAS: usize = 64;
+
+    /// Builds a ring with the given node names and virtual replica count.
+    #[must_use]
+    pub fn new(node_names: Vec<String>, replicas: usize) -> ConsistentHashRing {
+        let replicas = replicas.max(1);
+        let mut points = BTreeMap::new();
+        for (idx, name) in node_names.iter().enumerate() {
+            for r in 0..replicas {
+                let point = stable_hash_of(&(name.as_str(), r));
+                points.insert(point, idx);
+            }
+        }
+        ConsistentHashRing {
+            points,
+            node_names,
+            replicas,
+        }
+    }
+
+    /// Builds a ring with the default replica count.
+    #[must_use]
+    pub fn with_nodes(node_names: Vec<String>) -> ConsistentHashRing {
+        ConsistentHashRing::new(node_names, Self::DEFAULT_REPLICAS)
+    }
+
+    /// Number of nodes on the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Returns `true` if the ring has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.node_names.is_empty()
+    }
+
+    /// The node names, in construction order (indexes returned by
+    /// [`node_for`](Self::node_for) refer to this list).
+    #[must_use]
+    pub fn node_names(&self) -> &[String] {
+        &self.node_names
+    }
+
+    /// The node index responsible for `key`.
+    ///
+    /// # Panics
+    /// Panics if the ring is empty; construct rings with at least one node.
+    #[must_use]
+    pub fn node_for(&self, key: &CacheKey) -> usize {
+        assert!(!self.is_empty(), "consistent-hash ring has no nodes");
+        let h = key.stable_hash();
+        match self.points.range(h..).next() {
+            Some((_, idx)) => *idx,
+            None => *self
+                .points
+                .values()
+                .next()
+                .expect("non-empty ring has points"),
+        }
+    }
+
+    /// Returns a new ring with an additional node.
+    #[must_use]
+    pub fn with_added_node(&self, name: impl Into<String>) -> ConsistentHashRing {
+        let mut names = self.node_names.clone();
+        names.push(name.into());
+        ConsistentHashRing::new(names, self.replicas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<CacheKey> {
+        (0..n).map(|i| CacheKey::new("f", format!("[{i}]"))).collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let ring = ConsistentHashRing::with_nodes(vec!["a".into(), "b".into(), "c".into()]);
+        for k in keys(50) {
+            assert_eq!(ring.node_for(&k), ring.node_for(&k));
+        }
+        assert_eq!(ring.len(), 3);
+        assert!(!ring.is_empty());
+        assert_eq!(ring.node_names().len(), 3);
+    }
+
+    #[test]
+    fn keys_spread_across_nodes() {
+        let ring = ConsistentHashRing::with_nodes(vec!["a".into(), "b".into(), "c".into()]);
+        let mut counts = [0usize; 3];
+        for k in keys(3000) {
+            counts[ring.node_for(&k)] += 1;
+        }
+        for c in counts {
+            assert!(c > 300, "each node should receive a reasonable share, got {c}");
+        }
+    }
+
+    #[test]
+    fn adding_a_node_moves_only_a_fraction_of_keys() {
+        let ring3 = ConsistentHashRing::with_nodes(vec!["a".into(), "b".into(), "c".into()]);
+        let ring4 = ring3.with_added_node("d");
+        let ks = keys(4000);
+        let moved = ks
+            .iter()
+            .filter(|k| {
+                let before = ring3.node_names()[ring3.node_for(k)].clone();
+                let after = ring4.node_names()[ring4.node_for(k)].clone();
+                before != after
+            })
+            .count();
+        // Ideally ~1/4 of keys move; allow generous slack but far below 1/2.
+        assert!(
+            moved < ks.len() / 2,
+            "only a fraction of keys should move, moved {moved}/{}",
+            ks.len()
+        );
+        assert!(moved > 0);
+    }
+
+    #[test]
+    fn single_node_ring_maps_everything_to_it() {
+        let ring = ConsistentHashRing::with_nodes(vec!["only".into()]);
+        for k in keys(20) {
+            assert_eq!(ring.node_for(&k), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no nodes")]
+    fn empty_ring_panics_on_lookup() {
+        let ring = ConsistentHashRing::with_nodes(vec![]);
+        let _ = ring.node_for(&CacheKey::new("f", "[]"));
+    }
+}

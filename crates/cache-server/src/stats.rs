@@ -1,0 +1,151 @@
+//! Cache statistics, including the miss breakdown of §8.3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::entry::MissKind;
+
+/// Counters kept by each cache node (and aggregated across the cluster).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that returned a value.
+    pub hits: u64,
+    /// Misses because the key was never inserted.
+    pub compulsory_misses: u64,
+    /// Misses because every cached version was too stale.
+    pub staleness_misses: u64,
+    /// Misses because the entry had been evicted.
+    pub capacity_misses: u64,
+    /// Misses because the only fresh-enough versions were inconsistent with
+    /// the transaction's pin set.
+    pub consistency_misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Insertions skipped because an overlapping version was already present.
+    pub duplicate_insertions: u64,
+    /// Entries whose validity was truncated by an invalidation.
+    pub invalidated_entries: u64,
+    /// Invalidation messages processed.
+    pub invalidation_messages: u64,
+    /// Entries evicted to free memory.
+    pub lru_evictions: u64,
+    /// Entries evicted because they were too stale to be useful.
+    pub staleness_evictions: u64,
+    /// Bytes currently used (point-in-time, maintained by the node).
+    pub used_bytes: u64,
+}
+
+impl CacheStats {
+    /// Total misses of all kinds.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.compulsory_misses
+            + self.staleness_misses
+            + self.capacity_misses
+            + self.consistency_misses
+    }
+
+    /// Total lookups.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses()
+    }
+
+    /// Hit rate in [0, 1]; zero when there were no lookups.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Records a miss of the given kind.
+    pub fn record_miss(&mut self, kind: MissKind) {
+        match kind {
+            MissKind::Compulsory => self.compulsory_misses += 1,
+            MissKind::Staleness => self.staleness_misses += 1,
+            MissKind::Capacity => self.capacity_misses += 1,
+            MissKind::Consistency => self.consistency_misses += 1,
+        }
+    }
+
+    /// The fraction of misses of `kind` among all misses, in [0, 1].
+    #[must_use]
+    pub fn miss_fraction(&self, kind: MissKind) -> f64 {
+        let total = self.misses();
+        if total == 0 {
+            return 0.0;
+        }
+        let n = match kind {
+            MissKind::Compulsory => self.compulsory_misses,
+            MissKind::Staleness => self.staleness_misses,
+            MissKind::Capacity => self.capacity_misses,
+            MissKind::Consistency => self.consistency_misses,
+        };
+        n as f64 / total as f64
+    }
+
+    /// Merges another node's counters into this one (used for cluster-wide
+    /// aggregation). `used_bytes` is summed.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.compulsory_misses += other.compulsory_misses;
+        self.staleness_misses += other.staleness_misses;
+        self.capacity_misses += other.capacity_misses;
+        self.consistency_misses += other.consistency_misses;
+        self.insertions += other.insertions;
+        self.duplicate_insertions += other.duplicate_insertions;
+        self.invalidated_entries += other.invalidated_entries;
+        self.invalidation_messages += other.invalidation_messages;
+        self.lru_evictions += other.lru_evictions;
+        self.staleness_evictions += other.staleness_evictions;
+        self.used_bytes += other.used_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_rates() {
+        let mut s = CacheStats::default();
+        s.hits = 6;
+        s.record_miss(MissKind::Compulsory);
+        s.record_miss(MissKind::Consistency);
+        s.record_miss(MissKind::Capacity);
+        s.record_miss(MissKind::Staleness);
+        assert_eq!(s.misses(), 4);
+        assert_eq!(s.lookups(), 10);
+        assert!((s.hit_rate() - 0.6).abs() < 1e-9);
+        assert!((s.miss_fraction(MissKind::Consistency) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.miss_fraction(MissKind::Compulsory), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = CacheStats {
+            hits: 1,
+            compulsory_misses: 2,
+            used_bytes: 100,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            hits: 3,
+            consistency_misses: 1,
+            used_bytes: 50,
+            ..CacheStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.hits, 4);
+        assert_eq!(a.misses(), 3);
+        assert_eq!(a.used_bytes, 150);
+    }
+}

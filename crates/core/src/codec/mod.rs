@@ -1,0 +1,235 @@
+//! A compact binary serialization format for cached values.
+//!
+//! The TxCache library stores the results of cacheable functions on cache
+//! nodes as opaque byte strings. The paper's PHP bindings use PHP's native
+//! serializer; this crate provides an equivalent for Rust: a small,
+//! non-self-describing binary format driven by `serde`. Any
+//! `#[derive(Serialize, Deserialize)]` type can be cached.
+//!
+//! Properties:
+//!
+//! * **Deterministic** — equal values encode to equal bytes, which also makes
+//!   the encoding usable for building cache keys from call arguments.
+//! * **Non-self-describing** — like `bincode`, decoding requires knowing the
+//!   target type; `deserialize_any` is unsupported. Cacheable functions always
+//!   know their result type, so this is not a limitation.
+//! * **Dependency-free** — implemented directly against `serde`'s
+//!   `Serializer`/`Deserializer` traits.
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//! use txcache::codec::{decode, encode};
+//!
+//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! struct Item { id: u64, name: String, price: f64 }
+//!
+//! let item = Item { id: 7, name: "vase".into(), price: 12.5 };
+//! let bytes = encode(&item).unwrap();
+//! let back: Item = decode(&bytes).unwrap();
+//! assert_eq!(back, item);
+//! ```
+
+mod de;
+mod ser;
+
+use bytes::Bytes;
+use serde::{de::DeserializeOwned, Serialize};
+use txtypes::Error;
+
+pub use de::Decoder;
+pub use ser::Encoder;
+
+/// Serializes a value into the TxCache binary format.
+pub fn encode<T: Serialize>(value: &T) -> Result<Bytes, Error> {
+    let mut encoder = Encoder::new();
+    value
+        .serialize(&mut encoder)
+        .map_err(|e| Error::Serialization(e.to_string()))?;
+    Ok(encoder.into_bytes())
+}
+
+/// Deserializes a value from the TxCache binary format.
+pub fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let mut decoder = Decoder::new(bytes);
+    let value = T::deserialize(&mut decoder).map_err(|e| Error::Serialization(e.to_string()))?;
+    decoder
+        .finish()
+        .map_err(|e| Error::Serialization(e.to_string()))?;
+    Ok(value)
+}
+
+/// Renders a value's encoding as a short hexadecimal string, used to build
+/// cache-key argument strings that are canonical and printable.
+pub fn encode_hex<T: Serialize>(value: &T) -> Result<String, Error> {
+    let bytes = encode(value)?;
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes.iter() {
+        out.push_str(&format!("{b:02x}"));
+    }
+    Ok(out)
+}
+
+/// Errors produced while encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl serde::ser::Error for CodecError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        CodecError(msg.to_string())
+    }
+}
+
+impl serde::de::Error for CodecError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        CodecError(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+    struct Nested {
+        tags: Vec<String>,
+        maybe: Option<i64>,
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+    enum Kind {
+        Empty,
+        Scalar(u32),
+        Pair(u32, u32),
+        Record { a: String, b: bool },
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+    struct Everything {
+        b: bool,
+        i: i64,
+        u: u64,
+        f: f64,
+        s: String,
+        v: Vec<u32>,
+        map: BTreeMap<String, i32>,
+        nested: Nested,
+        kinds: Vec<Kind>,
+        unit: (),
+        tuple: (u8, String),
+        opt_none: Option<String>,
+        ch: char,
+    }
+
+    fn sample() -> Everything {
+        Everything {
+            b: true,
+            i: -42,
+            u: 7,
+            f: 3.25,
+            s: "héllo wörld".into(),
+            v: vec![1, 2, 3],
+            map: [("a".to_string(), 1), ("b".to_string(), -2)].into_iter().collect(),
+            nested: Nested {
+                tags: vec!["x".into(), "y".into()],
+                maybe: Some(-9),
+            },
+            kinds: vec![
+                Kind::Empty,
+                Kind::Scalar(5),
+                Kind::Pair(1, 2),
+                Kind::Record { a: "z".into(), b: false },
+            ],
+            unit: (),
+            tuple: (255, "t".into()),
+            opt_none: None,
+            ch: '✓',
+        }
+    }
+
+    #[test]
+    fn roundtrip_everything() {
+        let value = sample();
+        let bytes = encode(&value).unwrap();
+        let back: Everything = decode(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn roundtrip_primitives() {
+        assert_eq!(decode::<u8>(&encode(&7u8).unwrap()).unwrap(), 7);
+        assert_eq!(decode::<i32>(&encode(&-3i32).unwrap()).unwrap(), -3);
+        assert_eq!(decode::<u128>(&encode(&10u128).unwrap()).unwrap(), 10);
+        assert_eq!(decode::<i128>(&encode(&-10i128).unwrap()).unwrap(), -10);
+        assert_eq!(decode::<f32>(&encode(&1.5f32).unwrap()).unwrap(), 1.5);
+        assert_eq!(decode::<bool>(&encode(&false).unwrap()).unwrap(), false);
+        assert_eq!(
+            decode::<String>(&encode(&"abc".to_string()).unwrap()).unwrap(),
+            "abc"
+        );
+        assert_eq!(decode::<()>(&encode(&()).unwrap()).unwrap(), ());
+        assert_eq!(decode::<char>(&encode(&'q').unwrap()).unwrap(), 'q');
+        assert_eq!(
+            decode::<Option<u64>>(&encode(&Some(5u64)).unwrap()).unwrap(),
+            Some(5)
+        );
+        assert_eq!(
+            decode::<Option<u64>>(&encode(&None::<u64>).unwrap()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let a = encode(&sample()).unwrap();
+        let b = encode(&sample()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(encode_hex(&(1u64, "x")).unwrap(), encode_hex(&(1u64, "x")).unwrap());
+        assert_ne!(encode_hex(&(1u64, "x")).unwrap(), encode_hex(&(2u64, "x")).unwrap());
+    }
+
+    #[test]
+    fn different_values_encode_differently() {
+        assert_ne!(encode(&1u64).unwrap(), encode(&2u64).unwrap());
+        assert_ne!(encode(&"a").unwrap(), encode(&"b").unwrap());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_trailing_input() {
+        let bytes = encode(&12345u64).unwrap();
+        assert!(decode::<u64>(&bytes[..4]).is_err());
+        let mut extended = bytes.to_vec();
+        extended.push(0);
+        assert!(decode::<u64>(&extended).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_invalid_bool_and_option_tags() {
+        assert!(decode::<bool>(&[7]).is_err());
+        assert!(decode::<Option<u64>>(&[9]).is_err());
+        assert!(decode::<char>(&encode(&u32::MAX).unwrap()[..4]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_utf8() {
+        // Manually build: len=1, byte 0xff.
+        let mut buf = encode(&1u64).unwrap().to_vec();
+        buf.push(0xff);
+        assert!(decode::<String>(&buf).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CodecError("boom".into());
+        assert!(e.to_string().contains("boom"));
+    }
+}

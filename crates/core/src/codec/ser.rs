@@ -1,0 +1,320 @@
+//! The serializer half of the TxCache binary codec.
+
+use bytes::Bytes;
+use serde::ser::{self, Serialize};
+
+use super::CodecError;
+
+/// Streaming encoder for the TxCache binary format.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    #[must_use]
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Consumes the encoder and returns the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_len(&mut self, len: usize) {
+        self.put_u64(len as u64);
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.buf.push(u8::from(v));
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i128(self, v: i128) -> Result<(), CodecError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
+        self.put_u64(v);
+        Ok(())
+    }
+    fn serialize_u128(self, v: u128) -> Result<(), CodecError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.put_u32(v as u32);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.buf.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.buf.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), CodecError> {
+        self.buf.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        self.put_u32(variant_index);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        self.put_u32(variant_index);
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a>, CodecError> {
+        let len = len.ok_or_else(|| {
+            ser::Error::custom("sequences with unknown length are not supported")
+        })?;
+        self.put_len(len);
+        Ok(Compound { enc: self })
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>, CodecError> {
+        Ok(Compound { enc: self })
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CodecError> {
+        Ok(Compound { enc: self })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CodecError> {
+        self.put_u32(variant_index);
+        Ok(Compound { enc: self })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a>, CodecError> {
+        let len =
+            len.ok_or_else(|| ser::Error::custom("maps with unknown length are not supported"))?;
+        self.put_len(len);
+        Ok(Compound { enc: self })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CodecError> {
+        Ok(Compound { enc: self })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, CodecError> {
+        self.put_u32(variant_index);
+        Ok(Compound { enc: self })
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+/// Serializer state for compound types (sequences, maps, structs, variants).
+#[derive(Debug)]
+pub struct Compound<'a> {
+    enc: &'a mut Encoder,
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut *self.enc)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut *self.enc)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut *self.enc)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut *self.enc)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), CodecError> {
+        key.serialize(&mut *self.enc)
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut *self.enc)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut *self.enc)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut *self.enc)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}

@@ -1,0 +1,171 @@
+//! The `TxCache` handle: the entry point applications hold.
+
+use std::sync::Arc;
+
+use cache_server::CacheCluster;
+use crossbeam::channel::Receiver;
+use mvdb::{Database, InvalidationMessage, SnapshotId};
+use parking_lot::Mutex;
+use pincushion::Pincushion;
+use txtypes::{Result, SimClock, Staleness, Timestamp};
+
+use crate::config::{CacheMode, TimestampPolicy, TxCacheConfig};
+use crate::stats::ClientStats;
+use crate::transaction::Transaction;
+
+/// The TxCache client library.
+///
+/// One `TxCache` is shared by all requests of an application server. It knows
+/// how to reach the database, the cache cluster and the pincushion, forwards
+/// the database's invalidation stream to the cache nodes, and hands out
+/// [`Transaction`] objects.
+pub struct TxCache {
+    pub(crate) db: Arc<Database>,
+    pub(crate) cache: Arc<CacheCluster>,
+    pub(crate) pincushion: Arc<Pincushion>,
+    pub(crate) clock: SimClock,
+    pub(crate) config: TxCacheConfig,
+    pub(crate) stats: Mutex<ClientStats>,
+    invalidations: Mutex<Receiver<InvalidationMessage>>,
+}
+
+impl TxCache {
+    /// Creates a library instance wired to the given components.
+    #[must_use]
+    pub fn new(
+        db: Arc<Database>,
+        cache: Arc<CacheCluster>,
+        pincushion: Arc<Pincushion>,
+        clock: SimClock,
+        config: TxCacheConfig,
+    ) -> TxCache {
+        let invalidations = db.subscribe_invalidations();
+        TxCache {
+            db,
+            cache,
+            pincushion,
+            clock,
+            config,
+            stats: Mutex::new(ClientStats::default()),
+            invalidations: Mutex::new(invalidations),
+        }
+    }
+
+    /// The library's configuration.
+    #[must_use]
+    pub fn config(&self) -> &TxCacheConfig {
+        &self.config
+    }
+
+    /// The underlying database (for administrative tasks such as schema
+    /// creation and bulk loading).
+    #[must_use]
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The cache cluster (for statistics).
+    #[must_use]
+    pub fn cache(&self) -> &Arc<CacheCluster> {
+        &self.cache
+    }
+
+    /// The pincushion (for statistics).
+    #[must_use]
+    pub fn pincushion(&self) -> &Arc<Pincushion> {
+        &self.pincushion
+    }
+
+    /// The shared simulated clock.
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Library-side statistics.
+    #[must_use]
+    pub fn stats(&self) -> ClientStats {
+        *self.stats.lock()
+    }
+
+    /// Begins a read-only transaction with the given staleness limit
+    /// (`BEGIN-RO` in Figure 2).
+    pub fn begin_ro(&self, staleness: Staleness) -> Result<Transaction<'_>> {
+        self.deliver_invalidations();
+        self.stats.lock().ro_transactions += 1;
+        Transaction::new_read_only(self, staleness)
+    }
+
+    /// Begins a read-only transaction with the configured default staleness.
+    pub fn begin_ro_default(&self) -> Result<Transaction<'_>> {
+        self.begin_ro(self.config.default_staleness)
+    }
+
+    /// Begins a read/write transaction (`BEGIN-RW` in Figure 2). Read/write
+    /// transactions bypass the cache entirely and run directly on the
+    /// database (§2.2).
+    pub fn begin_rw(&self) -> Result<Transaction<'_>> {
+        self.deliver_invalidations();
+        self.stats.lock().rw_transactions += 1;
+        Transaction::new_read_write(self)
+    }
+
+    /// Delivers any pending invalidation-stream messages from the database to
+    /// every cache node, in commit order. In the paper this is an
+    /// asynchronous multicast; here the library pumps it at transaction
+    /// boundaries, which keeps experiments deterministic while preserving the
+    /// ordering guarantees the protocol relies on.
+    ///
+    /// After draining the stream, the cache nodes are told the database's
+    /// commit timestamp as of *before* the drain. Commits publish their
+    /// invalidation before the timestamp becomes visible, so at that point
+    /// every invalidation at or below the noted timestamp has been applied;
+    /// this lets still-valid entries be served at the current time even when
+    /// recent commits (or the initial bulk load) did not touch their tags.
+    pub fn deliver_invalidations(&self) {
+        let latest = self.db.latest_timestamp();
+        let rx = self.invalidations.lock();
+        for message in rx.try_iter() {
+            self.cache
+                .apply_invalidation(message.timestamp, &message.tags);
+        }
+        self.cache.note_timestamp(latest);
+    }
+
+    /// Periodic maintenance: forwards invalidations, reaps old unused pinned
+    /// snapshots (issuing `UNPIN` to the database), and evicts cache entries
+    /// too stale for any current transaction to use.
+    pub fn maintenance(&self) {
+        self.deliver_invalidations();
+        for ts in self.pincushion.reap() {
+            // The snapshot may already be gone if the database restarted; a
+            // failed unpin is not an error for maintenance.
+            let _ = self.db.unpin(SnapshotId(ts));
+        }
+        // Entries that ended before the oldest snapshot still tracked by the
+        // pincushion can never satisfy any transaction again.
+        let horizon: Timestamp = self
+            .pincushion
+            .oldest()
+            .map_or_else(|| self.db.latest_timestamp(), |p| p.timestamp);
+        self.cache.evict_stale(horizon);
+    }
+
+    pub(crate) fn mode(&self) -> CacheMode {
+        self.config.mode
+    }
+
+    pub(crate) fn policy(&self) -> TimestampPolicy {
+        self.config.policy
+    }
+}
+
+impl std::fmt::Debug for TxCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxCache")
+            .field("mode", &self.config.mode)
+            .field("policy", &self.config.policy)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}

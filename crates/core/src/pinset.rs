@@ -1,0 +1,175 @@
+//! The pin set: candidate serialization timestamps for a read-only
+//! transaction (§6.2).
+//!
+//! A read-only transaction begins with a pin set containing every
+//! sufficiently fresh pinned snapshot plus the special marker `?` ("the
+//! present": the transaction could still run on a newly pinned snapshot). As
+//! the transaction observes cached values and query results, timestamps
+//! incompatible with the observed validity intervals are removed. The paper's
+//! two invariants (§6.2.1) — every observation is consistent with every
+//! remaining timestamp, and the set never becomes empty — are enforced here
+//! and property-tested in `tests/`.
+
+use std::collections::BTreeSet;
+
+use txtypes::{Timestamp, ValidityInterval};
+
+/// The set of timestamps at which the enclosing read-only transaction can
+/// still be serialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinSet {
+    candidates: BTreeSet<Timestamp>,
+    /// Whether the transaction may still run "in the present" on a newly
+    /// pinned snapshot (the `?` member of §6.2).
+    present: bool,
+}
+
+impl PinSet {
+    /// Creates a pin set from the pinned snapshots returned by the
+    /// pincushion. `present` should be true for lazily-timestamped
+    /// transactions that have not yet observed any data.
+    #[must_use]
+    pub fn new(candidates: impl IntoIterator<Item = Timestamp>, present: bool) -> PinSet {
+        PinSet {
+            candidates: candidates.into_iter().collect(),
+            present,
+        }
+    }
+
+    /// A pin set containing only `?`.
+    #[must_use]
+    pub fn only_present() -> PinSet {
+        PinSet::new([], true)
+    }
+
+    /// Whether `?` is still a member.
+    #[must_use]
+    pub fn has_present(&self) -> bool {
+        self.present
+    }
+
+    /// Removes `?` (the transaction can no longer run on a new snapshot).
+    pub fn remove_present(&mut self) {
+        self.present = false;
+    }
+
+    /// Number of concrete candidate timestamps (excluding `?`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the set is completely empty — this would violate Invariant 2
+    /// and never happens during correct operation.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty() && !self.present
+    }
+
+    /// The candidate timestamps in ascending order.
+    #[must_use]
+    pub fn candidates(&self) -> Vec<Timestamp> {
+        self.candidates.iter().copied().collect()
+    }
+
+    /// Whether `ts` is a candidate.
+    #[must_use]
+    pub fn contains(&self, ts: Timestamp) -> bool {
+        self.candidates.contains(&ts)
+    }
+
+    /// The oldest candidate, if any.
+    #[must_use]
+    pub fn oldest(&self) -> Option<Timestamp> {
+        self.candidates.iter().next().copied()
+    }
+
+    /// The newest candidate, if any.
+    #[must_use]
+    pub fn newest(&self) -> Option<Timestamp> {
+        self.candidates.iter().next_back().copied()
+    }
+
+    /// The lookup bounds sent to the cache: the lowest and highest candidate
+    /// timestamps, excluding `?` (§6.2). `None` when there are no concrete
+    /// candidates yet.
+    #[must_use]
+    pub fn bounds(&self) -> Option<(Timestamp, Timestamp)> {
+        Some((self.oldest()?, self.newest()?))
+    }
+
+    /// Adds a candidate timestamp (a snapshot newly pinned on the
+    /// transaction's behalf).
+    pub fn insert(&mut self, ts: Timestamp) {
+        self.candidates.insert(ts);
+    }
+
+    /// Narrows the set after observing a value with validity `interval`:
+    /// removes every candidate outside the interval and removes `?` (observed
+    /// data pins the transaction to the past). Returns `true` if at least one
+    /// candidate remains.
+    pub fn narrow(&mut self, interval: &ValidityInterval) -> bool {
+        self.candidates.retain(|ts| interval.contains(*ts));
+        self.present = false;
+        !self.candidates.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: u64, hi: u64) -> ValidityInterval {
+        ValidityInterval::bounded(Timestamp(lo), Timestamp(hi)).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = PinSet::new([Timestamp(5), Timestamp(9), Timestamp(7)], true);
+        assert_eq!(p.len(), 3);
+        assert!(p.has_present());
+        assert!(!p.is_empty());
+        assert_eq!(p.oldest(), Some(Timestamp(5)));
+        assert_eq!(p.newest(), Some(Timestamp(9)));
+        assert_eq!(p.bounds(), Some((Timestamp(5), Timestamp(9))));
+        assert!(p.contains(Timestamp(7)));
+        assert!(!p.contains(Timestamp(8)));
+        assert_eq!(
+            p.candidates(),
+            vec![Timestamp(5), Timestamp(7), Timestamp(9)]
+        );
+    }
+
+    #[test]
+    fn only_present_has_no_bounds() {
+        let mut p = PinSet::only_present();
+        assert_eq!(p.bounds(), None);
+        assert!(!p.is_empty());
+        p.remove_present();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn narrow_removes_incompatible_candidates_and_present() {
+        let mut p = PinSet::new([Timestamp(5), Timestamp(7), Timestamp(9)], true);
+        assert!(p.narrow(&iv(6, 10)));
+        assert_eq!(p.candidates(), vec![Timestamp(7), Timestamp(9)]);
+        assert!(!p.has_present());
+        assert!(p.narrow(&ValidityInterval::unbounded(Timestamp(9))));
+        assert_eq!(p.candidates(), vec![Timestamp(9)]);
+    }
+
+    #[test]
+    fn narrow_reports_emptiness() {
+        let mut p = PinSet::new([Timestamp(5)], false);
+        assert!(!p.narrow(&iv(10, 20)));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn insert_extends_bounds() {
+        let mut p = PinSet::new([Timestamp(5)], true);
+        p.insert(Timestamp(12));
+        assert_eq!(p.bounds(), Some((Timestamp(5), Timestamp(12))));
+    }
+}

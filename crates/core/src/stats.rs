@@ -1,0 +1,101 @@
+//! Client-library statistics and per-transaction commit reports.
+
+use mvdb::PageCounts;
+use serde::{Deserialize, Serialize};
+use txtypes::Timestamp;
+
+/// Counters accumulated by a [`crate::TxCache`] handle across transactions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientStats {
+    /// Read-only transactions begun.
+    pub ro_transactions: u64,
+    /// Read/write transactions begun.
+    pub rw_transactions: u64,
+    /// Cacheable-function invocations.
+    pub cacheable_calls: u64,
+    /// Cacheable calls satisfied from the cache.
+    pub cache_hits: u64,
+    /// Cacheable calls that had to execute their implementation.
+    pub cache_misses: u64,
+    /// Database queries issued (both inside and outside cacheable functions).
+    pub db_queries: u64,
+    /// Snapshots newly pinned by this library instance.
+    pub new_pins: u64,
+    /// Transactions that reused an existing pinned snapshot.
+    pub reused_pins: u64,
+    /// Transactions that committed.
+    pub commits: u64,
+    /// Transactions that aborted.
+    pub aborts: u64,
+}
+
+impl ClientStats {
+    /// Cache hit rate over cacheable calls, in [0, 1].
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.cacheable_calls == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cacheable_calls as f64
+        }
+    }
+}
+
+/// Everything the library reports back when a transaction finishes; the
+/// experiment harness uses these to drive its cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitInfo {
+    /// The timestamp the transaction ran at (its snapshot for read-only
+    /// transactions, its commit timestamp for read/write transactions).
+    pub timestamp: Timestamp,
+    /// Whether the transaction was read-only.
+    pub read_only: bool,
+    /// Database queries the transaction issued.
+    pub db_queries: u64,
+    /// Simulated database page activity caused by those queries.
+    pub db_pages: PageCounts,
+    /// Cacheable calls served from the cache.
+    pub cache_hits: u64,
+    /// Cacheable calls that executed their implementation.
+    pub cache_misses: u64,
+    /// Rows written (read/write transactions only).
+    pub rows_written: u64,
+}
+
+impl CommitInfo {
+    /// Total cacheable calls made by the transaction.
+    #[must_use]
+    pub fn cacheable_calls(&self) -> u64 {
+        self.cache_hits + self.cache_misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_calls() {
+        assert_eq!(ClientStats::default().hit_rate(), 0.0);
+        let s = ClientStats {
+            cacheable_calls: 4,
+            cache_hits: 3,
+            ..ClientStats::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn commit_info_totals() {
+        let info = CommitInfo {
+            timestamp: Timestamp(5),
+            read_only: true,
+            db_queries: 2,
+            db_pages: PageCounts::default(),
+            cache_hits: 3,
+            cache_misses: 1,
+            rows_written: 0,
+        };
+        assert_eq!(info.cacheable_calls(), 4);
+    }
+}

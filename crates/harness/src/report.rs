@@ -1,0 +1,138 @@
+//! Text rendering of experiment results as the paper's tables and figures.
+
+use crate::costmodel::Bottleneck;
+use crate::experiment::ExperimentResult;
+
+/// Formats a figure-5-style table: peak throughput as a function of cache
+/// size, one column per mode/series.
+#[must_use]
+pub fn throughput_table(title: &str, series: &[(&str, Vec<(String, ExperimentResult)>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!("{:<14}", "cache size"));
+    for (name, _) in series {
+        out.push_str(&format!("{name:>18}"));
+    }
+    out.push('\n');
+    let rows = series.first().map(|(_, v)| v.len()).unwrap_or(0);
+    for i in 0..rows {
+        let label = series[0].1[i].0.clone();
+        out.push_str(&format!("{label:<14}"));
+        for (_, points) in series {
+            let value = points
+                .get(i)
+                .map(|(_, r)| r.peak_throughput)
+                .unwrap_or(f64::NAN);
+            out.push_str(&format!("{value:>14.0} r/s"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a figure-6-style table: hit rate versus cache size.
+#[must_use]
+pub fn hit_rate_table(title: &str, points: &[(String, ExperimentResult)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!("{:<14}{:>12}\n", "cache size", "hit rate"));
+    for (label, r) in points {
+        out.push_str(&format!("{:<14}{:>11.1}%\n", label, r.hit_rate * 100.0));
+    }
+    out
+}
+
+/// Formats the figure-8 miss-breakdown table (percent of total misses).
+#[must_use]
+pub fn miss_breakdown_table(columns: &[(&str, ExperimentResult)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<16}", "miss type"));
+    for (name, _) in columns {
+        out.push_str(&format!("{name:>22}"));
+    }
+    out.push('\n');
+    let rows: [(&str, fn(&ExperimentResult) -> u64); 4] = [
+        ("Compulsory", |r| r.cache_stats.compulsory_misses),
+        ("Staleness", |r| r.cache_stats.staleness_misses),
+        ("Capacity", |r| r.cache_stats.capacity_misses),
+        ("Consistency", |r| r.cache_stats.consistency_misses),
+    ];
+    for (label, extract) in rows {
+        out.push_str(&format!("{label:<16}"));
+        for (_, result) in columns {
+            let total = result.cache_stats.misses().max(1) as f64;
+            let pct = extract(result) as f64 / total * 100.0;
+            out.push_str(&format!("{pct:>21.1}%"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One line summarizing a result (used by several binaries).
+#[must_use]
+pub fn summary_line(label: &str, r: &ExperimentResult) -> String {
+    let bottleneck = match r.bottleneck {
+        Bottleneck::Database => "db",
+        Bottleneck::WebServers => "web",
+        Bottleneck::CacheNodes => "cache",
+    };
+    format!(
+        "{label:<28} peak {:>8.0} req/s   hit rate {:>5.1}%   bottleneck {bottleneck:<5} misses[comp {} stale {} cap {} cons {}]",
+        r.peak_throughput,
+        r.hit_rate * 100.0,
+        r.cache_stats.compulsory_misses,
+        r.cache_stats.staleness_misses,
+        r.cache_stats.capacity_misses,
+        r.cache_stats.consistency_misses,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costmodel::ResourceUsage;
+    use crate::experiment::{DbKind, ExperimentConfig};
+    use cache_server::CacheStats;
+
+    fn fake(peak: f64) -> ExperimentResult {
+        ExperimentResult {
+            config: ExperimentConfig::new(DbKind::InMemory),
+            peak_throughput: peak,
+            bottleneck: Bottleneck::Database,
+            hit_rate: 0.5,
+            usage: ResourceUsage::default(),
+            cache_stats: CacheStats {
+                compulsory_misses: 3,
+                staleness_misses: 2,
+                capacity_misses: 4,
+                consistency_misses: 1,
+                ..CacheStats::default()
+            },
+            failed_requests: 0,
+            retried_requests: 0,
+        }
+    }
+
+    #[test]
+    fn tables_render_all_rows_and_columns() {
+        let series = vec![
+            ("TxCache", vec![("64MB".to_string(), fake(2000.0))]),
+            ("No caching", vec![("64MB".to_string(), fake(900.0))]),
+        ];
+        let t = throughput_table("Figure 5(a)", &series);
+        assert!(t.contains("Figure 5(a)"));
+        assert!(t.contains("64MB"));
+        assert!(t.contains("2000"));
+        assert!(t.contains("900"));
+
+        let h = hit_rate_table("Figure 6(a)", &[("64MB".to_string(), fake(1.0))]);
+        assert!(h.contains("50.0%"));
+
+        let m = miss_breakdown_table(&[("512MB/30s", fake(1.0))]);
+        assert!(m.contains("Consistency"));
+        assert!(m.contains("10.0%"), "1 of 10 misses: {m}");
+
+        assert!(summary_line("x", &fake(1.0)).contains("hit rate"));
+    }
+}

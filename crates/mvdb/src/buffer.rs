@@ -1,0 +1,181 @@
+//! A simulated buffer manager.
+//!
+//! The paper evaluates two database configurations: one whose working set
+//! fits in the server's buffer cache ("in-memory") and one that is
+//! disk-bound. Our storage engine keeps everything in RAM, so to reproduce
+//! the distinction we account for *logical page accesses*: every heap or
+//! index page touched by query execution is run through an LRU buffer pool of
+//! configurable size, and the resulting hit/miss counts feed the harness's
+//! cost model (a miss costs a simulated disk read).
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Identifies a logical page: a table (or index) name plus a page number.
+pub type PageRef = (String, u64);
+
+/// Outcome of a page access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageAccess {
+    /// The page was already resident in the buffer pool.
+    Hit,
+    /// The page had to be "read from disk".
+    Miss,
+}
+
+/// Running counters of buffer activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Number of page accesses that hit the pool.
+    pub hits: u64,
+    /// Number of page accesses that missed (simulated disk reads).
+    pub misses: u64,
+}
+
+impl BufferStats {
+    /// Total page accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in [0, 1]; zero if there were no accesses.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// An LRU pool of logical pages.
+#[derive(Debug)]
+pub struct BufferManager {
+    capacity_pages: usize,
+    /// page → LRU tick of last access.
+    resident: HashMap<PageRef, u64>,
+    /// LRU tick → page, for O(log n) victim selection.
+    lru_order: BTreeMap<u64, PageRef>,
+    tick: u64,
+    stats: BufferStats,
+}
+
+impl BufferManager {
+    /// Creates a pool holding at most `capacity_pages` pages. A capacity of
+    /// zero disables caching entirely (every access is a miss).
+    #[must_use]
+    pub fn new(capacity_pages: usize) -> BufferManager {
+        BufferManager {
+            capacity_pages,
+            resident: HashMap::new(),
+            lru_order: BTreeMap::new(),
+            tick: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Touches a page, returning whether it was a hit or a miss and updating
+    /// LRU state and statistics.
+    pub fn access(&mut self, table: &str, page: u64) -> PageAccess {
+        self.tick += 1;
+        let key = (table.to_string(), page);
+        if let Some(prev_tick) = self.resident.get(&key).copied() {
+            self.lru_order.remove(&prev_tick);
+            self.lru_order.insert(self.tick, key.clone());
+            self.resident.insert(key, self.tick);
+            self.stats.hits += 1;
+            return PageAccess::Hit;
+        }
+        self.stats.misses += 1;
+        if self.capacity_pages == 0 {
+            return PageAccess::Miss;
+        }
+        while self.resident.len() >= self.capacity_pages {
+            if let Some((&victim_tick, _)) = self.lru_order.iter().next() {
+                if let Some(victim) = self.lru_order.remove(&victim_tick) {
+                    self.resident.remove(&victim);
+                }
+            } else {
+                break;
+            }
+        }
+        self.resident.insert(key.clone(), self.tick);
+        self.lru_order.insert(self.tick, key);
+        PageAccess::Miss
+    }
+
+    /// Returns the number of currently resident pages.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Returns the accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters (the resident set is kept warm).
+    pub fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut b = BufferManager::new(2);
+        assert_eq!(b.access("t", 1), PageAccess::Miss);
+        assert_eq!(b.access("t", 1), PageAccess::Hit);
+        assert_eq!(b.access("t", 2), PageAccess::Miss);
+        assert_eq!(b.stats(), BufferStats { hits: 1, misses: 2 });
+        assert!((b.stats().hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut b = BufferManager::new(2);
+        b.access("t", 1);
+        b.access("t", 2);
+        b.access("t", 1); // 2 is now LRU
+        b.access("t", 3); // evicts 2
+        assert_eq!(b.access("t", 1), PageAccess::Hit);
+        assert_eq!(b.access("t", 2), PageAccess::Miss);
+        assert_eq!(b.resident_pages(), 2);
+    }
+
+    #[test]
+    fn distinct_tables_use_distinct_pages() {
+        let mut b = BufferManager::new(4);
+        b.access("a", 1);
+        assert_eq!(b.access("b", 1), PageAccess::Miss);
+        assert_eq!(b.access("a", 1), PageAccess::Hit);
+    }
+
+    #[test]
+    fn zero_capacity_never_caches() {
+        let mut b = BufferManager::new(0);
+        assert_eq!(b.access("t", 1), PageAccess::Miss);
+        assert_eq!(b.access("t", 1), PageAccess::Miss);
+        assert_eq!(b.resident_pages(), 0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_residency() {
+        let mut b = BufferManager::new(2);
+        b.access("t", 1);
+        b.reset_stats();
+        assert_eq!(b.stats().accesses(), 0);
+        assert_eq!(b.access("t", 1), PageAccess::Hit);
+    }
+
+    #[test]
+    fn hit_rate_of_empty_stats_is_zero() {
+        assert_eq!(BufferStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,1066 @@
+//! The database facade.
+//!
+//! [`Database`] ties the storage, planning, execution, transaction, pinning,
+//! and invalidation machinery together behind the interface the TxCache
+//! library needs (§5):
+//!
+//! * read/write transactions under snapshot isolation;
+//! * read-only transactions that can run at pinned past snapshots
+//!   (`PIN` / `UNPIN` / `BEGIN SNAPSHOTID`);
+//! * per-query validity intervals and invalidation tags piggybacked on
+//!   results;
+//! * an ordered invalidation stream published at commit time;
+//! * a vacuum process that respects pinned snapshots.
+//!
+//! The whole database lives behind one mutex. The paper's evaluation
+//! bottlenecks on database *work*, not on lock contention inside the engine,
+//! and the harness models service times explicitly, so a coarse lock keeps
+//! the engine simple without affecting any reproduced result.
+
+use std::collections::HashMap;
+
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use txtypes::{
+    Error, InvalidationTag, Result, SimClock, TagSet, Timestamp, ValidityInterval, WallClock,
+};
+
+use crate::buffer::{BufferManager, BufferStats};
+use crate::exec::{execute_plan, ExecOptions, PageCounts, QueryResult};
+use crate::invalidation::{InvalidationBus, InvalidationMessage};
+use crate::plan::{choose_access_path, plan_query, AccessPath};
+use crate::query::{Predicate, SelectQuery};
+use crate::schema::TableSchema;
+use crate::snapshot::{PinRegistry, SnapshotId};
+use crate::stats::DbStats;
+use crate::table::{Slot, Table};
+use crate::tuple::{Stamp, TupleVersion, TxnId};
+use crate::txn::{Transaction, TxnMode, TxnToken};
+use crate::value::Value;
+
+/// Static configuration of a [`Database`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DbConfig {
+    /// Size of the simulated buffer pool in pages. Together with the dataset
+    /// size this determines whether the configuration behaves "in-memory" or
+    /// "disk-bound".
+    pub buffer_pages: usize,
+    /// Tuples per simulated heap page.
+    pub rows_per_page: usize,
+    /// If a single transaction modifies at least this many rows of one table,
+    /// its keyed tags for that table are collapsed into a wildcard (§5.3).
+    pub wildcard_threshold: usize,
+    /// Database-side TxCache support (validity tracking + invalidation tags).
+    /// Disabling it models the stock DBMS baseline of §8.1.
+    pub exec: ExecOptions,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            buffer_pages: 1 << 16,
+            rows_per_page: 32,
+            wildcard_threshold: 64,
+            exec: ExecOptions::default(),
+        }
+    }
+}
+
+/// Everything protected by the database lock.
+struct DbInner {
+    tables: HashMap<String, Table>,
+    latest: Timestamp,
+    active: HashMap<TxnId, Transaction>,
+    next_txn_id: TxnId,
+    pins: PinRegistry,
+    bus: InvalidationBus,
+    buffer: BufferManager,
+    stats: DbStats,
+}
+
+/// A multiversion relational database with TxCache support.
+pub struct Database {
+    inner: Mutex<DbInner>,
+    config: DbConfig,
+    clock: SimClock,
+}
+
+impl Database {
+    /// Creates an empty database.
+    #[must_use]
+    pub fn new(config: DbConfig, clock: SimClock) -> Database {
+        Database {
+            inner: Mutex::new(DbInner {
+                tables: HashMap::new(),
+                latest: Timestamp::ZERO,
+                active: HashMap::new(),
+                next_txn_id: 1,
+                pins: PinRegistry::new(),
+                bus: InvalidationBus::new(),
+                buffer: BufferManager::new(config.buffer_pages),
+                stats: DbStats::default(),
+            }),
+            config,
+            clock,
+        }
+    }
+
+    /// Creates a database with default configuration and a private clock;
+    /// convenient in tests and examples.
+    #[must_use]
+    pub fn with_defaults() -> Database {
+        Database::new(DbConfig::default(), SimClock::new())
+    }
+
+    /// The database's configuration.
+    #[must_use]
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    /// The simulated clock this database records commit times against.
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    // ------------------------------------------------------------------
+    // Schema management and bulk loading
+    // ------------------------------------------------------------------
+
+    /// Creates a table.
+    pub fn create_table(&self, schema: TableSchema) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.tables.contains_key(&schema.name) {
+            return Err(Error::Schema(format!("table '{}' already exists", schema.name)));
+        }
+        let name = schema.name.clone();
+        let table = Table::new(schema, self.config.rows_per_page)?;
+        inner.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Returns the names of all tables.
+    #[must_use]
+    pub fn table_names(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        let mut names: Vec<String> = inner.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Returns a copy of a table's schema.
+    pub fn table_schema(&self, table: &str) -> Result<TableSchema> {
+        let inner = self.inner.lock();
+        inner
+            .tables
+            .get(table)
+            .map(|t| t.schema().clone())
+            .ok_or_else(|| Error::Schema(format!("no table '{table}'")))
+    }
+
+    /// Approximate size of a table's data in bytes.
+    pub fn table_bytes(&self, table: &str) -> Result<usize> {
+        let inner = self.inner.lock();
+        inner
+            .tables
+            .get(table)
+            .map(Table::approx_bytes)
+            .ok_or_else(|| Error::Schema(format!("no table '{table}'")))
+    }
+
+    /// Approximate size of the whole database in bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.tables.values().map(Table::approx_bytes).sum()
+    }
+
+    /// Loads rows directly as committed data, bypassing the transaction
+    /// machinery. All rows loaded by one call become visible atomically at a
+    /// single new commit timestamp and publish no invalidations; this is the
+    /// initial-population path used by the data generators.
+    pub fn bulk_load(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<Vec<u64>> {
+        let mut inner = self.inner.lock();
+        let commit_ts = inner.latest.next();
+        let t = inner
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| Error::Schema(format!("no table '{table}'")))?;
+        let mut row_ids = Vec::with_capacity(rows.len());
+        for values in rows {
+            let row_id = t.allocate_row_id();
+            t.insert_version(TupleVersion::committed(row_id, values, commit_ts))?;
+            row_ids.push(row_id);
+        }
+        inner.latest = commit_ts;
+        Ok(row_ids)
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begins a read/write transaction at the latest committed snapshot.
+    pub fn begin_rw(&self) -> Result<TxnToken> {
+        let mut inner = self.inner.lock();
+        let id = inner.next_txn_id;
+        inner.next_txn_id += 1;
+        let snapshot = inner.latest;
+        inner
+            .active
+            .insert(id, Transaction::new(id, TxnMode::ReadWrite, snapshot));
+        Ok(TxnToken(id))
+    }
+
+    /// Begins a read-only transaction. With `snapshot = None` it runs at the
+    /// latest committed state; with `Some(id)` it runs at that pinned
+    /// snapshot (the paper's `BEGIN SNAPSHOTID` syntax).
+    pub fn begin_ro(&self, snapshot: Option<SnapshotId>) -> Result<TxnToken> {
+        let mut inner = self.inner.lock();
+        let ts = match snapshot {
+            None => inner.latest,
+            Some(id) => {
+                if !inner.pins.is_pinned(id.timestamp()) && id.timestamp() != inner.latest {
+                    return Err(Error::SnapshotUnavailable(format!(
+                        "snapshot {id} is not pinned"
+                    )));
+                }
+                id.timestamp()
+            }
+        };
+        let id = inner.next_txn_id;
+        inner.next_txn_id += 1;
+        inner
+            .active
+            .insert(id, Transaction::new(id, TxnMode::ReadOnly, ts));
+        Ok(TxnToken(id))
+    }
+
+    /// Commits a transaction. Read-only transactions simply return their
+    /// snapshot timestamp; read/write transactions are assigned the next
+    /// commit timestamp, their versions are stamped, and an invalidation
+    /// message is published.
+    pub fn commit(&self, token: TxnToken) -> Result<Timestamp> {
+        let mut inner = self.inner.lock();
+        let tx = inner
+            .active
+            .remove(&token.0)
+            .ok_or_else(|| Error::UnknownTransaction(format!("txn {}", token.0)))?;
+        inner.stats.commits += 1;
+        if !tx.has_writes() {
+            return Ok(tx.snapshot);
+        }
+
+        let commit_ts = inner.latest.next();
+
+        // Stamp created and deleted versions with the commit timestamp.
+        for (table, slot) in &tx.created_slots {
+            if let Some(version) = inner.tables.get_mut(table).and_then(|t| t.get_mut(*slot)) {
+                version.created = Stamp::Committed(commit_ts);
+            }
+        }
+        for (table, slot) in &tx.deleted_slots {
+            if let Some(version) = inner.tables.get_mut(table).and_then(|t| t.get_mut(*slot)) {
+                if matches!(version.deleted, Some(Stamp::Pending(id)) if id == tx.id) {
+                    version.deleted = Some(Stamp::Committed(commit_ts));
+                }
+            }
+        }
+        inner.latest = commit_ts;
+
+        // Build the invalidation tag set, collapsing to wildcards for tables
+        // with many modified rows.
+        if self.config.exec.track_validity {
+            let mut tags = TagSet::new();
+            for tag in tx.pending_tags.iter() {
+                let collapse = tx
+                    .rows_modified
+                    .get(&tag.table)
+                    .is_some_and(|n| *n >= self.config.wildcard_threshold);
+                if collapse {
+                    tags.insert(InvalidationTag::wildcard(&tag.table));
+                } else {
+                    tags.insert(tag.clone());
+                }
+            }
+            let message = InvalidationMessage {
+                timestamp: commit_ts,
+                tags,
+                committed_at: self.clock.now(),
+            };
+            inner.bus.publish(message);
+            inner.stats.invalidating_commits += 1;
+        }
+        Ok(commit_ts)
+    }
+
+    /// Aborts a transaction, undoing any pending writes.
+    pub fn abort(&self, token: TxnToken) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let tx = inner
+            .active
+            .remove(&token.0)
+            .ok_or_else(|| Error::UnknownTransaction(format!("txn {}", token.0)))?;
+        inner.stats.aborts += 1;
+        for (table, slot) in &tx.created_slots {
+            if let Some(version) = inner.tables.get_mut(table).and_then(|t| t.get_mut(*slot)) {
+                version.created = Stamp::Aborted;
+            }
+        }
+        for (table, slot) in &tx.deleted_slots {
+            if let Some(version) = inner.tables.get_mut(table).and_then(|t| t.get_mut(*slot)) {
+                if matches!(version.deleted, Some(Stamp::Pending(id)) if id == tx.id) {
+                    version.deleted = None;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The latest committed timestamp.
+    #[must_use]
+    pub fn latest_timestamp(&self) -> Timestamp {
+        self.inner.lock().latest
+    }
+
+    // ------------------------------------------------------------------
+    // Pinned snapshots
+    // ------------------------------------------------------------------
+
+    /// Pins the latest committed snapshot (the `PIN` command) and returns its
+    /// id together with the wall-clock time of the pin.
+    pub fn pin_latest(&self) -> (SnapshotId, WallClock) {
+        let mut inner = self.inner.lock();
+        let ts = inner.latest;
+        let id = inner.pins.pin(ts);
+        inner.stats.pins += 1;
+        (id, self.clock.now())
+    }
+
+    /// Pins a specific snapshot timestamp; it must still be retained (i.e. at
+    /// or after the current vacuum horizon).
+    pub fn pin(&self, ts: Timestamp) -> Result<SnapshotId> {
+        let mut inner = self.inner.lock();
+        if ts > inner.latest {
+            return Err(Error::SnapshotUnavailable(format!(
+                "timestamp {ts} is in the future"
+            )));
+        }
+        inner.stats.pins += 1;
+        Ok(inner.pins.pin(ts))
+    }
+
+    /// Releases a pinned snapshot (the `UNPIN` command).
+    pub fn unpin(&self, id: SnapshotId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.stats.unpins += 1;
+        inner.pins.unpin(id)
+    }
+
+    /// Currently pinned snapshot timestamps, oldest first.
+    #[must_use]
+    pub fn pinned_snapshots(&self) -> Vec<Timestamp> {
+        self.inner.lock().pins.pinned_timestamps()
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Executes a SELECT query within a transaction. The result carries the
+    /// validity interval and invalidation tags described in §5.2–§5.3.
+    pub fn query(&self, token: TxnToken, query: &SelectQuery) -> Result<QueryResult> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let tx = inner
+            .active
+            .get(&token.0)
+            .ok_or_else(|| Error::UnknownTransaction(format!("txn {}", token.0)))?;
+        let snapshot = tx.snapshot;
+        let me = Some(tx.id);
+        let outer = inner
+            .tables
+            .get(&query.table)
+            .ok_or_else(|| Error::Schema(format!("no table '{}'", query.table)))?;
+        let inner_table = match &query.join {
+            Some(join) => Some(
+                inner
+                    .tables
+                    .get(&join.table)
+                    .ok_or_else(|| Error::Schema(format!("no table '{}'", join.table)))?,
+            ),
+            None => None,
+        };
+        let plan = plan_query(query, outer, inner_table)?;
+        let result = execute_plan(
+            &plan,
+            outer,
+            inner_table,
+            snapshot,
+            me,
+            &mut inner.buffer,
+            &self.config.exec,
+        )?;
+        inner.stats.queries += 1;
+        Ok(result)
+    }
+
+    // ------------------------------------------------------------------
+    // DML
+    // ------------------------------------------------------------------
+
+    /// Inserts a row in a read/write transaction. Returns the new row id.
+    pub fn insert(&self, token: TxnToken, table: &str, values: Vec<Value>) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let tx = Self::writable_txn(&mut inner.active, token)?;
+        let t = inner
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| Error::Schema(format!("no table '{table}'")))?;
+        let row_id = t.allocate_row_id();
+        let version = TupleVersion::pending(row_id, values.clone(), tx.id);
+        let slot = t.insert_version(version)?;
+        Self::collect_tags_for_values(t, &values, &mut tx.pending_tags);
+        tx.created_slots.push((table.to_string(), slot));
+        tx.written_rows.push((table.to_string(), row_id));
+        tx.note_row_modified(table);
+        inner.stats.inserts += 1;
+        Ok(row_id)
+    }
+
+    /// Updates all rows of `table` matching `predicate`, applying the
+    /// `assignments` (column, new value) list. Returns the number of rows
+    /// updated.
+    pub fn update(
+        &self,
+        token: TxnToken,
+        table: &str,
+        predicate: &Predicate,
+        assignments: &[(String, Value)],
+    ) -> Result<usize> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let tx = Self::writable_txn(&mut inner.active, token)?;
+        let snapshot = tx.snapshot;
+        let txid = tx.id;
+        let t = inner
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| Error::Schema(format!("no table '{table}'")))?;
+
+        let targets = Self::visible_matching_slots(t, predicate, snapshot, txid, &mut inner.buffer)?;
+        let mut updated = 0;
+        for slot in targets {
+            Self::check_write_conflict(t, slot, snapshot, txid)?;
+            let old_version = t
+                .get(slot)
+                .ok_or_else(|| Error::Query("target row vanished".into()))?;
+            let row_id = old_version.row_id;
+            let mut new_values = old_version.values.clone();
+            let old_values = old_version.values.clone();
+            for (column, value) in assignments {
+                let idx = t.schema().column_index(column)?;
+                new_values[idx] = value.clone();
+            }
+            // Mark the old version deleted and insert the new one.
+            if let Some(v) = t.get_mut(slot) {
+                v.deleted = Some(Stamp::Pending(txid));
+            }
+            let new_slot = t.insert_version(TupleVersion::pending(row_id, new_values.clone(), txid))?;
+            Self::collect_tags_for_values(t, &old_values, &mut tx.pending_tags);
+            Self::collect_tags_for_values(t, &new_values, &mut tx.pending_tags);
+            tx.deleted_slots.push((table.to_string(), slot));
+            tx.created_slots.push((table.to_string(), new_slot));
+            tx.written_rows.push((table.to_string(), row_id));
+            tx.note_row_modified(table);
+            updated += 1;
+        }
+        inner.stats.updates += updated as u64;
+        Ok(updated)
+    }
+
+    /// Deletes all rows of `table` matching `predicate`. Returns the number
+    /// of rows deleted.
+    pub fn delete(&self, token: TxnToken, table: &str, predicate: &Predicate) -> Result<usize> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let tx = Self::writable_txn(&mut inner.active, token)?;
+        let snapshot = tx.snapshot;
+        let txid = tx.id;
+        let t = inner
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| Error::Schema(format!("no table '{table}'")))?;
+
+        let targets = Self::visible_matching_slots(t, predicate, snapshot, txid, &mut inner.buffer)?;
+        let mut deleted = 0;
+        for slot in targets {
+            Self::check_write_conflict(t, slot, snapshot, txid)?;
+            let values = t
+                .get(slot)
+                .map(|v| v.values.clone())
+                .ok_or_else(|| Error::Query("target row vanished".into()))?;
+            let row_id = t.get(slot).map(|v| v.row_id).unwrap_or_default();
+            if let Some(v) = t.get_mut(slot) {
+                v.deleted = Some(Stamp::Pending(txid));
+            }
+            Self::collect_tags_for_values(t, &values, &mut tx.pending_tags);
+            tx.deleted_slots.push((table.to_string(), slot));
+            tx.written_rows.push((table.to_string(), row_id));
+            tx.note_row_modified(table);
+            deleted += 1;
+        }
+        inner.stats.deletes += deleted as u64;
+        Ok(deleted)
+    }
+
+    // ------------------------------------------------------------------
+    // Invalidations, vacuum, statistics
+    // ------------------------------------------------------------------
+
+    /// Subscribes to the invalidation stream. Each committed read/write
+    /// transaction produces one message, delivered in commit order.
+    pub fn subscribe_invalidations(&self) -> Receiver<InvalidationMessage> {
+        self.inner.lock().bus.subscribe()
+    }
+
+    /// The ordered log of all invalidation messages published so far.
+    #[must_use]
+    pub fn invalidation_log(&self) -> Vec<InvalidationMessage> {
+        self.inner.lock().bus.log().to_vec()
+    }
+
+    /// Reclaims tuple versions that are invisible to every pinned snapshot
+    /// and every active transaction. Returns the number of versions removed.
+    pub fn vacuum(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let mut horizon = inner.pins.horizon(inner.latest);
+        for tx in inner.active.values() {
+            horizon = horizon.min(tx.snapshot);
+        }
+        let mut removed = 0;
+        for table in inner.tables.values_mut() {
+            let garbage: Vec<Slot> = table
+                .scan_slots()
+                .filter(|slot| {
+                    table
+                        .get(*slot)
+                        .is_some_and(|v| v.is_garbage_before(horizon))
+                })
+                .collect();
+            for slot in garbage {
+                table.remove_slot(slot);
+                removed += 1;
+            }
+        }
+        inner.stats.vacuumed_versions += removed as u64;
+        removed
+    }
+
+    /// Buffer-pool statistics (simulated page hits and misses).
+    #[must_use]
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.inner.lock().buffer.stats()
+    }
+
+    /// Resets the buffer-pool statistics (keeps the pool warm).
+    pub fn reset_buffer_stats(&self) {
+        self.inner.lock().buffer.reset_stats();
+    }
+
+    /// Database operation counters.
+    #[must_use]
+    pub fn stats(&self) -> DbStats {
+        self.inner.lock().stats
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers
+    // ------------------------------------------------------------------
+
+    fn writable_txn(
+        active: &mut HashMap<TxnId, Transaction>,
+        token: TxnToken,
+    ) -> Result<&mut Transaction> {
+        let tx = active
+            .get_mut(&token.0)
+            .ok_or_else(|| Error::UnknownTransaction(format!("txn {}", token.0)))?;
+        if tx.mode != TxnMode::ReadWrite {
+            return Err(Error::InvalidState(
+                "write attempted in a read-only transaction".into(),
+            ));
+        }
+        Ok(tx)
+    }
+
+    /// Finds the slots of versions visible to (`snapshot`, `txid`) that match
+    /// `predicate`, using an index when the predicate allows it.
+    fn visible_matching_slots(
+        table: &Table,
+        predicate: &Predicate,
+        snapshot: Timestamp,
+        txid: TxnId,
+        buffer: &mut BufferManager,
+    ) -> Result<Vec<Slot>> {
+        let access = choose_access_path(predicate, table);
+        let candidates: Vec<Slot> = match &access {
+            AccessPath::IndexEq { column, value } => {
+                buffer.access(
+                    &format!("{}#idx:{}", table.schema().name, column),
+                    table.index_page_of(column, value),
+                );
+                table.index_eq(column, value)?
+            }
+            AccessPath::IndexRange { column, lo, hi } => {
+                table.index_range(column, lo.as_ref(), hi.as_ref())?
+            }
+            AccessPath::SeqScan => table.scan_slots().collect(),
+        };
+        let mut out = Vec::new();
+        for slot in candidates {
+            let Some(version) = table.get(slot) else { continue };
+            buffer.access(&table.schema().name, table.heap_page_of(slot));
+            if version.visible_to(snapshot, Some(txid))
+                && predicate.eval(table.schema(), &version.values)?
+            {
+                out.push(slot);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Eager first-updater-wins conflict detection: fail if any other
+    /// transaction has a pending write on the row, or if a newer committed
+    /// version exists than the writer's snapshot.
+    fn check_write_conflict(
+        table: &Table,
+        slot: Slot,
+        snapshot: Timestamp,
+        txid: TxnId,
+    ) -> Result<()> {
+        let Some(version) = table.get(slot) else {
+            return Ok(());
+        };
+        for other_slot in table.versions_of_row(version.row_id) {
+            let Some(v) = table.get(*other_slot) else { continue };
+            let pending_by_other = matches!(v.created, Stamp::Pending(id) if id != txid)
+                || matches!(v.deleted, Some(Stamp::Pending(id)) if id != txid);
+            if pending_by_other {
+                return Err(Error::SerializationFailure(format!(
+                    "row {} in '{}' has an uncommitted change from another transaction",
+                    version.row_id,
+                    table.schema().name
+                )));
+            }
+            let newer_commit = v
+                .created
+                .committed_at()
+                .is_some_and(|ts| ts > snapshot)
+                || v.deleted
+                    .and_then(|s| s.committed_at())
+                    .is_some_and(|ts| ts > snapshot);
+            if newer_commit {
+                return Err(Error::SerializationFailure(format!(
+                    "row {} in '{}' was modified after this transaction's snapshot",
+                    version.row_id,
+                    table.schema().name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds one keyed tag per index of `table` for the given row values
+    /// ("each tuple added, deleted, or modified yields one invalidation tag
+    /// for each index it is listed in", §5.3).
+    fn collect_tags_for_values(table: &Table, values: &[Value], tags: &mut TagSet) {
+        for index in &table.schema().indexes {
+            if let Ok(idx) = table.schema().column_index(&index.column) {
+                let value = &values[idx];
+                if !value.is_null() {
+                    tags.insert(InvalidationTag::keyed(
+                        &table.schema().name,
+                        format!("{}={}", index.column, value.render_key()),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Convenience bundle returned by [`Database::query_ro_once`]: the result of
+/// a single query run in its own read-only transaction.
+#[derive(Debug, Clone)]
+pub struct OneShotQuery {
+    /// The query result (rows, validity, tags, page counts).
+    pub result: QueryResult,
+    /// The snapshot the query ran at.
+    pub snapshot: Timestamp,
+}
+
+impl Database {
+    /// Runs one query in a fresh read-only transaction at the latest
+    /// snapshot. Convenient for tests and tools; the TxCache library manages
+    /// its transactions explicitly instead.
+    pub fn query_ro_once(&self, query: &SelectQuery) -> Result<OneShotQuery> {
+        let token = self.begin_ro(None)?;
+        let result = self.query(token, query);
+        let snapshot = self.commit(token)?;
+        Ok(OneShotQuery {
+            result: result?,
+            snapshot,
+        })
+    }
+}
+
+#[allow(dead_code)]
+fn assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Database>();
+    check::<QueryResult>();
+    check::<PageCounts>();
+    check::<ValidityInterval>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Aggregate, CmpOp};
+    use crate::value::ColumnType;
+
+    fn users_schema() -> TableSchema {
+        TableSchema::new("users")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .column("rating", ColumnType::Int)
+            .unique_index("id")
+            .index("name")
+    }
+
+    fn setup() -> Database {
+        let db = Database::with_defaults();
+        db.create_table(users_schema()).unwrap();
+        db.bulk_load(
+            "users",
+            (1..=10i64)
+                .map(|i| vec![Value::Int(i), Value::text(format!("user{i}")), Value::Int(0)])
+                .collect(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_table_rejects_duplicates() {
+        let db = Database::with_defaults();
+        db.create_table(users_schema()).unwrap();
+        assert!(db.create_table(users_schema()).is_err());
+        assert_eq!(db.table_names(), vec!["users".to_string()]);
+        assert!(db.table_schema("users").is_ok());
+        assert!(db.table_schema("missing").is_err());
+    }
+
+    #[test]
+    fn bulk_load_is_one_commit_and_visible() {
+        let db = setup();
+        assert_eq!(db.latest_timestamp(), Timestamp(1));
+        let q = SelectQuery::table("users").aggregate(Aggregate::Count);
+        let r = db.query_ro_once(&q).unwrap();
+        assert_eq!(r.result.get(0, "count").unwrap(), &Value::Int(10));
+        assert!(db.total_bytes() > 0);
+        assert!(db.table_bytes("users").unwrap() > 0);
+    }
+
+    #[test]
+    fn insert_commit_and_query_with_validity() {
+        let db = setup();
+        let tx = db.begin_rw().unwrap();
+        db.insert(
+            tx,
+            "users",
+            vec![Value::Int(11), Value::text("user11"), Value::Int(0)],
+        )
+        .unwrap();
+        let commit_ts = db.commit(tx).unwrap();
+        assert_eq!(commit_ts, Timestamp(2));
+
+        let q = SelectQuery::table("users").filter(Predicate::eq("id", 11i64));
+        let r = db.query_ro_once(&q).unwrap();
+        assert_eq!(r.result.len(), 1);
+        assert_eq!(r.result.validity, ValidityInterval::unbounded(Timestamp(2)));
+        assert!(r
+            .result
+            .tags
+            .tags()
+            .contains(&InvalidationTag::keyed("users", "id=11")));
+    }
+
+    #[test]
+    fn uncommitted_writes_invisible_to_others_and_undone_by_abort() {
+        let db = setup();
+        let tx = db.begin_rw().unwrap();
+        db.insert(
+            tx,
+            "users",
+            vec![Value::Int(99), Value::text("ghost"), Value::Int(0)],
+        )
+        .unwrap();
+        let q = SelectQuery::table("users").filter(Predicate::eq("id", 99i64));
+        // Another transaction does not see it.
+        let other = db.query_ro_once(&q).unwrap();
+        assert!(other.result.is_empty());
+        // The writer does.
+        let mine = db.query(tx, &q).unwrap();
+        assert_eq!(mine.len(), 1);
+        db.abort(tx).unwrap();
+        let after = db.query_ro_once(&q).unwrap();
+        assert!(after.result.is_empty());
+        assert_eq!(db.stats().aborts, 1);
+    }
+
+    #[test]
+    fn update_produces_new_version_and_invalidation() {
+        let db = setup();
+        let rx = db.subscribe_invalidations();
+        let tx = db.begin_rw().unwrap();
+        let n = db
+            .update(
+                tx,
+                "users",
+                &Predicate::eq("id", 3i64),
+                &[("rating".to_string(), Value::Int(5))],
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        let ts = db.commit(tx).unwrap();
+
+        let msg = rx.try_recv().unwrap();
+        assert_eq!(msg.timestamp, ts);
+        assert!(msg
+            .tags
+            .tags()
+            .contains(&InvalidationTag::keyed("users", "id=3")));
+
+        let q = SelectQuery::table("users").filter(Predicate::eq("id", 3i64));
+        let r = db.query_ro_once(&q).unwrap();
+        assert_eq!(r.result.get(0, "rating").unwrap(), &Value::Int(5));
+        assert_eq!(r.result.validity, ValidityInterval::unbounded(ts));
+    }
+
+    #[test]
+    fn delete_removes_row_and_tags_it() {
+        let db = setup();
+        let tx = db.begin_rw().unwrap();
+        let n = db
+            .delete(tx, "users", &Predicate::eq("id", 7i64))
+            .unwrap();
+        assert_eq!(n, 1);
+        db.commit(tx).unwrap();
+        let q = SelectQuery::table("users").filter(Predicate::eq("id", 7i64));
+        assert!(db.query_ro_once(&q).unwrap().result.is_empty());
+        assert_eq!(db.stats().deletes, 1);
+    }
+
+    #[test]
+    fn write_in_read_only_transaction_is_rejected() {
+        let db = setup();
+        let tx = db.begin_ro(None).unwrap();
+        let err = db
+            .insert(tx, "users", vec![Value::Int(50), Value::Null, Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidState(_)));
+        db.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn write_write_conflict_detected() {
+        let db = setup();
+        let t1 = db.begin_rw().unwrap();
+        let t2 = db.begin_rw().unwrap();
+        db.update(
+            t1,
+            "users",
+            &Predicate::eq("id", 5i64),
+            &[("rating".to_string(), Value::Int(1))],
+        )
+        .unwrap();
+        // t2 attempts to update the same row while t1's change is pending.
+        let err = db
+            .update(
+                t2,
+                "users",
+                &Predicate::eq("id", 5i64),
+                &[("rating".to_string(), Value::Int(2))],
+            )
+            .unwrap_err();
+        assert!(err.is_retryable());
+        db.commit(t1).unwrap();
+        db.abort(t2).unwrap();
+
+        // A transaction whose snapshot predates t1's commit also conflicts.
+        let t3 = db.begin_rw().unwrap();
+        let t4 = db.begin_rw().unwrap();
+        db.update(
+            t3,
+            "users",
+            &Predicate::eq("id", 6i64),
+            &[("rating".to_string(), Value::Int(1))],
+        )
+        .unwrap();
+        db.commit(t3).unwrap();
+        let err = db
+            .update(
+                t4,
+                "users",
+                &Predicate::eq("id", 6i64),
+                &[("rating".to_string(), Value::Int(2))],
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::SerializationFailure(_)));
+    }
+
+    #[test]
+    fn pinned_snapshot_queries_see_the_past() {
+        let db = setup();
+        let (snap, _) = db.pin_latest();
+        // Update user 2's name after the pin.
+        let tx = db.begin_rw().unwrap();
+        db.update(
+            tx,
+            "users",
+            &Predicate::eq("id", 2i64),
+            &[("name".to_string(), Value::text("renamed"))],
+        )
+        .unwrap();
+        db.commit(tx).unwrap();
+
+        let q = SelectQuery::table("users").filter(Predicate::eq("id", 2i64));
+        // Latest sees the new name.
+        let now = db.query_ro_once(&q).unwrap();
+        assert_eq!(now.result.get(0, "name").unwrap(), &Value::text("renamed"));
+        // The pinned snapshot still sees the old name, with a bounded
+        // validity interval.
+        let past = db.begin_ro(Some(snap)).unwrap();
+        let r = db.query(past, &q).unwrap();
+        assert_eq!(r.get(0, "name").unwrap(), &Value::text("user2"));
+        assert!(!r.validity.is_unbounded());
+        db.commit(past).unwrap();
+        db.unpin(snap).unwrap();
+        assert!(db.begin_ro(Some(snap)).is_err());
+    }
+
+    #[test]
+    fn vacuum_respects_pins() {
+        let db = setup();
+        let (snap, _) = db.pin_latest();
+        let tx = db.begin_rw().unwrap();
+        db.update(
+            tx,
+            "users",
+            &Predicate::eq("id", 1i64),
+            &[("rating".to_string(), Value::Int(9))],
+        )
+        .unwrap();
+        db.commit(tx).unwrap();
+        // The old version is dead but still visible to the pinned snapshot.
+        assert_eq!(db.vacuum(), 0);
+        db.unpin(snap).unwrap();
+        assert_eq!(db.vacuum(), 1);
+        assert_eq!(db.stats().vacuumed_versions, 1);
+    }
+
+    #[test]
+    fn wildcard_aggregation_for_bulk_updates() {
+        let config = DbConfig {
+            wildcard_threshold: 5,
+            ..DbConfig::default()
+        };
+        let db = Database::new(config, SimClock::new());
+        db.create_table(users_schema()).unwrap();
+        db.bulk_load(
+            "users",
+            (1..=20i64)
+                .map(|i| vec![Value::Int(i), Value::text("u"), Value::Int(0)])
+                .collect(),
+        )
+        .unwrap();
+        let tx = db.begin_rw().unwrap();
+        db.update(
+            tx,
+            "users",
+            &Predicate::cmp("id", CmpOp::Le, 10i64),
+            &[("rating".to_string(), Value::Int(1))],
+        )
+        .unwrap();
+        db.commit(tx).unwrap();
+        let log = db.invalidation_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(
+            log[0].tags.tags(),
+            &[InvalidationTag::wildcard("users")],
+            "10 modified rows >= threshold 5 collapse to a wildcard"
+        );
+    }
+
+    #[test]
+    fn stock_database_mode_produces_no_invalidations() {
+        let config = DbConfig {
+            exec: ExecOptions {
+                track_validity: false,
+                predicate_before_visibility: false,
+            },
+            ..DbConfig::default()
+        };
+        let db = Database::new(config, SimClock::new());
+        db.create_table(users_schema()).unwrap();
+        db.bulk_load("users", vec![vec![Value::Int(1), Value::text("a"), Value::Int(0)]])
+            .unwrap();
+        let tx = db.begin_rw().unwrap();
+        db.update(
+            tx,
+            "users",
+            &Predicate::eq("id", 1i64),
+            &[("rating".to_string(), Value::Int(2))],
+        )
+        .unwrap();
+        db.commit(tx).unwrap();
+        assert!(db.invalidation_log().is_empty());
+        let q = SelectQuery::table("users").filter(Predicate::eq("id", 1i64));
+        let r = db.query_ro_once(&q).unwrap();
+        assert!(r.result.tags.is_empty());
+    }
+
+    #[test]
+    fn unknown_transactions_are_rejected() {
+        let db = setup();
+        let bogus = TxnToken(9999);
+        assert!(db.commit(bogus).is_err());
+        assert!(db.abort(bogus).is_err());
+        assert!(db
+            .query(bogus, &SelectQuery::table("users"))
+            .is_err());
+    }
+
+    #[test]
+    fn buffer_stats_accumulate_and_reset() {
+        let db = setup();
+        let q = SelectQuery::table("users").filter(Predicate::eq("id", 1i64));
+        db.query_ro_once(&q).unwrap();
+        assert!(db.buffer_stats().accesses() > 0);
+        db.reset_buffer_stats();
+        assert_eq!(db.buffer_stats().accesses(), 0);
+    }
+
+    #[test]
+    fn pin_future_timestamp_rejected() {
+        let db = setup();
+        assert!(db.pin(Timestamp(999)).is_err());
+        let id = db.pin(Timestamp(1)).unwrap();
+        assert_eq!(db.pinned_snapshots(), vec![Timestamp(1)]);
+        db.unpin(id).unwrap();
+    }
+}

@@ -1,0 +1,734 @@
+//! Query execution with validity-interval and invalidation-tag tracking.
+//!
+//! The executor materializes results (the workloads' result sets are small),
+//! applies snapshot-isolation visibility checks against the query's snapshot
+//! timestamp, and — when validity tracking is enabled — accumulates the
+//! result-tuple validity and the invalidity mask described in §5.2. It also
+//! charges every heap and index page it touches to the simulated buffer
+//! manager so the harness can model in-memory vs disk-bound databases.
+
+use serde::{Deserialize, Serialize};
+use txtypes::{Error, InvalidationTag, Result, TagSet, Timestamp, ValidityInterval};
+
+use crate::buffer::{BufferManager, PageAccess};
+use crate::plan::{AccessPath, JoinAccess, QueryPlan};
+use crate::query::{Aggregate, SortOrder};
+use crate::table::{Slot, Table};
+use crate::tuple::TxnId;
+use crate::validity::ValidityTracker;
+use crate::value::Value;
+
+/// Execution options controlling the database-side TxCache machinery.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExecOptions {
+    /// Track validity intervals and produce invalidation tags. Disabling this
+    /// models the stock (unmodified) database used as the §8.1 baseline.
+    pub track_validity: bool,
+    /// Evaluate the query predicate before the visibility check during scans
+    /// (§5.2). This tightens the invalidity mask (wider cached validity) at
+    /// the cost of evaluating predicates on dead tuples.
+    pub predicate_before_visibility: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            track_validity: true,
+            predicate_before_visibility: true,
+        }
+    }
+}
+
+/// Counters of page activity attributable to a single query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageCounts {
+    /// Pages touched that were resident in the buffer pool.
+    pub hits: u64,
+    /// Pages touched that required a simulated disk read.
+    pub misses: u64,
+}
+
+impl PageCounts {
+    fn record(&mut self, access: PageAccess) {
+        match access {
+            PageAccess::Hit => self.hits += 1,
+            PageAccess::Miss => self.misses += 1,
+        }
+    }
+
+    /// Total pages touched.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// The result of a query, together with the TxCache metadata piggybacked on
+/// it (§5.2–5.3): the validity interval and the invalidation tag set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Output column names. Outer-table columns keep their bare names; joined
+    /// columns are qualified as `table.column`.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// The range of timestamps over which this result is the current result.
+    pub validity: ValidityInterval,
+    /// The query's database dependencies, for automatic invalidation.
+    pub tags: TagSet,
+    /// Simulated page activity caused by the query.
+    pub pages: PageCounts,
+}
+
+impl QueryResult {
+    /// Looks up a column by name. Bare names match outer columns exactly and
+    /// joined columns by suffix.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        if let Some(i) = self.columns.iter().position(|c| c == name) {
+            return Ok(i);
+        }
+        let suffix = format!(".{name}");
+        let mut matches = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.ends_with(&suffix));
+        match (matches.next(), matches.next()) {
+            (Some((i, _)), None) => Ok(i),
+            (Some(_), Some(_)) => Err(Error::Query(format!("ambiguous column '{name}'"))),
+            (None, _) => Err(Error::Query(format!("unknown column '{name}'"))),
+        }
+    }
+
+    /// Returns the value in `column` of row `row`, if both exist.
+    pub fn get(&self, row: usize, column: &str) -> Result<&Value> {
+        let col = self.column_index(column)?;
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .ok_or_else(|| Error::Query(format!("row {row} out of range")))
+    }
+
+    /// Number of result rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Approximate size of the result in bytes (used for cache accounting in
+    /// higher layers).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        let cells: usize = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::size_bytes).sum::<usize>())
+            .sum();
+        let header: usize = self.columns.iter().map(|c| c.len() + 8).sum();
+        cells + header + 64
+    }
+}
+
+/// Executes a planned query at `snapshot_ts`.
+///
+/// `me` identifies the executing transaction so that a read/write transaction
+/// sees its own uncommitted writes.
+pub fn execute_plan(
+    plan: &QueryPlan,
+    outer: &Table,
+    inner: Option<&Table>,
+    snapshot_ts: Timestamp,
+    me: Option<TxnId>,
+    buffer: &mut BufferManager,
+    opts: &ExecOptions,
+) -> Result<QueryResult> {
+    let mut tracker = ValidityTracker::new(opts.track_validity);
+    let mut tags = plan.base_tags.clone();
+    let mut pages = PageCounts::default();
+
+    // ---- Outer table ----
+    let candidate_slots = fetch_candidates(outer, &plan.access, &mut pages, buffer)?;
+    let outer_schema = outer.schema();
+    let mut outer_rows: Vec<Vec<Value>> = Vec::new();
+    for slot in candidate_slots {
+        let Some(version) = outer.get(slot) else {
+            continue;
+        };
+        pages.record(buffer.access(&plan.table, outer.heap_page_of(slot)));
+        let keep = filter_version(
+            outer,
+            &plan.predicate,
+            version,
+            snapshot_ts,
+            me,
+            opts,
+            &mut tracker,
+        )?;
+        if keep {
+            outer_rows.push(version.values.clone());
+        }
+    }
+
+    // ---- Join ----
+    let (mut columns, mut joined_rows): (Vec<String>, Vec<Vec<Value>>) = (
+        outer_schema.columns.iter().map(|c| c.name.clone()).collect(),
+        Vec::new(),
+    );
+    if let (Some(join_plan), Some(inner_table)) = (&plan.join, inner) {
+        let inner_schema = inner_table.schema();
+        columns.extend(
+            inner_schema
+                .columns
+                .iter()
+                .map(|c| format!("{}.{}", inner_schema.name, c.name)),
+        );
+        let left_idx = outer_schema.column_index(&join_plan.join.left_column)?;
+        for outer_row in &outer_rows {
+            let key = &outer_row[left_idx];
+            if key.is_null() {
+                continue;
+            }
+            let inner_slots: Vec<Slot> = match join_plan.access {
+                JoinAccess::IndexNestedLoop => {
+                    pages.record(buffer.access(
+                        &format!("{}#idx:{}", inner_schema.name, join_plan.join.right_column),
+                        inner_table.index_page_of(&join_plan.join.right_column, key),
+                    ));
+                    if opts.track_validity {
+                        tags.insert(InvalidationTag::keyed(
+                            &inner_schema.name,
+                            format!("{}={}", join_plan.join.right_column, key.render_key()),
+                        ));
+                    }
+                    inner_table.index_eq(&join_plan.join.right_column, key)?
+                }
+                JoinAccess::NestedLoopScan => inner_table.scan_slots().collect(),
+            };
+            for slot in inner_slots {
+                let Some(version) = inner_table.get(slot) else {
+                    continue;
+                };
+                pages.record(buffer.access(&inner_schema.name, inner_table.heap_page_of(slot)));
+                // The join condition plus the join predicate.
+                let right_idx = inner_schema.column_index(&join_plan.join.right_column)?;
+                let join_matches = |vals: &[Value]| vals[right_idx] == *key;
+                let keep = filter_join_version(
+                    inner_table,
+                    &join_plan.join.predicate,
+                    version,
+                    snapshot_ts,
+                    me,
+                    opts,
+                    &mut tracker,
+                    &join_matches,
+                )?;
+                if keep {
+                    let mut row = outer_row.clone();
+                    row.extend(version.values.iter().cloned());
+                    joined_rows.push(row);
+                }
+            }
+        }
+    } else {
+        joined_rows = outer_rows;
+    }
+
+    // ---- Order by / limit ----
+    if plan.query.aggregate.is_none() {
+        if let Some((col, order)) = &plan.query.order_by {
+            let idx = resolve_column(&columns, col)?;
+            joined_rows.sort_by(|a, b| {
+                let cmp = a[idx].cmp(&b[idx]);
+                match order {
+                    SortOrder::Asc => cmp,
+                    SortOrder::Desc => cmp.reverse(),
+                }
+            });
+        }
+        if let Some(limit) = plan.query.limit {
+            joined_rows.truncate(limit);
+        }
+    }
+
+    // ---- Aggregate ----
+    let (columns, rows) = if let Some(aggregate) = &plan.query.aggregate {
+        aggregate_rows(aggregate, &columns, &joined_rows)?
+    } else if let Some(projection) = &plan.query.projection {
+        let indices: Vec<usize> = projection
+            .iter()
+            .map(|c| resolve_column(&columns, c))
+            .collect::<Result<_>>()?;
+        let projected = joined_rows
+            .iter()
+            .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        (projection.clone(), projected)
+    } else {
+        (columns, joined_rows)
+    };
+
+    Ok(QueryResult {
+        columns,
+        rows,
+        validity: tracker.finalize(snapshot_ts),
+        tags: if opts.track_validity { tags } else { TagSet::new() },
+        pages,
+    })
+}
+
+/// Fetches candidate slots according to the access path, charging index page
+/// accesses to the buffer manager.
+fn fetch_candidates(
+    table: &Table,
+    access: &AccessPath,
+    pages: &mut PageCounts,
+    buffer: &mut BufferManager,
+) -> Result<Vec<Slot>> {
+    let name = &table.schema().name;
+    match access {
+        AccessPath::IndexEq { column, value } => {
+            pages.record(buffer.access(
+                &format!("{name}#idx:{column}"),
+                table.index_page_of(column, value),
+            ));
+            table.index_eq(column, value)
+        }
+        AccessPath::IndexRange { column, lo, hi } => {
+            let slots = table.index_range(column, lo.as_ref(), hi.as_ref())?;
+            // A range scan touches roughly one index page per few dozen
+            // entries; charge one page per 64 slots, at least one.
+            let index_pages = (slots.len() as u64 / 64).max(1);
+            for p in 0..index_pages {
+                pages.record(buffer.access(&format!("{name}#idx:{column}"), p));
+            }
+            Ok(slots)
+        }
+        AccessPath::SeqScan => Ok(table.scan_slots().collect()),
+    }
+}
+
+/// Applies the predicate/visibility pipeline to an outer-table version.
+/// Returns whether the version belongs in the result.
+fn filter_version(
+    table: &Table,
+    predicate: &crate::query::Predicate,
+    version: &crate::tuple::TupleVersion,
+    snapshot_ts: Timestamp,
+    me: Option<TxnId>,
+    opts: &ExecOptions,
+    tracker: &mut ValidityTracker,
+) -> Result<bool> {
+    let schema = table.schema();
+    if opts.predicate_before_visibility {
+        if !predicate.eval(schema, &version.values)? {
+            return Ok(false);
+        }
+        if !version.visible_to(snapshot_ts, me) {
+            tracker.observe_invisible(version.committed_validity());
+            return Ok(false);
+        }
+        tracker.observe_visible(
+            version
+                .committed_validity()
+                .unwrap_or_else(|| ValidityInterval::point(snapshot_ts)),
+        );
+        Ok(true)
+    } else {
+        if !version.visible_to(snapshot_ts, me) {
+            // Conservative: every invisible tuple widens the mask, whether or
+            // not it would have matched the predicate.
+            tracker.observe_invisible(version.committed_validity());
+            return Ok(false);
+        }
+        if !predicate.eval(schema, &version.values)? {
+            return Ok(false);
+        }
+        tracker.observe_visible(
+            version
+                .committed_validity()
+                .unwrap_or_else(|| ValidityInterval::point(snapshot_ts)),
+        );
+        Ok(true)
+    }
+}
+
+/// Same pipeline for an inner-table version, where the effective predicate is
+/// the join condition plus the join's residual predicate.
+#[allow(clippy::too_many_arguments)]
+fn filter_join_version(
+    table: &Table,
+    predicate: &crate::query::Predicate,
+    version: &crate::tuple::TupleVersion,
+    snapshot_ts: Timestamp,
+    me: Option<TxnId>,
+    opts: &ExecOptions,
+    tracker: &mut ValidityTracker,
+    join_matches: &dyn Fn(&[Value]) -> bool,
+) -> Result<bool> {
+    let schema = table.schema();
+    let matches =
+        |vals: &[Value]| -> Result<bool> { Ok(join_matches(vals) && predicate.eval(schema, vals)?) };
+    if opts.predicate_before_visibility {
+        if !matches(&version.values)? {
+            return Ok(false);
+        }
+        if !version.visible_to(snapshot_ts, me) {
+            tracker.observe_invisible(version.committed_validity());
+            return Ok(false);
+        }
+    } else {
+        if !version.visible_to(snapshot_ts, me) {
+            tracker.observe_invisible(version.committed_validity());
+            return Ok(false);
+        }
+        if !matches(&version.values)? {
+            return Ok(false);
+        }
+    }
+    tracker.observe_visible(
+        version
+            .committed_validity()
+            .unwrap_or_else(|| ValidityInterval::point(snapshot_ts)),
+    );
+    Ok(true)
+}
+
+/// Resolves a (possibly qualified) column name against the output columns.
+fn resolve_column(columns: &[String], name: &str) -> Result<usize> {
+    if let Some(i) = columns.iter().position(|c| c == name) {
+        return Ok(i);
+    }
+    let suffix = format!(".{name}");
+    let mut matches = columns.iter().enumerate().filter(|(_, c)| c.ends_with(&suffix));
+    match (matches.next(), matches.next()) {
+        (Some((i, _)), None) => Ok(i),
+        (Some(_), Some(_)) => Err(Error::Query(format!("ambiguous column '{name}'"))),
+        (None, _) => Err(Error::Query(format!("unknown column '{name}'"))),
+    }
+}
+
+/// Computes an aggregate over the materialized rows.
+fn aggregate_rows(
+    aggregate: &Aggregate,
+    columns: &[String],
+    rows: &[Vec<Value>],
+) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+    let single = |name: &str, value: Value| (vec![name.to_string()], vec![vec![value]]);
+    match aggregate {
+        Aggregate::Count => Ok(single("count", Value::Int(rows.len() as i64))),
+        Aggregate::Sum(col) => {
+            let idx = resolve_column(columns, col)?;
+            let sum: f64 = rows.iter().filter_map(|r| r[idx].as_float()).sum();
+            Ok(single("sum", Value::Float(sum)))
+        }
+        Aggregate::Avg(col) => {
+            let idx = resolve_column(columns, col)?;
+            let vals: Vec<f64> = rows.iter().filter_map(|r| r[idx].as_float()).collect();
+            let avg = if vals.is_empty() {
+                Value::Null
+            } else {
+                Value::Float(vals.iter().sum::<f64>() / vals.len() as f64)
+            };
+            Ok(single("avg", avg))
+        }
+        Aggregate::Min(col) => {
+            let idx = resolve_column(columns, col)?;
+            let min = rows
+                .iter()
+                .map(|r| r[idx].clone())
+                .filter(|v| !v.is_null())
+                .min()
+                .unwrap_or(Value::Null);
+            Ok(single("min", min))
+        }
+        Aggregate::Max(col) => {
+            let idx = resolve_column(columns, col)?;
+            let max = rows
+                .iter()
+                .map(|r| r[idx].clone())
+                .filter(|v| !v.is_null())
+                .max()
+                .unwrap_or(Value::Null);
+            Ok(single("max", max))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan_query;
+    use crate::query::{Predicate, SelectQuery};
+    use crate::schema::TableSchema;
+    use crate::tuple::{Stamp, TupleVersion};
+    use crate::value::ColumnType;
+
+    fn make_items() -> Table {
+        let schema = TableSchema::new("items")
+            .column("id", ColumnType::Int)
+            .column("seller", ColumnType::Int)
+            .column("price", ColumnType::Float)
+            .unique_index("id")
+            .index("seller");
+        let mut t = Table::new(schema, 8).unwrap();
+        for i in 1..=6i64 {
+            let row = t.allocate_row_id();
+            t.insert_version(TupleVersion::committed(
+                row,
+                vec![Value::Int(i), Value::Int(i % 3), Value::Float(10.0 * i as f64)],
+                Timestamp(i as u64),
+            ))
+            .unwrap();
+        }
+        t
+    }
+
+    fn make_users() -> Table {
+        let schema = TableSchema::new("users")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .unique_index("id");
+        let mut t = Table::new(schema, 8).unwrap();
+        for i in 0..3i64 {
+            let row = t.allocate_row_id();
+            t.insert_version(TupleVersion::committed(
+                row,
+                vec![Value::Int(i), Value::text(format!("user{i}"))],
+                Timestamp(1),
+            ))
+            .unwrap();
+        }
+        t
+    }
+
+    fn run(
+        query: &SelectQuery,
+        outer: &Table,
+        inner: Option<&Table>,
+        ts: u64,
+        opts: &ExecOptions,
+    ) -> QueryResult {
+        let plan = plan_query(query, outer, inner).unwrap();
+        let mut buffer = BufferManager::new(1024);
+        execute_plan(&plan, outer, inner, Timestamp(ts), None, &mut buffer, opts).unwrap()
+    }
+
+    #[test]
+    fn index_eq_lookup_returns_matching_row_and_keyed_tag() {
+        let items = make_items();
+        let q = SelectQuery::table("items").filter(Predicate::eq("id", 3i64));
+        let r = run(&q, &items, None, 10, &ExecOptions::default());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(0, "price").unwrap(), &Value::Float(30.0));
+        assert!(r
+            .tags
+            .tags()
+            .contains(&InvalidationTag::keyed("items", "id=3")));
+        assert!(r.validity.contains(Timestamp(10)));
+        assert!(r.validity.is_unbounded());
+    }
+
+    #[test]
+    fn seq_scan_filters_and_tags_wildcard() {
+        let items = make_items();
+        let q = SelectQuery::table("items")
+            .filter(Predicate::cmp("price", crate::query::CmpOp::Ge, 40.0));
+        let r = run(&q, &items, None, 10, &ExecOptions::default());
+        assert_eq!(r.len(), 3);
+        assert!(r.tags.tags().contains(&InvalidationTag::wildcard("items")));
+    }
+
+    #[test]
+    fn snapshot_visibility_excludes_future_rows() {
+        let items = make_items();
+        let q = SelectQuery::table("items");
+        let r = run(&q, &items, None, 3, &ExecOptions::default());
+        // Only items committed at ts <= 3.
+        assert_eq!(r.len(), 3);
+        // The invisible future rows bound the validity above: item 4 commits
+        // at ts 4, so this result stops being the current one at 4.
+        assert_eq!(r.validity, ValidityInterval::bounded(Timestamp(3), Timestamp(4)).unwrap());
+    }
+
+    #[test]
+    fn deleted_rows_bound_validity_below() {
+        let mut items = make_items();
+        // Delete item 2 at ts 9.
+        let slot = items.index_eq("id", &Value::Int(2)).unwrap()[0];
+        items.get_mut(slot).unwrap().deleted = Some(Stamp::Committed(Timestamp(9)));
+        let q = SelectQuery::table("items");
+        let r = run(&q, &items, None, 20, &ExecOptions::default());
+        assert_eq!(r.len(), 5);
+        // The deleted row's validity [2,9) enters the mask, so the result is
+        // valid only from 9 onwards.
+        assert_eq!(r.validity, ValidityInterval::unbounded(Timestamp(9)));
+    }
+
+    #[test]
+    fn predicate_before_visibility_gives_wider_validity() {
+        let mut items = make_items();
+        // Delete item 5 (price 50) at ts 9; query asks for price <= 20 which
+        // never matched item 5.
+        let slot = items.index_eq("id", &Value::Int(5)).unwrap()[0];
+        items.get_mut(slot).unwrap().deleted = Some(Stamp::Committed(Timestamp(9)));
+        let q = SelectQuery::table("items")
+            .filter(Predicate::cmp("price", crate::query::CmpOp::Le, 20.0));
+
+        let tight = run(
+            &q,
+            &items,
+            None,
+            20,
+            &ExecOptions {
+                track_validity: true,
+                predicate_before_visibility: true,
+            },
+        );
+        let conservative = run(
+            &q,
+            &items,
+            None,
+            20,
+            &ExecOptions {
+                track_validity: true,
+                predicate_before_visibility: false,
+            },
+        );
+        // With early predicate evaluation the dead tuple is filtered out before
+        // it can pollute the mask, so the validity extends back to ts 2.
+        assert_eq!(tight.validity, ValidityInterval::unbounded(Timestamp(2)));
+        // The conservative order masks [5,9), narrowing the result.
+        assert_eq!(conservative.validity, ValidityInterval::unbounded(Timestamp(9)));
+        assert_eq!(tight.rows, conservative.rows);
+    }
+
+    #[test]
+    fn join_with_index_produces_combined_rows_and_per_key_tags() {
+        let items = make_items();
+        let users = make_users();
+        let q = SelectQuery::table("items")
+            .filter(Predicate::eq("id", 4i64))
+            .join("users", "seller", "id");
+        let r = run(&q, &items, Some(&users), 10, &ExecOptions::default());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(0, "name").unwrap(), &Value::text("user1"));
+        assert!(r
+            .tags
+            .tags()
+            .contains(&InvalidationTag::keyed("users", "id=1")));
+    }
+
+    #[test]
+    fn projection_order_limit_and_aggregates() {
+        let items = make_items();
+        let q = SelectQuery::table("items")
+            .select(vec!["id", "price"])
+            .order_by("price", SortOrder::Desc)
+            .limit(2);
+        let r = run(&q, &items, None, 10, &ExecOptions::default());
+        assert_eq!(r.columns, vec!["id".to_string(), "price".to_string()]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(0, "id").unwrap(), &Value::Int(6));
+
+        let count = run(
+            &SelectQuery::table("items").aggregate(Aggregate::Count),
+            &items,
+            None,
+            10,
+            &ExecOptions::default(),
+        );
+        assert_eq!(count.get(0, "count").unwrap(), &Value::Int(6));
+
+        let maxq = run(
+            &SelectQuery::table("items").aggregate(Aggregate::Max("price".into())),
+            &items,
+            None,
+            10,
+            &ExecOptions::default(),
+        );
+        assert_eq!(maxq.get(0, "max").unwrap(), &Value::Float(60.0));
+
+        let avgq = run(
+            &SelectQuery::table("items").aggregate(Aggregate::Avg("price".into())),
+            &items,
+            None,
+            10,
+            &ExecOptions::default(),
+        );
+        assert_eq!(avgq.get(0, "avg").unwrap(), &Value::Float(35.0));
+    }
+
+    #[test]
+    fn disabled_tracking_returns_point_validity_and_no_tags() {
+        let items = make_items();
+        let q = SelectQuery::table("items").filter(Predicate::eq("id", 3i64));
+        let r = run(
+            &q,
+            &items,
+            None,
+            10,
+            &ExecOptions {
+                track_validity: false,
+                predicate_before_visibility: true,
+            },
+        );
+        assert_eq!(r.validity, ValidityInterval::point(Timestamp(10)));
+        assert!(r.tags.is_empty());
+    }
+
+    #[test]
+    fn pending_rows_of_own_transaction_are_visible() {
+        let mut items = make_items();
+        let row = items.allocate_row_id();
+        items
+            .insert_version(TupleVersion::pending(
+                row,
+                vec![Value::Int(99), Value::Int(0), Value::Float(1.0)],
+                77,
+            ))
+            .unwrap();
+        let q = SelectQuery::table("items").filter(Predicate::eq("id", 99i64));
+        let plan = plan_query(&q, &items, None).unwrap();
+        let mut buffer = BufferManager::new(64);
+        let mine = execute_plan(
+            &plan,
+            &items,
+            None,
+            Timestamp(10),
+            Some(77),
+            &mut buffer,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(mine.len(), 1);
+        let theirs = execute_plan(
+            &plan,
+            &items,
+            None,
+            Timestamp(10),
+            Some(78),
+            &mut buffer,
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert!(theirs.is_empty());
+    }
+
+    #[test]
+    fn result_helpers() {
+        let items = make_items();
+        let q = SelectQuery::table("items").filter(Predicate::eq("id", 1i64));
+        let r = run(&q, &items, None, 10, &ExecOptions::default());
+        assert!(r.column_index("id").is_ok());
+        assert!(r.column_index("nope").is_err());
+        assert!(r.get(5, "id").is_err());
+        assert!(r.size_bytes() > 0);
+        assert!(r.pages.total() > 0);
+    }
+}

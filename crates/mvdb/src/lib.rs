@@ -1,0 +1,76 @@
+//! # mvdb — a multiversion database substrate for TxCache
+//!
+//! This crate is the reproduction's stand-in for the paper's modified
+//! PostgreSQL (§5). It is a from-scratch, in-memory, multiversion relational
+//! engine that provides exactly the facilities the TxCache design needs from
+//! its database:
+//!
+//! * **Snapshot isolation** over tuple versions stamped with the commit
+//!   timestamps of their creating/deleting transactions (§5.1).
+//! * **Pinned snapshots** — `PIN`/`UNPIN`/`BEGIN SNAPSHOTID` — so read-only
+//!   transactions can run slightly in the past and still get consistent
+//!   answers on cache misses (§5.1).
+//! * **Per-query validity intervals**, computed from the result-tuple
+//!   validity and the invalidity mask of visibility-failed tuples (§5.2).
+//! * **Invalidation tags** assigned from the access methods in the query
+//!   plan, and an ordered **invalidation stream** published when update
+//!   transactions commit (§5.3).
+//! * A simulated **buffer pool** so the harness can reproduce the paper's
+//!   in-memory and disk-bound configurations.
+//!
+//! The query surface (programmatically-built selects with predicates, an
+//! equi-join, ordering, limits and aggregates) covers what the RUBiS and
+//! wiki-style workloads in this repository need; it is not a SQL parser.
+//!
+//! ```
+//! use mvdb::{ColumnType, Database, Predicate, SelectQuery, TableSchema, Value};
+//!
+//! let db = Database::with_defaults();
+//! db.create_table(
+//!     TableSchema::new("users")
+//!         .column("id", ColumnType::Int)
+//!         .column("name", ColumnType::Text)
+//!         .unique_index("id"),
+//! )
+//! .unwrap();
+//! db.bulk_load("users", vec![vec![Value::Int(1), Value::text("alice")]]).unwrap();
+//!
+//! let q = SelectQuery::table("users").filter(Predicate::eq("id", 1i64));
+//! let out = db.query_ro_once(&q).unwrap();
+//! assert_eq!(out.result.get(0, "name").unwrap(), &Value::text("alice"));
+//! // Every result carries a validity interval and invalidation tags:
+//! assert!(out.result.validity.is_unbounded());
+//! assert_eq!(out.result.tags.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod buffer;
+pub mod db;
+pub mod exec;
+pub mod invalidation;
+pub mod plan;
+pub mod query;
+pub mod schema;
+pub mod snapshot;
+pub mod stats;
+pub mod table;
+pub mod tuple;
+pub mod txn;
+pub mod validity;
+pub mod value;
+
+pub use buffer::{BufferManager, BufferStats, PageAccess};
+pub use db::{Database, DbConfig, OneShotQuery};
+pub use exec::{ExecOptions, PageCounts, QueryResult};
+pub use invalidation::{InvalidationBus, InvalidationMessage};
+pub use plan::{plan_query, AccessPath, QueryPlan};
+pub use query::{Aggregate, CmpOp, Join, Predicate, SelectQuery, SortOrder};
+pub use schema::{ColumnDef, IndexDef, TableSchema};
+pub use snapshot::SnapshotId;
+pub use stats::DbStats;
+pub use table::Table;
+pub use tuple::{RowId, Stamp, TupleVersion, TxnId};
+pub use txn::{TxnMode, TxnToken};
+pub use validity::ValidityTracker;
+pub use value::{ColumnType, Value};

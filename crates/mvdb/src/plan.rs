@@ -1,0 +1,347 @@
+//! Query planning and invalidation-tag assignment (§5.3).
+//!
+//! The planner picks an access method for the outer table and for the joined
+//! table (if any). The access method determines the invalidation tags the
+//! query receives: an index equality lookup yields a keyed `TABLE:COL=VALUE`
+//! tag, while sequential scans and index range scans yield the wildcard
+//! `TABLE:?` tag, exactly as described in the paper. Tags for index-nested-
+//! loop joins are produced at execution time, one keyed tag per probed join
+//! key.
+
+use serde::{Deserialize, Serialize};
+use txtypes::{Error, InvalidationTag, Result, TagSet};
+
+use crate::query::{CmpOp, Join, Predicate, SelectQuery};
+use crate::table::Table;
+use crate::value::Value;
+
+/// How the executor will fetch candidate tuples from a table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AccessPath {
+    /// Probe an index for a single key.
+    IndexEq {
+        /// Indexed column.
+        column: String,
+        /// Key value.
+        value: Value,
+    },
+    /// Walk an index between two optional (inclusive) bounds.
+    IndexRange {
+        /// Indexed column.
+        column: String,
+        /// Lower bound, if any.
+        lo: Option<Value>,
+        /// Upper bound, if any.
+        hi: Option<Value>,
+    },
+    /// Scan the whole heap.
+    SeqScan,
+}
+
+impl AccessPath {
+    /// The invalidation tag this access method contributes for `table`
+    /// (§5.3): keyed for index equality, wildcard otherwise.
+    #[must_use]
+    pub fn invalidation_tag(&self, table: &str) -> InvalidationTag {
+        match self {
+            AccessPath::IndexEq { column, value } => {
+                InvalidationTag::keyed(table, format!("{}={}", column, value.render_key()))
+            }
+            AccessPath::IndexRange { .. } | AccessPath::SeqScan => InvalidationTag::wildcard(table),
+        }
+    }
+}
+
+/// How the inner table of a join is accessed for each outer row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JoinAccess {
+    /// Probe an index on the inner join column with the outer row's key.
+    IndexNestedLoop,
+    /// Scan the inner table for each outer row (only when no index exists).
+    NestedLoopScan,
+}
+
+/// The planned join.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinPlan {
+    /// The join specification from the query.
+    pub join: Join,
+    /// The chosen inner access method.
+    pub access: JoinAccess,
+}
+
+/// A fully planned query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryPlan {
+    /// The outer table.
+    pub table: String,
+    /// Outer access method.
+    pub access: AccessPath,
+    /// The full outer predicate (the executor re-checks it even when an index
+    /// provided the equality, which keeps correctness independent of the
+    /// access path).
+    pub predicate: Predicate,
+    /// Planned join, if the query has one.
+    pub join: Option<JoinPlan>,
+    /// The original query (projection, ordering, limit, aggregate).
+    pub query: SelectQuery,
+    /// Tags known at plan time (outer access + wildcard for scanned joins).
+    pub base_tags: TagSet,
+}
+
+/// Plans `query` against the given tables.
+///
+/// `outer` must be the table named by `query.table`; `inner` must be present
+/// iff the query has a join and must match the joined table.
+pub fn plan_query(query: &SelectQuery, outer: &Table, inner: Option<&Table>) -> Result<QueryPlan> {
+    if outer.schema().name != query.table {
+        return Err(Error::Query(format!(
+            "planner given table '{}' for query over '{}'",
+            outer.schema().name,
+            query.table
+        )));
+    }
+    let access = choose_access_path(&query.predicate, outer);
+    let mut base_tags = TagSet::new();
+    base_tags.insert(access.invalidation_tag(&query.table));
+
+    let join = match (&query.join, inner) {
+        (None, _) => None,
+        (Some(join), Some(inner_table)) => {
+            if inner_table.schema().name != join.table {
+                return Err(Error::Query(format!(
+                    "planner given inner table '{}' for join over '{}'",
+                    inner_table.schema().name,
+                    join.table
+                )));
+            }
+            // Validate join columns exist.
+            outer.schema().column_index(&join.left_column)?;
+            inner_table.schema().column_index(&join.right_column)?;
+            let access = if inner_table.has_index_on(&join.right_column) {
+                JoinAccess::IndexNestedLoop
+            } else {
+                base_tags.insert(InvalidationTag::wildcard(&join.table));
+                JoinAccess::NestedLoopScan
+            };
+            Some(JoinPlan {
+                join: join.clone(),
+                access,
+            })
+        }
+        (Some(join), None) => {
+            return Err(Error::Query(format!(
+                "query joins '{}' but no inner table was supplied",
+                join.table
+            )))
+        }
+    };
+
+    Ok(QueryPlan {
+        table: query.table.clone(),
+        access,
+        predicate: query.predicate.clone(),
+        join,
+        query: query.clone(),
+        base_tags,
+    })
+}
+
+/// Picks the cheapest access path supported by the predicate and the table's
+/// indexes: index equality beats index range beats sequential scan.
+///
+/// Exposed so the DML path (UPDATE/DELETE) can locate target rows the same
+/// way SELECT does.
+pub fn choose_access_path(predicate: &Predicate, table: &Table) -> AccessPath {
+    let conjuncts = predicate.conjuncts();
+
+    // Prefer an equality on an indexed column.
+    for p in &conjuncts {
+        if let Predicate::Cmp {
+            column,
+            op: CmpOp::Eq,
+            value,
+        } = p
+        {
+            if table.has_index_on(column) && !value.is_null() {
+                return AccessPath::IndexEq {
+                    column: column.clone(),
+                    value: value.clone(),
+                };
+            }
+        }
+    }
+
+    // Otherwise look for range conditions on a single indexed column.
+    for p in &conjuncts {
+        if let Predicate::Cmp { column, op, value } = p {
+            if !table.has_index_on(column) || value.is_null() {
+                continue;
+            }
+            let (mut lo, mut hi) = (None, None);
+            match op {
+                CmpOp::Gt | CmpOp::Ge => lo = Some(value.clone()),
+                CmpOp::Lt | CmpOp::Le => hi = Some(value.clone()),
+                _ => continue,
+            }
+            // Try to find the matching opposite bound on the same column.
+            for q in &conjuncts {
+                if let Predicate::Cmp {
+                    column: c2,
+                    op: op2,
+                    value: v2,
+                } = q
+                {
+                    if c2 == column {
+                        match op2 {
+                            CmpOp::Gt | CmpOp::Ge if lo.is_none() => lo = Some(v2.clone()),
+                            CmpOp::Lt | CmpOp::Le if hi.is_none() => hi = Some(v2.clone()),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            return AccessPath::IndexRange {
+                column: column.clone(),
+                lo,
+                hi,
+            };
+        }
+    }
+
+    AccessPath::SeqScan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use crate::value::ColumnType;
+
+    fn items_table() -> Table {
+        let schema = TableSchema::new("items")
+            .column("id", ColumnType::Int)
+            .column("seller", ColumnType::Int)
+            .column("category", ColumnType::Int)
+            .column("price", ColumnType::Float)
+            .unique_index("id")
+            .index("category");
+        Table::new(schema, 16).unwrap()
+    }
+
+    fn users_table() -> Table {
+        let schema = TableSchema::new("users")
+            .column("id", ColumnType::Int)
+            .column("region", ColumnType::Int)
+            .unique_index("id");
+        Table::new(schema, 16).unwrap()
+    }
+
+    #[test]
+    fn equality_on_indexed_column_uses_index_eq() {
+        let t = items_table();
+        let q = SelectQuery::table("items").filter(Predicate::eq("id", 42i64));
+        let plan = plan_query(&q, &t, None).unwrap();
+        assert_eq!(
+            plan.access,
+            AccessPath::IndexEq {
+                column: "id".into(),
+                value: Value::Int(42)
+            }
+        );
+        assert_eq!(
+            plan.base_tags.tags(),
+            &[InvalidationTag::keyed("items", "id=42")]
+        );
+    }
+
+    #[test]
+    fn equality_on_unindexed_column_falls_back_to_scan() {
+        let t = items_table();
+        let q = SelectQuery::table("items").filter(Predicate::eq("price", 10.0));
+        let plan = plan_query(&q, &t, None).unwrap();
+        assert_eq!(plan.access, AccessPath::SeqScan);
+        assert_eq!(plan.base_tags.tags(), &[InvalidationTag::wildcard("items")]);
+    }
+
+    #[test]
+    fn range_on_indexed_column_uses_index_range_with_wildcard_tag() {
+        let t = items_table();
+        let q = SelectQuery::table("items").filter(
+            Predicate::cmp("category", CmpOp::Ge, 3i64)
+                .and(Predicate::cmp("category", CmpOp::Le, 5i64)),
+        );
+        let plan = plan_query(&q, &t, None).unwrap();
+        assert_eq!(
+            plan.access,
+            AccessPath::IndexRange {
+                column: "category".into(),
+                lo: Some(Value::Int(3)),
+                hi: Some(Value::Int(5)),
+            }
+        );
+        assert_eq!(plan.base_tags.tags(), &[InvalidationTag::wildcard("items")]);
+    }
+
+    #[test]
+    fn equality_preferred_over_range() {
+        let t = items_table();
+        let q = SelectQuery::table("items").filter(
+            Predicate::cmp("category", CmpOp::Ge, 3i64).and(Predicate::eq("id", 7i64)),
+        );
+        let plan = plan_query(&q, &t, None).unwrap();
+        assert!(matches!(plan.access, AccessPath::IndexEq { .. }));
+    }
+
+    #[test]
+    fn join_with_inner_index_plans_index_nested_loop() {
+        let items = items_table();
+        let users = users_table();
+        let q = SelectQuery::table("items")
+            .filter(Predicate::eq("category", 3i64))
+            .join("users", "seller", "id");
+        let plan = plan_query(&q, &items, Some(&users)).unwrap();
+        let join = plan.join.unwrap();
+        assert_eq!(join.access, JoinAccess::IndexNestedLoop);
+        // No wildcard tag for users at plan time; keyed tags come at exec time.
+        assert!(!plan
+            .base_tags
+            .tags()
+            .contains(&InvalidationTag::wildcard("users")));
+    }
+
+    #[test]
+    fn join_without_inner_index_gets_wildcard_tag() {
+        let items = items_table();
+        let users_schema = TableSchema::new("users")
+            .column("id", ColumnType::Int)
+            .column("region", ColumnType::Int);
+        let users = Table::new(users_schema, 16).unwrap();
+        let q = SelectQuery::table("items").join("users", "seller", "id");
+        let plan = plan_query(&q, &items, Some(&users)).unwrap();
+        assert_eq!(plan.join.unwrap().access, JoinAccess::NestedLoopScan);
+        assert!(plan
+            .base_tags
+            .tags()
+            .contains(&InvalidationTag::wildcard("users")));
+    }
+
+    #[test]
+    fn planner_rejects_mismatched_tables() {
+        let items = items_table();
+        let users = users_table();
+        let q = SelectQuery::table("items");
+        assert!(plan_query(&q, &users, None).is_err());
+        let qj = SelectQuery::table("items").join("users", "seller", "id");
+        assert!(plan_query(&qj, &items, None).is_err());
+        assert!(plan_query(&qj, &items, Some(&items)).is_err());
+    }
+
+    #[test]
+    fn join_on_missing_column_is_rejected() {
+        let items = items_table();
+        let users = users_table();
+        let q = SelectQuery::table("items").join("users", "nope", "id");
+        assert!(plan_query(&q, &items, Some(&users)).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! Database statistics counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over the lifetime of a [`crate::Database`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DbStats {
+    /// SELECT queries executed.
+    pub queries: u64,
+    /// Rows inserted.
+    pub inserts: u64,
+    /// Rows updated.
+    pub updates: u64,
+    /// Rows deleted.
+    pub deletes: u64,
+    /// Transactions committed (read-only and read/write).
+    pub commits: u64,
+    /// Read/write commits that published invalidations.
+    pub invalidating_commits: u64,
+    /// Transactions aborted by the application.
+    pub aborts: u64,
+    /// Write conflicts detected (first-updater-wins failures).
+    pub serialization_failures: u64,
+    /// Snapshots pinned.
+    pub pins: u64,
+    /// Snapshots unpinned.
+    pub unpins: u64,
+    /// Tuple versions reclaimed by vacuum.
+    pub vacuumed_versions: u64,
+}
+
+impl DbStats {
+    /// Total write statements executed.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.inserts + self.updates + self.deletes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_sums_components() {
+        let s = DbStats {
+            inserts: 1,
+            updates: 2,
+            deletes: 3,
+            ..DbStats::default()
+        };
+        assert_eq!(s.writes(), 6);
+        assert_eq!(DbStats::default().writes(), 0);
+    }
+}

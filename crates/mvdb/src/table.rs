@@ -1,0 +1,385 @@
+//! Table storage: a version heap plus secondary indexes.
+//!
+//! A table is an append-only heap of [`TupleVersion`]s. Secondary indexes map
+//! column values to heap slots; because the heap holds *versions*, an index
+//! entry may point at versions that are not visible to a given snapshot — the
+//! executor always re-checks visibility. This mirrors how PostgreSQL indexes
+//! reference all heap versions and rely on visibility checks at scan time,
+//! which is exactly the property the paper exploits to build the invalidity
+//! mask (§5.2).
+
+use std::collections::{BTreeMap, HashMap};
+
+use txtypes::{key::stable_hash_of, Error, Result};
+
+use crate::schema::TableSchema;
+use crate::tuple::{RowId, TupleVersion};
+use crate::value::Value;
+
+/// A heap slot index.
+pub type Slot = usize;
+
+/// In-memory storage for one table.
+#[derive(Debug)]
+pub struct Table {
+    schema: TableSchema,
+    /// Version heap. `None` marks a slot reclaimed by vacuum.
+    slots: Vec<Option<TupleVersion>>,
+    /// All slots (live and dead) belonging to each row, oldest first.
+    row_versions: HashMap<RowId, Vec<Slot>>,
+    /// column name → value → slots whose version has that value.
+    indexes: HashMap<String, BTreeMap<Value, Vec<Slot>>>,
+    next_row_id: RowId,
+    rows_per_page: usize,
+}
+
+impl Table {
+    /// Creates an empty table for `schema`; `rows_per_page` controls the
+    /// granularity of simulated page accesses.
+    pub fn new(schema: TableSchema, rows_per_page: usize) -> Result<Table> {
+        schema.validate()?;
+        let mut indexes = HashMap::new();
+        for ix in &schema.indexes {
+            indexes.insert(ix.column.clone(), BTreeMap::new());
+        }
+        Ok(Table {
+            schema,
+            slots: Vec::new(),
+            row_versions: HashMap::new(),
+            indexes,
+            next_row_id: 1,
+            rows_per_page: rows_per_page.max(1),
+        })
+    }
+
+    /// The table's schema.
+    #[must_use]
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Allocates a fresh row id.
+    pub fn allocate_row_id(&mut self) -> RowId {
+        let id = self.next_row_id;
+        self.next_row_id += 1;
+        id
+    }
+
+    /// Appends a version to the heap, updating indexes and the row's version
+    /// chain. Returns the slot it was stored in.
+    pub fn insert_version(&mut self, version: TupleVersion) -> Result<Slot> {
+        self.schema.validate_row(&version.values)?;
+        let slot = self.slots.len();
+        for (column, index) in &mut self.indexes {
+            let pos = self
+                .schema
+                .columns
+                .iter()
+                .position(|c| &c.name == column)
+                .ok_or_else(|| Error::Schema(format!("index on unknown column {column}")))?;
+            let key = version.values[pos].clone();
+            if !key.is_null() {
+                index.entry(key).or_default().push(slot);
+            }
+        }
+        self.row_versions
+            .entry(version.row_id)
+            .or_default()
+            .push(slot);
+        self.slots.push(Some(version));
+        Ok(slot)
+    }
+
+    /// Returns the version stored at `slot`, if it has not been vacuumed.
+    #[must_use]
+    pub fn get(&self, slot: Slot) -> Option<&TupleVersion> {
+        self.slots.get(slot).and_then(|s| s.as_ref())
+    }
+
+    /// Returns a mutable reference to the version stored at `slot`.
+    pub fn get_mut(&mut self, slot: Slot) -> Option<&mut TupleVersion> {
+        self.slots.get_mut(slot).and_then(|s| s.as_mut())
+    }
+
+    /// Returns every slot currently occupied by a version (a heap scan).
+    pub fn scan_slots(&self) -> impl Iterator<Item = Slot> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+    }
+
+    /// Returns the slots of all versions of `row_id`, oldest first.
+    #[must_use]
+    pub fn versions_of_row(&self, row_id: RowId) -> &[Slot] {
+        self.row_versions
+            .get(&row_id)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Index equality lookup: slots whose version has `value` in `column`.
+    pub fn index_eq(&self, column: &str, value: &Value) -> Result<Vec<Slot>> {
+        let index = self
+            .indexes
+            .get(column)
+            .ok_or_else(|| Error::Query(format!("no index on {}.{}", self.schema.name, column)))?;
+        Ok(index.get(value).cloned().unwrap_or_default())
+    }
+
+    /// Index range scan over `column` between the optional bounds
+    /// (inclusive).
+    pub fn index_range(
+        &self,
+        column: &str,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Result<Vec<Slot>> {
+        let index = self
+            .indexes
+            .get(column)
+            .ok_or_else(|| Error::Query(format!("no index on {}.{}", self.schema.name, column)))?;
+        let mut out = Vec::new();
+        for (key, slots) in index.iter() {
+            if let Some(lo) = lo {
+                if key < lo {
+                    continue;
+                }
+            }
+            if let Some(hi) = hi {
+                if key > hi {
+                    break;
+                }
+            }
+            out.extend_from_slice(slots);
+        }
+        Ok(out)
+    }
+
+    /// Returns `true` if the table has an index on `column`.
+    #[must_use]
+    pub fn has_index_on(&self, column: &str) -> bool {
+        self.indexes.contains_key(column)
+    }
+
+    /// The heap page a slot lives on, for buffer accounting.
+    #[must_use]
+    pub fn heap_page_of(&self, slot: Slot) -> u64 {
+        (slot / self.rows_per_page) as u64
+    }
+
+    /// The simulated index page an index probe for `value` touches.
+    #[must_use]
+    pub fn index_page_of(&self, column: &str, value: &Value) -> u64 {
+        let entries = self
+            .indexes
+            .get(column)
+            .map(|ix| ix.len() as u64)
+            .unwrap_or(0);
+        let pages = (entries / (self.rows_per_page as u64 * 4)).max(1);
+        stable_hash_of(&(column, value.render_key())) % pages
+    }
+
+    /// Total number of (non-vacuumed) versions in the heap.
+    #[must_use]
+    pub fn version_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Total number of heap slots ever allocated (including vacuumed ones);
+    /// determines the number of heap pages.
+    #[must_use]
+    pub fn heap_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Removes a slot from the heap and all indexes. Used by vacuum.
+    pub fn remove_slot(&mut self, slot: Slot) {
+        let Some(version) = self.slots.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        for (column, index) in &mut self.indexes {
+            if let Some(pos) = self.schema.columns.iter().position(|c| &c.name == column) {
+                let key = &version.values[pos];
+                if let Some(slots) = index.get_mut(key) {
+                    slots.retain(|s| *s != slot);
+                    if slots.is_empty() {
+                        index.remove(key);
+                    }
+                }
+            }
+        }
+        if let Some(chain) = self.row_versions.get_mut(&version.row_id) {
+            chain.retain(|s| *s != slot);
+            if chain.is_empty() {
+                self.row_versions.remove(&version.row_id);
+            }
+        }
+    }
+
+    /// Approximate size of the table's live data in bytes.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .map(TupleVersion::size_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use crate::tuple::Stamp;
+    use crate::value::ColumnType;
+    use txtypes::Timestamp;
+
+    fn table() -> Table {
+        let schema = TableSchema::new("users")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .unique_index("id")
+            .index("name");
+        Table::new(schema, 4).unwrap()
+    }
+
+    fn ver(t: &mut Table, id: i64, name: &str, ts: u64) -> Slot {
+        let row = t.allocate_row_id();
+        t.insert_version(TupleVersion::committed(
+            row,
+            vec![Value::Int(id), Value::text(name)],
+            Timestamp(ts),
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_and_index_lookup() {
+        let mut t = table();
+        let s1 = ver(&mut t, 1, "alice", 5);
+        let s2 = ver(&mut t, 2, "bob", 6);
+        assert_eq!(t.index_eq("id", &Value::Int(1)).unwrap(), vec![s1]);
+        assert_eq!(t.index_eq("name", &Value::text("bob")).unwrap(), vec![s2]);
+        assert!(t.index_eq("id", &Value::Int(3)).unwrap().is_empty());
+        assert!(t.index_eq("missing", &Value::Int(1)).is_err());
+        assert_eq!(t.version_count(), 2);
+    }
+
+    #[test]
+    fn index_range_scan_respects_bounds() {
+        let mut t = table();
+        for i in 1..=10 {
+            ver(&mut t, i, "user", i as u64);
+        }
+        let slots = t
+            .index_range("id", Some(&Value::Int(3)), Some(&Value::Int(6)))
+            .unwrap();
+        assert_eq!(slots.len(), 4);
+        let open_hi = t.index_range("id", Some(&Value::Int(8)), None).unwrap();
+        assert_eq!(open_hi.len(), 3);
+        let all = t.index_range("id", None, None).unwrap();
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn multiple_versions_of_same_key_all_indexed() {
+        let mut t = table();
+        let row = t.allocate_row_id();
+        let s1 = t
+            .insert_version(TupleVersion::committed(
+                row,
+                vec![Value::Int(1), Value::text("alice")],
+                Timestamp(5),
+            ))
+            .unwrap();
+        // Newer version of the same row, same id.
+        let s2 = t
+            .insert_version(TupleVersion::committed(
+                row,
+                vec![Value::Int(1), Value::text("alicia")],
+                Timestamp(9),
+            ))
+            .unwrap();
+        assert_eq!(t.index_eq("id", &Value::Int(1)).unwrap(), vec![s1, s2]);
+        assert_eq!(t.versions_of_row(row), &[s1, s2]);
+    }
+
+    #[test]
+    fn null_values_are_not_indexed() {
+        let mut t = table();
+        let row = t.allocate_row_id();
+        t.insert_version(TupleVersion::committed(
+            row,
+            vec![Value::Int(1), Value::Null],
+            Timestamp(5),
+        ))
+        .unwrap();
+        assert!(t.index_eq("name", &Value::Null).unwrap().is_empty());
+    }
+
+    #[test]
+    fn remove_slot_cleans_indexes_and_chains() {
+        let mut t = table();
+        let s1 = ver(&mut t, 1, "alice", 5);
+        t.remove_slot(s1);
+        assert!(t.get(s1).is_none());
+        assert!(t.index_eq("id", &Value::Int(1)).unwrap().is_empty());
+        assert_eq!(t.version_count(), 0);
+        // Removing twice is harmless.
+        t.remove_slot(s1);
+    }
+
+    #[test]
+    fn scan_skips_vacuumed_slots() {
+        let mut t = table();
+        let s1 = ver(&mut t, 1, "a", 1);
+        let s2 = ver(&mut t, 2, "b", 2);
+        t.remove_slot(s1);
+        let scanned: Vec<_> = t.scan_slots().collect();
+        assert_eq!(scanned, vec![s2]);
+    }
+
+    #[test]
+    fn page_accounting() {
+        let mut t = table();
+        for i in 1..=9 {
+            ver(&mut t, i, "u", 1);
+        }
+        assert_eq!(t.heap_page_of(0), 0);
+        assert_eq!(t.heap_page_of(3), 0);
+        assert_eq!(t.heap_page_of(4), 1);
+        assert_eq!(t.heap_page_of(8), 2);
+        // Index pages are deterministic.
+        assert_eq!(
+            t.index_page_of("id", &Value::Int(3)),
+            t.index_page_of("id", &Value::Int(3))
+        );
+    }
+
+    #[test]
+    fn rejects_rows_violating_schema() {
+        let mut t = table();
+        let row = t.allocate_row_id();
+        let bad = TupleVersion::committed(row, vec![Value::text("x")], Timestamp(1));
+        assert!(t.insert_version(bad).is_err());
+    }
+
+    #[test]
+    fn mark_deleted_via_get_mut() {
+        let mut t = table();
+        let s1 = ver(&mut t, 1, "alice", 5);
+        t.get_mut(s1).unwrap().deleted = Some(Stamp::Committed(Timestamp(9)));
+        assert!(!t.get(s1).unwrap().visible_to(Timestamp(9), None));
+        assert!(t.get(s1).unwrap().visible_to(Timestamp(8), None));
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_data() {
+        let mut t = table();
+        let empty = t.approx_bytes();
+        ver(&mut t, 1, "alice", 5);
+        assert!(t.approx_bytes() > empty);
+    }
+}

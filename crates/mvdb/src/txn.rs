@@ -1,0 +1,108 @@
+//! Transaction state.
+//!
+//! The database distinguishes read-only transactions — which run at a
+//! (possibly pinned, possibly past) snapshot and never write — from
+//! read/write transactions, which run under snapshot isolation with eager
+//! first-updater-wins conflict detection. Read/write transactions accumulate
+//! the invalidation tags of everything they modify; the tags are published on
+//! the invalidation stream when the transaction commits (§5.3).
+
+use std::collections::HashMap;
+
+use txtypes::{TagSet, Timestamp};
+
+use crate::table::Slot;
+use crate::tuple::{RowId, TxnId};
+
+/// Whether a transaction may write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnMode {
+    /// Read-only; may run at a pinned past snapshot.
+    ReadOnly,
+    /// Read/write; runs at the latest snapshot as of `BEGIN`.
+    ReadWrite,
+}
+
+/// The database-side record of an in-progress transaction.
+#[derive(Debug)]
+pub struct Transaction {
+    /// Transaction identifier.
+    pub id: TxnId,
+    /// Read-only or read/write.
+    pub mode: TxnMode,
+    /// The snapshot timestamp the transaction reads at.
+    pub snapshot: Timestamp,
+    /// Heap slots of versions this transaction created, per table.
+    pub created_slots: Vec<(String, Slot)>,
+    /// Heap slots of versions this transaction marked deleted, per table.
+    pub deleted_slots: Vec<(String, Slot)>,
+    /// Rows written (for conflict bookkeeping and diagnostics).
+    pub written_rows: Vec<(String, RowId)>,
+    /// Invalidation tags accumulated from writes.
+    pub pending_tags: TagSet,
+    /// Number of rows modified per table, used to decide whether to collapse
+    /// a table's tags into a single wildcard at commit time.
+    pub rows_modified: HashMap<String, usize>,
+}
+
+impl Transaction {
+    /// Creates a new transaction record.
+    #[must_use]
+    pub fn new(id: TxnId, mode: TxnMode, snapshot: Timestamp) -> Transaction {
+        Transaction {
+            id,
+            mode,
+            snapshot,
+            created_slots: Vec::new(),
+            deleted_slots: Vec::new(),
+            written_rows: Vec::new(),
+            pending_tags: TagSet::new(),
+            rows_modified: HashMap::new(),
+        }
+    }
+
+    /// Returns `true` if the transaction has made any modifications.
+    #[must_use]
+    pub fn has_writes(&self) -> bool {
+        !self.created_slots.is_empty() || !self.deleted_slots.is_empty()
+    }
+
+    /// Records that a row in `table` was modified.
+    pub fn note_row_modified(&mut self, table: &str) {
+        *self.rows_modified.entry(table.to_string()).or_insert(0) += 1;
+    }
+}
+
+/// An opaque handle the application holds for an open transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxnToken(pub TxnId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_transaction_is_clean() {
+        let t = Transaction::new(1, TxnMode::ReadWrite, Timestamp(5));
+        assert!(!t.has_writes());
+        assert!(t.pending_tags.is_empty());
+        assert_eq!(t.snapshot, Timestamp(5));
+    }
+
+    #[test]
+    fn note_row_modified_counts_per_table() {
+        let mut t = Transaction::new(1, TxnMode::ReadWrite, Timestamp(5));
+        t.note_row_modified("items");
+        t.note_row_modified("items");
+        t.note_row_modified("users");
+        assert_eq!(t.rows_modified["items"], 2);
+        assert_eq!(t.rows_modified["users"], 1);
+    }
+
+    #[test]
+    fn has_writes_tracks_slots() {
+        let mut t = Transaction::new(1, TxnMode::ReadWrite, Timestamp(5));
+        t.created_slots.push(("items".into(), 3));
+        assert!(t.has_writes());
+    }
+}

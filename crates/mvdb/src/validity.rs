@@ -1,0 +1,196 @@
+//! Query validity-interval tracking (§5.2).
+//!
+//! While executing a read-only query the engine accumulates two quantities:
+//!
+//! * the **result tuple validity** — the intersection of the committed
+//!   validity intervals of every tuple version that appears in the result;
+//! * the **invalidity mask** — the union of the committed validity intervals
+//!   of every tuple version that was *discarded by a visibility check* (a
+//!   phantom: it did not appear in the result but would have at some other
+//!   timestamp).
+//!
+//! The query's reported validity interval is the largest interval around the
+//! query's snapshot timestamp that lies inside the result validity and
+//! outside the mask.
+
+use txtypes::{IntervalSet, Timestamp, ValidityInterval};
+
+/// Accumulates validity information for one query execution.
+#[derive(Debug, Clone)]
+pub struct ValidityTracker {
+    enabled: bool,
+    result_validity: ValidityInterval,
+    invalidity_mask: IntervalSet,
+    visible_tuples: u64,
+    masked_tuples: u64,
+}
+
+impl ValidityTracker {
+    /// Creates a tracker. When `enabled` is false every observation is a
+    /// no-op and [`finalize`](Self::finalize) returns a point interval at the
+    /// snapshot; this models the "stock database" baseline used in the §8.1
+    /// overhead comparison.
+    #[must_use]
+    pub fn new(enabled: bool) -> ValidityTracker {
+        ValidityTracker {
+            enabled,
+            result_validity: ValidityInterval::ALL,
+            invalidity_mask: IntervalSet::new(),
+            visible_tuples: 0,
+            masked_tuples: 0,
+        }
+    }
+
+    /// Records a tuple version that is part of the result.
+    pub fn observe_visible(&mut self, validity: ValidityInterval) {
+        self.visible_tuples += 1;
+        if !self.enabled {
+            return;
+        }
+        self.result_validity = self
+            .result_validity
+            .intersect(&validity)
+            // Visible tuples all contain the snapshot timestamp, so the
+            // intersection can only be empty if the caller mixed snapshots;
+            // fall back to the narrower of the two rather than panicking.
+            .unwrap_or(validity);
+    }
+
+    /// Records a tuple version that was discarded because it failed the
+    /// visibility check. Versions created by still-pending transactions have
+    /// no committed validity and contribute nothing.
+    pub fn observe_invisible(&mut self, validity: Option<ValidityInterval>) {
+        self.masked_tuples += 1;
+        if !self.enabled {
+            return;
+        }
+        if let Some(iv) = validity {
+            self.invalidity_mask.insert(iv);
+        }
+    }
+
+    /// Merges another tracker (e.g. from a sub-plan) into this one.
+    pub fn merge(&mut self, other: &ValidityTracker) {
+        self.visible_tuples += other.visible_tuples;
+        self.masked_tuples += other.masked_tuples;
+        if !self.enabled {
+            return;
+        }
+        self.result_validity = self
+            .result_validity
+            .intersect(&other.result_validity)
+            .unwrap_or(other.result_validity);
+        self.invalidity_mask = self.invalidity_mask.union(&other.invalidity_mask);
+    }
+
+    /// Computes the final validity interval for a query that ran at
+    /// `snapshot_ts`.
+    ///
+    /// The result always contains `snapshot_ts`. If tracking is disabled the
+    /// result is the degenerate point interval `[snapshot_ts, snapshot_ts+1)`.
+    #[must_use]
+    pub fn finalize(&self, snapshot_ts: Timestamp) -> ValidityInterval {
+        if !self.enabled {
+            return ValidityInterval::point(snapshot_ts);
+        }
+        self.invalidity_mask
+            .gap_around(self.result_validity, snapshot_ts)
+            .unwrap_or_else(|| ValidityInterval::point(snapshot_ts))
+    }
+
+    /// Number of visible tuples observed (for statistics).
+    #[must_use]
+    pub fn visible_tuples(&self) -> u64 {
+        self.visible_tuples
+    }
+
+    /// Number of visibility-failed tuples observed (for statistics).
+    #[must_use]
+    pub fn masked_tuples(&self) -> u64 {
+        self.masked_tuples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(lo: u64, hi: u64) -> ValidityInterval {
+        ValidityInterval::bounded(Timestamp(lo), Timestamp(hi)).unwrap()
+    }
+
+    #[test]
+    fn empty_query_is_valid_everywhere() {
+        let t = ValidityTracker::new(true);
+        assert_eq!(t.finalize(Timestamp(46)), ValidityInterval::ALL);
+    }
+
+    #[test]
+    fn figure_4_example() {
+        // Tuples 1 and 2 visible with validities [?,47) and [44,?); tuples 3
+        // and 4 invisible with validities [40,45) and [48,∞).
+        let mut t = ValidityTracker::new(true);
+        t.observe_visible(b(30, 47));
+        t.observe_visible(ValidityInterval::unbounded(Timestamp(44)));
+        t.observe_invisible(Some(b(40, 45)));
+        t.observe_invisible(Some(ValidityInterval::unbounded(Timestamp(48))));
+        assert_eq!(t.finalize(Timestamp(46)), b(45, 47));
+        assert_eq!(t.visible_tuples(), 2);
+        assert_eq!(t.masked_tuples(), 2);
+    }
+
+    #[test]
+    fn still_valid_result_is_unbounded() {
+        let mut t = ValidityTracker::new(true);
+        t.observe_visible(ValidityInterval::unbounded(Timestamp(10)));
+        t.observe_visible(ValidityInterval::unbounded(Timestamp(20)));
+        assert_eq!(
+            t.finalize(Timestamp(25)),
+            ValidityInterval::unbounded(Timestamp(20))
+        );
+    }
+
+    #[test]
+    fn pending_phantoms_do_not_constrain() {
+        let mut t = ValidityTracker::new(true);
+        t.observe_visible(ValidityInterval::unbounded(Timestamp(10)));
+        t.observe_invisible(None);
+        assert_eq!(
+            t.finalize(Timestamp(25)),
+            ValidityInterval::unbounded(Timestamp(10))
+        );
+    }
+
+    #[test]
+    fn disabled_tracker_returns_point() {
+        let mut t = ValidityTracker::new(false);
+        t.observe_visible(b(1, 100));
+        t.observe_invisible(Some(b(1, 100)));
+        assert_eq!(t.finalize(Timestamp(50)), ValidityInterval::point(Timestamp(50)));
+    }
+
+    #[test]
+    fn merge_combines_both_sides() {
+        let mut a = ValidityTracker::new(true);
+        a.observe_visible(b(10, 50));
+        let mut c = ValidityTracker::new(true);
+        c.observe_visible(b(20, 60));
+        c.observe_invisible(Some(b(40, 45)));
+        a.merge(&c);
+        // Result validity [20,50), mask [40,45); query at 30 → [20,40).
+        assert_eq!(a.finalize(Timestamp(30)), b(20, 40));
+        assert_eq!(a.visible_tuples(), 2);
+    }
+
+    #[test]
+    fn finalize_never_excludes_snapshot() {
+        // Pathological: mask covers the snapshot (can happen only with mixed
+        // snapshots); we still return a point interval containing it.
+        let mut t = ValidityTracker::new(true);
+        t.observe_visible(b(10, 60));
+        t.observe_invisible(Some(b(20, 40)));
+        let iv = t.finalize(Timestamp(30));
+        assert!(iv.contains(Timestamp(30)));
+        assert_eq!(iv, ValidityInterval::point(Timestamp(30)));
+    }
+}

@@ -1,0 +1,21 @@
+//! # pincushion — the pinned-snapshot registry (§5.4)
+//!
+//! The pincushion is the lightweight daemon that keeps track of which
+//! database snapshots are pinned, when (in wall-clock time) each was pinned,
+//! and how many running transactions might be using it. When the TxCache
+//! library begins a read-only transaction it asks the pincushion for every
+//! pinned snapshot fresh enough for the transaction's staleness limit; the
+//! returned set becomes the transaction's initial pin set (§6.2). The
+//! pincushion also reaps old, unused snapshots by asking the database to
+//! `UNPIN` them.
+//!
+//! In the paper the pincushion is a separate network daemon; here it is an
+//! in-process service (see DESIGN.md for the substitution rationale). It is
+//! internally locked so any number of simulated application servers can share
+//! one instance.
+
+#![forbid(unsafe_code)]
+
+pub mod registry;
+
+pub use registry::{PinnedSnapshot, Pincushion, PincushionConfig, PincushionStats};

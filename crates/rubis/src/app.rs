@@ -1,0 +1,627 @@
+//! The RUBiS application ported to TxCache (§7.1).
+//!
+//! Read-only code paths are built from *cacheable functions* at two
+//! granularities, exactly as in the paper's port:
+//!
+//! * fine-grained accessors (`get_item`, `get_user`, `auth_user`, bid
+//!   histories, …) that bundle one or two queries into an application object
+//!   and can be shared between pages;
+//! * page-granularity functions (`page_view_item`, `page_search_*`, …) that
+//!   render pseudo-HTML and *nest* calls to the fine-grained functions,
+//!   exercising the §6.3 nested-call machinery.
+//!
+//! List pages obtain per-item details by calling the cacheable `get_item`
+//! rather than joining in the database, mirroring the modification described
+//! in §7.1. Write paths (placing bids, registering users/items, commenting)
+//! run in read/write transactions that bypass the cache.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mvdb::{Aggregate, Predicate, SelectQuery, SortOrder, Value};
+use parking_lot::Mutex;
+use txcache::{Transaction, TxCache};
+use txtypes::{Error, Result, Staleness};
+
+use crate::model::{BidInfo, CommentInfo, ItemDetails, ItemSummary, RenderedPage, UserInfo};
+
+/// Number of items shown per search-results page.
+pub const ITEMS_PER_PAGE: usize = 20;
+
+/// The RUBiS application: a thin object holding the TxCache handle.
+#[derive(Clone)]
+pub struct RubisApp {
+    txcache: Arc<TxCache>,
+    /// Next primary key per table, seeded lazily from `MAX(id)` and then
+    /// allocated locally — the equivalent of the SQL sequences the original
+    /// RUBiS schema uses, avoiding a table scan on every insert.
+    id_allocator: Arc<Mutex<HashMap<String, i64>>>,
+}
+
+impl RubisApp {
+    /// Creates the application on top of a TxCache library instance.
+    #[must_use]
+    pub fn new(txcache: Arc<TxCache>) -> RubisApp {
+        RubisApp {
+            txcache,
+            id_allocator: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The underlying TxCache handle.
+    #[must_use]
+    pub fn txcache(&self) -> &Arc<TxCache> {
+        &self.txcache
+    }
+
+    /// Begins a read-only transaction with the given staleness limit.
+    pub fn begin_ro(&self, staleness: Staleness) -> Result<Transaction<'_>> {
+        self.txcache.begin_ro(staleness)
+    }
+
+    /// Begins a read/write transaction.
+    pub fn begin_rw(&self) -> Result<Transaction<'_>> {
+        self.txcache.begin_rw()
+    }
+
+    // ==================================================================
+    // Fine-grained cacheable functions
+    // ==================================================================
+
+    /// Looks up a user by id.
+    pub fn get_user(&self, tx: &mut Transaction<'_>, user_id: i64) -> Result<Option<UserInfo>> {
+        tx.cached("get_user", &user_id, |tx| {
+            let q = SelectQuery::table("users").filter(Predicate::eq("id", user_id));
+            let r = tx.query(&q)?;
+            if r.is_empty() {
+                return Ok(None);
+            }
+            Ok(Some(UserInfo {
+                id: user_id,
+                nickname: text(&r, 0, "nickname")?,
+                rating: int(&r, 0, "rating")?,
+                balance: float(&r, 0, "balance")?,
+                region: int(&r, 0, "region")?,
+            }))
+        })
+    }
+
+    /// Authenticates a user by nickname, returning their id (§7.1 caches
+    /// login authentication).
+    pub fn auth_user(&self, tx: &mut Transaction<'_>, nickname: &str) -> Result<Option<i64>> {
+        tx.cached("auth_user", &nickname.to_string(), |tx| {
+            let q = SelectQuery::table("users")
+                .filter(Predicate::eq("nickname", nickname))
+                .select(vec!["id"]);
+            let r = tx.query(&q)?;
+            if r.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some(int(&r, 0, "id")?))
+            }
+        })
+    }
+
+    /// Looks up an item by id, consulting both the active and the completed
+    /// auctions tables (§7.1: "looking up an item requires examining both the
+    /// active items table and the old items table").
+    pub fn get_item(&self, tx: &mut Transaction<'_>, item_id: i64) -> Result<Option<ItemDetails>> {
+        tx.cached("get_item", &item_id, |tx| {
+            for (table, closed) in [("items", false), ("old_items", true)] {
+                let q = SelectQuery::table(table).filter(Predicate::eq("id", item_id));
+                let r = tx.query(&q)?;
+                if !r.is_empty() {
+                    return Ok(Some(ItemDetails {
+                        id: item_id,
+                        name: text(&r, 0, "name")?,
+                        description: text(&r, 0, "description")?,
+                        seller: int(&r, 0, "seller")?,
+                        category: int(&r, 0, "category")?,
+                        initial_price: float(&r, 0, "initial_price")?,
+                        current_price: float(&r, 0, "current_price")?,
+                        nb_of_bids: int(&r, 0, "nb_of_bids")?,
+                        end_date: int(&r, 0, "end_date")?,
+                        closed,
+                    }));
+                }
+            }
+            Ok(None)
+        })
+    }
+
+    /// Returns the bid history of an item, most recent first.
+    pub fn get_bid_history(
+        &self,
+        tx: &mut Transaction<'_>,
+        item_id: i64,
+    ) -> Result<Vec<BidInfo>> {
+        tx.cached("get_bid_history", &item_id, |tx| {
+            let q = SelectQuery::table("bids")
+                .filter(Predicate::eq("item_id", item_id))
+                .order_by("date", SortOrder::Desc);
+            let r = tx.query(&q)?;
+            (0..r.len())
+                .map(|i| {
+                    Ok(BidInfo {
+                        id: int(&r, i, "id")?,
+                        user_id: int(&r, i, "user_id")?,
+                        amount: float(&r, i, "bid")?,
+                        date: int(&r, i, "date")?,
+                    })
+                })
+                .collect()
+        })
+    }
+
+    /// Returns the comments left on a user's profile.
+    pub fn get_user_comments(
+        &self,
+        tx: &mut Transaction<'_>,
+        user_id: i64,
+    ) -> Result<Vec<CommentInfo>> {
+        tx.cached("get_user_comments", &user_id, |tx| {
+            let q = SelectQuery::table("comments").filter(Predicate::eq("to_user", user_id));
+            let r = tx.query(&q)?;
+            (0..r.len())
+                .map(|i| {
+                    Ok(CommentInfo {
+                        id: int(&r, i, "id")?,
+                        from_user: int(&r, i, "from_user")?,
+                        rating: int(&r, i, "rating")?,
+                        text: text(&r, i, "comment")?,
+                    })
+                })
+                .collect()
+        })
+    }
+
+    /// Returns all categories (id, name).
+    pub fn get_categories(&self, tx: &mut Transaction<'_>) -> Result<Vec<(i64, String)>> {
+        tx.cached("get_categories", &(), |tx| {
+            let q = SelectQuery::table("categories").order_by("id", SortOrder::Asc);
+            let r = tx.query(&q)?;
+            (0..r.len())
+                .map(|i| Ok((int(&r, i, "id")?, text(&r, i, "name")?)))
+                .collect()
+        })
+    }
+
+    /// Returns all regions (id, name).
+    pub fn get_regions(&self, tx: &mut Transaction<'_>) -> Result<Vec<(i64, String)>> {
+        tx.cached("get_regions", &(), |tx| {
+            let q = SelectQuery::table("regions").order_by("id", SortOrder::Asc);
+            let r = tx.query(&q)?;
+            (0..r.len())
+                .map(|i| Ok((int(&r, i, "id")?, text(&r, i, "name")?)))
+                .collect()
+        })
+    }
+
+    /// Returns one page of active items in a category. Item details are
+    /// fetched through the cacheable [`get_item`](Self::get_item) so they can
+    /// be shared with other pages (§7.1).
+    pub fn search_items_by_category(
+        &self,
+        tx: &mut Transaction<'_>,
+        category: i64,
+        page: usize,
+    ) -> Result<Vec<ItemSummary>> {
+        let ids: Vec<i64> = tx.cached("category_item_ids", &(category, page), |tx| {
+            let q = SelectQuery::table("items")
+                .filter(Predicate::eq("category", category))
+                .select(vec!["id"])
+                .order_by("id", SortOrder::Asc)
+                .limit((page + 1) * ITEMS_PER_PAGE);
+            let r = tx.query(&q)?;
+            let start = (page * ITEMS_PER_PAGE).min(r.len());
+            (start..r.len()).map(|i| int(&r, i, "id")).collect()
+        })?;
+        self.summaries_for(tx, &ids)
+    }
+
+    /// Returns one page of active items for sale in a region and category,
+    /// using the auxiliary `item_region_category` table added in §7.1.
+    pub fn search_items_by_region(
+        &self,
+        tx: &mut Transaction<'_>,
+        region: i64,
+        category: i64,
+    ) -> Result<Vec<ItemSummary>> {
+        let ids: Vec<i64> = tx.cached("region_item_ids", &(region, category), |tx| {
+            let q = SelectQuery::table("item_region_category")
+                .filter(Predicate::eq("region", region).and(Predicate::eq("category", category)))
+                .select(vec!["item_id"])
+                .order_by("item_id", SortOrder::Asc)
+                .limit(ITEMS_PER_PAGE);
+            let r = tx.query(&q)?;
+            (0..r.len()).map(|i| int(&r, i, "item_id")).collect()
+        })?;
+        self.summaries_for(tx, &ids)
+    }
+
+    fn summaries_for(
+        &self,
+        tx: &mut Transaction<'_>,
+        ids: &[i64],
+    ) -> Result<Vec<ItemSummary>> {
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            if let Some(item) = self.get_item(tx, *id)? {
+                out.push(ItemSummary {
+                    id: item.id,
+                    name: item.name,
+                    current_price: item.current_price,
+                    nb_of_bids: item.nb_of_bids,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    // ==================================================================
+    // Page-granularity cacheable functions
+    // ==================================================================
+
+    /// The home page: the category and region lists.
+    pub fn page_home(&self, tx: &mut Transaction<'_>) -> Result<RenderedPage> {
+        tx.cached("page_home", &(), |tx| {
+            let categories = self.get_categories(tx)?;
+            let regions = self.get_regions(tx)?;
+            Ok(RenderedPage::new(
+                "RUBiS",
+                format!(
+                    "<ul>{}</ul><ul>{}</ul>",
+                    render_list(&categories),
+                    render_list(&regions)
+                ),
+            ))
+        })
+    }
+
+    /// The browse-categories page.
+    pub fn page_browse_categories(&self, tx: &mut Transaction<'_>) -> Result<RenderedPage> {
+        tx.cached("page_browse_categories", &(), |tx| {
+            let categories = self.get_categories(tx)?;
+            Ok(RenderedPage::new("Categories", render_list(&categories)))
+        })
+    }
+
+    /// The browse-regions page.
+    pub fn page_browse_regions(&self, tx: &mut Transaction<'_>) -> Result<RenderedPage> {
+        tx.cached("page_browse_regions", &(), |tx| {
+            let regions = self.get_regions(tx)?;
+            Ok(RenderedPage::new("Regions", render_list(&regions)))
+        })
+    }
+
+    /// A page of search results within a category.
+    pub fn page_search_items_in_category(
+        &self,
+        tx: &mut Transaction<'_>,
+        category: i64,
+        page: usize,
+    ) -> Result<RenderedPage> {
+        tx.cached("page_search_category", &(category, page), |tx| {
+            let items = self.search_items_by_category(tx, category, page)?;
+            Ok(RenderedPage::new(
+                format!("Items in category {category}"),
+                render_items(&items),
+            ))
+        })
+    }
+
+    /// A page of search results within a region and category.
+    pub fn page_search_items_in_region(
+        &self,
+        tx: &mut Transaction<'_>,
+        region: i64,
+        category: i64,
+    ) -> Result<RenderedPage> {
+        tx.cached("page_search_region", &(region, category), |tx| {
+            let items = self.search_items_by_region(tx, region, category)?;
+            Ok(RenderedPage::new(
+                format!("Items in region {region}, category {category}"),
+                render_items(&items),
+            ))
+        })
+    }
+
+    /// An item's detail page, including its seller.
+    pub fn page_view_item(&self, tx: &mut Transaction<'_>, item_id: i64) -> Result<RenderedPage> {
+        tx.cached("page_view_item", &item_id, |tx| {
+            let Some(item) = self.get_item(tx, item_id)? else {
+                return Ok(RenderedPage::new("Item not found", String::new()));
+            };
+            let seller = self.get_user(tx, item.seller)?;
+            let seller_name = seller.map(|u| u.nickname).unwrap_or_default();
+            Ok(RenderedPage::new(
+                item.name.clone(),
+                format!(
+                    "<h1>{}</h1><p>{}</p><p>price {:.2} after {} bids, sold by {}</p>",
+                    item.name, item.description, item.current_price, item.nb_of_bids, seller_name
+                ),
+            ))
+        })
+    }
+
+    /// A user-info page: profile plus the comments left about them.
+    pub fn page_view_user_info(
+        &self,
+        tx: &mut Transaction<'_>,
+        user_id: i64,
+    ) -> Result<RenderedPage> {
+        tx.cached("page_view_user", &user_id, |tx| {
+            let Some(user) = self.get_user(tx, user_id)? else {
+                return Ok(RenderedPage::new("User not found", String::new()));
+            };
+            let comments = self.get_user_comments(tx, user_id)?;
+            Ok(RenderedPage::new(
+                user.nickname.clone(),
+                format!(
+                    "<h1>{}</h1><p>rating {}</p><p>{} comments</p>",
+                    user.nickname,
+                    user.rating,
+                    comments.len()
+                ),
+            ))
+        })
+    }
+
+    /// An item's bid-history page.
+    pub fn page_view_bid_history(
+        &self,
+        tx: &mut Transaction<'_>,
+        item_id: i64,
+    ) -> Result<RenderedPage> {
+        tx.cached("page_bid_history", &item_id, |tx| {
+            let bids = self.get_bid_history(tx, item_id)?;
+            let rows: String = bids
+                .iter()
+                .map(|b| format!("<tr><td>{}</td><td>{:.2}</td></tr>", b.user_id, b.amount))
+                .collect();
+            Ok(RenderedPage::new(
+                format!("Bid history for item {item_id}"),
+                format!("<table>{rows}</table>"),
+            ))
+        })
+    }
+
+    /// The "About Me" page: the requesting user's profile, comments, and the
+    /// items they are currently bidding on.
+    pub fn page_about_me(&self, tx: &mut Transaction<'_>, user_id: i64) -> Result<RenderedPage> {
+        tx.cached("page_about_me", &user_id, |tx| {
+            let Some(user) = self.get_user(tx, user_id)? else {
+                return Ok(RenderedPage::new("User not found", String::new()));
+            };
+            let bids: Vec<i64> = {
+                let q = SelectQuery::table("bids")
+                    .filter(Predicate::eq("user_id", user_id))
+                    .select(vec!["item_id"])
+                    .limit(ITEMS_PER_PAGE);
+                let r = tx.query(&q)?;
+                (0..r.len())
+                    .map(|i| int(&r, i, "item_id"))
+                    .collect::<Result<_>>()?
+            };
+            let mut body = format!("<h1>{}</h1><p>balance {:.2}</p>", user.nickname, user.balance);
+            for item_id in bids {
+                if let Some(item) = self.get_item(tx, item_id)? {
+                    body.push_str(&format!("<p>bidding on {} at {:.2}</p>", item.name, item.current_price));
+                }
+            }
+            Ok(RenderedPage::new("About me", body))
+        })
+    }
+
+    // ==================================================================
+    // Write paths (read/write transactions, cache bypassed)
+    // ==================================================================
+
+    /// Places a bid on an item: inserts the bid and updates the item's bid
+    /// count and current price.
+    pub fn store_bid(
+        &self,
+        tx: &mut Transaction<'_>,
+        user_id: i64,
+        item_id: i64,
+        amount: f64,
+    ) -> Result<()> {
+        let q = SelectQuery::table("items").filter(Predicate::eq("id", item_id));
+        let item = tx.query(&q)?;
+        if item.is_empty() {
+            return Err(Error::Query(format!("no active item {item_id}")));
+        }
+        let nb = int(&item, 0, "nb_of_bids")?;
+        let current = float(&item, 0, "current_price")?;
+        let bid_id = self.next_id(tx, "bids")?;
+        tx.insert(
+            "bids",
+            vec![
+                Value::Int(bid_id),
+                Value::Int(user_id),
+                Value::Int(item_id),
+                Value::Float(amount),
+                Value::Int(bid_id),
+            ],
+        )?;
+        tx.update(
+            "items",
+            &Predicate::eq("id", item_id),
+            &[
+                ("nb_of_bids".to_string(), Value::Int(nb + 1)),
+                ("current_price".to_string(), Value::Float(current.max(amount))),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Stores a comment about a user and updates the target's rating (the
+    /// §2.1 example of a non-obvious invalidation dependency).
+    pub fn store_comment(
+        &self,
+        tx: &mut Transaction<'_>,
+        from_user: i64,
+        to_user: i64,
+        item_id: i64,
+        rating: i64,
+        text_body: &str,
+    ) -> Result<()> {
+        let comment_id = self.next_id(tx, "comments")?;
+        tx.insert(
+            "comments",
+            vec![
+                Value::Int(comment_id),
+                Value::Int(from_user),
+                Value::Int(to_user),
+                Value::Int(item_id),
+                Value::Int(rating),
+                Value::text(text_body),
+            ],
+        )?;
+        let q = SelectQuery::table("users").filter(Predicate::eq("id", to_user));
+        let r = tx.query(&q)?;
+        if !r.is_empty() {
+            let old = int(&r, 0, "rating")?;
+            tx.update(
+                "users",
+                &Predicate::eq("id", to_user),
+                &[("rating".to_string(), Value::Int(old + rating))],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Records a buy-now purchase.
+    pub fn store_buy_now(
+        &self,
+        tx: &mut Transaction<'_>,
+        buyer: i64,
+        item_id: i64,
+        qty: i64,
+    ) -> Result<()> {
+        let id = self.next_id(tx, "buy_now")?;
+        tx.insert(
+            "buy_now",
+            vec![
+                Value::Int(id),
+                Value::Int(buyer),
+                Value::Int(item_id),
+                Value::Int(qty),
+                Value::Int(id),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Registers a new user and returns their id.
+    pub fn register_user(
+        &self,
+        tx: &mut Transaction<'_>,
+        nickname: &str,
+        region: i64,
+    ) -> Result<i64> {
+        let id = self.next_id(tx, "users")?;
+        tx.insert(
+            "users",
+            vec![
+                Value::Int(id),
+                Value::text(nickname),
+                Value::text("password"),
+                Value::Int(0),
+                Value::Float(0.0),
+                Value::Int(region),
+            ],
+        )?;
+        Ok(id)
+    }
+
+    /// Registers a new auction item and returns its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn register_item(
+        &self,
+        tx: &mut Transaction<'_>,
+        seller: i64,
+        category: i64,
+        region: i64,
+        name: &str,
+        description: &str,
+        initial_price: f64,
+    ) -> Result<i64> {
+        let id = self.next_id(tx, "items")?;
+        tx.insert(
+            "items",
+            vec![
+                Value::Int(id),
+                Value::text(name),
+                Value::text(description),
+                Value::Int(seller),
+                Value::Int(category),
+                Value::Float(initial_price),
+                Value::Float(initial_price),
+                Value::Int(0),
+                Value::Int(1_000_000 + id),
+            ],
+        )?;
+        tx.insert(
+            "item_region_category",
+            vec![Value::Int(id), Value::Int(region), Value::Int(category)],
+        )?;
+        Ok(id)
+    }
+
+    /// Allocates the next id for `table`, behaving like a SQL sequence: the
+    /// first allocation reads the current maximum, subsequent ones are local
+    /// increments.
+    fn next_id(&self, tx: &mut Transaction<'_>, table: &str) -> Result<i64> {
+        let mut allocator = self.id_allocator.lock();
+        if let Some(next) = allocator.get_mut(table) {
+            *next += 1;
+            return Ok(*next);
+        }
+        drop(allocator);
+        let q = SelectQuery::table(table).aggregate(Aggregate::Max("id".into()));
+        let r = tx.query(&q)?;
+        let max = r.get(0, "max").ok().and_then(|v| v.as_int()).unwrap_or(0);
+        let mut allocator = self.id_allocator.lock();
+        let next = allocator.entry(table.to_string()).or_insert(max);
+        *next = (*next).max(max) + 1;
+        Ok(*next)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Small result-extraction helpers
+// ----------------------------------------------------------------------
+
+fn int(r: &mvdb::QueryResult, row: usize, col: &str) -> Result<i64> {
+    r.get(row, col)?
+        .as_int()
+        .ok_or_else(|| Error::Query(format!("column '{col}' is not an integer")))
+}
+
+fn float(r: &mvdb::QueryResult, row: usize, col: &str) -> Result<f64> {
+    r.get(row, col)?
+        .as_float()
+        .ok_or_else(|| Error::Query(format!("column '{col}' is not numeric")))
+}
+
+fn text(r: &mvdb::QueryResult, row: usize, col: &str) -> Result<String> {
+    Ok(r.get(row, col)?
+        .as_text()
+        .ok_or_else(|| Error::Query(format!("column '{col}' is not text")))?
+        .to_string())
+}
+
+fn render_list(entries: &[(i64, String)]) -> String {
+    entries
+        .iter()
+        .map(|(id, name)| format!("<li>{id}: {name}</li>"))
+        .collect()
+}
+
+fn render_items(items: &[ItemSummary]) -> String {
+    items
+        .iter()
+        .map(|i| format!("<li>{} — {:.2} ({} bids)</li>", i.name, i.current_price, i.nb_of_bids))
+        .collect()
+}

@@ -1,0 +1,28 @@
+//! # rubis — the RUBiS auction benchmark ported to TxCache (§7.1, §8)
+//!
+//! The paper evaluates TxCache with RUBiS, an auction site modeled after
+//! eBay. This crate contains everything the evaluation needs:
+//!
+//! * the RUBiS **schema** (plus the `item_region_category` table the authors
+//!   added to avoid a sequential scan) and a deterministic, scalable **data
+//!   generator** with presets matching the paper's in-memory and disk-bound
+//!   configurations;
+//! * the **application** ([`RubisApp`]): read-only paths built from cacheable
+//!   functions at both page and object granularity (with nested calls), and
+//!   read/write paths (bidding, commenting, registering) that bypass the
+//!   cache;
+//! * the **client emulator** ([`ClientSession`]): the standard bidding mix —
+//!   roughly 85% read-only interactions, 7-second mean think time — over the
+//!   26 RUBiS interactions.
+
+#![forbid(unsafe_code)]
+
+pub mod app;
+pub mod model;
+pub mod schema;
+pub mod workload;
+
+pub use app::{RubisApp, ITEMS_PER_PAGE};
+pub use model::{BidInfo, CommentInfo, ItemDetails, ItemSummary, RenderedPage, UserInfo};
+pub use schema::{create_tables, populate, schemas, DatasetSummary, RubisScale};
+pub use workload::{ClientSession, Interaction, InteractionReport, WorkloadConfig};

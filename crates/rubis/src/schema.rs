@@ -1,0 +1,412 @@
+//! The RUBiS auction-site schema, scale presets, and data generator.
+//!
+//! The schema follows the RUBiS benchmark: users, active and old auctions,
+//! bids, comments, buy-now purchases, plus the categories/regions dimension
+//! tables. Following §7.1 of the paper we also add the
+//! `item_region_category` table (and its indexes) that the authors introduced
+//! to avoid a sequential scan when browsing items by region and category.
+
+use mvdb::{ColumnType, Database, TableSchema, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use txtypes::Result;
+
+/// Scale parameters for generating a RUBiS database.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RubisScale {
+    /// Number of registered users.
+    pub users: usize,
+    /// Number of active auctions.
+    pub active_items: usize,
+    /// Number of completed auctions.
+    pub old_items: usize,
+    /// Number of item categories.
+    pub categories: usize,
+    /// Number of user regions.
+    pub regions: usize,
+    /// Average number of bids per item.
+    pub bids_per_item: usize,
+    /// Average number of comments per user (capped).
+    pub comments_per_user: usize,
+    /// Length of generated item descriptions, in bytes.
+    pub description_len: usize,
+}
+
+impl RubisScale {
+    /// The paper's in-memory configuration (≈850 MB: 35 k active auctions,
+    /// 50 k completed auctions, 160 k users) scaled by `factor`.
+    #[must_use]
+    pub fn in_memory(factor: f64) -> RubisScale {
+        RubisScale {
+            users: scaled(160_000, factor),
+            active_items: scaled(35_000, factor),
+            old_items: scaled(50_000, factor),
+            categories: 20,
+            regions: 62,
+            bids_per_item: 3,
+            comments_per_user: 2,
+            description_len: 200,
+        }
+    }
+
+    /// The paper's disk-bound configuration (≈6 GB: 225 k active auctions,
+    /// 1 M completed auctions, 1.35 M users) scaled by `factor`.
+    #[must_use]
+    pub fn disk_bound(factor: f64) -> RubisScale {
+        RubisScale {
+            users: scaled(1_350_000, factor),
+            active_items: scaled(225_000, factor),
+            old_items: scaled(1_000_000, factor),
+            categories: 20,
+            regions: 62,
+            bids_per_item: 3,
+            comments_per_user: 2,
+            description_len: 200,
+        }
+    }
+
+    /// A tiny configuration for unit and integration tests.
+    #[must_use]
+    pub fn tiny() -> RubisScale {
+        RubisScale {
+            users: 200,
+            active_items: 100,
+            old_items: 50,
+            categories: 5,
+            regions: 4,
+            bids_per_item: 2,
+            comments_per_user: 1,
+            description_len: 40,
+        }
+    }
+
+    /// Total number of item rows (active + old).
+    #[must_use]
+    pub fn total_items(&self) -> usize {
+        self.active_items + self.old_items
+    }
+}
+
+fn scaled(base: usize, factor: f64) -> usize {
+    ((base as f64 * factor).round() as usize).max(10)
+}
+
+/// Returns every table schema of the RUBiS database.
+#[must_use]
+pub fn schemas() -> Vec<TableSchema> {
+    vec![
+        TableSchema::new("categories")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .unique_index("id"),
+        TableSchema::new("regions")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .unique_index("id"),
+        TableSchema::new("users")
+            .column("id", ColumnType::Int)
+            .column("nickname", ColumnType::Text)
+            .column("password", ColumnType::Text)
+            .column("rating", ColumnType::Int)
+            .column("balance", ColumnType::Float)
+            .column("region", ColumnType::Int)
+            .unique_index("id")
+            .unique_index("nickname")
+            .index("region"),
+        TableSchema::new("items")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .column("description", ColumnType::Text)
+            .column("seller", ColumnType::Int)
+            .column("category", ColumnType::Int)
+            .column("initial_price", ColumnType::Float)
+            .column("current_price", ColumnType::Float)
+            .column("nb_of_bids", ColumnType::Int)
+            .column("end_date", ColumnType::Int)
+            .unique_index("id")
+            .index("seller")
+            .index("category"),
+        TableSchema::new("old_items")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .column("description", ColumnType::Text)
+            .column("seller", ColumnType::Int)
+            .column("category", ColumnType::Int)
+            .column("initial_price", ColumnType::Float)
+            .column("current_price", ColumnType::Float)
+            .column("nb_of_bids", ColumnType::Int)
+            .column("end_date", ColumnType::Int)
+            .unique_index("id")
+            .index("seller")
+            .index("category"),
+        TableSchema::new("bids")
+            .column("id", ColumnType::Int)
+            .column("user_id", ColumnType::Int)
+            .column("item_id", ColumnType::Int)
+            .column("bid", ColumnType::Float)
+            .column("date", ColumnType::Int)
+            .unique_index("id")
+            .index("item_id")
+            .index("user_id"),
+        TableSchema::new("comments")
+            .column("id", ColumnType::Int)
+            .column("from_user", ColumnType::Int)
+            .column("to_user", ColumnType::Int)
+            .column("item_id", ColumnType::Int)
+            .column("rating", ColumnType::Int)
+            .column("comment", ColumnType::Text)
+            .unique_index("id")
+            .index("to_user")
+            .index("item_id"),
+        TableSchema::new("buy_now")
+            .column("id", ColumnType::Int)
+            .column("buyer", ColumnType::Int)
+            .column("item_id", ColumnType::Int)
+            .column("qty", ColumnType::Int)
+            .column("date", ColumnType::Int)
+            .unique_index("id")
+            .index("buyer"),
+        // The table added in §7.1 so that region+category browsing uses an
+        // index instead of a sequential scan and join.
+        TableSchema::new("item_region_category")
+            .column("item_id", ColumnType::Int)
+            .column("region", ColumnType::Int)
+            .column("category", ColumnType::Int)
+            .unique_index("item_id")
+            .index("region")
+            .index("category"),
+    ]
+}
+
+/// Creates every RUBiS table on the database.
+pub fn create_tables(db: &Database) -> Result<()> {
+    for schema in schemas() {
+        db.create_table(schema)?;
+    }
+    Ok(())
+}
+
+/// Summary of a generated dataset, returned by [`populate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSummary {
+    /// Number of user rows.
+    pub users: usize,
+    /// Number of active item rows.
+    pub active_items: usize,
+    /// Number of old item rows.
+    pub old_items: usize,
+    /// Number of bid rows.
+    pub bids: usize,
+    /// Number of comment rows.
+    pub comments: usize,
+    /// Approximate total size of the generated data in bytes.
+    pub approx_bytes: usize,
+}
+
+/// Populates a RUBiS database deterministically from `seed`.
+pub fn populate(db: &Database, scale: &RubisScale, seed: u64) -> Result<DatasetSummary> {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    db.bulk_load(
+        "categories",
+        (1..=scale.categories as i64)
+            .map(|i| vec![Value::Int(i), Value::text(format!("category-{i}"))])
+            .collect(),
+    )?;
+    db.bulk_load(
+        "regions",
+        (1..=scale.regions as i64)
+            .map(|i| vec![Value::Int(i), Value::text(format!("region-{i}"))])
+            .collect(),
+    )?;
+
+    // Users.
+    let users: Vec<Vec<Value>> = (1..=scale.users as i64)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::text(format!("user{i}")),
+                Value::text(format!("password{i}")),
+                Value::Int(rng.random_range(0..100)),
+                Value::Float(rng.random_range(0.0..1000.0)),
+                Value::Int(rng.random_range(1..=scale.regions as i64)),
+            ]
+        })
+        .collect();
+    for chunk in users.chunks(50_000) {
+        db.bulk_load("users", chunk.to_vec())?;
+    }
+
+    // Items (active and old) plus the region/category side table and bids.
+    let mut bids: Vec<Vec<Value>> = Vec::new();
+    let mut irc: Vec<Vec<Value>> = Vec::new();
+    let mut bid_id: i64 = 1;
+    let description: String = "x".repeat(scale.description_len);
+
+    let make_items = |count: usize, offset: i64, rng: &mut StdRng| -> Vec<Vec<Value>> {
+        (0..count as i64)
+            .map(|n| {
+                let id = offset + n + 1;
+                let seller = rng.random_range(1..=scale.users.max(1) as i64);
+                let category = rng.random_range(1..=scale.categories as i64);
+                let initial = rng.random_range(1.0..100.0);
+                let nb_bids = scale.bids_per_item as i64;
+                vec![
+                    Value::Int(id),
+                    Value::text(format!("item-{id}")),
+                    Value::text(description.clone()),
+                    Value::Int(seller),
+                    Value::Int(category),
+                    Value::Float(initial),
+                    Value::Float(initial * 1.5),
+                    Value::Int(nb_bids),
+                    Value::Int(1_000_000 + id),
+                ]
+            })
+            .collect()
+    };
+
+    let active = make_items(scale.active_items, 0, &mut rng);
+    for item in &active {
+        let id = item[0].as_int().unwrap_or_default();
+        let category = item[4].as_int().unwrap_or_default();
+        // The seller's region stands in for the item's region, as in RUBiS.
+        let region = rng.random_range(1..=scale.regions as i64);
+        irc.push(vec![Value::Int(id), Value::Int(region), Value::Int(category)]);
+        for _ in 0..scale.bids_per_item {
+            bids.push(vec![
+                Value::Int(bid_id),
+                Value::Int(rng.random_range(1..=scale.users.max(1) as i64)),
+                Value::Int(id),
+                Value::Float(rng.random_range(1.0..200.0)),
+                Value::Int(bid_id),
+            ]);
+            bid_id += 1;
+        }
+    }
+    for chunk in active.chunks(50_000) {
+        db.bulk_load("items", chunk.to_vec())?;
+    }
+
+    let old = make_items(scale.old_items, scale.active_items as i64, &mut rng);
+    for item in &old {
+        let id = item[0].as_int().unwrap_or_default();
+        for _ in 0..scale.bids_per_item {
+            bids.push(vec![
+                Value::Int(bid_id),
+                Value::Int(rng.random_range(1..=scale.users.max(1) as i64)),
+                Value::Int(id),
+                Value::Float(rng.random_range(1.0..200.0)),
+                Value::Int(bid_id),
+            ]);
+            bid_id += 1;
+        }
+    }
+    for chunk in old.chunks(50_000) {
+        db.bulk_load("old_items", chunk.to_vec())?;
+    }
+
+    for chunk in irc.chunks(50_000) {
+        db.bulk_load("item_region_category", chunk.to_vec())?;
+    }
+    let bid_count = bids.len();
+    for chunk in bids.chunks(50_000) {
+        db.bulk_load("bids", chunk.to_vec())?;
+    }
+
+    // Comments.
+    let mut comments: Vec<Vec<Value>> = Vec::new();
+    let mut comment_id: i64 = 1;
+    for user in 1..=scale.users as i64 {
+        for _ in 0..scale.comments_per_user {
+            comments.push(vec![
+                Value::Int(comment_id),
+                Value::Int(rng.random_range(1..=scale.users.max(1) as i64)),
+                Value::Int(user),
+                Value::Int(rng.random_range(1..=scale.total_items().max(1) as i64)),
+                Value::Int(rng.random_range(0..=5)),
+                Value::text("great seller, fast shipping"),
+            ]);
+            comment_id += 1;
+        }
+    }
+    let comment_count = comments.len();
+    for chunk in comments.chunks(50_000) {
+        db.bulk_load("comments", chunk.to_vec())?;
+    }
+
+    Ok(DatasetSummary {
+        users: scale.users,
+        active_items: scale.active_items,
+        old_items: scale.old_items,
+        bids: bid_count,
+        comments: comment_count,
+        approx_bytes: db.total_bytes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvdb::{Aggregate, SelectQuery};
+
+    #[test]
+    fn scales_have_expected_proportions() {
+        let full = RubisScale::in_memory(1.0);
+        assert_eq!(full.users, 160_000);
+        assert_eq!(full.active_items, 35_000);
+        let tenth = RubisScale::in_memory(0.1);
+        assert_eq!(tenth.users, 16_000);
+        let disk = RubisScale::disk_bound(0.01);
+        assert_eq!(disk.old_items, 10_000);
+        assert!(RubisScale::tiny().total_items() < 200);
+    }
+
+    #[test]
+    fn schema_list_is_valid() {
+        for schema in schemas() {
+            schema.validate().unwrap();
+        }
+        assert_eq!(schemas().len(), 9);
+    }
+
+    #[test]
+    fn populate_creates_consistent_counts() {
+        let db = Database::with_defaults();
+        create_tables(&db).unwrap();
+        let scale = RubisScale::tiny();
+        let summary = populate(&db, &scale, 42).unwrap();
+        assert_eq!(summary.users, scale.users);
+        assert_eq!(summary.bids, scale.total_items() * scale.bids_per_item);
+        assert!(summary.approx_bytes > 0);
+
+        let count = |table: &str| -> i64 {
+            let q = SelectQuery::table(table).aggregate(Aggregate::Count);
+            db.query_ro_once(&q)
+                .unwrap()
+                .result
+                .get(0, "count")
+                .unwrap()
+                .as_int()
+                .unwrap()
+        };
+        assert_eq!(count("users"), scale.users as i64);
+        assert_eq!(count("items"), scale.active_items as i64);
+        assert_eq!(count("old_items"), scale.old_items as i64);
+        assert_eq!(count("item_region_category"), scale.active_items as i64);
+        assert_eq!(count("categories"), scale.categories as i64);
+    }
+
+    #[test]
+    fn populate_is_deterministic() {
+        let build = || {
+            let db = Database::with_defaults();
+            create_tables(&db).unwrap();
+            populate(&db, &RubisScale::tiny(), 7).unwrap();
+            let q = SelectQuery::table("items").filter(mvdb::Predicate::eq("id", 5i64));
+            let r = db.query_ro_once(&q).unwrap();
+            format!("{:?}", r.result.rows)
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,404 @@
+//! The RUBiS client emulator (§8).
+//!
+//! The benchmark drives the application with many concurrent user sessions.
+//! Each session walks a Markov chain over the 26 RUBiS interactions; the
+//! standard "bidding" workload is roughly 85% read-only interactions
+//! (browsing) and 15% read/write interactions (placing bids, commenting,
+//! registering), with exponentially distributed think times of 7 seconds mean
+//! between interactions.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use txcache::CommitInfo;
+use txtypes::{Result, Staleness};
+
+use crate::app::RubisApp;
+use crate::schema::RubisScale;
+
+/// The 26 RUBiS user interactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Interaction {
+    Home,
+    Register,
+    RegisterUser,
+    Browse,
+    BrowseCategories,
+    SearchItemsInCategory,
+    BrowseRegions,
+    BrowseCategoriesInRegion,
+    SearchItemsInRegion,
+    ViewItem,
+    ViewUserInfo,
+    ViewBidHistory,
+    BuyNowAuth,
+    BuyNow,
+    StoreBuyNow,
+    PutBidAuth,
+    PutBid,
+    StoreBid,
+    PutCommentAuth,
+    PutComment,
+    StoreComment,
+    SellItemForm,
+    SellItemCategory,
+    RegisterItem,
+    AboutMeAuth,
+    AboutMe,
+}
+
+impl Interaction {
+    /// All interactions, in a stable order.
+    pub const ALL: [Interaction; 26] = [
+        Interaction::Home,
+        Interaction::Register,
+        Interaction::RegisterUser,
+        Interaction::Browse,
+        Interaction::BrowseCategories,
+        Interaction::SearchItemsInCategory,
+        Interaction::BrowseRegions,
+        Interaction::BrowseCategoriesInRegion,
+        Interaction::SearchItemsInRegion,
+        Interaction::ViewItem,
+        Interaction::ViewUserInfo,
+        Interaction::ViewBidHistory,
+        Interaction::BuyNowAuth,
+        Interaction::BuyNow,
+        Interaction::StoreBuyNow,
+        Interaction::PutBidAuth,
+        Interaction::PutBid,
+        Interaction::StoreBid,
+        Interaction::PutCommentAuth,
+        Interaction::PutComment,
+        Interaction::StoreComment,
+        Interaction::SellItemForm,
+        Interaction::SellItemCategory,
+        Interaction::RegisterItem,
+        Interaction::AboutMeAuth,
+        Interaction::AboutMe,
+    ];
+
+    /// Whether the interaction only reads (and therefore runs as a read-only,
+    /// cacheable transaction).
+    #[must_use]
+    pub fn is_read_only(self) -> bool {
+        !matches!(
+            self,
+            Interaction::RegisterUser
+                | Interaction::StoreBuyNow
+                | Interaction::StoreBid
+                | Interaction::StoreComment
+                | Interaction::RegisterItem
+        )
+    }
+}
+
+/// The outcome of one emulated interaction.
+#[derive(Debug, Clone, Copy)]
+pub struct InteractionReport {
+    /// Which interaction ran.
+    pub interaction: Interaction,
+    /// The transaction's commit report (timestamps, query and cache counts).
+    pub commit: CommitInfo,
+    /// Whether the transaction had to be retried due to a write conflict.
+    pub retried: bool,
+}
+
+/// Workload parameters for the bidding mix.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Staleness limit used for read-only transactions.
+    pub staleness: Staleness,
+    /// Mean think time between interactions, in microseconds (the standard
+    /// workload uses a 7-second negative-exponential distribution).
+    pub mean_think_time_micros: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            staleness: Staleness::seconds(30),
+            mean_think_time_micros: 7_000_000,
+        }
+    }
+}
+
+/// One emulated user session.
+#[derive(Debug)]
+pub struct ClientSession {
+    rng: StdRng,
+    scale: RubisScale,
+    config: WorkloadConfig,
+    user_id: i64,
+    last: Interaction,
+}
+
+impl ClientSession {
+    /// Creates a session with its own deterministic random stream.
+    #[must_use]
+    pub fn new(seed: u64, scale: RubisScale, config: WorkloadConfig) -> ClientSession {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let user_id = rng.random_range(1..=scale.users.max(1) as i64);
+        ClientSession {
+            rng,
+            scale,
+            config,
+            user_id,
+            last: Interaction::Home,
+        }
+    }
+
+    /// The session's logged-in user.
+    #[must_use]
+    pub fn user_id(&self) -> i64 {
+        self.user_id
+    }
+
+    /// Samples the next think time (negative-exponential with the configured
+    /// mean).
+    pub fn think_time_micros(&mut self) -> u64 {
+        let u: f64 = self.rng.random_range(f64::EPSILON..1.0);
+        let mean = self.config.mean_think_time_micros as f64;
+        (-mean * u.ln()) as u64
+    }
+
+    /// Chooses the next interaction according to the bidding-mix transition
+    /// weights (≈85% read-only).
+    pub fn next_interaction(&mut self) -> Interaction {
+        use Interaction::*;
+        // (interaction, weight) pairs; weights approximate the RUBiS bidding
+        // mix transition matrix collapsed to a stationary distribution.
+        const WEIGHTS: &[(Interaction, u32)] = &[
+            (Home, 6),
+            (Register, 1),
+            (RegisterUser, 1),
+            (Browse, 8),
+            (BrowseCategories, 8),
+            (SearchItemsInCategory, 18),
+            (BrowseRegions, 4),
+            (BrowseCategoriesInRegion, 4),
+            (SearchItemsInRegion, 6),
+            (ViewItem, 16),
+            (ViewUserInfo, 5),
+            (ViewBidHistory, 4),
+            (BuyNowAuth, 1),
+            (BuyNow, 1),
+            (StoreBuyNow, 1),
+            (PutBidAuth, 3),
+            (PutBid, 3),
+            (StoreBid, 6),
+            (PutCommentAuth, 1),
+            (PutComment, 1),
+            (StoreComment, 2),
+            (SellItemForm, 1),
+            (SellItemCategory, 1),
+            (RegisterItem, 2),
+            (AboutMeAuth, 1),
+            (AboutMe, 3),
+        ];
+        let total: u32 = WEIGHTS.iter().map(|(_, w)| w).sum();
+        let mut pick = self.rng.random_range(0..total);
+        for (interaction, weight) in WEIGHTS {
+            if pick < *weight {
+                self.last = *interaction;
+                return *interaction;
+            }
+            pick -= weight;
+        }
+        self.last = Home;
+        Home
+    }
+
+    /// The most recently chosen interaction.
+    #[must_use]
+    pub fn last_interaction(&self) -> Interaction {
+        self.last
+    }
+
+    /// Executes one interaction against the application, retrying once on a
+    /// write-write conflict (as the PHP application does).
+    pub fn run(&mut self, app: &RubisApp, interaction: Interaction) -> Result<InteractionReport> {
+        match self.execute(app, interaction) {
+            Ok(commit) => Ok(InteractionReport {
+                interaction,
+                commit,
+                retried: false,
+            }),
+            Err(e) if e.is_retryable() => {
+                let commit = self.execute(app, interaction)?;
+                Ok(InteractionReport {
+                    interaction,
+                    commit,
+                    retried: true,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn execute(&mut self, app: &RubisApp, interaction: Interaction) -> Result<CommitInfo> {
+        use Interaction::*;
+        let staleness = self.config.staleness;
+        let item_id = self.rng.random_range(1..=self.scale.total_items().max(1) as i64);
+        let active_item = self.rng.random_range(1..=self.scale.active_items.max(1) as i64);
+        let other_user = self.rng.random_range(1..=self.scale.users.max(1) as i64);
+        let category = self.rng.random_range(1..=self.scale.categories.max(1) as i64);
+        let region = self.rng.random_range(1..=self.scale.regions.max(1) as i64);
+        let page = self.rng.random_range(0..3usize);
+        let me = self.user_id;
+
+        if interaction.is_read_only() {
+            let mut tx = app.begin_ro(staleness)?;
+            let result = (|| -> Result<()> {
+                match interaction {
+                    Home | Register | SellItemForm => {
+                        app.page_home(&mut tx)?;
+                    }
+                    Browse | BrowseCategories | SellItemCategory => {
+                        app.page_browse_categories(&mut tx)?;
+                    }
+                    BrowseRegions => {
+                        app.page_browse_regions(&mut tx)?;
+                    }
+                    BrowseCategoriesInRegion => {
+                        app.page_browse_regions(&mut tx)?;
+                        app.page_browse_categories(&mut tx)?;
+                    }
+                    SearchItemsInCategory => {
+                        app.page_search_items_in_category(&mut tx, category, page)?;
+                    }
+                    SearchItemsInRegion => {
+                        app.page_search_items_in_region(&mut tx, region, category)?;
+                    }
+                    ViewItem => {
+                        app.page_view_item(&mut tx, item_id)?;
+                    }
+                    ViewUserInfo => {
+                        app.page_view_user_info(&mut tx, other_user)?;
+                    }
+                    ViewBidHistory => {
+                        app.page_view_bid_history(&mut tx, item_id)?;
+                    }
+                    BuyNowAuth | PutBidAuth | PutCommentAuth | AboutMeAuth => {
+                        app.auth_user(&mut tx, &format!("user{me}"))?;
+                    }
+                    BuyNow | PutBid => {
+                        app.auth_user(&mut tx, &format!("user{me}"))?;
+                        app.page_view_item(&mut tx, active_item)?;
+                    }
+                    PutComment => {
+                        app.auth_user(&mut tx, &format!("user{me}"))?;
+                        app.page_view_user_info(&mut tx, other_user)?;
+                    }
+                    AboutMe => {
+                        app.page_about_me(&mut tx, me)?;
+                    }
+                    _ => {}
+                }
+                Ok(())
+            })();
+            match result {
+                Ok(()) => tx.commit(),
+                Err(e) => {
+                    let _ = tx.abort();
+                    Err(e)
+                }
+            }
+        } else {
+            let mut tx = app.begin_rw()?;
+            let result = (|| -> Result<()> {
+                match interaction {
+                    RegisterUser => {
+                        app.register_user(
+                            &mut tx,
+                            &format!("newuser-{}-{}", me, self.rng.random_range(0..u32::MAX)),
+                            region,
+                        )?;
+                    }
+                    StoreBuyNow => {
+                        app.store_buy_now(&mut tx, me, active_item, 1)?;
+                    }
+                    StoreBid => {
+                        let amount = self.rng.random_range(1.0..500.0);
+                        app.store_bid(&mut tx, me, active_item, amount)?;
+                    }
+                    StoreComment => {
+                        app.store_comment(&mut tx, me, other_user, item_id, 1, "nice")?;
+                    }
+                    RegisterItem => {
+                        app.register_item(
+                            &mut tx,
+                            me,
+                            category,
+                            region,
+                            "new item",
+                            "freshly listed",
+                            10.0,
+                        )?;
+                    }
+                    _ => {}
+                }
+                Ok(())
+            })();
+            match result {
+                Ok(()) => tx.commit(),
+                Err(e) => {
+                    let _ = tx.abort();
+                    Err(e)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interaction_classification() {
+        assert!(Interaction::ViewItem.is_read_only());
+        assert!(Interaction::SearchItemsInCategory.is_read_only());
+        assert!(!Interaction::StoreBid.is_read_only());
+        assert!(!Interaction::RegisterItem.is_read_only());
+        assert_eq!(Interaction::ALL.len(), 26);
+    }
+
+    #[test]
+    fn bidding_mix_is_roughly_85_percent_read_only() {
+        let mut session = ClientSession::new(1, RubisScale::tiny(), WorkloadConfig::default());
+        let total = 20_000;
+        let read_only = (0..total)
+            .filter(|_| session.next_interaction().is_read_only())
+            .count();
+        let fraction = read_only as f64 / total as f64;
+        assert!(
+            (0.80..=0.92).contains(&fraction),
+            "read-only fraction {fraction} outside the bidding-mix range"
+        );
+    }
+
+    #[test]
+    fn think_times_have_roughly_the_configured_mean() {
+        let mut session = ClientSession::new(2, RubisScale::tiny(), WorkloadConfig::default());
+        let n = 5_000;
+        let mean: f64 =
+            (0..n).map(|_| session.think_time_micros() as f64).sum::<f64>() / n as f64;
+        assert!(
+            (5_000_000.0..9_000_000.0).contains(&mean),
+            "mean think time {mean} not near 7 s"
+        );
+    }
+
+    #[test]
+    fn sessions_are_deterministic_given_a_seed() {
+        let seq = |seed| {
+            let mut s = ClientSession::new(seed, RubisScale::tiny(), WorkloadConfig::default());
+            (0..50).map(|_| s.next_interaction()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(9), seq(9));
+        assert_ne!(seq(9), seq(10));
+        let s = ClientSession::new(9, RubisScale::tiny(), WorkloadConfig::default());
+        assert!(s.user_id() >= 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// A convenience alias for results whose error type is [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the TxCache components.
+///
+/// The set is intentionally small: most operations in the system are
+/// infallible by construction (cache misses are not errors, for example), and
+/// the remaining failures fall into a few categories that callers handle
+/// differently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A transaction referenced an unknown or already-finished transaction id.
+    UnknownTransaction(String),
+    /// A query referenced a table, column, or index that does not exist.
+    Schema(String),
+    /// A query or statement was malformed (type mismatch, bad predicate, …).
+    Query(String),
+    /// A read/write transaction lost a first-committer-wins conflict and must
+    /// be retried by the application.
+    SerializationFailure(String),
+    /// A requested snapshot is no longer available (it was unpinned and
+    /// vacuumed away).
+    SnapshotUnavailable(String),
+    /// The client library was used incorrectly, e.g. issuing a query outside
+    /// a transaction or committing twice.
+    InvalidState(String),
+    /// A cached value could not be serialized or deserialized.
+    Serialization(String),
+}
+
+impl Error {
+    /// Returns `true` if the error indicates a transient condition the caller
+    /// should retry (serialization failures, unavailable snapshots).
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Error::SerializationFailure(_) | Error::SnapshotUnavailable(_)
+        )
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownTransaction(m) => write!(f, "unknown transaction: {m}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Query(m) => write!(f, "query error: {m}"),
+            Error::SerializationFailure(m) => write!(f, "serialization failure: {m}"),
+            Error::SnapshotUnavailable(m) => write!(f, "snapshot unavailable: {m}"),
+            Error::InvalidState(m) => write!(f, "invalid state: {m}"),
+            Error::Serialization(m) => write!(f, "serialization error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        assert!(Error::SerializationFailure("x".into()).is_retryable());
+        assert!(Error::SnapshotUnavailable("x".into()).is_retryable());
+        assert!(!Error::Schema("x".into()).is_retryable());
+        assert!(!Error::InvalidState("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn display_includes_category() {
+        let e = Error::Query("bad predicate".into());
+        assert!(e.to_string().contains("query error"));
+        assert!(e.to_string().contains("bad predicate"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Shared vocabulary types for the TxCache reproduction.
+//!
+//! This crate defines the small set of types that every other crate in the
+//! workspace speaks:
+//!
+//! * [`Timestamp`] — a logical database commit timestamp. All versioning in the
+//!   system (tuple visibility, cache-entry validity, pin sets) is expressed in
+//!   terms of commit timestamps, exactly as in the paper (§4.1, §5.1).
+//! * [`WallClock`] — simulated wall-clock time, used only to express staleness
+//!   limits ("data from within the last 30 seconds") and to order pincushion
+//!   entries. The mapping between the two is maintained by the database's
+//!   commit log and by the pincushion.
+//! * [`ValidityInterval`] — the half-open range of timestamps over which a
+//!   query result or cached value is the current result (§4.1, §5.2).
+//! * [`IntervalSet`] — a union of disjoint intervals; used for the *invalidity
+//!   mask* the database accumulates from tuples that fail visibility checks
+//!   (§5.2) and for validity bookkeeping in tests.
+//! * [`InvalidationTag`] / [`TagSet`] — dual-granularity description of what
+//!   parts of the database a query (and therefore a cached object) depends on
+//!   (§4.2, §5.3).
+//! * [`CacheKey`] — the serialized (function, arguments) identity of a
+//!   cacheable call (§6.1).
+//! * [`Staleness`] — a per-transaction staleness limit (§2.2).
+//!
+//! The types are deliberately free of any behaviour specific to the database,
+//! the cache server, or the client library so that each of those components
+//! can be tested in isolation.
+
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod error;
+pub mod interval;
+pub mod interval_set;
+pub mod key;
+pub mod staleness;
+pub mod tag;
+pub mod timestamp;
+
+pub use clock::SimClock;
+pub use error::{Error, Result};
+pub use interval::ValidityInterval;
+pub use interval_set::IntervalSet;
+pub use key::CacheKey;
+pub use staleness::Staleness;
+pub use tag::{InvalidationTag, TagSet};
+pub use timestamp::{Timestamp, WallClock};

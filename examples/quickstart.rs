@@ -1,0 +1,79 @@
+//! Quickstart: wire up TxCache, cache a function, watch it get invalidated.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use std::sync::Arc;
+
+use txcache_repro::cache_server::CacheCluster;
+use txcache_repro::mvdb::{ColumnType, Database, DbConfig, Predicate, SelectQuery, TableSchema, Value};
+use txcache_repro::pincushion::Pincushion;
+use txcache_repro::txcache::{TxCache, TxCacheConfig};
+use txcache_repro::txtypes::{Result, SimClock, Staleness};
+
+fn main() -> Result<()> {
+    // 1. Set up the components: database, cache cluster, pincushion, library.
+    let clock = SimClock::new();
+    let db = Arc::new(Database::new(DbConfig::default(), clock.clone()));
+    db.create_table(
+        TableSchema::new("greetings")
+            .column("id", ColumnType::Int)
+            .column("text", ColumnType::Text)
+            .unique_index("id"),
+    )?;
+    db.bulk_load(
+        "greetings",
+        vec![vec![Value::Int(1), Value::text("hello, world")]],
+    )?;
+
+    let cache = Arc::new(CacheCluster::new(2, 16 << 20));
+    let pincushion = Arc::new(Pincushion::new(Default::default(), clock.clone()));
+    let txcache = Arc::new(TxCache::new(
+        db.clone(),
+        cache.clone(),
+        pincushion,
+        clock.clone(),
+        TxCacheConfig::default(),
+    ));
+
+    // 2. A cacheable function: fetch a greeting by id.
+    let fetch = |tx: &mut txcache_repro::txcache::Transaction<'_>, id: i64| -> Result<String> {
+        tx.cached("greeting", &id, |tx| {
+            let q = SelectQuery::table("greetings").filter(Predicate::eq("id", id));
+            let r = tx.query(&q)?;
+            Ok(r.get(0, "text")?.as_text().unwrap_or_default().to_string())
+        })
+    };
+
+    // 3. First read-only transaction: a cache miss, computed from the database.
+    let mut tx = txcache.begin_ro(Staleness::seconds(30))?;
+    println!("first call  : {}", fetch(&mut tx, 1)?);
+    tx.commit()?;
+
+    // 4. Second transaction: served from the cache.
+    let mut tx = txcache.begin_ro(Staleness::seconds(30))?;
+    println!("second call : {} (from cache)", fetch(&mut tx, 1)?);
+    tx.commit()?;
+
+    // 5. A read/write transaction updates the row. TxCache automatically
+    //    invalidates the cached result — no application invalidation code.
+    let mut rw = txcache.begin_rw()?;
+    rw.update(
+        "greetings",
+        &Predicate::eq("id", 1i64),
+        &[("text".to_string(), Value::text("hello, TxCache"))],
+    )?;
+    rw.commit()?;
+
+    // 6. A fresh transaction (tight staleness bound) sees the new value.
+    clock.advance_secs(31); // age the old snapshot past the staleness limit
+    let mut tx = txcache.begin_ro(Staleness::seconds(1))?;
+    println!("after update: {}", fetch(&mut tx, 1)?);
+    tx.commit()?;
+
+    let stats = txcache.stats();
+    println!(
+        "cacheable calls: {}, hits: {}, misses: {}",
+        stats.cacheable_calls, stats.cache_hits, stats.cache_misses
+    );
+    Ok(())
+}

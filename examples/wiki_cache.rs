@@ -1,0 +1,131 @@
+//! A MediaWiki-style port (§7.2): a small wiki whose page-rendering path is
+//! built from cacheable functions, including the §2.1 "user edit count"
+//! example of a non-obvious invalidation dependency that TxCache handles
+//! automatically.
+//!
+//! Run with `cargo run --example wiki_cache`.
+
+use std::sync::Arc;
+
+use txcache_repro::cache_server::CacheCluster;
+use txcache_repro::mvdb::{
+    Aggregate, ColumnType, Database, DbConfig, Predicate, SelectQuery, TableSchema, Value,
+};
+use txcache_repro::pincushion::Pincushion;
+use txcache_repro::txcache::{Transaction, TxCache, TxCacheConfig};
+use txcache_repro::txtypes::{Result, SimClock, Staleness};
+
+struct Wiki {
+    txcache: Arc<TxCache>,
+}
+
+impl Wiki {
+    /// Renders an article: its latest revision text plus the author's edit
+    /// count (computed from the revisions table, like MediaWiki's USER
+    /// object).
+    fn render_article(&self, tx: &mut Transaction<'_>, title: &str) -> Result<String> {
+        tx.cached("render_article", &title.to_string(), |tx| {
+            let q = SelectQuery::table("revisions")
+                .filter(Predicate::eq("title", title))
+                .order_by("id", txcache_repro::mvdb::SortOrder::Desc)
+                .limit(1);
+            let r = tx.query(&q)?;
+            if r.is_empty() {
+                return Ok(format!("<article '{title}' does not exist>"));
+            }
+            let text = r.get(0, "text")?.as_text().unwrap_or_default().to_string();
+            let author = r.get(0, "author")?.as_int().unwrap_or_default();
+            let edits = self.user_edit_count(tx, author)?;
+            Ok(format!("{title}: {text} (by user {author}, {edits} edits)"))
+        })
+    }
+
+    /// A nested cacheable function: the author's edit count.
+    fn user_edit_count(&self, tx: &mut Transaction<'_>, user: i64) -> Result<i64> {
+        tx.cached("user_edit_count", &user, |tx| {
+            let q = SelectQuery::table("revisions")
+                .filter(Predicate::eq("author", user))
+                .aggregate(Aggregate::Count);
+            let r = tx.query(&q)?;
+            Ok(r.get(0, "count")?.as_int().unwrap_or(0))
+        })
+    }
+
+    /// Saving an edit inserts a revision. The cached article *and* the cached
+    /// edit count are both invalidated automatically — the bug class
+    /// described in §2.1 cannot happen.
+    fn save_edit(&self, title: &str, author: i64, text: &str) -> Result<()> {
+        let mut tx = self.txcache.begin_rw()?;
+        let q = SelectQuery::table("revisions").aggregate(Aggregate::Max("id".into()));
+        let next = tx.query(&q)?.get(0, "max")?.as_int().unwrap_or(0) + 1;
+        tx.insert(
+            "revisions",
+            vec![
+                Value::Int(next),
+                Value::text(title),
+                Value::Int(author),
+                Value::text(text),
+            ],
+        )?;
+        tx.commit()?;
+        Ok(())
+    }
+}
+
+fn main() -> Result<()> {
+    let clock = SimClock::new();
+    let db = Arc::new(Database::new(DbConfig::default(), clock.clone()));
+    db.create_table(
+        TableSchema::new("revisions")
+            .column("id", ColumnType::Int)
+            .column("title", ColumnType::Text)
+            .column("author", ColumnType::Int)
+            .column("text", ColumnType::Text)
+            .unique_index("id")
+            .index("title")
+            .index("author"),
+    )?;
+    db.bulk_load(
+        "revisions",
+        vec![vec![
+            Value::Int(1),
+            Value::text("Main_Page"),
+            Value::Int(7),
+            Value::text("welcome to the wiki"),
+        ]],
+    )?;
+
+    let cache = Arc::new(CacheCluster::new(1, 8 << 20));
+    let pincushion = Arc::new(Pincushion::new(Default::default(), clock.clone()));
+    let txcache = Arc::new(TxCache::new(
+        db,
+        cache,
+        pincushion,
+        clock.clone(),
+        TxCacheConfig::default(),
+    ));
+    let wiki = Wiki { txcache: txcache.clone() };
+
+    let mut tx = txcache.begin_ro(Staleness::seconds(30))?;
+    println!("{}", wiki.render_article(&mut tx, "Main_Page")?);
+    tx.commit()?;
+
+    // Cached on the second view.
+    let mut tx = txcache.begin_ro(Staleness::seconds(30))?;
+    println!("{}  [cached]", wiki.render_article(&mut tx, "Main_Page")?);
+    tx.commit()?;
+
+    // Edit the page: both the article and the edit count are invalidated.
+    wiki.save_edit("Main_Page", 7, "welcome to the *TxCache* wiki")?;
+    clock.advance_secs(31);
+    let mut tx = txcache.begin_ro(Staleness::seconds(1))?;
+    println!("{}  [after edit]", wiki.render_article(&mut tx, "Main_Page")?);
+    tx.commit()?;
+
+    let stats = txcache.stats();
+    println!(
+        "\ncacheable calls: {}, hits: {}, misses: {}",
+        stats.cacheable_calls, stats.cache_hits, stats.cache_misses
+    );
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the TxCache reproduction workspace.
+//!
+//! Re-exports the main crates so the examples and integration tests can use a
+//! single dependency. See the individual crates for the real functionality.
+
+#![forbid(unsafe_code)]
+
+pub use cache_server;
+pub use harness;
+pub use mvdb;
+pub use pincushion;
+pub use rubis;
+pub use txcache;
+pub use txtypes;
