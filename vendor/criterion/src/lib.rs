@@ -1,0 +1,143 @@
+//! Offline subset of the `criterion` benchmark framework.
+//!
+//! Runs each benchmark for a short calibrated burst and prints mean
+//! time-per-iteration. No statistical machinery, plots, or baselines — just
+//! enough to keep the workspace's `benches/` targets building and producing
+//! comparable numbers in the offline container.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// How batched inputs are sized; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            group: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub autoscales iteration counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / u32::try_from(bencher.iters.min(u64::from(u32::MAX))).unwrap_or(1)
+        };
+        println!(
+            "  {}/{name}: {:>12.1} ns/iter ({} iters)",
+            self.group,
+            per_iter.as_nanos() as f64,
+            bencher.iters
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Measures a closure over a calibrated number of iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and calibrate with one batch, then run until TARGET.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < TARGET {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        while start.elapsed() < TARGET {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            measured += t0.elapsed();
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = measured;
+    }
+}
+
+/// Declares the benchmark entry point functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,243 @@
+//! Offline subset of `crossbeam`.
+//!
+//! Provides `crossbeam::channel`: multi-producer multi-consumer channels
+//! whose `Sender` and `Receiver` are both `Send + Sync + Clone`, matching the
+//! semantics the invalidation fan-out relies on (std's mpsc `Receiver` is
+//! neither `Sync` nor cloneable).
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        available: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            available: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and all
+    /// senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl std::fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => f.write_str("receiving on a disconnected channel"),
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    impl<T> Sender<T> {
+        /// Enqueues a message, failing if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.shared.available.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.available.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.available.wait(state).unwrap();
+            }
+        }
+
+        /// Returns a pending message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.queue.lock().unwrap();
+            match state.items.pop_front() {
+                Some(item) => Ok(item),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Drains currently pending messages without blocking.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.try_recv().ok())
+        }
+
+        /// Returns the number of queued messages.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().items.len()
+        }
+
+        /// Returns true if no messages are queued.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared.queue.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.queue.lock().unwrap().receivers -= 1;
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_semantics() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            assert_eq!(rx.recv(), Err(RecvError));
+
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(5), Err(SendError(5)));
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (tx, rx) = unbounded();
+            let producer = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            while got.len() < 100 {
+                got.push(rx.recv().unwrap());
+            }
+            producer.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! Offline subset of the `proptest` property-testing framework.
+//!
+//! Supports the combinators this workspace's property suites use: range and
+//! regex-literal strategies, tuples, `prop_map`, `option::of`,
+//! `collection::{vec, btree_set}`, `any::<T>()`, and the `proptest!` /
+//! `prop_assert!` macros. Cases are generated from a deterministic seed per
+//! test (no shrinking); set `PROPTEST_CASES` to change the case count.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {
+            $(
+                impl Strategy for std::ops::Range<$ty> {
+                    type Value = $ty;
+                    fn sample(&self, rng: &mut StdRng) -> $ty {
+                        rand::RngExt::random_range(rng, self.clone())
+                    }
+                }
+
+                impl Strategy for std::ops::RangeInclusive<$ty> {
+                    type Value = $ty;
+                    fn sample(&self, rng: &mut StdRng) -> $ty {
+                        rand::RngExt::random_range(rng, self.clone())
+                    }
+                }
+            )*
+        };
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rand::RngExt::random_range(rng, self.clone())
+        }
+    }
+
+    /// String strategy from a regex-like pattern literal.
+    ///
+    /// Supports the subset used in this workspace: literal characters,
+    /// character classes `[a-z0-9_]`, the any-char dot, and the quantifiers
+    /// `{n}`, `{lo,hi}`, `?`, `*`, `+` (the unbounded ones capped at 8).
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut StdRng) -> String {
+            crate::pattern::sample_pattern(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($ty:ident . $n:tt),+),)*) => {
+            $(
+                impl<$($ty: Strategy),+> Strategy for ($($ty,)+) {
+                    type Value = ($($ty::Value,)+);
+                    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                        ($(self.$n.sample(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+
+    tuple_strategy! {
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+    }
+
+    /// Strategy for a fixed value (proptest's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+mod pattern {
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<char>),
+        Any,
+    }
+
+    /// Generates a string matching the supported regex subset.
+    pub fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let mut out = String::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut class = Vec::new();
+                    let mut prev: Option<char> = None;
+                    for member in chars.by_ref() {
+                        match member {
+                            ']' => break,
+                            '-' if prev.is_some() => {
+                                // Range like a-z: expand on the next char.
+                                class.push('-');
+                            }
+                            m => {
+                                if class.last() == Some(&'-') && prev.is_some() {
+                                    class.pop();
+                                    let start = prev.unwrap();
+                                    for r in (start as u32 + 1)..=(m as u32) {
+                                        if let Some(rc) = char::from_u32(r) {
+                                            class.push(rc);
+                                        }
+                                    }
+                                    prev = None;
+                                } else {
+                                    class.push(m);
+                                    prev = Some(m);
+                                }
+                            }
+                        }
+                    }
+                    if class.is_empty() {
+                        class.push('a');
+                    }
+                    Atom::Class(class)
+                }
+                '.' => Atom::Any,
+                '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+                lit => Atom::Literal(lit),
+            };
+
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for d in chars.by_ref() {
+                        if d == '}' {
+                            break;
+                        }
+                        spec.push(d);
+                    }
+                    match spec.split_once(',') {
+                        Some((a, b)) => {
+                            (a.trim().parse().unwrap_or(0), b.trim().parse().unwrap_or(8))
+                        }
+                        None => {
+                            let n = spec.trim().parse().unwrap_or(1);
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0usize, 1usize)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+
+            let count = if lo == hi {
+                lo
+            } else {
+                rng.random_range(lo..=hi)
+            };
+            for _ in 0..count {
+                out.push(match &atom {
+                    Atom::Literal(c) => *c,
+                    Atom::Class(class) => class[rng.random_range(0..class.len())],
+                    // Printable ASCII, excluding the quote-ish edge cases the
+                    // tests don't care about.
+                    Atom::Any => char::from_u32(rng.random_range(0x20u32..0x7f)).unwrap_or('x'),
+                });
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, RngExt};
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($ty:ty),*) => {
+            $(
+                impl Arbitrary for $ty {
+                    fn arbitrary(rng: &mut StdRng) -> $ty {
+                        rng.next_u64() as $ty
+                    }
+                }
+            )*
+        };
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> f64 {
+            rng.random_range(-1.0e9..1.0e9)
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut StdRng) -> f32 {
+            rng.random_range(-1.0e9..1.0e9) as f32
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut StdRng) -> char {
+            char::from_u32(rng.random_range(0x20u32..0x7f)).unwrap_or('x')
+        }
+    }
+}
+
+/// Strategy producing any value of `T` (via [`arbitrary::Arbitrary`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the canonical strategy for `T`.
+#[must_use]
+pub fn any<T: arbitrary::Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: arbitrary::Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut rand::rngs::StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    /// Strategy for `Option<S::Value>`, `None` about a quarter of the time.
+    pub struct OfStrategy<S>(S);
+
+    /// Wraps `strategy` to generate optional values.
+    pub fn of<S: Strategy>(strategy: S) -> OfStrategy<S> {
+        OfStrategy(strategy)
+    }
+
+    impl<S: Strategy> Strategy for OfStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Strategy for `Vec` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.is_empty() {
+                0
+            } else {
+                rng.random_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet` with a target size drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    pub fn btree_set<S>(element: S, size: std::ops::Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let target = if self.size.is_empty() {
+                0
+            } else {
+                rng.random_range(self.size.clone())
+            };
+            let mut out = std::collections::BTreeSet::new();
+            // Duplicates shrink the set; bound the retry budget.
+            for _ in 0..target.saturating_mul(4) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of cases per property (override with `PROPTEST_CASES`).
+    #[must_use]
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Deterministic per-test RNG derived from the test name.
+    #[must_use]
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+/// Declares property tests: each `fn` runs its body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+                for _ in 0..$crate::test_runner::cases() {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    // The inner loop scopes a user-level `break` (which real
+                    // proptest permits to end a case early) to this case.
+                    #[allow(clippy::never_loop)]
+                    loop {
+                        $body
+                        break;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn ranges_and_maps_sample_in_bounds() {
+        let mut rng = rng_for("ranges");
+        let strat = (0u64..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn pattern_strategies_match_shape() {
+        let mut rng = rng_for("patterns");
+        for _ in 0..50 {
+            let s = "[a-c]{1}".sample(&mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(matches!(s.chars().next().unwrap(), 'a'..='c'));
+            let t = ".{0,40}".sample(&mut rng);
+            assert!(t.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = rng_for("collections");
+        for _ in 0..50 {
+            let v = crate::collection::vec(0u32..5, 1..12).sample(&mut rng);
+            assert!(!v.is_empty() && v.len() < 12);
+            let s = crate::collection::btree_set(0u64..100, 1..10).sample(&mut rng);
+            assert!(s.len() < 10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u64..100, flag in any::<bool>()) {
+            prop_assert!(x < 100);
+            if flag {
+                prop_assert_eq!(x + 1, 1 + x);
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline, API-compatible subset of `serde` sufficient for this workspace.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the slice of serde's data model that the TxCache codec and the derived
+//! model types actually exercise: the `Serialize`/`Deserialize` traits, the
+//! full `Serializer`/`Deserializer`/`Visitor` trait surface, seeded and
+//! enum access, and impls for the std types the codebase serializes.
+//! Semantics (struct-as-seq, enums by variant index, newtype forwarding)
+//! follow upstream serde so the code would compile unchanged against the
+//! real crate.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros live in the `serde_derive` proc-macro crate; re-export them
+// under the same names as the traits (they occupy the macro namespace).
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,494 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote` in the
+//! offline build). Supports the shapes this workspace uses: non-generic
+//! structs (named, tuple, newtype, unit) and enums whose variants are unit,
+//! newtype, tuple, or struct-like. Encoding semantics match upstream serde:
+//! structs serialize as field sequences, enums as a `u32` variant index
+//! followed by the payload, newtype structs forward to their inner value.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let item_kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            let k = id.to_string();
+            i += 1;
+            k
+        }
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive stub: generic type `{name}` is unsupported"
+        ));
+    }
+
+    let kind = if item_kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        }
+    };
+
+    Ok(Input { name, kind })
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances past a type (or any token soup) until a top-level comma, which is
+/// consumed. Angle brackets are the only grouping not already atomic in the
+/// token tree.
+fn skip_past_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' if angle_depth > 0 => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                i += 1;
+            }
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        skip_past_comma(&tokens, &mut i);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        // `skip_past_comma` consumes one field (tokens exist at this point).
+        count += 1;
+        skip_past_comma(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                i += 1;
+                id.to_string()
+            }
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let payload = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Payload::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Payload::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => Payload::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        skip_past_comma(&tokens, &mut i);
+        variants.push(Variant { name, payload });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut b = format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                b.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            b.push_str("::serde::ser::SerializeStruct::end(__st)");
+            b
+        }
+        Kind::TupleStruct(1) => format!(
+            "::serde::ser::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+        ),
+        Kind::TupleStruct(n) => {
+            let mut b = format!(
+                "let mut __st = ::serde::ser::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {n})?;\n"
+            );
+            for idx in 0..*n {
+                b.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{idx})?;\n"
+                ));
+            }
+            b.push_str("::serde::ser::SerializeTupleStruct::end(__st)");
+            b
+        }
+        Kind::UnitStruct => {
+            format!("::serde::ser::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Kind::Enum(variants) => {
+            let mut b = String::from("match self {\n");
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.payload {
+                    Payload::Unit => b.push_str(&format!(
+                        "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    Payload::Tuple(1) => b.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::ser::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    Payload::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        b.push_str(&format!(
+                            "{name}::{vname}({}) => {{\nlet mut __tv = ::serde::ser::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {n})?;\n",
+                            binds.join(", ")
+                        ));
+                        for bind in &binds {
+                            b.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __tv, {bind})?;\n"
+                            ));
+                        }
+                        b.push_str("::serde::ser::SerializeTupleVariant::end(__tv)\n},\n");
+                    }
+                    Payload::Struct(fields) => {
+                        b.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __sv = ::serde::ser::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        ));
+                        for f in fields {
+                            b.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __sv, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        b.push_str("::serde::ser::SerializeStructVariant::end(__sv)\n},\n");
+                    }
+                }
+            }
+            b.push('}');
+            b
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Emits the body of a `visit_seq` that builds `ctor` by pulling one element
+/// per field from `__seq`.
+fn seq_construct(ctor: &str, fields: &[String], named: bool) -> String {
+    let mut b = format!("::core::result::Result::Ok({ctor}");
+    b.push_str(if named { " {\n" } else { "(\n" });
+    for (idx, f) in fields.iter().enumerate() {
+        if named {
+            b.push_str(&format!("{f}: "));
+        }
+        b.push_str(&format!(
+            "match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                 ::core::option::Option::Some(__v) => __v,\n\
+                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                     ::serde::de::Error::invalid_length({idx}, &{len})),\n\
+             }},\n",
+            len = fields.len()
+        ));
+    }
+    b.push_str(if named { "})" } else { "))" });
+    b
+}
+
+/// Emits a visitor struct named `vis_name` whose `visit_seq` builds `ctor`.
+fn seq_visitor(
+    vis_name: &str,
+    value_ty: &str,
+    ctor: &str,
+    fields: &[String],
+    named: bool,
+) -> String {
+    format!(
+        "struct {vis_name};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {vis_name} {{\n\
+             type Value = {value_ty};\n\
+             fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                 __f.write_str(\"{ctor}\")\n\
+             }}\n\
+             fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                 -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 {}\n\
+             }}\n\
+         }}\n",
+        seq_construct(ctor, fields, named)
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let field_list: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+            format!(
+                "{}\
+                 const __FIELDS: &[&str] = &[{}];\n\
+                 ::serde::de::Deserializer::deserialize_struct(__deserializer, \"{name}\", __FIELDS, __Visitor)",
+                seq_visitor("__Visitor", name, name, fields, true),
+                field_list.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                     __f.write_str(\"newtype struct {name}\")\n\
+                 }}\n\
+                 fn visit_newtype_struct<__D2: ::serde::de::Deserializer<'de>>(self, __d: __D2) \
+                     -> ::core::result::Result<Self::Value, __D2::Error> {{\n\
+                     ::core::result::Result::Ok({name}(::serde::de::Deserialize::deserialize(__d)?))\n\
+                 }}\n\
+             }}\n\
+             ::serde::de::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", __Visitor)"
+        ),
+        Kind::TupleStruct(n) => {
+            let fields: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+            format!(
+                "{}\
+                 ::serde::de::Deserializer::deserialize_tuple_struct(__deserializer, \"{name}\", {n}, __Visitor)",
+                seq_visitor("__Visitor", name, name, &fields, false)
+            )
+        }
+        Kind::UnitStruct => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                     __f.write_str(\"unit struct {name}\")\n\
+                 }}\n\
+                 fn visit_unit<__E: ::serde::de::Error>(self) -> ::core::result::Result<Self::Value, __E> {{\n\
+                     ::core::result::Result::Ok({name})\n\
+                 }}\n\
+             }}\n\
+             ::serde::de::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __Visitor)"
+        ),
+        Kind::Enum(variants) => {
+            let variant_list: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.payload {
+                    Payload::Unit => arms.push_str(&format!(
+                        "{idx}u32 => {{\n\
+                             ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                             ::core::result::Result::Ok({name}::{vname})\n\
+                         }},\n"
+                    )),
+                    Payload::Tuple(1) => arms.push_str(&format!(
+                        "{idx}u32 => ::core::result::Result::Ok({name}::{vname}(\
+                             ::serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                    )),
+                    Payload::Tuple(n) => {
+                        let fields: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n{}\
+                                 ::serde::de::VariantAccess::tuple_variant(__variant, {n}, __V{idx})\n\
+                             }},\n",
+                            seq_visitor(
+                                &format!("__V{idx}"),
+                                name,
+                                &format!("{name}::{vname}"),
+                                &fields,
+                                false
+                            )
+                        ));
+                    }
+                    Payload::Struct(fields) => {
+                        let field_list: Vec<String> =
+                            fields.iter().map(|f| format!("\"{f}\"")).collect();
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{\n{}\
+                                 ::serde::de::VariantAccess::struct_variant(__variant, &[{}], __V{idx})\n\
+                             }},\n",
+                            seq_visitor(
+                                &format!("__V{idx}"),
+                                name,
+                                &format!("{name}::{vname}"),
+                                fields,
+                                true
+                            ),
+                            field_list.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                         __f.write_str(\"enum {name}\")\n\
+                     }}\n\
+                     fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A) \
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         let (__idx, __variant): (u32, __A::Variant) = \
+                             ::serde::de::EnumAccess::variant(__data)?;\n\
+                         match __idx {{\n\
+                             {arms}\
+                             __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                                 ::core::format_args!(\"invalid variant index {{}} for enum {name}\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 const __VARIANTS: &[&str] = &[{}];\n\
+                 ::serde::de::Deserializer::deserialize_enum(__deserializer, \"{name}\", __VARIANTS, __Visitor)",
+                variant_list.join(", ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
