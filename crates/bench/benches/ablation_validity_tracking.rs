@@ -27,7 +27,10 @@ fn build_db(track_validity: bool) -> Database {
 fn bench_validity_tracking(c: &mut Criterion) {
     let mut group = c.benchmark_group("db_query");
     group.sample_size(30);
-    for (name, track) in [("stock (tracking off)", false), ("modified (tracking on)", true)] {
+    for (name, track) in [
+        ("stock (tracking off)", false),
+        ("modified (tracking on)", true),
+    ] {
         let db = build_db(track);
         group.bench_function(name, |b| {
             b.iter_batched(

@@ -3,8 +3,8 @@
 //! serialize cached values.
 
 use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, Criterion};
 use cache_server::{CacheNode, LookupRequest, NodeConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
 use rubis::ItemDetails;
 use txcache::codec;
 use txtypes::{CacheKey, InvalidationTag, TagSet, Timestamp, ValidityInterval, WallClock};
@@ -14,7 +14,12 @@ fn key(i: u64) -> CacheKey {
 }
 
 fn warm_node(entries: u64) -> CacheNode {
-    let mut node = CacheNode::new("bench", NodeConfig { capacity_bytes: 256 << 20 });
+    let mut node = CacheNode::new(
+        "bench",
+        NodeConfig {
+            capacity_bytes: 256 << 20,
+        },
+    );
     for i in 0..entries {
         let tags: TagSet = [InvalidationTag::keyed("items", format!("id={i}"))]
             .into_iter()

@@ -28,11 +28,13 @@ fn main() {
     println!("{}", summary_line("modified DB (validity on)", &modified));
     println!(
         "db work per request: {:.0} us",
-        modified.usage.db_us_per_request(&DbKind::InMemory.cost_model())
+        modified
+            .usage
+            .db_us_per_request(&DbKind::InMemory.cost_model())
     );
     println!();
+    println!("Run `cargo bench -p bench --bench ablation_validity_tracking` for the wall-clock");
     println!(
-        "Run `cargo bench -p bench --bench ablation_validity_tracking` for the wall-clock"
+        "per-query comparison of validity tracking on vs off (paper: no observable difference)."
     );
-    println!("per-query comparison of validity tracking on vs off (paper: no observable difference).");
 }

@@ -22,7 +22,9 @@ fn main() {
     })
     .expect("experiment failed");
 
-    println!("# Ablation: lazy vs eager timestamp selection (in-memory DB, 512MB cache, 30s staleness)");
+    println!(
+        "# Ablation: lazy vs eager timestamp selection (in-memory DB, 512MB cache, 30s staleness)"
+    );
     println!("{}", summary_line("lazy (paper design)", &lazy));
     println!("{}", summary_line("eager (at BEGIN)", &eager));
     println!();

@@ -12,7 +12,11 @@ fn main() {
     let staleness_limits = [1u64, 5, 10, 20, 30, 60, 120];
 
     for (title, db_kind, cache_bytes) in [
-        ("in-memory DB, 512MB cache", DbKind::InMemory, 512usize << 20),
+        (
+            "in-memory DB, 512MB cache",
+            DbKind::InMemory,
+            512usize << 20,
+        ),
         ("disk-bound DB, 9GB cache", DbKind::DiskBound, 9usize << 30),
     ] {
         let base = ExperimentConfig {

@@ -70,7 +70,9 @@ impl CacheCluster {
         now: WallClock,
     ) {
         let idx = self.ring.node_for(&key);
-        self.nodes[idx].lock().insert(key, value, validity, tags, now);
+        self.nodes[idx]
+            .lock()
+            .insert(key, value, validity, tags, now);
     }
 
     /// Delivers one invalidation-stream message to every node (the multicast
@@ -191,7 +193,9 @@ mod tests {
         // Invalidate a single item: exactly one entry somewhere is affected.
         c.apply_invalidation(
             Timestamp(10),
-            &[InvalidationTag::keyed("items", "id=7")].into_iter().collect(),
+            &[InvalidationTag::keyed("items", "id=7")]
+                .into_iter()
+                .collect(),
         );
         assert_eq!(c.stats().invalidated_entries, 1);
         // Every node processed the message.

@@ -26,7 +26,12 @@ impl CacheEntry {
     pub fn size_bytes(&self) -> usize {
         self.key.size_bytes()
             + self.value.len()
-            + self.tags.tags().iter().map(|t| t.table.len() + 24).sum::<usize>()
+            + self
+                .tags
+                .tags()
+                .iter()
+                .map(|t| t.table.len() + 24)
+                .sum::<usize>()
             + 64
     }
 }

@@ -98,7 +98,9 @@ mod tests {
     use super::*;
 
     fn keys(n: usize) -> Vec<CacheKey> {
-        (0..n).map(|i| CacheKey::new("f", format!("[{i}]"))).collect()
+        (0..n)
+            .map(|i| CacheKey::new("f", format!("[{i}]")))
+            .collect()
     }
 
     #[test]
@@ -120,7 +122,10 @@ mod tests {
             counts[ring.node_for(&k)] += 1;
         }
         for c in counts {
-            assert!(c > 300, "each node should receive a reasonable share, got {c}");
+            assert!(
+                c > 300,
+                "each node should receive a reasonable share, got {c}"
+            );
         }
     }
 

@@ -78,8 +78,12 @@ macro_rules! forward_int {
     ($method:ident, $visit:ident, $ty:ty, $read:ident) => {
         fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
             let raw = self.$read()?;
-            let value = <$ty>::try_from(raw)
-                .map_err(|_| CodecError(format!("integer {raw} out of range for {}", stringify!($ty))))?;
+            let value = <$ty>::try_from(raw).map_err(|_| {
+                CodecError(format!(
+                    "integer {raw} out of range for {}",
+                    stringify!($ty)
+                ))
+            })?;
             visitor.$visit(value)
         }
     };
@@ -201,7 +205,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
         let len = self.read_len()?;
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(
@@ -209,7 +216,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -218,12 +228,18 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(Counted { de: self, remaining: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
         let len = self.read_len()?;
-        visitor.visit_map(Counted { de: self, remaining: len })
+        visitor.visit_map(Counted {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -248,7 +264,9 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
     }
 
     fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
-        Err(CodecError("identifiers are not encoded by the TxCache codec".into()))
+        Err(CodecError(
+            "identifiers are not encoded by the TxCache codec".into(),
+        ))
     }
 
     fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
@@ -301,7 +319,10 @@ impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
         seed.deserialize(&mut *self.de).map(Some)
     }
 
-    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, CodecError> {
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, CodecError> {
         seed.deserialize(&mut *self.de)
     }
 
@@ -336,11 +357,18 @@ impl<'de> de::VariantAccess<'de> for EnumAccess<'_, 'de> {
         Ok(())
     }
 
-    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, CodecError> {
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, CodecError> {
         seed.deserialize(self.de)
     }
 
-    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
         visitor.visit_seq(Counted {
             de: self.de,
             remaining: len,

@@ -138,7 +138,9 @@ mod tests {
             f: 3.25,
             s: "héllo wörld".into(),
             v: vec![1, 2, 3],
-            map: [("a".to_string(), 1), ("b".to_string(), -2)].into_iter().collect(),
+            map: [("a".to_string(), 1), ("b".to_string(), -2)]
+                .into_iter()
+                .collect(),
             nested: Nested {
                 tags: vec!["x".into(), "y".into()],
                 maybe: Some(-9),
@@ -147,7 +149,10 @@ mod tests {
                 Kind::Empty,
                 Kind::Scalar(5),
                 Kind::Pair(1, 2),
-                Kind::Record { a: "z".into(), b: false },
+                Kind::Record {
+                    a: "z".into(),
+                    b: false,
+                },
             ],
             unit: (),
             tuple: (255, "t".into()),
@@ -171,7 +176,7 @@ mod tests {
         assert_eq!(decode::<u128>(&encode(&10u128).unwrap()).unwrap(), 10);
         assert_eq!(decode::<i128>(&encode(&-10i128).unwrap()).unwrap(), -10);
         assert_eq!(decode::<f32>(&encode(&1.5f32).unwrap()).unwrap(), 1.5);
-        assert_eq!(decode::<bool>(&encode(&false).unwrap()).unwrap(), false);
+        assert!(!decode::<bool>(&encode(&false).unwrap()).unwrap());
         assert_eq!(
             decode::<String>(&encode(&"abc".to_string()).unwrap()).unwrap(),
             "abc"
@@ -193,8 +198,14 @@ mod tests {
         let a = encode(&sample()).unwrap();
         let b = encode(&sample()).unwrap();
         assert_eq!(a, b);
-        assert_eq!(encode_hex(&(1u64, "x")).unwrap(), encode_hex(&(1u64, "x")).unwrap());
-        assert_ne!(encode_hex(&(1u64, "x")).unwrap(), encode_hex(&(2u64, "x")).unwrap());
+        assert_eq!(
+            encode_hex(&(1u64, "x")).unwrap(),
+            encode_hex(&(1u64, "x")).unwrap()
+        );
+        assert_ne!(
+            encode_hex(&(1u64, "x")).unwrap(),
+            encode_hex(&(2u64, "x")).unwrap()
+        );
     }
 
     #[test]

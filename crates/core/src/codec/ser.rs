@@ -164,9 +164,8 @@ impl<'a> ser::Serializer for &'a mut Encoder {
     }
 
     fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a>, CodecError> {
-        let len = len.ok_or_else(|| {
-            ser::Error::custom("sequences with unknown length are not supported")
-        })?;
+        let len = len
+            .ok_or_else(|| ser::Error::custom("sequences with unknown length are not supported"))?;
         self.put_len(len);
         Ok(Compound { enc: self })
     }

@@ -91,6 +91,9 @@ mod tests {
     #[test]
     fn baseline_constructors() {
         assert_eq!(TxCacheConfig::disabled().mode, CacheMode::Disabled);
-        assert_eq!(TxCacheConfig::no_consistency().mode, CacheMode::NoConsistency);
+        assert_eq!(
+            TxCacheConfig::no_consistency().mode,
+            CacheMode::NoConsistency
+        );
     }
 }

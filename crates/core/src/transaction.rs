@@ -22,9 +22,7 @@ use std::collections::HashMap;
 use cache_server::{LookupOutcome, LookupRequest};
 use mvdb::{PageCounts, Predicate, QueryResult, SelectQuery, SnapshotId, TxnToken, Value};
 use serde::{de::DeserializeOwned, Serialize};
-use txtypes::{
-    CacheKey, Error, Result, Staleness, TagSet, Timestamp, ValidityInterval, WallClock,
-};
+use txtypes::{CacheKey, Error, Result, Staleness, TagSet, Timestamp, ValidityInterval, WallClock};
 
 use crate::codec;
 use crate::config::{CacheMode, TimestampPolicy};

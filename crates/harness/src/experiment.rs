@@ -320,7 +320,11 @@ mod tests {
     fn txcache_beats_the_no_cache_baseline() {
         let cached = run_experiment(&quick_config(CacheMode::Full)).unwrap();
         let baseline = run_experiment(&quick_config(CacheMode::Disabled)).unwrap();
-        assert!(cached.hit_rate > 0.2, "hit rate {} too low", cached.hit_rate);
+        assert!(
+            cached.hit_rate > 0.2,
+            "hit rate {} too low",
+            cached.hit_rate
+        );
         assert!(
             cached.speedup_over(&baseline) > 1.2,
             "caching should speed things up: {} vs {}",
@@ -335,8 +339,7 @@ mod tests {
     fn consistency_misses_are_a_small_fraction() {
         let result = run_experiment(&quick_config(CacheMode::Full)).unwrap();
         let misses = result.cache_stats.misses().max(1);
-        let consistency_fraction =
-            result.cache_stats.consistency_misses as f64 / misses as f64;
+        let consistency_fraction = result.cache_stats.consistency_misses as f64 / misses as f64;
         assert!(
             consistency_fraction < 0.30,
             "consistency misses should be the rarest class, got {consistency_fraction}"

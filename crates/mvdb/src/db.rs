@@ -133,7 +133,10 @@ impl Database {
     pub fn create_table(&self, schema: TableSchema) -> Result<()> {
         let mut inner = self.inner.lock();
         if inner.tables.contains_key(&schema.name) {
-            return Err(Error::Schema(format!("table '{}' already exists", schema.name)));
+            return Err(Error::Schema(format!(
+                "table '{}' already exists",
+                schema.name
+            )));
         }
         let name = schema.name.clone();
         let table = Table::new(schema, self.config.rows_per_page)?;
@@ -451,7 +454,8 @@ impl Database {
             .get_mut(table)
             .ok_or_else(|| Error::Schema(format!("no table '{table}'")))?;
 
-        let targets = Self::visible_matching_slots(t, predicate, snapshot, txid, &mut inner.buffer)?;
+        let targets =
+            Self::visible_matching_slots(t, predicate, snapshot, txid, &mut inner.buffer)?;
         let mut updated = 0;
         for slot in targets {
             Self::check_write_conflict(t, slot, snapshot, txid)?;
@@ -469,7 +473,8 @@ impl Database {
             if let Some(v) = t.get_mut(slot) {
                 v.deleted = Some(Stamp::Pending(txid));
             }
-            let new_slot = t.insert_version(TupleVersion::pending(row_id, new_values.clone(), txid))?;
+            let new_slot =
+                t.insert_version(TupleVersion::pending(row_id, new_values.clone(), txid))?;
             Self::collect_tags_for_values(t, &old_values, &mut tx.pending_tags);
             Self::collect_tags_for_values(t, &new_values, &mut tx.pending_tags);
             tx.deleted_slots.push((table.to_string(), slot));
@@ -495,7 +500,8 @@ impl Database {
             .get_mut(table)
             .ok_or_else(|| Error::Schema(format!("no table '{table}'")))?;
 
-        let targets = Self::visible_matching_slots(t, predicate, snapshot, txid, &mut inner.buffer)?;
+        let targets =
+            Self::visible_matching_slots(t, predicate, snapshot, txid, &mut inner.buffer)?;
         let mut deleted = 0;
         for slot in targets {
             Self::check_write_conflict(t, slot, snapshot, txid)?;
@@ -622,7 +628,9 @@ impl Database {
         };
         let mut out = Vec::new();
         for slot in candidates {
-            let Some(version) = table.get(slot) else { continue };
+            let Some(version) = table.get(slot) else {
+                continue;
+            };
             buffer.access(&table.schema().name, table.heap_page_of(slot));
             if version.visible_to(snapshot, Some(txid))
                 && predicate.eval(table.schema(), &version.values)?
@@ -646,7 +654,9 @@ impl Database {
             return Ok(());
         };
         for other_slot in table.versions_of_row(version.row_id) {
-            let Some(v) = table.get(*other_slot) else { continue };
+            let Some(v) = table.get(*other_slot) else {
+                continue;
+            };
             let pending_by_other = matches!(v.created, Stamp::Pending(id) if id != txid)
                 || matches!(v.deleted, Some(Stamp::Pending(id)) if id != txid);
             if pending_by_other {
@@ -656,10 +666,7 @@ impl Database {
                     table.schema().name
                 )));
             }
-            let newer_commit = v
-                .created
-                .committed_at()
-                .is_some_and(|ts| ts > snapshot)
+            let newer_commit = v.created.committed_at().is_some_and(|ts| ts > snapshot)
                 || v.deleted
                     .and_then(|s| s.committed_at())
                     .is_some_and(|ts| ts > snapshot);
@@ -747,7 +754,13 @@ mod tests {
         db.bulk_load(
             "users",
             (1..=10i64)
-                .map(|i| vec![Value::Int(i), Value::text(format!("user{i}")), Value::Int(0)])
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::text(format!("user{i}")),
+                        Value::Int(0),
+                    ]
+                })
                 .collect(),
         )
         .unwrap();
@@ -855,9 +868,7 @@ mod tests {
     fn delete_removes_row_and_tags_it() {
         let db = setup();
         let tx = db.begin_rw().unwrap();
-        let n = db
-            .delete(tx, "users", &Predicate::eq("id", 7i64))
-            .unwrap();
+        let n = db.delete(tx, "users", &Predicate::eq("id", 7i64)).unwrap();
         assert_eq!(n, 1);
         db.commit(tx).unwrap();
         let q = SelectQuery::table("users").filter(Predicate::eq("id", 7i64));
@@ -1017,8 +1028,11 @@ mod tests {
         };
         let db = Database::new(config, SimClock::new());
         db.create_table(users_schema()).unwrap();
-        db.bulk_load("users", vec![vec![Value::Int(1), Value::text("a"), Value::Int(0)]])
-            .unwrap();
+        db.bulk_load(
+            "users",
+            vec![vec![Value::Int(1), Value::text("a"), Value::Int(0)]],
+        )
+        .unwrap();
         let tx = db.begin_rw().unwrap();
         db.update(
             tx,
@@ -1040,9 +1054,7 @@ mod tests {
         let bogus = TxnToken(9999);
         assert!(db.commit(bogus).is_err());
         assert!(db.abort(bogus).is_err());
-        assert!(db
-            .query(bogus, &SelectQuery::table("users"))
-            .is_err());
+        assert!(db.query(bogus, &SelectQuery::table("users")).is_err());
     }
 
     #[test]

@@ -177,7 +177,11 @@ pub fn execute_plan(
 
     // ---- Join ----
     let (mut columns, mut joined_rows): (Vec<String>, Vec<Vec<Value>>) = (
-        outer_schema.columns.iter().map(|c| c.name.clone()).collect(),
+        outer_schema
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect(),
         Vec::new(),
     );
     if let (Some(join_plan), Some(inner_table)) = (&plan.join, inner) {
@@ -277,7 +281,11 @@ pub fn execute_plan(
         columns,
         rows,
         validity: tracker.finalize(snapshot_ts),
-        tags: if opts.track_validity { tags } else { TagSet::new() },
+        tags: if opts.track_validity {
+            tags
+        } else {
+            TagSet::new()
+        },
         pages,
     })
 }
@@ -372,8 +380,9 @@ fn filter_join_version(
     join_matches: &dyn Fn(&[Value]) -> bool,
 ) -> Result<bool> {
     let schema = table.schema();
-    let matches =
-        |vals: &[Value]| -> Result<bool> { Ok(join_matches(vals) && predicate.eval(schema, vals)?) };
+    let matches = |vals: &[Value]| -> Result<bool> {
+        Ok(join_matches(vals) && predicate.eval(schema, vals)?)
+    };
     if opts.predicate_before_visibility {
         if !matches(&version.values)? {
             return Ok(false);
@@ -405,7 +414,10 @@ fn resolve_column(columns: &[String], name: &str) -> Result<usize> {
         return Ok(i);
     }
     let suffix = format!(".{name}");
-    let mut matches = columns.iter().enumerate().filter(|(_, c)| c.ends_with(&suffix));
+    let mut matches = columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.ends_with(&suffix));
     match (matches.next(), matches.next()) {
         (Some((i, _)), None) => Ok(i),
         (Some(_), Some(_)) => Err(Error::Query(format!("ambiguous column '{name}'"))),
@@ -481,7 +493,11 @@ mod tests {
             let row = t.allocate_row_id();
             t.insert_version(TupleVersion::committed(
                 row,
-                vec![Value::Int(i), Value::Int(i % 3), Value::Float(10.0 * i as f64)],
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 3),
+                    Value::Float(10.0 * i as f64),
+                ],
                 Timestamp(i as u64),
             ))
             .unwrap();
@@ -537,8 +553,11 @@ mod tests {
     #[test]
     fn seq_scan_filters_and_tags_wildcard() {
         let items = make_items();
-        let q = SelectQuery::table("items")
-            .filter(Predicate::cmp("price", crate::query::CmpOp::Ge, 40.0));
+        let q = SelectQuery::table("items").filter(Predicate::cmp(
+            "price",
+            crate::query::CmpOp::Ge,
+            40.0,
+        ));
         let r = run(&q, &items, None, 10, &ExecOptions::default());
         assert_eq!(r.len(), 3);
         assert!(r.tags.tags().contains(&InvalidationTag::wildcard("items")));
@@ -553,7 +572,10 @@ mod tests {
         assert_eq!(r.len(), 3);
         // The invisible future rows bound the validity above: item 4 commits
         // at ts 4, so this result stops being the current one at 4.
-        assert_eq!(r.validity, ValidityInterval::bounded(Timestamp(3), Timestamp(4)).unwrap());
+        assert_eq!(
+            r.validity,
+            ValidityInterval::bounded(Timestamp(3), Timestamp(4)).unwrap()
+        );
     }
 
     #[test]
@@ -577,8 +599,11 @@ mod tests {
         // never matched item 5.
         let slot = items.index_eq("id", &Value::Int(5)).unwrap()[0];
         items.get_mut(slot).unwrap().deleted = Some(Stamp::Committed(Timestamp(9)));
-        let q = SelectQuery::table("items")
-            .filter(Predicate::cmp("price", crate::query::CmpOp::Le, 20.0));
+        let q = SelectQuery::table("items").filter(Predicate::cmp(
+            "price",
+            crate::query::CmpOp::Le,
+            20.0,
+        ));
 
         let tight = run(
             &q,
@@ -604,7 +629,10 @@ mod tests {
         // it can pollute the mask, so the validity extends back to ts 2.
         assert_eq!(tight.validity, ValidityInterval::unbounded(Timestamp(2)));
         // The conservative order masks [5,9), narrowing the result.
-        assert_eq!(conservative.validity, ValidityInterval::unbounded(Timestamp(9)));
+        assert_eq!(
+            conservative.validity,
+            ValidityInterval::unbounded(Timestamp(9))
+        );
         assert_eq!(tight.rows, conservative.rows);
     }
 

@@ -54,8 +54,7 @@ impl InvalidationBus {
     /// Publishes a message to all subscribers, in order, and appends it to
     /// the log. Disconnected subscribers are dropped.
     pub fn publish(&mut self, message: InvalidationMessage) {
-        self.subscribers
-            .retain(|s| s.send(message.clone()).is_ok());
+        self.subscribers.retain(|s| s.send(message.clone()).is_ok());
         self.log.push(message);
     }
 

@@ -268,8 +268,11 @@ mod tests {
     fn range_on_indexed_column_uses_index_range_with_wildcard_tag() {
         let t = items_table();
         let q = SelectQuery::table("items").filter(
-            Predicate::cmp("category", CmpOp::Ge, 3i64)
-                .and(Predicate::cmp("category", CmpOp::Le, 5i64)),
+            Predicate::cmp("category", CmpOp::Ge, 3i64).and(Predicate::cmp(
+                "category",
+                CmpOp::Le,
+                5i64,
+            )),
         );
         let plan = plan_query(&q, &t, None).unwrap();
         assert_eq!(
@@ -286,9 +289,8 @@ mod tests {
     #[test]
     fn equality_preferred_over_range() {
         let t = items_table();
-        let q = SelectQuery::table("items").filter(
-            Predicate::cmp("category", CmpOp::Ge, 3i64).and(Predicate::eq("id", 7i64)),
-        );
+        let q = SelectQuery::table("items")
+            .filter(Predicate::cmp("category", CmpOp::Ge, 3i64).and(Predicate::eq("id", 7i64)));
         let plan = plan_query(&q, &t, None).unwrap();
         assert!(matches!(plan.access, AccessPath::IndexEq { .. }));
     }

@@ -118,9 +118,9 @@ impl Predicate {
             Predicate::True => Ok(true),
             Predicate::Cmp { column, op, value } => {
                 let idx = schema.column_index(column)?;
-                let cell = row.get(idx).ok_or_else(|| {
-                    Error::Query(format!("row too short for column '{column}'"))
-                })?;
+                let cell = row
+                    .get(idx)
+                    .ok_or_else(|| Error::Query(format!("row too short for column '{column}'")))?;
                 if cell.is_null() || value.is_null() {
                     // SQL three-valued logic collapsed to false.
                     return Ok(false);
@@ -329,7 +329,9 @@ mod tests {
         let row = vec![Value::Int(1), Value::text("alice"), Value::Int(5)];
         assert!(Predicate::eq("id", 1i64).eval(&s, &row).unwrap());
         assert!(!Predicate::eq("id", 2i64).eval(&s, &row).unwrap());
-        assert!(Predicate::cmp("rating", CmpOp::Ge, 3i64).eval(&s, &row).unwrap());
+        assert!(Predicate::cmp("rating", CmpOp::Ge, 3i64)
+            .eval(&s, &row)
+            .unwrap());
         assert!(Predicate::True.eval(&s, &row).unwrap());
         assert!(Predicate::eq("missing", 1i64).eval(&s, &row).is_err());
     }
@@ -340,7 +342,10 @@ mod tests {
         let row = vec![Value::Int(1), Value::text("alice"), Value::Int(5)];
         let p = Predicate::eq("id", 1i64).and(Predicate::cmp("rating", CmpOp::Gt, 3i64));
         assert!(p.eval(&s, &row).unwrap());
-        let q = Predicate::Or(vec![Predicate::eq("id", 9i64), Predicate::eq("name", "alice")]);
+        let q = Predicate::Or(vec![
+            Predicate::eq("id", 9i64),
+            Predicate::eq("name", "alice"),
+        ]);
         assert!(q.eval(&s, &row).unwrap());
         let n = Predicate::Not(Box::new(Predicate::eq("id", 1i64)));
         assert!(!n.eval(&s, &row).unwrap());
@@ -351,7 +356,9 @@ mod tests {
         let s = schema();
         let row = vec![Value::Int(1), Value::Null, Value::Int(5)];
         assert!(!Predicate::eq("name", "alice").eval(&s, &row).unwrap());
-        assert!(!Predicate::cmp("name", CmpOp::Ne, "alice").eval(&s, &row).unwrap());
+        assert!(!Predicate::cmp("name", CmpOp::Ne, "alice")
+            .eval(&s, &row)
+            .unwrap());
     }
 
     #[test]
@@ -362,7 +369,10 @@ mod tests {
         assert_eq!(p.conjuncts().len(), 3);
         assert_eq!(Predicate::True.conjuncts().len(), 0);
         // True is the identity.
-        assert_eq!(Predicate::True.and(Predicate::eq("a", 1i64)), Predicate::eq("a", 1i64));
+        assert_eq!(
+            Predicate::True.and(Predicate::eq("a", 1i64)),
+            Predicate::eq("a", 1i64)
+        );
     }
 
     #[test]

@@ -128,7 +128,10 @@ impl TableSchema {
     /// and indexes referencing existing columns.
     pub fn validate(&self) -> Result<()> {
         if self.columns.is_empty() {
-            return Err(Error::Schema(format!("table '{}' has no columns", self.name)));
+            return Err(Error::Schema(format!(
+                "table '{}' has no columns",
+                self.name
+            )));
         }
         for (i, c) in self.columns.iter().enumerate() {
             if self.columns[..i].iter().any(|o| o.name == c.name) {
@@ -198,7 +201,9 @@ mod tests {
             .column("a", ColumnType::Int)
             .column("a", ColumnType::Int);
         assert!(dup.validate().is_err());
-        let bad_ix = TableSchema::new("t").column("a", ColumnType::Int).index("b");
+        let bad_ix = TableSchema::new("t")
+            .column("a", ColumnType::Int)
+            .index("b");
         assert!(bad_ix.validate().is_err());
     }
 }

@@ -14,9 +14,7 @@ use txtypes::{Error, Result, Timestamp};
 
 /// Identifier of a pinned snapshot: the commit timestamp of the last
 /// transaction visible to it.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SnapshotId(pub Timestamp);
 
 impl SnapshotId {

@@ -180,7 +180,10 @@ mod tests {
         let mut v = TupleVersion::committed(1, vals(), Timestamp(10));
         v.deleted = Some(Stamp::Pending(7));
         assert!(v.visible_to(Timestamp(50), None), "others still see it");
-        assert!(!v.visible_to(Timestamp(50), Some(7)), "owner no longer sees it");
+        assert!(
+            !v.visible_to(Timestamp(50), Some(7)),
+            "owner no longer sees it"
+        );
     }
 
     #[test]

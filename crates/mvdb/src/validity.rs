@@ -166,7 +166,10 @@ mod tests {
         let mut t = ValidityTracker::new(false);
         t.observe_visible(b(1, 100));
         t.observe_invisible(Some(b(1, 100)));
-        assert_eq!(t.finalize(Timestamp(50)), ValidityInterval::point(Timestamp(50)));
+        assert_eq!(
+            t.finalize(Timestamp(50)),
+            ValidityInterval::point(Timestamp(50))
+        );
     }
 
     #[test]

@@ -18,4 +18,4 @@
 
 pub mod registry;
 
-pub use registry::{PinnedSnapshot, Pincushion, PincushionConfig, PincushionStats};
+pub use registry::{Pincushion, PincushionConfig, PincushionStats, PinnedSnapshot};

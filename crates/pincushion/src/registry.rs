@@ -100,7 +100,7 @@ impl Pincushion {
                 *p
             })
             .collect();
-        fresh.sort_by(|a, b| b.timestamp.cmp(&a.timestamp));
+        fresh.sort_by_key(|p| std::cmp::Reverse(p.timestamp));
         fresh
     }
 
@@ -136,7 +136,9 @@ impl Pincushion {
     pub fn reap(&self) -> Vec<Timestamp> {
         let now = self.clock.now();
         let mut inner = self.inner.lock();
-        let cutoff = now.as_micros().saturating_sub(self.config.reap_after_micros);
+        let cutoff = now
+            .as_micros()
+            .saturating_sub(self.config.reap_after_micros);
         let doomed: Vec<Timestamp> = inner
             .pins
             .values()

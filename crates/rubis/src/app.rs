@@ -130,11 +130,7 @@ impl RubisApp {
     }
 
     /// Returns the bid history of an item, most recent first.
-    pub fn get_bid_history(
-        &self,
-        tx: &mut Transaction<'_>,
-        item_id: i64,
-    ) -> Result<Vec<BidInfo>> {
+    pub fn get_bid_history(&self, tx: &mut Transaction<'_>, item_id: i64) -> Result<Vec<BidInfo>> {
         tx.cached("get_bid_history", &item_id, |tx| {
             let q = SelectQuery::table("bids")
                 .filter(Predicate::eq("item_id", item_id))
@@ -239,11 +235,7 @@ impl RubisApp {
         self.summaries_for(tx, &ids)
     }
 
-    fn summaries_for(
-        &self,
-        tx: &mut Transaction<'_>,
-        ids: &[i64],
-    ) -> Result<Vec<ItemSummary>> {
+    fn summaries_for(&self, tx: &mut Transaction<'_>, ids: &[i64]) -> Result<Vec<ItemSummary>> {
         let mut out = Vec::with_capacity(ids.len());
         for id in ids {
             if let Some(item) = self.get_item(tx, *id)? {
@@ -403,10 +395,16 @@ impl RubisApp {
                     .map(|i| int(&r, i, "item_id"))
                     .collect::<Result<_>>()?
             };
-            let mut body = format!("<h1>{}</h1><p>balance {:.2}</p>", user.nickname, user.balance);
+            let mut body = format!(
+                "<h1>{}</h1><p>balance {:.2}</p>",
+                user.nickname, user.balance
+            );
             for item_id in bids {
                 if let Some(item) = self.get_item(tx, item_id)? {
-                    body.push_str(&format!("<p>bidding on {} at {:.2}</p>", item.name, item.current_price));
+                    body.push_str(&format!(
+                        "<p>bidding on {} at {:.2}</p>",
+                        item.name, item.current_price
+                    ));
                 }
             }
             Ok(RenderedPage::new("About me", body))
@@ -449,7 +447,10 @@ impl RubisApp {
             &Predicate::eq("id", item_id),
             &[
                 ("nb_of_bids".to_string(), Value::Int(nb + 1)),
-                ("current_price".to_string(), Value::Float(current.max(amount))),
+                (
+                    "current_price".to_string(),
+                    Value::Float(current.max(amount)),
+                ),
             ],
         )?;
         Ok(())
@@ -622,6 +623,11 @@ fn render_list(entries: &[(i64, String)]) -> String {
 fn render_items(items: &[ItemSummary]) -> String {
     items
         .iter()
-        .map(|i| format!("<li>{} — {:.2} ({} bids)</li>", i.name, i.current_price, i.nb_of_bids))
+        .map(|i| {
+            format!(
+                "<li>{} — {:.2} ({} bids)</li>",
+                i.name, i.current_price, i.nb_of_bids
+            )
+        })
         .collect()
 }

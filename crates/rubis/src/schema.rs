@@ -272,7 +272,11 @@ pub fn populate(db: &Database, scale: &RubisScale, seed: u64) -> Result<DatasetS
         let category = item[4].as_int().unwrap_or_default();
         // The seller's region stands in for the item's region, as in RUBiS.
         let region = rng.random_range(1..=scale.regions as i64);
-        irc.push(vec![Value::Int(id), Value::Int(region), Value::Int(category)]);
+        irc.push(vec![
+            Value::Int(id),
+            Value::Int(region),
+            Value::Int(category),
+        ]);
         for _ in 0..scale.bids_per_item {
             bids.push(vec![
                 Value::Int(bid_id),

@@ -239,10 +239,16 @@ impl ClientSession {
     fn execute(&mut self, app: &RubisApp, interaction: Interaction) -> Result<CommitInfo> {
         use Interaction::*;
         let staleness = self.config.staleness;
-        let item_id = self.rng.random_range(1..=self.scale.total_items().max(1) as i64);
-        let active_item = self.rng.random_range(1..=self.scale.active_items.max(1) as i64);
+        let item_id = self
+            .rng
+            .random_range(1..=self.scale.total_items().max(1) as i64);
+        let active_item = self
+            .rng
+            .random_range(1..=self.scale.active_items.max(1) as i64);
         let other_user = self.rng.random_range(1..=self.scale.users.max(1) as i64);
-        let category = self.rng.random_range(1..=self.scale.categories.max(1) as i64);
+        let category = self
+            .rng
+            .random_range(1..=self.scale.categories.max(1) as i64);
         let region = self.rng.random_range(1..=self.scale.regions.max(1) as i64);
         let page = self.rng.random_range(0..3usize);
         let me = self.user_id;
@@ -382,8 +388,10 @@ mod tests {
     fn think_times_have_roughly_the_configured_mean() {
         let mut session = ClientSession::new(2, RubisScale::tiny(), WorkloadConfig::default());
         let n = 5_000;
-        let mean: f64 =
-            (0..n).map(|_| session.think_time_micros() as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| session.think_time_micros() as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!(
             (5_000_000.0..9_000_000.0).contains(&mean),
             "mean think time {mean} not near 7 s"

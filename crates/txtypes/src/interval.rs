@@ -77,7 +77,7 @@ impl ValidityInterval {
     /// Returns `true` if `ts` lies inside the interval.
     #[must_use]
     pub fn contains(&self, ts: Timestamp) -> bool {
-        ts >= self.lower && self.upper.map_or(true, |u| ts < u)
+        ts >= self.lower && self.upper.is_none_or(|u| ts < u)
     }
 
     /// Returns `true` if the two intervals share at least one timestamp.
@@ -113,7 +113,7 @@ impl ValidityInterval {
         if hi < self.lower {
             return false;
         }
-        self.upper.map_or(true, |u| lo < u)
+        self.upper.is_none_or(|u| lo < u)
     }
 
     /// Truncates the interval at `ts`: the value is considered invalid from
@@ -268,6 +268,9 @@ mod tests {
         assert_eq!(b(46, 53).width(), Some(7));
         assert_eq!(ValidityInterval::unbounded(Timestamp(3)).width(), None);
         assert_eq!(b(46, 53).to_string(), "[46, 53)");
-        assert_eq!(ValidityInterval::unbounded(Timestamp(3)).to_string(), "[3, ∞)");
+        assert_eq!(
+            ValidityInterval::unbounded(Timestamp(3)).to_string(),
+            "[3, ∞)"
+        );
     }
 }

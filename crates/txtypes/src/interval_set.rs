@@ -100,11 +100,7 @@ impl IntervalSet {
     /// validity" step of §5.2: the query ran at snapshot `ts`, so the reported
     /// validity interval is the maximal gap around `ts`.
     #[must_use]
-    pub fn gap_around(
-        &self,
-        within: ValidityInterval,
-        ts: Timestamp,
-    ) -> Option<ValidityInterval> {
+    pub fn gap_around(&self, within: ValidityInterval, ts: Timestamp) -> Option<ValidityInterval> {
         if !within.contains(ts) || self.contains(ts) {
             return None;
         }
@@ -219,10 +215,7 @@ mod tests {
         s.insert(b(50, 60));
         s.insert(ValidityInterval::unbounded(Timestamp(15)));
         assert_eq!(s.len(), 1);
-        assert_eq!(
-            s.intervals()[0],
-            ValidityInterval::unbounded(Timestamp(10))
-        );
+        assert_eq!(s.intervals()[0], ValidityInterval::unbounded(Timestamp(10)));
     }
 
     #[test]

@@ -102,7 +102,10 @@ mod tests {
             s.earliest_acceptable(WallClock::from_secs(100)),
             WallClock::from_secs(70)
         );
-        assert_eq!(s.earliest_acceptable(WallClock::from_secs(10)), WallClock::ZERO);
+        assert_eq!(
+            s.earliest_acceptable(WallClock::from_secs(10)),
+            WallClock::ZERO
+        );
     }
 
     #[test]

@@ -197,8 +197,14 @@ mod tests {
 
         assert!(keyed.matches(&keyed));
         assert!(!keyed.matches(&other_key));
-        assert!(keyed.matches(&wild), "wildcard update hits keyed dependency");
-        assert!(wild.matches(&keyed), "wildcard dependency hit by keyed update");
+        assert!(
+            keyed.matches(&wild),
+            "wildcard update hits keyed dependency"
+        );
+        assert!(
+            wild.matches(&keyed),
+            "wildcard dependency hit by keyed update"
+        );
         assert!(wild.matches(&wild));
         assert!(!keyed.matches(&other_table));
     }
@@ -234,8 +240,12 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let update_hit: TagSet = [InvalidationTag::keyed("items", "id=7")].into_iter().collect();
-        let update_miss: TagSet = [InvalidationTag::keyed("items", "id=8")].into_iter().collect();
+        let update_hit: TagSet = [InvalidationTag::keyed("items", "id=7")]
+            .into_iter()
+            .collect();
+        let update_miss: TagSet = [InvalidationTag::keyed("items", "id=8")]
+            .into_iter()
+            .collect();
         let update_wild: TagSet = [InvalidationTag::wildcard("users")].into_iter().collect();
         assert!(deps.intersects(&update_hit));
         assert!(!deps.intersects(&update_miss));
@@ -245,7 +255,9 @@ mod tests {
 
     #[test]
     fn tagset_merge_and_iter() {
-        let mut a: TagSet = [InvalidationTag::keyed("users", "id=1")].into_iter().collect();
+        let mut a: TagSet = [InvalidationTag::keyed("users", "id=1")]
+            .into_iter()
+            .collect();
         let b: TagSet = [
             InvalidationTag::keyed("users", "id=2"),
             InvalidationTag::wildcard("bids"),

@@ -5,7 +5,9 @@
 use std::sync::Arc;
 
 use txcache_repro::cache_server::CacheCluster;
-use txcache_repro::mvdb::{ColumnType, Database, DbConfig, Predicate, SelectQuery, TableSchema, Value};
+use txcache_repro::mvdb::{
+    ColumnType, Database, DbConfig, Predicate, SelectQuery, TableSchema, Value,
+};
 use txcache_repro::pincushion::Pincushion;
 use txcache_repro::txcache::{TxCache, TxCacheConfig};
 use txcache_repro::txtypes::{Result, SimClock, Staleness};

@@ -104,7 +104,9 @@ fn main() -> Result<()> {
         clock.clone(),
         TxCacheConfig::default(),
     ));
-    let wiki = Wiki { txcache: txcache.clone() };
+    let wiki = Wiki {
+        txcache: txcache.clone(),
+    };
 
     let mut tx = txcache.begin_ro(Staleness::seconds(30))?;
     println!("{}", wiki.render_article(&mut tx, "Main_Page")?);
@@ -119,7 +121,10 @@ fn main() -> Result<()> {
     wiki.save_edit("Main_Page", 7, "welcome to the *TxCache* wiki")?;
     clock.advance_secs(31);
     let mut tx = txcache.begin_ro(Staleness::seconds(1))?;
-    println!("{}  [after edit]", wiki.render_article(&mut tx, "Main_Page")?);
+    println!(
+        "{}  [after edit]",
+        wiki.render_article(&mut tx, "Main_Page")?
+    );
     tx.commit()?;
 
     let stats = txcache.stats();

@@ -5,7 +5,9 @@
 use std::sync::Arc;
 
 use txcache_repro::cache_server::CacheCluster;
-use txcache_repro::mvdb::{ColumnType, Database, DbConfig, Predicate, SelectQuery, TableSchema, Value};
+use txcache_repro::mvdb::{
+    ColumnType, Database, DbConfig, Predicate, SelectQuery, TableSchema, Value,
+};
 use txcache_repro::pincushion::Pincushion;
 use txcache_repro::txcache::{CacheMode, Transaction, TxCache, TxCacheConfig};
 use txcache_repro::txtypes::{Result, SimClock, Staleness};
@@ -190,6 +192,9 @@ fn disabled_mode_matches_database_results_exactly() {
         direct.clock.advance_secs(40);
         let a = check_invariant(&cached, Staleness::seconds(1));
         let b = check_invariant(&direct, Staleness::seconds(1));
-        assert_eq!(a, b, "cached and uncached deployments must agree on fresh reads");
+        assert_eq!(
+            a, b,
+            "cached and uncached deployments must agree on fresh reads"
+        );
     }
 }

@@ -181,6 +181,9 @@ fn pin_set_invariant_two_holds_under_real_cache_guarantee() {
     let mut pin_set = PinSet::new([Timestamp(10), Timestamp(50)], false);
     let returned = ValidityInterval::bounded(Timestamp(40), Timestamp(60)).unwrap();
     assert!(returned.intersects_range(Timestamp(10), Timestamp(50)));
-    assert!(pin_set.narrow(&returned), "an endpoint of the bounds lies in the interval");
+    assert!(
+        pin_set.narrow(&returned),
+        "an endpoint of the bounds lies in the interval"
+    );
     assert_eq!(pin_set.candidates(), vec![Timestamp(50)]);
 }
