@@ -150,7 +150,9 @@ impl CacheNode {
         let mut fresh_enough_exists = false;
         let mut any_version = false;
         for id in ids {
-            let Some(entry) = self.entries.get(id) else { continue };
+            let Some(entry) = self.entries.get(id) else {
+                continue;
+            };
             any_version = true;
             let effective_upper = entry.validity.effective_upper(self.last_invalidation);
             let effective = ValidityInterval {
@@ -234,7 +236,10 @@ impl CacheNode {
             }
             if let Some(ts) = earliest_hit {
                 match validity.truncate_at(ts) {
-                    Some(truncated) => validity = truncated,
+                    Some(truncated) => {
+                        validity = truncated;
+                        self.stats.late_insert_truncations += 1;
+                    }
                     None => return, // the value was never current as far as the cache can tell
                 }
             }
@@ -292,7 +297,9 @@ impl CacheNode {
     /// Evicts least-recently-used entries until the node fits its budget.
     fn enforce_capacity(&mut self) {
         while self.used_bytes > self.config.capacity_bytes {
-            let Some((&tick, &id)) = self.lru.iter().next() else { break };
+            let Some((&tick, &id)) = self.lru.iter().next() else {
+                break;
+            };
             self.lru.remove(&tick);
             self.remove_entry(id);
             self.stats.lru_evictions += 1;
@@ -302,7 +309,9 @@ impl CacheNode {
     /// Removes an entry from every index. The LRU map entry is removed lazily
     /// by callers that iterate it; `lru_pos` is authoritative.
     fn remove_entry(&mut self, id: EntryId) {
-        let Some(entry) = self.entries.remove(&id) else { return };
+        let Some(entry) = self.entries.remove(&id) else {
+            return;
+        };
         self.used_bytes = self.used_bytes.saturating_sub(entry.size_bytes());
         if let Some(pos) = self.lru_pos.remove(&id) {
             self.lru.remove(&pos);
@@ -356,7 +365,9 @@ impl CacheNode {
         }
 
         for id in affected {
-            let Some(entry) = self.entries.get_mut(&id) else { continue };
+            let Some(entry) = self.entries.get_mut(&id) else {
+                continue;
+            };
             if !entry.validity.is_unbounded() {
                 continue;
             }
@@ -430,7 +441,12 @@ mod tests {
     }
 
     fn node() -> CacheNode {
-        CacheNode::new("n0", NodeConfig { capacity_bytes: 10_000 })
+        CacheNode::new(
+            "n0",
+            NodeConfig {
+                capacity_bytes: 10_000,
+            },
+        )
     }
 
     fn tags_for(table: &str, id: u64) -> TagSet {
@@ -597,6 +613,88 @@ mod tests {
     }
 
     #[test]
+    fn late_insert_is_truncated_exactly_at_its_own_invalidation() {
+        // §4.2 update/insert race, sharpened: a transaction computes a value,
+        // its own update's invalidation reaches the cache first, and the
+        // insert arrives afterwards with an unbounded interval. The stored
+        // entry must be truncated at exactly the invalidation's timestamp.
+        let mut n = node();
+        n.note_timestamp(Timestamp(100));
+        // Two invalidations for the same tag arrive; the EARLIEST one after
+        // the entry's validity start must bound the entry.
+        n.apply_invalidation(Timestamp(50), &tags_for("items", 1));
+        n.apply_invalidation(Timestamp(70), &tags_for("items", 1));
+        // An unrelated invalidation must not affect the entry.
+        n.apply_invalidation(Timestamp(45), &tags_for("users", 9));
+
+        n.insert(
+            key(1),
+            Bytes::from_static(b"computed-before-50"),
+            ValidityInterval::unbounded(Timestamp(40)),
+            tags_for("items", 1),
+            WallClock::ZERO,
+        );
+        assert_eq!(n.stats().late_insert_truncations, 1);
+
+        // The stored validity is [40, 50), nothing wider.
+        match n.lookup(&key(1), &LookupRequest::range(Timestamp(40), Timestamp(49))) {
+            LookupOutcome::Hit {
+                stored_validity, ..
+            } => {
+                assert_eq!(stored_validity.lower, Timestamp(40));
+                assert_eq!(stored_validity.upper, Some(Timestamp(50)));
+            }
+            other => panic!("expected hit below the truncation point, got {other:?}"),
+        }
+        assert!(!n
+            .lookup(
+                &key(1),
+                &LookupRequest::range(Timestamp(50), Timestamp(100))
+            )
+            .is_hit());
+
+        // A sibling key on the same table whose tag was NOT invalidated stays
+        // unbounded (keyed invalidations are precise).
+        n.insert(
+            key(2),
+            Bytes::from_static(b"untouched"),
+            ValidityInterval::unbounded(Timestamp(40)),
+            tags_for("items", 2),
+            WallClock::ZERO,
+        );
+        assert!(n
+            .lookup(
+                &key(2),
+                &LookupRequest::range(Timestamp(90), Timestamp(100))
+            )
+            .is_hit());
+        assert_eq!(n.stats().late_insert_truncations, 1);
+    }
+
+    #[test]
+    fn invalidation_at_the_validity_start_does_not_truncate() {
+        // An invalidation at exactly the entry's validity start reflects the
+        // update the entry was computed from — it must NOT truncate it.
+        let mut n = node();
+        n.note_timestamp(Timestamp(100));
+        n.apply_invalidation(Timestamp(40), &tags_for("items", 1));
+        n.insert(
+            key(1),
+            Bytes::from_static(b"computed-at-40"),
+            ValidityInterval::unbounded(Timestamp(40)),
+            tags_for("items", 1),
+            WallClock::ZERO,
+        );
+        assert_eq!(n.stats().late_insert_truncations, 0);
+        assert!(n
+            .lookup(
+                &key(1),
+                &LookupRequest::range(Timestamp(90), Timestamp(100))
+            )
+            .is_hit());
+    }
+
+    #[test]
     fn duplicate_insertions_are_skipped() {
         let mut n = node();
         insert_simple(&mut n, 1, 5);
@@ -608,7 +706,12 @@ mod tests {
 
     #[test]
     fn lru_eviction_under_memory_pressure() {
-        let mut n = CacheNode::new("n0", NodeConfig { capacity_bytes: 2_000 });
+        let mut n = CacheNode::new(
+            "n0",
+            NodeConfig {
+                capacity_bytes: 2_000,
+            },
+        );
         for i in 0..100 {
             n.insert(
                 key(i),
@@ -628,7 +731,12 @@ mod tests {
 
     #[test]
     fn lru_keeps_recently_used_entries() {
-        let mut n = CacheNode::new("n0", NodeConfig { capacity_bytes: 1_000 });
+        let mut n = CacheNode::new(
+            "n0",
+            NodeConfig {
+                capacity_bytes: 1_000,
+            },
+        );
         n.apply_invalidation(Timestamp(100), &TagSet::new());
         for i in 0..4 {
             n.insert(
@@ -640,7 +748,9 @@ mod tests {
             );
         }
         // Touch key 0 so it is the most recently used.
-        assert!(n.lookup(&key(0), &LookupRequest::at(Timestamp(50))).is_hit());
+        assert!(n
+            .lookup(&key(0), &LookupRequest::at(Timestamp(50)))
+            .is_hit());
         // Force evictions.
         for i in 10..14 {
             n.insert(
@@ -652,7 +762,8 @@ mod tests {
             );
         }
         assert!(
-            n.lookup(&key(0), &LookupRequest::at(Timestamp(50))).is_hit(),
+            n.lookup(&key(0), &LookupRequest::at(Timestamp(50)))
+                .is_hit(),
             "recently used key survives eviction"
         );
     }
@@ -705,7 +816,10 @@ mod tests {
             pinset_hi: Timestamp(50),
             freshness_lo: Timestamp(45),
         };
-        assert_eq!(n.lookup(&key(1), &req).miss_kind(), Some(MissKind::Staleness));
+        assert_eq!(
+            n.lookup(&key(1), &req).miss_kind(),
+            Some(MissKind::Staleness)
+        );
     }
 
     #[test]

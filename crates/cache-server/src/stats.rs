@@ -24,6 +24,9 @@ pub struct CacheStats {
     pub duplicate_insertions: u64,
     /// Entries whose validity was truncated by an invalidation.
     pub invalidated_entries: u64,
+    /// Entries that arrived *after* an invalidation matching their tags and
+    /// were truncated on insert (the §4.2 update/insert race).
+    pub late_insert_truncations: u64,
     /// Invalidation messages processed.
     pub invalidation_messages: u64,
     /// Entries evicted to free memory.
@@ -97,6 +100,7 @@ impl CacheStats {
         self.insertions += other.insertions;
         self.duplicate_insertions += other.duplicate_insertions;
         self.invalidated_entries += other.invalidated_entries;
+        self.late_insert_truncations += other.late_insert_truncations;
         self.invalidation_messages += other.invalidation_messages;
         self.lru_evictions += other.lru_evictions;
         self.staleness_evictions += other.staleness_evictions;
@@ -110,8 +114,10 @@ mod tests {
 
     #[test]
     fn record_and_rates() {
-        let mut s = CacheStats::default();
-        s.hits = 6;
+        let mut s = CacheStats {
+            hits: 6,
+            ..CacheStats::default()
+        };
         s.record_miss(MissKind::Compulsory);
         s.record_miss(MissKind::Consistency);
         s.record_miss(MissKind::Capacity);
