@@ -7,7 +7,10 @@
 //! the dataset.
 
 use bench::{format_size, BenchArgs};
-use harness::{run_experiment, throughput_table, DbKind, ExperimentConfig, ExperimentResult};
+use harness::{
+    run_concurrent, run_experiment, scalability_table, throughput_table, ConcurrentResult, DbKind,
+    ExperimentConfig, ExperimentResult,
+};
 use txcache::CacheMode;
 
 fn sweep(
@@ -47,7 +50,10 @@ fn main() {
         "{}",
         throughput_table(
             "Figure 5(a): in-memory database, 30 s staleness",
-            &[("No consistency", no_consistency), ("TxCache", txcache.clone())],
+            &[
+                ("No consistency", no_consistency),
+                ("TxCache", txcache.clone())
+            ],
         )
     );
     println!("No caching (baseline): {baseline_rps:.0} req/s  (paper: 928 req/s)\n");
@@ -79,6 +85,41 @@ fn main() {
             "  TxCache {label:>6}: {:>7.0} req/s  speedup {:.1}x",
             r.peak_throughput,
             r.peak_throughput / baseline_b_rps
+        );
+    }
+
+    // ---- Concurrent driver: measured txn/s versus thread count ----
+    //
+    // Unlike the panels above (which model the paper's ten-machine cluster
+    // from single-threaded resource measurements), this drives the cluster
+    // from N real application-server threads sharing the database, cache, and
+    // pincushion, and reports measured wall-clock throughput. The flat curve
+    // documents the mvdb global-lock bottleneck that future work must remove.
+    let base = args.config(DbKind::InMemory);
+    let results: Vec<ConcurrentResult> = args
+        .threads
+        .iter()
+        .map(|&t| run_concurrent(&base, t).expect("concurrent run failed"))
+        .collect();
+    println!(
+        "\n{}",
+        scalability_table(
+            "Thread scaling: measured aggregate throughput (in-memory db, TxCache mode)",
+            &results,
+        )
+    );
+    for r in &results {
+        let per_thread: Vec<String> = r
+            .per_thread
+            .iter()
+            .map(|t| format!("{:.0}", t.usage.requests as f64 / t.wall_seconds.max(1e-9)))
+            .collect();
+        println!(
+            "  {} thread(s): per-thread txn/s [{}], cache stats: {} hits / {} misses",
+            r.threads,
+            per_thread.join(", "),
+            r.cache_stats.hits,
+            r.cache_stats.misses(),
         );
     }
 }

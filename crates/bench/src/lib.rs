@@ -14,7 +14,7 @@
 use harness::{DbKind, ExperimentConfig};
 
 /// Command-line options shared by the figure binaries.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchArgs {
     /// Dataset scale factor relative to the paper's configuration.
     pub scale: f64,
@@ -22,6 +22,9 @@ pub struct BenchArgs {
     pub requests: usize,
     /// Warm-up requests per experiment point.
     pub warmup: usize,
+    /// Application-server thread counts for the concurrency sweep
+    /// (`--threads 1,2,4,8`).
+    pub threads: Vec<usize>,
 }
 
 impl Default for BenchArgs {
@@ -30,6 +33,7 @@ impl Default for BenchArgs {
             scale: 0.01,
             requests: 2_000,
             warmup: 1_200,
+            threads: vec![1, 2, 4, 8],
         }
     }
 }
@@ -53,6 +57,17 @@ impl BenchArgs {
                 "--requests" if i + 1 < args.len() => {
                     if let Ok(v) = args[i + 1].parse() {
                         out.requests = v;
+                    }
+                    i += 1;
+                }
+                "--threads" if i + 1 < args.len() => {
+                    let parsed: Vec<usize> = args[i + 1]
+                        .split(',')
+                        .filter_map(|t| t.trim().parse().ok())
+                        .filter(|&t| t > 0)
+                        .collect();
+                    if !parsed.is_empty() {
+                        out.threads = parsed;
                     }
                     i += 1;
                 }
@@ -101,6 +116,7 @@ mod tests {
         let cfg = args.config(DbKind::InMemory);
         assert_eq!(cfg.requests, 2_000);
         assert!((cfg.scale_factor - 0.01).abs() < 1e-12);
+        assert_eq!(args.threads, vec![1, 2, 4, 8]);
     }
 
     #[test]

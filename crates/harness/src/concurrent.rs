@@ -1,0 +1,431 @@
+//! Multi-threaded workload driving.
+//!
+//! The single-threaded runner in [`crate::experiment`] measures resource
+//! demand and converts it to a modelled cluster throughput. This module
+//! instead drives the cluster from N real application-server threads sharing
+//! one `Arc<Database>`, `Arc<CacheCluster>`, and `Arc<Pincushion>`, and
+//! reports *measured* aggregate transactions per second. Because `mvdb`
+//! currently serializes all access through a single global lock, the
+//! scalability curve this produces is the baseline number that future
+//! concurrency work on the database must beat.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use cache_server::{CacheCluster, CacheStats};
+use mvdb::Database;
+use pincushion::Pincushion;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rubis::{ClientSession, RubisApp, WorkloadConfig};
+use txcache::TxCache;
+use txtypes::{Result, SimClock};
+
+use crate::costmodel::ResourceUsage;
+use crate::experiment::{ExperimentConfig, SimCluster};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+/// Compile-time proof that every component shared between application-server
+/// threads is `Send + Sync`. Removing a bound from any of these types breaks
+/// this function, not a test at runtime.
+#[allow(dead_code)]
+fn shared_components_are_thread_safe() {
+    assert_send_sync::<Database>();
+    assert_send_sync::<CacheCluster>();
+    assert_send_sync::<Pincushion>();
+    assert_send_sync::<TxCache>();
+    assert_send_sync::<RubisApp>();
+    assert_send_sync::<SimClock>();
+    assert_send_sync::<SimCluster>();
+    assert_send_sync::<Arc<Database>>();
+    assert_send_sync::<Arc<CacheCluster>>();
+    assert_send_sync::<Arc<Pincushion>>();
+    assert_send_sync::<Arc<TxCache>>();
+}
+
+/// Number of power-of-two latency buckets (covers 1 µs to ~1.2 h).
+const LATENCY_BUCKETS: usize = 32;
+
+/// A merge-able latency accumulator with power-of-two microsecond buckets.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyStats {
+    /// Number of recorded operations.
+    pub count: u64,
+    /// Sum of all recorded latencies, in microseconds.
+    pub total_us: u64,
+    /// Smallest recorded latency, in microseconds.
+    pub min_us: u64,
+    /// Largest recorded latency, in microseconds.
+    pub max_us: u64,
+    buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            count: 0,
+            total_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl LatencyStats {
+    /// Records one operation's latency.
+    pub fn record_us(&mut self, us: u64) {
+        self.count += 1;
+        self.total_us += us;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+    }
+
+    /// Merges another accumulator (e.g. a different thread's) into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.total_us += other.total_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Mean latency in microseconds.
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate percentile (`p` in [0, 1]) from the bucket histogram; the
+    /// value returned is the upper bound of the bucket containing the
+    /// percentile, so it errs high by at most 2x.
+    #[must_use]
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank.max(1) {
+                return (1u64 << (i + 1)).min(self.max_us.max(1));
+            }
+        }
+        self.max_us
+    }
+}
+
+/// What one application-server thread measured.
+#[derive(Debug, Clone)]
+pub struct ThreadReport {
+    /// Thread index (0-based).
+    pub thread: usize,
+    /// Resource usage accumulated by this thread during measurement.
+    pub usage: ResourceUsage,
+    /// Per-interaction wall-clock latency on this thread.
+    pub latency: LatencyStats,
+    /// Interactions that failed even after a retry.
+    pub failed: u64,
+    /// Interactions that needed a conflict retry.
+    pub retried: u64,
+    /// Seconds this thread spent in the measurement phase.
+    pub wall_seconds: f64,
+}
+
+/// The outcome of one multi-threaded run.
+#[derive(Debug, Clone)]
+pub struct ConcurrentResult {
+    /// The configuration driven (requests are split across threads).
+    pub config: ExperimentConfig,
+    /// Number of application-server threads.
+    pub threads: usize,
+    /// Wall-clock duration of the measurement phase (slowest thread).
+    pub wall_seconds: f64,
+    /// Measured aggregate throughput: transactions per wall-clock second.
+    pub throughput_rps: f64,
+    /// Merged resource usage across threads.
+    pub usage: ResourceUsage,
+    /// Merged per-interaction latency across threads.
+    pub latency: LatencyStats,
+    /// Cluster-wide cache statistics for the measurement phase.
+    pub cache_stats: CacheStats,
+    /// Cache hit rate over cacheable calls.
+    pub hit_rate: f64,
+    /// Total failed interactions.
+    pub failed: u64,
+    /// Total retried interactions.
+    pub retried: u64,
+    /// Per-thread breakdown.
+    pub per_thread: Vec<ThreadReport>,
+}
+
+impl ConcurrentResult {
+    /// Measured speedup over another (typically single-threaded) run.
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &ConcurrentResult) -> f64 {
+        if baseline.throughput_rps <= 0.0 {
+            0.0
+        } else {
+            self.throughput_rps / baseline.throughput_rps
+        }
+    }
+}
+
+/// Runs the RUBiS bidding mix from `threads` application-server threads
+/// sharing one simulated cluster, and reports measured aggregate throughput.
+///
+/// `config.requests` and `config.warmup_requests` are totals, split evenly
+/// across threads; each thread drives its own partition of the client
+/// sessions with a thread-specific RNG stream, so the *workload* each thread
+/// submits is deterministic for a given `(seed, threads)` pair. The measured
+/// results are not: real thread interleaving decides which transactions
+/// conflict and what each lookup finds, so throughput, hit rate, and retry
+/// counts vary run to run.
+pub fn run_concurrent(config: &ExperimentConfig, threads: usize) -> Result<ConcurrentResult> {
+    let threads = threads.max(1);
+    let cluster = SimCluster::build(config)?;
+
+    let warmup_per_thread = config.warmup_requests.div_ceil(threads);
+    let measured_per_thread = config.requests.div_ceil(threads);
+    let sessions_per_thread = (config.sessions / threads).max(1);
+
+    // Two rendezvous points: after warmup (the leader resets cache counters,
+    // as the single-threaded runner does) and before timing starts.
+    let post_warmup = Barrier::new(threads);
+    let start_line = Barrier::new(threads);
+
+    let reports: Vec<ThreadReport> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for thread in 0..threads {
+            let cluster = &cluster;
+            let post_warmup = &post_warmup;
+            let start_line = &start_line;
+            handles.push(scope.spawn(move || {
+                let app = cluster.app.clone();
+                let mut sessions: Vec<ClientSession> = (0..sessions_per_thread)
+                    .map(|i| {
+                        ClientSession::new(
+                            config
+                                .seed
+                                .wrapping_add((thread * sessions_per_thread + i) as u64 + 1),
+                            cluster.scale,
+                            WorkloadConfig {
+                                staleness: config.staleness,
+                                ..WorkloadConfig::default()
+                            },
+                        )
+                    })
+                    .collect();
+                let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed ^ (thread as u64) << 32);
+
+                let run_one = |i: usize,
+                               sessions: &mut Vec<ClientSession>,
+                               rng: &mut StdRng,
+                               usage: &mut ResourceUsage,
+                               latency: &mut LatencyStats,
+                               failed: &mut u64,
+                               retried: &mut u64,
+                               measuring: bool| {
+                    // Exponential inter-arrival on the shared simulated clock;
+                    // every request advances it the same way as the
+                    // single-threaded runner, so the update density per
+                    // staleness window is independent of the thread count.
+                    let u: f64 = rng.random_range(f64::EPSILON..1.0);
+                    let dt = (-(config.interarrival_micros as f64) * u.ln()) as u64;
+                    cluster.clock.advance_micros(dt.max(1));
+
+                    if i.is_multiple_of(128) {
+                        cluster.txcache.maintenance();
+                    }
+
+                    let session = &mut sessions[i % sessions_per_thread];
+                    let interaction = session.next_interaction();
+                    let t0 = Instant::now();
+                    match session.run(&app, interaction) {
+                        Ok(report) => {
+                            if measuring {
+                                usage.absorb(&report.commit);
+                                if report.retried {
+                                    *retried += 1;
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            if measuring {
+                                *failed += 1;
+                            }
+                        }
+                    }
+                    if measuring {
+                        latency
+                            .record_us(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                    }
+                };
+
+                let mut usage = ResourceUsage::default();
+                let mut latency = LatencyStats::default();
+                let (mut failed, mut retried) = (0u64, 0u64);
+
+                for i in 0..warmup_per_thread {
+                    run_one(
+                        i,
+                        &mut sessions,
+                        &mut rng,
+                        &mut usage,
+                        &mut latency,
+                        &mut failed,
+                        &mut retried,
+                        false,
+                    );
+                }
+
+                if post_warmup.wait().is_leader() {
+                    cluster.cache.reset_stats();
+                }
+                start_line.wait();
+
+                let t0 = Instant::now();
+                for i in 0..measured_per_thread {
+                    run_one(
+                        warmup_per_thread + i,
+                        &mut sessions,
+                        &mut rng,
+                        &mut usage,
+                        &mut latency,
+                        &mut failed,
+                        &mut retried,
+                        true,
+                    );
+                }
+                let wall_seconds = t0.elapsed().as_secs_f64();
+
+                ThreadReport {
+                    thread,
+                    usage,
+                    latency,
+                    failed,
+                    retried,
+                    wall_seconds,
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("application-server thread panicked"))
+            .collect()
+    });
+
+    let mut usage = ResourceUsage::default();
+    let mut latency = LatencyStats::default();
+    let (mut failed, mut retried) = (0u64, 0u64);
+    let mut wall_seconds: f64 = 0.0;
+    for r in &reports {
+        usage.merge(&r.usage);
+        latency.merge(&r.latency);
+        failed += r.failed;
+        retried += r.retried;
+        wall_seconds = wall_seconds.max(r.wall_seconds);
+    }
+
+    let throughput_rps = if wall_seconds > 0.0 {
+        usage.requests as f64 / wall_seconds
+    } else {
+        0.0
+    };
+
+    Ok(ConcurrentResult {
+        config: *config,
+        threads,
+        wall_seconds,
+        throughput_rps,
+        hit_rate: usage.hit_rate(),
+        usage,
+        latency,
+        cache_stats: cluster.cache.stats(),
+        failed,
+        retried,
+        per_thread: reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::DbKind;
+    use txcache::CacheMode;
+
+    fn quick_config() -> ExperimentConfig {
+        ExperimentConfig {
+            scale_factor: 0.002,
+            requests: 400,
+            warmup_requests: 200,
+            sessions: 8,
+            ..ExperimentConfig::new(DbKind::InMemory)
+        }
+    }
+
+    #[test]
+    fn latency_stats_record_and_merge() {
+        let mut a = LatencyStats::default();
+        for us in [10, 20, 40, 80] {
+            a.record_us(us);
+        }
+        let mut b = LatencyStats::default();
+        b.record_us(1000);
+        a.merge(&b);
+        assert_eq!(a.count, 5);
+        assert_eq!(a.min_us, 10);
+        assert_eq!(a.max_us, 1000);
+        assert!(a.mean_us() > 0.0);
+        assert!(a.percentile_us(0.5) <= a.percentile_us(1.0));
+        assert!(a.percentile_us(1.0) >= 1000);
+    }
+
+    #[test]
+    fn concurrent_run_preserves_workload_and_uses_all_threads() {
+        let result = run_concurrent(&quick_config(), 4).unwrap();
+        assert_eq!(result.threads, 4);
+        assert_eq!(result.per_thread.len(), 4);
+        assert!(result.usage.requests >= 400);
+        assert!(result.throughput_rps > 0.0);
+        assert!(result.hit_rate > 0.1, "hit rate {}", result.hit_rate);
+        assert!(
+            result.failed <= result.usage.requests / 20,
+            "too many failures: {} of {}",
+            result.failed,
+            result.usage.requests
+        );
+        for t in &result.per_thread {
+            assert!(t.usage.requests > 0, "thread {} did no work", t.thread);
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_the_sequential_runner_shape() {
+        let result = run_concurrent(&quick_config(), 1).unwrap();
+        assert_eq!(result.threads, 1);
+        assert!(result.usage.cacheable_calls > 0);
+        assert!(result.latency.count >= 400);
+    }
+
+    #[test]
+    fn concurrent_run_works_with_cache_disabled() {
+        let config = ExperimentConfig {
+            mode: CacheMode::Disabled,
+            ..quick_config()
+        };
+        let result = run_concurrent(&config, 2).unwrap();
+        assert_eq!(result.hit_rate, 0.0);
+        assert!(result.usage.requests >= 400);
+    }
+}

@@ -111,6 +111,18 @@ impl ResourceUsage {
         self.cache_hits += report.cache_hits;
     }
 
+    /// Merges another aggregate (e.g. a different worker thread's) into this
+    /// one.
+    pub fn merge(&mut self, other: &ResourceUsage) {
+        self.requests += other.requests;
+        self.db_queries += other.db_queries;
+        self.db_page_hits += other.db_page_hits;
+        self.db_page_misses += other.db_page_misses;
+        self.rows_written += other.rows_written;
+        self.cacheable_calls += other.cacheable_calls;
+        self.cache_hits += other.cache_hits;
+    }
+
     /// Average database service time per request, in microseconds.
     #[must_use]
     pub fn db_us_per_request(&self, model: &CostModel) -> f64 {
@@ -236,7 +248,10 @@ mod tests {
             (600.0..1400.0).contains(&peak),
             "in-memory baseline {peak} should be near the paper's ~928 req/s"
         );
-        assert_eq!(usage.bottleneck(&CostModel::in_memory()), Bottleneck::Database);
+        assert_eq!(
+            usage.bottleneck(&CostModel::in_memory()),
+            Bottleneck::Database
+        );
 
         // Disk-bound: a fraction of pages miss the buffer pool.
         let mut usage = ResourceUsage::default();

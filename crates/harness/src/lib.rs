@@ -20,10 +20,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod concurrent;
 pub mod costmodel;
 pub mod experiment;
 pub mod report;
 
+pub use concurrent::{run_concurrent, ConcurrentResult, LatencyStats, ThreadReport};
 pub use costmodel::{Bottleneck, CostModel, ResourceUsage};
 pub use experiment::{run_experiment, DbKind, ExperimentConfig, ExperimentResult, SimCluster};
-pub use report::{hit_rate_table, miss_breakdown_table, summary_line, throughput_table};
+pub use report::{
+    hit_rate_table, miss_breakdown_table, scalability_table, summary_line, throughput_table,
+};

@@ -1,5 +1,6 @@
 //! Text rendering of experiment results as the paper's tables and figures.
 
+use crate::concurrent::ConcurrentResult;
 use crate::costmodel::Bottleneck;
 use crate::experiment::ExperimentResult;
 
@@ -51,7 +52,8 @@ pub fn miss_breakdown_table(columns: &[(&str, ExperimentResult)]) -> String {
         out.push_str(&format!("{name:>22}"));
     }
     out.push('\n');
-    let rows: [(&str, fn(&ExperimentResult) -> u64); 4] = [
+    type Extract = fn(&ExperimentResult) -> u64;
+    let rows: [(&str, Extract); 4] = [
         ("Compulsory", |r| r.cache_stats.compulsory_misses),
         ("Staleness", |r| r.cache_stats.staleness_misses),
         ("Capacity", |r| r.cache_stats.capacity_misses),
@@ -65,6 +67,44 @@ pub fn miss_breakdown_table(columns: &[(&str, ExperimentResult)]) -> String {
             out.push_str(&format!("{pct:>21.1}%"));
         }
         out.push('\n');
+    }
+    out
+}
+
+/// Formats a thread-scaling table from multi-threaded runs: measured
+/// aggregate throughput, speedup over the first (typically single-threaded)
+/// row, hit rate, and the per-interaction latency distribution.
+#[must_use]
+pub fn scalability_table(title: &str, results: &[ConcurrentResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    out.push_str(&format!(
+        "{:>8}{:>14}{:>10}{:>10}{:>12}{:>12}{:>12}{:>9}{:>9}\n",
+        "threads",
+        "txn/s",
+        "speedup",
+        "hit rate",
+        "mean lat",
+        "p95 lat",
+        "p99 lat",
+        "failed",
+        "retried",
+    ));
+    let baseline = results.first();
+    for r in results {
+        let speedup = baseline.map_or(1.0, |b| r.speedup_over(b));
+        out.push_str(&format!(
+            "{:>8}{:>14.0}{:>9.2}x{:>9.1}%{:>10.0}us{:>10}us{:>10}us{:>9}{:>9}\n",
+            r.threads,
+            r.throughput_rps,
+            speedup,
+            r.hit_rate * 100.0,
+            r.latency.mean_us(),
+            r.latency.percentile_us(0.95),
+            r.latency.percentile_us(0.99),
+            r.failed,
+            r.retried,
+        ));
     }
     out
 }

@@ -1,0 +1,227 @@
+//! Concurrency tests: the paper's consistency guarantee must hold when many
+//! application-server threads share one `TxCache` — every read-only
+//! transaction, whether its reads are served by the cache or the database,
+//! observes a single consistent snapshot even while writers commit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use txcache_repro::cache_server::CacheCluster;
+use txcache_repro::harness::{run_concurrent, DbKind, ExperimentConfig};
+use txcache_repro::mvdb::{
+    ColumnType, Database, DbConfig, Predicate, SelectQuery, TableSchema, Value,
+};
+use txcache_repro::pincushion::Pincushion;
+use txcache_repro::txcache::{CacheMode, Transaction, TxCache, TxCacheConfig};
+use txcache_repro::txtypes::{Result, SimClock, Staleness};
+
+const TOTAL: i64 = 100;
+
+/// Builds the two-account bank whose invariant is balance(1) + balance(2) == 100.
+fn bank(mode: CacheMode) -> (Arc<TxCache>, SimClock) {
+    let clock = SimClock::new();
+    let db = Arc::new(Database::new(DbConfig::default(), clock.clone()));
+    db.create_table(
+        TableSchema::new("accounts")
+            .column("id", ColumnType::Int)
+            .column("balance", ColumnType::Int)
+            .unique_index("id"),
+    )
+    .unwrap();
+    db.bulk_load(
+        "accounts",
+        vec![
+            vec![Value::Int(1), Value::Int(60)],
+            vec![Value::Int(2), Value::Int(TOTAL - 60)],
+        ],
+    )
+    .unwrap();
+    let cache = Arc::new(CacheCluster::new(2, 4 << 20));
+    let pincushion = Arc::new(Pincushion::new(Default::default(), clock.clone()));
+    let txcache = Arc::new(TxCache::new(
+        db,
+        cache,
+        pincushion,
+        clock.clone(),
+        TxCacheConfig {
+            mode,
+            ..TxCacheConfig::default()
+        },
+    ));
+    (txcache, clock)
+}
+
+fn balance(tx: &mut Transaction<'_>, account: i64) -> Result<i64> {
+    tx.cached("balance", &account, |tx| {
+        let q = SelectQuery::table("accounts").filter(Predicate::eq("id", account));
+        let r = tx.query(&q)?;
+        Ok(r.get(0, "balance")?.as_int().unwrap_or(0))
+    })
+}
+
+fn transfer(txcache: &TxCache, amount: i64) {
+    loop {
+        let mut tx = txcache.begin_rw().unwrap();
+        let result = (|| -> Result<()> {
+            let q1 = SelectQuery::table("accounts").filter(Predicate::eq("id", 1i64));
+            let a = tx.query(&q1)?.get(0, "balance")?.as_int().unwrap_or(0);
+            tx.update(
+                "accounts",
+                &Predicate::eq("id", 1i64),
+                &[("balance".to_string(), Value::Int(a - amount))],
+            )?;
+            let q2 = SelectQuery::table("accounts").filter(Predicate::eq("id", 2i64));
+            let b = tx.query(&q2)?.get(0, "balance")?.as_int().unwrap_or(0);
+            tx.update(
+                "accounts",
+                &Predicate::eq("id", 2i64),
+                &[("balance".to_string(), Value::Int(b + amount))],
+            )?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                tx.commit().unwrap();
+                return;
+            }
+            Err(e) if e.is_retryable() => {
+                let _ = tx.abort();
+            }
+            Err(e) => panic!("transfer failed: {e}"),
+        }
+    }
+}
+
+/// The tentpole acceptance check: while one writer thread keeps moving money
+/// between the accounts, concurrent reader threads — hitting a mix of cached
+/// and uncached state at a generous staleness limit — must always see the two
+/// balances sum to the invariant total.
+#[test]
+fn bank_invariant_holds_under_concurrent_readers() {
+    let (txcache, clock) = bank(CacheMode::Full);
+    let stop = AtomicBool::new(false);
+    let readers = 4;
+    let checks_per_reader = 300;
+
+    std::thread::scope(|scope| {
+        let writer = {
+            let txcache = &txcache;
+            let clock = &clock;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut round = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    transfer(txcache, if round % 2 == 0 { 5 } else { -5 });
+                    clock.advance_micros(50_000);
+                    txcache.maintenance();
+                    round += 1;
+                }
+                round
+            })
+        };
+
+        let handles: Vec<_> = (0..readers)
+            .map(|reader| {
+                let txcache = &txcache;
+                let clock = &clock;
+                scope.spawn(move || {
+                    for check in 0..checks_per_reader {
+                        clock.advance_micros(10_000);
+                        let mut tx = txcache.begin_ro(Staleness::seconds(30)).unwrap();
+                        let a = balance(&mut tx, 1).unwrap();
+                        let b = balance(&mut tx, 2).unwrap();
+                        tx.commit().unwrap();
+                        assert_eq!(
+                            a + b,
+                            TOTAL,
+                            "reader {reader} check {check}: snapshot isolation violated: \
+                             {a} + {b} != {TOTAL}"
+                        );
+                    }
+                })
+            })
+            .collect();
+
+        for h in handles {
+            h.join().expect("reader thread panicked");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let rounds = writer.join().expect("writer thread panicked");
+        assert!(rounds > 0, "the writer never committed a transfer");
+    });
+
+    // The run exercised the cache, not just the database.
+    let stats = txcache.stats();
+    assert!(stats.cache_hits > 0, "expected cache hits, got {stats:?}");
+
+    // A final fresh read agrees with the database exactly.
+    let mut tx = txcache.begin_ro(Staleness::seconds(1)).unwrap();
+    let a = balance(&mut tx, 1).unwrap();
+    let b = balance(&mut tx, 2).unwrap();
+    tx.commit().unwrap();
+    assert_eq!(a + b, TOTAL);
+}
+
+/// The same invariant must hold in no-consistency mode *failing is allowed
+/// here* — but the run must at least not crash or deadlock. (The paper's
+/// point is that TxCache makes the invariant hold; the baseline trades it
+/// away.) We only assert liveness for the baseline.
+#[test]
+fn no_consistency_baseline_stays_live_under_concurrency() {
+    let (txcache, clock) = bank(CacheMode::NoConsistency);
+    std::thread::scope(|scope| {
+        let writer = {
+            let txcache = &txcache;
+            let clock = &clock;
+            scope.spawn(move || {
+                for round in 0..100 {
+                    transfer(txcache, if round % 2 == 0 { 3 } else { -3 });
+                    clock.advance_micros(50_000);
+                }
+            })
+        };
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let txcache = &txcache;
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        let mut tx = txcache.begin_ro(Staleness::seconds(30)).unwrap();
+                        let _ = balance(&mut tx, 1).unwrap();
+                        let _ = balance(&mut tx, 2).unwrap();
+                        tx.commit().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        writer.join().unwrap();
+    });
+}
+
+/// End-to-end smoke of the multi-threaded RUBiS driver at more than one
+/// thread count: it must finish, do work on every thread, and keep the
+/// failure rate negligible.
+#[test]
+fn concurrent_rubis_driver_scales_without_failures() {
+    let config = ExperimentConfig {
+        scale_factor: 0.002,
+        requests: 400,
+        warmup_requests: 200,
+        sessions: 8,
+        ..ExperimentConfig::new(DbKind::InMemory)
+    };
+    let single = run_concurrent(&config, 1).unwrap();
+    let multi = run_concurrent(&config, 4).unwrap();
+    for r in [&single, &multi] {
+        assert!(r.throughput_rps > 0.0);
+        assert!(r.failed <= r.usage.requests / 20);
+        assert!(r.hit_rate > 0.1);
+    }
+    assert_eq!(multi.per_thread.len(), 4);
+    for t in &multi.per_thread {
+        assert!(t.usage.requests > 0);
+        assert!(t.latency.count == t.usage.requests + t.failed);
+    }
+}
