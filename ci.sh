@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI gate for the TxCache reproduction workspace.
+#
+# Runs the same checks a hosted pipeline would, fully offline:
+#   1. rustfmt in check mode
+#   2. clippy with warnings denied (all targets, incl. vendored stubs)
+#   3. release build of every target (bins and benches included)
+#   4. the full test suite
+#
+# Usage: ./ci.sh [--no-clippy]
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+NO_CLIPPY=0
+for arg in "$@"; do
+    case "$arg" in
+        --no-clippy) NO_CLIPPY=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+if [ "$NO_CLIPPY" -eq 0 ]; then
+    echo "==> cargo clippy (deny warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "==> cargo build --release (all targets)"
+cargo build --workspace --release --all-targets
+
+echo "==> cargo test"
+cargo test --workspace --quiet
+
+echo "CI gate passed."
