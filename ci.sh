@@ -1,37 +1,120 @@
 #!/usr/bin/env bash
 # CI gate for the TxCache reproduction workspace.
 #
-# Runs the same checks a hosted pipeline would, fully offline:
+# Runs the same checks a hosted pipeline would, fully offline (all
+# dependencies are vendored path crates):
 #   1. rustfmt in check mode
 #   2. clippy with warnings denied (all targets, incl. vendored stubs)
-#   3. release build of every target (bins and benches included)
+#   3. build of every target (bins and benches included)
 #   4. the full test suite
+#   5. optionally, the bench-regression smoke gate (--bench-smoke): the
+#      fig5_throughput thread sweep compared against a baseline JSON.
+#      The baseline defaults to the checked-in
+#      crates/bench/BENCH_fig5.baseline.json and can be overridden with
+#      the BENCH_BASELINE environment variable. Absolute txn/s is only
+#      compared when the host has the same CPU count the baseline was
+#      recorded with (the hosted workflow caches a runner-class baseline
+#      for this); the >=1.5x 4-thread speedup floor applies on any host
+#      with at least 4 CPUs.
 #
-# Usage: ./ci.sh [--no-clippy]
+# Every step is timed, and a summary is printed at the end; on failure the
+# summary names the step that failed so workflow logs show the broken gate
+# at a glance.
+#
+# Usage: ./ci.sh [--no-clippy] [--profile debug|release] [--bench-smoke]
+#
+#   --profile release (default)  build and test with --release
+#   --profile debug              build and test the dev profile
+#   --bench-smoke                run the throughput-regression gate (builds
+#                                the release bench binary if needed)
+#
+# To refresh the bench baseline after an intentional perf change:
+#   cargo build --release -p bench --bin fig5_throughput
+#   target/release/fig5_throughput --scaling-only --threads 1,4 \
+#       --requests 30000 --json crates/bench/BENCH_fig5.baseline.json
 
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")"
 
 NO_CLIPPY=0
-for arg in "$@"; do
-    case "$arg" in
+BENCH_SMOKE=0
+PROFILE=release
+while [ $# -gt 0 ]; do
+    case "$1" in
         --no-clippy) NO_CLIPPY=1 ;;
-        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+        --bench-smoke) BENCH_SMOKE=1 ;;
+        --profile)
+            shift
+            PROFILE="${1:-}"
+            case "$PROFILE" in
+                debug|release) ;;
+                *) echo "unknown profile: '$PROFILE' (want debug or release)" >&2; exit 2 ;;
+            esac
+            ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
     esac
+    shift
 done
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
+SUMMARY=()
+
+print_summary() {
+    echo
+    echo "== CI summary (profile: $PROFILE) =="
+    local line
+    for line in "${SUMMARY[@]}"; do
+        echo "  $line"
+    done
+}
+
+run_step() {
+    local name="$1"
+    shift
+    local t0=$SECONDS
+    echo "==> $name"
+    if "$@"; then
+        SUMMARY+=("ok   ${name} ($((SECONDS - t0))s)")
+    else
+        local rc=$?
+        SUMMARY+=("FAIL ${name} ($((SECONDS - t0))s)")
+        print_summary
+        echo "CI gate FAILED at step: ${name} (exit ${rc}) after ${SECONDS}s."
+        exit "$rc"
+    fi
+}
+
+run_step "cargo fmt --check" cargo fmt --all --check
 
 if [ "$NO_CLIPPY" -eq 0 ]; then
-    echo "==> cargo clippy (deny warnings)"
-    cargo clippy --workspace --all-targets -- -D warnings
+    run_step "cargo clippy (deny warnings)" \
+        cargo clippy --workspace --all-targets -- -D warnings
 fi
 
-echo "==> cargo build --release (all targets)"
-cargo build --workspace --release --all-targets
+if [ "$PROFILE" = release ]; then
+    run_step "cargo build --release (all targets)" \
+        cargo build --workspace --release --all-targets
+    run_step "cargo test --release" cargo test --workspace --release --quiet
+else
+    run_step "cargo build (all targets)" cargo build --workspace --all-targets
+    run_step "cargo test" cargo test --workspace --quiet
+fi
 
-echo "==> cargo test"
-cargo test --workspace --quiet
+if [ "$BENCH_SMOKE" -eq 1 ]; then
+    if [ "$PROFILE" != release ]; then
+        run_step "cargo build --release -p bench (for bench smoke)" \
+            cargo build --release -p bench --bin fig5_throughput
+    fi
+    # Which gates apply depends on the host: the absolute-throughput
+    # comparison runs when the host's CPU count matches the baseline's
+    # (use BENCH_BASELINE to point at a baseline for this machine class),
+    # and the speedup floor runs on hosts with >= 4 CPUs.
+    BASELINE="${BENCH_BASELINE:-crates/bench/BENCH_fig5.baseline.json}"
+    run_step "bench smoke (fig5 thread sweep vs ${BASELINE})" \
+        target/release/fig5_throughput --scaling-only --threads 1,4 \
+        --requests 30000 --json BENCH_fig5.json \
+        --baseline "$BASELINE" \
+        --min-speedup 1.5
+fi
 
-echo "CI gate passed."
+print_summary
+echo "CI gate passed in ${SECONDS}s."

@@ -5,8 +5,14 @@
 //! database with the *TxCache* and *No caching* series. Cache sizes follow
 //! the paper's x-axes (64 MB–1 GB and 1–9 GB), scaled by `--scale` along with
 //! the dataset.
+//!
+//! The binary also drives the multi-threaded concurrency sweep and doubles
+//! as the CI bench-smoke gate: `--scaling-only --json BENCH_fig5.json
+//! --baseline bench/BENCH_fig5.baseline.json` runs only the sweep, records
+//! it, and exits non-zero if throughput regressed more than `--max-regress`
+//! against the checked-in baseline.
 
-use bench::{format_size, BenchArgs};
+use bench::{format_size, BenchArgs, SweepReport};
 use harness::{
     run_concurrent, run_experiment, scalability_table, throughput_table, ConcurrentResult, DbKind,
     ExperimentConfig, ExperimentResult,
@@ -32,9 +38,7 @@ fn sweep(
         .collect()
 }
 
-fn main() {
-    let args = BenchArgs::parse();
-
+fn figure_panels(args: &BenchArgs) {
     // ---- Figure 5(a): in-memory database ----
     let base = args.config(DbKind::InMemory);
     let sizes_a: Vec<usize> = [64usize, 256, 512, 768, 1024]
@@ -87,14 +91,13 @@ fn main() {
             r.peak_throughput / baseline_b_rps
         );
     }
+}
 
-    // ---- Concurrent driver: measured txn/s versus thread count ----
-    //
-    // Unlike the panels above (which model the paper's ten-machine cluster
-    // from single-threaded resource measurements), this drives the cluster
-    // from N real application-server threads sharing the database, cache, and
-    // pincushion, and reports measured wall-clock throughput. The flat curve
-    // documents the mvdb global-lock bottleneck that future work must remove.
+/// Drives the concurrency sweep: measured wall-clock txn/s from N real
+/// application-server threads sharing the database, cache, and pincushion.
+/// With the sharded `mvdb` locking, reads scale with the hardware; the
+/// per-table wait counters printed below show where contention concentrates.
+fn thread_scaling(args: &BenchArgs) -> SweepReport {
     let base = args.config(DbKind::InMemory);
     let results: Vec<ConcurrentResult> = args
         .threads
@@ -121,5 +124,130 @@ fn main() {
             r.cache_stats.hits,
             r.cache_stats.misses(),
         );
+    }
+    if let Some(widest) = results.last() {
+        println!("\n  db lock contention at {} threads:", widest.threads);
+        for s in &widest.db_shards {
+            println!(
+                "    {:>12}: {:>9} reads ({} waited), {:>7} writes ({} waited), {:.2}% contended",
+                s.table,
+                s.read_locks,
+                s.read_waits,
+                s.write_locks,
+                s.write_waits,
+                s.contention_rate() * 100.0
+            );
+        }
+    }
+
+    SweepReport {
+        available_parallelism: std::thread::available_parallelism().map_or(1, usize::from),
+        threads: results.iter().map(|r| r.threads).collect(),
+        txn_per_sec: results.iter().map(|r| r.throughput_rps).collect(),
+    }
+}
+
+/// Applies the CI gate: regression against the baseline file and, on hosts
+/// with enough CPUs, the scaling floor. Returns error strings, empty = pass.
+fn gate_failures(args: &BenchArgs, report: &SweepReport) -> Vec<String> {
+    let mut failures = Vec::new();
+
+    if let Some(path) = &args.baseline {
+        match std::fs::read_to_string(path)
+            .ok()
+            .as_deref()
+            .map(SweepReport::from_json)
+        {
+            Some(Some(baseline))
+                if baseline.available_parallelism != report.available_parallelism =>
+            {
+                // Absolute txn/s only compares like with like: a baseline
+                // recorded on a different machine class (e.g. the 1-CPU dev
+                // container vs a 4-CPU hosted runner) would make the gate
+                // flap. The --min-speedup ratio gate still applies there.
+                println!(
+                    "\n  bench gate: baseline was recorded with {} CPU(s), this host has {}; \
+                     absolute-throughput comparison skipped",
+                    baseline.available_parallelism, report.available_parallelism
+                );
+            }
+            Some(Some(baseline)) => {
+                let common = report
+                    .threads
+                    .iter()
+                    .filter(|t| baseline.rate_at(**t).is_some())
+                    .max()
+                    .copied();
+                match common {
+                    Some(threads) => {
+                        let old = baseline.rate_at(threads).unwrap_or(0.0);
+                        let new = report.rate_at(threads).unwrap_or(0.0);
+                        let floor = old * (1.0 - args.max_regress);
+                        if new < floor {
+                            failures.push(format!(
+                                "throughput regression at {threads} threads: {new:.0} txn/s < \
+                                 {floor:.0} (baseline {old:.0}, max regression {:.0}%)",
+                                args.max_regress * 100.0
+                            ));
+                        } else {
+                            println!(
+                                "\n  bench gate: {new:.0} txn/s at {threads} threads vs baseline \
+                                 {old:.0} (floor {floor:.0}) — ok"
+                            );
+                        }
+                    }
+                    None => failures.push(format!(
+                        "baseline {path} shares no thread count with this run"
+                    )),
+                }
+            }
+            _ => failures.push(format!("could not read baseline {path}")),
+        }
+    }
+
+    if args.min_speedup > 0.0 {
+        let top = report.threads.iter().max().copied().unwrap_or(1);
+        if report.available_parallelism >= top {
+            match report.top_speedup() {
+                Some(speedup) if speedup < args.min_speedup => failures.push(format!(
+                    "speedup at {top} threads is {speedup:.2}x, below the {:.2}x floor",
+                    args.min_speedup
+                )),
+                Some(speedup) => {
+                    println!("  bench gate: speedup {speedup:.2}x at {top} threads — ok");
+                }
+                None => failures.push("cannot compute speedup (no 1-thread run)".into()),
+            }
+        } else {
+            println!(
+                "  bench gate: host has {} CPU(s) < {top} threads; speedup floor skipped",
+                report.available_parallelism
+            );
+        }
+    }
+
+    failures
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+
+    if !args.scaling_only {
+        figure_panels(&args);
+    }
+
+    let report = thread_scaling(&args);
+
+    if let Some(path) = &args.json_out {
+        std::fs::write(path, report.to_json()).expect("failed to write sweep JSON");
+        println!("\n  sweep written to {path}");
+    }
+
+    let failures = gate_failures(&args, &report);
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("BENCH GATE FAILED: {f}");
+        }
+        std::process::exit(1);
     }
 }

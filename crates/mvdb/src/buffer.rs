@@ -10,8 +10,14 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-/// Identifies a logical page: a table (or index) name plus a page number.
-pub type PageRef = (String, u64);
+use parking_lot::Mutex;
+use txtypes::key::stable_hash_of;
+
+/// Identifies a logical page: a stable hash of the table (or index) name
+/// plus a page number. Hashing the name keeps the per-access hot path free
+/// of string allocation; a 64-bit FNV collision between two table names is
+/// negligible for the simulated hit-rate accounting this feeds.
+pub type PageRef = (u64, u64);
 
 /// Outcome of a page access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,10 +85,10 @@ impl BufferManager {
     /// LRU state and statistics.
     pub fn access(&mut self, table: &str, page: u64) -> PageAccess {
         self.tick += 1;
-        let key = (table.to_string(), page);
+        let key: PageRef = (stable_hash_of(&table), page);
         if let Some(prev_tick) = self.resident.get(&key).copied() {
             self.lru_order.remove(&prev_tick);
-            self.lru_order.insert(self.tick, key.clone());
+            self.lru_order.insert(self.tick, key);
             self.resident.insert(key, self.tick);
             self.stats.hits += 1;
             return PageAccess::Hit;
@@ -100,7 +106,7 @@ impl BufferManager {
                 break;
             }
         }
-        self.resident.insert(key.clone(), self.tick);
+        self.resident.insert(key, self.tick);
         self.lru_order.insert(self.tick, key);
         PageAccess::Miss
     }
@@ -120,6 +126,80 @@ impl BufferManager {
     /// Resets the statistics counters (the resident set is kept warm).
     pub fn reset_stats(&mut self) {
         self.stats = BufferStats::default();
+    }
+}
+
+/// A concurrency-safe buffer pool: the page space is hash-partitioned across
+/// independent [`BufferManager`] shards, each behind its own mutex, so
+/// queries running under different table locks never serialize on a single
+/// pool-wide lock. Eviction is per-shard LRU, which approximates global LRU
+/// closely enough for the harness's hit-rate modelling.
+#[derive(Debug)]
+pub struct SharedBuffer {
+    shards: Vec<Mutex<BufferManager>>,
+}
+
+impl SharedBuffer {
+    /// Default number of shards; enough that four to sixteen reader threads
+    /// rarely collide on one shard mutex.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Creates a pool of `capacity_pages` total, split evenly across
+    /// `shards` partitions (at least one). A capacity of zero disables
+    /// caching, exactly as in [`BufferManager`]; any non-zero capacity
+    /// rounds *up* to at least one page per shard so a small pool is never
+    /// silently disabled by the split.
+    #[must_use]
+    pub fn new(capacity_pages: usize, shards: usize) -> SharedBuffer {
+        let shards = shards.max(1);
+        let per_shard = capacity_pages.div_ceil(shards);
+        SharedBuffer {
+            shards: (0..shards)
+                .map(|_| Mutex::new(BufferManager::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard_of(&self, table: &str, page: u64) -> usize {
+        (stable_hash_of(&(table, page)) as usize) % self.shards.len()
+    }
+
+    /// Touches a page on its owning shard.
+    pub fn access(&self, table: &str, page: u64) -> PageAccess {
+        self.shards[self.shard_of(table, page)]
+            .lock()
+            .access(table, page)
+    }
+
+    /// Statistics summed over all shards.
+    #[must_use]
+    pub fn stats(&self) -> BufferStats {
+        let mut total = BufferStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+        }
+        total
+    }
+
+    /// Resets statistics on every shard (residency is kept warm).
+    pub fn reset_stats(&self) {
+        for shard in &self.shards {
+            shard.lock().reset_stats();
+        }
+    }
+
+    /// Total resident pages across all shards.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().resident_pages()).sum()
+    }
+
+    /// Number of shards the page space is partitioned into.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 }
 
@@ -177,5 +257,50 @@ mod tests {
     #[test]
     fn hit_rate_of_empty_stats_is_zero() {
         assert_eq!(BufferStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn shared_buffer_routes_pages_consistently() {
+        let b = SharedBuffer::new(64, 4);
+        assert_eq!(b.shard_count(), 4);
+        assert_eq!(b.access("t", 1), PageAccess::Miss);
+        assert_eq!(b.access("t", 1), PageAccess::Hit);
+        assert_eq!(b.stats(), BufferStats { hits: 1, misses: 1 });
+        assert_eq!(b.resident_pages(), 1);
+        b.reset_stats();
+        assert_eq!(b.stats().accesses(), 0);
+        // Still resident after the stats reset.
+        assert_eq!(b.access("t", 1), PageAccess::Hit);
+    }
+
+    #[test]
+    fn shared_buffer_is_usable_from_many_threads() {
+        let b = std::sync::Arc::new(SharedBuffer::new(256, 4));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let b = std::sync::Arc::clone(&b);
+                scope.spawn(move || {
+                    for page in 0..64u64 {
+                        b.access("shared", page ^ (t * 17));
+                    }
+                });
+            }
+        });
+        assert!(b.stats().accesses() >= 256);
+    }
+
+    #[test]
+    fn shared_buffer_with_zero_capacity_never_caches() {
+        let b = SharedBuffer::new(0, 4);
+        assert_eq!(b.access("t", 1), PageAccess::Miss);
+        assert_eq!(b.access("t", 1), PageAccess::Miss);
+        assert_eq!(b.resident_pages(), 0);
+    }
+
+    #[test]
+    fn shared_buffer_smaller_than_shard_count_still_caches() {
+        let b = SharedBuffer::new(10, 16);
+        assert_eq!(b.access("t", 1), PageAccess::Miss);
+        assert_eq!(b.access("t", 1), PageAccess::Hit);
     }
 }

@@ -12,28 +12,73 @@
 //! * an ordered invalidation stream published at commit time;
 //! * a vacuum process that respects pinned snapshots.
 //!
-//! The whole database lives behind one mutex. The paper's evaluation
-//! bottlenecks on database *work*, not on lock contention inside the engine,
-//! and the harness models service times explicitly, so a coarse lock keeps
-//! the engine simple without affecting any reproduced result.
+//! # Concurrency model
+//!
+//! The engine no longer lives behind one mutex. State is split so that the
+//! common read path — begin a read-only transaction, execute queries, commit
+//! — takes no exclusive lock anywhere and only *shared* locks on the tables
+//! it touches:
+//!
+//! * each table is an independent shard behind a reader/writer lock
+//!   ([`TableShard`]); queries hold shared locks, DML and commit stamping
+//!   hold exclusive locks;
+//! * `latest` is an atomic: beginning a transaction at the latest snapshot
+//!   and reading `latest_timestamp()` never block;
+//! * commit timestamps are allocated under a small *commit sequencer* mutex
+//!   held only by writers;
+//! * in-flight transaction state lives in a registry sharded by transaction
+//!   id, each transaction behind its own mutex, so two transactions only
+//!   ever contend on a brief shard-map lookup;
+//! * the buffer pool is hash-sharded ([`SharedBuffer`]) and the statistics
+//!   counters are striped relaxed atomics ([`AtomicDbStats`]).
+//!
+//! Deadlock freedom comes from one global lock-order rule. Locks are only
+//! ever acquired in this ascending order (any prefix may be skipped):
+//!
+//! 1. the table map (shared, briefly — exclusively only in `create_table`);
+//! 2. table shard locks, **in sorted table-name order** (commit and abort
+//!    lock every written table; join queries lock both sides; everything
+//!    else locks one table at a time);
+//! 3. the commit sequencer;
+//! 4. the pin registry;
+//! 5. transaction-registry shard maps;
+//! 6. a single transaction's state mutex;
+//! 7. the invalidation bus;
+//! 8. buffer-pool shard mutexes (leaf).
+//!
+//! Commit stamps versions while holding the written tables' exclusive locks
+//! *and* the sequencer, then advances `latest` and publishes the
+//! invalidation message before releasing the sequencer — so the invalidation
+//! stream is totally ordered by commit timestamp and a reader can never
+//! observe a half-stamped transaction.
+//!
+//! Vacuum coordinates with the lock-free begin path through a sequence
+//! counter (`begin_epoch`): it computes its horizon — under the sequencer,
+//! the pin registry, and the registry shards — with the epoch odd, and a
+//! transaction beginning at `latest` re-checks the epoch after registering,
+//! retrying if a vacuum horizon computation overlapped. The horizon is
+//! recorded as a watermark (new pins below it are refused) before tables are
+//! swept one at a time.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crossbeam::channel::Receiver;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use serde::{Deserialize, Serialize};
 use txtypes::{
     Error, InvalidationTag, Result, SimClock, TagSet, Timestamp, ValidityInterval, WallClock,
 };
 
-use crate::buffer::{BufferManager, BufferStats};
+use crate::buffer::{BufferStats, SharedBuffer};
 use crate::exec::{execute_plan, ExecOptions, PageCounts, QueryResult};
 use crate::invalidation::{InvalidationBus, InvalidationMessage};
 use crate::plan::{choose_access_path, plan_query, AccessPath};
 use crate::query::{Predicate, SelectQuery};
 use crate::schema::TableSchema;
 use crate::snapshot::{PinRegistry, SnapshotId};
-use crate::stats::DbStats;
+use crate::stats::{AtomicDbStats, DbStats, ShardStats, StripedCounter};
 use crate::table::{Slot, Table};
 use crate::tuple::{Stamp, TupleVersion, TxnId};
 use crate::txn::{Transaction, TxnMode, TxnToken};
@@ -67,21 +112,135 @@ impl Default for DbConfig {
     }
 }
 
-/// Everything protected by the database lock.
-struct DbInner {
-    tables: HashMap<String, Table>,
-    latest: Timestamp,
-    active: HashMap<TxnId, Transaction>,
-    next_txn_id: TxnId,
-    pins: PinRegistry,
-    bus: InvalidationBus,
-    buffer: BufferManager,
-    stats: DbStats,
+/// One table's storage behind its own reader/writer lock, with counters that
+/// make lock contention observable (`mvdb::stats::ShardStats`).
+struct TableShard {
+    data: RwLock<Table>,
+    read_locks: StripedCounter,
+    write_locks: StripedCounter,
+    read_waits: StripedCounter,
+    write_waits: StripedCounter,
+}
+
+impl TableShard {
+    fn new(table: Table) -> TableShard {
+        TableShard {
+            data: RwLock::new(table),
+            read_locks: StripedCounter::default(),
+            write_locks: StripedCounter::default(),
+            read_waits: StripedCounter::default(),
+            write_waits: StripedCounter::default(),
+        }
+    }
+
+    /// Takes the shared lock, counting the acquisition and whether it had to
+    /// wait behind a writer.
+    fn read(&self) -> RwLockReadGuard<'_, Table> {
+        self.read_locks.bump();
+        if let Some(guard) = self.data.try_read() {
+            return guard;
+        }
+        self.read_waits.bump();
+        self.data.read()
+    }
+
+    /// Takes the exclusive lock, counting the acquisition and whether it had
+    /// to wait.
+    fn write(&self) -> RwLockWriteGuard<'_, Table> {
+        self.write_locks.bump();
+        if let Some(guard) = self.data.try_write() {
+            return guard;
+        }
+        self.write_waits.bump();
+        self.data.write()
+    }
+
+    fn stats(&self, table: &str) -> ShardStats {
+        ShardStats {
+            table: table.to_string(),
+            read_locks: self.read_locks.get(),
+            write_locks: self.write_locks.get(),
+            read_waits: self.read_waits.get(),
+            write_waits: self.write_waits.get(),
+        }
+    }
+
+    fn reset_stats(&self) {
+        self.read_locks.reset();
+        self.write_locks.reset();
+        self.read_waits.reset();
+        self.write_waits.reset();
+    }
+}
+
+/// Number of shards the transaction registry is split into.
+const TXN_SHARDS: usize = 32;
+
+/// In-flight transaction state, sharded by transaction id. Each transaction
+/// sits behind its own mutex; the shard maps are locked only for insert,
+/// lookup, and remove.
+struct TxnRegistry {
+    shards: Vec<Mutex<HashMap<TxnId, Arc<Mutex<Transaction>>>>>,
+}
+
+impl TxnRegistry {
+    fn new() -> TxnRegistry {
+        TxnRegistry {
+            shards: (0..TXN_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, id: TxnId) -> &Mutex<HashMap<TxnId, Arc<Mutex<Transaction>>>> {
+        &self.shards[(id as usize) % TXN_SHARDS]
+    }
+
+    fn insert(&self, id: TxnId, txn: Arc<Mutex<Transaction>>) {
+        self.shard(id).lock().insert(id, txn);
+    }
+
+    fn get(&self, id: TxnId) -> Option<Arc<Mutex<Transaction>>> {
+        self.shard(id).lock().get(&id).cloned()
+    }
+
+    fn remove(&self, id: TxnId) -> Option<Arc<Mutex<Transaction>>> {
+        self.shard(id).lock().remove(&id)
+    }
+
+    /// The minimum snapshot over all in-flight transactions, if any.
+    fn min_snapshot(&self) -> Option<Timestamp> {
+        let mut min = None;
+        for shard in &self.shards {
+            for txn in shard.lock().values() {
+                let snapshot = txn.lock().snapshot;
+                min = Some(min.map_or(snapshot, |m: Timestamp| m.min(snapshot)));
+            }
+        }
+        min
+    }
 }
 
 /// A multiversion relational database with TxCache support.
 pub struct Database {
-    inner: Mutex<DbInner>,
+    tables: RwLock<HashMap<String, TableShard>>,
+    /// The latest committed timestamp; written only under `commit_lock`.
+    latest: AtomicU64,
+    /// Snapshots strictly below this may have been vacuumed; written only
+    /// while holding the pin registry. New pins below it are refused.
+    vacuum_watermark: AtomicU64,
+    /// Seqlock-style counter coordinating lock-free begins with vacuum's
+    /// horizon computation (odd while a computation is in progress).
+    begin_epoch: AtomicU64,
+    /// The commit sequencer: serializes timestamp allocation, version
+    /// stamping, and invalidation publishing.
+    commit_lock: Mutex<()>,
+    next_txn_id: AtomicU64,
+    pins: Mutex<PinRegistry>,
+    txns: TxnRegistry,
+    bus: Mutex<InvalidationBus>,
+    buffer: SharedBuffer,
+    stats: AtomicDbStats,
     config: DbConfig,
     clock: SimClock,
 }
@@ -91,16 +250,17 @@ impl Database {
     #[must_use]
     pub fn new(config: DbConfig, clock: SimClock) -> Database {
         Database {
-            inner: Mutex::new(DbInner {
-                tables: HashMap::new(),
-                latest: Timestamp::ZERO,
-                active: HashMap::new(),
-                next_txn_id: 1,
-                pins: PinRegistry::new(),
-                bus: InvalidationBus::new(),
-                buffer: BufferManager::new(config.buffer_pages),
-                stats: DbStats::default(),
-            }),
+            tables: RwLock::new(HashMap::new()),
+            latest: AtomicU64::new(Timestamp::ZERO.0),
+            vacuum_watermark: AtomicU64::new(Timestamp::ZERO.0),
+            begin_epoch: AtomicU64::new(0),
+            commit_lock: Mutex::new(()),
+            next_txn_id: AtomicU64::new(1),
+            pins: Mutex::new(PinRegistry::new()),
+            txns: TxnRegistry::new(),
+            bus: Mutex::new(InvalidationBus::new()),
+            buffer: SharedBuffer::new(config.buffer_pages, SharedBuffer::DEFAULT_SHARDS),
+            stats: AtomicDbStats::default(),
             config,
             clock,
         }
@@ -126,58 +286,90 @@ impl Database {
     }
 
     // ------------------------------------------------------------------
+    // Internal lookup helpers
+    // ------------------------------------------------------------------
+
+    /// Fetches a transaction's state handle, holding its registry shard lock
+    /// only for the lookup.
+    fn txn_handle(&self, token: TxnToken) -> Result<Arc<Mutex<Transaction>>> {
+        self.txns
+            .get(token.0)
+            .ok_or_else(|| Error::UnknownTransaction(format!("txn {}", token.0)))
+    }
+
+    /// Extracts the owned transaction state from a handle removed from the
+    /// registry. A transaction is driven by one thread, so the `Arc` is
+    /// normally unique; if a stray clone exists the state is swapped out from
+    /// under its mutex instead.
+    fn into_transaction(handle: Arc<Mutex<Transaction>>) -> Transaction {
+        match Arc::try_unwrap(handle) {
+            Ok(mutex) => mutex.into_inner(),
+            Err(arc) => std::mem::replace(
+                &mut *arc.lock(),
+                Transaction::new(0, TxnMode::ReadOnly, Timestamp::ZERO),
+            ),
+        }
+    }
+
+    fn latest_ts(&self) -> Timestamp {
+        Timestamp(self.latest.load(Ordering::Acquire))
+    }
+
+    // ------------------------------------------------------------------
     // Schema management and bulk loading
     // ------------------------------------------------------------------
 
     /// Creates a table.
     pub fn create_table(&self, schema: TableSchema) -> Result<()> {
-        let mut inner = self.inner.lock();
-        if inner.tables.contains_key(&schema.name) {
-            return Err(Error::Schema(format!(
-                "table '{}' already exists",
-                schema.name
-            )));
-        }
         let name = schema.name.clone();
         let table = Table::new(schema, self.config.rows_per_page)?;
-        inner.tables.insert(name, table);
+        let mut tables = self.tables.write();
+        if tables.contains_key(&name) {
+            return Err(Error::Schema(format!("table '{name}' already exists")));
+        }
+        tables.insert(name, TableShard::new(table));
         Ok(())
     }
 
     /// Returns the names of all tables.
     #[must_use]
     pub fn table_names(&self) -> Vec<String> {
-        let inner = self.inner.lock();
-        let mut names: Vec<String> = inner.tables.keys().cloned().collect();
+        let tables = self.tables.read();
+        let mut names: Vec<String> = tables.keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Returns a copy of a table's schema.
     pub fn table_schema(&self, table: &str) -> Result<TableSchema> {
-        let inner = self.inner.lock();
-        inner
-            .tables
-            .get(table)
-            .map(|t| t.schema().clone())
-            .ok_or_else(|| Error::Schema(format!("no table '{table}'")))
+        let tables = self.tables.read();
+        let shard = Self::shard_of(&tables, table)?;
+        let guard = shard.read();
+        Ok(guard.schema().clone())
     }
 
     /// Approximate size of a table's data in bytes.
     pub fn table_bytes(&self, table: &str) -> Result<usize> {
-        let inner = self.inner.lock();
-        inner
-            .tables
-            .get(table)
-            .map(Table::approx_bytes)
-            .ok_or_else(|| Error::Schema(format!("no table '{table}'")))
+        let tables = self.tables.read();
+        let shard = Self::shard_of(&tables, table)?;
+        let guard = shard.read();
+        Ok(guard.approx_bytes())
     }
 
     /// Approximate size of the whole database in bytes.
     #[must_use]
     pub fn total_bytes(&self) -> usize {
-        let inner = self.inner.lock();
-        inner.tables.values().map(Table::approx_bytes).sum()
+        let tables = self.tables.read();
+        tables.values().map(|s| s.read().approx_bytes()).sum()
+    }
+
+    fn shard_of<'a>(
+        tables: &'a HashMap<String, TableShard>,
+        table: &str,
+    ) -> Result<&'a TableShard> {
+        tables
+            .get(table)
+            .ok_or_else(|| Error::Schema(format!("no table '{table}'")))
     }
 
     /// Loads rows directly as committed data, bypassing the transaction
@@ -185,19 +377,18 @@ impl Database {
     /// single new commit timestamp and publish no invalidations; this is the
     /// initial-population path used by the data generators.
     pub fn bulk_load(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<Vec<u64>> {
-        let mut inner = self.inner.lock();
-        let commit_ts = inner.latest.next();
-        let t = inner
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| Error::Schema(format!("no table '{table}'")))?;
+        let tables = self.tables.read();
+        let shard = Self::shard_of(&tables, table)?;
+        let mut t = shard.write();
+        let _seq = self.commit_lock.lock();
+        let commit_ts = self.latest_ts().next();
         let mut row_ids = Vec::with_capacity(rows.len());
         for values in rows {
             let row_id = t.allocate_row_id();
             t.insert_version(TupleVersion::committed(row_id, values, commit_ts))?;
             row_ids.push(row_id);
         }
-        inner.latest = commit_ts;
+        self.latest.store(commit_ts.0, Ordering::Release);
         Ok(row_ids)
     }
 
@@ -205,76 +396,113 @@ impl Database {
     // Transactions
     // ------------------------------------------------------------------
 
+    /// Registers a new transaction running at the latest committed snapshot
+    /// without taking any global lock. The epoch re-check makes the
+    /// registration atomic with respect to vacuum's horizon computation: if
+    /// one overlapped, the registration is retried (vacuum may not have seen
+    /// it, but the retried one begins at a snapshot the sweep retains).
+    fn register_at_latest(&self, mode: TxnMode) -> TxnToken {
+        let id = self.next_txn_id.fetch_add(1, Ordering::Relaxed);
+        loop {
+            let epoch = self.begin_epoch.load(Ordering::SeqCst);
+            if epoch % 2 == 1 {
+                // A vacuum horizon computation is in flight; yield so it can
+                // finish even on an oversubscribed or single-CPU host.
+                std::thread::yield_now();
+                continue;
+            }
+            let snapshot = self.latest_ts();
+            self.txns.insert(
+                id,
+                Arc::new(Mutex::new(Transaction::new(id, mode, snapshot))),
+            );
+            if self.begin_epoch.load(Ordering::SeqCst) == epoch {
+                return TxnToken(id);
+            }
+            self.txns.remove(id);
+        }
+    }
+
     /// Begins a read/write transaction at the latest committed snapshot.
     pub fn begin_rw(&self) -> Result<TxnToken> {
-        let mut inner = self.inner.lock();
-        let id = inner.next_txn_id;
-        inner.next_txn_id += 1;
-        let snapshot = inner.latest;
-        inner
-            .active
-            .insert(id, Transaction::new(id, TxnMode::ReadWrite, snapshot));
-        Ok(TxnToken(id))
+        Ok(self.register_at_latest(TxnMode::ReadWrite))
     }
 
     /// Begins a read-only transaction. With `snapshot = None` it runs at the
     /// latest committed state; with `Some(id)` it runs at that pinned
     /// snapshot (the paper's `BEGIN SNAPSHOTID` syntax).
     pub fn begin_ro(&self, snapshot: Option<SnapshotId>) -> Result<TxnToken> {
-        let mut inner = self.inner.lock();
-        let ts = match snapshot {
-            None => inner.latest,
-            Some(id) => {
-                if !inner.pins.is_pinned(id.timestamp()) && id.timestamp() != inner.latest {
-                    return Err(Error::SnapshotUnavailable(format!(
-                        "snapshot {id} is not pinned"
-                    )));
-                }
-                id.timestamp()
-            }
+        let Some(snap) = snapshot else {
+            return Ok(self.register_at_latest(TxnMode::ReadOnly));
         };
-        let id = inner.next_txn_id;
-        inner.next_txn_id += 1;
-        inner
-            .active
-            .insert(id, Transaction::new(id, TxnMode::ReadOnly, ts));
+        // Holding the pin registry across the check and the registration
+        // excludes vacuum (which needs the registry to compute its horizon),
+        // so the pinned snapshot cannot be reclaimed in between.
+        let pins = self.pins.lock();
+        let ts = snap.timestamp();
+        if !pins.is_pinned(ts) && ts != self.latest_ts() {
+            return Err(Error::SnapshotUnavailable(format!(
+                "snapshot {snap} is not pinned"
+            )));
+        }
+        let id = self.next_txn_id.fetch_add(1, Ordering::Relaxed);
+        self.txns.insert(
+            id,
+            Arc::new(Mutex::new(Transaction::new(id, TxnMode::ReadOnly, ts))),
+        );
+        drop(pins);
         Ok(TxnToken(id))
     }
 
     /// Commits a transaction. Read-only transactions simply return their
-    /// snapshot timestamp; read/write transactions are assigned the next
-    /// commit timestamp, their versions are stamped, and an invalidation
-    /// message is published.
+    /// snapshot timestamp; read/write transactions take the written tables'
+    /// exclusive locks in sorted-name order, are assigned the next commit
+    /// timestamp by the sequencer, have their versions stamped, and publish
+    /// an invalidation message — all before the sequencer is released, so
+    /// invalidations are delivered in commit-timestamp order.
     pub fn commit(&self, token: TxnToken) -> Result<Timestamp> {
-        let mut inner = self.inner.lock();
-        let tx = inner
-            .active
-            .remove(&token.0)
+        let handle = self
+            .txns
+            .remove(token.0)
             .ok_or_else(|| Error::UnknownTransaction(format!("txn {}", token.0)))?;
-        inner.stats.commits += 1;
+        let tx = Self::into_transaction(handle);
+        self.stats.commits.bump();
         if !tx.has_writes() {
             return Ok(tx.snapshot);
         }
 
-        let commit_ts = inner.latest.next();
+        // Write locks on every touched table, in sorted-name order (the
+        // deadlock-freedom rule).
+        let tables = self.tables.read();
+        let mut guards: Vec<(String, RwLockWriteGuard<'_, Table>)> = Vec::new();
+        for name in tx.touched_tables() {
+            if let Some(shard) = tables.get(&name) {
+                let guard = shard.write();
+                guards.push((name, guard));
+            }
+        }
+
+        let _seq = self.commit_lock.lock();
+        let commit_ts = self.latest_ts().next();
 
         // Stamp created and deleted versions with the commit timestamp.
         for (table, slot) in &tx.created_slots {
-            if let Some(version) = inner.tables.get_mut(table).and_then(|t| t.get_mut(*slot)) {
+            if let Some(version) = Self::version_mut(&mut guards, table, *slot) {
                 version.created = Stamp::Committed(commit_ts);
             }
         }
         for (table, slot) in &tx.deleted_slots {
-            if let Some(version) = inner.tables.get_mut(table).and_then(|t| t.get_mut(*slot)) {
+            if let Some(version) = Self::version_mut(&mut guards, table, *slot) {
                 if matches!(version.deleted, Some(Stamp::Pending(id)) if id == tx.id) {
                     version.deleted = Some(Stamp::Committed(commit_ts));
                 }
             }
         }
-        inner.latest = commit_ts;
+        self.latest.store(commit_ts.0, Ordering::Release);
 
         // Build the invalidation tag set, collapsing to wildcards for tables
-        // with many modified rows.
+        // with many modified rows, and publish before releasing the
+        // sequencer so the stream stays in commit order.
         if self.config.exec.track_validity {
             let mut tags = TagSet::new();
             for tag in tx.pending_tags.iter() {
@@ -293,27 +521,37 @@ impl Database {
                 tags,
                 committed_at: self.clock.now(),
             };
-            inner.bus.publish(message);
-            inner.stats.invalidating_commits += 1;
+            self.bus.lock().publish(message);
+            self.stats.invalidating_commits.bump();
         }
         Ok(commit_ts)
     }
 
     /// Aborts a transaction, undoing any pending writes.
     pub fn abort(&self, token: TxnToken) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let tx = inner
-            .active
-            .remove(&token.0)
+        let handle = self
+            .txns
+            .remove(token.0)
             .ok_or_else(|| Error::UnknownTransaction(format!("txn {}", token.0)))?;
-        inner.stats.aborts += 1;
+        let tx = Self::into_transaction(handle);
+        self.stats.aborts.bump();
+
+        let tables = self.tables.read();
+        let mut guards: Vec<(String, RwLockWriteGuard<'_, Table>)> = Vec::new();
+        for name in tx.touched_tables() {
+            if let Some(shard) = tables.get(&name) {
+                let guard = shard.write();
+                guards.push((name, guard));
+            }
+        }
+
         for (table, slot) in &tx.created_slots {
-            if let Some(version) = inner.tables.get_mut(table).and_then(|t| t.get_mut(*slot)) {
+            if let Some(version) = Self::version_mut(&mut guards, table, *slot) {
                 version.created = Stamp::Aborted;
             }
         }
         for (table, slot) in &tx.deleted_slots {
-            if let Some(version) = inner.tables.get_mut(table).and_then(|t| t.get_mut(*slot)) {
+            if let Some(version) = Self::version_mut(&mut guards, table, *slot) {
                 if matches!(version.deleted, Some(Stamp::Pending(id)) if id == tx.id) {
                     version.deleted = None;
                 }
@@ -322,10 +560,23 @@ impl Database {
         Ok(())
     }
 
+    /// Looks up a version under the already-held write guards of a commit or
+    /// abort.
+    fn version_mut<'a, 'g>(
+        guards: &'a mut [(String, RwLockWriteGuard<'g, Table>)],
+        table: &str,
+        slot: Slot,
+    ) -> Option<&'a mut TupleVersion> {
+        guards
+            .iter_mut()
+            .find(|(name, _)| name == table)
+            .and_then(|(_, guard)| guard.get_mut(slot))
+    }
+
     /// The latest committed timestamp.
     #[must_use]
     pub fn latest_timestamp(&self) -> Timestamp {
-        self.inner.lock().latest
+        self.latest_ts()
     }
 
     // ------------------------------------------------------------------
@@ -335,37 +586,40 @@ impl Database {
     /// Pins the latest committed snapshot (the `PIN` command) and returns its
     /// id together with the wall-clock time of the pin.
     pub fn pin_latest(&self) -> (SnapshotId, WallClock) {
-        let mut inner = self.inner.lock();
-        let ts = inner.latest;
-        let id = inner.pins.pin(ts);
-        inner.stats.pins += 1;
+        let mut pins = self.pins.lock();
+        let id = pins.pin(self.latest_ts());
+        self.stats.pins.bump();
         (id, self.clock.now())
     }
 
     /// Pins a specific snapshot timestamp; it must still be retained (i.e. at
     /// or after the current vacuum horizon).
     pub fn pin(&self, ts: Timestamp) -> Result<SnapshotId> {
-        let mut inner = self.inner.lock();
-        if ts > inner.latest {
+        let mut pins = self.pins.lock();
+        if ts > self.latest_ts() {
             return Err(Error::SnapshotUnavailable(format!(
                 "timestamp {ts} is in the future"
             )));
         }
-        inner.stats.pins += 1;
-        Ok(inner.pins.pin(ts))
+        if ts.0 < self.vacuum_watermark.load(Ordering::Acquire) {
+            return Err(Error::SnapshotUnavailable(format!(
+                "timestamp {ts} is below the vacuum horizon"
+            )));
+        }
+        self.stats.pins.bump();
+        Ok(pins.pin(ts))
     }
 
     /// Releases a pinned snapshot (the `UNPIN` command).
     pub fn unpin(&self, id: SnapshotId) -> Result<()> {
-        let mut inner = self.inner.lock();
-        inner.stats.unpins += 1;
-        inner.pins.unpin(id)
+        self.stats.unpins.bump();
+        self.pins.lock().unpin(id)
     }
 
     /// Currently pinned snapshot timestamps, oldest first.
     #[must_use]
     pub fn pinned_snapshots(&self) -> Vec<Timestamp> {
-        self.inner.lock().pins.pinned_timestamps()
+        self.pins.lock().pinned_timestamps()
     }
 
     // ------------------------------------------------------------------
@@ -374,39 +628,72 @@ impl Database {
 
     /// Executes a SELECT query within a transaction. The result carries the
     /// validity interval and invalidation tags described in §5.2–§5.3.
+    ///
+    /// Queries take only *shared* table locks (in sorted-name order when a
+    /// join touches two tables), so any number of them run in parallel.
     pub fn query(&self, token: TxnToken, query: &SelectQuery) -> Result<QueryResult> {
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        let tx = inner
-            .active
-            .get(&token.0)
-            .ok_or_else(|| Error::UnknownTransaction(format!("txn {}", token.0)))?;
-        let snapshot = tx.snapshot;
-        let me = Some(tx.id);
-        let outer = inner
-            .tables
-            .get(&query.table)
-            .ok_or_else(|| Error::Schema(format!("no table '{}'", query.table)))?;
-        let inner_table = match &query.join {
-            Some(join) => Some(
-                inner
-                    .tables
-                    .get(&join.table)
-                    .ok_or_else(|| Error::Schema(format!("no table '{}'", join.table)))?,
-            ),
-            None => None,
+        let (snapshot, me) = {
+            let handle = self.txn_handle(token)?;
+            let tx = handle.lock();
+            (tx.snapshot, Some(tx.id))
         };
-        let plan = plan_query(query, outer, inner_table)?;
-        let result = execute_plan(
-            &plan,
-            outer,
-            inner_table,
-            snapshot,
-            me,
-            &mut inner.buffer,
-            &self.config.exec,
-        )?;
-        inner.stats.queries += 1;
+
+        let tables = self.tables.read();
+        let outer_shard = Self::shard_of(&tables, &query.table)?;
+        let result = match &query.join {
+            Some(join) if join.table != query.table => {
+                let inner_shard = Self::shard_of(&tables, &join.table)?;
+                // Shared locks in sorted table-name order (lock-order rule).
+                let outer_first = query.table <= join.table;
+                let (first, second) = if outer_first {
+                    (outer_shard, inner_shard)
+                } else {
+                    (inner_shard, outer_shard)
+                };
+                let g1 = first.read();
+                let g2 = second.read();
+                let (outer_t, inner_t): (&Table, &Table) =
+                    if outer_first { (&g1, &g2) } else { (&g2, &g1) };
+                let plan = plan_query(query, outer_t, Some(inner_t))?;
+                execute_plan(
+                    &plan,
+                    outer_t,
+                    Some(inner_t),
+                    snapshot,
+                    me,
+                    &self.buffer,
+                    &self.config.exec,
+                )?
+            }
+            Some(_) => {
+                // Self-join: one shared lock serves both sides.
+                let guard = outer_shard.read();
+                let plan = plan_query(query, &guard, Some(&guard))?;
+                execute_plan(
+                    &plan,
+                    &guard,
+                    Some(&guard),
+                    snapshot,
+                    me,
+                    &self.buffer,
+                    &self.config.exec,
+                )?
+            }
+            None => {
+                let guard = outer_shard.read();
+                let plan = plan_query(query, &guard, None)?;
+                execute_plan(
+                    &plan,
+                    &guard,
+                    None,
+                    snapshot,
+                    me,
+                    &self.buffer,
+                    &self.config.exec,
+                )?
+            }
+        };
+        self.stats.queries.bump();
         Ok(result)
     }
 
@@ -414,23 +701,35 @@ impl Database {
     // DML
     // ------------------------------------------------------------------
 
+    /// Copies the identifying fields of a transaction and checks it may
+    /// write.
+    fn writable_txn_info(handle: &Arc<Mutex<Transaction>>) -> Result<(TxnId, Timestamp)> {
+        let tx = handle.lock();
+        if tx.mode != TxnMode::ReadWrite {
+            return Err(Error::InvalidState(
+                "write attempted in a read-only transaction".into(),
+            ));
+        }
+        Ok((tx.id, tx.snapshot))
+    }
+
     /// Inserts a row in a read/write transaction. Returns the new row id.
     pub fn insert(&self, token: TxnToken, table: &str, values: Vec<Value>) -> Result<u64> {
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        let tx = Self::writable_txn(&mut inner.active, token)?;
-        let t = inner
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| Error::Schema(format!("no table '{table}'")))?;
+        let handle = self.txn_handle(token)?;
+        let (txid, _) = Self::writable_txn_info(&handle)?;
+        let tables = self.tables.read();
+        let shard = Self::shard_of(&tables, table)?;
+        let mut t = shard.write();
         let row_id = t.allocate_row_id();
-        let version = TupleVersion::pending(row_id, values.clone(), tx.id);
+        let version = TupleVersion::pending(row_id, values.clone(), txid);
         let slot = t.insert_version(version)?;
-        Self::collect_tags_for_values(t, &values, &mut tx.pending_tags);
+        let mut tx = handle.lock();
+        Self::collect_tags_for_values(&t, &values, &mut tx.pending_tags);
         tx.created_slots.push((table.to_string(), slot));
         tx.written_rows.push((table.to_string(), row_id));
         tx.note_row_modified(table);
-        inner.stats.inserts += 1;
+        drop(tx);
+        self.stats.inserts.bump();
         Ok(row_id)
     }
 
@@ -444,21 +743,17 @@ impl Database {
         predicate: &Predicate,
         assignments: &[(String, Value)],
     ) -> Result<usize> {
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        let tx = Self::writable_txn(&mut inner.active, token)?;
-        let snapshot = tx.snapshot;
-        let txid = tx.id;
-        let t = inner
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| Error::Schema(format!("no table '{table}'")))?;
+        let handle = self.txn_handle(token)?;
+        let (txid, snapshot) = Self::writable_txn_info(&handle)?;
+        let tables = self.tables.read();
+        let shard = Self::shard_of(&tables, table)?;
+        let mut t = shard.write();
 
-        let targets =
-            Self::visible_matching_slots(t, predicate, snapshot, txid, &mut inner.buffer)?;
+        let targets = Self::visible_matching_slots(&t, predicate, snapshot, txid, &self.buffer)?;
         let mut updated = 0;
+        let mut tx = handle.lock();
         for slot in targets {
-            Self::check_write_conflict(t, slot, snapshot, txid)?;
+            self.checked_write_conflict(&t, slot, snapshot, txid)?;
             let old_version = t
                 .get(slot)
                 .ok_or_else(|| Error::Query("target row vanished".into()))?;
@@ -475,36 +770,33 @@ impl Database {
             }
             let new_slot =
                 t.insert_version(TupleVersion::pending(row_id, new_values.clone(), txid))?;
-            Self::collect_tags_for_values(t, &old_values, &mut tx.pending_tags);
-            Self::collect_tags_for_values(t, &new_values, &mut tx.pending_tags);
+            Self::collect_tags_for_values(&t, &old_values, &mut tx.pending_tags);
+            Self::collect_tags_for_values(&t, &new_values, &mut tx.pending_tags);
             tx.deleted_slots.push((table.to_string(), slot));
             tx.created_slots.push((table.to_string(), new_slot));
             tx.written_rows.push((table.to_string(), row_id));
             tx.note_row_modified(table);
             updated += 1;
         }
-        inner.stats.updates += updated as u64;
+        drop(tx);
+        self.stats.updates.add(updated as u64);
         Ok(updated)
     }
 
     /// Deletes all rows of `table` matching `predicate`. Returns the number
     /// of rows deleted.
     pub fn delete(&self, token: TxnToken, table: &str, predicate: &Predicate) -> Result<usize> {
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        let tx = Self::writable_txn(&mut inner.active, token)?;
-        let snapshot = tx.snapshot;
-        let txid = tx.id;
-        let t = inner
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| Error::Schema(format!("no table '{table}'")))?;
+        let handle = self.txn_handle(token)?;
+        let (txid, snapshot) = Self::writable_txn_info(&handle)?;
+        let tables = self.tables.read();
+        let shard = Self::shard_of(&tables, table)?;
+        let mut t = shard.write();
 
-        let targets =
-            Self::visible_matching_slots(t, predicate, snapshot, txid, &mut inner.buffer)?;
+        let targets = Self::visible_matching_slots(&t, predicate, snapshot, txid, &self.buffer)?;
         let mut deleted = 0;
+        let mut tx = handle.lock();
         for slot in targets {
-            Self::check_write_conflict(t, slot, snapshot, txid)?;
+            self.checked_write_conflict(&t, slot, snapshot, txid)?;
             let values = t
                 .get(slot)
                 .map(|v| v.values.clone())
@@ -513,13 +805,14 @@ impl Database {
             if let Some(v) = t.get_mut(slot) {
                 v.deleted = Some(Stamp::Pending(txid));
             }
-            Self::collect_tags_for_values(t, &values, &mut tx.pending_tags);
+            Self::collect_tags_for_values(&t, &values, &mut tx.pending_tags);
             tx.deleted_slots.push((table.to_string(), slot));
             tx.written_rows.push((table.to_string(), row_id));
             tx.note_row_modified(table);
             deleted += 1;
         }
-        inner.stats.deletes += deleted as u64;
+        drop(tx);
+        self.stats.deletes.add(deleted as u64);
         Ok(deleted)
     }
 
@@ -530,26 +823,41 @@ impl Database {
     /// Subscribes to the invalidation stream. Each committed read/write
     /// transaction produces one message, delivered in commit order.
     pub fn subscribe_invalidations(&self) -> Receiver<InvalidationMessage> {
-        self.inner.lock().bus.subscribe()
+        self.bus.lock().subscribe()
     }
 
     /// The ordered log of all invalidation messages published so far.
     #[must_use]
     pub fn invalidation_log(&self) -> Vec<InvalidationMessage> {
-        self.inner.lock().bus.log().to_vec()
+        self.bus.lock().log().to_vec()
     }
 
     /// Reclaims tuple versions that are invisible to every pinned snapshot
     /// and every active transaction. Returns the number of versions removed.
+    ///
+    /// The horizon is computed atomically against the sequencer, pins, and
+    /// transaction registry (with the begin epoch odd so lock-free begins
+    /// retry), then recorded as the vacuum watermark — pins below it are
+    /// refused from then on — before tables are swept one at a time.
     pub fn vacuum(&self) -> usize {
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        let mut horizon = inner.pins.horizon(inner.latest);
-        for tx in inner.active.values() {
-            horizon = horizon.min(tx.snapshot);
-        }
+        let horizon = {
+            let _seq = self.commit_lock.lock();
+            let _pins = self.pins.lock();
+            self.begin_epoch.fetch_add(1, Ordering::SeqCst);
+            let mut horizon = _pins.horizon(self.latest_ts());
+            if let Some(min) = self.txns.min_snapshot() {
+                horizon = horizon.min(min);
+            }
+            let watermark = self.vacuum_watermark.load(Ordering::Acquire).max(horizon.0);
+            self.vacuum_watermark.store(watermark, Ordering::Release);
+            self.begin_epoch.fetch_add(1, Ordering::SeqCst);
+            horizon
+        };
+
+        let tables = self.tables.read();
         let mut removed = 0;
-        for table in inner.tables.values_mut() {
+        for shard in tables.values() {
+            let mut table = shard.write();
             let garbage: Vec<Slot> = table
                 .scan_slots()
                 .filter(|slot| {
@@ -563,45 +871,53 @@ impl Database {
                 removed += 1;
             }
         }
-        inner.stats.vacuumed_versions += removed as u64;
+        self.stats.vacuumed_versions.add(removed as u64);
         removed
     }
 
     /// Buffer-pool statistics (simulated page hits and misses).
     #[must_use]
     pub fn buffer_stats(&self) -> BufferStats {
-        self.inner.lock().buffer.stats()
+        self.buffer.stats()
     }
 
     /// Resets the buffer-pool statistics (keeps the pool warm).
     pub fn reset_buffer_stats(&self) {
-        self.inner.lock().buffer.reset_stats();
+        self.buffer.reset_stats();
     }
 
     /// Database operation counters.
     #[must_use]
     pub fn stats(&self) -> DbStats {
-        self.inner.lock().stats
+        self.stats.snapshot()
+    }
+
+    /// Per-table lock-contention counters, sorted by table name. A rising
+    /// wait fraction on a shard is the early-warning signal that the
+    /// workload has outgrown that table's reader/writer lock.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let tables = self.tables.read();
+        let mut out: Vec<ShardStats> = tables
+            .iter()
+            .map(|(name, shard)| shard.stats(name))
+            .collect();
+        out.sort_by(|a, b| a.table.cmp(&b.table));
+        out
+    }
+
+    /// Resets the per-table lock counters, so a measurement window (e.g.
+    /// after benchmark warmup) excludes load and warmup activity.
+    pub fn reset_shard_stats(&self) {
+        let tables = self.tables.read();
+        for shard in tables.values() {
+            shard.reset_stats();
+        }
     }
 
     // ------------------------------------------------------------------
     // Internal helpers
     // ------------------------------------------------------------------
-
-    fn writable_txn(
-        active: &mut HashMap<TxnId, Transaction>,
-        token: TxnToken,
-    ) -> Result<&mut Transaction> {
-        let tx = active
-            .get_mut(&token.0)
-            .ok_or_else(|| Error::UnknownTransaction(format!("txn {}", token.0)))?;
-        if tx.mode != TxnMode::ReadWrite {
-            return Err(Error::InvalidState(
-                "write attempted in a read-only transaction".into(),
-            ));
-        }
-        Ok(tx)
-    }
 
     /// Finds the slots of versions visible to (`snapshot`, `txid`) that match
     /// `predicate`, using an index when the predicate allows it.
@@ -610,7 +926,7 @@ impl Database {
         predicate: &Predicate,
         snapshot: Timestamp,
         txid: TxnId,
-        buffer: &mut BufferManager,
+        buffer: &SharedBuffer,
     ) -> Result<Vec<Slot>> {
         let access = choose_access_path(predicate, table);
         let candidates: Vec<Slot> = match &access {
@@ -639,6 +955,22 @@ impl Database {
             }
         }
         Ok(out)
+    }
+
+    /// Runs the first-updater-wins conflict check, counting detected
+    /// serialization failures.
+    fn checked_write_conflict(
+        &self,
+        table: &Table,
+        slot: Slot,
+        snapshot: Timestamp,
+        txid: TxnId,
+    ) -> Result<()> {
+        let result = Self::check_write_conflict(table, slot, snapshot, txid);
+        if matches!(result, Err(Error::SerializationFailure(_))) {
+            self.stats.serialization_failures.bump();
+        }
+        result
     }
 
     /// Eager first-updater-wins conflict detection: fail if any other
@@ -932,6 +1264,7 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, Error::SerializationFailure(_)));
+        assert_eq!(db.stats().serialization_failures, 2);
     }
 
     #[test]
@@ -982,6 +1315,26 @@ mod tests {
         db.unpin(snap).unwrap();
         assert_eq!(db.vacuum(), 1);
         assert_eq!(db.stats().vacuumed_versions, 1);
+    }
+
+    #[test]
+    fn pin_below_vacuum_watermark_is_rejected() {
+        let db = setup();
+        let tx = db.begin_rw().unwrap();
+        db.update(
+            tx,
+            "users",
+            &Predicate::eq("id", 1i64),
+            &[("rating".to_string(), Value::Int(9))],
+        )
+        .unwrap();
+        db.commit(tx).unwrap(); // latest is now 2
+        assert_eq!(db.vacuum(), 1); // horizon (and watermark) advance to 2
+        let err = db.pin(Timestamp(1)).unwrap_err();
+        assert!(matches!(err, Error::SnapshotUnavailable(_)));
+        // The current horizon itself is still pinnable.
+        let id = db.pin(Timestamp(2)).unwrap();
+        db.unpin(id).unwrap();
     }
 
     #[test]
@@ -1074,5 +1427,111 @@ mod tests {
         let id = db.pin(Timestamp(1)).unwrap();
         assert_eq!(db.pinned_snapshots(), vec![Timestamp(1)]);
         db.unpin(id).unwrap();
+    }
+
+    #[test]
+    fn shard_stats_expose_lock_activity() {
+        let db = setup();
+        let q = SelectQuery::table("users").filter(Predicate::eq("id", 1i64));
+        db.query_ro_once(&q).unwrap();
+        let tx = db.begin_rw().unwrap();
+        db.update(
+            tx,
+            "users",
+            &Predicate::eq("id", 1i64),
+            &[("rating".to_string(), Value::Int(3))],
+        )
+        .unwrap();
+        db.commit(tx).unwrap();
+
+        let stats = db.shard_stats();
+        assert_eq!(stats.len(), 1);
+        let users = &stats[0];
+        assert_eq!(users.table, "users");
+        assert!(users.read_locks > 0, "queries take shared locks");
+        assert!(
+            users.write_locks >= 2,
+            "DML and commit stamping take exclusive locks"
+        );
+        // Single-threaded use never waits.
+        assert_eq!(users.read_waits, 0);
+        assert_eq!(users.write_waits, 0);
+    }
+
+    #[test]
+    fn parallel_readers_and_writer_agree_on_commit_order() {
+        let db = Arc::new(setup());
+        let rounds = 50;
+        std::thread::scope(|scope| {
+            let writer = {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    for i in 0..rounds {
+                        let tx = db.begin_rw().unwrap();
+                        db.update(
+                            tx,
+                            "users",
+                            &Predicate::eq("id", 4i64),
+                            &[("rating".to_string(), Value::Int(i))],
+                        )
+                        .unwrap();
+                        db.commit(tx).unwrap();
+                    }
+                })
+            };
+            let readers: Vec<_> = (0..3)
+                .map(|_| {
+                    let db = Arc::clone(&db);
+                    scope.spawn(move || {
+                        let q = SelectQuery::table("users").filter(Predicate::eq("id", 4i64));
+                        for _ in 0..rounds {
+                            let r = db.query_ro_once(&q).unwrap();
+                            assert_eq!(r.result.len(), 1, "row 4 must always be visible");
+                        }
+                    })
+                })
+                .collect();
+            writer.join().unwrap();
+            for r in readers {
+                r.join().unwrap();
+            }
+        });
+        // The invalidation stream is strictly ordered by commit timestamp.
+        let log = db.invalidation_log();
+        assert_eq!(log.len(), rounds as usize);
+        for pair in log.windows(2) {
+            assert!(pair[0].timestamp < pair[1].timestamp);
+        }
+    }
+
+    #[test]
+    fn concurrent_begins_race_vacuum_safely() {
+        let db = Arc::new(setup());
+        std::thread::scope(|scope| {
+            let vacuumer = {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        db.vacuum();
+                    }
+                })
+            };
+            let beginners: Vec<_> = (0..3)
+                .map(|_| {
+                    let db = Arc::clone(&db);
+                    scope.spawn(move || {
+                        let q = SelectQuery::table("users").aggregate(Aggregate::Count);
+                        for _ in 0..200 {
+                            let r = db.query_ro_once(&q).unwrap();
+                            assert_eq!(r.result.get(0, "count").unwrap(), &Value::Int(10));
+                        }
+                    })
+                })
+                .collect();
+            vacuumer.join().unwrap();
+            for b in beginners {
+                b.join().unwrap();
+            }
+        });
     }
 }

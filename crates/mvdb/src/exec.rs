@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 use txtypes::{Error, InvalidationTag, Result, TagSet, Timestamp, ValidityInterval};
 
-use crate::buffer::{BufferManager, PageAccess};
+use crate::buffer::{PageAccess, SharedBuffer};
 use crate::plan::{AccessPath, JoinAccess, QueryPlan};
 use crate::query::{Aggregate, SortOrder};
 use crate::table::{Slot, Table};
@@ -138,14 +138,16 @@ impl QueryResult {
 /// Executes a planned query at `snapshot_ts`.
 ///
 /// `me` identifies the executing transaction so that a read/write transaction
-/// sees its own uncommitted writes.
+/// sees its own uncommitted writes. The buffer pool is shared and internally
+/// synchronized, so execution needs only shared references to the tables —
+/// many queries can run in parallel under reader locks.
 pub fn execute_plan(
     plan: &QueryPlan,
     outer: &Table,
     inner: Option<&Table>,
     snapshot_ts: Timestamp,
     me: Option<TxnId>,
-    buffer: &mut BufferManager,
+    buffer: &SharedBuffer,
     opts: &ExecOptions,
 ) -> Result<QueryResult> {
     let mut tracker = ValidityTracker::new(opts.track_validity);
@@ -296,7 +298,7 @@ fn fetch_candidates(
     table: &Table,
     access: &AccessPath,
     pages: &mut PageCounts,
-    buffer: &mut BufferManager,
+    buffer: &SharedBuffer,
 ) -> Result<Vec<Slot>> {
     let name = &table.schema().name;
     match access {
@@ -531,8 +533,8 @@ mod tests {
         opts: &ExecOptions,
     ) -> QueryResult {
         let plan = plan_query(query, outer, inner).unwrap();
-        let mut buffer = BufferManager::new(1024);
-        execute_plan(&plan, outer, inner, Timestamp(ts), None, &mut buffer, opts).unwrap()
+        let buffer = SharedBuffer::new(1024, 4);
+        execute_plan(&plan, outer, inner, Timestamp(ts), None, &buffer, opts).unwrap()
     }
 
     #[test]
@@ -723,14 +725,14 @@ mod tests {
             .unwrap();
         let q = SelectQuery::table("items").filter(Predicate::eq("id", 99i64));
         let plan = plan_query(&q, &items, None).unwrap();
-        let mut buffer = BufferManager::new(64);
+        let buffer = SharedBuffer::new(64, 2);
         let mine = execute_plan(
             &plan,
             &items,
             None,
             Timestamp(10),
             Some(77),
-            &mut buffer,
+            &buffer,
             &ExecOptions::default(),
         )
         .unwrap();
@@ -741,7 +743,7 @@ mod tests {
             None,
             Timestamp(10),
             Some(78),
-            &mut buffer,
+            &buffer,
             &ExecOptions::default(),
         )
         .unwrap();

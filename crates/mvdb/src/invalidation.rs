@@ -33,6 +33,12 @@ pub struct InvalidationMessage {
 pub struct InvalidationBus {
     subscribers: Vec<Sender<InvalidationMessage>>,
     log: Vec<InvalidationMessage>,
+    /// Timestamp of the most recently published message. The commit
+    /// sequencer publishes while holding the timestamp-allocation lock, so
+    /// this must only ever increase; [`publish`](Self::publish) counts any
+    /// violation so a broken commit path is observable in tests.
+    last_timestamp: Option<Timestamp>,
+    out_of_order: u64,
 }
 
 impl InvalidationBus {
@@ -54,6 +60,14 @@ impl InvalidationBus {
     /// Publishes a message to all subscribers, in order, and appends it to
     /// the log. Disconnected subscribers are dropped.
     pub fn publish(&mut self, message: InvalidationMessage) {
+        if self
+            .last_timestamp
+            .is_some_and(|last| message.timestamp <= last)
+        {
+            self.out_of_order += 1;
+        } else {
+            self.last_timestamp = Some(message.timestamp);
+        }
         self.subscribers.retain(|s| s.send(message.clone()).is_ok());
         self.log.push(message);
     }
@@ -62,6 +76,19 @@ impl InvalidationBus {
     #[must_use]
     pub fn log(&self) -> &[InvalidationMessage] {
         &self.log
+    }
+
+    /// Timestamp of the most recently published message, if any.
+    #[must_use]
+    pub fn last_timestamp(&self) -> Option<Timestamp> {
+        self.last_timestamp
+    }
+
+    /// Number of messages published with a timestamp at or below an earlier
+    /// message's — always zero while the commit sequencer is correct.
+    #[must_use]
+    pub fn out_of_order_publishes(&self) -> u64 {
+        self.out_of_order
     }
 
     /// Number of live subscribers.
@@ -105,6 +132,19 @@ mod tests {
         bus.publish(msg(2));
         assert_eq!(rx.try_iter().count(), 1);
         assert_eq!(bus.log().len(), 2);
+    }
+
+    #[test]
+    fn publish_order_is_tracked() {
+        let mut bus = InvalidationBus::new();
+        assert_eq!(bus.last_timestamp(), None);
+        bus.publish(msg(1));
+        bus.publish(msg(3));
+        assert_eq!(bus.last_timestamp(), Some(Timestamp(3)));
+        assert_eq!(bus.out_of_order_publishes(), 0);
+        bus.publish(msg(2));
+        assert_eq!(bus.out_of_order_publishes(), 1);
+        assert_eq!(bus.last_timestamp(), Some(Timestamp(3)));
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod txn;
 pub mod validity;
 pub mod value;
 
-pub use buffer::{BufferManager, BufferStats, PageAccess};
+pub use buffer::{BufferManager, BufferStats, PageAccess, SharedBuffer};
 pub use db::{Database, DbConfig, OneShotQuery};
 pub use exec::{ExecOptions, PageCounts, QueryResult};
 pub use invalidation::{InvalidationBus, InvalidationMessage};
@@ -68,7 +68,7 @@ pub use plan::{plan_query, AccessPath, QueryPlan};
 pub use query::{Aggregate, CmpOp, Join, Predicate, SelectQuery, SortOrder};
 pub use schema::{ColumnDef, IndexDef, TableSchema};
 pub use snapshot::SnapshotId;
-pub use stats::DbStats;
+pub use stats::{AtomicDbStats, DbStats, ShardStats};
 pub use table::Table;
 pub use tuple::{RowId, Stamp, TupleVersion, TxnId};
 pub use txn::{TxnMode, TxnToken};

@@ -71,6 +71,23 @@ impl Transaction {
     pub fn note_row_modified(&mut self, table: &str) {
         *self.rows_modified.entry(table.to_string()).or_insert(0) += 1;
     }
+
+    /// The names of all tables this transaction wrote, sorted and
+    /// deduplicated. Commit and abort acquire table locks in exactly this
+    /// order, which is what makes cross-table write transactions
+    /// deadlock-free.
+    #[must_use]
+    pub fn touched_tables(&self) -> Vec<String> {
+        let mut tables: Vec<String> = self
+            .created_slots
+            .iter()
+            .chain(self.deleted_slots.iter())
+            .map(|(table, _)| table.clone())
+            .collect();
+        tables.sort();
+        tables.dedup();
+        tables
+    }
 }
 
 /// An opaque handle the application holds for an open transaction.
@@ -104,5 +121,18 @@ mod tests {
         let mut t = Transaction::new(1, TxnMode::ReadWrite, Timestamp(5));
         t.created_slots.push(("items".into(), 3));
         assert!(t.has_writes());
+    }
+
+    #[test]
+    fn touched_tables_is_sorted_and_deduplicated() {
+        let mut t = Transaction::new(1, TxnMode::ReadWrite, Timestamp(5));
+        t.created_slots.push(("zebra".into(), 1));
+        t.created_slots.push(("apple".into(), 2));
+        t.deleted_slots.push(("zebra".into(), 3));
+        t.deleted_slots.push(("mango".into(), 4));
+        assert_eq!(t.touched_tables(), vec!["apple", "mango", "zebra"]);
+        assert!(Transaction::new(2, TxnMode::ReadOnly, Timestamp(5))
+            .touched_tables()
+            .is_empty());
     }
 }

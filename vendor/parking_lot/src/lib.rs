@@ -72,6 +72,22 @@ impl<T: ?Sized> RwLock<T> {
         self.0.write().unwrap_or_else(PoisonError::into_inner)
     }
 
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
@@ -81,6 +97,22 @@ impl<T: ?Sized> RwLock<T> {
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn rwlock_try_variants() {
+        let l = RwLock::new(5);
+        {
+            let r = l.try_read().expect("uncontended try_read succeeds");
+            assert_eq!(*r, 5);
+            assert!(l.try_write().is_none(), "readers block try_write");
+        }
+        {
+            let mut w = l.try_write().expect("uncontended try_write succeeds");
+            *w += 1;
+            assert!(l.try_read().is_none(), "a writer blocks try_read");
+        }
+        assert_eq!(*l.read(), 6);
+    }
 
     #[test]
     fn mutex_basic() {
