@@ -7,7 +7,13 @@
 #   2. clippy with warnings denied (all targets, incl. vendored stubs)
 #   3. build of every target (bins and benches included)
 #   4. the full test suite
-#   5. optionally, the bench-regression smoke gate (--bench-smoke): the
+#   5. an explicit compile check of the examples (also covered by
+#      --all-targets, kept as a named step so a broken example is called out)
+#   6. optionally, the network smoke gate (--net-smoke): starts a real
+#      txcached server on an ephemeral loopback port, probes it with
+#      `txcached --ping`, runs the remote-backend consistency test against it
+#      via TXCACHED_ADDRS, and tears the server down again
+#   7. optionally, the bench-regression smoke gate (--bench-smoke): the
 #      fig5_throughput thread sweep compared against a baseline JSON.
 #      The baseline defaults to the checked-in
 #      crates/bench/BENCH_fig5.baseline.json and can be overridden with
@@ -22,11 +28,13 @@
 # at a glance.
 #
 # Usage: ./ci.sh [--no-clippy] [--profile debug|release] [--bench-smoke]
+#                [--net-smoke]
 #
 #   --profile release (default)  build and test with --release
 #   --profile debug              build and test the dev profile
 #   --bench-smoke                run the throughput-regression gate (builds
 #                                the release bench binary if needed)
+#   --net-smoke                  run the txcached loopback network gate
 #
 # To refresh the bench baseline after an intentional perf change:
 #   cargo build --release -p bench --bin fig5_throughput
@@ -38,11 +46,13 @@ cd "$(dirname "$0")"
 
 NO_CLIPPY=0
 BENCH_SMOKE=0
+NET_SMOKE=0
 PROFILE=release
 while [ $# -gt 0 ]; do
     case "$1" in
         --no-clippy) NO_CLIPPY=1 ;;
         --bench-smoke) BENCH_SMOKE=1 ;;
+        --net-smoke) NET_SMOKE=1 ;;
         --profile)
             shift
             PROFILE="${1:-}"
@@ -94,9 +104,48 @@ if [ "$PROFILE" = release ]; then
     run_step "cargo build --release (all targets)" \
         cargo build --workspace --release --all-targets
     run_step "cargo test --release" cargo test --workspace --release --quiet
+    run_step "examples compile check" cargo build --release --examples
 else
     run_step "cargo build (all targets)" cargo build --workspace --all-targets
     run_step "cargo test" cargo test --workspace --quiet
+    run_step "examples compile check" cargo build --examples
+fi
+
+if [ "$NET_SMOKE" -eq 1 ]; then
+    # Start a real txcached on an ephemeral loopback port, scrape the bound
+    # address from its first stdout line, probe it, run the remote-backend
+    # consistency test against it, and tear it down.
+    if [ "$PROFILE" != release ]; then
+        run_step "cargo build --release txcached (for net smoke)" \
+            cargo build --release -p cache-server --bin txcached
+    fi
+    TXCACHED_LOG="$(mktemp)"
+    target/release/txcached --addr 127.0.0.1:0 --capacity-mb 16 \
+        --name ci-smoke >"$TXCACHED_LOG" 2>&1 &
+    TXCACHED_PID=$!
+    trap 'kill "$TXCACHED_PID" 2>/dev/null; rm -f "$TXCACHED_LOG"' EXIT
+    TXCACHED_ADDR=""
+    for _ in $(seq 1 50); do
+        TXCACHED_ADDR="$(sed -n 's/^txcached listening on //p' "$TXCACHED_LOG" | head -n1)"
+        [ -n "$TXCACHED_ADDR" ] && break
+        sleep 0.1
+    done
+    if [ -z "$TXCACHED_ADDR" ]; then
+        SUMMARY+=("FAIL net smoke (txcached did not start)")
+        print_summary
+        cat "$TXCACHED_LOG"
+        exit 1
+    fi
+    run_step "net smoke: txcached --ping ${TXCACHED_ADDR}" \
+        target/release/txcached --ping "$TXCACHED_ADDR"
+    run_step "net smoke: remote-backend consistency vs ${TXCACHED_ADDR}" \
+        env TXCACHED_ADDRS="$TXCACHED_ADDR" \
+        cargo test --release --quiet --test net_smoke remote_backend_consistency_smoke
+    kill "$TXCACHED_PID" 2>/dev/null
+    wait "$TXCACHED_PID" 2>/dev/null
+    trap - EXIT
+    rm -f "$TXCACHED_LOG"
+    SUMMARY+=("ok   net smoke teardown (txcached stopped)")
 fi
 
 if [ "$BENCH_SMOKE" -eq 1 ]; then

@@ -1,0 +1,201 @@
+//! Loopback protocol-cost benchmark: the same cache workload driven through
+//! the in-process backend and through `txcached` TCP servers on 127.0.0.1,
+//! reporting hit latency and throughput for both. The gap between the two
+//! columns *is* the protocol cost (framing, syscalls, loopback RTT) that the
+//! in-process reproduction could never measure.
+//!
+//! ```text
+//! net_loopback [--nodes N] [--keys K] [--ops OPS] [--value-bytes B]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use cache_server::{CacheCluster, LookupRequest, NodeConfig, TxcachedServer};
+use txcache::backend::{CacheBackend, RemoteCluster};
+use txtypes::{CacheKey, InvalidationTag, TagSet, Timestamp, ValidityInterval, WallClock};
+
+struct Args {
+    nodes: usize,
+    keys: usize,
+    ops: usize,
+    value_bytes: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        nodes: 2,
+        keys: 512,
+        ops: 20_000,
+        value_bytes: 256,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("bad or missing value for {what}");
+                    std::process::exit(2);
+                })
+        };
+        match arg.as_str() {
+            "--nodes" => args.nodes = value("--nodes").max(1),
+            "--keys" => args.keys = value("--keys").max(1),
+            "--ops" => args.ops = value("--ops").max(1),
+            "--value-bytes" => args.value_bytes = value("--value-bytes"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: net_loopback [--nodes N] [--keys K] [--ops OPS] [--value-bytes B]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+struct BackendReport {
+    label: &'static str,
+    fill_ops_per_sec: f64,
+    hit_mean_us: f64,
+    hit_p99_us: f64,
+    hit_ops_per_sec: f64,
+    invalidation_batches_per_sec: f64,
+    hit_rate: f64,
+}
+
+fn key(i: usize) -> CacheKey {
+    CacheKey::new("bench", format!("[{i}]"))
+}
+
+fn tags(i: usize) -> TagSet {
+    [InvalidationTag::keyed("items", format!("id={i}"))]
+        .into_iter()
+        .collect()
+}
+
+/// Drives fill + hit + invalidation phases through one backend.
+fn drive(label: &'static str, backend: &dyn CacheBackend, args: &Args) -> BackendReport {
+    let value = Bytes::from(vec![0x5Au8; args.value_bytes]);
+
+    // Fill phase: every key inserted once (remote: pipelined puts).
+    let t0 = Instant::now();
+    for i in 0..args.keys {
+        backend.insert(
+            key(i),
+            value.clone(),
+            ValidityInterval::unbounded(Timestamp(1)),
+            tags(i),
+            WallClock::ZERO,
+        );
+    }
+    // Force outstanding pipelined acks to be collected so the fill phase is
+    // fully accounted before timing lookups.
+    let _ = backend.stats();
+    let fill_secs = t0.elapsed().as_secs_f64();
+
+    // Hit phase: uniform lookups over the filled keys, per-op latency
+    // (captured in nanoseconds — in-process hits are far below 1 us).
+    let request = LookupRequest::range(Timestamp(1), Timestamp(1));
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(args.ops);
+    let t0 = Instant::now();
+    for op in 0..args.ops {
+        let k = key(op % args.keys);
+        let t = Instant::now();
+        let outcome = backend.lookup(&k, &request);
+        latencies_ns.push(t.elapsed().as_nanos() as u64);
+        assert!(outcome.is_hit(), "warm lookup must hit ({label})");
+    }
+    let hit_secs = t0.elapsed().as_secs_f64();
+
+    // Invalidation phase: empty batches with advancing heartbeats measure
+    // the fan-out cost of the stream.
+    let inval_rounds = 1_000usize;
+    let t0 = Instant::now();
+    for round in 0..inval_rounds {
+        backend.apply_invalidations(&[], Timestamp(2 + round as u64));
+    }
+    let inval_secs = t0.elapsed().as_secs_f64();
+
+    latencies_ns.sort_unstable();
+    let mean_ns = latencies_ns.iter().sum::<u64>() as f64 / latencies_ns.len() as f64;
+    let p99_ns = latencies_ns[(latencies_ns.len() * 99 / 100).min(latencies_ns.len() - 1)];
+
+    let stats = backend.stats();
+    BackendReport {
+        label,
+        fill_ops_per_sec: args.keys as f64 / fill_secs.max(1e-9),
+        hit_mean_us: mean_ns / 1_000.0,
+        hit_p99_us: p99_ns as f64 / 1_000.0,
+        hit_ops_per_sec: args.ops as f64 / hit_secs.max(1e-9),
+        invalidation_batches_per_sec: inval_rounds as f64 / inval_secs.max(1e-9),
+        hit_rate: stats.hit_rate(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    println!(
+        "# Loopback cache-protocol benchmark: {} node(s), {} keys, {} lookups, {} B values",
+        args.nodes, args.keys, args.ops, args.value_bytes
+    );
+
+    // In-process backend.
+    let in_process = CacheCluster::new(args.nodes, 64 << 20);
+    let in_process_report = drive("in-process", &in_process, &args);
+
+    // Remote backend over loopback TCP.
+    let servers: Vec<TxcachedServer> = (0..args.nodes)
+        .map(|i| {
+            TxcachedServer::bind(
+                "127.0.0.1:0",
+                format!("bench-node-{i}"),
+                NodeConfig {
+                    capacity_bytes: 64 << 20,
+                },
+            )
+            .expect("bind loopback txcached")
+        })
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let remote = Arc::new(RemoteCluster::connect(&addrs).expect("connect loopback txcached"));
+    let remote_report = drive("remote-tcp", remote.as_ref(), &args);
+
+    println!();
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>14} {:>16}",
+        "backend", "fill ops/s", "hit ops/s", "hit mean us", "hit p99 us", "inval batch/s"
+    );
+    for r in [&in_process_report, &remote_report] {
+        println!(
+            "{:<12} {:>14.0} {:>14.0} {:>12.2} {:>14.2} {:>16.0}",
+            r.label,
+            r.fill_ops_per_sec,
+            r.hit_ops_per_sec,
+            r.hit_mean_us,
+            r.hit_p99_us,
+            r.invalidation_batches_per_sec
+        );
+        assert!(
+            (r.hit_rate - 1.0).abs() < 1e-9,
+            "warm phase must be all hits"
+        );
+    }
+
+    let slowdown = in_process_report.hit_ops_per_sec / remote_report.hit_ops_per_sec.max(1e-9);
+    println!();
+    println!(
+        "protocol cost: TCP hit path is {slowdown:.1}x slower than in-process \
+         ({:.2} us vs {:.2} us mean)",
+        remote_report.hit_mean_us, in_process_report.hit_mean_us
+    );
+    println!(
+        "remote degraded ops: {} (must be 0 on loopback)",
+        remote.degraded_ops()
+    );
+    assert_eq!(remote.degraded_ops(), 0, "loopback run must not degrade");
+}

@@ -1,0 +1,165 @@
+//! `txcached` — a standalone TxCache cache node.
+//!
+//! Hosts one versioned cache node behind the `wire` TCP protocol, the
+//! deployment unit of the paper's cache tier (§4, §7). Application servers
+//! reach it through the `txcache` client library's remote backend; the
+//! database's invalidation stream reaches it as pushed
+//! `InvalidationBatch` frames.
+//!
+//! ```text
+//! txcached [--addr 127.0.0.1:11222] [--capacity-mb 64] [--name NAME]
+//!          [--stats-every-secs N]
+//! txcached --ping ADDR     # liveness probe: exit 0 if ADDR answers a Ping
+//! ```
+//!
+//! With `--addr 127.0.0.1:0` the kernel picks a free port; the bound address
+//! is printed on the first line of stdout (`txcached listening on ADDR`), so
+//! scripts (see `ci.sh --net-smoke`) can scrape it.
+
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cache_server::{NodeConfig, TxcachedServer};
+use wire::{FramedStream, Request, Response};
+
+struct Options {
+    addr: String,
+    capacity_mb: usize,
+    name: String,
+    stats_every_secs: u64,
+    ping: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: txcached [--addr HOST:PORT] [--capacity-mb N] [--name NAME] \
+         [--stats-every-secs N] | --ping HOST:PORT"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        addr: "127.0.0.1:11222".to_string(),
+        capacity_mb: 64,
+        name: "txcached-0".to_string(),
+        stats_every_secs: 0,
+        ping: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => options.addr = value("--addr"),
+            "--capacity-mb" => {
+                options.capacity_mb = value("--capacity-mb").parse().unwrap_or_else(|_| usage())
+            }
+            "--name" => options.name = value("--name"),
+            "--stats-every-secs" => {
+                options.stats_every_secs = value("--stats-every-secs")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--ping" => options.ping = Some(value("--ping")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    options
+}
+
+/// Connects to a running node and checks that it answers a `Ping`.
+fn ping(addr: &str) -> ExitCode {
+    let probe = || -> wire::Result<()> {
+        let stream = TcpStream::connect(addr).map_err(wire::WireError::Io)?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .map_err(wire::WireError::Io)?;
+        let mut conn = FramedStream::new(stream);
+        match conn
+            .call(&Request::Ping { nonce: 0xC0FFEE })?
+            .into_result()?
+        {
+            Response::Pong { nonce: 0xC0FFEE } => Ok(()),
+            other => Err(wire::WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected reply: {other:?}"),
+            ))),
+        }
+    };
+    match probe() {
+        Ok(()) => {
+            println!("txcached at {addr} is alive");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ping {addr} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let options = parse_options();
+    if let Some(addr) = &options.ping {
+        return ping(addr);
+    }
+
+    let server = match TxcachedServer::bind(
+        &options.addr,
+        options.name.clone(),
+        NodeConfig {
+            capacity_bytes: options.capacity_mb << 20,
+        },
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("txcached: failed to bind {}: {e}", options.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("txcached listening on {}", server.local_addr());
+    println!(
+        "txcached node={} capacity={} MB",
+        options.name, options.capacity_mb
+    );
+    // Line-buffered stdout only flushes on newline when attached to a pipe
+    // after the process keeps running; force it so scrapers see the address.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    let interval = if options.stats_every_secs == 0 {
+        Duration::from_secs(3600)
+    } else {
+        Duration::from_secs(options.stats_every_secs)
+    };
+    loop {
+        std::thread::sleep(interval);
+        if options.stats_every_secs > 0 {
+            let s = server.stats();
+            let c = server.cache_stats();
+            println!(
+                "txcached stats: conns={} reqs={} in={}B out={}B hits={} misses={} \
+                 entries_bytes={} invalidation_batches={}",
+                s.connections_accepted,
+                s.requests,
+                s.bytes_in,
+                s.bytes_out,
+                c.hits,
+                c.misses(),
+                c.used_bytes,
+                s.invalidation_batches,
+            );
+            let _ = std::io::stdout().flush();
+        }
+    }
+}

@@ -92,6 +92,28 @@ pub enum MissKind {
     Consistency,
 }
 
+impl From<MissKind> for wire::MissCode {
+    fn from(kind: MissKind) -> wire::MissCode {
+        match kind {
+            MissKind::Compulsory => wire::MissCode::Compulsory,
+            MissKind::Staleness => wire::MissCode::Staleness,
+            MissKind::Capacity => wire::MissCode::Capacity,
+            MissKind::Consistency => wire::MissCode::Consistency,
+        }
+    }
+}
+
+impl From<wire::MissCode> for MissKind {
+    fn from(code: wire::MissCode) -> MissKind {
+        match code {
+            wire::MissCode::Compulsory => MissKind::Compulsory,
+            wire::MissCode::Staleness => MissKind::Staleness,
+            wire::MissCode::Capacity => MissKind::Capacity,
+            wire::MissCode::Consistency => MissKind::Consistency,
+        }
+    }
+}
+
 /// The result of a cache lookup.
 #[derive(Debug, Clone)]
 pub enum LookupOutcome {

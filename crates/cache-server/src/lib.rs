@@ -32,10 +32,12 @@ pub mod cluster;
 pub mod entry;
 pub mod node;
 pub mod ring;
+pub mod server;
 pub mod stats;
 
 pub use cluster::CacheCluster;
 pub use entry::{CacheEntry, LookupOutcome, LookupRequest, MissKind};
 pub use node::{CacheNode, NodeConfig};
 pub use ring::ConsistentHashRing;
+pub use server::{ConnectionSummary, ServerStats, TxcachedServer};
 pub use stats::CacheStats;

@@ -409,6 +409,50 @@ impl CacheNode {
         self.last_invalidation = self.last_invalidation.max(ts);
     }
 
+    /// Bounds every still-valid entry at the conservative upper bound
+    /// lookups already apply (the §4.2 rule: valid only through the last
+    /// processed invalidation).
+    ///
+    /// A client calls this — via the wire protocol's `SealStillValid` —
+    /// after healing a broken connection: invalidation-stream messages may
+    /// have been lost while the node was unreachable, so its still-valid
+    /// entries must not be extended by later heartbeats. Sealing makes the
+    /// conservative bound permanent, exactly preserving what the node could
+    /// already prove. Returns the number of entries sealed.
+    pub fn seal_still_valid(&mut self) -> u64 {
+        let unbounded: Vec<EntryId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.validity.is_unbounded())
+            .map(|(id, _)| *id)
+            .collect();
+        let mut sealed = 0u64;
+        for id in unbounded {
+            let last_invalidation = self.last_invalidation;
+            let Some(entry) = self.entries.get_mut(&id) else {
+                continue;
+            };
+            let upper = entry.validity.effective_upper(last_invalidation);
+            entry.validity = ValidityInterval {
+                lower: entry.validity.lower,
+                upper: Some(upper),
+            };
+            sealed += 1;
+            // No longer still-valid: drop it from the tag indexes.
+            let tags: Vec<InvalidationTag> = entry.tags.iter().cloned().collect();
+            for tag in tags {
+                if let Some(set) = self.tag_index.get_mut(&tag) {
+                    set.remove(&id);
+                }
+                if let Some(set) = self.table_index.get_mut(&tag.table) {
+                    set.remove(&id);
+                }
+            }
+        }
+        self.stats.sealed_entries += sealed;
+        sealed
+    }
+
     // ------------------------------------------------------------------
     // Staleness eviction
     // ------------------------------------------------------------------
@@ -692,6 +736,31 @@ mod tests {
                 &LookupRequest::range(Timestamp(90), Timestamp(100))
             )
             .is_hit());
+    }
+
+    #[test]
+    fn seal_still_valid_bounds_entries_at_the_invalidation_horizon() {
+        let mut n = node();
+        n.note_timestamp(Timestamp(20));
+        insert_simple(&mut n, 1, 5);
+        // Sealing materializes the conservative bound: valid through 20.
+        assert_eq!(n.seal_still_valid(), 1);
+        assert_eq!(n.stats().sealed_entries, 1);
+        assert!(n
+            .lookup(&key(1), &LookupRequest::range(Timestamp(20), Timestamp(20)))
+            .is_hit());
+        // A later heartbeat must NOT extend a sealed entry: a matching
+        // invalidation may have been lost while the client was disconnected.
+        n.note_timestamp(Timestamp(100));
+        assert!(!n
+            .lookup(&key(1), &LookupRequest::range(Timestamp(50), Timestamp(50)))
+            .is_hit());
+        // Sealed entries are bounded, so invalidations skip them (their
+        // indexes were cleared).
+        n.apply_invalidation(Timestamp(60), &tags_for("items", 1));
+        assert_eq!(n.stats().invalidated_entries, 0);
+        // An idempotent second seal finds nothing still-valid.
+        assert_eq!(n.seal_still_valid(), 0);
     }
 
     #[test]

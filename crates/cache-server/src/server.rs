@@ -1,0 +1,691 @@
+//! `txcached`: a cache node served over TCP with the `wire` protocol.
+//!
+//! The paper deploys cache nodes as standalone `txcached` processes that
+//! application servers reach over a memcached-like protocol extended with
+//! versioned lookups and an invalidation stream (§4, §7). This module is that
+//! server: a std-only threaded TCP accept loop hosting one [`CacheNode`]
+//! behind the [`wire`] protocol.
+//!
+//! Design points:
+//!
+//! * **One thread per connection**, each running a framed request loop. The
+//!   node itself is behind a single mutex — the same contention model as the
+//!   in-process [`crate::CacheCluster`], whose nodes are individually locked.
+//! * **Server-side invalidation application**: an
+//!   [`wire::Request::InvalidationBatch`] applies every event in commit order
+//!   and then advances the node's heartbeat timestamp, exactly like the
+//!   in-process delivery path.
+//! * **Graceful shutdown**: [`TxcachedServer::shutdown`] stops the accept
+//!   loop, shuts every open connection down, and joins all threads; dropping
+//!   the server does the same, so tests cannot leak threads.
+//! * **Per-connection and per-node counters**: every connection tracks its
+//!   own request and byte counts (kept in a bounded log of closed
+//!   connections), and the node-wide totals are visible through
+//!   [`TxcachedServer::stats`] as well as remotely via
+//!   [`wire::Request::Stats`].
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use wire::{FramedStream, InvalidationEvent, Request, Response, WireError};
+
+use crate::entry::{LookupOutcome, LookupRequest};
+use crate::node::{CacheNode, NodeConfig};
+
+/// How many closed-connection summaries the server retains.
+const CONNECTION_LOG_CAP: usize = 64;
+
+/// Node-wide protocol counters (distinct from the cache's own
+/// [`crate::CacheStats`], which count lookups/insertions/invalidations).
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Connections accepted since the server started.
+    pub connections_accepted: AtomicU64,
+    /// Connections that have finished.
+    pub connections_closed: AtomicU64,
+    /// Requests served across all connections.
+    pub requests: AtomicU64,
+    /// Bytes read from clients.
+    pub bytes_in: AtomicU64,
+    /// Bytes written to clients.
+    pub bytes_out: AtomicU64,
+    /// Frames that failed to decode (answered with an error frame).
+    pub protocol_errors: AtomicU64,
+    /// Invalidation batches applied.
+    pub invalidation_batches: AtomicU64,
+}
+
+/// A plain snapshot of [`ServerCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted since the server started.
+    pub connections_accepted: u64,
+    /// Connections that have finished.
+    pub connections_closed: u64,
+    /// Requests served across all connections.
+    pub requests: u64,
+    /// Bytes read from clients.
+    pub bytes_in: u64,
+    /// Bytes written to clients.
+    pub bytes_out: u64,
+    /// Frames that failed to decode.
+    pub protocol_errors: u64,
+    /// Invalidation batches applied.
+    pub invalidation_batches: u64,
+}
+
+impl ServerCounters {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            invalidation_batches: self.invalidation_batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What one finished connection did, kept in the server's bounded log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectionSummary {
+    /// The client's address.
+    pub peer: String,
+    /// Requests the connection served.
+    pub requests: u64,
+    /// Bytes read from the client.
+    pub bytes_in: u64,
+    /// Bytes written to the client.
+    pub bytes_out: u64,
+}
+
+struct Shared {
+    node: Mutex<CacheNode>,
+    counters: ServerCounters,
+    shutting_down: AtomicBool,
+    /// Clones of *currently open* connections, keyed by connection id, so
+    /// shutdown can unblock their reads. Handlers remove their own entry on
+    /// exit, so the map never outgrows the live connection count.
+    open_conns: Mutex<HashMap<u64, TcpStream>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    closed_log: Mutex<VecDeque<ConnectionSummary>>,
+}
+
+/// A running `txcached` server bound to a TCP address.
+pub struct TxcachedServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TxcachedServer {
+    /// Binds a listener (use port 0 for an ephemeral port) and starts the
+    /// accept loop. The hosted node is named `name` and configured by
+    /// `config`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        name: impl Into<String>,
+        config: NodeConfig,
+    ) -> std::io::Result<TxcachedServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            node: Mutex::new(CacheNode::new(name, config)),
+            counters: ServerCounters::default(),
+            shutting_down: AtomicBool::new(false),
+            open_conns: Mutex::new(HashMap::new()),
+            handlers: Mutex::new(Vec::new()),
+            closed_log: Mutex::new(VecDeque::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name(format!("txcached-accept-{local_addr}"))
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(TxcachedServer {
+            local_addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the server is listening on.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Node-wide protocol counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// The cache's own counters (hits, misses, invalidations, …).
+    #[must_use]
+    pub fn cache_stats(&self) -> crate::CacheStats {
+        self.shared.node.lock().stats()
+    }
+
+    /// Summaries of recently closed connections (most recent last, bounded).
+    #[must_use]
+    pub fn connection_log(&self) -> Vec<ConnectionSummary> {
+        self.shared.closed_log.lock().iter().cloned().collect()
+    }
+
+    /// Number of currently open connections.
+    #[must_use]
+    pub fn open_connection_count(&self) -> usize {
+        self.shared.open_conns.lock().len()
+    }
+
+    /// Stops accepting, closes every open connection, and joins all threads.
+    /// Idempotent; also invoked on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        for (_, conn) in self.shared.open_conns.lock().drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let handlers: Vec<JoinHandle<()>> = self.shared.handlers.lock().drain(..).collect();
+        for handle in handlers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TxcachedServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for TxcachedServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxcachedServer")
+            .field("addr", &self.local_addr)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => {
+                // Transient accept failures (e.g. EMFILE under fd pressure)
+                // must not busy-spin the accept thread.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        let conn_id = shared
+            .counters
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            shared.open_conns.lock().insert(conn_id, clone);
+        }
+        // Reap finished handler threads so the handle list tracks live
+        // connections instead of growing for the server's lifetime.
+        shared.handlers.lock().retain(|h| !h.is_finished());
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("txcached-conn".to_string())
+            .spawn(move || handle_connection(conn_id, stream, &conn_shared));
+        if let Ok(handle) = handle {
+            shared.handlers.lock().push(handle);
+        }
+    }
+}
+
+/// A transport adapter that counts bytes into the per-connection tallies and
+/// the node-wide counters.
+struct CountingStream<'a> {
+    inner: TcpStream,
+    counters: &'a ServerCounters,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+impl Read for CountingStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes_in += n as u64;
+        self.counters
+            .bytes_in
+            .fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+impl Write for CountingStream<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes_out += n as u64;
+        self.counters
+            .bytes_out
+            .fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+fn handle_connection(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+    let counting = CountingStream {
+        inner: stream,
+        counters: &shared.counters,
+        bytes_in: 0,
+        bytes_out: 0,
+    };
+    let mut framed = FramedStream::new(counting);
+    let mut requests = 0u64;
+
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        // Frame-level errors desynchronize the stream: close. Body-level
+        // decode errors leave the stream at a frame boundary: answer with an
+        // error frame and keep serving.
+        let body = match wire::read_frame(framed.transport_mut()) {
+            Ok(Some(body)) => body,
+            Ok(None) | Err(_) => break,
+        };
+        let response = match Request::decode(&body) {
+            Ok(request) => {
+                requests += 1;
+                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                apply_request(shared, request)
+            }
+            Err(e) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                error_frame(&e)
+            }
+        };
+        if framed.send_response(&response).is_err() {
+            break;
+        }
+    }
+
+    let counting = framed.into_inner();
+    // Drop both fds now: the handler's own stream and the registered clone.
+    // Leaving the clone in the registry would keep the kernel socket open
+    // (the peer would never see EOF) and leak one fd per connection.
+    if let Some(clone) = shared.open_conns.lock().remove(&conn_id) {
+        let _ = clone.shutdown(Shutdown::Both);
+    }
+    shared
+        .counters
+        .connections_closed
+        .fetch_add(1, Ordering::Relaxed);
+    let mut log = shared.closed_log.lock();
+    if log.len() == CONNECTION_LOG_CAP {
+        log.pop_front();
+    }
+    log.push_back(ConnectionSummary {
+        peer,
+        requests,
+        bytes_in: counting.bytes_in,
+        bytes_out: counting.bytes_out,
+    });
+}
+
+fn error_frame(e: &WireError) -> Response {
+    let code = match e {
+        WireError::Version { .. } => wire::ErrorCode::Version,
+        _ => wire::ErrorCode::Malformed,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+fn apply_request(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::Ping { nonce } => Response::Pong { nonce },
+        Request::VersionedGet {
+            key,
+            pinset_lo,
+            pinset_hi,
+            freshness_lo,
+        } => {
+            let lookup = LookupRequest {
+                pinset_lo,
+                pinset_hi,
+                freshness_lo,
+            };
+            match shared.node.lock().lookup(&key, &lookup) {
+                LookupOutcome::Hit {
+                    value,
+                    validity,
+                    stored_validity,
+                    tags,
+                } => Response::Hit {
+                    value,
+                    validity,
+                    stored_validity,
+                    tags,
+                },
+                LookupOutcome::Miss(kind) => Response::Miss { kind: kind.into() },
+            }
+        }
+        Request::Put {
+            key,
+            value,
+            validity,
+            tags,
+            now,
+        } => {
+            shared.node.lock().insert(key, value, validity, tags, now);
+            Response::PutAck
+        }
+        Request::InvalidationBatch { events, heartbeat } => {
+            shared
+                .counters
+                .invalidation_batches
+                .fetch_add(1, Ordering::Relaxed);
+            let mut node = shared.node.lock();
+            let applied = events.len() as u64;
+            for InvalidationEvent { timestamp, tags } in events {
+                node.apply_invalidation(timestamp, &tags);
+            }
+            node.note_timestamp(heartbeat);
+            Response::InvalidationAck { applied }
+        }
+        Request::EvictStale { min_useful_ts } => {
+            shared.node.lock().evict_stale(min_useful_ts);
+            Response::Ok
+        }
+        Request::Stats => Response::StatsSnapshot(shared.node.lock().stats().into()),
+        Request::ResetStats => {
+            shared.node.lock().reset_stats();
+            Response::Ok
+        }
+        Request::SealStillValid => Response::Sealed {
+            sealed: shared.node.lock().seal_still_valid(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use txtypes::{CacheKey, InvalidationTag, TagSet, Timestamp, ValidityInterval, WallClock};
+    use wire::MissCode;
+
+    fn client(server: &TxcachedServer) -> FramedStream<TcpStream> {
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        FramedStream::new(stream)
+    }
+
+    fn server() -> TxcachedServer {
+        TxcachedServer::bind(
+            "127.0.0.1:0",
+            "test-node",
+            NodeConfig {
+                capacity_bytes: 1 << 20,
+            },
+        )
+        .unwrap()
+    }
+
+    fn tags(id: u64) -> TagSet {
+        [InvalidationTag::keyed("items", format!("id={id}"))]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn ping_put_get_roundtrip_over_tcp() {
+        let mut srv = server();
+        let mut conn = client(&srv);
+
+        let pong = conn.call(&Request::Ping { nonce: 7 }).unwrap();
+        assert_eq!(pong, Response::Pong { nonce: 7 });
+
+        let key = CacheKey::new("f", "[1]");
+        let put = conn
+            .call(&Request::Put {
+                key: key.clone(),
+                value: Bytes::from_static(b"payload"),
+                validity: ValidityInterval::unbounded(Timestamp(3)),
+                tags: tags(1),
+                now: WallClock::ZERO,
+            })
+            .unwrap();
+        assert_eq!(put, Response::PutAck);
+
+        let got = conn
+            .call(&Request::VersionedGet {
+                key,
+                pinset_lo: Timestamp(3),
+                pinset_hi: Timestamp(3),
+                freshness_lo: Timestamp(3),
+            })
+            .unwrap();
+        match got {
+            Response::Hit { value, .. } => assert_eq!(&value[..], b"payload"),
+            other => panic!("expected hit, got {other:?}"),
+        }
+
+        let miss = conn
+            .call(&Request::VersionedGet {
+                key: CacheKey::new("f", "[2]"),
+                pinset_lo: Timestamp(3),
+                pinset_hi: Timestamp(3),
+                freshness_lo: Timestamp(3),
+            })
+            .unwrap();
+        assert_eq!(
+            miss,
+            Response::Miss {
+                kind: MissCode::Compulsory
+            }
+        );
+
+        srv.shutdown();
+        let stats = srv.stats();
+        assert_eq!(stats.connections_accepted, 1);
+        assert_eq!(stats.requests, 4);
+        assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+        let log = srv.connection_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].requests, 4);
+    }
+
+    #[test]
+    fn invalidation_batch_truncates_entries_and_advances_heartbeat() {
+        let srv = server();
+        let mut conn = client(&srv);
+        let key = CacheKey::new("f", "[1]");
+        conn.call(&Request::Put {
+            key: key.clone(),
+            value: Bytes::from_static(b"v"),
+            validity: ValidityInterval::unbounded(Timestamp(3)),
+            tags: tags(1),
+            now: WallClock::ZERO,
+        })
+        .unwrap();
+
+        let ack = conn
+            .call(&Request::InvalidationBatch {
+                events: vec![
+                    InvalidationEvent {
+                        timestamp: Timestamp(10),
+                        tags: tags(1),
+                    },
+                    InvalidationEvent {
+                        timestamp: Timestamp(11),
+                        tags: tags(99),
+                    },
+                ],
+                heartbeat: Timestamp(11),
+            })
+            .unwrap();
+        assert_eq!(ack, Response::InvalidationAck { applied: 2 });
+
+        // Truncated at 10: a lookup at 10 misses, a lookup at 9 hits.
+        let miss = conn
+            .call(&Request::VersionedGet {
+                key: key.clone(),
+                pinset_lo: Timestamp(10),
+                pinset_hi: Timestamp(10),
+                freshness_lo: Timestamp(10),
+            })
+            .unwrap();
+        assert!(matches!(miss, Response::Miss { .. }));
+        let hit = conn
+            .call(&Request::VersionedGet {
+                key,
+                pinset_lo: Timestamp(9),
+                pinset_hi: Timestamp(9),
+                freshness_lo: Timestamp(9),
+            })
+            .unwrap();
+        assert!(matches!(hit, Response::Hit { .. }));
+
+        match conn.call(&Request::Stats).unwrap() {
+            Response::StatsSnapshot(stats) => {
+                assert_eq!(stats.invalidated_entries, 1);
+                assert_eq!(stats.invalidation_messages, 2);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        assert_eq!(srv.stats().invalidation_batches, 1);
+    }
+
+    #[test]
+    fn malformed_bodies_get_error_frames_but_keep_the_connection() {
+        let srv = server();
+        let mut conn = client(&srv);
+        // A body with a bogus version byte.
+        wire::write_frame(conn.transport_mut(), &[99u8, 0x01]).unwrap();
+        match conn.recv_response().unwrap().unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, wire::ErrorCode::Version),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+        // The connection still works.
+        let pong = conn.call(&Request::Ping { nonce: 1 }).unwrap();
+        assert_eq!(pong, Response::Pong { nonce: 1 });
+        assert_eq!(srv.stats().protocol_errors, 1);
+    }
+
+    #[test]
+    fn closed_connections_release_their_registry_entries() {
+        let srv = server();
+        for _ in 0..5 {
+            let mut conn = client(&srv);
+            conn.call(&Request::Ping { nonce: 1 }).unwrap();
+            drop(conn);
+        }
+        // Handlers notice the disconnect and remove their registry entries;
+        // poll briefly since teardown is asynchronous.
+        for _ in 0..100 {
+            if srv.open_connection_count() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(
+            srv.open_connection_count(),
+            0,
+            "registry must not leak closed connections"
+        );
+        assert_eq!(srv.stats().connections_closed, 5);
+    }
+
+    #[test]
+    fn seal_still_valid_over_tcp() {
+        let srv = server();
+        let mut conn = client(&srv);
+        conn.call(&Request::Put {
+            key: CacheKey::new("f", "[1]"),
+            value: Bytes::from_static(b"v"),
+            validity: ValidityInterval::unbounded(Timestamp(3)),
+            tags: tags(1),
+            now: WallClock::ZERO,
+        })
+        .unwrap();
+        let sealed = conn.call(&Request::SealStillValid).unwrap();
+        assert_eq!(sealed, Response::Sealed { sealed: 1 });
+        assert_eq!(srv.cache_stats().sealed_entries, 1);
+    }
+
+    #[test]
+    fn shutdown_disconnects_clients_and_is_idempotent() {
+        let mut srv = server();
+        let mut conn = client(&srv);
+        conn.call(&Request::Ping { nonce: 1 }).unwrap();
+        srv.shutdown();
+        srv.shutdown();
+        // The server side is gone: the next call fails or yields EOF.
+        let result = conn.call(&Request::Ping { nonce: 2 });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_node() {
+        let srv = server();
+        let addr = srv.local_addr();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                scope.spawn(move || {
+                    let mut conn = FramedStream::new(TcpStream::connect(addr).unwrap());
+                    for i in 0..25 {
+                        let key = CacheKey::new("f", format!("[{t}:{i}]"));
+                        conn.call(&Request::Put {
+                            key: key.clone(),
+                            value: Bytes::from(vec![t as u8; 16]),
+                            validity: ValidityInterval::unbounded(Timestamp(1)),
+                            tags: TagSet::new(),
+                            now: WallClock::ZERO,
+                        })
+                        .unwrap();
+                        let got = conn
+                            .call(&Request::VersionedGet {
+                                key,
+                                pinset_lo: Timestamp(1),
+                                pinset_hi: Timestamp(1),
+                                freshness_lo: Timestamp(1),
+                            })
+                            .unwrap();
+                        assert!(matches!(got, Response::Hit { .. }));
+                    }
+                });
+            }
+        });
+        assert_eq!(srv.cache_stats().insertions, 100);
+        assert_eq!(srv.cache_stats().hits, 100);
+        assert_eq!(srv.stats().connections_accepted, 4);
+    }
+}

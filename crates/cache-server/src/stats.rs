@@ -27,6 +27,9 @@ pub struct CacheStats {
     /// Entries that arrived *after* an invalidation matching their tags and
     /// were truncated on insert (the §4.2 update/insert race).
     pub late_insert_truncations: u64,
+    /// Still-valid entries bounded because a client healed a broken
+    /// connection and may have lost invalidation-stream messages.
+    pub sealed_entries: u64,
     /// Invalidation messages processed.
     pub invalidation_messages: u64,
     /// Entries evicted to free memory.
@@ -101,10 +104,53 @@ impl CacheStats {
         self.duplicate_insertions += other.duplicate_insertions;
         self.invalidated_entries += other.invalidated_entries;
         self.late_insert_truncations += other.late_insert_truncations;
+        self.sealed_entries += other.sealed_entries;
         self.invalidation_messages += other.invalidation_messages;
         self.lru_evictions += other.lru_evictions;
         self.staleness_evictions += other.staleness_evictions;
         self.used_bytes += other.used_bytes;
+    }
+}
+
+impl From<CacheStats> for wire::NodeStats {
+    fn from(s: CacheStats) -> wire::NodeStats {
+        wire::NodeStats {
+            hits: s.hits,
+            compulsory_misses: s.compulsory_misses,
+            staleness_misses: s.staleness_misses,
+            capacity_misses: s.capacity_misses,
+            consistency_misses: s.consistency_misses,
+            insertions: s.insertions,
+            duplicate_insertions: s.duplicate_insertions,
+            invalidated_entries: s.invalidated_entries,
+            late_insert_truncations: s.late_insert_truncations,
+            sealed_entries: s.sealed_entries,
+            invalidation_messages: s.invalidation_messages,
+            lru_evictions: s.lru_evictions,
+            staleness_evictions: s.staleness_evictions,
+            used_bytes: s.used_bytes,
+        }
+    }
+}
+
+impl From<wire::NodeStats> for CacheStats {
+    fn from(s: wire::NodeStats) -> CacheStats {
+        CacheStats {
+            hits: s.hits,
+            compulsory_misses: s.compulsory_misses,
+            staleness_misses: s.staleness_misses,
+            capacity_misses: s.capacity_misses,
+            consistency_misses: s.consistency_misses,
+            insertions: s.insertions,
+            duplicate_insertions: s.duplicate_insertions,
+            invalidated_entries: s.invalidated_entries,
+            late_insert_truncations: s.late_insert_truncations,
+            sealed_entries: s.sealed_entries,
+            invalidation_messages: s.invalidation_messages,
+            lru_evictions: s.lru_evictions,
+            staleness_evictions: s.staleness_evictions,
+            used_bytes: s.used_bytes,
+        }
     }
 }
 

@@ -1,0 +1,562 @@
+//! Pluggable cache transports: in-process or over the `wire` protocol.
+//!
+//! The paper's deployment puts cache nodes on their own machines behind a
+//! memcached-like protocol (§4, §7); our reproduction historically linked
+//! the cache into the application process. [`CacheBackend`] abstracts the
+//! boundary so both deployments run the *same* client library:
+//!
+//! * [`cache_server::CacheCluster`] implements the trait directly — the
+//!   original in-process configuration, still the default;
+//! * [`RemoteCluster`] speaks the `wire` protocol to a set of `txcached`
+//!   TCP servers, with one pooled connection per node placed on the same
+//!   consistent-hash ring the in-process cluster uses.
+//!
+//! The remote backend is deliberately failure-tolerant in the way a cache
+//! must be: any transport error or timeout on the lookup/insert path is
+//! *absorbed as a cache miss* (and counted in
+//! [`RemoteCluster::degraded_ops`]), the connection is dropped and lazily
+//! re-established, and the application keeps running against the database.
+//! Inserts are pipelined — the `Put` frame is written and the ack collected
+//! before the connection's next use — so a miss-then-fill does not pay a
+//! second round trip.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use bytes::Bytes;
+use cache_server::{CacheCluster, CacheStats, ConsistentHashRing, LookupOutcome, LookupRequest};
+use mvdb::InvalidationMessage;
+use parking_lot::{Mutex, MutexGuard};
+use txtypes::{CacheKey, Error, Result, TagSet, Timestamp, ValidityInterval, WallClock};
+use wire::{FramedStream, InvalidationEvent, Request, Response};
+
+use crate::config::BackendKind;
+
+/// The cache transport the TxCache library talks through.
+///
+/// Both implementations expose the identical operation set, so every
+/// transaction code path (and every test) runs unchanged on either.
+pub trait CacheBackend: Send + Sync + std::fmt::Debug {
+    /// Which kind of backend this is (for reporting and config assertions).
+    fn kind(&self) -> BackendKind;
+
+    /// Number of cache nodes behind this backend.
+    fn node_count(&self) -> usize;
+
+    /// Looks up a key on the responsible node (§4.1).
+    fn lookup(&self, key: &CacheKey, request: &LookupRequest) -> LookupOutcome;
+
+    /// Inserts a computed value on the responsible node (§6.1).
+    fn insert(
+        &self,
+        key: CacheKey,
+        value: Bytes,
+        validity: ValidityInterval,
+        tags: TagSet,
+        now: WallClock,
+    );
+
+    /// Delivers a commit-ordered slice of the invalidation stream to every
+    /// node, then advances every node's heartbeat to `heartbeat` (§4.2). An
+    /// empty batch with a newer heartbeat is a pure timestamp heartbeat.
+    fn apply_invalidations(&self, batch: &[InvalidationMessage], heartbeat: Timestamp);
+
+    /// Eagerly evicts entries no transaction can use anymore on every node.
+    fn evict_stale(&self, min_useful_ts: Timestamp);
+
+    /// Aggregated cache statistics across all nodes.
+    fn stats(&self) -> CacheStats;
+
+    /// Resets hit/miss counters on every node.
+    fn reset_stats(&self);
+}
+
+impl CacheBackend for CacheCluster {
+    fn kind(&self) -> BackendKind {
+        BackendKind::InProcess
+    }
+
+    fn node_count(&self) -> usize {
+        CacheCluster::node_count(self)
+    }
+
+    fn lookup(&self, key: &CacheKey, request: &LookupRequest) -> LookupOutcome {
+        CacheCluster::lookup(self, key, request)
+    }
+
+    fn insert(
+        &self,
+        key: CacheKey,
+        value: Bytes,
+        validity: ValidityInterval,
+        tags: TagSet,
+        now: WallClock,
+    ) {
+        CacheCluster::insert(self, key, value, validity, tags, now);
+    }
+
+    fn apply_invalidations(&self, batch: &[InvalidationMessage], heartbeat: Timestamp) {
+        for message in batch {
+            self.apply_invalidation(message.timestamp, &message.tags);
+        }
+        self.note_timestamp(heartbeat);
+    }
+
+    fn evict_stale(&self, min_useful_ts: Timestamp) {
+        CacheCluster::evict_stale(self, min_useful_ts);
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheCluster::stats(self)
+    }
+
+    fn reset_stats(&self) {
+        CacheCluster::reset_stats(self);
+    }
+}
+
+/// Tuning for the remote backend's sockets.
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteOptions {
+    /// Per-operation socket read/write timeout. An expired timeout degrades
+    /// the operation to a miss and drops the pooled connection.
+    pub op_timeout: Duration,
+    /// Timeout for establishing a connection to a node.
+    pub connect_timeout: Duration,
+    /// Minimum delay between reconnection attempts to a dead node. Within
+    /// the cooldown, operations routed to the node fail fast (degrading to
+    /// misses) instead of stalling every caller for `connect_timeout`.
+    pub retry_cooldown: Duration,
+}
+
+impl Default for RemoteOptions {
+    fn default() -> Self {
+        RemoteOptions {
+            op_timeout: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(2),
+            retry_cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Most `Put` acks a connection may leave uncollected. Unbounded pipelining
+/// would eventually fill both TCP buffer directions on an insert-heavy burst
+/// (the server blocks writing acks nobody reads, then stops reading) and
+/// stall until the op timeout; draining at a threshold keeps the window
+/// safely below any practical socket-buffer size.
+const MAX_PENDING_PUTS: u32 = 64;
+
+/// One pooled node connection plus its pipelining state.
+struct NodeConn {
+    /// The framed stream, or `None` until (re)connected.
+    framed: Option<FramedStream<TcpStream>>,
+    /// `Put` frames written whose acks have not been collected yet. Acks are
+    /// drained before the next request that needs a response, preserving the
+    /// one-response-per-request ordering the protocol guarantees.
+    pending_puts: u32,
+    /// Whether this node has ever been connected. A connection established
+    /// when this is already `true` is a *heal*: invalidation batches may
+    /// have been lost while the node was unreachable, so the node is told to
+    /// seal its still-valid entries before serving anything else.
+    was_connected: bool,
+    /// When the last failed connect attempt happened, for the cooldown.
+    last_failure: Option<std::time::Instant>,
+}
+
+impl NodeConn {
+    /// Drops the connection and starts the reconnect cooldown.
+    fn mark_dead(&mut self) {
+        self.framed = None;
+        self.pending_puts = 0;
+        self.last_failure = Some(std::time::Instant::now());
+    }
+}
+
+struct RemoteNode {
+    addr: String,
+    conn: Mutex<NodeConn>,
+}
+
+/// A cache cluster reached over TCP: one `txcached` server per ring node.
+pub struct RemoteCluster {
+    nodes: Vec<RemoteNode>,
+    ring: ConsistentHashRing,
+    options: RemoteOptions,
+    /// Operations absorbed as misses because of transport failures.
+    degraded: AtomicU64,
+    /// Connections healed after a failure (startup connects not counted).
+    reconnects: AtomicU64,
+}
+
+impl RemoteCluster {
+    /// Connects to the given `txcached` addresses with default socket
+    /// options. Every address must answer a `Ping`; failing nodes make the
+    /// whole connect fail so a misconfigured deployment is caught at startup
+    /// rather than degrading silently forever.
+    pub fn connect(addrs: &[String]) -> Result<RemoteCluster> {
+        RemoteCluster::connect_with(addrs, RemoteOptions::default())
+    }
+
+    /// [`RemoteCluster::connect`] with explicit socket options.
+    pub fn connect_with(addrs: &[String], options: RemoteOptions) -> Result<RemoteCluster> {
+        if addrs.is_empty() {
+            return Err(Error::Network("no cache node addresses given".into()));
+        }
+        let cluster = RemoteCluster {
+            nodes: addrs
+                .iter()
+                .map(|addr| RemoteNode {
+                    addr: addr.clone(),
+                    conn: Mutex::new(NodeConn {
+                        framed: None,
+                        pending_puts: 0,
+                        was_connected: false,
+                        last_failure: None,
+                    }),
+                })
+                .collect(),
+            ring: ConsistentHashRing::with_nodes(addrs.to_vec()),
+            options,
+            degraded: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+        };
+        for (idx, node) in cluster.nodes.iter().enumerate() {
+            let mut conn = node.conn.lock();
+            cluster
+                .ensure_connected(idx, &mut conn)
+                .map_err(|e| Error::Network(format!("cache node {}: {e}", node.addr)))?;
+        }
+        Ok(cluster)
+    }
+
+    /// Operations that were absorbed as misses because a node was
+    /// unreachable or timed out.
+    #[must_use]
+    pub fn degraded_ops(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Connections healed after a failure (the initial per-node connects at
+    /// startup are not counted).
+    #[must_use]
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Drops every pooled connection and starts each node's reconnect
+    /// cooldown, as a network partition would. Operations during the
+    /// cooldown degrade to misses; the first operation after it heals the
+    /// connection (sealing the node's still-valid entries first). Exposed
+    /// for failure injection in tests and operational tooling.
+    pub fn drop_connections(&self) {
+        for node in &self.nodes {
+            node.conn.lock().mark_dead();
+        }
+    }
+
+    /// The node addresses, in ring order.
+    #[must_use]
+    pub fn addrs(&self) -> Vec<String> {
+        self.nodes.iter().map(|n| n.addr.clone()).collect()
+    }
+
+    fn ensure_connected(&self, idx: usize, conn: &mut NodeConn) -> wire::Result<()> {
+        if conn.framed.is_some() {
+            return Ok(());
+        }
+        // Fail fast while the cooldown runs: one caller already paid the
+        // connect timeout; everyone else degrades immediately instead of
+        // queueing behind repeated connection attempts to a dead node.
+        if let Some(at) = conn.last_failure {
+            if at.elapsed() < self.options.retry_cooldown {
+                return Err(wire::WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "node in reconnect cooldown",
+                )));
+            }
+        }
+        let connected = (|| -> wire::Result<FramedStream<TcpStream>> {
+            // `connect_timeout` needs a resolved SocketAddr; resolve through
+            // the standard ToSocketAddrs machinery and try each candidate.
+            let addr_str = &self.nodes[idx].addr;
+            let addrs: Vec<std::net::SocketAddr> =
+                std::net::ToSocketAddrs::to_socket_addrs(addr_str.as_str())
+                    .map_err(wire::WireError::Io)?
+                    .collect();
+            let mut last_err = std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "no addresses resolved",
+            );
+            let mut stream = None;
+            for addr in addrs {
+                match TcpStream::connect_timeout(&addr, self.options.connect_timeout) {
+                    Ok(s) => {
+                        stream = Some(s);
+                        break;
+                    }
+                    Err(e) => last_err = e,
+                }
+            }
+            let stream = stream.ok_or(wire::WireError::Io(last_err))?;
+            stream.set_nodelay(true).map_err(wire::WireError::Io)?;
+            stream
+                .set_read_timeout(Some(self.options.op_timeout))
+                .map_err(wire::WireError::Io)?;
+            stream
+                .set_write_timeout(Some(self.options.op_timeout))
+                .map_err(wire::WireError::Io)?;
+            let mut framed = FramedStream::new(stream);
+            // A heal: the node may have missed invalidation batches while
+            // unreachable. Before it serves anything, its still-valid
+            // entries are sealed at its current invalidation horizon so a
+            // later heartbeat cannot extend results whose invalidation was
+            // lost (the reliable-multicast recovery rule of §4.2).
+            if conn.was_connected {
+                match framed.call(&Request::SealStillValid)?.into_result()? {
+                    Response::Sealed { .. } => {}
+                    other => {
+                        return Err(wire::WireError::Io(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("unexpected seal reply: {other:?}"),
+                        )))
+                    }
+                }
+            }
+            Ok(framed)
+        })();
+        match connected {
+            Ok(framed) => {
+                conn.framed = Some(framed);
+                conn.pending_puts = 0;
+                conn.last_failure = None;
+                if conn.was_connected {
+                    self.reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                conn.was_connected = true;
+                Ok(())
+            }
+            Err(e) => {
+                conn.last_failure = Some(std::time::Instant::now());
+                Err(e)
+            }
+        }
+    }
+
+    /// Collects outstanding pipelined `Put` acks so the next request's
+    /// response is the next frame on the stream.
+    fn drain_pending(conn: &mut NodeConn) -> wire::Result<()> {
+        while conn.pending_puts > 0 {
+            let framed = conn.framed.as_mut().expect("drained only when connected");
+            match framed.recv_response()? {
+                Some(response) => {
+                    response.into_result()?;
+                    conn.pending_puts -= 1;
+                }
+                None => {
+                    return Err(wire::WireError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed with puts outstanding",
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one request/response exchange against a node, healing the
+    /// connection lazily. On any failure the pooled connection is dropped
+    /// (the next use reconnects) and `None` is returned; callers degrade.
+    fn exchange(&self, idx: usize, request: &Request) -> Option<Response> {
+        let mut conn = self.nodes[idx].conn.lock();
+        let result = (|| -> wire::Result<Response> {
+            self.ensure_connected(idx, &mut conn)?;
+            Self::drain_pending(&mut conn)?;
+            let framed = conn.framed.as_mut().expect("just connected");
+            framed.call(request)?.into_result()
+        })();
+        match result {
+            Ok(response) => Some(response),
+            Err(_) => {
+                conn.mark_dead();
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Sends one request to every node, *then* collects every response — the
+    /// fan-out pipelining used for invalidation batches and maintenance, so
+    /// total latency is one round trip rather than one per node.
+    fn broadcast(&self, request: &Request) -> Vec<Option<Response>> {
+        let mut guards: Vec<MutexGuard<'_, NodeConn>> =
+            self.nodes.iter().map(|n| n.conn.lock()).collect();
+        let mut alive: Vec<bool> = Vec::with_capacity(guards.len());
+        for (idx, conn) in guards.iter_mut().enumerate() {
+            let sent = (|| -> wire::Result<()> {
+                self.ensure_connected(idx, conn)?;
+                Self::drain_pending(conn)?;
+                conn.framed
+                    .as_mut()
+                    .expect("just connected")
+                    .send_request(request)
+            })();
+            alive.push(sent.is_ok());
+        }
+        let mut responses = Vec::with_capacity(guards.len());
+        for (conn, sent) in guards.iter_mut().zip(alive) {
+            if !sent {
+                conn.mark_dead();
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+                responses.push(None);
+                continue;
+            }
+            let received = (|| -> wire::Result<Response> {
+                match conn
+                    .framed
+                    .as_mut()
+                    .expect("sent on this conn")
+                    .recv_response()?
+                {
+                    Some(r) => r.into_result(),
+                    None => Err(wire::WireError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed awaiting broadcast response",
+                    ))),
+                }
+            })();
+            match received {
+                Ok(response) => responses.push(Some(response)),
+                Err(_) => {
+                    conn.mark_dead();
+                    self.degraded.fetch_add(1, Ordering::Relaxed);
+                    responses.push(None);
+                }
+            }
+        }
+        responses
+    }
+}
+
+impl std::fmt::Debug for RemoteCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteCluster")
+            .field("nodes", &self.nodes.len())
+            .field("degraded_ops", &self.degraded_ops())
+            .finish()
+    }
+}
+
+impl CacheBackend for RemoteCluster {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Remote
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn lookup(&self, key: &CacheKey, request: &LookupRequest) -> LookupOutcome {
+        let idx = self.ring.node_for(key);
+        let response = self.exchange(
+            idx,
+            &Request::VersionedGet {
+                key: key.clone(),
+                pinset_lo: request.pinset_lo,
+                pinset_hi: request.pinset_hi,
+                freshness_lo: request.freshness_lo,
+            },
+        );
+        match response {
+            Some(Response::Hit {
+                value,
+                validity,
+                stored_validity,
+                tags,
+            }) => LookupOutcome::Hit {
+                value,
+                validity,
+                stored_validity,
+                tags,
+            },
+            Some(Response::Miss { kind }) => LookupOutcome::Miss(kind.into()),
+            // Unexpected frame or transport failure: serve the request from
+            // the database instead of stalling it (§4's availability model —
+            // a cache node that is down is just a miss).
+            Some(_) | None => LookupOutcome::Miss(degraded_miss_kind()),
+        }
+    }
+
+    fn insert(
+        &self,
+        key: CacheKey,
+        value: Bytes,
+        validity: ValidityInterval,
+        tags: TagSet,
+        now: WallClock,
+    ) {
+        let idx = self.ring.node_for(&key);
+        let mut conn = self.nodes[idx].conn.lock();
+        let sent = (|| -> wire::Result<()> {
+            self.ensure_connected(idx, &mut conn)?;
+            // Keep the pipeline bounded: past the threshold, collect acks
+            // before writing more so the two TCP buffer directions can never
+            // fill up against each other on an insert-heavy burst.
+            if conn.pending_puts >= MAX_PENDING_PUTS {
+                Self::drain_pending(&mut conn)?;
+            }
+            let framed = conn.framed.as_mut().expect("just connected");
+            framed.send_request(&Request::Put {
+                key,
+                value,
+                validity,
+                tags,
+                now,
+            })
+        })();
+        match sent {
+            Ok(()) => conn.pending_puts += 1,
+            Err(_) => {
+                conn.mark_dead();
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn apply_invalidations(&self, batch: &[InvalidationMessage], heartbeat: Timestamp) {
+        let events: Vec<InvalidationEvent> = batch
+            .iter()
+            .map(|m| InvalidationEvent {
+                timestamp: m.timestamp,
+                tags: m.tags.clone(),
+            })
+            .collect();
+        self.broadcast(&Request::InvalidationBatch { events, heartbeat });
+    }
+
+    fn evict_stale(&self, min_useful_ts: Timestamp) {
+        self.broadcast(&Request::EvictStale { min_useful_ts });
+    }
+
+    fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for response in self.broadcast(&Request::Stats) {
+            if let Some(Response::StatsSnapshot(stats)) = response {
+                total.merge(&stats.into());
+            }
+        }
+        total
+    }
+
+    fn reset_stats(&self) {
+        self.broadcast(&Request::ResetStats);
+    }
+}
+
+/// The miss classification used when a node is unreachable. Capacity is the
+/// closest §8.3 class — the cached data exists somewhere but this deployment
+/// cannot produce it right now — and it keeps degraded operation from
+/// polluting the compulsory/consistency analysis.
+fn degraded_miss_kind() -> cache_server::MissKind {
+    cache_server::MissKind::Capacity
+}

@@ -29,11 +29,33 @@ pub enum TimestampPolicy {
     Eager,
 }
 
+/// Which cache transport the library uses (§4, §7).
+///
+/// The addresses and socket options of a remote deployment are not part of
+/// this config (it stays `Copy` and serializable); they are supplied when the
+/// backend itself is built, e.g. via
+/// [`RemoteCluster::connect`](crate::backend::RemoteCluster::connect). The
+/// kind recorded here is kept consistent with the active backend by
+/// [`TxCache::with_backend`](crate::TxCache::with_backend).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// The cache cluster is linked into the application process and reached
+    /// by direct method calls (the historical configuration).
+    #[default]
+    InProcess,
+    /// Cache nodes are separate `txcached` TCP servers reached over the
+    /// `wire` protocol (the paper's deployment).
+    Remote,
+}
+
 /// Configuration of the TxCache client library.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TxCacheConfig {
     /// Cache usage mode.
     pub mode: CacheMode,
+    /// Cache transport kind (recorded for reporting; the backend object
+    /// itself decides).
+    pub backend: BackendKind,
     /// Timestamp selection policy.
     pub policy: TimestampPolicy,
     /// If the newest pinned snapshot is older than this many microseconds,
@@ -48,6 +70,7 @@ impl Default for TxCacheConfig {
     fn default() -> Self {
         TxCacheConfig {
             mode: CacheMode::Full,
+            backend: BackendKind::InProcess,
             policy: TimestampPolicy::Lazy,
             pin_reuse_threshold_micros: 5_000_000,
             default_staleness: Staleness::seconds(30),
@@ -83,6 +106,7 @@ mod tests {
     fn default_matches_paper_parameters() {
         let c = TxCacheConfig::default();
         assert_eq!(c.mode, CacheMode::Full);
+        assert_eq!(c.backend, BackendKind::InProcess);
         assert_eq!(c.policy, TimestampPolicy::Lazy);
         assert_eq!(c.pin_reuse_threshold_micros, 5_000_000);
         assert_eq!(c.default_staleness, Staleness::seconds(30));

@@ -1,5 +1,6 @@
 //! The `TxCache` handle: the entry point applications hold.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cache_server::CacheCluster;
@@ -9,28 +10,36 @@ use parking_lot::Mutex;
 use pincushion::Pincushion;
 use txtypes::{Result, SimClock, Staleness, Timestamp};
 
+use crate::backend::CacheBackend;
 use crate::config::{CacheMode, TimestampPolicy, TxCacheConfig};
-use crate::stats::ClientStats;
+use crate::stats::{AtomicClientStats, ClientStats};
 use crate::transaction::Transaction;
 
 /// The TxCache client library.
 ///
 /// One `TxCache` is shared by all requests of an application server. It knows
-/// how to reach the database, the cache cluster and the pincushion, forwards
-/// the database's invalidation stream to the cache nodes, and hands out
-/// [`Transaction`] objects.
+/// how to reach the database, the cache tier (in-process or over the wire —
+/// see [`CacheBackend`]) and the pincushion, forwards the database's
+/// invalidation stream to the cache nodes, and hands out [`Transaction`]
+/// objects.
 pub struct TxCache {
     pub(crate) db: Arc<Database>,
-    pub(crate) cache: Arc<CacheCluster>,
+    pub(crate) cache: Arc<dyn CacheBackend>,
     pub(crate) pincushion: Arc<Pincushion>,
     pub(crate) clock: SimClock,
     pub(crate) config: TxCacheConfig,
-    pub(crate) stats: Mutex<ClientStats>,
+    pub(crate) stats: AtomicClientStats,
     invalidations: Mutex<Receiver<InvalidationMessage>>,
+    /// The newest heartbeat timestamp already pushed to the backend; pumps
+    /// with nothing new to deliver are skipped, which matters once every
+    /// heartbeat is a network frame to every node.
+    last_heartbeat: AtomicU64,
 }
 
 impl TxCache {
-    /// Creates a library instance wired to the given components.
+    /// Creates a library instance wired to an in-process cache cluster (the
+    /// historical constructor; see [`TxCache::with_backend`] for the general
+    /// form).
     #[must_use]
     pub fn new(
         db: Arc<Database>,
@@ -39,15 +48,32 @@ impl TxCache {
         clock: SimClock,
         config: TxCacheConfig,
     ) -> TxCache {
+        TxCache::with_backend(db, cache, pincushion, clock, config)
+    }
+
+    /// Creates a library instance wired to any [`CacheBackend`] — the
+    /// in-process cluster or a [`RemoteCluster`](crate::backend::RemoteCluster)
+    /// of `txcached` TCP servers. `config.backend` is overwritten with the
+    /// actual backend's kind so reports can't lie about the deployment.
+    #[must_use]
+    pub fn with_backend(
+        db: Arc<Database>,
+        cache: Arc<dyn CacheBackend>,
+        pincushion: Arc<Pincushion>,
+        clock: SimClock,
+        mut config: TxCacheConfig,
+    ) -> TxCache {
         let invalidations = db.subscribe_invalidations();
+        config.backend = cache.kind();
         TxCache {
             db,
             cache,
             pincushion,
             clock,
             config,
-            stats: Mutex::new(ClientStats::default()),
+            stats: AtomicClientStats::default(),
             invalidations: Mutex::new(invalidations),
+            last_heartbeat: AtomicU64::new(0),
         }
     }
 
@@ -64,9 +90,9 @@ impl TxCache {
         &self.db
     }
 
-    /// The cache cluster (for statistics).
+    /// The active cache backend (for statistics).
     #[must_use]
-    pub fn cache(&self) -> &Arc<CacheCluster> {
+    pub fn cache(&self) -> &Arc<dyn CacheBackend> {
         &self.cache
     }
 
@@ -85,14 +111,14 @@ impl TxCache {
     /// Library-side statistics.
     #[must_use]
     pub fn stats(&self) -> ClientStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     /// Begins a read-only transaction with the given staleness limit
     /// (`BEGIN-RO` in Figure 2).
     pub fn begin_ro(&self, staleness: Staleness) -> Result<Transaction<'_>> {
-        self.deliver_invalidations();
-        self.stats.lock().ro_transactions += 1;
+        self.pump_invalidations();
+        self.stats.ro_transactions.bump();
         Transaction::new_read_only(self, staleness)
     }
 
@@ -105,38 +131,54 @@ impl TxCache {
     /// transactions bypass the cache entirely and run directly on the
     /// database (§2.2).
     pub fn begin_rw(&self) -> Result<Transaction<'_>> {
-        self.deliver_invalidations();
-        self.stats.lock().rw_transactions += 1;
+        self.pump_invalidations();
+        self.stats.rw_transactions.bump();
         Transaction::new_read_write(self)
     }
 
-    /// Delivers any pending invalidation-stream messages from the database to
-    /// every cache node, in commit order. In the paper this is an
-    /// asynchronous multicast; here the library pumps it at transaction
-    /// boundaries, which keeps experiments deterministic while preserving the
-    /// ordering guarantees the protocol relies on.
+    /// Forwards any pending invalidation-stream messages from the database to
+    /// whichever [`CacheBackend`] is active, as one commit-ordered batch,
+    /// followed by a timestamp heartbeat. In the paper this is an
+    /// asynchronous multicast; here the harness driver loop (and every
+    /// transaction begin) pumps it, which keeps experiments deterministic
+    /// while preserving the ordering guarantees the protocol relies on.
     ///
-    /// After draining the stream, the cache nodes are told the database's
-    /// commit timestamp as of *before* the drain. Commits publish their
-    /// invalidation before the timestamp becomes visible, so at that point
-    /// every invalidation at or below the noted timestamp has been applied;
-    /// this lets still-valid entries be served at the current time even when
-    /// recent commits (or the initial bulk load) did not touch their tags.
-    pub fn deliver_invalidations(&self) {
+    /// The heartbeat is the database's commit timestamp as of *before* the
+    /// drain: commits publish their invalidation before the timestamp becomes
+    /// visible, so at that point every invalidation at or below the noted
+    /// timestamp has been applied, and still-valid entries may be served at
+    /// the current time even when recent commits (or the initial bulk load)
+    /// did not touch their tags.
+    ///
+    /// A pump with no new messages and no heartbeat progress is a no-op, so
+    /// calling this from a hot driver loop costs nothing — in particular it
+    /// does not send empty frames to remote nodes.
+    pub fn pump_invalidations(&self) {
         let latest = self.db.latest_timestamp();
+        // Hold the receiver lock across the backend call: batches from
+        // concurrent pumps must reach the cache nodes in commit order.
         let rx = self.invalidations.lock();
-        for message in rx.try_iter() {
-            self.cache
-                .apply_invalidation(message.timestamp, &message.tags);
+        let batch: Vec<InvalidationMessage> = rx.try_iter().collect();
+        if batch.is_empty() && self.last_heartbeat.load(Ordering::Acquire) >= latest.as_u64() {
+            return;
         }
-        self.cache.note_timestamp(latest);
+        self.cache.apply_invalidations(&batch, latest);
+        self.last_heartbeat
+            .fetch_max(latest.as_u64(), Ordering::AcqRel);
+        drop(rx);
+    }
+
+    /// Alias of [`TxCache::pump_invalidations`], kept for callers written
+    /// against the pre-networked API.
+    pub fn deliver_invalidations(&self) {
+        self.pump_invalidations();
     }
 
     /// Periodic maintenance: forwards invalidations, reaps old unused pinned
     /// snapshots (issuing `UNPIN` to the database), and evicts cache entries
     /// too stale for any current transaction to use.
     pub fn maintenance(&self) {
-        self.deliver_invalidations();
+        self.pump_invalidations();
         for ts in self.pincushion.reap() {
             // The snapshot may already be gone if the database restarted; a
             // failed unpin is not an error for maintenance.
@@ -164,6 +206,7 @@ impl std::fmt::Debug for TxCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TxCache")
             .field("mode", &self.config.mode)
+            .field("backend", &self.config.backend)
             .field("policy", &self.config.policy)
             .field("stats", &self.stats())
             .finish()

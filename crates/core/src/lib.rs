@@ -61,6 +61,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod codec;
 pub mod config;
 pub mod handle;
@@ -68,8 +69,9 @@ pub mod pinset;
 pub mod stats;
 pub mod transaction;
 
-pub use config::{CacheMode, TimestampPolicy, TxCacheConfig};
+pub use backend::{CacheBackend, RemoteCluster, RemoteOptions};
+pub use config::{BackendKind, CacheMode, TimestampPolicy, TxCacheConfig};
 pub use handle::TxCache;
 pub use pinset::PinSet;
-pub use stats::{ClientStats, CommitInfo};
+pub use stats::{AtomicClientStats, ClientStats, CommitInfo};
 pub use transaction::Transaction;

@@ -1,5 +1,6 @@
 //! Client-library statistics and per-transaction commit reports.
 
+use mvdb::stats::StripedCounter;
 use mvdb::PageCounts;
 use serde::{Deserialize, Serialize};
 use txtypes::Timestamp;
@@ -37,6 +38,57 @@ impl ClientStats {
             0.0
         } else {
             self.cache_hits as f64 / self.cacheable_calls as f64
+        }
+    }
+}
+
+/// The live counter bank behind [`ClientStats`].
+///
+/// Every field is a cache-line-striped relaxed atomic (the
+/// [`mvdb::stats::StripedCounter`] style), so hot-path readers on different
+/// application-server threads never serialize on a stats mutex just to bump
+/// a counter. Reads sum the stripes: monotonic, not linearizable — telemetry
+/// semantics, exactly like the database's own counters.
+#[derive(Debug, Default)]
+pub struct AtomicClientStats {
+    /// Read-only transactions begun.
+    pub ro_transactions: StripedCounter,
+    /// Read/write transactions begun.
+    pub rw_transactions: StripedCounter,
+    /// Cacheable-function invocations.
+    pub cacheable_calls: StripedCounter,
+    /// Cacheable calls satisfied from the cache.
+    pub cache_hits: StripedCounter,
+    /// Cacheable calls that had to execute their implementation.
+    pub cache_misses: StripedCounter,
+    /// Database queries issued.
+    pub db_queries: StripedCounter,
+    /// Snapshots newly pinned by this library instance.
+    pub new_pins: StripedCounter,
+    /// Transactions that reused an existing pinned snapshot.
+    pub reused_pins: StripedCounter,
+    /// Transactions that committed.
+    pub commits: StripedCounter,
+    /// Transactions that aborted.
+    pub aborts: StripedCounter,
+}
+
+impl AtomicClientStats {
+    /// Takes a consistent-enough snapshot of the counters (individual loads
+    /// are relaxed; cross-counter skew is acceptable for telemetry).
+    #[must_use]
+    pub fn snapshot(&self) -> ClientStats {
+        ClientStats {
+            ro_transactions: self.ro_transactions.get(),
+            rw_transactions: self.rw_transactions.get(),
+            cacheable_calls: self.cacheable_calls.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            db_queries: self.db_queries.get(),
+            new_pins: self.new_pins.get(),
+            reused_pins: self.reused_pins.get(),
+            commits: self.commits.get(),
+            aborts: self.aborts.get(),
         }
     }
 }
@@ -83,6 +135,21 @@ mod tests {
             ..ClientStats::default()
         };
         assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn atomic_stats_snapshot_reflects_bumps() {
+        let live = AtomicClientStats::default();
+        live.cacheable_calls.bump();
+        live.cacheable_calls.bump();
+        live.cache_hits.bump();
+        live.db_queries.add(3);
+        let snap = live.snapshot();
+        assert_eq!(snap.cacheable_calls, 2);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.db_queries, 3);
+        assert_eq!(snap.commits, 0);
+        assert!((snap.hit_rate() - 0.5).abs() < 1e-9);
     }
 
     #[test]

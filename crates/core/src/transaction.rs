@@ -125,13 +125,13 @@ impl<'a> Transaction<'a> {
                     .map(|p| p.timestamp);
                 let chosen = match reusable {
                     Some(ts) => {
-                        sys.stats.lock().reused_pins += 1;
+                        sys.stats.reused_pins.bump();
                         ts
                     }
                     None => {
                         let (snap, at) = sys.db.pin_latest();
                         sys.pincushion.register(snap.timestamp(), at);
-                        sys.stats.lock().new_pins += 1;
+                        sys.stats.new_pins.bump();
                         pinned_at.insert(snap.timestamp(), at);
                         acquired.push(snap.timestamp());
                         snap.timestamp()
@@ -219,12 +219,12 @@ impl<'a> Transaction<'a> {
         R: Serialize + DeserializeOwned,
         F: FnOnce(&mut Transaction<'a>) -> Result<R>,
     {
-        self.sys.stats.lock().cacheable_calls += 1;
+        self.sys.stats.cacheable_calls.bump();
         let mode = self.sys.mode();
         let bypass = mode == CacheMode::Disabled || !self.is_read_only();
         if bypass {
             self.cache_misses += 1;
-            self.sys.stats.lock().cache_misses += 1;
+            self.sys.stats.cache_misses.bump();
             return body(self);
         }
 
@@ -264,7 +264,7 @@ impl<'a> Transaction<'a> {
                 tags,
             } => {
                 self.cache_hits += 1;
-                self.sys.stats.lock().cache_hits += 1;
+                self.sys.stats.cache_hits.bump();
                 if mode == CacheMode::Full {
                     // Narrow the pin set with the conservative (effective)
                     // interval and fold the entry's validity and tags into
@@ -275,7 +275,7 @@ impl<'a> Transaction<'a> {
             }
             LookupOutcome::Miss(_) => {
                 self.cache_misses += 1;
-                self.sys.stats.lock().cache_misses += 1;
+                self.sys.stats.cache_misses.bump();
                 self.push_frame()?;
                 let result = body(self);
                 let frame = self.pop_frame()?;
@@ -305,7 +305,7 @@ impl<'a> Transaction<'a> {
     /// cacheable-call frames.
     pub fn query(&mut self, query: &SelectQuery) -> Result<QueryResult> {
         self.db_queries += 1;
-        self.sys.stats.lock().db_queries += 1;
+        self.sys.stats.db_queries.bump();
         match &mut self.state {
             State::Finished => Err(Error::InvalidState("transaction already finished".into())),
             State::ReadWrite(rw) => {
@@ -385,14 +385,14 @@ impl<'a> Transaction<'a> {
     /// (§2.2).
     pub fn commit(mut self) -> Result<CommitInfo> {
         let info = self.finish(true)?;
-        self.sys.stats.lock().commits += 1;
+        self.sys.stats.commits.bump();
         Ok(info)
     }
 
     /// Aborts the transaction (`ABORT` in Figure 2).
     pub fn abort(mut self) -> Result<()> {
         self.finish(false)?;
-        self.sys.stats.lock().aborts += 1;
+        self.sys.stats.aborts.bump();
         Ok(())
     }
 
@@ -498,7 +498,7 @@ impl<'a> Transaction<'a> {
         }
         let (snap, at) = self.sys.db.pin_latest();
         self.sys.pincushion.register(snap.timestamp(), at);
-        self.sys.stats.lock().new_pins += 1;
+        self.sys.stats.new_pins.bump();
         let ro = self.read_only_state_mut()?;
         ro.pin_set.insert(snap.timestamp());
         ro.pinned_at.insert(snap.timestamp(), at);
@@ -538,7 +538,7 @@ impl<'a> Transaction<'a> {
         let chosen = if use_present {
             let (snap, at) = self.sys.db.pin_latest();
             self.sys.pincushion.register(snap.timestamp(), at);
-            self.sys.stats.lock().new_pins += 1;
+            self.sys.stats.new_pins.bump();
             let ro = self.read_only_state_mut()?;
             ro.pin_set.insert(snap.timestamp());
             ro.pin_set.remove_present();
@@ -546,7 +546,7 @@ impl<'a> Transaction<'a> {
             ro.acquired_pins.push(snap.timestamp());
             snap.timestamp()
         } else {
-            self.sys.stats.lock().reused_pins += 1;
+            self.sys.stats.reused_pins.bump();
             newest
         };
 

@@ -252,6 +252,11 @@ pub fn run_concurrent(config: &ExperimentConfig, threads: usize) -> Result<Concu
                     let dt = (-(config.interarrival_micros as f64) * u.ln()) as u64;
                     cluster.clock.advance_micros(dt.max(1));
 
+                    // Each driver thread pumps the invalidation stream to the
+                    // active cache backend (cheap no-op when nothing new
+                    // committed); maintenance additionally reaps pins and
+                    // evicts hopelessly stale entries.
+                    cluster.txcache.pump_invalidations();
                     if i.is_multiple_of(128) {
                         cluster.txcache.maintenance();
                     }

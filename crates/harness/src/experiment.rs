@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rubis::{ClientSession, RubisApp, RubisScale, WorkloadConfig};
 use serde::{Deserialize, Serialize};
+use txcache::backend::{CacheBackend, RemoteCluster};
 use txcache::{CacheMode, TimestampPolicy, TxCache, TxCacheConfig};
 use txtypes::{Result, SimClock, Staleness};
 
@@ -121,8 +122,9 @@ pub struct SimCluster {
     pub clock: SimClock,
     /// The database server.
     pub db: Arc<Database>,
-    /// The cache nodes.
-    pub cache: Arc<CacheCluster>,
+    /// The cache tier — the in-process cluster by default, or a remote
+    /// `txcached` deployment when built with [`SimCluster::build_remote`].
+    pub cache: Arc<dyn CacheBackend>,
     /// The pincushion.
     pub pincushion: Arc<Pincushion>,
     /// The TxCache library instance shared by the web servers.
@@ -134,8 +136,25 @@ pub struct SimCluster {
 }
 
 impl SimCluster {
-    /// Builds the cluster for `config` and loads the RUBiS dataset.
+    /// Builds the cluster for `config` with the in-process cache backend and
+    /// loads the RUBiS dataset.
     pub fn build(config: &ExperimentConfig) -> Result<SimCluster> {
+        SimCluster::build_with(config, None)
+    }
+
+    /// Builds the cluster against an already-running set of `txcached`
+    /// servers (one consistent-hash ring node per address). The servers'
+    /// capacity is whatever they were started with; `config.cache_bytes()`
+    /// is ignored in this mode.
+    pub fn build_remote(config: &ExperimentConfig, addrs: &[String]) -> Result<SimCluster> {
+        let backend: Arc<dyn CacheBackend> = Arc::new(RemoteCluster::connect(addrs)?);
+        SimCluster::build_with(config, Some(backend))
+    }
+
+    fn build_with(
+        config: &ExperimentConfig,
+        backend: Option<Arc<dyn CacheBackend>>,
+    ) -> Result<SimCluster> {
         let clock = SimClock::new();
         let scale = config.db_kind.scale(config.scale_factor);
 
@@ -164,12 +183,15 @@ impl SimCluster {
         rubis::create_tables(&db)?;
         rubis::populate(&db, &scale, config.seed)?;
 
-        let cache = Arc::new(CacheCluster::with_total_capacity(
-            config.cache_nodes,
-            config.cache_bytes().max(1),
-        ));
+        let cache: Arc<dyn CacheBackend> = match backend {
+            Some(backend) => backend,
+            None => Arc::new(CacheCluster::with_total_capacity(
+                config.cache_nodes,
+                config.cache_bytes().max(1),
+            )),
+        };
         let pincushion = Arc::new(Pincushion::new(PincushionConfig::default(), clock.clone()));
-        let txcache = Arc::new(TxCache::new(
+        let txcache = Arc::new(TxCache::with_backend(
             Arc::clone(&db),
             Arc::clone(&cache),
             Arc::clone(&pincushion),
@@ -255,8 +277,13 @@ pub fn run_experiment(config: &ExperimentConfig) -> Result<ExperimentResult> {
         let dt = (-(config.interarrival_micros as f64) * u.ln()) as u64;
         cluster.clock.advance_micros(dt.max(1));
 
-        // Periodic maintenance: deliver invalidations, reap pins, evict
-        // entries too stale to use.
+        // The driver loop owns invalidation delivery: pump the database's
+        // stream to whichever cache backend is active (a no-op when nothing
+        // committed since the last pump), standing in for the paper's
+        // asynchronous multicast.
+        cluster.txcache.pump_invalidations();
+
+        // Periodic maintenance: reap pins, evict entries too stale to use.
         if i % 128 == 0 {
             cluster.txcache.maintenance();
         }

@@ -30,6 +30,10 @@ pub enum Error {
     InvalidState(String),
     /// A cached value could not be serialized or deserialized.
     Serialization(String),
+    /// A remote cache node could not be reached. Lookup-path failures are
+    /// absorbed as cache misses; this surfaces only from explicit
+    /// connection-management calls.
+    Network(String),
 }
 
 impl Error {
@@ -54,6 +58,7 @@ impl fmt::Display for Error {
             Error::SnapshotUnavailable(m) => write!(f, "snapshot unavailable: {m}"),
             Error::InvalidState(m) => write!(f, "invalid state: {m}"),
             Error::Serialization(m) => write!(f, "serialization error: {m}"),
+            Error::Network(m) => write!(f, "network error: {m}"),
         }
     }
 }
@@ -70,6 +75,7 @@ mod tests {
         assert!(Error::SnapshotUnavailable("x".into()).is_retryable());
         assert!(!Error::Schema("x".into()).is_retryable());
         assert!(!Error::InvalidState("x".into()).is_retryable());
+        assert!(!Error::Network("x".into()).is_retryable());
     }
 
     #[test]

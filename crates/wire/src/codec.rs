@@ -1,0 +1,354 @@
+//! Primitive encoders/decoders for the wire format.
+//!
+//! All integers are little-endian and fixed-width; strings and byte blobs are
+//! `u32` length-prefixed; options are a one-byte presence tag. The protocol's
+//! composite types (`CacheKey`, `TagSet`, `ValidityInterval`, …) are built
+//! from these primitives here so `msg` stays a plain catalogue of frames.
+
+use bytes::Bytes;
+use txtypes::{CacheKey, InvalidationTag, TagSet, Timestamp, ValidityInterval, WallClock};
+
+use crate::{WireError, MAX_FRAME_BYTES};
+
+/// Appends wire-format primitives to a growable buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Creates a writer with pre-reserved capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Writer {
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a length-prefixed byte blob.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Writes an optional string as presence tag + string.
+    pub fn put_opt_str(&mut self, v: Option<&str>) {
+        match v {
+            None => self.put_u8(0),
+            Some(s) => {
+                self.put_u8(1);
+                self.put_str(s);
+            }
+        }
+    }
+
+    /// Writes a logical timestamp.
+    pub fn put_timestamp(&mut self, ts: Timestamp) {
+        self.put_u64(ts.as_u64());
+    }
+
+    /// Writes a wall-clock instant.
+    pub fn put_wallclock(&mut self, at: WallClock) {
+        self.put_u64(at.as_micros());
+    }
+
+    /// Writes a validity interval as lower bound + optional upper bound.
+    pub fn put_interval(&mut self, iv: ValidityInterval) {
+        self.put_timestamp(iv.lower);
+        match iv.upper {
+            None => self.put_u8(0),
+            Some(u) => {
+                self.put_u8(1);
+                self.put_timestamp(u);
+            }
+        }
+    }
+
+    /// Writes a cache key as function + args strings.
+    pub fn put_key(&mut self, key: &CacheKey) {
+        self.put_str(&key.function);
+        self.put_str(&key.args);
+    }
+
+    /// Writes a tag set as a count-prefixed list of (table, optional key).
+    pub fn put_tagset(&mut self, tags: &TagSet) {
+        self.put_u32(tags.len() as u32);
+        for tag in tags.iter() {
+            self.put_str(&tag.table);
+            self.put_opt_str(tag.key.as_deref());
+        }
+    }
+}
+
+/// Reads wire-format primitives from a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice for decoding.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails with [`WireError::TrailingBytes`] unless the input is exhausted.
+    pub fn finish(&self) -> crate::Result<()> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::TrailingBytes(n)),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> crate::Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> crate::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> crate::Result<u32> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> crate::Result<u64> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn get_bytes(&mut self) -> crate::Result<Vec<u8>> {
+        let len = self.get_u32()? as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::TooLarge(len));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a length-prefixed blob into a shareable [`Bytes`].
+    pub fn get_value(&mut self) -> crate::Result<Bytes> {
+        Ok(Bytes::from(self.get_bytes()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> crate::Result<String> {
+        String::from_utf8(self.get_bytes()?).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads an optional string.
+    pub fn get_opt_str(&mut self) -> crate::Result<Option<String>> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.get_str()?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// Reads a logical timestamp.
+    pub fn get_timestamp(&mut self) -> crate::Result<Timestamp> {
+        Ok(Timestamp(self.get_u64()?))
+    }
+
+    /// Reads a wall-clock instant.
+    pub fn get_wallclock(&mut self) -> crate::Result<WallClock> {
+        Ok(WallClock::from_micros(self.get_u64()?))
+    }
+
+    /// Reads a validity interval.
+    pub fn get_interval(&mut self) -> crate::Result<ValidityInterval> {
+        let lower = self.get_timestamp()?;
+        let upper = match self.get_u8()? {
+            0 => None,
+            1 => Some(self.get_timestamp()?),
+            t => return Err(WireError::BadTag(t)),
+        };
+        Ok(ValidityInterval { lower, upper })
+    }
+
+    /// Reads a cache key.
+    pub fn get_key(&mut self) -> crate::Result<CacheKey> {
+        let function = self.get_str()?;
+        let args = self.get_str()?;
+        Ok(CacheKey { function, args })
+    }
+
+    /// Reads a tag set.
+    pub fn get_tagset(&mut self) -> crate::Result<TagSet> {
+        let count = self.get_u32()? as usize;
+        if count > MAX_FRAME_BYTES / 8 {
+            return Err(WireError::TooLarge(count));
+        }
+        let mut tags = TagSet::new();
+        for _ in 0..count {
+            let table = self.get_str()?;
+            let key = self.get_opt_str()?;
+            tags.insert(InvalidationTag { table, key });
+        }
+        Ok(tags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtypes::InvalidationTag;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_str("héllo");
+        w.put_opt_str(None);
+        w.put_opt_str(Some("k=v"));
+        w.put_bytes(b"blob");
+        let buf = w.into_vec();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.get_opt_str().unwrap(), None);
+        assert_eq!(r.get_opt_str().unwrap(), Some("k=v".to_string()));
+        assert_eq!(r.get_bytes().unwrap(), b"blob");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn composites_roundtrip() {
+        let key = CacheKey::new("get_item", "[42]");
+        let tags: TagSet = [
+            InvalidationTag::keyed("items", "id=42"),
+            InvalidationTag::wildcard("bids"),
+        ]
+        .into_iter()
+        .collect();
+        let iv = ValidityInterval::bounded(Timestamp(3), Timestamp(9)).unwrap();
+        let open = ValidityInterval::unbounded(Timestamp(5));
+
+        let mut w = Writer::new();
+        w.put_key(&key);
+        w.put_tagset(&tags);
+        w.put_interval(iv);
+        w.put_interval(open);
+        w.put_timestamp(Timestamp::MAX);
+        w.put_wallclock(WallClock::from_secs(9));
+        let buf = w.into_vec();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_key().unwrap(), key);
+        assert_eq!(r.get_tagset().unwrap(), tags);
+        assert_eq!(r.get_interval().unwrap(), iv);
+        assert_eq!(r.get_interval().unwrap(), open);
+        assert_eq!(r.get_timestamp().unwrap(), Timestamp::MAX);
+        assert_eq!(r.get_wallclock().unwrap(), WallClock::from_secs(9));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_and_trailing_inputs_are_rejected() {
+        let mut w = Writer::new();
+        w.put_u64(1);
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf[..4]);
+        assert!(matches!(r.get_u64(), Err(WireError::Truncated)));
+
+        let mut r = Reader::new(&buf);
+        r.get_u32().unwrap();
+        assert!(matches!(r.finish(), Err(WireError::TrailingBytes(4))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.get_bytes(), Err(WireError::TooLarge(_))));
+    }
+
+    #[test]
+    fn bad_utf8_and_bad_tags_are_rejected() {
+        let mut w = Writer::new();
+        w.put_bytes(&[0xff, 0xfe]);
+        let buf = w.into_vec();
+        assert!(matches!(
+            Reader::new(&buf).get_str(),
+            Err(WireError::BadUtf8)
+        ));
+
+        let mut w = Writer::new();
+        w.put_u8(9);
+        let buf = w.into_vec();
+        assert!(matches!(
+            Reader::new(&buf).get_opt_str(),
+            Err(WireError::BadTag(9))
+        ));
+    }
+}

@@ -1,0 +1,176 @@
+//! Length-prefixed framing over any `Read`/`Write` transport.
+//!
+//! A frame is a little-endian `u32` body length followed by the body (version
+//! byte, opcode byte, payload). The framing layer is transport-agnostic: the
+//! `txcached` server and the remote client both run it over `TcpStream`, and
+//! the tests run it over in-memory buffers.
+
+use std::io::{Read, Write};
+
+use crate::msg::{Request, Response};
+use crate::WireError;
+
+/// The protocol version this crate encodes and accepts.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a frame body; larger declared lengths are rejected before
+/// any allocation happens.
+pub const MAX_FRAME_BYTES: usize = 32 << 20;
+
+/// Writes one frame (length prefix + body) and flushes.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> crate::Result<()> {
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(WireError::TooLarge(body.len()));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame body. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the connection between requests).
+pub fn read_frame(r: &mut impl Read) -> crate::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // A clean close before any length byte is a normal disconnect; a close
+    // mid-prefix or mid-body is a truncated frame.
+    match r.read(&mut len_buf)? {
+        0 => return Ok(None),
+        n => r.read_exact(&mut len_buf[n..]).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                WireError::Truncated
+            } else {
+                WireError::Io(e)
+            }
+        })?,
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::TooLarge(len));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    Ok(Some(body))
+}
+
+/// A bidirectional framed message stream over any `Read + Write` transport.
+///
+/// Used symmetrically: the server reads requests and writes responses, the
+/// client writes requests and reads responses. `send_request` and
+/// `recv_response` are separate calls so a client can *pipeline* — write
+/// several requests before reading the (in-order) responses back.
+#[derive(Debug)]
+pub struct FramedStream<S> {
+    stream: S,
+}
+
+impl<S: Read + Write> FramedStream<S> {
+    /// Wraps a transport.
+    #[must_use]
+    pub fn new(stream: S) -> FramedStream<S> {
+        FramedStream { stream }
+    }
+
+    /// Returns the underlying transport.
+    #[must_use]
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+
+    /// Borrows the underlying transport (e.g. to adjust socket timeouts).
+    #[must_use]
+    pub fn get_ref(&self) -> &S {
+        &self.stream
+    }
+
+    /// Mutably borrows the underlying transport, for callers that need to
+    /// read or write raw frames alongside the typed helpers.
+    #[must_use]
+    pub fn transport_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    /// Sends one request frame.
+    pub fn send_request(&mut self, request: &Request) -> crate::Result<()> {
+        write_frame(&mut self.stream, &request.encode())
+    }
+
+    /// Receives one response frame; `Ok(None)` on clean disconnect.
+    pub fn recv_response(&mut self) -> crate::Result<Option<Response>> {
+        match read_frame(&mut self.stream)? {
+            None => Ok(None),
+            Some(body) => Ok(Some(Response::decode(&body)?)),
+        }
+    }
+
+    /// Receives one request frame; `Ok(None)` on clean disconnect.
+    pub fn recv_request(&mut self) -> crate::Result<Option<Request>> {
+        match read_frame(&mut self.stream)? {
+            None => Ok(None),
+            Some(body) => Ok(Some(Request::decode(&body)?)),
+        }
+    }
+
+    /// Sends one response frame.
+    pub fn send_response(&mut self, response: &Response) -> crate::Result<()> {
+        write_frame(&mut self.stream, &response.encode())
+    }
+
+    /// Sends a request and waits for its response — the unpipelined
+    /// convenience path. A clean disconnect mid-call is an error here.
+    pub fn call(&mut self, request: &Request) -> crate::Result<Response> {
+        self.send_request(request)?;
+        match self.recv_response()? {
+            Some(r) => Ok(r),
+            None => Err(WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed awaiting response",
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"second").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"second");
+        assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frames_are_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        // Cut the body short.
+        let mut cur = Cursor::new(&buf[..buf.len() - 2]);
+        assert!(matches!(read_frame(&mut cur), Err(WireError::Truncated)));
+        // Cut the length prefix short.
+        let mut cur = Cursor::new(&buf[..2]);
+        assert!(matches!(read_frame(&mut cur), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cur), Err(WireError::TooLarge(_))));
+    }
+}

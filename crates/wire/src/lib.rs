@@ -1,0 +1,137 @@
+//! # wire — the txcached network protocol (§4, §7)
+//!
+//! The paper's cache is a distributed tier: application servers reach cache
+//! nodes over a memcached-like binary protocol extended with *versioned*
+//! lookups and an *invalidation stream*. This crate defines that protocol for
+//! the reproduction: a compact, length-prefixed binary encoding of every
+//! message exchanged between the TxCache client library and a `txcached`
+//! cache node, independent of any particular transport.
+//!
+//! ## Framing
+//!
+//! Every message travels in one frame:
+//!
+//! ```text
+//! +-----------------+---------+--------+---------------------+
+//! | body length u32 | version | opcode | payload (body-2 B)  |
+//! +-----------------+---------+--------+---------------------+
+//! ```
+//!
+//! The 4-byte little-endian length counts the body (version byte, opcode
+//! byte, and payload). Frames larger than [`MAX_FRAME_BYTES`] are rejected
+//! before allocation, so a corrupt peer cannot make a node allocate
+//! gigabytes. The version byte is checked on decode; a mismatch produces
+//! [`WireError::Version`], which servers answer with an explicit
+//! [`Response::Error`] frame carrying [`ErrorCode::Version`].
+//!
+//! ## Messages
+//!
+//! Requests ([`Request`]) mirror the operations of the in-process cache:
+//!
+//! * [`Request::VersionedGet`] — a key plus the transaction's acceptable
+//!   timestamp interval (pin-set bounds and staleness floor, §4.1);
+//! * [`Request::Put`] — a computed value with its validity interval and
+//!   invalidation tags (§6.1);
+//! * [`Request::InvalidationBatch`] — an ordered slice of the database's
+//!   invalidation stream plus a heartbeat timestamp (§4.2);
+//! * [`Request::EvictStale`], [`Request::Stats`], [`Request::ResetStats`],
+//!   [`Request::Ping`] — maintenance and monitoring.
+//!
+//! Responses ([`Response`]) carry hit/miss outcomes (with the stored and
+//! effective validity intervals a hit needs for pin-set narrowing), stats
+//! snapshots, acks, and typed error frames.
+//!
+//! The encoding is deterministic and non-self-describing, in the same spirit
+//! as the value codec in the `txcache` crate: both ends know the protocol
+//! version and the expected frame type, and every round trip is covered by
+//! property tests (`tests/wire_roundtrip.rs` at the workspace root).
+
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod frame;
+pub mod msg;
+
+pub use codec::{Reader, Writer};
+pub use frame::{read_frame, write_frame, FramedStream, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use msg::{ErrorCode, InvalidationEvent, MissCode, NodeStats, Request, Response};
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while encoding, decoding, or transporting frames.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed (includes timeouts).
+    Io(io::Error),
+    /// The frame ended before the payload was complete.
+    Truncated,
+    /// The frame had bytes left over after the payload was decoded.
+    TrailingBytes(usize),
+    /// The peer speaks a different protocol version.
+    Version {
+        /// The version byte received.
+        got: u8,
+    },
+    /// The opcode byte does not name a known message.
+    UnknownOpcode(u8),
+    /// A declared length exceeds [`MAX_FRAME_BYTES`].
+    TooLarge(usize),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A tag byte (option marker, miss kind, error code) was out of range.
+    BadTag(u8),
+    /// The peer answered with an explicit error frame.
+    Remote {
+        /// The machine-readable error category.
+        code: ErrorCode,
+        /// The peer's human-readable message.
+        message: String,
+    },
+}
+
+impl WireError {
+    /// Returns `true` if the error came from the transport (connection reset,
+    /// timeout) rather than from malformed data; transport errors are the
+    /// ones a client may heal by reconnecting.
+    #[must_use]
+    pub fn is_transport(&self) -> bool {
+        matches!(self, WireError::Io(_))
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+            WireError::Truncated => f.write_str("frame truncated"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            WireError::Version { got } => {
+                write!(
+                    f,
+                    "protocol version mismatch: got {got}, want {PROTOCOL_VERSION}"
+                )
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds limit of {MAX_FRAME_BYTES}")
+            }
+            WireError::BadUtf8 => f.write_str("invalid UTF-8 in string field"),
+            WireError::BadTag(t) => write!(f, "invalid tag byte {t:#04x}"),
+            WireError::Remote { code, message } => {
+                write!(f, "remote error ({code:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+/// A convenience alias for wire-level results.
+pub type Result<T> = std::result::Result<T, WireError>;

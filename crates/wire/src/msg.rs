@@ -1,0 +1,658 @@
+//! The protocol's message catalogue: requests, responses, and their
+//! byte-level encodings.
+//!
+//! Every message encodes to a frame *body*: `[version][opcode][payload]`.
+//! Request opcodes live below `0x80`, response opcodes at or above it, so a
+//! desynchronized peer is detected immediately instead of misparsed.
+
+use bytes::Bytes;
+use txtypes::{CacheKey, TagSet, Timestamp, ValidityInterval, WallClock};
+
+use crate::codec::{Reader, Writer};
+use crate::{WireError, PROTOCOL_VERSION};
+
+/// One entry of an invalidation batch: everything a single update
+/// transaction invalidated (mirrors `mvdb::InvalidationMessage`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidationEvent {
+    /// The update transaction's commit timestamp.
+    pub timestamp: Timestamp,
+    /// The invalidation tags the transaction affected.
+    pub tags: TagSet,
+}
+
+/// Why a lookup missed, as a wire-level code (mirrors
+/// `cache_server::MissKind`; conversions live in `cache-server` so this crate
+/// stays dependency-light).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissCode {
+    /// The key was never inserted.
+    Compulsory,
+    /// Every cached version was too stale.
+    Staleness,
+    /// The entry had been evicted.
+    Capacity,
+    /// Fresh-enough versions exist but none intersects the pin set.
+    Consistency,
+}
+
+impl MissCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            MissCode::Compulsory => 0,
+            MissCode::Staleness => 1,
+            MissCode::Capacity => 2,
+            MissCode::Consistency => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> crate::Result<MissCode> {
+        Ok(match v {
+            0 => MissCode::Compulsory,
+            1 => MissCode::Staleness,
+            2 => MissCode::Capacity,
+            3 => MissCode::Consistency,
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+/// Machine-readable category of an error frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request's protocol version is not supported.
+    Version,
+    /// The request could not be decoded.
+    Malformed,
+    /// The server hit an internal failure handling the request.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Version => 0,
+            ErrorCode::Malformed => 1,
+            ErrorCode::Internal => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> crate::Result<ErrorCode> {
+        Ok(match v {
+            0 => ErrorCode::Version,
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::Internal,
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+/// A cache node's counter snapshot as carried on the wire (mirrors
+/// `cache_server::CacheStats`; conversions live in `cache-server`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Lookups that returned a value.
+    pub hits: u64,
+    /// Misses because the key was never inserted.
+    pub compulsory_misses: u64,
+    /// Misses because every cached version was too stale.
+    pub staleness_misses: u64,
+    /// Misses because the entry had been evicted.
+    pub capacity_misses: u64,
+    /// Misses because no fresh-enough version intersected the pin set.
+    pub consistency_misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Insertions skipped as duplicates.
+    pub duplicate_insertions: u64,
+    /// Entries truncated by invalidations.
+    pub invalidated_entries: u64,
+    /// Entries truncated on insert (§4.2 update/insert race).
+    pub late_insert_truncations: u64,
+    /// Still-valid entries bounded by a `SealStillValid` request.
+    pub sealed_entries: u64,
+    /// Invalidation messages processed.
+    pub invalidation_messages: u64,
+    /// Entries evicted for memory.
+    pub lru_evictions: u64,
+    /// Entries evicted as too stale to use.
+    pub staleness_evictions: u64,
+    /// Bytes currently cached.
+    pub used_bytes: u64,
+}
+
+impl NodeStats {
+    fn encode(&self, w: &mut Writer) {
+        for v in [
+            self.hits,
+            self.compulsory_misses,
+            self.staleness_misses,
+            self.capacity_misses,
+            self.consistency_misses,
+            self.insertions,
+            self.duplicate_insertions,
+            self.invalidated_entries,
+            self.late_insert_truncations,
+            self.sealed_entries,
+            self.invalidation_messages,
+            self.lru_evictions,
+            self.staleness_evictions,
+            self.used_bytes,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> crate::Result<NodeStats> {
+        Ok(NodeStats {
+            hits: r.get_u64()?,
+            compulsory_misses: r.get_u64()?,
+            staleness_misses: r.get_u64()?,
+            capacity_misses: r.get_u64()?,
+            consistency_misses: r.get_u64()?,
+            insertions: r.get_u64()?,
+            duplicate_insertions: r.get_u64()?,
+            invalidated_entries: r.get_u64()?,
+            late_insert_truncations: r.get_u64()?,
+            sealed_entries: r.get_u64()?,
+            invalidation_messages: r.get_u64()?,
+            lru_evictions: r.get_u64()?,
+            staleness_evictions: r.get_u64()?,
+            used_bytes: r.get_u64()?,
+        })
+    }
+}
+
+// Request opcodes (< 0x80).
+const OP_PING: u8 = 0x01;
+const OP_GET: u8 = 0x02;
+const OP_PUT: u8 = 0x03;
+const OP_INVALIDATION_BATCH: u8 = 0x04;
+const OP_EVICT_STALE: u8 = 0x05;
+const OP_STATS: u8 = 0x06;
+const OP_RESET_STATS: u8 = 0x07;
+const OP_SEAL_STILL_VALID: u8 = 0x08;
+
+// Response opcodes (>= 0x80).
+const OP_PONG: u8 = 0x81;
+const OP_HIT: u8 = 0x82;
+const OP_MISS: u8 = 0x83;
+const OP_PUT_ACK: u8 = 0x84;
+const OP_INVALIDATION_ACK: u8 = 0x85;
+const OP_STATS_SNAPSHOT: u8 = 0x86;
+const OP_OK: u8 = 0x87;
+const OP_SEALED: u8 = 0x88;
+const OP_ERROR: u8 = 0xFF;
+
+/// A request from the TxCache library to a cache node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness / readiness probe; the nonce is echoed back.
+    Ping {
+        /// An arbitrary value echoed in the matching [`Response::Pong`].
+        nonce: u64,
+    },
+    /// A versioned lookup (§4.1): the key plus the transaction's acceptable
+    /// timestamp interval.
+    VersionedGet {
+        /// The cacheable call being looked up.
+        key: CacheKey,
+        /// Lowest timestamp in the transaction's pin set.
+        pinset_lo: Timestamp,
+        /// Highest timestamp in the transaction's pin set.
+        pinset_hi: Timestamp,
+        /// Earliest timestamp acceptable under the staleness limit alone
+        /// (used only to classify misses).
+        freshness_lo: Timestamp,
+    },
+    /// Store a computed value with its validity interval and dependencies.
+    Put {
+        /// The cacheable call this value memoizes.
+        key: CacheKey,
+        /// The serialized result.
+        value: Bytes,
+        /// The range of timestamps over which the value is current.
+        validity: ValidityInterval,
+        /// The value's invalidation tags.
+        tags: TagSet,
+        /// The client's wall-clock time of the insert.
+        now: WallClock,
+    },
+    /// An ordered slice of the database's invalidation stream (§4.2) plus a
+    /// heartbeat: all invalidations at or below `heartbeat` have been
+    /// delivered once this batch is applied.
+    InvalidationBatch {
+        /// The invalidation events, in commit order.
+        events: Vec<InvalidationEvent>,
+        /// Timestamp through which the stream is now complete.
+        heartbeat: Timestamp,
+    },
+    /// Eagerly evict entries whose validity ended before the horizon.
+    EvictStale {
+        /// No transaction can use entries that ended before this timestamp.
+        min_useful_ts: Timestamp,
+    },
+    /// Fetch the node's counter snapshot.
+    Stats,
+    /// Zero the node's hit/miss counters.
+    ResetStats,
+    /// Bound every still-valid entry at the node's current invalidation
+    /// horizon. A client sends this after healing a broken connection: the
+    /// node may have missed invalidation-stream messages while unreachable,
+    /// so its still-valid entries must not be extended by later heartbeats
+    /// (the reliable-multicast recovery rule of §4.2).
+    SealStillValid,
+}
+
+impl Request {
+    /// Encodes the request into a frame body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(64);
+        w.put_u8(PROTOCOL_VERSION);
+        match self {
+            Request::Ping { nonce } => {
+                w.put_u8(OP_PING);
+                w.put_u64(*nonce);
+            }
+            Request::VersionedGet {
+                key,
+                pinset_lo,
+                pinset_hi,
+                freshness_lo,
+            } => {
+                w.put_u8(OP_GET);
+                w.put_key(key);
+                w.put_timestamp(*pinset_lo);
+                w.put_timestamp(*pinset_hi);
+                w.put_timestamp(*freshness_lo);
+            }
+            Request::Put {
+                key,
+                value,
+                validity,
+                tags,
+                now,
+            } => {
+                w.put_u8(OP_PUT);
+                w.put_key(key);
+                w.put_bytes(value);
+                w.put_interval(*validity);
+                w.put_tagset(tags);
+                w.put_wallclock(*now);
+            }
+            Request::InvalidationBatch { events, heartbeat } => {
+                w.put_u8(OP_INVALIDATION_BATCH);
+                w.put_u32(events.len() as u32);
+                for e in events {
+                    w.put_timestamp(e.timestamp);
+                    w.put_tagset(&e.tags);
+                }
+                w.put_timestamp(*heartbeat);
+            }
+            Request::EvictStale { min_useful_ts } => {
+                w.put_u8(OP_EVICT_STALE);
+                w.put_timestamp(*min_useful_ts);
+            }
+            Request::Stats => w.put_u8(OP_STATS),
+            Request::ResetStats => w.put_u8(OP_RESET_STATS),
+            Request::SealStillValid => w.put_u8(OP_SEAL_STILL_VALID),
+        }
+        w.into_vec()
+    }
+
+    /// Decodes a frame body into a request.
+    pub fn decode(body: &[u8]) -> crate::Result<Request> {
+        let mut r = Reader::new(body);
+        let version = r.get_u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::Version { got: version });
+        }
+        let op = r.get_u8()?;
+        let request = match op {
+            OP_PING => Request::Ping {
+                nonce: r.get_u64()?,
+            },
+            OP_GET => Request::VersionedGet {
+                key: r.get_key()?,
+                pinset_lo: r.get_timestamp()?,
+                pinset_hi: r.get_timestamp()?,
+                freshness_lo: r.get_timestamp()?,
+            },
+            OP_PUT => Request::Put {
+                key: r.get_key()?,
+                value: r.get_value()?,
+                validity: r.get_interval()?,
+                tags: r.get_tagset()?,
+                now: r.get_wallclock()?,
+            },
+            OP_INVALIDATION_BATCH => {
+                let count = r.get_u32()? as usize;
+                if count > crate::MAX_FRAME_BYTES / 8 {
+                    return Err(WireError::TooLarge(count));
+                }
+                let mut events = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    events.push(InvalidationEvent {
+                        timestamp: r.get_timestamp()?,
+                        tags: r.get_tagset()?,
+                    });
+                }
+                Request::InvalidationBatch {
+                    events,
+                    heartbeat: r.get_timestamp()?,
+                }
+            }
+            OP_EVICT_STALE => Request::EvictStale {
+                min_useful_ts: r.get_timestamp()?,
+            },
+            OP_STATS => Request::Stats,
+            OP_RESET_STATS => Request::ResetStats,
+            OP_SEAL_STILL_VALID => Request::SealStillValid,
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+/// A cache node's answer to one [`Request`]. Responses are returned in
+/// request order, which is what makes client-side pipelining sound.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Echo of a [`Request::Ping`].
+    Pong {
+        /// The nonce from the ping.
+        nonce: u64,
+    },
+    /// The lookup found a matching version.
+    Hit {
+        /// The cached value.
+        value: Bytes,
+        /// The effective validity interval (still-valid entries bounded by
+        /// the node's last processed invalidation, §4.2); the library narrows
+        /// the pin set with this.
+        validity: ValidityInterval,
+        /// The validity interval exactly as stored (possibly unbounded);
+        /// enclosing cacheable calls accumulate this one.
+        stored_validity: ValidityInterval,
+        /// The entry's dependency tags.
+        tags: TagSet,
+    },
+    /// The lookup found nothing usable.
+    Miss {
+        /// Why (§8.3 classification).
+        kind: MissCode,
+    },
+    /// A [`Request::Put`] was applied (or skipped as a duplicate).
+    PutAck,
+    /// A [`Request::InvalidationBatch`] was applied.
+    InvalidationAck {
+        /// Number of events processed from the batch.
+        applied: u64,
+    },
+    /// A [`Request::SealStillValid`] was applied.
+    Sealed {
+        /// Number of still-valid entries that were bounded.
+        sealed: u64,
+    },
+    /// The node's counters.
+    StatsSnapshot(NodeStats),
+    /// Generic success for requests with no payload to return.
+    Ok,
+    /// The request failed; the connection remains usable unless the error is
+    /// a version mismatch.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encodes the response into a frame body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(32);
+        w.put_u8(PROTOCOL_VERSION);
+        match self {
+            Response::Pong { nonce } => {
+                w.put_u8(OP_PONG);
+                w.put_u64(*nonce);
+            }
+            Response::Hit {
+                value,
+                validity,
+                stored_validity,
+                tags,
+            } => {
+                w.put_u8(OP_HIT);
+                w.put_bytes(value);
+                w.put_interval(*validity);
+                w.put_interval(*stored_validity);
+                w.put_tagset(tags);
+            }
+            Response::Miss { kind } => {
+                w.put_u8(OP_MISS);
+                w.put_u8(kind.to_u8());
+            }
+            Response::PutAck => w.put_u8(OP_PUT_ACK),
+            Response::InvalidationAck { applied } => {
+                w.put_u8(OP_INVALIDATION_ACK);
+                w.put_u64(*applied);
+            }
+            Response::Sealed { sealed } => {
+                w.put_u8(OP_SEALED);
+                w.put_u64(*sealed);
+            }
+            Response::StatsSnapshot(stats) => {
+                w.put_u8(OP_STATS_SNAPSHOT);
+                stats.encode(&mut w);
+            }
+            Response::Ok => w.put_u8(OP_OK),
+            Response::Error { code, message } => {
+                w.put_u8(OP_ERROR);
+                w.put_u8(code.to_u8());
+                w.put_str(message);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decodes a frame body into a response.
+    pub fn decode(body: &[u8]) -> crate::Result<Response> {
+        let mut r = Reader::new(body);
+        let version = r.get_u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::Version { got: version });
+        }
+        let op = r.get_u8()?;
+        let response = match op {
+            OP_PONG => Response::Pong {
+                nonce: r.get_u64()?,
+            },
+            OP_HIT => Response::Hit {
+                value: r.get_value()?,
+                validity: r.get_interval()?,
+                stored_validity: r.get_interval()?,
+                tags: r.get_tagset()?,
+            },
+            OP_MISS => Response::Miss {
+                kind: MissCode::from_u8(r.get_u8()?)?,
+            },
+            OP_PUT_ACK => Response::PutAck,
+            OP_INVALIDATION_ACK => Response::InvalidationAck {
+                applied: r.get_u64()?,
+            },
+            OP_SEALED => Response::Sealed {
+                sealed: r.get_u64()?,
+            },
+            OP_STATS_SNAPSHOT => Response::StatsSnapshot(NodeStats::decode(&mut r)?),
+            OP_OK => Response::Ok,
+            OP_ERROR => Response::Error {
+                code: ErrorCode::from_u8(r.get_u8()?)?,
+                message: r.get_str()?,
+            },
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(response)
+    }
+
+    /// Converts an error frame into a [`WireError::Remote`], passing other
+    /// responses through. Clients call this right after receiving.
+    pub fn into_result(self) -> crate::Result<Response> {
+        match self {
+            Response::Error { code, message } => Err(WireError::Remote { code, message }),
+            other => Ok(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtypes::InvalidationTag;
+
+    fn tags() -> TagSet {
+        [
+            InvalidationTag::keyed("items", "id=7"),
+            InvalidationTag::wildcard("users"),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Ping { nonce: 99 },
+            Request::VersionedGet {
+                key: CacheKey::new("f", "[1]"),
+                pinset_lo: Timestamp(3),
+                pinset_hi: Timestamp(9),
+                freshness_lo: Timestamp(1),
+            },
+            Request::Put {
+                key: CacheKey::new("g", ""),
+                value: Bytes::from(vec![1, 2, 3]),
+                validity: ValidityInterval::unbounded(Timestamp(4)),
+                tags: tags(),
+                now: WallClock::from_secs(1),
+            },
+            Request::InvalidationBatch {
+                events: vec![
+                    InvalidationEvent {
+                        timestamp: Timestamp(5),
+                        tags: tags(),
+                    },
+                    InvalidationEvent {
+                        timestamp: Timestamp(6),
+                        tags: TagSet::new(),
+                    },
+                ],
+                heartbeat: Timestamp(6),
+            },
+            Request::EvictStale {
+                min_useful_ts: Timestamp(11),
+            },
+            Request::Stats,
+            Request::ResetStats,
+            Request::SealStillValid,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Pong { nonce: 99 },
+            Response::Hit {
+                value: Bytes::from(vec![9; 32]),
+                validity: ValidityInterval::bounded(Timestamp(1), Timestamp(5)).unwrap(),
+                stored_validity: ValidityInterval::unbounded(Timestamp(1)),
+                tags: tags(),
+            },
+            Response::Miss {
+                kind: MissCode::Consistency,
+            },
+            Response::PutAck,
+            Response::InvalidationAck { applied: 2 },
+            Response::Sealed { sealed: 7 },
+            Response::StatsSnapshot(NodeStats {
+                hits: 5,
+                used_bytes: 1024,
+                ..NodeStats::default()
+            }),
+            Response::Ok,
+            Response::Error {
+                code: ErrorCode::Malformed,
+                message: "bad frame".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        for request in all_requests() {
+            let body = request.encode();
+            assert_eq!(Request::decode(&body).unwrap(), request, "{request:?}");
+        }
+    }
+
+    #[test]
+    fn every_response_roundtrips() {
+        for response in all_responses() {
+            let body = response.encode();
+            assert_eq!(Response::decode(&body).unwrap(), response, "{response:?}");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_detected() {
+        let mut body = Request::Ping { nonce: 1 }.encode();
+        body[0] = PROTOCOL_VERSION + 1;
+        assert!(matches!(
+            Request::decode(&body),
+            Err(WireError::Version { got }) if got == PROTOCOL_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn unknown_opcodes_are_rejected() {
+        let body = vec![PROTOCOL_VERSION, 0x77];
+        assert!(matches!(
+            Request::decode(&body),
+            Err(WireError::UnknownOpcode(0x77))
+        ));
+        let body = vec![PROTOCOL_VERSION, 0x10];
+        assert!(matches!(
+            Response::decode(&body),
+            Err(WireError::UnknownOpcode(0x10))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut body = Request::Stats.encode();
+        body.push(0);
+        assert!(matches!(
+            Request::decode(&body),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn error_responses_convert_to_remote_errors() {
+        let err = Response::Error {
+            code: ErrorCode::Internal,
+            message: "boom".into(),
+        };
+        assert!(matches!(
+            err.into_result(),
+            Err(WireError::Remote {
+                code: ErrorCode::Internal,
+                ..
+            })
+        ));
+        assert!(Response::Ok.into_result().is_ok());
+    }
+}

@@ -12,3 +12,4 @@ pub use pincushion;
 pub use rubis;
 pub use txcache;
 pub use txtypes;
+pub use wire;

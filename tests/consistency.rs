@@ -1,15 +1,21 @@
 //! End-to-end transactional-consistency tests (the paper's core guarantee):
 //! everything a read-only transaction observes — whether it comes from the
 //! cache or from the database — reflects a single snapshot.
+//!
+//! Every scenario runs twice: once with the in-process cache cluster and
+//! once against real `txcached` TCP servers on loopback, through the same
+//! `CacheBackend` abstraction the application sees. The scenarios and
+//! assertions are identical — the wire protocol must not change semantics.
 
 use std::sync::Arc;
 
-use txcache_repro::cache_server::CacheCluster;
+use txcache_repro::cache_server::{CacheCluster, NodeConfig, TxcachedServer};
 use txcache_repro::mvdb::{
     ColumnType, Database, DbConfig, Predicate, SelectQuery, TableSchema, Value,
 };
 use txcache_repro::pincushion::Pincushion;
-use txcache_repro::txcache::{CacheMode, Transaction, TxCache, TxCacheConfig};
+use txcache_repro::txcache::backend::{CacheBackend, RemoteCluster};
+use txcache_repro::txcache::{BackendKind, CacheMode, Transaction, TxCache, TxCacheConfig};
 use txcache_repro::txtypes::{Result, SimClock, Staleness};
 
 const TOTAL: i64 = 100;
@@ -17,10 +23,37 @@ const TOTAL: i64 = 100;
 struct Bank {
     txcache: Arc<TxCache>,
     clock: SimClock,
+    /// Loopback `txcached` servers backing a remote deployment; kept alive
+    /// for the duration of the test, shut down on drop.
+    _servers: Vec<TxcachedServer>,
+}
+
+/// Builds the cache tier for the requested deployment kind.
+fn build_backend(kind: BackendKind) -> (Arc<dyn CacheBackend>, Vec<TxcachedServer>) {
+    match kind {
+        BackendKind::InProcess => (Arc::new(CacheCluster::new(2, 4 << 20)), Vec::new()),
+        BackendKind::Remote => {
+            let servers: Vec<TxcachedServer> = (0..2)
+                .map(|i| {
+                    TxcachedServer::bind(
+                        "127.0.0.1:0",
+                        format!("txcached-{i}"),
+                        NodeConfig {
+                            capacity_bytes: 2 << 20,
+                        },
+                    )
+                    .expect("bind loopback txcached")
+                })
+                .collect();
+            let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+            let remote = RemoteCluster::connect(&addrs).expect("connect to loopback txcached");
+            (Arc::new(remote), servers)
+        }
+    }
 }
 
 /// Builds a two-account "bank" whose invariant is balance(1) + balance(2) == 100.
-fn bank(mode: CacheMode) -> Bank {
+fn bank(mode: CacheMode, kind: BackendKind) -> Bank {
     let clock = SimClock::new();
     let db = Arc::new(Database::new(DbConfig::default(), clock.clone()));
     db.create_table(
@@ -38,9 +71,9 @@ fn bank(mode: CacheMode) -> Bank {
         ],
     )
     .unwrap();
-    let cache = Arc::new(CacheCluster::new(2, 4 << 20));
+    let (cache, servers) = build_backend(kind);
     let pincushion = Arc::new(Pincushion::new(Default::default(), clock.clone()));
-    let txcache = Arc::new(TxCache::new(
+    let txcache = Arc::new(TxCache::with_backend(
         db,
         cache,
         pincushion,
@@ -50,7 +83,12 @@ fn bank(mode: CacheMode) -> Bank {
             ..TxCacheConfig::default()
         },
     ));
-    Bank { txcache, clock }
+    assert_eq!(txcache.config().backend, kind);
+    Bank {
+        txcache,
+        clock,
+        _servers: servers,
+    }
 }
 
 impl Bank {
@@ -113,9 +151,12 @@ fn check_invariant(bank: &Bank, staleness: Staleness) -> (i64, i64) {
     (a, b)
 }
 
-#[test]
-fn reads_mixing_cache_and_database_see_a_single_snapshot() {
-    let bank = bank(CacheMode::Full);
+// ----------------------------------------------------------------------
+// Scenario bodies, shared verbatim by both deployments.
+// ----------------------------------------------------------------------
+
+fn scenario_mixed_reads_see_a_single_snapshot(kind: BackendKind) {
+    let bank = bank(CacheMode::Full, kind);
     // Interleave many transfers with reads at a generous staleness limit, so
     // reads frequently hit cached values produced at different times.
     for round in 0..200 {
@@ -133,18 +174,16 @@ fn reads_mixing_cache_and_database_see_a_single_snapshot() {
     assert!(stats.cache_hits > 0, "expected cache hits, got {stats:?}");
 }
 
-#[test]
-fn fresh_transactions_observe_the_latest_committed_state() {
-    let bank = bank(CacheMode::Full);
+fn scenario_fresh_transactions_observe_latest_state(kind: BackendKind) {
+    let bank = bank(CacheMode::Full, kind);
     bank.transfer(10);
     bank.clock.advance_secs(60);
     let (a, b) = check_invariant(&bank, Staleness::seconds(1));
     assert_eq!((a, b), (50, 50));
 }
 
-#[test]
-fn commit_timestamps_provide_causality() {
-    let bank = bank(CacheMode::Full);
+fn scenario_commit_timestamps_provide_causality(kind: BackendKind) {
+    let bank = bank(CacheMode::Full, kind);
 
     // Warm the cache with the current balances.
     check_invariant(&bank, Staleness::seconds(30));
@@ -165,25 +204,9 @@ fn commit_timestamps_provide_causality() {
     assert_eq!(a2 + b2, TOTAL);
 }
 
-#[test]
-fn read_only_transactions_reject_writes() {
-    let bank = bank(CacheMode::Full);
-    let mut tx = bank.txcache.begin_ro(Staleness::seconds(30)).unwrap();
-    let err = tx
-        .update(
-            "accounts",
-            &Predicate::eq("id", 1i64),
-            &[("balance".to_string(), Value::Int(0))],
-        )
-        .unwrap_err();
-    assert!(err.to_string().contains("read-only"));
-    tx.abort().unwrap();
-}
-
-#[test]
-fn disabled_mode_matches_database_results_exactly() {
-    let cached = bank(CacheMode::Full);
-    let direct = bank(CacheMode::Disabled);
+fn scenario_disabled_mode_matches_database_exactly(kind: BackendKind) {
+    let cached = bank(CacheMode::Full, kind);
+    let direct = bank(CacheMode::Disabled, kind);
     for round in 0..20 {
         let amount = if round % 3 == 0 { 7 } else { -3 };
         cached.transfer(amount);
@@ -197,4 +220,67 @@ fn disabled_mode_matches_database_results_exactly() {
             "cached and uncached deployments must agree on fresh reads"
         );
     }
+}
+
+// ----------------------------------------------------------------------
+// In-process deployment.
+// ----------------------------------------------------------------------
+
+#[test]
+fn reads_mixing_cache_and_database_see_a_single_snapshot() {
+    scenario_mixed_reads_see_a_single_snapshot(BackendKind::InProcess);
+}
+
+#[test]
+fn fresh_transactions_observe_the_latest_committed_state() {
+    scenario_fresh_transactions_observe_latest_state(BackendKind::InProcess);
+}
+
+#[test]
+fn commit_timestamps_provide_causality() {
+    scenario_commit_timestamps_provide_causality(BackendKind::InProcess);
+}
+
+#[test]
+fn disabled_mode_matches_database_results_exactly() {
+    scenario_disabled_mode_matches_database_exactly(BackendKind::InProcess);
+}
+
+#[test]
+fn read_only_transactions_reject_writes() {
+    let bank = bank(CacheMode::Full, BackendKind::InProcess);
+    let mut tx = bank.txcache.begin_ro(Staleness::seconds(30)).unwrap();
+    let err = tx
+        .update(
+            "accounts",
+            &Predicate::eq("id", 1i64),
+            &[("balance".to_string(), Value::Int(0))],
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("read-only"));
+    tx.abort().unwrap();
+}
+
+// ----------------------------------------------------------------------
+// Remote deployment: the same scenarios over loopback txcached servers.
+// ----------------------------------------------------------------------
+
+#[test]
+fn remote_reads_mixing_cache_and_database_see_a_single_snapshot() {
+    scenario_mixed_reads_see_a_single_snapshot(BackendKind::Remote);
+}
+
+#[test]
+fn remote_fresh_transactions_observe_the_latest_committed_state() {
+    scenario_fresh_transactions_observe_latest_state(BackendKind::Remote);
+}
+
+#[test]
+fn remote_commit_timestamps_provide_causality() {
+    scenario_commit_timestamps_provide_causality(BackendKind::Remote);
+}
+
+#[test]
+fn remote_disabled_mode_matches_database_results_exactly() {
+    scenario_disabled_mode_matches_database_exactly(BackendKind::Remote);
 }

@@ -1,25 +1,57 @@
 //! End-to-end tests of automatic invalidation (§4.2, §5.3) and of the RUBiS
 //! application paths, including the §2.1 "edit count" class of bug that
 //! explicit invalidation schemes get wrong.
+//!
+//! The core invalidation scenarios run against both cache deployments: the
+//! in-process cluster and loopback `txcached` TCP servers, where the
+//! database's invalidation stream travels as pushed `InvalidationBatch`
+//! frames.
 
 use std::sync::Arc;
 
-use txcache_repro::cache_server::CacheCluster;
+use txcache_repro::cache_server::{CacheCluster, NodeConfig, TxcachedServer};
 use txcache_repro::harness::{run_experiment, DbKind, ExperimentConfig};
 use txcache_repro::mvdb::{Database, DbConfig};
 use txcache_repro::pincushion::Pincushion;
 use txcache_repro::rubis::{self, RubisApp, RubisScale};
-use txcache_repro::txcache::{CacheMode, TxCache, TxCacheConfig};
+use txcache_repro::txcache::backend::{CacheBackend, RemoteCluster};
+use txcache_repro::txcache::{BackendKind, CacheMode, TxCache, TxCacheConfig};
 use txcache_repro::txtypes::{SimClock, Staleness};
 
 fn rubis_stack(mode: CacheMode) -> (RubisApp, SimClock) {
+    let (app, clock, _) = rubis_stack_on(mode, BackendKind::InProcess);
+    (app, clock)
+}
+
+fn rubis_stack_on(mode: CacheMode, kind: BackendKind) -> (RubisApp, SimClock, Vec<TxcachedServer>) {
     let clock = SimClock::new();
     let db = Arc::new(Database::new(DbConfig::default(), clock.clone()));
     rubis::create_tables(&db).unwrap();
     rubis::populate(&db, &RubisScale::tiny(), 11).unwrap();
-    let cache = Arc::new(CacheCluster::new(2, 16 << 20));
+    let (cache, servers): (Arc<dyn CacheBackend>, Vec<TxcachedServer>) = match kind {
+        BackendKind::InProcess => (Arc::new(CacheCluster::new(2, 16 << 20)), Vec::new()),
+        BackendKind::Remote => {
+            let servers: Vec<TxcachedServer> = (0..2)
+                .map(|i| {
+                    TxcachedServer::bind(
+                        "127.0.0.1:0",
+                        format!("txcached-{i}"),
+                        NodeConfig {
+                            capacity_bytes: 8 << 20,
+                        },
+                    )
+                    .expect("bind loopback txcached")
+                })
+                .collect();
+            let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+            (
+                Arc::new(RemoteCluster::connect(&addrs).expect("connect loopback txcached")),
+                servers,
+            )
+        }
+    };
     let pincushion = Arc::new(Pincushion::new(Default::default(), clock.clone()));
-    let txcache = Arc::new(TxCache::new(
+    let txcache = Arc::new(TxCache::with_backend(
         db,
         cache,
         pincushion,
@@ -29,12 +61,11 @@ fn rubis_stack(mode: CacheMode) -> (RubisApp, SimClock) {
             ..TxCacheConfig::default()
         },
     ));
-    (RubisApp::new(txcache), clock)
+    (RubisApp::new(txcache), clock, servers)
 }
 
-#[test]
-fn cached_item_pages_are_invalidated_by_bids() {
-    let (app, clock) = rubis_stack(CacheMode::Full);
+fn scenario_cached_item_pages_are_invalidated_by_bids(kind: BackendKind) {
+    let (app, clock, _servers) = rubis_stack_on(CacheMode::Full, kind);
 
     // View item 1 twice: the second view is a cache hit.
     for _ in 0..2 {
@@ -67,11 +98,20 @@ fn cached_item_pages_are_invalidated_by_bids() {
 }
 
 #[test]
-fn user_rating_dependency_is_invalidated_automatically() {
+fn cached_item_pages_are_invalidated_by_bids() {
+    scenario_cached_item_pages_are_invalidated_by_bids(BackendKind::InProcess);
+}
+
+#[test]
+fn remote_cached_item_pages_are_invalidated_by_bids() {
+    scenario_cached_item_pages_are_invalidated_by_bids(BackendKind::Remote);
+}
+
+fn scenario_user_rating_dependency_is_invalidated(kind: BackendKind) {
     // The §2.1 MediaWiki bug: a cached user object embeds a derived value
     // (here the rating updated by store_comment); forgetting to invalidate it
     // is the classic error. TxCache derives the dependency automatically.
-    let (app, clock) = rubis_stack(CacheMode::Full);
+    let (app, clock, _servers) = rubis_stack_on(CacheMode::Full, kind);
 
     let mut tx = app.begin_ro(Staleness::seconds(30)).unwrap();
     let before = app.get_user(&mut tx, 5).unwrap().unwrap();
@@ -87,6 +127,16 @@ fn user_rating_dependency_is_invalidated_automatically() {
     let after = app.get_user(&mut tx, 5).unwrap().unwrap();
     tx.commit().unwrap();
     assert_eq!(after.rating, before.rating + 3);
+}
+
+#[test]
+fn user_rating_dependency_is_invalidated_automatically() {
+    scenario_user_rating_dependency_is_invalidated(BackendKind::InProcess);
+}
+
+#[test]
+fn remote_user_rating_dependency_is_invalidated_automatically() {
+    scenario_user_rating_dependency_is_invalidated(BackendKind::Remote);
 }
 
 #[test]

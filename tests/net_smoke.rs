@@ -1,0 +1,340 @@
+//! End-to-end tests of the networked cache tier: a real `mvdb` commit's
+//! invalidation batch travelling over TCP to `txcached` nodes, degraded
+//! operation when nodes die, and (for `ci.sh --net-smoke`) a consistency run
+//! against an externally started server.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use txcache_repro::cache_server::{LookupOutcome, LookupRequest, NodeConfig, TxcachedServer};
+use txcache_repro::mvdb::{
+    ColumnType, Database, DbConfig, Predicate, SelectQuery, TableSchema, Value,
+};
+use txcache_repro::pincushion::Pincushion;
+use txcache_repro::txcache::backend::{CacheBackend, RemoteCluster, RemoteOptions};
+use txcache_repro::txcache::{TxCache, TxCacheConfig};
+use txcache_repro::txtypes::{
+    CacheKey, SimClock, Staleness, TagSet, Timestamp, ValidityInterval, WallClock,
+};
+
+fn spawn_servers(n: usize) -> (Vec<TxcachedServer>, Vec<String>) {
+    let servers: Vec<TxcachedServer> = (0..n)
+        .map(|i| {
+            TxcachedServer::bind(
+                "127.0.0.1:0",
+                format!("txcached-{i}"),
+                NodeConfig {
+                    capacity_bytes: 4 << 20,
+                },
+            )
+            .expect("bind loopback txcached")
+        })
+        .collect();
+    let addrs = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    (servers, addrs)
+}
+
+/// A database commit's invalidation batch, pushed over TCP, must truncate
+/// the validity interval of a still-valid entry on a remote node — the §4.2
+/// contract, across a real server boundary.
+#[test]
+fn commit_invalidation_batch_truncates_remote_entry_validity() {
+    let (_servers, addrs) = spawn_servers(2);
+    let remote = RemoteCluster::connect(&addrs).unwrap();
+
+    // A real database produces the invalidation: one row, then an update.
+    let clock = SimClock::new();
+    let db = Database::new(DbConfig::default(), clock.clone());
+    db.create_table(
+        TableSchema::new("items")
+            .column("id", ColumnType::Int)
+            .column("price", ColumnType::Int)
+            .unique_index("id"),
+    )
+    .unwrap();
+    db.bulk_load("items", vec![vec![Value::Int(1), Value::Int(10)]])
+        .unwrap();
+    let invalidations = db.subscribe_invalidations();
+    let loaded_at = db.latest_timestamp();
+
+    // Cache a still-valid (unbounded) entry that depends on the row.
+    let key = CacheKey::new("get_item", "[1]");
+    let tags: TagSet = [txtypes_tag("items", "id=1")].into_iter().collect();
+    remote.insert(
+        key.clone(),
+        Bytes::from_static(b"price=10"),
+        ValidityInterval::unbounded(loaded_at),
+        tags,
+        WallClock::ZERO,
+    );
+
+    // Commit an update that touches the row.
+    let txn = db.begin_rw().unwrap();
+    db.update(
+        txn,
+        "items",
+        &Predicate::eq("id", 1i64),
+        &[("price".to_string(), Value::Int(42))],
+    )
+    .unwrap();
+    let commit_ts = db.commit(txn).unwrap();
+
+    // Push the commit's invalidation batch to the remote nodes.
+    let batch: Vec<_> = invalidations.try_iter().collect();
+    assert!(!batch.is_empty(), "the commit must publish an invalidation");
+    remote.apply_invalidations(&batch, db.latest_timestamp());
+
+    // The remote entry's validity is now truncated exactly at the commit.
+    match remote.lookup(&key, &LookupRequest::at(loaded_at)) {
+        LookupOutcome::Hit {
+            stored_validity, ..
+        } => {
+            assert_eq!(
+                stored_validity.upper,
+                Some(commit_ts),
+                "validity must end at the update's commit timestamp"
+            );
+        }
+        other => panic!("expected hit below the truncation point, got {other:?}"),
+    }
+    // At or after the commit the old value is gone.
+    assert!(
+        !remote.lookup(&key, &LookupRequest::at(commit_ts)).is_hit(),
+        "the stale value must not be served at the commit timestamp"
+    );
+    let stats = remote.stats();
+    assert_eq!(stats.invalidated_entries, 1);
+    assert_eq!(remote.degraded_ops(), 0);
+}
+
+fn txtypes_tag(table: &str, key: &str) -> txcache_repro::txtypes::InvalidationTag {
+    txcache_repro::txtypes::InvalidationTag::keyed(table, key)
+}
+
+/// Killing every cache node must degrade lookups to misses — never block or
+/// crash the application path.
+#[test]
+fn dead_nodes_degrade_to_misses() {
+    let (mut servers, addrs) = spawn_servers(2);
+    let remote = RemoteCluster::connect(&addrs).unwrap();
+    let key = CacheKey::new("f", "[1]");
+    remote.insert(
+        key.clone(),
+        Bytes::from_static(b"v"),
+        ValidityInterval::unbounded(Timestamp(1)),
+        TagSet::new(),
+        WallClock::ZERO,
+    );
+    assert!(remote
+        .lookup(&key, &LookupRequest::at(Timestamp(1)))
+        .is_hit());
+
+    for server in &mut servers {
+        server.shutdown();
+    }
+    drop(servers);
+
+    // Lookups, inserts, and maintenance all absorb the failure.
+    assert!(!remote
+        .lookup(&key, &LookupRequest::at(Timestamp(1)))
+        .is_hit());
+    remote.insert(
+        CacheKey::new("f", "[2]"),
+        Bytes::from_static(b"w"),
+        ValidityInterval::unbounded(Timestamp(1)),
+        TagSet::new(),
+        WallClock::ZERO,
+    );
+    remote.apply_invalidations(&[], Timestamp(5));
+    remote.evict_stale(Timestamp(1));
+    assert!(remote.degraded_ops() > 0, "degradation must be counted");
+}
+
+/// A healed connection must not let lost invalidations resurrect stale data:
+/// on reconnect the node's still-valid entries are sealed at its current
+/// invalidation horizon, so a later heartbeat cannot extend results whose
+/// invalidation was dropped during the partition.
+#[test]
+fn healed_connection_seals_still_valid_entries() {
+    let (_servers, addrs) = spawn_servers(1);
+    let options = RemoteOptions {
+        retry_cooldown: std::time::Duration::from_millis(50),
+        ..RemoteOptions::default()
+    };
+    let remote = RemoteCluster::connect_with(&addrs, options).unwrap();
+
+    let key = CacheKey::new("f", "[1]");
+    let tags: TagSet = [txtypes_tag("items", "id=1")].into_iter().collect();
+    remote.insert(
+        key.clone(),
+        Bytes::from_static(b"v"),
+        ValidityInterval::unbounded(Timestamp(1)),
+        tags.clone(),
+        WallClock::ZERO,
+    );
+    remote.apply_invalidations(&[], Timestamp(10));
+    assert!(remote
+        .lookup(&key, &LookupRequest::at(Timestamp(10)))
+        .is_hit());
+
+    // Partition: the connection drops, and an invalidation matching the
+    // entry is published while the node is unreachable — the batch is lost.
+    remote.drop_connections();
+    let lost = txcache_repro::mvdb::InvalidationMessage {
+        timestamp: Timestamp(15),
+        tags,
+        committed_at: WallClock::ZERO,
+    };
+    remote.apply_invalidations(&[lost], Timestamp(15));
+    assert!(remote.degraded_ops() > 0, "the lost batch must be counted");
+
+    // Heal after the cooldown. The reconnect seals the entry at the node's
+    // horizon (ts 10), so the later heartbeat must NOT extend it past the
+    // lost invalidation at ts 15.
+    std::thread::sleep(std::time::Duration::from_millis(80));
+    remote.apply_invalidations(&[], Timestamp(30));
+    assert_eq!(remote.reconnects(), 1, "the heal must be counted");
+    assert!(
+        !remote
+            .lookup(&key, &LookupRequest::at(Timestamp(20)))
+            .is_hit(),
+        "a sealed entry must not be served past the lost invalidation"
+    );
+    // Below the seal point the entry is still good.
+    assert!(remote
+        .lookup(&key, &LookupRequest::at(Timestamp(5)))
+        .is_hit());
+    assert_eq!(remote.stats().sealed_entries, 1);
+}
+
+/// Pipelined puts: many inserts followed by a lookup on the same connection
+/// stay correctly framed (acks are drained in order before the lookup).
+#[test]
+fn pipelined_puts_then_lookup_stay_in_sync() {
+    let (_servers, addrs) = spawn_servers(1);
+    let remote = RemoteCluster::connect(&addrs).unwrap();
+    for i in 0..100 {
+        remote.insert(
+            CacheKey::new("f", format!("[{i}]")),
+            Bytes::from(vec![i as u8; 32]),
+            ValidityInterval::unbounded(Timestamp(1)),
+            TagSet::new(),
+            WallClock::ZERO,
+        );
+    }
+    for i in 0..100 {
+        assert!(
+            remote
+                .lookup(
+                    &CacheKey::new("f", format!("[{i}]")),
+                    &LookupRequest::at(Timestamp(1))
+                )
+                .is_hit(),
+            "key {i} must be present after pipelined puts"
+        );
+    }
+    let stats = remote.stats();
+    assert_eq!(stats.insertions, 100);
+    assert_eq!(stats.hits, 100);
+    assert_eq!(remote.degraded_ops(), 0);
+}
+
+/// The full client-library stack over TCP: a TxCache bank whose cache tier
+/// is remote, checked for snapshot consistency. With `TXCACHED_ADDRS` set
+/// (comma-separated), runs against those servers — this is what
+/// `ci.sh --net-smoke` drives against an externally started `txcached`;
+/// otherwise loopback servers are spawned in-process.
+#[test]
+fn remote_backend_consistency_smoke() {
+    let (servers, addrs) = match std::env::var("TXCACHED_ADDRS") {
+        Ok(list) if !list.trim().is_empty() => (
+            Vec::new(),
+            list.split(',').map(|s| s.trim().to_string()).collect(),
+        ),
+        _ => spawn_servers(2),
+    };
+    let remote: Arc<dyn CacheBackend> = Arc::new(RemoteCluster::connect(&addrs).unwrap());
+
+    let clock = SimClock::new();
+    let db = Arc::new(Database::new(DbConfig::default(), clock.clone()));
+    db.create_table(
+        TableSchema::new("accounts")
+            .column("id", ColumnType::Int)
+            .column("balance", ColumnType::Int)
+            .unique_index("id"),
+    )
+    .unwrap();
+    db.bulk_load(
+        "accounts",
+        vec![
+            vec![Value::Int(1), Value::Int(60)],
+            vec![Value::Int(2), Value::Int(40)],
+        ],
+    )
+    .unwrap();
+    let pincushion = Arc::new(Pincushion::new(Default::default(), clock.clone()));
+    let txcache = TxCache::with_backend(
+        db,
+        remote,
+        pincushion,
+        clock.clone(),
+        TxCacheConfig::default(),
+    );
+
+    let balance = |tx: &mut txcache_repro::txcache::Transaction<'_>, account: i64| -> i64 {
+        tx.cached("balance", &account, |tx| {
+            let q = SelectQuery::table("accounts").filter(Predicate::eq("id", account));
+            let r = tx.query(&q)?;
+            Ok(r.get(0, "balance")?.as_int().unwrap_or(0))
+        })
+        .unwrap()
+    };
+
+    for round in 0..60 {
+        // Transfer 5 back and forth.
+        let amount = if round % 2 == 0 { 5i64 } else { -5i64 };
+        let mut rw = txcache.begin_rw().unwrap();
+        let q1 = SelectQuery::table("accounts").filter(Predicate::eq("id", 1i64));
+        let a = rw
+            .query(&q1)
+            .unwrap()
+            .get(0, "balance")
+            .unwrap()
+            .as_int()
+            .unwrap();
+        rw.update(
+            "accounts",
+            &Predicate::eq("id", 1i64),
+            &[("balance".to_string(), Value::Int(a - amount))],
+        )
+        .unwrap();
+        let q2 = SelectQuery::table("accounts").filter(Predicate::eq("id", 2i64));
+        let b = rw
+            .query(&q2)
+            .unwrap()
+            .get(0, "balance")
+            .unwrap()
+            .as_int()
+            .unwrap();
+        rw.update(
+            "accounts",
+            &Predicate::eq("id", 2i64),
+            &[("balance".to_string(), Value::Int(b + amount))],
+        )
+        .unwrap();
+        rw.commit().unwrap();
+        clock.advance_micros(250_000);
+
+        let mut ro = txcache.begin_ro(Staleness::seconds(30)).unwrap();
+        let a = balance(&mut ro, 1);
+        let b = balance(&mut ro, 2);
+        ro.commit().unwrap();
+        assert_eq!(a + b, 100, "round {round}: inconsistent snapshot over TCP");
+    }
+    let stats = txcache.stats();
+    assert!(
+        stats.cache_hits > 0,
+        "the remote cache must serve hits: {stats:?}"
+    );
+    drop(servers);
+}

@@ -1,0 +1,227 @@
+//! Property tests for the `wire` protocol: every frame type must survive
+//! encode → decode unchanged, including empty-tag-set and max-size edges.
+
+use proptest::prelude::*;
+
+use txcache_repro::txtypes::{
+    CacheKey, InvalidationTag, TagSet, Timestamp, ValidityInterval, WallClock,
+};
+use txcache_repro::wire::{read_frame, write_frame};
+use txcache_repro::wire::{
+    ErrorCode, InvalidationEvent, MissCode, NodeStats, Request, Response, PROTOCOL_VERSION,
+};
+
+use bytes::Bytes;
+
+fn key_strategy() -> impl Strategy<Value = CacheKey> {
+    ("[a-z_]{1,12}", "[a-z0-9_]{0,20}").prop_map(|(f, a)| CacheKey::new(f, a))
+}
+
+fn tag_strategy() -> impl Strategy<Value = InvalidationTag> {
+    ("[a-z_]{1,8}", proptest::option::of("[a-z0-9_=]{1,10}")).prop_map(|(table, key)| match key {
+        Some(k) => InvalidationTag::keyed(table, k),
+        None => InvalidationTag::wildcard(table),
+    })
+}
+
+fn tagset_strategy() -> impl Strategy<Value = TagSet> {
+    proptest::collection::vec(tag_strategy(), 0..5).prop_map(|tags| tags.into_iter().collect())
+}
+
+fn interval_strategy() -> impl Strategy<Value = ValidityInterval> {
+    (0u64..1_000, proptest::option::of(1u64..500)).prop_map(|(lo, width)| match width {
+        Some(w) => ValidityInterval::bounded(Timestamp(lo), Timestamp(lo + w)).unwrap(),
+        None => ValidityInterval::unbounded(Timestamp(lo)),
+    })
+}
+
+fn value_strategy() -> impl Strategy<Value = Bytes> {
+    proptest::collection::vec(0u8..=255u8, 0..128).prop_map(Bytes::from)
+}
+
+fn ts() -> impl Strategy<Value = Timestamp> {
+    (0u64..u64::MAX).prop_map(Timestamp)
+}
+
+fn roundtrip_request(request: &Request) {
+    let body = request.encode();
+    assert_eq!(body[0], PROTOCOL_VERSION);
+    assert_eq!(&Request::decode(&body).unwrap(), request);
+}
+
+fn roundtrip_response(response: &Response) {
+    let body = response.encode();
+    assert_eq!(body[0], PROTOCOL_VERSION);
+    assert_eq!(&Response::decode(&body).unwrap(), response);
+}
+
+proptest! {
+    #[test]
+    fn ping_and_pong_roundtrip(nonce in 0u64..u64::MAX) {
+        roundtrip_request(&Request::Ping { nonce });
+        roundtrip_response(&Response::Pong { nonce });
+    }
+
+    #[test]
+    fn versioned_get_roundtrips(key in key_strategy(), lo in ts(), hi in ts(), fresh in ts()) {
+        roundtrip_request(&Request::VersionedGet {
+            key,
+            pinset_lo: lo,
+            pinset_hi: hi,
+            freshness_lo: fresh,
+        });
+    }
+
+    #[test]
+    fn put_roundtrips(
+        key in key_strategy(),
+        value in value_strategy(),
+        validity in interval_strategy(),
+        tags in tagset_strategy(),
+        now in 0u64..u64::MAX,
+    ) {
+        roundtrip_request(&Request::Put {
+            key,
+            value,
+            validity,
+            tags,
+            now: WallClock::from_micros(now),
+        });
+    }
+
+    #[test]
+    fn invalidation_batch_roundtrips(
+        stamps in proptest::collection::vec(0u64..10_000, 0..6),
+        tagsets in proptest::collection::vec(tagset_strategy(), 0..6),
+        heartbeat in ts(),
+    ) {
+        let events: Vec<InvalidationEvent> = stamps
+            .into_iter()
+            .zip(tagsets)
+            .map(|(s, tags)| InvalidationEvent { timestamp: Timestamp(s), tags })
+            .collect();
+        roundtrip_request(&Request::InvalidationBatch { events, heartbeat });
+    }
+
+    #[test]
+    fn maintenance_requests_roundtrip(horizon in ts()) {
+        roundtrip_request(&Request::EvictStale { min_useful_ts: horizon });
+        roundtrip_request(&Request::Stats);
+        roundtrip_request(&Request::ResetStats);
+        roundtrip_request(&Request::SealStillValid);
+    }
+
+    #[test]
+    fn hit_and_miss_roundtrip(
+        value in value_strategy(),
+        validity in interval_strategy(),
+        stored in interval_strategy(),
+        tags in tagset_strategy(),
+        kind in 0u8..4,
+    ) {
+        roundtrip_response(&Response::Hit {
+            value,
+            validity,
+            stored_validity: stored,
+            tags,
+        });
+        let kind = match kind {
+            0 => MissCode::Compulsory,
+            1 => MissCode::Staleness,
+            2 => MissCode::Capacity,
+            _ => MissCode::Consistency,
+        };
+        roundtrip_response(&Response::Miss { kind });
+    }
+
+    #[test]
+    fn acks_and_stats_roundtrip(applied in 0u64..u64::MAX, hits in 0u64..u64::MAX, bytes in 0u64..u64::MAX) {
+        roundtrip_response(&Response::PutAck);
+        roundtrip_response(&Response::InvalidationAck { applied });
+        roundtrip_response(&Response::Sealed { sealed: applied });
+        roundtrip_response(&Response::Ok);
+        roundtrip_response(&Response::StatsSnapshot(NodeStats {
+            hits,
+            used_bytes: bytes,
+            ..NodeStats::default()
+        }));
+    }
+
+    #[test]
+    fn error_frames_roundtrip(code in 0u8..3, message in "[a-z0-9 _]{0,40}") {
+        let code = match code {
+            0 => ErrorCode::Version,
+            1 => ErrorCode::Malformed,
+            _ => ErrorCode::Internal,
+        };
+        roundtrip_response(&Response::Error { code, message });
+    }
+
+    #[test]
+    fn corrupt_bodies_never_panic(noise in proptest::collection::vec(0u8..=255u8, 0..64)) {
+        // Decoding arbitrary bytes must fail cleanly, never panic.
+        let _ = Request::decode(&noise);
+        let _ = Response::decode(&noise);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Deterministic edge cases the random strategies may not reliably hit.
+// ----------------------------------------------------------------------
+
+#[test]
+fn empty_tag_set_and_empty_value_roundtrip() {
+    roundtrip_request(&Request::Put {
+        key: CacheKey::new("f", ""),
+        value: Bytes::new(),
+        validity: ValidityInterval::unbounded(Timestamp::ZERO),
+        tags: TagSet::new(),
+        now: WallClock::ZERO,
+    });
+    roundtrip_response(&Response::Hit {
+        value: Bytes::new(),
+        validity: ValidityInterval::unbounded(Timestamp::ZERO),
+        stored_validity: ValidityInterval::unbounded(Timestamp::ZERO),
+        tags: TagSet::new(),
+    });
+    roundtrip_request(&Request::InvalidationBatch {
+        events: Vec::new(),
+        heartbeat: Timestamp::ZERO,
+    });
+}
+
+#[test]
+fn extreme_timestamps_and_large_values_roundtrip() {
+    roundtrip_request(&Request::VersionedGet {
+        key: CacheKey::new("f", "x".repeat(4096)),
+        pinset_lo: Timestamp::ZERO,
+        pinset_hi: Timestamp::MAX,
+        freshness_lo: Timestamp::MAX,
+    });
+    // A megabyte-scale value — far above any strategy-generated payload but
+    // well under the frame cap, exercising the length-prefixed path.
+    roundtrip_request(&Request::Put {
+        key: CacheKey::new("f", "[big]"),
+        value: Bytes::from(vec![0xAB; 1 << 20]),
+        validity: ValidityInterval {
+            lower: Timestamp::ZERO,
+            upper: Some(Timestamp::MAX),
+        },
+        tags: [InvalidationTag::wildcard("t")].into_iter().collect(),
+        now: WallClock::from_micros(u64::MAX),
+    });
+    roundtrip_response(&Response::InvalidationAck { applied: u64::MAX });
+}
+
+#[test]
+fn frames_above_the_size_cap_are_rejected() {
+    let oversized = vec![0u8; txcache_repro::wire::MAX_FRAME_BYTES + 1];
+    let mut sink = Vec::new();
+    assert!(write_frame(&mut sink, &oversized).is_err());
+
+    // A forged oversized length prefix is rejected before allocation.
+    let mut forged = Vec::new();
+    forged.extend_from_slice(&(u32::MAX).to_le_bytes());
+    let mut cursor = std::io::Cursor::new(forged);
+    assert!(read_frame(&mut cursor).is_err());
+}
