@@ -9,11 +9,18 @@
 #   4. the full test suite
 #   5. an explicit compile check of the examples (also covered by
 #      --all-targets, kept as a named step so a broken example is called out)
-#   6. optionally, the network smoke gate (--net-smoke): starts a real
+#   6. optionally, the chaos smoke gate (--chaos-smoke): a short bounded
+#      chaos sweep over a fixed seed set — real txcached servers and the
+#      remote client joined by the deterministic in-process SimNet, with
+#      frame drops/duplicates/reorders/resets and a scripted partition,
+#      verified by the transactional-consistency history checker on both
+#      cache backends. Failures print the seed and a CHAOS_SEED=... repro
+#      command; set CHAOS_SEED to pin the sweep to one seed.
+#   7. optionally, the network smoke gate (--net-smoke): starts a real
 #      txcached server on an ephemeral loopback port, probes it with
 #      `txcached --ping`, runs the remote-backend consistency test against it
 #      via TXCACHED_ADDRS, and tears the server down again
-#   7. optionally, the bench-regression smoke gate (--bench-smoke): the
+#   8. optionally, the bench-regression smoke gate (--bench-smoke): the
 #      fig5_throughput thread sweep compared against a baseline JSON.
 #      The baseline defaults to the checked-in
 #      crates/bench/BENCH_fig5.baseline.json and can be overridden with
@@ -28,13 +35,15 @@
 # at a glance.
 #
 # Usage: ./ci.sh [--no-clippy] [--profile debug|release] [--bench-smoke]
-#                [--net-smoke]
+#                [--net-smoke] [--chaos-smoke]
 #
 #   --profile release (default)  build and test with --release
 #   --profile debug              build and test the dev profile
 #   --bench-smoke                run the throughput-regression gate (builds
 #                                the release bench binary if needed)
 #   --net-smoke                  run the txcached loopback network gate
+#   --chaos-smoke                run the bounded chaos sweep (both backends,
+#                                fixed seeds, history checker)
 #
 # To refresh the bench baseline after an intentional perf change:
 #   cargo build --release -p bench --bin fig5_throughput
@@ -47,12 +56,14 @@ cd "$(dirname "$0")"
 NO_CLIPPY=0
 BENCH_SMOKE=0
 NET_SMOKE=0
+CHAOS_SMOKE=0
 PROFILE=release
 while [ $# -gt 0 ]; do
     case "$1" in
         --no-clippy) NO_CLIPPY=1 ;;
         --bench-smoke) BENCH_SMOKE=1 ;;
         --net-smoke) NET_SMOKE=1 ;;
+        --chaos-smoke) CHAOS_SMOKE=1 ;;
         --profile)
             shift
             PROFILE="${1:-}"
@@ -109,6 +120,31 @@ else
     run_step "cargo build (all targets)" cargo build --workspace --all-targets
     run_step "cargo test" cargo test --workspace --quiet
     run_step "examples compile check" cargo build --examples
+fi
+
+if [ "$CHAOS_SMOKE" -eq 1 ]; then
+    # The bounded chaos sweep. The regular test step already runs the full
+    # chaos suite on its default seed set, so this gate adds *different*
+    # coverage: the seed-robust scenarios (random-fault survival on the
+    # simulated wire tier, and the checker on the in-process backend) are
+    # replayed under extra pinned seeds via CHAOS_SEED. Failures print the
+    # seed and a one-line CHAOS_SEED=... repro command.
+    CHAOS_PROFILE_FLAG=""
+    [ "$PROFILE" = release ] && CHAOS_PROFILE_FLAG="--release"
+    if [ -n "${CHAOS_SEED:-}" ]; then
+        # An exported CHAOS_SEED pins the gate to that seed (replaying a
+        # reported failure) instead of the extra sweep seeds.
+        run_step "chaos smoke (pinned CHAOS_SEED=${CHAOS_SEED})" \
+            cargo test $CHAOS_PROFILE_FLAG --quiet --test chaos
+    else
+        for CHAOS_SWEEP_SEED in 271828 31337; do
+            run_step "chaos smoke (extra seed ${CHAOS_SWEEP_SEED}, both backends)" \
+                env CHAOS_SEED="$CHAOS_SWEEP_SEED" \
+                cargo test $CHAOS_PROFILE_FLAG --quiet --test chaos -- \
+                sim_remote_backend_survives_random_faults \
+                in_process_backend_passes_the_history_checker
+        done
+    fi
 fi
 
 if [ "$NET_SMOKE" -eq 1 ]; then

@@ -1,10 +1,17 @@
-//! `txcached`: a cache node served over TCP with the `wire` protocol.
+//! `txcached`: a cache node served over the `wire` protocol.
 //!
 //! The paper deploys cache nodes as standalone `txcached` processes that
 //! application servers reach over a memcached-like protocol extended with
 //! versioned lookups and an invalidation stream (§4, §7). This module is that
-//! server: a std-only threaded TCP accept loop hosting one [`CacheNode`]
-//! behind the [`wire`] protocol.
+//! server: a std-only threaded accept loop hosting one [`CacheNode`]
+//! behind the [`wire`] protocol, generic over the transport.
+//!
+//! The server is parameterized by a [`wire::Listener`]: production binds a
+//! real `TcpListener` ([`TxcachedServer::bind`]); the chaos tests serve the
+//! *same* code over an in-process [`wire::SimListener`]
+//! ([`TxcachedServer::serve`]) so the full request/invalidation path runs
+//! under deterministic fault injection — frame drops, duplicates,
+//! reorderings, resets, partitions — without sockets.
 //!
 //! Design points:
 //!
@@ -15,6 +22,10 @@
 //!   [`wire::Request::InvalidationBatch`] applies every event in commit order
 //!   and then advances the node's heartbeat timestamp, exactly like the
 //!   in-process delivery path.
+//! * **Sequence echoing**: every response carries the sequence number of the
+//!   request it answers (protocol v2), so clients detect duplicated or
+//!   reordered frames as desyncs instead of attributing a response to the
+//!   wrong request.
 //! * **Graceful shutdown**: [`TxcachedServer::shutdown`] stops the accept
 //!   loop, shuts every open connection down, and joins all threads; dropping
 //!   the server does the same, so tests cannot leak threads.
@@ -26,13 +37,15 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
-use wire::{FramedStream, InvalidationEvent, Request, Response, WireError};
+use wire::{
+    Closer, FramedStream, InvalidationEvent, Listener, Request, Response, Transport, WireError,
+};
 
 use crate::entry::{LookupOutcome, LookupRequest};
 use crate::node::{CacheNode, NodeConfig};
@@ -110,24 +123,30 @@ struct Shared {
     node: Mutex<CacheNode>,
     counters: ServerCounters,
     shutting_down: AtomicBool,
-    /// Clones of *currently open* connections, keyed by connection id, so
+    /// Closers for *currently open* connections, keyed by connection id, so
     /// shutdown can unblock their reads. Handlers remove their own entry on
     /// exit, so the map never outgrows the live connection count.
-    open_conns: Mutex<HashMap<u64, TcpStream>>,
+    open_conns: Mutex<HashMap<u64, Closer>>,
     handlers: Mutex<Vec<JoinHandle<()>>>,
     closed_log: Mutex<VecDeque<ConnectionSummary>>,
 }
 
-/// A running `txcached` server bound to a TCP address.
-pub struct TxcachedServer {
-    local_addr: SocketAddr,
+/// A running `txcached` server behind some [`Listener`] — a TCP address in
+/// production ([`TxcachedServer::bind`]), a simulated one in the chaos tests
+/// ([`TxcachedServer::serve`]).
+pub struct TxcachedServer<L: Listener = TcpListener> {
+    /// The bound TCP address, when the listener is a real socket.
+    local_addr: Option<SocketAddr>,
+    label: String,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    listener_closer: Closer,
+    _listener: std::marker::PhantomData<fn() -> L>,
 }
 
-impl TxcachedServer {
-    /// Binds a listener (use port 0 for an ephemeral port) and starts the
-    /// accept loop. The hosted node is named `name` and configured by
+impl TxcachedServer<TcpListener> {
+    /// Binds a TCP listener (use port 0 for an ephemeral port) and starts
+    /// the accept loop. The hosted node is named `name` and configured by
     /// `config`.
     pub fn bind(
         addr: impl ToSocketAddrs,
@@ -136,6 +155,32 @@ impl TxcachedServer {
     ) -> std::io::Result<TxcachedServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let mut server = TxcachedServer::serve(listener, name, config)?;
+        server.local_addr = Some(local_addr);
+        Ok(server)
+    }
+
+    /// The TCP address the server is listening on.
+    ///
+    /// # Panics
+    /// Never for servers built with [`TxcachedServer::bind`].
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr.expect("bind() always records the address")
+    }
+}
+
+impl<L: Listener> TxcachedServer<L> {
+    /// Starts the accept loop on an already-bound listener of any
+    /// transport. This is the generic constructor the chaos tests use with
+    /// a [`wire::SimListener`]; [`TxcachedServer::bind`] wraps it for TCP.
+    pub fn serve(
+        listener: L,
+        name: impl Into<String>,
+        config: NodeConfig,
+    ) -> std::io::Result<TxcachedServer<L>> {
+        let label = listener.local_label();
+        let listener_closer = listener.closer()?;
         let shared = Arc::new(Shared {
             node: Mutex::new(CacheNode::new(name, config)),
             counters: ServerCounters::default(),
@@ -146,19 +191,23 @@ impl TxcachedServer {
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
-            .name(format!("txcached-accept-{local_addr}"))
+            .name(format!("txcached-accept-{label}"))
             .spawn(move || accept_loop(&listener, &accept_shared))?;
         Ok(TxcachedServer {
-            local_addr,
+            local_addr: None,
+            label,
             shared,
             accept: Some(accept),
+            listener_closer,
+            _listener: std::marker::PhantomData,
         })
     }
 
-    /// The address the server is listening on.
+    /// A human-readable label of the listening address (works for every
+    /// transport; see [`TxcachedServer::local_addr`] for the TCP address).
     #[must_use]
-    pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
     /// Node-wide protocol counters.
@@ -191,13 +240,12 @@ impl TxcachedServer {
         if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
+        self.listener_closer.close();
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
-        for (_, conn) in self.shared.open_conns.lock().drain() {
-            let _ = conn.shutdown(Shutdown::Both);
+        for (_, closer) in self.shared.open_conns.lock().drain() {
+            closer.close();
         }
         let handlers: Vec<JoinHandle<()>> = self.shared.handlers.lock().drain(..).collect();
         for handle in handlers {
@@ -206,42 +254,47 @@ impl TxcachedServer {
     }
 }
 
-impl Drop for TxcachedServer {
+impl<L: Listener> Drop for TxcachedServer<L> {
     fn drop(&mut self) {
         self.shutdown();
     }
 }
 
-impl std::fmt::Debug for TxcachedServer {
+impl<L: Listener> std::fmt::Debug for TxcachedServer<L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TxcachedServer")
-            .field("addr", &self.local_addr)
+            .field("addr", &self.label)
             .field("stats", &self.stats())
             .finish()
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    for stream in listener.incoming() {
+fn accept_loop<L: Listener>(listener: &L, shared: &Arc<Shared>) {
+    loop {
         if shared.shutting_down.load(Ordering::SeqCst) {
             break;
         }
-        let stream = match stream {
+        let stream = match listener.accept() {
             Ok(stream) => stream,
             Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
                 // Transient accept failures (e.g. EMFILE under fd pressure)
                 // must not busy-spin the accept thread.
                 std::thread::sleep(std::time::Duration::from_millis(10));
                 continue;
             }
         };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
         let conn_id = shared
             .counters
             .connections_accepted
             .fetch_add(1, Ordering::Relaxed);
-        let _ = stream.set_nodelay(true);
-        if let Ok(clone) = stream.try_clone() {
-            shared.open_conns.lock().insert(conn_id, clone);
+        if let Ok(closer) = stream.closer() {
+            shared.open_conns.lock().insert(conn_id, closer);
         }
         // Reap finished handler threads so the handle list tracks live
         // connections instead of growing for the server's lifetime.
@@ -258,14 +311,14 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 
 /// A transport adapter that counts bytes into the per-connection tallies and
 /// the node-wide counters.
-struct CountingStream<'a> {
-    inner: TcpStream,
+struct CountingStream<'a, T> {
+    inner: T,
     counters: &'a ServerCounters,
     bytes_in: u64,
     bytes_out: u64,
 }
 
-impl Read for CountingStream<'_> {
+impl<T: Read> Read for CountingStream<'_, T> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         let n = self.inner.read(buf)?;
         self.bytes_in += n as u64;
@@ -276,7 +329,7 @@ impl Read for CountingStream<'_> {
     }
 }
 
-impl Write for CountingStream<'_> {
+impl<T: Write> Write for CountingStream<'_, T> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
         let n = self.inner.write(buf)?;
         self.bytes_out += n as u64;
@@ -291,10 +344,8 @@ impl Write for CountingStream<'_> {
     }
 }
 
-fn handle_connection(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
-    let peer = stream
-        .peer_addr()
-        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+fn handle_connection<T: Transport>(conn_id: u64, stream: T, shared: &Arc<Shared>) {
+    let peer = stream.peer_label();
     let counting = CountingStream {
         inner: stream,
         counters: &shared.counters,
@@ -310,12 +361,13 @@ fn handle_connection(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
         }
         // Frame-level errors desynchronize the stream: close. Body-level
         // decode errors leave the stream at a frame boundary: answer with an
-        // error frame and keep serving.
-        let body = match wire::read_frame(framed.transport_mut()) {
-            Ok(Some(body)) => body,
+        // error frame (echoing the request's sequence number) and keep
+        // serving.
+        let (seq, decoded) = match framed.recv_request() {
+            Ok(Some(x)) => x,
             Ok(None) | Err(_) => break,
         };
-        let response = match Request::decode(&body) {
+        let response = match decoded {
             Ok(request) => {
                 requests += 1;
                 shared.counters.requests.fetch_add(1, Ordering::Relaxed);
@@ -329,17 +381,17 @@ fn handle_connection(conn_id: u64, stream: TcpStream, shared: &Arc<Shared>) {
                 error_frame(&e)
             }
         };
-        if framed.send_response(&response).is_err() {
+        if framed.send_response(seq, &response).is_err() {
             break;
         }
     }
 
     let counting = framed.into_inner();
-    // Drop both fds now: the handler's own stream and the registered clone.
-    // Leaving the clone in the registry would keep the kernel socket open
-    // (the peer would never see EOF) and leak one fd per connection.
-    if let Some(clone) = shared.open_conns.lock().remove(&conn_id) {
-        let _ = clone.shutdown(Shutdown::Both);
+    // Release the registered closer now: leaving it in the registry would
+    // keep the connection's resources alive and leak one entry per
+    // connection.
+    if let Some(closer) = shared.open_conns.lock().remove(&conn_id) {
+        closer.close();
     }
     shared
         .counters
@@ -439,6 +491,7 @@ fn apply_request(shared: &Shared, request: Request) -> Response {
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use std::net::TcpStream;
     use txtypes::{CacheKey, InvalidationTag, TagSet, Timestamp, ValidityInterval, WallClock};
     use wire::MissCode;
 
@@ -524,6 +577,27 @@ mod tests {
     }
 
     #[test]
+    fn the_same_server_runs_over_a_sim_transport() {
+        let net = wire::SimNet::new(11);
+        let listener = net.bind("node-0");
+        let srv: TxcachedServer<wire::SimListener> = TxcachedServer::serve(
+            listener,
+            "sim-node",
+            NodeConfig {
+                capacity_bytes: 1 << 20,
+            },
+        )
+        .unwrap();
+        let conn =
+            wire::Connector::connect(&net, "node-0", std::time::Duration::from_secs(1)).unwrap();
+        let mut framed = FramedStream::new(conn);
+        let pong = framed.call(&Request::Ping { nonce: 42 }).unwrap();
+        assert_eq!(pong, Response::Pong { nonce: 42 });
+        assert_eq!(srv.label(), "sim://node-0");
+        assert_eq!(srv.stats().requests, 1);
+    }
+
+    #[test]
     fn invalidation_batch_truncates_entries_and_advances_heartbeat() {
         let srv = server();
         let mut conn = client(&srv);
@@ -588,9 +662,14 @@ mod tests {
     fn malformed_bodies_get_error_frames_but_keep_the_connection() {
         let srv = server();
         let mut conn = client(&srv);
-        // A body with a bogus version byte.
-        wire::write_frame(conn.transport_mut(), &[99u8, 0x01]).unwrap();
-        match conn.recv_response().unwrap().unwrap() {
+        // A body with a sequence number and a bogus version byte.
+        let mut body = 77u64.to_le_bytes().to_vec();
+        body.extend_from_slice(&[99u8, 0x01]);
+        wire::write_frame(conn.transport_mut(), &body).unwrap();
+        // Read the raw error frame back: it echoes sequence 77.
+        let reply = wire::read_frame(conn.transport_mut()).unwrap().unwrap();
+        assert_eq!(&reply[..8], &77u64.to_le_bytes());
+        match Response::decode(&reply[8..]).unwrap() {
             Response::Error { code, .. } => assert_eq!(code, wire::ErrorCode::Version),
             other => panic!("expected error frame, got {other:?}"),
         }

@@ -8,20 +8,26 @@
 //! * [`cache_server::CacheCluster`] implements the trait directly — the
 //!   original in-process configuration, still the default;
 //! * [`RemoteCluster`] speaks the `wire` protocol to a set of `txcached`
-//!   TCP servers, with one pooled connection per node placed on the same
-//!   consistent-hash ring the in-process cluster uses.
+//!   servers, with one pooled connection per consistent-hash-ring node.
+//!
+//! `RemoteCluster` is generic over a [`wire::Connector`]: production dials
+//! real TCP ([`wire::TcpConnector`], the default type parameter), and the
+//! chaos tests dial through an in-process [`wire::SimNet`] whose pipes
+//! inject deterministic frame drops, duplicates, reorderings, resets, and
+//! partitions. The client code — pooling, pipelining, degradation,
+//! seal-on-heal — is identical either way, which is the point: the fault
+//! injection exercises the code that runs in production.
 //!
 //! The remote backend is deliberately failure-tolerant in the way a cache
-//! must be: any transport error or timeout on the lookup/insert path is
-//! *absorbed as a cache miss* (and counted in
+//! must be: any transport error, timeout, or response-sequence desync on
+//! the lookup/insert path is *absorbed as a cache miss* (and counted in
 //! [`RemoteCluster::degraded_ops`]), the connection is dropped and lazily
 //! re-established, and the application keeps running against the database.
 //! Inserts are pipelined — the `Put` frame is written and the ack collected
 //! before the connection's next use — so a miss-then-fill does not pay a
 //! second round trip.
 
-use std::net::TcpStream;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -29,7 +35,9 @@ use cache_server::{CacheCluster, CacheStats, ConsistentHashRing, LookupOutcome, 
 use mvdb::InvalidationMessage;
 use parking_lot::{Mutex, MutexGuard};
 use txtypes::{CacheKey, Error, Result, TagSet, Timestamp, ValidityInterval, WallClock};
-use wire::{FramedStream, InvalidationEvent, Request, Response};
+use wire::{
+    Connector, FramedStream, InvalidationEvent, Request, Response, TcpConnector, Transport,
+};
 
 use crate::config::BackendKind;
 
@@ -116,11 +124,11 @@ impl CacheBackend for CacheCluster {
     }
 }
 
-/// Tuning for the remote backend's sockets.
+/// Tuning for the remote backend's connections.
 #[derive(Debug, Clone, Copy)]
 pub struct RemoteOptions {
-    /// Per-operation socket read/write timeout. An expired timeout degrades
-    /// the operation to a miss and drops the pooled connection.
+    /// Per-operation I/O timeout. An expired timeout degrades the
+    /// operation to a miss and drops the pooled connection.
     pub op_timeout: Duration,
     /// Timeout for establishing a connection to a node.
     pub connect_timeout: Duration,
@@ -141,16 +149,16 @@ impl Default for RemoteOptions {
 }
 
 /// Most `Put` acks a connection may leave uncollected. Unbounded pipelining
-/// would eventually fill both TCP buffer directions on an insert-heavy burst
-/// (the server blocks writing acks nobody reads, then stops reading) and
-/// stall until the op timeout; draining at a threshold keeps the window
+/// would eventually fill both transport buffer directions on an insert-heavy
+/// burst (the server blocks writing acks nobody reads, then stops reading)
+/// and stall until the op timeout; draining at a threshold keeps the window
 /// safely below any practical socket-buffer size.
 const MAX_PENDING_PUTS: u32 = 64;
 
 /// One pooled node connection plus its pipelining state.
-struct NodeConn {
+struct NodeConn<T> {
     /// The framed stream, or `None` until (re)connected.
-    framed: Option<FramedStream<TcpStream>>,
+    framed: Option<FramedStream<T>>,
     /// `Put` frames written whose acks have not been collected yet. Acks are
     /// drained before the next request that needs a response, preserving the
     /// one-response-per-request ordering the protocol guarantees.
@@ -164,7 +172,7 @@ struct NodeConn {
     last_failure: Option<std::time::Instant>,
 }
 
-impl NodeConn {
+impl<T> NodeConn<T> {
     /// Drops the connection and starts the reconnect cooldown.
     fn mark_dead(&mut self) {
         self.framed = None;
@@ -173,24 +181,31 @@ impl NodeConn {
     }
 }
 
-struct RemoteNode {
+struct RemoteNode<T> {
     addr: String,
-    conn: Mutex<NodeConn>,
+    conn: Mutex<NodeConn<T>>,
 }
 
-/// A cache cluster reached over TCP: one `txcached` server per ring node.
-pub struct RemoteCluster {
-    nodes: Vec<RemoteNode>,
+/// A cache cluster reached over the wire protocol: one `txcached` server
+/// per ring node, dialled through a [`Connector`] (real TCP by default; the
+/// chaos tests substitute a [`wire::SimNet`]).
+pub struct RemoteCluster<C: Connector = TcpConnector> {
+    connector: C,
+    nodes: Vec<RemoteNode<C::Conn>>,
     ring: ConsistentHashRing,
     options: RemoteOptions,
     /// Operations absorbed as misses because of transport failures.
     degraded: AtomicU64,
     /// Connections healed after a failure (startup connects not counted).
     reconnects: AtomicU64,
+    /// Fault-injection mutation hook: when set, healed connections skip the
+    /// §4.2 `SealStillValid` step. See
+    /// [`RemoteCluster::disable_seal_on_heal_for_fault_injection`].
+    seal_on_heal_disabled: AtomicBool,
 }
 
-impl RemoteCluster {
-    /// Connects to the given `txcached` addresses with default socket
+impl RemoteCluster<TcpConnector> {
+    /// Connects to the given `txcached` TCP addresses with default socket
     /// options. Every address must answer a `Ping`; failing nodes make the
     /// whole connect fail so a misconfigured deployment is caught at startup
     /// rather than degrading silently forever.
@@ -200,10 +215,24 @@ impl RemoteCluster {
 
     /// [`RemoteCluster::connect`] with explicit socket options.
     pub fn connect_with(addrs: &[String], options: RemoteOptions) -> Result<RemoteCluster> {
+        RemoteCluster::connect_via(TcpConnector, addrs, options)
+    }
+}
+
+impl<C: Connector> RemoteCluster<C> {
+    /// Connects to the given addresses through an arbitrary [`Connector`] —
+    /// the generic form [`RemoteCluster::connect`] wraps for TCP, and the
+    /// entry point the chaos tests use with a [`wire::SimNet`].
+    pub fn connect_via(
+        connector: C,
+        addrs: &[String],
+        options: RemoteOptions,
+    ) -> Result<RemoteCluster<C>> {
         if addrs.is_empty() {
             return Err(Error::Network("no cache node addresses given".into()));
         }
         let cluster = RemoteCluster {
+            connector,
             nodes: addrs
                 .iter()
                 .map(|addr| RemoteNode {
@@ -220,6 +249,7 @@ impl RemoteCluster {
             options,
             degraded: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
+            seal_on_heal_disabled: AtomicBool::new(false),
         };
         for (idx, node) in cluster.nodes.iter().enumerate() {
             let mut conn = node.conn.lock();
@@ -255,13 +285,26 @@ impl RemoteCluster {
         }
     }
 
+    /// **Fault-injection mutation hook — never call in production.**
+    /// Hidden from the documented API for exactly that reason.
+    ///
+    /// Disables the §4.2 seal-on-heal step: reconnected nodes keep serving
+    /// still-valid entries whose invalidations may have been lost during
+    /// the partition, which violates transactional consistency. The chaos
+    /// suite flips this to prove its history checker actually catches the
+    /// resulting stale resurrection (a mutation test of the checker).
+    #[doc(hidden)]
+    pub fn disable_seal_on_heal_for_fault_injection(&self) {
+        self.seal_on_heal_disabled.store(true, Ordering::SeqCst);
+    }
+
     /// The node addresses, in ring order.
     #[must_use]
     pub fn addrs(&self) -> Vec<String> {
         self.nodes.iter().map(|n| n.addr.clone()).collect()
     }
 
-    fn ensure_connected(&self, idx: usize, conn: &mut NodeConn) -> wire::Result<()> {
+    fn ensure_connected(&self, idx: usize, conn: &mut NodeConn<C::Conn>) -> wire::Result<()> {
         if conn.framed.is_some() {
             return Ok(());
         }
@@ -276,35 +319,13 @@ impl RemoteCluster {
                 )));
             }
         }
-        let connected = (|| -> wire::Result<FramedStream<TcpStream>> {
-            // `connect_timeout` needs a resolved SocketAddr; resolve through
-            // the standard ToSocketAddrs machinery and try each candidate.
-            let addr_str = &self.nodes[idx].addr;
-            let addrs: Vec<std::net::SocketAddr> =
-                std::net::ToSocketAddrs::to_socket_addrs(addr_str.as_str())
-                    .map_err(wire::WireError::Io)?
-                    .collect();
-            let mut last_err = std::io::Error::new(
-                std::io::ErrorKind::AddrNotAvailable,
-                "no addresses resolved",
-            );
-            let mut stream = None;
-            for addr in addrs {
-                match TcpStream::connect_timeout(&addr, self.options.connect_timeout) {
-                    Ok(s) => {
-                        stream = Some(s);
-                        break;
-                    }
-                    Err(e) => last_err = e,
-                }
-            }
-            let stream = stream.ok_or(wire::WireError::Io(last_err))?;
-            stream.set_nodelay(true).map_err(wire::WireError::Io)?;
-            stream
-                .set_read_timeout(Some(self.options.op_timeout))
+        let connected = (|| -> wire::Result<FramedStream<C::Conn>> {
+            let stream = self
+                .connector
+                .connect(&self.nodes[idx].addr, self.options.connect_timeout)
                 .map_err(wire::WireError::Io)?;
             stream
-                .set_write_timeout(Some(self.options.op_timeout))
+                .set_io_timeout(Some(self.options.op_timeout))
                 .map_err(wire::WireError::Io)?;
             let mut framed = FramedStream::new(stream);
             // A heal: the node may have missed invalidation batches while
@@ -312,7 +333,7 @@ impl RemoteCluster {
             // entries are sealed at its current invalidation horizon so a
             // later heartbeat cannot extend results whose invalidation was
             // lost (the reliable-multicast recovery rule of §4.2).
-            if conn.was_connected {
+            if conn.was_connected && !self.seal_on_heal_disabled.load(Ordering::SeqCst) {
                 match framed.call(&Request::SealStillValid)?.into_result()? {
                     Response::Sealed { .. } => {}
                     other => {
@@ -345,7 +366,7 @@ impl RemoteCluster {
 
     /// Collects outstanding pipelined `Put` acks so the next request's
     /// response is the next frame on the stream.
-    fn drain_pending(conn: &mut NodeConn) -> wire::Result<()> {
+    fn drain_pending(conn: &mut NodeConn<C::Conn>) -> wire::Result<()> {
         while conn.pending_puts > 0 {
             let framed = conn.framed.as_mut().expect("drained only when connected");
             match framed.recv_response()? {
@@ -389,7 +410,7 @@ impl RemoteCluster {
     /// fan-out pipelining used for invalidation batches and maintenance, so
     /// total latency is one round trip rather than one per node.
     fn broadcast(&self, request: &Request) -> Vec<Option<Response>> {
-        let mut guards: Vec<MutexGuard<'_, NodeConn>> =
+        let mut guards: Vec<MutexGuard<'_, NodeConn<C::Conn>>> =
             self.nodes.iter().map(|n| n.conn.lock()).collect();
         let mut alive: Vec<bool> = Vec::with_capacity(guards.len());
         for (idx, conn) in guards.iter_mut().enumerate() {
@@ -438,7 +459,7 @@ impl RemoteCluster {
     }
 }
 
-impl std::fmt::Debug for RemoteCluster {
+impl<C: Connector> std::fmt::Debug for RemoteCluster<C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RemoteCluster")
             .field("nodes", &self.nodes.len())
@@ -447,7 +468,7 @@ impl std::fmt::Debug for RemoteCluster {
     }
 }
 
-impl CacheBackend for RemoteCluster {
+impl<C: Connector> CacheBackend for RemoteCluster<C> {
     fn kind(&self) -> BackendKind {
         BackendKind::Remote
     }
@@ -500,8 +521,8 @@ impl CacheBackend for RemoteCluster {
         let sent = (|| -> wire::Result<()> {
             self.ensure_connected(idx, &mut conn)?;
             // Keep the pipeline bounded: past the threshold, collect acks
-            // before writing more so the two TCP buffer directions can never
-            // fill up against each other on an insert-heavy burst.
+            // before writing more so the two transport buffer directions can
+            // never fill up against each other on an insert-heavy burst.
             if conn.pending_puts >= MAX_PENDING_PUTS {
                 Self::drain_pending(&mut conn)?;
             }

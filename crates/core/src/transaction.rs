@@ -428,8 +428,18 @@ impl<'a> Transaction<'a> {
                     }
                 }
                 self.sys.pincushion.release(&ro.acquired_pins);
+                // Report a timestamp the whole transaction is serializable
+                // at (§6.2: every surviving pin-set candidate lies inside
+                // every observed validity interval). The snapshot the
+                // database transaction ran at may have been *narrowed away*
+                // by a later cache hit whose validity excluded it — the
+                // observations are then only guaranteed consistent at the
+                // remaining candidates, so prefer those. Applications use
+                // this timestamp as a causality bound (§2.2), and the chaos
+                // history checker verifies every read against it.
                 let timestamp = ro
                     .chosen_snapshot
+                    .filter(|ts| ro.pin_set.contains(*ts))
                     .or_else(|| ro.pin_set.newest())
                     .unwrap_or_else(|| self.sys.db.latest_timestamp());
                 Ok(CommitInfo {

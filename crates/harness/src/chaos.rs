@@ -1,0 +1,506 @@
+//! The randomized chaos scenario runner.
+//!
+//! Drives a RUBiS-shaped read-mostly workload (N client sessions over a
+//! shared accounts table: read-only balance lookups through cacheable
+//! calls, interleaved with read/write transfers) against a [`TxCache`]
+//! whose cache tier is either the in-process cluster or a set of real
+//! `TxcachedServer`s reached over a [`wire::SimNet`] — the deterministic
+//! in-process transport that injects frame drops, duplicates, reorderings,
+//! connection resets, and scripted asymmetric partitions.
+//!
+//! Every transaction's observations are recorded into a
+//! [`History`](crate::history::History) and verified by the
+//! transactional-consistency checker: one consistent snapshot per
+//! transaction (no frankenreads), no future reads, and no time-travel past
+//! the staleness bound — the §2/§4.2 contract, checked under faults rather
+//! than assumed.
+//!
+//! ## Reproducibility
+//!
+//! A scenario is fully determined by its [`ChaosScenarioConfig`]: the
+//! workload choices come from a seeded splitmix64, the clock is simulated,
+//! and every transport fault is decided by per-pipe seeded generators at
+//! write time. [`ChaosOutcome`] carries digests of both the fault schedule
+//! and the observed history so tests can assert bit-for-bit
+//! reproducibility. On a failure, print [`ChaosOutcome::repro`] — setting
+//! `CHAOS_SEED` replays the exact run.
+
+use std::sync::Arc;
+
+use cache_server::{CacheCluster, CacheStats, NodeConfig, TxcachedServer};
+use mvdb::{ColumnType, Database, DbConfig, Predicate, SelectQuery, TableSchema, Value};
+use pincushion::Pincushion;
+use txcache::backend::{CacheBackend, RemoteCluster, RemoteOptions};
+use txcache::{Transaction, TxCache, TxCacheConfig};
+use txtypes::{Result, SimClock, Staleness};
+use wire::{ChaosConfig, FaultCounts, SimListener, SimNet, SplitMix64};
+
+use crate::history::{CheckSummary, CommitRecord, History, ReadRecord, Violation};
+
+/// Every account starts with this balance; the workload only transfers, so
+/// the per-key ground truth (and the global sum) stays checkable.
+const INITIAL_BALANCE: i64 = 1_000;
+
+/// Which cache tier the scenario drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosBackend {
+    /// The in-process [`CacheCluster`] — no transport, no faults; this
+    /// validates the checker itself and the backend-independence of the
+    /// invariants.
+    InProcess {
+        /// Number of cache nodes.
+        nodes: usize,
+    },
+    /// Real [`TxcachedServer`]s served over a [`SimNet`] with the
+    /// configured chaos; the full wire path under fault injection.
+    SimRemote {
+        /// Number of `txcached` servers.
+        nodes: usize,
+    },
+}
+
+/// A scripted partition window, applied at round boundaries: the node is
+/// severed (live connections reset) and blackholed from `from_round` until
+/// `until_round`, when it heals.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionWindow {
+    /// Index of the node to partition.
+    pub node: usize,
+    /// Round at which the partition starts.
+    pub from_round: usize,
+    /// Round at which the partition heals.
+    pub until_round: usize,
+}
+
+/// Full description of one chaos scenario.
+#[derive(Debug, Clone)]
+pub struct ChaosScenarioConfig {
+    /// Master seed: workload choices and (for [`ChaosBackend::SimRemote`])
+    /// every transport fault derive from it.
+    pub seed: u64,
+    /// Which cache tier to drive.
+    pub backend: ChaosBackend,
+    /// Per-frame fault probabilities (ignored for the in-process backend).
+    pub chaos: ChaosConfig,
+    /// Scripted partition windows (ignored for the in-process backend).
+    pub partitions: Vec<PartitionWindow>,
+    /// Number of accounts in the table.
+    pub accounts: u64,
+    /// Number of client sessions.
+    pub sessions: usize,
+    /// Rounds to run; every round executes one operation per session.
+    pub rounds: usize,
+    /// Staleness limit for the read-only transactions.
+    pub staleness: Staleness,
+    /// Microseconds of simulated time between operations.
+    pub op_gap_micros: u64,
+    /// Per-operation transport timeout (how long a lost frame stalls a
+    /// client before it degrades). Real time, so keep it small in tests.
+    pub op_timeout: std::time::Duration,
+    /// **Mutation hook**: disable the §4.2 seal-on-heal recovery rule, so
+    /// the checker can be shown to catch the resulting stale resurrection.
+    pub disable_seal_on_heal: bool,
+}
+
+impl ChaosScenarioConfig {
+    /// A bounded randomized-fault scenario on the simulated wire tier.
+    #[must_use]
+    pub fn stormy(seed: u64) -> ChaosScenarioConfig {
+        ChaosScenarioConfig {
+            seed,
+            backend: ChaosBackend::SimRemote { nodes: 2 },
+            chaos: ChaosConfig::stormy(),
+            partitions: vec![PartitionWindow {
+                node: 0,
+                from_round: 30,
+                until_round: 45,
+            }],
+            accounts: 12,
+            sessions: 6,
+            rounds: 80,
+            // Short enough that pinned snapshots age out over the run, so
+            // reads keep re-pinning fresh snapshots and the cache keeps
+            // absorbing new still-valid entries — the state the seal and
+            // invalidation machinery actually protect.
+            staleness: Staleness::seconds(5),
+            op_gap_micros: 50_000,
+            // Generous relative to an in-process round trip (µs): a lost
+            // frame is the only thing that should ever burn this, so a
+            // scheduler hiccup on a loaded CI host cannot masquerade as a
+            // fault and perturb the run's reproducibility.
+            op_timeout: std::time::Duration::from_millis(100),
+            disable_seal_on_heal: false,
+        }
+    }
+
+    /// A fault-free scenario on the in-process backend (checker sanity).
+    #[must_use]
+    pub fn in_process(seed: u64) -> ChaosScenarioConfig {
+        ChaosScenarioConfig {
+            seed,
+            backend: ChaosBackend::InProcess { nodes: 2 },
+            chaos: ChaosConfig::healthy(),
+            partitions: Vec::new(),
+            accounts: 12,
+            sessions: 6,
+            rounds: 80,
+            staleness: Staleness::seconds(30),
+            op_gap_micros: 50_000,
+            op_timeout: std::time::Duration::from_millis(40),
+            disable_seal_on_heal: false,
+        }
+    }
+
+    /// A deterministic partition-and-heal scenario with *no* random frame
+    /// faults: the cache warms, one node is partitioned while transfers
+    /// commit (their invalidations are lost), then the node heals. With
+    /// seal-on-heal active the run is consistent; with the mutation hook it
+    /// serves resurrected stale values the checker must catch.
+    #[must_use]
+    pub fn partition_heal(seed: u64) -> ChaosScenarioConfig {
+        ChaosScenarioConfig {
+            seed,
+            backend: ChaosBackend::SimRemote { nodes: 2 },
+            chaos: ChaosConfig::healthy(),
+            partitions: vec![PartitionWindow {
+                node: 0,
+                from_round: 20,
+                until_round: 36,
+            }],
+            accounts: 8,
+            sessions: 4,
+            rounds: 60,
+            // Staleness barely above one operation gap: every read runs at
+            // an essentially fresh snapshot, so invalidated entries are
+            // promptly recomputed and re-inserted still-valid. That keeps
+            // unbounded entries present on the node when the partition
+            // hits (the state the seal must bound on heal) and makes
+            // post-heal reads run at snapshots newer than the lost
+            // invalidations (the state a resurrected entry would poison).
+            staleness: Staleness::millis(80),
+            op_gap_micros: 50_000,
+            op_timeout: std::time::Duration::from_millis(100),
+            disable_seal_on_heal: false,
+        }
+    }
+}
+
+/// The measured outcome of one scenario run.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// The seed the run used.
+    pub seed: u64,
+    /// Checker verdict: a summary, or every violation found.
+    pub verdict: std::result::Result<CheckSummary, Vec<Violation>>,
+    /// Digest of the observed transaction history.
+    pub history_digest: u64,
+    /// Digest of the transport fault schedule (0 for in-process runs).
+    pub fault_digest: u64,
+    /// Injected-fault counts (empty for in-process runs).
+    pub fault_counts: FaultCounts,
+    /// Cache statistics at the end of the run.
+    pub cache_stats: CacheStats,
+    /// TxCache client cache hits (the run must actually exercise the
+    /// cache for the checker to mean anything).
+    pub cache_hits: u64,
+    /// Remote-backend degradations (0 for in-process runs).
+    pub degraded_ops: u64,
+    /// Remote-backend heals (0 for in-process runs).
+    pub reconnects: u64,
+}
+
+impl ChaosOutcome {
+    /// A one-line reproduction command for this run.
+    #[must_use]
+    pub fn repro(&self, test_name: &str) -> String {
+        repro_command(self.seed, test_name)
+    }
+
+    /// Panics with seed and repro command if the checker found violations;
+    /// returns the summary otherwise.
+    pub fn expect_consistent(&self, test_name: &str) -> CheckSummary {
+        match &self.verdict {
+            Ok(summary) => *summary,
+            Err(violations) => {
+                let mut msg = format!(
+                    "chaos checker found {} violation(s) under CHAOS_SEED={}\n  \
+                     repro: {}\n",
+                    violations.len(),
+                    self.seed,
+                    self.repro(test_name)
+                );
+                for v in violations.iter().take(8) {
+                    msg.push_str(&format!("  {v}\n"));
+                }
+                panic!("{msg}");
+            }
+        }
+    }
+}
+
+/// The chaos seed for this process: `CHAOS_SEED` if set, else `default`.
+#[must_use]
+pub fn seed_from_env(default: u64) -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("CHAOS_SEED must be a u64, got {s:?}")),
+        Err(_) => default,
+    }
+}
+
+/// The one-line command that replays a failing chaos run.
+#[must_use]
+pub fn repro_command(seed: u64, test_name: &str) -> String {
+    format!("CHAOS_SEED={seed} cargo test --release --test chaos {test_name} -- --nocapture")
+}
+
+/// Everything a running scenario holds alive.
+struct ScenarioStack {
+    clock: SimClock,
+    txcache: Arc<TxCache>,
+    /// Kept for fault control and teardown.
+    net: Option<SimNet>,
+    remote: Option<Arc<RemoteCluster<SimNet>>>,
+    servers: Vec<TxcachedServer<SimListener>>,
+    addrs: Vec<String>,
+}
+
+fn build_stack(config: &ChaosScenarioConfig) -> Result<ScenarioStack> {
+    let clock = SimClock::new();
+    let db = Arc::new(Database::new(DbConfig::default(), clock.clone()));
+    db.create_table(
+        TableSchema::new("accounts")
+            .column("id", ColumnType::Int)
+            .column("balance", ColumnType::Int)
+            .unique_index("id"),
+    )?;
+    db.bulk_load(
+        "accounts",
+        (0..config.accounts)
+            .map(|id| vec![Value::Int(id as i64), Value::Int(INITIAL_BALANCE)])
+            .collect(),
+    )?;
+
+    let mut net: Option<SimNet> = None;
+    let mut remote: Option<Arc<RemoteCluster<SimNet>>> = None;
+    let mut servers: Vec<TxcachedServer<SimListener>> = Vec::new();
+    let mut addrs: Vec<String> = Vec::new();
+    let cache: Arc<dyn CacheBackend> = match config.backend {
+        ChaosBackend::InProcess { nodes } => Arc::new(CacheCluster::new(nodes.max(1), 4 << 20)),
+        ChaosBackend::SimRemote { nodes } => {
+            let sim = SimNet::with_chaos(config.seed, config.chaos);
+            for i in 0..nodes.max(1) {
+                let addr = format!("node-{i}");
+                let listener = sim.bind(&addr);
+                servers.push(
+                    TxcachedServer::serve(
+                        listener,
+                        format!("chaos-{i}"),
+                        NodeConfig {
+                            capacity_bytes: 4 << 20,
+                        },
+                    )
+                    .map_err(|e| txtypes::Error::Network(format!("sim serve {addr}: {e}")))?,
+                );
+                addrs.push(addr);
+            }
+            let options = RemoteOptions {
+                op_timeout: config.op_timeout,
+                connect_timeout: config.op_timeout,
+                // Zero cooldown keeps reconnect behaviour deterministic
+                // (every operation retries; refusals are instant in the
+                // sim) and lets scripted heals take effect immediately.
+                retry_cooldown: std::time::Duration::ZERO,
+            };
+            let cluster = Arc::new(RemoteCluster::connect_via(sim.clone(), &addrs, options)?);
+            if config.disable_seal_on_heal {
+                cluster.disable_seal_on_heal_for_fault_injection();
+            }
+            net = Some(sim);
+            remote = Some(Arc::clone(&cluster));
+            cluster
+        }
+    };
+
+    let pincushion = Arc::new(Pincushion::new(Default::default(), clock.clone()));
+    let txcache = Arc::new(TxCache::with_backend(
+        db,
+        cache,
+        pincushion,
+        clock.clone(),
+        TxCacheConfig::default(),
+    ));
+    Ok(ScenarioStack {
+        clock,
+        txcache,
+        net,
+        remote,
+        servers,
+        addrs,
+    })
+}
+
+/// Reads one account's balance through the cacheable-call path.
+fn cached_balance(tx: &mut Transaction<'_>, account: u64) -> Result<i64> {
+    tx.cached("balance", &account, |tx| {
+        let q = SelectQuery::table("accounts").filter(Predicate::eq("id", account as i64));
+        let r = tx.query(&q)?;
+        Ok(r.get(0, "balance")?.as_int().unwrap_or(0))
+    })
+}
+
+/// Runs one scenario to completion and checks the recorded history.
+///
+/// # Panics
+/// Panics (with the seed and a repro command) if the *database side* of the
+/// run fails — the chaos layer must only ever degrade the cache, never the
+/// application path.
+#[must_use]
+pub fn run_chaos_scenario(config: &ChaosScenarioConfig) -> ChaosOutcome {
+    let stack = build_stack(config).unwrap_or_else(|e| {
+        panic!(
+            "chaos stack failed to build under CHAOS_SEED={}: {e}\n  repro: {}",
+            config.seed,
+            repro_command(config.seed, "")
+        )
+    });
+    let mut history = History::new((0..config.accounts).map(|id| (id, INITIAL_BALANCE)));
+    let mut rng = SplitMix64::new(config.seed ^ 0x5EED_F00D);
+
+    for round in 0..config.rounds {
+        // Scripted partitions fire at round boundaries, while no request is
+        // in flight — deterministic fault timing.
+        if let Some(net) = &stack.net {
+            for window in &config.partitions {
+                let Some(addr) = stack.addrs.get(window.node) else {
+                    continue;
+                };
+                if window.from_round == round {
+                    net.sever(addr);
+                    net.partition(addr);
+                }
+                if window.until_round == round {
+                    net.heal(addr);
+                }
+            }
+        }
+
+        for session in 0..config.sessions {
+            stack.clock.advance_micros(config.op_gap_micros.max(1));
+            let op = rng.below(4);
+            let outcome = if op == 0 {
+                run_transfer(&stack, config, &mut rng, &mut history)
+            } else {
+                run_read(&stack, config, &mut rng, &mut history, session)
+            };
+            if let Err(e) = outcome {
+                panic!(
+                    "chaos round {round} session {session} failed on the \
+                     database path under CHAOS_SEED={}: {e}\n  repro: {}",
+                    config.seed,
+                    repro_command(config.seed, "")
+                );
+            }
+        }
+    }
+
+    let verdict = history.check();
+    // Collect stats that travel over the (still-running) cache tier first,
+    // then quiesce every server thread, and only then read the fault
+    // schedule — lingering handler writes to abandoned connections finish
+    // during shutdown, so the digest sees the complete, settled schedule.
+    let cache_stats = stack.txcache.cache().stats();
+    let client = stack.txcache.stats();
+    let degraded_ops = stack.remote.as_ref().map_or(0, |r| r.degraded_ops());
+    let reconnects = stack.remote.as_ref().map_or(0, |r| r.reconnects());
+    let mut stack = stack;
+    for server in &mut stack.servers {
+        server.shutdown();
+    }
+    ChaosOutcome {
+        seed: config.seed,
+        verdict,
+        history_digest: history.digest(),
+        fault_digest: stack.net.as_ref().map_or(0, SimNet::fault_digest),
+        fault_counts: stack
+            .net
+            .as_ref()
+            .map_or_else(FaultCounts::default, SimNet::fault_counts),
+        cache_stats,
+        cache_hits: client.cache_hits,
+        degraded_ops,
+        reconnects,
+    }
+}
+
+/// One read/write transfer between two distinct accounts; records the
+/// resulting ground truth.
+fn run_transfer(
+    stack: &ScenarioStack,
+    config: &ChaosScenarioConfig,
+    rng: &mut SplitMix64,
+    history: &mut History,
+) -> Result<()> {
+    let from = rng.below(config.accounts);
+    let to = (from + 1 + rng.below(config.accounts - 1)) % config.accounts;
+    let amount = 1 + rng.below(5) as i64;
+
+    let mut tx = stack.txcache.begin_rw()?;
+    let read = |tx: &mut Transaction<'_>, id: u64| -> Result<i64> {
+        let q = SelectQuery::table("accounts").filter(Predicate::eq("id", id as i64));
+        Ok(tx.query(&q)?.get(0, "balance")?.as_int().unwrap_or(0))
+    };
+    let a = read(&mut tx, from)?;
+    tx.update(
+        "accounts",
+        &Predicate::eq("id", from as i64),
+        &[("balance".to_string(), Value::Int(a - amount))],
+    )?;
+    let b = read(&mut tx, to)?;
+    tx.update(
+        "accounts",
+        &Predicate::eq("id", to as i64),
+        &[("balance".to_string(), Value::Int(b + amount))],
+    )?;
+    let info = tx.commit()?;
+    history.record_commit(CommitRecord {
+        timestamp: info.timestamp,
+        wall: stack.clock.now(),
+        writes: vec![(from, a - amount), (to, b + amount)],
+    });
+    Ok(())
+}
+
+/// One read-only transaction over a few accounts; records what it saw.
+fn run_read(
+    stack: &ScenarioStack,
+    config: &ChaosScenarioConfig,
+    rng: &mut SplitMix64,
+    history: &mut History,
+    session: usize,
+) -> Result<()> {
+    let begin_latest = stack.txcache.database().latest_timestamp();
+    let begin_wall = stack.clock.now();
+    let count = 2 + rng.below(2) as usize;
+    let first = rng.below(config.accounts);
+
+    let mut tx = stack.txcache.begin_ro(config.staleness)?;
+    let mut reads = Vec::with_capacity(count);
+    for i in 0..count {
+        let key = (first + i as u64) % config.accounts;
+        let value = cached_balance(&mut tx, key)?;
+        reads.push((key, value));
+    }
+    let info = tx.commit()?;
+    history.record_read_txn(ReadRecord {
+        session,
+        begin_latest,
+        begin_wall,
+        staleness_micros: config.staleness.as_micros(),
+        snapshot: info.timestamp,
+        reads,
+    });
+    Ok(())
+}

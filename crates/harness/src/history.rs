@@ -1,0 +1,422 @@
+//! A transactional-consistency history recorder and checker.
+//!
+//! The paper's central claim is that everything a read-only transaction
+//! observes — whether it came from the cache or the database — reflects one
+//! (possibly slightly stale) snapshot, even under invalidation loss,
+//! reordering, and node failure. End-state equality cannot check that: a
+//! run can end in the right state while some transaction along the way saw
+//! a mixed-version "frankenread". This module checks the *history* instead.
+//!
+//! The chaos scenario runner records, for every committed transaction:
+//!
+//! * read/write transactions: their commit timestamp, commit wall-clock
+//!   time, and the value each touched key was left at — the ground-truth
+//!   version history of the database;
+//! * read-only transactions: the snapshot timestamp the transaction
+//!   reported at commit, the latest database timestamp and wall-clock time
+//!   at begin, the staleness limit, and every `(key, value)` pair read.
+//!
+//! [`History::check`] then asserts, for every read-only transaction:
+//!
+//! 1. **Snapshot consistency** (no frankenreads): every value read equals
+//!    the ground-truth value of that key *at the transaction's snapshot
+//!    timestamp*. A cache entry resurrected past a lost invalidation fails
+//!    exactly here — the snapshot says `S`, the database's version history
+//!    at `S` says the new value, the cache served the old one.
+//! 2. **No future reads**: the snapshot is at or below the latest committed
+//!    timestamp when the transaction began (the invalidation horizon a
+//!    transaction runs against never runs ahead of the database).
+//! 3. **Staleness floor**: every update that committed earlier than
+//!    `begin_wall − staleness` is included in the snapshot — the
+//!    transaction never time-travels further back than its `BEGIN-RO`
+//!    bound allows.
+//!
+//! The checker is deliberately backend-agnostic: the same history is
+//! recorded (and the same invariants asserted) for the in-process cache
+//! cluster and for the networked tier under chaos.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use txtypes::{Timestamp, WallClock};
+
+/// One committed read/write transaction: the ground truth it established.
+#[derive(Debug, Clone)]
+pub struct CommitRecord {
+    /// The commit timestamp the database assigned.
+    pub timestamp: Timestamp,
+    /// The (simulated) wall-clock time of the commit.
+    pub wall: WallClock,
+    /// The value each written key was left at.
+    pub writes: Vec<(u64, i64)>,
+}
+
+/// One committed read-only transaction: what it observed.
+#[derive(Debug, Clone)]
+pub struct ReadRecord {
+    /// Which client session ran it.
+    pub session: usize,
+    /// The database's latest committed timestamp when the transaction
+    /// began.
+    pub begin_latest: Timestamp,
+    /// Wall-clock time at begin.
+    pub begin_wall: WallClock,
+    /// The staleness limit, in microseconds.
+    pub staleness_micros: u64,
+    /// The snapshot timestamp reported by `COMMIT`.
+    pub snapshot: Timestamp,
+    /// Every `(key, value)` the transaction read, in order.
+    pub reads: Vec<(u64, i64)>,
+}
+
+/// A consistency violation found by [`History::check`].
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant failed.
+    pub invariant: &'static str,
+    /// Index of the offending read-only transaction in recording order.
+    pub txn_index: usize,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] ro-txn #{}: {}",
+            self.invariant, self.txn_index, self.detail
+        )
+    }
+}
+
+/// Summary of a clean check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// Read-only transactions verified.
+    pub read_txns: usize,
+    /// Individual reads verified against ground truth.
+    pub reads_checked: usize,
+    /// Read/write commits forming the ground truth.
+    pub commits: usize,
+}
+
+/// The recorded history of one run: ground-truth commits plus every
+/// read-only transaction's observations.
+#[derive(Debug, Default)]
+pub struct History {
+    initial: BTreeMap<u64, i64>,
+    commits: Vec<CommitRecord>,
+    reads: Vec<ReadRecord>,
+}
+
+impl History {
+    /// Starts a history whose ground truth begins at `initial` (the
+    /// bulk-loaded state, timestamp ≤ every commit).
+    #[must_use]
+    pub fn new(initial: impl IntoIterator<Item = (u64, i64)>) -> History {
+        History {
+            initial: initial.into_iter().collect(),
+            commits: Vec::new(),
+            reads: Vec::new(),
+        }
+    }
+
+    /// Records a committed read/write transaction.
+    pub fn record_commit(&mut self, record: CommitRecord) {
+        self.commits.push(record);
+    }
+
+    /// Records a committed read-only transaction.
+    pub fn record_read_txn(&mut self, record: ReadRecord) {
+        self.reads.push(record);
+    }
+
+    /// Number of recorded read-only transactions.
+    #[must_use]
+    pub fn read_txn_count(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Number of recorded read/write commits.
+    #[must_use]
+    pub fn commit_count(&self) -> usize {
+        self.commits.len()
+    }
+
+    /// The ground-truth value of `key` at snapshot `at` (the newest commit
+    /// at or below `at` that wrote the key, else the initial value).
+    #[must_use]
+    pub fn value_at(&self, key: u64, at: Timestamp) -> Option<i64> {
+        let mut value = self.initial.get(&key).copied();
+        for commit in &self.commits {
+            if commit.timestamp > at {
+                break;
+            }
+            for (k, v) in &commit.writes {
+                if *k == key {
+                    value = Some(*v);
+                }
+            }
+        }
+        value
+    }
+
+    /// A deterministic digest of the whole history — two runs that observed
+    /// the same transactions in the same order produce the same digest, so
+    /// reproducibility can be asserted bit for bit.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = wire::sim::FNV_OFFSET;
+        let mut fold = |v: u64| wire::sim::fnv1a(&mut h, &v.to_le_bytes());
+        for (k, v) in &self.initial {
+            fold(*k);
+            fold(*v as u64);
+        }
+        for c in &self.commits {
+            fold(c.timestamp.as_u64());
+            fold(c.wall.as_micros());
+            for (k, v) in &c.writes {
+                fold(*k);
+                fold(*v as u64);
+            }
+        }
+        for r in &self.reads {
+            fold(r.session as u64);
+            fold(r.begin_latest.as_u64());
+            fold(r.snapshot.as_u64());
+            for (k, v) in &r.reads {
+                fold(*k);
+                fold(*v as u64);
+            }
+        }
+        h
+    }
+
+    /// Verifies every recorded read-only transaction against the ground
+    /// truth; returns every violation found (empty = the history is
+    /// transactionally consistent).
+    pub fn check(&self) -> std::result::Result<CheckSummary, Vec<Violation>> {
+        let mut violations = Vec::new();
+        let mut reads_checked = 0usize;
+
+        // Commit timestamps must be strictly increasing: the ground truth
+        // itself is ordered by the database's commit sequencer.
+        for pair in self.commits.windows(2) {
+            if pair[1].timestamp <= pair[0].timestamp {
+                violations.push(Violation {
+                    invariant: "monotonic-commits",
+                    txn_index: 0,
+                    detail: format!(
+                        "ground-truth commits out of order: {} then {}",
+                        pair[0].timestamp, pair[1].timestamp
+                    ),
+                });
+            }
+        }
+
+        for (index, txn) in self.reads.iter().enumerate() {
+            // Invariant 2: no future reads.
+            if txn.snapshot > txn.begin_latest {
+                violations.push(Violation {
+                    invariant: "no-future-reads",
+                    txn_index: index,
+                    detail: format!(
+                        "snapshot {} is newer than the database's latest \
+                         timestamp {} at begin",
+                        txn.snapshot, txn.begin_latest
+                    ),
+                });
+            }
+
+            // Invariant 3: the transaction never misses an update, older
+            // than its staleness bound, to data it actually read. (The
+            // snapshot timestamp itself may serialize "early" inside a wide
+            // validity interval — that is data-equivalent and allowed; what
+            // must never happen is observing a key whose sufficiently old
+            // update is excluded from the snapshot.)
+            let floor_wall = WallClock(
+                txn.begin_wall
+                    .as_micros()
+                    .saturating_sub(txn.staleness_micros),
+            );
+            'floor: for commit in &self.commits {
+                if commit.wall > floor_wall || commit.timestamp <= txn.snapshot {
+                    continue;
+                }
+                for (key, _) in &commit.writes {
+                    if txn.reads.iter().any(|(k, _)| k == key) {
+                        violations.push(Violation {
+                            invariant: "staleness-floor",
+                            txn_index: index,
+                            detail: format!(
+                                "snapshot {} excludes commit {} to key {key} \
+                                 whose wall time {}us is older than the \
+                                 staleness bound ({}us before begin at {}us)",
+                                txn.snapshot,
+                                commit.timestamp,
+                                commit.wall.as_micros(),
+                                txn.staleness_micros,
+                                txn.begin_wall.as_micros(),
+                            ),
+                        });
+                        break 'floor;
+                    }
+                }
+            }
+
+            // Invariant 1: every read matches the ground truth at the
+            // snapshot — one consistent cut, no frankenreads.
+            for (key, observed) in &txn.reads {
+                reads_checked += 1;
+                match self.value_at(*key, txn.snapshot) {
+                    Some(expected) if expected == *observed => {}
+                    Some(expected) => violations.push(Violation {
+                        invariant: "snapshot-consistency",
+                        txn_index: index,
+                        detail: format!(
+                            "key {key} read {observed} but the database state \
+                             at snapshot {} holds {expected} (stale or mixed \
+                             version served)",
+                            txn.snapshot
+                        ),
+                    }),
+                    None => violations.push(Violation {
+                        invariant: "snapshot-consistency",
+                        txn_index: index,
+                        detail: format!("key {key} read {observed} but was never written"),
+                    }),
+                }
+            }
+        }
+
+        if violations.is_empty() {
+            Ok(CheckSummary {
+                read_txns: self.reads.len(),
+                reads_checked,
+                commits: self.commits.len(),
+            })
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_history() -> History {
+        let mut h = History::new([(1u64, 60i64), (2, 40)]);
+        h.record_commit(CommitRecord {
+            timestamp: Timestamp(10),
+            wall: WallClock::from_secs(1),
+            writes: vec![(1, 55), (2, 45)],
+        });
+        h.record_commit(CommitRecord {
+            timestamp: Timestamp(20),
+            wall: WallClock::from_secs(2),
+            writes: vec![(1, 50), (2, 50)],
+        });
+        h
+    }
+
+    #[test]
+    fn consistent_histories_pass() {
+        let mut h = base_history();
+        // A transaction at snapshot 10 sees the first commit's state.
+        h.record_read_txn(ReadRecord {
+            session: 0,
+            begin_latest: Timestamp(20),
+            begin_wall: WallClock::from_secs(3),
+            staleness_micros: 30_000_000,
+            snapshot: Timestamp(10),
+            reads: vec![(1, 55), (2, 45)],
+        });
+        let summary = h.check().expect("consistent");
+        assert_eq!(summary.read_txns, 1);
+        assert_eq!(summary.reads_checked, 2);
+        assert_eq!(summary.commits, 2);
+    }
+
+    #[test]
+    fn frankenreads_are_caught() {
+        let mut h = base_history();
+        // Mixed versions: key 1 from the old snapshot, key 2 from the new.
+        h.record_read_txn(ReadRecord {
+            session: 0,
+            begin_latest: Timestamp(20),
+            begin_wall: WallClock::from_secs(3),
+            staleness_micros: 30_000_000,
+            snapshot: Timestamp(10),
+            reads: vec![(1, 55), (2, 50)],
+        });
+        let violations = h.check().unwrap_err();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].invariant, "snapshot-consistency");
+    }
+
+    #[test]
+    fn stale_resurrection_is_caught() {
+        let mut h = base_history();
+        // The snapshot says 20, but key 1 was served from a resurrected
+        // pre-commit-20 entry.
+        h.record_read_txn(ReadRecord {
+            session: 0,
+            begin_latest: Timestamp(20),
+            begin_wall: WallClock::from_secs(3),
+            staleness_micros: 30_000_000,
+            snapshot: Timestamp(20),
+            reads: vec![(1, 55)],
+        });
+        let violations = h.check().unwrap_err();
+        assert_eq!(violations[0].invariant, "snapshot-consistency");
+    }
+
+    #[test]
+    fn future_reads_are_caught() {
+        let mut h = base_history();
+        h.record_read_txn(ReadRecord {
+            session: 0,
+            begin_latest: Timestamp(15),
+            begin_wall: WallClock::from_secs(3),
+            staleness_micros: 30_000_000,
+            snapshot: Timestamp(20),
+            reads: vec![],
+        });
+        let violations = h.check().unwrap_err();
+        assert!(violations.iter().any(|v| v.invariant == "no-future-reads"));
+    }
+
+    #[test]
+    fn staleness_floor_violations_are_caught() {
+        let mut h = base_history();
+        // Begin at t=60s with a 30s bound: commit 10 (at 1s) and commit 20
+        // (at 2s) are both far older than the floor, so a snapshot of 10 —
+        // which excludes commit 20 — time-travels too far back.
+        h.record_read_txn(ReadRecord {
+            session: 0,
+            begin_latest: Timestamp(20),
+            begin_wall: WallClock::from_secs(60),
+            staleness_micros: 30_000_000,
+            snapshot: Timestamp(10),
+            reads: vec![(1, 55)],
+        });
+        let violations = h.check().unwrap_err();
+        assert!(violations.iter().any(|v| v.invariant == "staleness-floor"));
+    }
+
+    #[test]
+    fn digest_is_order_sensitive_and_deterministic() {
+        let a = base_history();
+        let b = base_history();
+        assert_eq!(a.digest(), b.digest());
+        let mut c = base_history();
+        c.record_commit(CommitRecord {
+            timestamp: Timestamp(30),
+            wall: WallClock::from_secs(3),
+            writes: vec![(1, 1)],
+        });
+        assert_ne!(a.digest(), c.digest());
+    }
+}

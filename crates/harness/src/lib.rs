@@ -20,14 +20,21 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod concurrent;
 pub mod costmodel;
 pub mod experiment;
+pub mod history;
 pub mod report;
 
+pub use chaos::{
+    repro_command, run_chaos_scenario, seed_from_env, ChaosBackend, ChaosOutcome,
+    ChaosScenarioConfig, PartitionWindow,
+};
 pub use concurrent::{run_concurrent, ConcurrentResult, LatencyStats, ThreadReport};
 pub use costmodel::{Bottleneck, CostModel, ResourceUsage};
 pub use experiment::{run_experiment, DbKind, ExperimentConfig, ExperimentResult, SimCluster};
+pub use history::{CheckSummary, CommitRecord, History, ReadRecord, Violation};
 pub use report::{
     hit_rate_table, miss_breakdown_table, scalability_table, summary_line, throughput_table,
 };

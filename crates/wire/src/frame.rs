@@ -1,21 +1,49 @@
 //! Length-prefixed framing over any `Read`/`Write` transport.
 //!
-//! A frame is a little-endian `u32` body length followed by the body (version
-//! byte, opcode byte, payload). The framing layer is transport-agnostic: the
-//! `txcached` server and the remote client both run it over `TcpStream`, and
+//! A frame is a little-endian `u32` body length followed by the body. The
+//! framing layer is transport-agnostic: the `txcached` server and the
+//! remote client both run it over [`crate::Transport`] implementations
+//! (real `TcpStream`s or the chaos-testing [`crate::sim::SimConn`]), and
 //! the tests run it over in-memory buffers.
+//!
+//! ## Request correlation (protocol v2)
+//!
+//! Every body carried through a [`FramedStream`] starts with an 8-byte
+//! little-endian **sequence number**. The client stamps each request with
+//! the next value of a per-connection counter; the server echoes the
+//! request's sequence number in its response. The stream layer verifies,
+//! on every received response, that the echoed number matches the oldest
+//! outstanding request — so a duplicated, reordered, or dropped frame
+//! (which shifts the pairing of requests to responses) is detected as
+//! [`WireError::Desync`] *before* a wrong value can be attributed to the
+//! wrong request. Clients treat a desync like any transport failure: drop
+//! the connection, degrade to a miss, reconnect (and re-seal, §4.2).
+//!
+//! ## Partial reads
+//!
+//! [`FramedStream`] reads are *resumable*: if the transport returns a
+//! timeout mid-frame (a slow peer, an injected delay), the bytes already
+//! consumed are kept, and the next receive call continues where the last
+//! one stopped instead of desynchronizing the stream or surfacing a decode
+//! error. Only clean EOFs at a frame boundary are reported as end of
+//! stream; an EOF mid-frame is [`WireError::Truncated`].
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 
 use crate::msg::{Request, Response};
 use crate::WireError;
 
-/// The protocol version this crate encodes and accepts.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// The protocol version this crate encodes and accepts. Version 2 added
+/// the per-request sequence number carried by [`FramedStream`].
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on a frame body; larger declared lengths are rejected before
 /// any allocation happens.
 pub const MAX_FRAME_BYTES: usize = 32 << 20;
+
+/// Bytes of sequence number prefixed to every framed message body.
+pub const SEQ_BYTES: usize = 8;
 
 /// Writes one frame (length prefix + body) and flushes.
 pub fn write_frame(w: &mut impl Write, body: &[u8]) -> crate::Result<()> {
@@ -28,8 +56,13 @@ pub fn write_frame(w: &mut impl Write, body: &[u8]) -> crate::Result<()> {
     Ok(())
 }
 
-/// Reads one frame body. Returns `Ok(None)` on a clean EOF at a frame
-/// boundary (the peer closed the connection between requests).
+/// Reads one frame body from a stateless reader. Returns `Ok(None)` on a
+/// clean EOF at a frame boundary (the peer closed the connection between
+/// frames).
+///
+/// This free function has no resumption state: a timeout mid-frame loses
+/// the partial bytes. Connection handlers should read through
+/// [`FramedStream`], which resumes cleanly.
 pub fn read_frame(r: &mut impl Read) -> crate::Result<Option<Vec<u8>>> {
     let mut len_buf = [0u8; 4];
     // A clean close before any length byte is a normal disconnect; a close
@@ -64,17 +97,36 @@ pub fn read_frame(r: &mut impl Read) -> crate::Result<Option<Vec<u8>>> {
 /// Used symmetrically: the server reads requests and writes responses, the
 /// client writes requests and reads responses. `send_request` and
 /// `recv_response` are separate calls so a client can *pipeline* — write
-/// several requests before reading the (in-order) responses back.
+/// several requests before reading the (in-order, sequence-verified)
+/// responses back.
 #[derive(Debug)]
 pub struct FramedStream<S> {
     stream: S,
+    /// The in-progress incoming frame (length prefix included), kept
+    /// across calls so a timeout mid-frame resumes instead of
+    /// desynchronizing. Zero-extended to the currently known frame size;
+    /// `rx_filled` tracks how many bytes are real.
+    rx_partial: Vec<u8>,
+    /// How many bytes of `rx_partial` have been received so far.
+    rx_filled: usize,
+    /// The next request sequence number to stamp.
+    tx_seq: u64,
+    /// Sequence numbers of sent requests whose responses are outstanding,
+    /// oldest first.
+    awaiting: VecDeque<u64>,
 }
 
 impl<S: Read + Write> FramedStream<S> {
     /// Wraps a transport.
     #[must_use]
     pub fn new(stream: S) -> FramedStream<S> {
-        FramedStream { stream }
+        FramedStream {
+            stream,
+            rx_partial: Vec::new(),
+            rx_filled: 0,
+            tx_seq: 1,
+            awaiting: VecDeque::new(),
+        }
     }
 
     /// Returns the underlying transport.
@@ -96,34 +148,123 @@ impl<S: Read + Write> FramedStream<S> {
         &mut self.stream
     }
 
-    /// Sends one request frame.
+    /// Reads one frame body, resuming any partial frame left by an earlier
+    /// timeout. `Ok(None)` on a clean EOF at a frame boundary.
+    pub fn recv_frame(&mut self) -> crate::Result<Option<Vec<u8>>> {
+        loop {
+            let have = self.rx_filled;
+            let need = if have < 4 {
+                4
+            } else {
+                let len = u32::from_le_bytes([
+                    self.rx_partial[0],
+                    self.rx_partial[1],
+                    self.rx_partial[2],
+                    self.rx_partial[3],
+                ]) as usize;
+                if len > MAX_FRAME_BYTES {
+                    self.rx_partial.clear();
+                    self.rx_filled = 0;
+                    return Err(WireError::TooLarge(len));
+                }
+                if have == 4 + len {
+                    let mut frame = std::mem::take(&mut self.rx_partial);
+                    self.rx_filled = 0;
+                    frame.drain(..4);
+                    return Ok(Some(frame));
+                }
+                4 + len
+            };
+            // Zero-extend once per stage (prefix, then body) — the fill
+            // cursor makes chunked delivery linear, not quadratic.
+            if self.rx_partial.len() != need {
+                self.rx_partial.resize(need, 0);
+            }
+            match self.stream.read(&mut self.rx_partial[have..need]) {
+                Ok(0) => {
+                    if have == 0 {
+                        return Ok(None);
+                    }
+                    return Err(WireError::Truncated);
+                }
+                Ok(n) => self.rx_filled = have + n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // The partial frame (and fill cursor) stay put: a retry
+                    // after a timeout resumes exactly where this read
+                    // stopped.
+                    return Err(WireError::Io(e));
+                }
+            }
+        }
+    }
+
+    /// Sends one request frame, stamped with the next sequence number. The
+    /// number is remembered so the matching response can be verified.
     pub fn send_request(&mut self, request: &Request) -> crate::Result<()> {
-        write_frame(&mut self.stream, &request.encode())
+        let seq = self.tx_seq;
+        let mut body = Vec::with_capacity(SEQ_BYTES + 32);
+        body.extend_from_slice(&seq.to_le_bytes());
+        body.extend_from_slice(&request.encode());
+        write_frame(&mut self.stream, &body)?;
+        // Count the request only once it is fully written: a failed write
+        // never produces a response.
+        self.tx_seq += 1;
+        self.awaiting.push_back(seq);
+        Ok(())
     }
 
-    /// Receives one response frame; `Ok(None)` on clean disconnect.
+    /// Receives one response frame and verifies its echoed sequence number
+    /// against the oldest outstanding request; `Ok(None)` on clean
+    /// disconnect. A mismatch (duplicated, reordered, or dropped frame
+    /// upstream) is [`WireError::Desync`] — the connection must be dropped.
     pub fn recv_response(&mut self) -> crate::Result<Option<Response>> {
-        match read_frame(&mut self.stream)? {
+        match self.recv_frame()? {
             None => Ok(None),
-            Some(body) => Ok(Some(Response::decode(&body)?)),
+            Some(body) => {
+                let (seq, rest) = split_seq(&body)?;
+                let want = self.awaiting.front().copied();
+                match want {
+                    Some(want) if want == seq => {
+                        self.awaiting.pop_front();
+                    }
+                    want => return Err(WireError::Desync { got: seq, want }),
+                }
+                Ok(Some(Response::decode(rest)?))
+            }
         }
     }
 
-    /// Receives one request frame; `Ok(None)` on clean disconnect.
-    pub fn recv_request(&mut self) -> crate::Result<Option<Request>> {
-        match read_frame(&mut self.stream)? {
+    /// Receives one request frame, returning its sequence number alongside
+    /// the body's decode result; `Ok(None)` on clean disconnect.
+    ///
+    /// Frame-level failures (truncation, oversize, transport errors) are
+    /// the outer `Err` — the stream is desynchronized and must be closed.
+    /// A body that fails to *decode* is the inner `Err`: the stream is
+    /// still at a frame boundary, so the server can answer with an error
+    /// frame (echoing the sequence number) and keep serving.
+    pub fn recv_request(&mut self) -> crate::Result<Option<(u64, crate::Result<Request>)>> {
+        match self.recv_frame()? {
             None => Ok(None),
-            Some(body) => Ok(Some(Request::decode(&body)?)),
+            Some(body) => {
+                let (seq, rest) = split_seq(&body)?;
+                Ok(Some((seq, Request::decode(rest))))
+            }
         }
     }
 
-    /// Sends one response frame.
-    pub fn send_response(&mut self, response: &Response) -> crate::Result<()> {
-        write_frame(&mut self.stream, &response.encode())
+    /// Sends one response frame echoing `seq`, the sequence number of the
+    /// request being answered.
+    pub fn send_response(&mut self, seq: u64, response: &Response) -> crate::Result<()> {
+        let mut body = Vec::with_capacity(SEQ_BYTES + 32);
+        body.extend_from_slice(&seq.to_le_bytes());
+        body.extend_from_slice(&response.encode());
+        write_frame(&mut self.stream, &body)
     }
 
-    /// Sends a request and waits for its response — the unpipelined
-    /// convenience path. A clean disconnect mid-call is an error here.
+    /// Sends a request and waits for its (sequence-verified) response — the
+    /// unpipelined convenience path. A clean disconnect mid-call is an
+    /// error here.
     pub fn call(&mut self, request: &Request) -> crate::Result<Response> {
         self.send_request(request)?;
         match self.recv_response()? {
@@ -134,6 +275,15 @@ impl<S: Read + Write> FramedStream<S> {
             ))),
         }
     }
+}
+
+/// Splits the 8-byte sequence prefix off a framed body.
+fn split_seq(body: &[u8]) -> crate::Result<(u64, &[u8])> {
+    if body.len() < SEQ_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let seq = u64::from_le_bytes(body[..SEQ_BYTES].try_into().expect("8 bytes"));
+    Ok((seq, &body[SEQ_BYTES..]))
 }
 
 #[cfg(test)]
@@ -164,13 +314,132 @@ mod tests {
         // Cut the length prefix short.
         let mut cur = Cursor::new(&buf[..2]);
         assert!(matches!(read_frame(&mut cur), Err(WireError::Truncated)));
+        // The stateful reader agrees on both.
+        let mut framed = FramedStream::new(Cursor::new(buf[..buf.len() - 2].to_vec()));
+        assert!(matches!(framed.recv_frame(), Err(WireError::Truncated)));
     }
 
     #[test]
     fn oversized_frames_are_rejected() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(u32::MAX).to_le_bytes());
-        let mut cur = Cursor::new(buf);
+        let mut cur = Cursor::new(buf.clone());
         assert!(matches!(read_frame(&mut cur), Err(WireError::TooLarge(_))));
+        let mut framed = FramedStream::new(Cursor::new(buf));
+        assert!(matches!(framed.recv_frame(), Err(WireError::TooLarge(_))));
+    }
+
+    /// A transport that interleaves short chunks with timeouts, to exercise
+    /// the resumable read path.
+    struct Stutter {
+        data: Vec<u8>,
+        pos: usize,
+        /// Return a timeout error on every other read.
+        hiccup: bool,
+    }
+
+    impl Read for Stutter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.hiccup = !self.hiccup;
+            if self.hiccup {
+                return Err(std::io::Error::new(std::io::ErrorKind::TimedOut, "stutter"));
+            }
+            let n = buf.len().min(3).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    impl Write for Stutter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn mid_frame_timeouts_resume_cleanly() {
+        let mut data = Vec::new();
+        write_frame(&mut data, b"interrupted payload").unwrap();
+        write_frame(&mut data, b"second").unwrap();
+        let mut framed = FramedStream::new(Stutter {
+            data,
+            pos: 0,
+            hiccup: false,
+        });
+        let mut frames = Vec::new();
+        while frames.len() < 2 {
+            match framed.recv_frame() {
+                Ok(Some(body)) => frames.push(body),
+                Ok(None) => panic!("unexpected EOF"),
+                Err(WireError::Io(e)) if e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(frames[0], b"interrupted payload");
+        assert_eq!(frames[1], b"second");
+    }
+
+    /// Reads from a prepared buffer, discards writes — so a test can send
+    /// a request (registering its sequence number) and then feed the
+    /// client an arbitrary response stream.
+    struct Duplex {
+        input: Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Read for Duplex {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for Duplex {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn responses_with_wrong_sequence_numbers_are_desyncs() {
+        // Hand-build a stream whose single response echoes sequence 9
+        // while the client's outstanding request is sequence 1.
+        let mut wire_bytes = Vec::new();
+        let mut body = 9u64.to_le_bytes().to_vec();
+        body.extend_from_slice(&Response::PutAck.encode());
+        write_frame(&mut wire_bytes, &body).unwrap();
+
+        let mut framed = FramedStream::new(Duplex {
+            input: Cursor::new(wire_bytes),
+            output: Vec::new(),
+        });
+        framed.send_request(&Request::Ping { nonce: 1 }).unwrap();
+        assert!(matches!(
+            framed.recv_response(),
+            Err(WireError::Desync {
+                got: 9,
+                want: Some(1)
+            })
+        ));
+    }
+
+    #[test]
+    fn unsolicited_responses_are_desyncs() {
+        let mut wire_bytes = Vec::new();
+        let mut body = 1u64.to_le_bytes().to_vec();
+        body.extend_from_slice(&Response::PutAck.encode());
+        write_frame(&mut wire_bytes, &body).unwrap();
+        let mut framed = FramedStream::new(Cursor::new(wire_bytes));
+        assert!(matches!(
+            framed.recv_response(),
+            Err(WireError::Desync { got: 1, want: None })
+        ));
     }
 }

@@ -7,22 +7,36 @@
 //! message exchanged between the TxCache client library and a `txcached`
 //! cache node, independent of any particular transport.
 //!
-//! ## Framing
+//! ## Framing (protocol v2)
 //!
 //! Every message travels in one frame:
 //!
 //! ```text
-//! +-----------------+---------+--------+---------------------+
-//! | body length u32 | version | opcode | payload (body-2 B)  |
-//! +-----------------+---------+--------+---------------------+
+//! +-----------------+--------------+---------+--------+----------+
+//! | body length u32 | sequence u64 | version | opcode | payload  |
+//! +-----------------+--------------+---------+--------+----------+
 //! ```
 //!
-//! The 4-byte little-endian length counts the body (version byte, opcode
-//! byte, and payload). Frames larger than [`MAX_FRAME_BYTES`] are rejected
+//! The 4-byte little-endian length counts the body (sequence number,
+//! version byte, opcode byte, and payload). The 8-byte sequence number —
+//! new in protocol version 2 — is stamped on every request by the client
+//! and echoed verbatim in the matching response, so a duplicated,
+//! reordered, or dropped frame is detected as [`WireError::Desync`]
+//! instead of pairing a response with the wrong request (see
+//! [`FramedStream`]). Frames larger than [`MAX_FRAME_BYTES`] are rejected
 //! before allocation, so a corrupt peer cannot make a node allocate
 //! gigabytes. The version byte is checked on decode; a mismatch produces
 //! [`WireError::Version`], which servers answer with an explicit
 //! [`Response::Error`] frame carrying [`ErrorCode::Version`].
+//!
+//! ## Transports
+//!
+//! The framing layer runs over anything implementing [`Transport`]
+//! (with [`Listener`] and [`Connector`] covering the accept and dial
+//! sides): real TCP in production, or the deterministic in-process
+//! [`sim::SimNet`] whose pipes inject seeded frame drops, duplicates,
+//! reorderings, connection resets, and scripted partitions for the chaos
+//! test suite (`tests/chaos.rs` at the workspace root).
 //!
 //! ## Messages
 //!
@@ -51,10 +65,16 @@
 pub mod codec;
 pub mod frame;
 pub mod msg;
+pub mod sim;
+pub mod transport;
 
 pub use codec::{Reader, Writer};
-pub use frame::{read_frame, write_frame, FramedStream, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use frame::{
+    read_frame, write_frame, FramedStream, MAX_FRAME_BYTES, PROTOCOL_VERSION, SEQ_BYTES,
+};
 pub use msg::{ErrorCode, InvalidationEvent, MissCode, NodeStats, Request, Response};
+pub use sim::{ChaosConfig, FaultAction, FaultCounts, SimConn, SimListener, SimNet, SplitMix64};
+pub use transport::{Closer, Connector, Listener, TcpConnector, Transport};
 
 use std::fmt;
 use std::io;
@@ -81,6 +101,16 @@ pub enum WireError {
     BadUtf8,
     /// A tag byte (option marker, miss kind, error code) was out of range.
     BadTag(u8),
+    /// A response's echoed sequence number did not match the oldest
+    /// outstanding request — a frame was duplicated, reordered, or lost
+    /// upstream. The connection is desynchronized and must be dropped.
+    Desync {
+        /// The sequence number the response carried.
+        got: u64,
+        /// The sequence number expected next (`None` if no request was
+        /// outstanding at all).
+        want: Option<u64>,
+    },
     /// The peer answered with an explicit error frame.
     Remote {
         /// The machine-readable error category.
@@ -118,6 +148,10 @@ impl fmt::Display for WireError {
             }
             WireError::BadUtf8 => f.write_str("invalid UTF-8 in string field"),
             WireError::BadTag(t) => write!(f, "invalid tag byte {t:#04x}"),
+            WireError::Desync { got, want } => match want {
+                Some(want) => write!(f, "response sequence desync: got {got}, expected {want}"),
+                None => write!(f, "unsolicited response with sequence {got}"),
+            },
             WireError::Remote { code, message } => {
                 write!(f, "remote error ({code:?}): {message}")
             }

@@ -173,6 +173,108 @@ proptest! {
     }
 }
 
+proptest! {
+    /// §5.2 invariant: truncation only ever *shrinks* an interval — the
+    /// result is a subset of the original (same lower bound, upper bound
+    /// never later), probed across the whole timestamp range.
+    #[test]
+    fn truncation_never_widens_an_interval(
+        a in interval_strategy(),
+        cut in 0u64..400,
+        probes in proptest::collection::vec(0u64..500, 1..8),
+    ) {
+        if let Some(t) = a.truncate_at(Timestamp(cut)) {
+            prop_assert_eq!(t.lower, a.lower);
+            match (t.upper, a.upper) {
+                (None, Some(_)) => prop_assert!(false, "truncation unbounded a bounded interval"),
+                (Some(tu), Some(au)) => prop_assert!(tu <= au),
+                _ => {}
+            }
+            for p in probes {
+                let p = Timestamp(p);
+                if t.contains(p) {
+                    prop_assert!(a.contains(p), "truncated interval gained {p}");
+                }
+            }
+        }
+    }
+
+    /// mvdb validity invariant: the versions of one row carve time into
+    /// disjoint intervals — at any pinned snapshot exactly one version is
+    /// visible, it holds the ground-truth value as of that snapshot, and
+    /// its reported validity interval contains the snapshot. Two snapshots
+    /// separated by an update never report overlapping validity intervals.
+    #[test]
+    fn mvdb_row_versions_never_overlap_in_a_snapshot(
+        updates in proptest::collection::vec(0i64..1000, 1..10),
+    ) {
+        use txcache_repro::mvdb::{
+            ColumnType, Database, DbConfig, Predicate, SelectQuery, SnapshotId, TableSchema,
+            Value,
+        };
+        use txcache_repro::txtypes::SimClock;
+
+        let db = Database::new(DbConfig::default(), SimClock::new());
+        db.create_table(
+            TableSchema::new("items")
+                .column("id", ColumnType::Int)
+                .column("price", ColumnType::Int)
+                .unique_index("id"),
+        )
+        .unwrap();
+        db.bulk_load("items", vec![vec![Value::Int(1), Value::Int(-1)]])
+            .unwrap();
+
+        // Apply the updates, pinning a snapshot after each commit and
+        // remembering the value it should observe.
+        let mut pinned = vec![(db.pin_latest().0, -1i64)];
+        for price in &updates {
+            let txn = db.begin_rw().unwrap();
+            db.update(
+                txn,
+                "items",
+                &Predicate::eq("id", 1i64),
+                &[("price".to_string(), Value::Int(*price))],
+            )
+            .unwrap();
+            db.commit(txn).unwrap();
+            pinned.push((db.pin_latest().0, *price));
+        }
+
+        // Query the row at every pinned snapshot.
+        let query = SelectQuery::table("items").filter(Predicate::eq("id", 1i64));
+        let mut observed: Vec<(i64, txcache_repro::txtypes::ValidityInterval)> = Vec::new();
+        for (snap, expected) in &pinned {
+            let token = db.begin_ro(Some(SnapshotId(snap.timestamp()))).unwrap();
+            let result = db.query(token, &query).unwrap();
+            db.commit(token).unwrap();
+            prop_assert_eq!(result.len(), 1, "exactly one version visible per snapshot");
+            let value = result.get(0, "price").unwrap().as_int().unwrap();
+            prop_assert_eq!(value, *expected, "snapshot {} must see its own update", snap.timestamp());
+            prop_assert!(
+                result.validity.contains(snap.timestamp()),
+                "validity {:?} must contain the snapshot {}",
+                result.validity,
+                snap.timestamp()
+            );
+            observed.push((value, result.validity));
+        }
+
+        // Results carrying different values live in disjoint intervals:
+        // overlapping versions of the row never coexist in any snapshot.
+        for (i, (va, ia)) in observed.iter().enumerate() {
+            for (vb, ib) in observed.iter().skip(i + 1) {
+                if va != vb {
+                    prop_assert!(
+                        ia.intersect(ib).is_none(),
+                        "versions {va} ({ia:?}) and {vb} ({ib:?}) overlap"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn pin_set_invariant_two_holds_under_real_cache_guarantee() {
     // The cache only returns entries whose validity intersects the pin-set
