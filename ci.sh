@@ -21,14 +21,18 @@
 #      `txcached --ping`, runs the remote-backend consistency test against it
 #      via TXCACHED_ADDRS, and tears the server down again
 #   8. optionally, the bench-regression smoke gate (--bench-smoke): the
-#      fig5_throughput thread sweep compared against a baseline JSON.
-#      The baseline defaults to the checked-in
-#      crates/bench/BENCH_fig5.baseline.json and can be overridden with
-#      the BENCH_BASELINE environment variable. Absolute txn/s is only
-#      compared when the host has the same CPU count the baseline was
-#      recorded with (the hosted workflow caches a runner-class baseline
-#      for this); the >=1.5x 4-thread speedup floor applies on any host
-#      with at least 4 CPUs.
+#      fig5_throughput thread sweep compared against a baseline JSON, and
+#      the cache_scaling sweep (mixed lookup/insert throughput against one
+#      sharded cache node, in-process) compared against its own baseline.
+#      The baselines default to the checked-in
+#      crates/bench/BENCH_fig5.baseline.json and
+#      crates/bench/BENCH_cache_scaling.baseline.json and can be
+#      overridden with the BENCH_BASELINE / CACHE_BENCH_BASELINE
+#      environment variables. Absolute txn/s is only compared when the
+#      host has the same CPU count the baseline was recorded with (the
+#      hosted workflow caches a runner-class baseline for this); the
+#      >=1.5x 4-thread speedup floor applies on any host with at least 4
+#      CPUs.
 #
 # Every step is timed, and a summary is printed at the end; on failure the
 # summary names the step that failed so workflow logs show the broken gate
@@ -45,10 +49,12 @@
 #   --chaos-smoke                run the bounded chaos sweep (both backends,
 #                                fixed seeds, history checker)
 #
-# To refresh the bench baseline after an intentional perf change:
-#   cargo build --release -p bench --bin fig5_throughput
+# To refresh the bench baselines after an intentional perf change:
+#   cargo build --release -p bench --bin fig5_throughput --bin cache_scaling
 #   target/release/fig5_throughput --scaling-only --threads 1,4 \
 #       --requests 30000 --json crates/bench/BENCH_fig5.baseline.json
+#   target/release/cache_scaling --threads 1,4 --requests 500000 \
+#       --skip-tcp --json crates/bench/BENCH_cache_scaling.baseline.json
 
 set -uo pipefail
 cd "$(dirname "$0")"
@@ -187,7 +193,7 @@ fi
 if [ "$BENCH_SMOKE" -eq 1 ]; then
     if [ "$PROFILE" != release ]; then
         run_step "cargo build --release -p bench (for bench smoke)" \
-            cargo build --release -p bench --bin fig5_throughput
+            cargo build --release -p bench --bin fig5_throughput --bin cache_scaling
     fi
     # Which gates apply depends on the host: the absolute-throughput
     # comparison runs when the host's CPU count matches the baseline's
@@ -198,6 +204,15 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
         target/release/fig5_throughput --scaling-only --threads 1,4 \
         --requests 30000 --json BENCH_fig5.json \
         --baseline "$BASELINE" \
+        --min-speedup 1.5
+    # The cache-tier gate: lookup/insert throughput against one sharded
+    # node. Same rules — 20% regression ceiling at the highest common
+    # thread count, >=1.5x 4-thread speedup floor on >=4-CPU hosts.
+    CACHE_BASELINE="${CACHE_BENCH_BASELINE:-crates/bench/BENCH_cache_scaling.baseline.json}"
+    run_step "bench smoke (cache_scaling sweep vs ${CACHE_BASELINE})" \
+        target/release/cache_scaling --threads 1,4 \
+        --requests 500000 --skip-tcp --json BENCH_cache_scaling.json \
+        --baseline "$CACHE_BASELINE" \
         --min-speedup 1.5
 fi
 

@@ -14,10 +14,11 @@ fn key(i: u64) -> CacheKey {
 }
 
 fn warm_node(entries: u64) -> CacheNode {
-    let mut node = CacheNode::new(
+    let node = CacheNode::new(
         "bench",
         NodeConfig {
             capacity_bytes: 256 << 20,
+            ..NodeConfig::default()
         },
     );
     for i in 0..entries {
@@ -41,7 +42,7 @@ fn bench_cache(c: &mut Criterion) {
     group.sample_size(40);
 
     group.bench_function("lookup_hit", |b| {
-        let mut node = warm_node(10_000);
+        let node = warm_node(10_000);
         let request = LookupRequest::at(Timestamp(50));
         let mut i = 0u64;
         b.iter(|| {
@@ -51,7 +52,7 @@ fn bench_cache(c: &mut Criterion) {
     });
 
     group.bench_function("insert", |b| {
-        let mut node = warm_node(1_000);
+        let node = warm_node(1_000);
         let mut i = 1_000_000u64;
         b.iter(|| {
             i += 1;
@@ -66,7 +67,7 @@ fn bench_cache(c: &mut Criterion) {
     });
 
     group.bench_function("apply_invalidation", |b| {
-        let mut node = warm_node(10_000);
+        let node = warm_node(10_000);
         let mut ts = 200u64;
         let mut i = 0u64;
         b.iter(|| {

@@ -1,0 +1,248 @@
+//! Cache-node thread-scaling sweep and CI regression gate.
+//!
+//! Drives a mixed lookup/insert workload (90% versioned lookups, 10%
+//! inserts) against ONE cache node at `--threads 1,2,4,8`, twice:
+//!
+//! * **in-process** — threads call the sharded [`CacheNode`] directly, the
+//!   configuration the `CacheCluster` backend uses;
+//! * **loopback TCP** — each thread owns one connection to a real
+//!   [`TxcachedServer`], the `RemoteCluster` configuration.
+//!
+//! With the sharded store, lookups on distinct keys take shared or disjoint
+//! shard locks, so in-process throughput should scale with cores; the
+//! per-shard wait counters printed below show where contention remains. The
+//! binary doubles as the CI gate (`ci.sh --bench-smoke`): the in-process
+//! sweep is recorded as JSON and compared against
+//! `crates/bench/BENCH_cache_scaling.baseline.json` with the same
+//! regression/speedup rules as the fig5 gate.
+//!
+//! ```text
+//! cache_scaling [--threads 1,2,4,8] [--requests N] [--json PATH]
+//!               [--baseline PATH] [--max-regress 0.2] [--min-speedup X]
+//!               [--skip-tcp]
+//! ```
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::{gate_failures, BenchArgs, SweepReport};
+use bytes::Bytes;
+use cache_server::{CacheNode, LookupRequest, NodeConfig, TxcachedServer};
+use txtypes::{CacheKey, TagSet, Timestamp, ValidityInterval, WallClock};
+use wire::{FramedStream, Request, Response};
+
+/// Keys warmed into the node before measuring.
+const WARM_KEYS: u64 = 4_096;
+const VALUE_BYTES: usize = 128;
+
+fn key(i: u64) -> CacheKey {
+    CacheKey::new("get_item", format!("[{i}]"))
+}
+
+/// Deterministic mixer so the op stream needs no RNG dependency.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn node() -> CacheNode {
+    // Generous capacity: this sweep measures lock scaling, not eviction.
+    let node = CacheNode::new(
+        "bench",
+        NodeConfig {
+            capacity_bytes: 256 << 20,
+            ..NodeConfig::default()
+        },
+    );
+    for i in 0..WARM_KEYS {
+        node.insert(
+            key(i),
+            Bytes::from(vec![7u8; VALUE_BYTES]),
+            ValidityInterval::unbounded(Timestamp(1)),
+            TagSet::new(),
+            WallClock::ZERO,
+        );
+    }
+    // Advance the invalidation horizon so still-valid entries are servable.
+    node.note_timestamp(Timestamp(1_000_000));
+    node
+}
+
+/// One thread's share of the mixed workload against the in-process node.
+fn drive_in_process(node: &CacheNode, thread: u64, ops: u64) {
+    let request = LookupRequest::at(Timestamp(500));
+    let mut fresh = WARM_KEYS + thread * 10_000_000;
+    for i in 0..ops {
+        let r = mix(thread.wrapping_mul(0x1_0000_0001).wrapping_add(i));
+        if r.is_multiple_of(10) {
+            fresh += 1;
+            node.insert(
+                key(fresh),
+                Bytes::from(vec![7u8; VALUE_BYTES]),
+                ValidityInterval::unbounded(Timestamp(1)),
+                TagSet::new(),
+                WallClock::ZERO,
+            );
+        } else {
+            let hit = node.lookup(&key(r % WARM_KEYS), &request).is_hit();
+            assert!(hit, "warm key must hit");
+        }
+    }
+}
+
+/// One thread's share against the TCP server, over its own connection.
+fn drive_tcp(addr: std::net::SocketAddr, thread: u64, ops: u64) {
+    let stream = TcpStream::connect(addr).expect("connect loopback txcached");
+    stream.set_nodelay(true).expect("set nodelay");
+    let mut conn = FramedStream::new(stream);
+    let mut fresh = WARM_KEYS + thread * 10_000_000;
+    for i in 0..ops {
+        let r = mix(thread.wrapping_mul(0x2_0000_0003).wrapping_add(i));
+        if r.is_multiple_of(10) {
+            fresh += 1;
+            let ack = conn
+                .call(&Request::Put {
+                    key: key(fresh),
+                    value: Bytes::from(vec![7u8; VALUE_BYTES]),
+                    validity: ValidityInterval::unbounded(Timestamp(1)),
+                    tags: TagSet::new(),
+                    now: WallClock::ZERO,
+                })
+                .expect("put");
+            assert_eq!(ack, Response::PutAck);
+        } else {
+            let got = conn
+                .call(&Request::VersionedGet {
+                    key: key(r % WARM_KEYS),
+                    pinset_lo: Timestamp(500),
+                    pinset_hi: Timestamp(500),
+                    freshness_lo: Timestamp(500),
+                })
+                .expect("get");
+            assert!(matches!(got, Response::Hit { .. }), "warm key must hit");
+        }
+    }
+}
+
+/// Runs the sweep, returning measured ops/s per thread count.
+fn sweep(
+    label: &str,
+    threads: &[usize],
+    requests: usize,
+    run: impl Fn(u64, u64) + Sync,
+) -> Vec<f64> {
+    let mut rates = Vec::with_capacity(threads.len());
+    println!("\n  {label}:");
+    for &t in threads {
+        let ops_per_thread = (requests / t.max(1)).max(1) as u64;
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for thread in 0..t as u64 {
+                let run = &run;
+                scope.spawn(move || run(thread, ops_per_thread));
+            }
+        });
+        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+        let total_ops = ops_per_thread * t as u64;
+        let rate = total_ops as f64 / elapsed;
+        println!("    {t:>2} thread(s): {rate:>10.0} ops/s ({total_ops} ops)");
+        rates.push(rate);
+    }
+    rates
+}
+
+fn print_shard_stats(shards: &[cache_server::CacheShardStats]) {
+    println!("\n  cache shard contention at the widest sweep point:");
+    for s in shards {
+        println!(
+            "    shard[{}]: {:>9} reads ({} waited), {:>8} writes ({} waited), {:.2}% contended",
+            s.shard,
+            s.read_locks,
+            s.read_waits,
+            s.write_locks,
+            s.write_waits,
+            s.contention_rate() * 100.0
+        );
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let skip_tcp = std::env::args().any(|a| a == "--skip-tcp");
+    let threads: Vec<usize> = args.threads.iter().copied().filter(|&t| t > 0).collect();
+    // A fuller default than the 2000-request experiment default: each sweep
+    // point is pure cache ops, so cheap enough to measure properly.
+    let requests = args.requests.max(10_000);
+
+    println!(
+        "cache_scaling: {} warm keys, {}-byte values, {} requests/point, shards={}",
+        WARM_KEYS,
+        VALUE_BYTES,
+        requests,
+        NodeConfig::default().shards
+    );
+
+    // ---- in-process (the CacheCluster backend's configuration) ----
+    let in_process = Arc::new(node());
+    in_process.reset_stats();
+    let rates = sweep("in-process", &threads, requests, |thread, ops| {
+        drive_in_process(&in_process, thread, ops);
+    });
+    print_shard_stats(&in_process.shard_stats());
+
+    // ---- loopback TCP (the RemoteCluster backend's configuration) ----
+    if !skip_tcp {
+        let server = TxcachedServer::bind(
+            "127.0.0.1:0",
+            "bench-node",
+            NodeConfig {
+                capacity_bytes: 256 << 20,
+                ..NodeConfig::default()
+            },
+        )
+        .expect("bind loopback txcached");
+        let addr = server.local_addr();
+        let mut warm = FramedStream::new(TcpStream::connect(addr).expect("connect"));
+        for i in 0..WARM_KEYS {
+            warm.call(&Request::Put {
+                key: key(i),
+                value: Bytes::from(vec![7u8; VALUE_BYTES]),
+                validity: ValidityInterval::unbounded(Timestamp(1)),
+                tags: TagSet::new(),
+                now: WallClock::ZERO,
+            })
+            .expect("warm put");
+        }
+        warm.call(&Request::InvalidationBatch {
+            events: Vec::new(),
+            heartbeat: Timestamp(1_000_000),
+        })
+        .expect("warm heartbeat");
+        drop(warm);
+        sweep("loopback TCP", &threads, requests, |thread, ops| {
+            drive_tcp(addr, thread, ops);
+        });
+        print_shard_stats(&server.shard_stats());
+    }
+
+    // ---- JSON + CI gate (the in-process series, like the fig5 gate) ----
+    let report = SweepReport {
+        available_parallelism: std::thread::available_parallelism().map_or(1, usize::from),
+        threads: threads.clone(),
+        txn_per_sec: rates,
+    };
+    if let Some(path) = &args.json_out {
+        std::fs::write(path, report.to_json()).expect("failed to write sweep JSON");
+        println!("\n  sweep written to {path}");
+    }
+    let failures = gate_failures(&args, &report);
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("BENCH GATE FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -12,7 +12,7 @@
 //! it, and exits non-zero if throughput regressed more than `--max-regress`
 //! against the checked-in baseline.
 
-use bench::{format_size, BenchArgs, SweepReport};
+use bench::{format_size, gate_failures, BenchArgs, SweepReport};
 use harness::{
     run_concurrent, run_experiment, scalability_table, throughput_table, ConcurrentResult, DbKind,
     ExperimentConfig, ExperimentResult,
@@ -145,88 +145,6 @@ fn thread_scaling(args: &BenchArgs) -> SweepReport {
         threads: results.iter().map(|r| r.threads).collect(),
         txn_per_sec: results.iter().map(|r| r.throughput_rps).collect(),
     }
-}
-
-/// Applies the CI gate: regression against the baseline file and, on hosts
-/// with enough CPUs, the scaling floor. Returns error strings, empty = pass.
-fn gate_failures(args: &BenchArgs, report: &SweepReport) -> Vec<String> {
-    let mut failures = Vec::new();
-
-    if let Some(path) = &args.baseline {
-        match std::fs::read_to_string(path)
-            .ok()
-            .as_deref()
-            .map(SweepReport::from_json)
-        {
-            Some(Some(baseline))
-                if baseline.available_parallelism != report.available_parallelism =>
-            {
-                // Absolute txn/s only compares like with like: a baseline
-                // recorded on a different machine class (e.g. the 1-CPU dev
-                // container vs a 4-CPU hosted runner) would make the gate
-                // flap. The --min-speedup ratio gate still applies there.
-                println!(
-                    "\n  bench gate: baseline was recorded with {} CPU(s), this host has {}; \
-                     absolute-throughput comparison skipped",
-                    baseline.available_parallelism, report.available_parallelism
-                );
-            }
-            Some(Some(baseline)) => {
-                let common = report
-                    .threads
-                    .iter()
-                    .filter(|t| baseline.rate_at(**t).is_some())
-                    .max()
-                    .copied();
-                match common {
-                    Some(threads) => {
-                        let old = baseline.rate_at(threads).unwrap_or(0.0);
-                        let new = report.rate_at(threads).unwrap_or(0.0);
-                        let floor = old * (1.0 - args.max_regress);
-                        if new < floor {
-                            failures.push(format!(
-                                "throughput regression at {threads} threads: {new:.0} txn/s < \
-                                 {floor:.0} (baseline {old:.0}, max regression {:.0}%)",
-                                args.max_regress * 100.0
-                            ));
-                        } else {
-                            println!(
-                                "\n  bench gate: {new:.0} txn/s at {threads} threads vs baseline \
-                                 {old:.0} (floor {floor:.0}) — ok"
-                            );
-                        }
-                    }
-                    None => failures.push(format!(
-                        "baseline {path} shares no thread count with this run"
-                    )),
-                }
-            }
-            _ => failures.push(format!("could not read baseline {path}")),
-        }
-    }
-
-    if args.min_speedup > 0.0 {
-        let top = report.threads.iter().max().copied().unwrap_or(1);
-        if report.available_parallelism >= top {
-            match report.top_speedup() {
-                Some(speedup) if speedup < args.min_speedup => failures.push(format!(
-                    "speedup at {top} threads is {speedup:.2}x, below the {:.2}x floor",
-                    args.min_speedup
-                )),
-                Some(speedup) => {
-                    println!("  bench gate: speedup {speedup:.2}x at {top} threads — ok");
-                }
-                None => failures.push("cannot compute speedup (no 1-thread run)".into()),
-            }
-        } else {
-            println!(
-                "  bench gate: host has {} CPU(s) < {top} threads; speedup floor skipped",
-                report.available_parallelism
-            );
-        }
-    }
-
-    failures
 }
 
 fn main() {

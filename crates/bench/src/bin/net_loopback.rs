@@ -156,6 +156,7 @@ fn main() {
                 format!("bench-node-{i}"),
                 NodeConfig {
                     capacity_bytes: 64 << 20,
+                    ..NodeConfig::default()
                 },
             )
             .expect("bind loopback txcached")

@@ -145,6 +145,92 @@ impl BenchArgs {
     }
 }
 
+/// Applies the CI bench gate to a sweep: regression against the baseline
+/// file (absolute throughput is only compared when the host matches the
+/// baseline's CPU count) and, on hosts with enough CPUs, the scaling floor.
+/// Returns error strings; empty = pass. Shared by `fig5_throughput` and
+/// `cache_scaling`.
+#[must_use]
+pub fn gate_failures(args: &BenchArgs, report: &SweepReport) -> Vec<String> {
+    let mut failures = Vec::new();
+
+    if let Some(path) = &args.baseline {
+        match std::fs::read_to_string(path)
+            .ok()
+            .as_deref()
+            .map(SweepReport::from_json)
+        {
+            Some(Some(baseline))
+                if baseline.available_parallelism != report.available_parallelism =>
+            {
+                // Absolute txn/s only compares like with like: a baseline
+                // recorded on a different machine class (e.g. the 1-CPU dev
+                // container vs a 4-CPU hosted runner) would make the gate
+                // flap. The --min-speedup ratio gate still applies there.
+                println!(
+                    "\n  bench gate: baseline was recorded with {} CPU(s), this host has {}; \
+                     absolute-throughput comparison skipped",
+                    baseline.available_parallelism, report.available_parallelism
+                );
+            }
+            Some(Some(baseline)) => {
+                let common = report
+                    .threads
+                    .iter()
+                    .filter(|t| baseline.rate_at(**t).is_some())
+                    .max()
+                    .copied();
+                match common {
+                    Some(threads) => {
+                        let old = baseline.rate_at(threads).unwrap_or(0.0);
+                        let new = report.rate_at(threads).unwrap_or(0.0);
+                        let floor = old * (1.0 - args.max_regress);
+                        if new < floor {
+                            failures.push(format!(
+                                "throughput regression at {threads} threads: {new:.0} txn/s < \
+                                 {floor:.0} (baseline {old:.0}, max regression {:.0}%)",
+                                args.max_regress * 100.0
+                            ));
+                        } else {
+                            println!(
+                                "\n  bench gate: {new:.0} txn/s at {threads} threads vs baseline \
+                                 {old:.0} (floor {floor:.0}) — ok"
+                            );
+                        }
+                    }
+                    None => failures.push(format!(
+                        "baseline {path} shares no thread count with this run"
+                    )),
+                }
+            }
+            _ => failures.push(format!("could not read baseline {path}")),
+        }
+    }
+
+    if args.min_speedup > 0.0 {
+        let top = report.threads.iter().max().copied().unwrap_or(1);
+        if report.available_parallelism >= top {
+            match report.top_speedup() {
+                Some(speedup) if speedup < args.min_speedup => failures.push(format!(
+                    "speedup at {top} threads is {speedup:.2}x, below the {:.2}x floor",
+                    args.min_speedup
+                )),
+                Some(speedup) => {
+                    println!("  bench gate: speedup {speedup:.2}x at {top} threads — ok");
+                }
+                None => failures.push("cannot compute speedup (no 1-thread run)".into()),
+            }
+        } else {
+            println!(
+                "  bench gate: host has {} CPU(s) < {top} threads; speedup floor skipped",
+                report.available_parallelism
+            );
+        }
+    }
+
+    failures
+}
+
 /// Formats a byte count as the paper writes cache sizes ("64MB", "1GB").
 #[must_use]
 pub fn format_size(bytes: usize) -> String {

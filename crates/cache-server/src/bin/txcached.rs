@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! txcached [--addr 127.0.0.1:11222] [--capacity-mb 64] [--name NAME]
-//!          [--stats-every-secs N]
+//!          [--shards N] [--stats-every-secs N]
 //! txcached --ping ADDR     # liveness probe: exit 0 if ADDR answers a Ping
 //! ```
 //!
@@ -27,6 +27,7 @@ struct Options {
     addr: String,
     capacity_mb: usize,
     name: String,
+    shards: usize,
     stats_every_secs: u64,
     ping: Option<String>,
 }
@@ -34,7 +35,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: txcached [--addr HOST:PORT] [--capacity-mb N] [--name NAME] \
-         [--stats-every-secs N] | --ping HOST:PORT"
+         [--shards N] [--stats-every-secs N] | --ping HOST:PORT"
     );
     std::process::exit(2);
 }
@@ -44,6 +45,7 @@ fn parse_options() -> Options {
         addr: "127.0.0.1:11222".to_string(),
         capacity_mb: 64,
         name: "txcached-0".to_string(),
+        shards: NodeConfig::default().shards,
         stats_every_secs: 0,
         ping: None,
     };
@@ -61,6 +63,9 @@ fn parse_options() -> Options {
                 options.capacity_mb = value("--capacity-mb").parse().unwrap_or_else(|_| usage())
             }
             "--name" => options.name = value("--name"),
+            "--shards" => {
+                options.shards = value("--shards").parse().unwrap_or_else(|_| usage());
+            }
             "--stats-every-secs" => {
                 options.stats_every_secs = value("--stats-every-secs")
                     .parse()
@@ -119,6 +124,8 @@ fn main() -> ExitCode {
         options.name.clone(),
         NodeConfig {
             capacity_bytes: options.capacity_mb << 20,
+            shards: options.shards,
+            ..NodeConfig::default()
         },
     ) {
         Ok(server) => server,
@@ -129,8 +136,10 @@ fn main() -> ExitCode {
     };
     println!("txcached listening on {}", server.local_addr());
     println!(
-        "txcached node={} capacity={} MB",
-        options.name, options.capacity_mb
+        "txcached node={} capacity={} MB shards={}",
+        options.name,
+        options.capacity_mb,
+        options.shards.max(1)
     );
     // Line-buffered stdout only flushes on newline when attached to a pipe
     // after the process keeps running; force it so scrapers see the address.
@@ -159,6 +168,22 @@ fn main() -> ExitCode {
                 c.used_bytes,
                 s.invalidation_batches,
             );
+            for shard in server.shard_stats() {
+                println!(
+                    "txcached shard[{}]: {} reads ({} waited), {} writes ({} waited), \
+                     {:.2}% contended, {} entries {}B, evictions lru={} stale={}",
+                    shard.shard,
+                    shard.read_locks,
+                    shard.read_waits,
+                    shard.write_locks,
+                    shard.write_waits,
+                    shard.contention_rate() * 100.0,
+                    shard.entries,
+                    shard.used_bytes,
+                    shard.lru_evictions,
+                    shard.staleness_evictions,
+                );
+            }
             let _ = std::io::stdout().flush();
         }
     }

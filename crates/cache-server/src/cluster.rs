@@ -3,22 +3,23 @@
 //! [`CacheCluster`] is what the TxCache library talks to: it routes lookups
 //! and inserts to the responsible node, fans invalidation messages out to
 //! every node (standing in for the paper's reliable multicast), and
-//! aggregates statistics. Nodes are individually locked so concurrent
-//! application servers contend only when they touch the same node, mirroring
-//! the sharded deployment in the paper.
+//! aggregates statistics. Nodes are internally sharded ([`CacheNode`]), so
+//! the cluster holds them directly — no wrapper locks: concurrent
+//! application servers contend only when they touch the same *shard* of the
+//! same node, and lookups on distinct keys proceed under shared or disjoint
+//! shard locks.
 
 use bytes::Bytes;
-use parking_lot::Mutex;
 use txtypes::{CacheKey, TagSet, Timestamp, ValidityInterval, WallClock};
 
 use crate::entry::{LookupOutcome, LookupRequest};
 use crate::node::{CacheNode, NodeConfig};
 use crate::ring::ConsistentHashRing;
-use crate::stats::CacheStats;
+use crate::stats::{CacheShardStats, CacheStats};
 
 /// A set of cache nodes plus the ring that places keys on them.
 pub struct CacheCluster {
-    nodes: Vec<Mutex<CacheNode>>,
+    nodes: Vec<CacheNode>,
     ring: ConsistentHashRing,
 }
 
@@ -28,11 +29,24 @@ impl CacheCluster {
     /// [`CacheCluster::with_total_capacity`] for that.
     #[must_use]
     pub fn new(node_count: usize, capacity_bytes: usize) -> CacheCluster {
+        CacheCluster::with_config(
+            node_count,
+            NodeConfig {
+                capacity_bytes,
+                ..NodeConfig::default()
+            },
+        )
+    }
+
+    /// Creates a cluster of `node_count` nodes sharing one node
+    /// configuration (capacity, shard count, history limit).
+    #[must_use]
+    pub fn with_config(node_count: usize, config: NodeConfig) -> CacheCluster {
         let node_count = node_count.max(1);
         let names: Vec<String> = (0..node_count).map(|i| format!("cache-{i}")).collect();
         let nodes = names
             .iter()
-            .map(|n| Mutex::new(CacheNode::new(n.clone(), NodeConfig { capacity_bytes })))
+            .map(|n| CacheNode::new(n.clone(), config))
             .collect();
         CacheCluster {
             nodes,
@@ -54,10 +68,24 @@ impl CacheCluster {
         self.nodes.len()
     }
 
+    /// Direct access to a node (diagnostics and tests).
+    ///
+    /// # Panics
+    /// If `idx >= self.node_count()`.
+    #[must_use]
+    pub fn node(&self, idx: usize) -> &CacheNode {
+        &self.nodes[idx]
+    }
+
+    /// The node responsible for `key` on the consistent-hash ring.
+    #[must_use]
+    pub fn node_for(&self, key: &CacheKey) -> &CacheNode {
+        &self.nodes[self.ring.node_for(key)]
+    }
+
     /// Looks up a key on the responsible node.
     pub fn lookup(&self, key: &CacheKey, request: &LookupRequest) -> LookupOutcome {
-        let idx = self.ring.node_for(key);
-        self.nodes[idx].lock().lookup(key, request)
+        self.node_for(key).lookup(key, request)
     }
 
     /// Inserts a value on the responsible node.
@@ -69,17 +97,14 @@ impl CacheCluster {
         tags: TagSet,
         now: WallClock,
     ) {
-        let idx = self.ring.node_for(&key);
-        self.nodes[idx]
-            .lock()
-            .insert(key, value, validity, tags, now);
+        self.node_for(&key).insert(key, value, validity, tags, now);
     }
 
     /// Delivers one invalidation-stream message to every node (the multicast
     /// of §4.2). Messages must be applied in commit order.
     pub fn apply_invalidation(&self, timestamp: Timestamp, tags: &TagSet) {
         for node in &self.nodes {
-            node.lock().apply_invalidation(timestamp, tags);
+            node.apply_invalidation(timestamp, tags);
         }
     }
 
@@ -88,7 +113,7 @@ impl CacheCluster {
     /// lookups up to `ts`.
     pub fn note_timestamp(&self, ts: Timestamp) {
         for node in &self.nodes {
-            node.lock().note_timestamp(ts);
+            node.note_timestamp(ts);
         }
     }
 
@@ -96,7 +121,7 @@ impl CacheCluster {
     /// node.
     pub fn evict_stale(&self, min_useful_ts: Timestamp) {
         for node in &self.nodes {
-            node.lock().evict_stale(min_useful_ts);
+            node.evict_stale(min_useful_ts);
         }
     }
 
@@ -105,28 +130,38 @@ impl CacheCluster {
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for node in &self.nodes {
-            total.merge(&node.lock().stats());
+            total.merge(&node.stats());
         }
         total
+    }
+
+    /// Per-shard lock and eviction counters of every node, keyed by node
+    /// name (the cluster-level mirror of [`CacheNode::shard_stats`]).
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<(String, Vec<CacheShardStats>)> {
+        self.nodes
+            .iter()
+            .map(|n| (n.name().to_string(), n.shard_stats()))
+            .collect()
     }
 
     /// Resets hit/miss counters on every node.
     pub fn reset_stats(&self) {
         for node in &self.nodes {
-            node.lock().reset_stats();
+            node.reset_stats();
         }
     }
 
     /// Total bytes of cached data across the cluster.
     #[must_use]
     pub fn used_bytes(&self) -> usize {
-        self.nodes.iter().map(|n| n.lock().used_bytes()).sum()
+        self.nodes.iter().map(CacheNode::used_bytes).sum()
     }
 
     /// Total number of entries across the cluster.
     #[must_use]
     pub fn entry_count(&self) -> usize {
-        self.nodes.iter().map(|n| n.lock().entry_count()).sum()
+        self.nodes.iter().map(CacheNode::entry_count).sum()
     }
 }
 
@@ -228,5 +263,32 @@ mod tests {
         assert_eq!(c.node_count(), 4);
         let debug = format!("{c:?}");
         assert!(debug.contains("CacheCluster"));
+    }
+
+    #[test]
+    fn cluster_exposes_nodes_and_their_shards() {
+        let c = cluster();
+        c.insert(
+            key(1),
+            Bytes::from_static(b"v"),
+            ValidityInterval::unbounded(Timestamp(1)),
+            TagSet::new(),
+            WallClock::ZERO,
+        );
+        assert_eq!(c.node_for(&key(1)).entry_count(), 1);
+        assert!(std::ptr::eq(
+            c.node_for(&key(1)),
+            (0..c.node_count())
+                .map(|i| c.node(i))
+                .find(|n| n.entry_count() == 1)
+                .unwrap()
+        ));
+        let shard_stats = c.shard_stats();
+        assert_eq!(shard_stats.len(), 3);
+        let writes: u64 = shard_stats
+            .iter()
+            .flat_map(|(_, shards)| shards.iter().map(|s| s.write_locks))
+            .sum();
+        assert_eq!(writes, 1);
     }
 }

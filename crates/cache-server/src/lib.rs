@@ -25,6 +25,20 @@
 //!   client maps keys to nodes directly.
 //! * **Miss classification** (§8.3): compulsory, staleness, capacity and
 //!   consistency misses, used to regenerate Figure 8.
+//!
+//! # Concurrency
+//!
+//! Each node's store is split into key-hash shards, each behind its own
+//! reader/writer lock ([`node`] module docs describe the full locking
+//! protocol): lookups take one shard's shared lock, inserts and evictions
+//! one shard's exclusive lock, and the invalidation stream applies in commit
+//! order under a node-level sequencer that write-locks only the shards a
+//! batch actually touches. Both consumers — the in-process
+//! [`CacheCluster`] and the networked [`TxcachedServer`] — share their node
+//! by reference, so concurrent application servers and connection handlers
+//! scale with cores instead of queueing on one node-wide mutex. Per-shard
+//! lock and eviction counters ([`CacheShardStats`]) make residual contention
+//! observable locally and over the wire.
 
 #![forbid(unsafe_code)]
 
@@ -33,6 +47,7 @@ pub mod entry;
 pub mod node;
 pub mod ring;
 pub mod server;
+mod shard;
 pub mod stats;
 
 pub use cluster::CacheCluster;
@@ -40,4 +55,4 @@ pub use entry::{CacheEntry, LookupOutcome, LookupRequest, MissKind};
 pub use node::{CacheNode, NodeConfig};
 pub use ring::ConsistentHashRing;
 pub use server::{ConnectionSummary, ServerStats, TxcachedServer};
-pub use stats::CacheStats;
+pub use stats::{CacheShardStats, CacheStats};

@@ -1,4 +1,4 @@
-//! A single versioned cache node (§4).
+//! A single versioned cache node (§4), sharded for concurrent access.
 //!
 //! The node stores multiple versions per key, each tagged with its validity
 //! interval; versions of one key have disjoint intervals because only one
@@ -6,31 +6,97 @@
 //! timestamps and receive the most recent matching version. Still-valid
 //! entries carry invalidation tags; when the node processes the invalidation
 //! stream it truncates the validity of every affected entry at the update
-//! transaction's commit timestamp. Eviction combines LRU with eager removal
-//! of entries too stale to satisfy any transaction.
+//! transaction's commit timestamp. Eviction removes already-bounded (stale)
+//! entries first, then least-recently-used ones, under a per-shard byte
+//! budget.
+//!
+//! # Concurrency model
+//!
+//! Storage is split into [`NodeConfig::shards`] key-hash shards
+//! ([`crate::shard`]), each behind its own reader/writer lock:
+//!
+//! * **Lookups** take only the target shard's *shared* lock. The LRU touch
+//!   is an atomic store on the entry and statistics are relaxed atomics, so
+//!   lookups on distinct keys — and even on the same shard — proceed in
+//!   parallel.
+//! * **Inserts and evictions** take the target shard's exclusive lock and
+//!   nothing else. Eviction is per-shard: stale-first, then LRU, with a
+//!   budget of `capacity_bytes / shards`.
+//! * **Invalidations** are serialized by a node-level sequencer mutex so the
+//!   stream applies in commit order, then routed: a shared-lock pre-check
+//!   skips every shard whose tag/table indexes the batch does not touch, and
+//!   only touched shards are write-locked.
+//! * `last_invalidation` is an atomic timestamp, advanced with release
+//!   ordering *after* the matching truncations land, so a lookup that
+//!   observes the new horizon is guaranteed to see the truncated entries.
+//!
+//! Lock order: the sequencer is taken before anything else; the invalidation
+//! history lock is never held while acquiring a shard lock (the insert path
+//! acquires shard → history, the invalidation path acquires history and
+//! releases it *before* touching shards), so the two orders cannot deadlock.
+//!
+//! # Bounded invalidation history
+//!
+//! The §4.2 insert/invalidate race check consults the history of processed
+//! invalidations. The history is bounded two ways: `evict_stale` prunes
+//! events below the staleness horizon, and [`NodeConfig::history_limit`]
+//! caps its length outright. Pruning records a *floor* — the newest
+//! timestamp ever dropped — and a still-valid insert whose validity begins
+//! below the floor is conservatively rejected (counted as
+//! `history_floor_drops`): the node can no longer prove no matching
+//! invalidation hit the gap, so serving the value could violate §4.2.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
-use txtypes::{CacheKey, InvalidationTag, TagSet, Timestamp, ValidityInterval, WallClock};
+use parking_lot::{Mutex, RwLock};
+use txtypes::{CacheKey, TagSet, Timestamp, ValidityInterval, WallClock};
 
 use crate::entry::{CacheEntry, LookupOutcome, LookupRequest, MissKind};
-use crate::stats::CacheStats;
-
-/// Internal identifier of a stored entry.
-type EntryId = u64;
+use crate::shard::{EntryId, Shard, StoredEntry};
+use crate::stats::{AtomicCacheStats, CacheShardStats, CacheStats};
 
 /// Configuration of a cache node.
 #[derive(Debug, Clone, Copy)]
 pub struct NodeConfig {
-    /// Memory budget for cached data, in bytes.
+    /// Memory budget for cached data, in bytes (split evenly across shards).
     pub capacity_bytes: usize,
+    /// Number of key-hash shards the store is split into. More shards mean
+    /// less lock contention; 1 reproduces the old monolithic node.
+    pub shards: usize,
+    /// Maximum invalidation-history events retained for the §4.2 race
+    /// check; exceeding it advances the history floor.
+    pub history_limit: usize,
 }
 
 impl Default for NodeConfig {
     fn default() -> Self {
         NodeConfig {
             capacity_bytes: 64 << 20,
+            shards: 8,
+            history_limit: 4096,
+        }
+    }
+}
+
+/// History of processed invalidations, used to close the insert/invalidate
+/// race for entries inserted with an unbounded interval (§4.2).
+#[derive(Debug)]
+struct InvalidationHistory {
+    /// `(commit timestamp, tags)` in commit order.
+    events: std::collections::VecDeque<(Timestamp, TagSet)>,
+    /// Newest timestamp ever pruned from `events`. Inserts whose validity
+    /// begins below the floor cannot be race-checked and are rejected.
+    floor: Timestamp,
+}
+
+impl Default for InvalidationHistory {
+    fn default() -> Self {
+        InvalidationHistory {
+            events: std::collections::VecDeque::new(),
+            floor: Timestamp::ZERO,
         }
     }
 }
@@ -40,50 +106,37 @@ impl Default for NodeConfig {
 pub struct CacheNode {
     name: String,
     config: NodeConfig,
-    entries: HashMap<EntryId, CacheEntry>,
-    by_key: HashMap<CacheKey, Vec<EntryId>>,
-    /// Still-valid entries indexed by each of their dependency tags.
-    tag_index: HashMap<InvalidationTag, HashSet<EntryId>>,
-    /// Still-valid entries indexed by dependency table (for wildcard
-    /// invalidations).
-    table_index: HashMap<String, HashSet<EntryId>>,
-    /// LRU order: tick of last access → entry.
-    lru: BTreeMap<u64, EntryId>,
-    /// entry → its current LRU tick (to remove stale LRU positions).
-    lru_pos: HashMap<EntryId, u64>,
-    tick: u64,
-    next_id: EntryId,
-    used_bytes: usize,
-    /// Timestamp of the most recent invalidation message processed.
-    last_invalidation: Timestamp,
-    /// History of processed invalidations, used to close the insert/invalidate
-    /// race for entries inserted with an unbounded interval (§4.2).
-    invalidation_history: Vec<(Timestamp, TagSet)>,
-    /// Keys that have ever been inserted, for compulsory-miss classification.
-    known_keys: HashSet<CacheKey>,
-    stats: CacheStats,
+    shards: Vec<Shard>,
+    /// Node-wide access clock for LRU ordering.
+    tick: AtomicU64,
+    /// Node-wide entry-id allocator.
+    next_id: AtomicU64,
+    /// Timestamp of the most recent invalidation message processed, advanced
+    /// only after its truncations land (see the module docs).
+    last_invalidation: AtomicU64,
+    /// Serializes the invalidation stream in commit order.
+    sequencer: Mutex<()>,
+    history: RwLock<InvalidationHistory>,
+    /// Node-scoped counters (invalidation messages; everything keyed to a
+    /// shard lives in that shard's bank).
+    node_stats: AtomicCacheStats,
 }
 
 impl CacheNode {
     /// Creates an empty node.
     #[must_use]
     pub fn new(name: impl Into<String>, config: NodeConfig) -> CacheNode {
+        let shard_count = config.shards.max(1);
         CacheNode {
             name: name.into(),
             config,
-            entries: HashMap::new(),
-            by_key: HashMap::new(),
-            tag_index: HashMap::new(),
-            table_index: HashMap::new(),
-            lru: BTreeMap::new(),
-            lru_pos: HashMap::new(),
-            tick: 0,
-            next_id: 1,
-            used_bytes: 0,
-            last_invalidation: Timestamp::ZERO,
-            invalidation_history: Vec::new(),
-            known_keys: HashSet::new(),
-            stats: CacheStats::default(),
+            shards: (0..shard_count).map(|_| Shard::default()).collect(),
+            tick: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            last_invalidation: AtomicU64::new(0),
+            sequencer: Mutex::new(()),
+            history: RwLock::new(InvalidationHistory::default()),
+            node_stats: AtomicCacheStats::default(),
         }
     }
 
@@ -93,35 +146,98 @@ impl CacheNode {
         &self.name
     }
 
+    /// Number of key-hash shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Bytes of cached data currently stored.
     #[must_use]
     pub fn used_bytes(&self) -> usize {
-        self.used_bytes
+        self.shards.iter().map(|s| s.peek().used_bytes).sum()
     }
 
     /// Number of entries currently stored.
     #[must_use]
     pub fn entry_count(&self) -> usize {
-        self.entries.len()
+        self.shards.iter().map(|s| s.peek().entries.len()).sum()
     }
 
-    /// The node's statistics.
+    /// The node's statistics, aggregated across shards.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        let mut s = self.stats;
-        s.used_bytes = self.used_bytes as u64;
-        s
+        let mut total = CacheStats::default();
+        self.node_stats.add_into(&mut total);
+        for shard in &self.shards {
+            shard.stats.add_into(&mut total);
+            total.used_bytes += shard.peek().used_bytes as u64;
+        }
+        total
     }
 
-    /// Resets the hit/miss counters (contents are untouched).
-    pub fn reset_stats(&mut self) {
-        self.stats = CacheStats::default();
+    /// Per-shard lock-contention and eviction counters (the cache-tier
+    /// mirror of `mvdb::Database::shard_stats`).
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<CacheShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let data = shard.peek();
+                CacheShardStats {
+                    shard: i,
+                    read_locks: shard.read_locks.load(Ordering::Relaxed),
+                    write_locks: shard.write_locks.load(Ordering::Relaxed),
+                    read_waits: shard.read_waits.load(Ordering::Relaxed),
+                    write_waits: shard.write_waits.load(Ordering::Relaxed),
+                    lru_evictions: shard.stats.lru_evictions.load(Ordering::Relaxed),
+                    staleness_evictions: shard.stats.staleness_evictions.load(Ordering::Relaxed),
+                    entries: data.entries.len() as u64,
+                    used_bytes: data.used_bytes as u64,
+                }
+            })
+            .collect()
+    }
+
+    /// Resets the hit/miss and lock counters (contents are untouched).
+    pub fn reset_stats(&self) {
+        self.node_stats.reset();
+        for shard in &self.shards {
+            shard.stats.reset();
+            shard.reset_lock_stats();
+        }
     }
 
     /// The timestamp of the last invalidation message processed.
     #[must_use]
     pub fn last_invalidation(&self) -> Timestamp {
-        self.last_invalidation
+        Timestamp(self.last_invalidation.load(Ordering::Acquire))
+    }
+
+    /// Number of invalidation-history events currently retained.
+    #[must_use]
+    pub fn invalidation_history_len(&self) -> usize {
+        self.history.read().events.len()
+    }
+
+    /// Newest timestamp ever pruned from the invalidation history
+    /// ([`Timestamp::ZERO`] while nothing was pruned).
+    #[must_use]
+    pub fn history_floor(&self) -> Timestamp {
+        self.history.read().floor
+    }
+
+    /// The shard responsible for `key`.
+    fn shard_of(&self, key: &CacheKey) -> &Shard {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Per-shard byte budget.
+    fn shard_budget(&self) -> usize {
+        (self.config.capacity_bytes / self.shards.len()).max(1)
     }
 
     // ------------------------------------------------------------------
@@ -130,16 +246,19 @@ impl CacheNode {
 
     /// Looks up `key` for a transaction whose acceptable timestamps are
     /// described by `request`. Returns the most recent matching version, or a
-    /// classified miss.
-    pub fn lookup(&mut self, key: &CacheKey, request: &LookupRequest) -> LookupOutcome {
-        self.tick += 1;
-        let Some(ids) = self.by_key.get(key) else {
-            let kind = if self.known_keys.contains(key) {
+    /// classified miss. Takes only the responsible shard's shared lock.
+    pub fn lookup(&self, key: &CacheKey, request: &LookupRequest) -> LookupOutcome {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let last_invalidation = self.last_invalidation();
+        let shard = self.shard_of(key);
+        let data = shard.read();
+        let Some(ids) = data.by_key.get(key) else {
+            let kind = if data.known_keys.contains(key) {
                 MissKind::Capacity
             } else {
                 MissKind::Compulsory
             };
-            self.stats.record_miss(kind);
+            shard.stats.record_miss(kind);
             return LookupOutcome::Miss(kind);
         };
 
@@ -150,13 +269,13 @@ impl CacheNode {
         let mut fresh_enough_exists = false;
         let mut any_version = false;
         for id in ids {
-            let Some(entry) = self.entries.get(id) else {
+            let Some(stored) = data.entries.get(id) else {
                 continue;
             };
             any_version = true;
-            let effective_upper = entry.validity.effective_upper(self.last_invalidation);
+            let effective_upper = stored.entry.validity.effective_upper(last_invalidation);
             let effective = ValidityInterval {
-                lower: entry.validity.lower,
+                lower: stored.entry.validity.lower,
                 upper: Some(effective_upper),
             };
             // Fresh enough to satisfy the staleness limit alone?
@@ -172,23 +291,19 @@ impl CacheNode {
         }
 
         if let Some((id, effective)) = best {
-            let tick = self.tick;
-            if let Some(prev) = self.lru_pos.insert(id, tick) {
-                self.lru.remove(&prev);
-            }
-            self.lru.insert(tick, id);
-            self.stats.hits += 1;
-            let entry = &self.entries[&id];
+            let stored = &data.entries[&id];
+            stored.last_access.store(tick, Ordering::Relaxed);
+            shard.stats.hits.fetch_add(1, Ordering::Relaxed);
             return LookupOutcome::Hit {
-                value: entry.value.clone(),
+                value: stored.entry.value.clone(),
                 validity: effective,
-                stored_validity: entry.validity,
-                tags: entry.tags.clone(),
+                stored_validity: stored.entry.validity,
+                tags: stored.entry.tags.clone(),
             };
         }
 
         let kind = if !any_version {
-            if self.known_keys.contains(key) {
+            if data.known_keys.contains(key) {
                 MissKind::Capacity
             } else {
                 MissKind::Compulsory
@@ -198,7 +313,7 @@ impl CacheNode {
         } else {
             MissKind::Staleness
         };
-        self.stats.record_miss(kind);
+        shard.stats.record_miss(kind);
         LookupOutcome::Miss(kind)
     }
 
@@ -212,21 +327,38 @@ impl CacheNode {
     /// the invalidations it has already processed: any matching invalidation
     /// newer than the entry's lower bound truncates it immediately, closing
     /// the race between an update committing and the freshly-computed (but
-    /// already stale) value arriving at the cache.
+    /// already stale) value arriving at the cache. Still-valid entries whose
+    /// validity begins below the pruned-history floor are rejected — the
+    /// check can no longer be performed for them.
     pub fn insert(
-        &mut self,
+        &self,
         key: CacheKey,
         value: Bytes,
         mut validity: ValidityInterval,
         tags: TagSet,
         now: WallClock,
     ) {
-        self.known_keys.insert(key.clone());
+        let shard = self.shard_of(&key);
+        let mut data = shard.write();
+        data.known_keys.insert(key.clone());
 
-        // Close the insert/invalidate race for still-valid entries.
+        // Close the insert/invalidate race for still-valid entries. The
+        // history lock is taken *inside* the shard lock; the invalidation
+        // path never holds the history lock while acquiring a shard lock, so
+        // this order is deadlock-free — and it is what closes the race: the
+        // invalidation stream appends to the history before scanning shards,
+        // so either this read sees the event, or the scan sees this entry.
         if validity.is_unbounded() {
+            let history = self.history.read();
+            if validity.lower < history.floor && !tags.is_empty() {
+                shard
+                    .stats
+                    .history_floor_drops
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             let mut earliest_hit: Option<Timestamp> = None;
-            for (ts, inv_tags) in &self.invalidation_history {
+            for (ts, inv_tags) in &history.events {
                 if *ts > validity.lower && tags.intersects(inv_tags) {
                     earliest_hit = Some(match earliest_hit {
                         Some(cur) => cur.min(*ts),
@@ -234,11 +366,15 @@ impl CacheNode {
                     });
                 }
             }
+            drop(history);
             if let Some(ts) = earliest_hit {
                 match validity.truncate_at(ts) {
                     Some(truncated) => {
                         validity = truncated;
-                        self.stats.late_insert_truncations += 1;
+                        shard
+                            .stats
+                            .late_insert_truncations
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                     None => return, // the value was never current as far as the cache can tell
                 }
@@ -246,17 +382,20 @@ impl CacheNode {
         }
 
         // Skip the insert if an existing version already covers the interval.
-        if let Some(ids) = self.by_key.get(&key) {
+        if let Some(ids) = data.by_key.get(&key) {
             for id in ids {
-                if let Some(existing) = self.entries.get(id) {
-                    let covers = existing.validity.lower <= validity.lower
-                        && match (existing.validity.upper, validity.upper) {
+                if let Some(existing) = data.entries.get(id) {
+                    let covers = existing.entry.validity.lower <= validity.lower
+                        && match (existing.entry.validity.upper, validity.upper) {
                             (None, _) => true,
                             (Some(a), Some(b)) => a >= b,
                             (Some(_), None) => false,
                         };
                     if covers {
-                        self.stats.duplicate_insertions += 1;
+                        shard
+                            .stats
+                            .duplicate_insertions
+                            .fetch_add(1, Ordering::Relaxed);
                         return;
                     }
                 }
@@ -271,70 +410,70 @@ impl CacheNode {
             inserted_at: now,
         };
         let size = entry.size_bytes();
-        let id = self.next_id;
-        self.next_id += 1;
-        self.tick += 1;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
 
         if validity.is_unbounded() {
             for tag in entry.tags.iter() {
-                self.tag_index.entry(tag.clone()).or_default().insert(id);
-                self.table_index
+                data.tag_index.entry(tag.clone()).or_default().insert(id);
+                data.table_index
                     .entry(tag.table.clone())
                     .or_default()
                     .insert(id);
             }
         }
-        self.by_key.entry(key).or_default().push(id);
-        self.lru.insert(self.tick, id);
-        self.lru_pos.insert(id, self.tick);
-        self.entries.insert(id, entry);
-        self.used_bytes += size;
-        self.stats.insertions += 1;
+        data.by_key.entry(key).or_default().push(id);
+        data.used_bytes += size;
+        data.entries.insert(
+            id,
+            StoredEntry {
+                entry,
+                last_access: AtomicU64::new(tick),
+            },
+        );
+        shard.stats.insertions.fetch_add(1, Ordering::Relaxed);
 
-        self.enforce_capacity();
+        Self::enforce_capacity(&mut data, &shard.stats, self.shard_budget());
     }
 
-    /// Evicts least-recently-used entries until the node fits its budget.
-    fn enforce_capacity(&mut self) {
-        while self.used_bytes > self.config.capacity_bytes {
-            let Some((&tick, &id)) = self.lru.iter().next() else {
-                break;
-            };
-            self.lru.remove(&tick);
-            self.remove_entry(id);
-            self.stats.lru_evictions += 1;
-        }
-    }
-
-    /// Removes an entry from every index. The LRU map entry is removed lazily
-    /// by callers that iterate it; `lru_pos` is authoritative.
-    fn remove_entry(&mut self, id: EntryId) {
-        let Some(entry) = self.entries.remove(&id) else {
+    /// Evicts entries until the shard fits its budget: already-bounded
+    /// (stale) entries first, oldest validity first, then unbounded entries
+    /// in least-recently-used order.
+    ///
+    /// The victim scan sorts the shard's entries, so each pass evicts down
+    /// to a low-water mark a sixteenth below the budget rather than to the
+    /// budget itself: a shard running at its budget amortizes one scan over
+    /// the many inserts that fit in the freed margin, instead of paying a
+    /// full sort per insert.
+    fn enforce_capacity(
+        data: &mut crate::shard::ShardData,
+        stats: &AtomicCacheStats,
+        budget: usize,
+    ) {
+        if data.used_bytes <= budget {
             return;
-        };
-        self.used_bytes = self.used_bytes.saturating_sub(entry.size_bytes());
-        if let Some(pos) = self.lru_pos.remove(&id) {
-            self.lru.remove(&pos);
         }
-        if let Some(ids) = self.by_key.get_mut(&entry.key) {
-            ids.retain(|e| *e != id);
-            if ids.is_empty() {
-                self.by_key.remove(&entry.key);
+        let low_water = budget - budget / 16;
+        let mut bounded: Vec<(Timestamp, EntryId)> = Vec::new();
+        let mut unbounded: Vec<(u64, EntryId)> = Vec::new();
+        for (id, stored) in &data.entries {
+            match stored.entry.validity.upper {
+                Some(upper) => bounded.push((upper, *id)),
+                None => unbounded.push((stored.last_access.load(Ordering::Relaxed), *id)),
             }
         }
-        for tag in entry.tags.iter() {
-            if let Some(set) = self.tag_index.get_mut(tag) {
-                set.remove(&id);
-                if set.is_empty() {
-                    self.tag_index.remove(tag);
-                }
+        bounded.sort_unstable();
+        unbounded.sort_unstable();
+        for id in bounded
+            .into_iter()
+            .map(|(_, id)| id)
+            .chain(unbounded.into_iter().map(|(_, id)| id))
+        {
+            if data.used_bytes <= low_water {
+                break;
             }
-            if let Some(set) = self.table_index.get_mut(&tag.table) {
-                set.remove(&id);
-                if set.is_empty() {
-                    self.table_index.remove(&tag.table);
-                }
-            }
+            data.remove_entry(id);
+            stats.lru_evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -344,60 +483,107 @@ impl CacheNode {
 
     /// Processes one invalidation-stream message: truncates the validity of
     /// every still-valid entry whose dependency tags match, and advances the
-    /// node's notion of "now" in timestamp space.
-    pub fn apply_invalidation(&mut self, timestamp: Timestamp, tags: &TagSet) {
-        let mut affected: HashSet<EntryId> = HashSet::new();
-        for tag in tags.iter() {
-            if tag.is_wildcard() {
-                if let Some(ids) = self.table_index.get(&tag.table) {
-                    affected.extend(ids.iter().copied());
-                }
-            } else {
-                if let Some(ids) = self.tag_index.get(tag) {
-                    affected.extend(ids.iter().copied());
-                }
-                // Entries that depend on the whole table (wildcard dependency)
-                // are affected by any keyed update on that table.
-                if let Some(ids) = self.tag_index.get(&InvalidationTag::wildcard(&tag.table)) {
-                    affected.extend(ids.iter().copied());
+    /// node's notion of "now" in timestamp space. Messages must arrive in
+    /// commit order; the node-level sequencer serializes concurrent callers.
+    pub fn apply_invalidation(&self, timestamp: Timestamp, tags: &TagSet) {
+        let _seq = self.sequencer.lock();
+        self.apply_invalidation_sequenced(timestamp, tags);
+    }
+
+    /// Applies a commit-ordered batch of invalidations under one acquisition
+    /// of the sequencer, then advances the heartbeat. Returns the number of
+    /// events applied.
+    pub fn apply_invalidation_batch<I>(&self, events: I, heartbeat: Timestamp) -> u64
+    where
+        I: IntoIterator<Item = (Timestamp, TagSet)>,
+    {
+        let _seq = self.sequencer.lock();
+        let mut applied = 0u64;
+        for (timestamp, tags) in events {
+            self.apply_invalidation_sequenced(timestamp, &tags);
+            applied += 1;
+        }
+        self.last_invalidation
+            .fetch_max(heartbeat.0, Ordering::AcqRel);
+        applied
+    }
+
+    /// The body of [`CacheNode::apply_invalidation`]; the caller holds the
+    /// sequencer.
+    fn apply_invalidation_sequenced(&self, timestamp: Timestamp, tags: &TagSet) {
+        // An empty tag set (a commit with no cacheable dependencies) can
+        // never truncate anything — on the shards now or via the insert
+        // race check later. Recording it would only burn bounded-history
+        // slots and ratchet the floor; just advance the horizon.
+        if tags.is_empty() {
+            self.last_invalidation
+                .fetch_max(timestamp.0, Ordering::AcqRel);
+            self.node_stats
+                .invalidation_messages
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+
+        // Record the event *before* scanning shards (and release the history
+        // lock before taking any shard lock — see the module docs for why
+        // both orderings matter).
+        {
+            let mut history = self.history.write();
+            history.events.push_back((timestamp, tags.clone()));
+            let limit = self.config.history_limit.max(1);
+            while history.events.len() > limit {
+                if let Some((dropped_ts, _)) = history.events.pop_front() {
+                    history.floor = history.floor.max(dropped_ts);
                 }
             }
         }
 
-        for id in affected {
-            let Some(entry) = self.entries.get_mut(&id) else {
-                continue;
-            };
-            if !entry.validity.is_unbounded() {
+        for shard in &self.shards {
+            // Shared-lock pre-check: shards whose indexes the batch does not
+            // touch are never write-locked by the invalidation stream.
+            if !shard.read().touched_by(tags) {
                 continue;
             }
-            match entry.validity.truncate_at(timestamp) {
-                Some(truncated) => {
-                    entry.validity = truncated;
-                    self.stats.invalidated_entries += 1;
-                    // No longer still-valid: drop it from the tag indexes.
-                    let tags: Vec<InvalidationTag> = entry.tags.iter().cloned().collect();
-                    for tag in tags {
-                        if let Some(set) = self.tag_index.get_mut(&tag) {
-                            set.remove(&id);
-                        }
-                        if let Some(set) = self.table_index.get_mut(&tag.table) {
-                            set.remove(&id);
-                        }
+            let mut data = shard.write();
+            let affected = data.affected_by(tags);
+            for id in affected {
+                let Some(stored) = data.entries.get_mut(&id) else {
+                    continue;
+                };
+                if !stored.entry.validity.is_unbounded() {
+                    continue;
+                }
+                match stored.entry.validity.truncate_at(timestamp) {
+                    Some(truncated) => {
+                        stored.entry.validity = truncated;
+                        shard
+                            .stats
+                            .invalidated_entries
+                            .fetch_add(1, Ordering::Relaxed);
+                        // No longer still-valid: drop it from the tag indexes.
+                        let entry_tags = stored.entry.tags.clone();
+                        data.unindex_tags(id, &entry_tags);
+                    }
+                    None => {
+                        // The entry was never valid before this invalidation —
+                        // discard it outright.
+                        data.remove_entry(id);
+                        shard
+                            .stats
+                            .invalidated_entries
+                            .fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                None => {
-                    // The entry was never valid before this invalidation —
-                    // discard it outright.
-                    self.remove_entry(id);
-                    self.stats.invalidated_entries += 1;
-                }
             }
         }
 
-        self.last_invalidation = self.last_invalidation.max(timestamp);
-        self.invalidation_history.push((timestamp, tags.clone()));
-        self.stats.invalidation_messages += 1;
+        // Advance the horizon only now: a lookup that observes the new value
+        // is guaranteed (release/acquire) to see the truncations above.
+        self.last_invalidation
+            .fetch_max(timestamp.0, Ordering::AcqRel);
+        self.node_stats
+            .invalidation_messages
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Informs the node that every invalidation up to `ts` has been
@@ -405,8 +591,8 @@ impl CacheNode {
     /// lookups up to `ts` even when no recent commit touched their tags.
     /// The caller must have already delivered every invalidation message with
     /// a timestamp at or below `ts`.
-    pub fn note_timestamp(&mut self, ts: Timestamp) {
-        self.last_invalidation = self.last_invalidation.max(ts);
+    pub fn note_timestamp(&self, ts: Timestamp) {
+        self.last_invalidation.fetch_max(ts.0, Ordering::AcqRel);
     }
 
     /// Bounds every still-valid entry at the conservative upper bound
@@ -419,66 +605,230 @@ impl CacheNode {
     /// entries must not be extended by later heartbeats. Sealing makes the
     /// conservative bound permanent, exactly preserving what the node could
     /// already prove. Returns the number of entries sealed.
-    pub fn seal_still_valid(&mut self) -> u64 {
-        let unbounded: Vec<EntryId> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.validity.is_unbounded())
-            .map(|(id, _)| *id)
-            .collect();
+    pub fn seal_still_valid(&self) -> u64 {
+        let _seq = self.sequencer.lock();
+        let horizon = self.last_invalidation();
         let mut sealed = 0u64;
-        for id in unbounded {
-            let last_invalidation = self.last_invalidation;
-            let Some(entry) = self.entries.get_mut(&id) else {
-                continue;
-            };
-            let upper = entry.validity.effective_upper(last_invalidation);
-            entry.validity = ValidityInterval {
-                lower: entry.validity.lower,
-                upper: Some(upper),
-            };
-            sealed += 1;
-            // No longer still-valid: drop it from the tag indexes.
-            let tags: Vec<InvalidationTag> = entry.tags.iter().cloned().collect();
-            for tag in tags {
-                if let Some(set) = self.tag_index.get_mut(&tag) {
-                    set.remove(&id);
-                }
-                if let Some(set) = self.table_index.get_mut(&tag.table) {
-                    set.remove(&id);
-                }
+        for shard in &self.shards {
+            let mut data = shard.write();
+            let unbounded: Vec<EntryId> = data
+                .entries
+                .iter()
+                .filter(|(_, stored)| stored.entry.validity.is_unbounded())
+                .map(|(id, _)| *id)
+                .collect();
+            let mut shard_sealed = 0u64;
+            for id in unbounded {
+                let Some(stored) = data.entries.get_mut(&id) else {
+                    continue;
+                };
+                let upper = stored.entry.validity.effective_upper(horizon);
+                stored.entry.validity = ValidityInterval {
+                    lower: stored.entry.validity.lower,
+                    upper: Some(upper),
+                };
+                shard_sealed += 1;
+                // No longer still-valid: drop it from the tag indexes.
+                let entry_tags = stored.entry.tags.clone();
+                data.unindex_tags(id, &entry_tags);
             }
+            shard
+                .stats
+                .sealed_entries
+                .fetch_add(shard_sealed, Ordering::Relaxed);
+            sealed += shard_sealed;
         }
-        self.stats.sealed_entries += sealed;
         sealed
     }
 
     // ------------------------------------------------------------------
-    // Staleness eviction
+    // Staleness eviction / maintenance
     // ------------------------------------------------------------------
 
     /// Eagerly removes entries whose validity ended before `min_useful_ts`
     /// (no transaction within the staleness limit can ever use them again),
-    /// and prunes the invalidation history below the same horizon.
-    pub fn evict_stale(&mut self, min_useful_ts: Timestamp) {
-        let stale: Vec<EntryId> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.validity.upper.is_some_and(|u| u <= min_useful_ts))
-            .map(|(id, _)| *id)
-            .collect();
-        for id in stale {
-            self.remove_entry(id);
-            self.stats.staleness_evictions += 1;
+    /// rebalances every shard back under its byte budget, and prunes the
+    /// invalidation history below the same horizon.
+    pub fn evict_stale(&self, min_useful_ts: Timestamp) {
+        let budget = self.shard_budget();
+        for shard in &self.shards {
+            let mut data = shard.write();
+            let stale: Vec<EntryId> = data
+                .entries
+                .iter()
+                .filter(|(_, stored)| {
+                    stored
+                        .entry
+                        .validity
+                        .upper
+                        .is_some_and(|u| u <= min_useful_ts)
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            for id in stale {
+                data.remove_entry(id);
+                shard
+                    .stats
+                    .staleness_evictions
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            // Maintenance-time rebalance: a shard that drifted over its
+            // budget (e.g. after a capacity reconfiguration) is trimmed here
+            // rather than only on its next insert.
+            Self::enforce_capacity(&mut data, &shard.stats, budget);
         }
-        self.invalidation_history
-            .retain(|(ts, _)| *ts >= min_useful_ts);
+        let mut history = self.history.write();
+        let mut dropped_max: Option<Timestamp> = None;
+        history.events.retain(|(ts, _)| {
+            if *ts >= min_useful_ts {
+                true
+            } else {
+                dropped_max = Some(dropped_max.map_or(*ts, |m| m.max(*ts)));
+                false
+            }
+        });
+        if let Some(ts) = dropped_max {
+            history.floor = history.floor.max(ts);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (test support)
+    // ------------------------------------------------------------------
+
+    /// Verifies the node's structural invariants, returning a description of
+    /// the first violation found. Used by the concurrency stress tests; it
+    /// takes every shard's shared lock, so call it only at quiescent points.
+    pub fn validate_invariants(&self) -> Result<(), String> {
+        // Snapshot the history first: holding its lock while acquiring shard
+        // locks could deadlock against an insert (shard → history) queued
+        // behind a pending history writer.
+        let history_events: Vec<(Timestamp, TagSet)> =
+            self.history.read().events.iter().cloned().collect();
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            let data = shard.peek();
+
+            // Byte accounting matches the live entries.
+            let actual: usize = data
+                .entries
+                .values()
+                .map(|stored| stored.entry.size_bytes())
+                .sum();
+            if actual != data.used_bytes {
+                return Err(format!(
+                    "shard {shard_idx}: used_bytes {} != live entry bytes {actual}",
+                    data.used_bytes
+                ));
+            }
+
+            // by_key lists exactly the live entries, under the right key.
+            let mut listed: HashSet<EntryId> = HashSet::new();
+            for (key, ids) in &data.by_key {
+                for id in ids {
+                    let Some(stored) = data.entries.get(id) else {
+                        return Err(format!(
+                            "shard {shard_idx}: by_key[{key:?}] lists dead entry {id}"
+                        ));
+                    };
+                    if stored.entry.key != *key {
+                        return Err(format!(
+                            "shard {shard_idx}: entry {id} filed under the wrong key"
+                        ));
+                    }
+                    listed.insert(*id);
+                }
+            }
+            if listed.len() != data.entries.len() {
+                return Err(format!(
+                    "shard {shard_idx}: {} entries live but {} listed in by_key",
+                    data.entries.len(),
+                    listed.len()
+                ));
+            }
+
+            // Versions of one key have pairwise disjoint validity intervals.
+            for (key, ids) in &data.by_key {
+                let mut intervals: Vec<ValidityInterval> = ids
+                    .iter()
+                    .filter_map(|id| data.entries.get(id))
+                    .map(|stored| stored.entry.validity)
+                    .collect();
+                intervals.sort_by_key(|iv| iv.lower);
+                for pair in intervals.windows(2) {
+                    let disjoint = match pair[0].upper {
+                        None => false,
+                        Some(upper) => upper <= pair[1].lower,
+                    };
+                    if !disjoint {
+                        return Err(format!(
+                            "shard {shard_idx}: key {key:?} has overlapping versions \
+                             {:?} and {:?}",
+                            pair[0], pair[1]
+                        ));
+                    }
+                }
+            }
+
+            // Tag indexes hold exactly the still-valid entries.
+            for (tag, ids) in &data.tag_index {
+                for id in ids {
+                    let Some(stored) = data.entries.get(id) else {
+                        return Err(format!(
+                            "shard {shard_idx}: tag_index[{tag}] lists dead entry {id}"
+                        ));
+                    };
+                    if !stored.entry.validity.is_unbounded() {
+                        return Err(format!(
+                            "shard {shard_idx}: bounded entry {id} still in tag_index[{tag}]"
+                        ));
+                    }
+                }
+            }
+            for (id, stored) in &data.entries {
+                if !stored.entry.validity.is_unbounded() {
+                    continue;
+                }
+                for tag in stored.entry.tags.iter() {
+                    if !data.tag_index.get(tag).is_some_and(|s| s.contains(id)) {
+                        return Err(format!(
+                            "shard {shard_idx}: still-valid entry {id} missing from \
+                             tag_index[{tag}]"
+                        ));
+                    }
+                    if !data
+                        .table_index
+                        .get(&tag.table)
+                        .is_some_and(|s| s.contains(id))
+                    {
+                        return Err(format!(
+                            "shard {shard_idx}: still-valid entry {id} missing from \
+                             table_index[{}]",
+                            tag.table
+                        ));
+                    }
+                }
+
+                // §4.2: no still-valid entry survives a matching
+                // invalidation the node has processed.
+                for (ts, inv_tags) in &history_events {
+                    if *ts > stored.entry.validity.lower && stored.entry.tags.intersects(inv_tags) {
+                        return Err(format!(
+                            "shard {shard_idx}: still-valid entry {id} (from {:?}) survived a \
+                             matching invalidation at {ts:?}",
+                            stored.entry.validity.lower
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use txtypes::InvalidationTag;
 
     fn key(i: u64) -> CacheKey {
         CacheKey::new("f", format!("[{i}]"))
@@ -489,6 +839,7 @@ mod tests {
             "n0",
             NodeConfig {
                 capacity_bytes: 10_000,
+                ..NodeConfig::default()
             },
         )
     }
@@ -499,7 +850,7 @@ mod tests {
             .collect()
     }
 
-    fn insert_simple(n: &mut CacheNode, k: u64, lower: u64) {
+    fn insert_simple(n: &CacheNode, k: u64, lower: u64) {
         n.insert(
             key(k),
             Bytes::from(vec![1u8; 10]),
@@ -511,21 +862,22 @@ mod tests {
 
     #[test]
     fn miss_then_insert_then_hit() {
-        let mut n = node();
+        let n = node();
         let out = n.lookup(&key(1), &LookupRequest::at(Timestamp(5)));
         assert_eq!(out.miss_kind(), Some(MissKind::Compulsory));
-        insert_simple(&mut n, 1, 5);
+        insert_simple(&n, 1, 5);
         let out = n.lookup(&key(1), &LookupRequest::at(Timestamp(5)));
         assert!(out.is_hit());
         assert_eq!(n.stats().hits, 1);
         assert_eq!(n.stats().compulsory_misses, 1);
         assert_eq!(n.entry_count(), 1);
         assert_eq!(n.name(), "n0");
+        n.validate_invariants().unwrap();
     }
 
     #[test]
     fn lookup_honors_pinset_range_and_returns_most_recent() {
-        let mut n = node();
+        let n = node();
         // Two versions of the same key with disjoint intervals.
         n.insert(
             key(1),
@@ -561,12 +913,13 @@ mod tests {
         assert!(!n
             .lookup(&key(1), &LookupRequest::range(Timestamp(40), Timestamp(50)))
             .is_hit());
+        n.validate_invariants().unwrap();
     }
 
     #[test]
     fn still_valid_entries_bounded_by_last_invalidation() {
-        let mut n = node();
-        insert_simple(&mut n, 1, 5);
+        let n = node();
+        insert_simple(&n, 1, 5);
         // No invalidation processed yet: a lookup at ts 50 cannot prove the
         // entry is still current at 50, so it conservatively misses.
         let out = n.lookup(&key(1), &LookupRequest::range(Timestamp(50), Timestamp(50)));
@@ -580,9 +933,9 @@ mod tests {
 
     #[test]
     fn invalidation_truncates_matching_entries() {
-        let mut n = node();
-        insert_simple(&mut n, 1, 5);
-        insert_simple(&mut n, 2, 5);
+        let n = node();
+        insert_simple(&n, 1, 5);
+        insert_simple(&n, 2, 5);
         n.apply_invalidation(Timestamp(40), &tags_for("items", 1));
         // Key 1 is now bounded at 40; key 2 unaffected.
         let out = n.lookup(&key(1), &LookupRequest::range(Timestamp(40), Timestamp(40)));
@@ -591,21 +944,23 @@ mod tests {
         assert!(out.is_hit());
         assert_eq!(n.stats().invalidated_entries, 1);
         assert_eq!(n.last_invalidation(), Timestamp(40));
+        n.validate_invariants().unwrap();
     }
 
     #[test]
     fn wildcard_invalidation_hits_all_entries_on_table() {
-        let mut n = node();
-        insert_simple(&mut n, 1, 5);
-        insert_simple(&mut n, 2, 5);
+        let n = node();
+        insert_simple(&n, 1, 5);
+        insert_simple(&n, 2, 5);
         let wild: TagSet = [InvalidationTag::wildcard("items")].into_iter().collect();
         n.apply_invalidation(Timestamp(40), &wild);
         assert_eq!(n.stats().invalidated_entries, 2);
+        n.validate_invariants().unwrap();
     }
 
     #[test]
     fn keyed_invalidation_hits_wildcard_dependency() {
-        let mut n = node();
+        let n = node();
         let wild_dep: TagSet = [InvalidationTag::wildcard("items")].into_iter().collect();
         n.insert(
             key(1),
@@ -620,7 +975,7 @@ mod tests {
 
     #[test]
     fn insert_after_invalidation_is_truncated_or_dropped() {
-        let mut n = node();
+        let n = node();
         // The cache has already seen an invalidation for items:id=1 at ts 50.
         n.apply_invalidation(Timestamp(50), &tags_for("items", 1));
         // A stale computation (validity from 40, unbounded) now arrives.
@@ -654,6 +1009,7 @@ mod tests {
         } else {
             panic!("expected hit on the recomputed value");
         }
+        n.validate_invariants().unwrap();
     }
 
     #[test]
@@ -662,7 +1018,7 @@ mod tests {
         // its own update's invalidation reaches the cache first, and the
         // insert arrives afterwards with an unbounded interval. The stored
         // entry must be truncated at exactly the invalidation's timestamp.
-        let mut n = node();
+        let n = node();
         n.note_timestamp(Timestamp(100));
         // Two invalidations for the same tag arrive; the EARLIEST one after
         // the entry's validity start must bound the entry.
@@ -719,7 +1075,7 @@ mod tests {
     fn invalidation_at_the_validity_start_does_not_truncate() {
         // An invalidation at exactly the entry's validity start reflects the
         // update the entry was computed from — it must NOT truncate it.
-        let mut n = node();
+        let n = node();
         n.note_timestamp(Timestamp(100));
         n.apply_invalidation(Timestamp(40), &tags_for("items", 1));
         n.insert(
@@ -740,9 +1096,9 @@ mod tests {
 
     #[test]
     fn seal_still_valid_bounds_entries_at_the_invalidation_horizon() {
-        let mut n = node();
+        let n = node();
         n.note_timestamp(Timestamp(20));
-        insert_simple(&mut n, 1, 5);
+        insert_simple(&n, 1, 5);
         // Sealing materializes the conservative bound: valid through 20.
         assert_eq!(n.seal_still_valid(), 1);
         assert_eq!(n.stats().sealed_entries, 1);
@@ -761,13 +1117,14 @@ mod tests {
         assert_eq!(n.stats().invalidated_entries, 0);
         // An idempotent second seal finds nothing still-valid.
         assert_eq!(n.seal_still_valid(), 0);
+        n.validate_invariants().unwrap();
     }
 
     #[test]
     fn duplicate_insertions_are_skipped() {
-        let mut n = node();
-        insert_simple(&mut n, 1, 5);
-        insert_simple(&mut n, 1, 5);
+        let n = node();
+        insert_simple(&n, 1, 5);
+        insert_simple(&n, 1, 5);
         assert_eq!(n.stats().insertions, 1);
         assert_eq!(n.stats().duplicate_insertions, 1);
         assert_eq!(n.entry_count(), 1);
@@ -775,10 +1132,12 @@ mod tests {
 
     #[test]
     fn lru_eviction_under_memory_pressure() {
-        let mut n = CacheNode::new(
+        let n = CacheNode::new(
             "n0",
             NodeConfig {
                 capacity_bytes: 2_000,
+                shards: 4,
+                ..NodeConfig::default()
             },
         );
         for i in 0..100 {
@@ -796,14 +1155,18 @@ mod tests {
         // Early keys were evicted: their misses are capacity misses.
         let out = n.lookup(&key(0), &LookupRequest::at(Timestamp(1)));
         assert_eq!(out.miss_kind(), Some(MissKind::Capacity));
+        n.validate_invariants().unwrap();
     }
 
     #[test]
     fn lru_keeps_recently_used_entries() {
-        let mut n = CacheNode::new(
+        // One shard so the LRU order is node-wide, as in the monolithic node.
+        let n = CacheNode::new(
             "n0",
             NodeConfig {
                 capacity_bytes: 1_000,
+                shards: 1,
+                ..NodeConfig::default()
             },
         );
         n.apply_invalidation(Timestamp(100), &TagSet::new());
@@ -838,8 +1201,59 @@ mod tests {
     }
 
     #[test]
+    fn capacity_eviction_removes_stale_entries_first() {
+        let n = CacheNode::new(
+            "n0",
+            NodeConfig {
+                capacity_bytes: 800,
+                shards: 1,
+                ..NodeConfig::default()
+            },
+        );
+        n.apply_invalidation(Timestamp(100), &TagSet::new());
+        // A bounded (already superseded) version, never touched again.
+        n.insert(
+            key(1),
+            Bytes::from(vec![0u8; 100]),
+            ValidityInterval::bounded(Timestamp(1), Timestamp(10)).unwrap(),
+            TagSet::new(),
+            WallClock::ZERO,
+        );
+        // Still-valid entries inserted later (more recently used).
+        for i in 2..5 {
+            n.insert(
+                key(i),
+                Bytes::from(vec![0u8; 100]),
+                ValidityInterval::unbounded(Timestamp(10)),
+                TagSet::new(),
+                WallClock::ZERO,
+            );
+        }
+        // The next insert overflows the budget: the stale bounded version
+        // goes first even though the unbounded ones are older than nothing.
+        n.insert(
+            key(5),
+            Bytes::from(vec![0u8; 100]),
+            ValidityInterval::unbounded(Timestamp(10)),
+            TagSet::new(),
+            WallClock::ZERO,
+        );
+        assert!(!n
+            .lookup(&key(1), &LookupRequest::range(Timestamp(5), Timestamp(5)))
+            .is_hit());
+        for i in 2..6 {
+            assert!(
+                n.lookup(&key(i), &LookupRequest::at(Timestamp(50)))
+                    .is_hit(),
+                "still-valid key {i} survives while a stale version existed"
+            );
+        }
+        n.validate_invariants().unwrap();
+    }
+
+    #[test]
     fn staleness_eviction_removes_dead_entries() {
-        let mut n = node();
+        let n = node();
         n.insert(
             key(1),
             Bytes::from_static(b"old"),
@@ -847,7 +1261,7 @@ mod tests {
             TagSet::new(),
             WallClock::ZERO,
         );
-        insert_simple(&mut n, 2, 15);
+        insert_simple(&n, 2, 15);
         n.evict_stale(Timestamp(30));
         assert_eq!(n.entry_count(), 1);
         assert_eq!(n.stats().staleness_evictions, 1);
@@ -858,7 +1272,7 @@ mod tests {
 
     #[test]
     fn consistency_miss_classification() {
-        let mut n = node();
+        let n = node();
         // A version valid only in [30, 40).
         n.insert(
             key(1),
@@ -893,11 +1307,185 @@ mod tests {
 
     #[test]
     fn reset_stats_preserves_contents() {
-        let mut n = node();
-        insert_simple(&mut n, 1, 5);
+        let n = node();
+        insert_simple(&n, 1, 5);
         n.lookup(&key(1), &LookupRequest::at(Timestamp(5)));
         n.reset_stats();
         assert_eq!(n.stats().lookups(), 0);
         assert!(n.lookup(&key(1), &LookupRequest::at(Timestamp(5))).is_hit());
+    }
+
+    #[test]
+    fn history_cap_advances_the_floor_and_rejects_unverifiable_inserts() {
+        let n = CacheNode::new(
+            "n0",
+            NodeConfig {
+                capacity_bytes: 10_000,
+                shards: 1,
+                history_limit: 4,
+            },
+        );
+        // Six invalidations; the cap keeps the newest four, so the floor is
+        // the newest dropped timestamp (20).
+        for ts in [10u64, 20, 30, 40, 50, 60] {
+            n.apply_invalidation(Timestamp(ts), &tags_for("items", 1));
+        }
+        assert_eq!(n.invalidation_history_len(), 4);
+        assert_eq!(n.history_floor(), Timestamp(20));
+
+        // A still-valid insert from below the floor cannot be race-checked:
+        // a matching invalidation in the pruned region may exist. Rejected.
+        n.insert(
+            key(2),
+            Bytes::from_static(b"ancient"),
+            ValidityInterval::unbounded(Timestamp(15)),
+            tags_for("items", 2),
+            WallClock::ZERO,
+        );
+        assert_eq!(n.stats().history_floor_drops, 1);
+        assert_eq!(n.entry_count(), 0);
+        assert!(!n
+            .lookup(&key(2), &LookupRequest::range(Timestamp(55), Timestamp(55)))
+            .is_hit());
+
+        // Tag-free entries can never be invalidated, so the floor does not
+        // apply to them.
+        n.insert(
+            key(3),
+            Bytes::from_static(b"untagged"),
+            ValidityInterval::unbounded(Timestamp(5)),
+            TagSet::new(),
+            WallClock::ZERO,
+        );
+        assert_eq!(n.entry_count(), 1);
+        n.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn evict_stale_prunes_history_and_the_race_stays_closed_at_the_boundary() {
+        let n = CacheNode::new(
+            "n0",
+            NodeConfig {
+                capacity_bytes: 10_000,
+                shards: 1,
+                ..NodeConfig::default()
+            },
+        );
+        n.apply_invalidation(Timestamp(10), &tags_for("items", 1));
+        n.apply_invalidation(Timestamp(30), &tags_for("items", 1));
+        n.note_timestamp(Timestamp(100));
+        assert_eq!(n.invalidation_history_len(), 2);
+
+        // Maintenance prunes the event at 10; the floor records it.
+        n.evict_stale(Timestamp(20));
+        assert_eq!(n.invalidation_history_len(), 1);
+        assert_eq!(n.history_floor(), Timestamp(10));
+
+        // An insert starting exactly AT the floor is still fully checkable
+        // (a dropped event at ts <= 10 could never truncate it), and the
+        // retained event at 30 must truncate it: the §4.2 race is closed at
+        // the boundary.
+        n.insert(
+            key(1),
+            Bytes::from_static(b"boundary"),
+            ValidityInterval::unbounded(Timestamp(10)),
+            tags_for("items", 1),
+            WallClock::ZERO,
+        );
+        assert_eq!(n.stats().late_insert_truncations, 1);
+        assert!(n
+            .lookup(&key(1), &LookupRequest::range(Timestamp(25), Timestamp(25)))
+            .is_hit());
+        assert!(!n
+            .lookup(
+                &key(1),
+                &LookupRequest::range(Timestamp(30), Timestamp(100))
+            )
+            .is_hit());
+
+        // An insert from below the floor is rejected outright.
+        n.insert(
+            key(2),
+            Bytes::from_static(b"below-floor"),
+            ValidityInterval::unbounded(Timestamp(5)),
+            tags_for("items", 2),
+            WallClock::ZERO,
+        );
+        assert_eq!(n.stats().history_floor_drops, 1);
+        n.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn shard_stats_expose_lock_and_eviction_activity() {
+        let n = CacheNode::new(
+            "n0",
+            NodeConfig {
+                capacity_bytes: 10_000,
+                shards: 4,
+                ..NodeConfig::default()
+            },
+        );
+        for i in 0..32 {
+            insert_simple(&n, i, 1);
+        }
+        n.apply_invalidation(Timestamp(50), &TagSet::new());
+        for i in 0..32 {
+            assert!(n
+                .lookup(&key(i), &LookupRequest::at(Timestamp(10)))
+                .is_hit());
+        }
+        let stats = n.shard_stats();
+        assert_eq!(stats.len(), 4);
+        let reads: u64 = stats.iter().map(|s| s.read_locks).sum();
+        let writes: u64 = stats.iter().map(|s| s.write_locks).sum();
+        assert_eq!(reads, 32, "one shared acquisition per lookup");
+        assert_eq!(writes, 32, "one exclusive acquisition per insert");
+        let entries: u64 = stats.iter().map(|s| s.entries).sum();
+        assert_eq!(entries as usize, n.entry_count());
+        let bytes: u64 = stats.iter().map(|s| s.used_bytes).sum();
+        assert_eq!(bytes as usize, n.used_bytes());
+        assert!(stats.iter().all(|s| s.contention_rate() <= 1.0));
+        // Reset clears the lock counters too.
+        n.reset_stats();
+        assert!(n.shard_stats().iter().all(|s| s.acquisitions() == 0));
+    }
+
+    #[test]
+    fn concurrent_lookups_inserts_and_invalidations_keep_invariants() {
+        let n = CacheNode::new(
+            "n0",
+            NodeConfig {
+                capacity_bytes: 1 << 20,
+                shards: 4,
+                ..NodeConfig::default()
+            },
+        );
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let n = &n;
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let k = t * 1_000 + i;
+                        n.insert(
+                            key(k),
+                            Bytes::from(vec![t as u8; 32]),
+                            ValidityInterval::unbounded(Timestamp(1)),
+                            tags_for("items", k),
+                            WallClock::ZERO,
+                        );
+                        n.lookup(&key(k), &LookupRequest::at(Timestamp(1)));
+                    }
+                });
+            }
+            let n = &n;
+            scope.spawn(move || {
+                for ts in 0..50u64 {
+                    n.apply_invalidation(Timestamp(2 + ts), &tags_for("items", ts * 40));
+                }
+            });
+        });
+        assert_eq!(n.stats().insertions, 800);
+        assert_eq!(n.stats().invalidation_messages, 50);
+        n.validate_invariants().unwrap();
     }
 }

@@ -16,12 +16,15 @@
 //! Design points:
 //!
 //! * **One thread per connection**, each running a framed request loop. The
-//!   node itself is behind a single mutex — the same contention model as the
-//!   in-process [`crate::CacheCluster`], whose nodes are individually locked.
+//!   node is internally sharded ([`crate::CacheNode`]): handlers hit its
+//!   key-hash shards concurrently — lookups under shared locks, inserts
+//!   under one shard's exclusive lock — instead of queueing on a node-wide
+//!   mutex, so a many-connection server scales with cores. This is the same
+//!   contention model as the in-process [`crate::CacheCluster`].
 //! * **Server-side invalidation application**: an
 //!   [`wire::Request::InvalidationBatch`] applies every event in commit order
-//!   and then advances the node's heartbeat timestamp, exactly like the
-//!   in-process delivery path.
+//!   under the node's invalidation sequencer and then advances the node's
+//!   heartbeat timestamp, exactly like the in-process delivery path.
 //! * **Sequence echoing**: every response carries the sequence number of the
 //!   request it answers (protocol v2), so clients detect duplicated or
 //!   reordered frames as desyncs instead of attributing a response to the
@@ -120,7 +123,7 @@ pub struct ConnectionSummary {
 }
 
 struct Shared {
-    node: Mutex<CacheNode>,
+    node: CacheNode,
     counters: ServerCounters,
     shutting_down: AtomicBool,
     /// Closers for *currently open* connections, keyed by connection id, so
@@ -182,7 +185,7 @@ impl<L: Listener> TxcachedServer<L> {
         let label = listener.local_label();
         let listener_closer = listener.closer()?;
         let shared = Arc::new(Shared {
-            node: Mutex::new(CacheNode::new(name, config)),
+            node: CacheNode::new(name, config),
             counters: ServerCounters::default(),
             shutting_down: AtomicBool::new(false),
             open_conns: Mutex::new(HashMap::new()),
@@ -219,7 +222,13 @@ impl<L: Listener> TxcachedServer<L> {
     /// The cache's own counters (hits, misses, invalidations, …).
     #[must_use]
     pub fn cache_stats(&self) -> crate::CacheStats {
-        self.shared.node.lock().stats()
+        self.shared.node.stats()
+    }
+
+    /// Per-shard lock-contention and eviction counters of the hosted node.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<crate::CacheShardStats> {
+        self.shared.node.shard_stats()
     }
 
     /// Summaries of recently closed connections (most recent last, bounded).
@@ -434,7 +443,7 @@ fn apply_request(shared: &Shared, request: Request) -> Response {
                 pinset_hi,
                 freshness_lo,
             };
-            match shared.node.lock().lookup(&key, &lookup) {
+            match shared.node.lookup(&key, &lookup) {
                 LookupOutcome::Hit {
                     value,
                     validity,
@@ -456,7 +465,7 @@ fn apply_request(shared: &Shared, request: Request) -> Response {
             tags,
             now,
         } => {
-            shared.node.lock().insert(key, value, validity, tags, now);
+            shared.node.insert(key, value, validity, tags, now);
             Response::PutAck
         }
         Request::InvalidationBatch { events, heartbeat } => {
@@ -464,25 +473,36 @@ fn apply_request(shared: &Shared, request: Request) -> Response {
                 .counters
                 .invalidation_batches
                 .fetch_add(1, Ordering::Relaxed);
-            let mut node = shared.node.lock();
-            let applied = events.len() as u64;
-            for InvalidationEvent { timestamp, tags } in events {
-                node.apply_invalidation(timestamp, &tags);
-            }
-            node.note_timestamp(heartbeat);
+            // The whole batch applies under one acquisition of the node's
+            // invalidation sequencer, so concurrent batches cannot
+            // interleave their commit-ordered events.
+            let applied = shared.node.apply_invalidation_batch(
+                events
+                    .into_iter()
+                    .map(|InvalidationEvent { timestamp, tags }| (timestamp, tags)),
+                heartbeat,
+            );
             Response::InvalidationAck { applied }
         }
         Request::EvictStale { min_useful_ts } => {
-            shared.node.lock().evict_stale(min_useful_ts);
+            shared.node.evict_stale(min_useful_ts);
             Response::Ok
         }
-        Request::Stats => Response::StatsSnapshot(shared.node.lock().stats().into()),
+        Request::Stats => Response::StatsSnapshot(shared.node.stats().into()),
+        Request::ShardStats => Response::ShardStatsSnapshot(
+            shared
+                .node
+                .shard_stats()
+                .into_iter()
+                .map(Into::into)
+                .collect(),
+        ),
         Request::ResetStats => {
-            shared.node.lock().reset_stats();
+            shared.node.reset_stats();
             Response::Ok
         }
         Request::SealStillValid => Response::Sealed {
-            sealed: shared.node.lock().seal_still_valid(),
+            sealed: shared.node.seal_still_valid(),
         },
     }
 }
@@ -507,6 +527,7 @@ mod tests {
             "test-node",
             NodeConfig {
                 capacity_bytes: 1 << 20,
+                ..NodeConfig::default()
             },
         )
         .unwrap()
@@ -585,6 +606,7 @@ mod tests {
             "sim-node",
             NodeConfig {
                 capacity_bytes: 1 << 20,
+                ..NodeConfig::default()
             },
         )
         .unwrap();
@@ -718,6 +740,41 @@ mod tests {
         let sealed = conn.call(&Request::SealStillValid).unwrap();
         assert_eq!(sealed, Response::Sealed { sealed: 1 });
         assert_eq!(srv.cache_stats().sealed_entries, 1);
+    }
+
+    #[test]
+    fn shard_stats_surface_over_tcp() {
+        let srv = server();
+        let mut conn = client(&srv);
+        for i in 0..16 {
+            conn.call(&Request::Put {
+                key: CacheKey::new("f", format!("[{i}]")),
+                value: Bytes::from_static(b"v"),
+                validity: ValidityInterval::unbounded(Timestamp(3)),
+                tags: tags(i),
+                now: WallClock::ZERO,
+            })
+            .unwrap();
+        }
+        conn.call(&Request::VersionedGet {
+            key: CacheKey::new("f", "[0]"),
+            pinset_lo: Timestamp(3),
+            pinset_hi: Timestamp(3),
+            freshness_lo: Timestamp(3),
+        })
+        .unwrap();
+        match conn.call(&Request::ShardStats).unwrap() {
+            Response::ShardStatsSnapshot(shards) => {
+                assert_eq!(shards.len(), srv.shard_stats().len());
+                let writes: u64 = shards.iter().map(|s| s.write_locks).sum();
+                assert_eq!(writes, 16, "one exclusive acquisition per put");
+                let reads: u64 = shards.iter().map(|s| s.read_locks).sum();
+                assert_eq!(reads, 1, "one shared acquisition per get");
+                let entries: u64 = shards.iter().map(|s| s.entries).sum();
+                assert_eq!(entries, 16);
+            }
+            other => panic!("expected shard stats, got {other:?}"),
+        }
     }
 
     #[test]

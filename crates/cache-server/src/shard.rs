@@ -1,0 +1,176 @@
+//! One key-hash shard of a [`crate::CacheNode`].
+//!
+//! A shard owns every index for its slice of the key space — the entry map,
+//! the per-key version lists, the tag/table invalidation indexes, and the
+//! byte accounting — behind a single reader/writer lock. Lookups take the
+//! shared lock (their LRU touch is an atomic store on the entry, so they
+//! never upgrade); inserts, invalidations, seals, and evictions take the
+//! exclusive lock of the shards they affect and nothing else.
+//!
+//! Lock-acquisition counters mirror `mvdb`'s table shards: every acquisition
+//! is counted, and acquisitions that could not be granted immediately are
+//! counted again as waits, making cache-tier contention observable through
+//! [`crate::CacheNode::shard_stats`].
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use txtypes::{CacheKey, InvalidationTag, TagSet};
+
+use crate::entry::CacheEntry;
+use crate::stats::AtomicCacheStats;
+
+/// Internal identifier of a stored entry (allocated node-wide).
+pub(crate) type EntryId = u64;
+
+/// A cache entry plus its access stamp. The stamp is atomic so a lookup can
+/// refresh it while holding only the shard's shared lock; eviction orders
+/// unbounded entries by it.
+#[derive(Debug)]
+pub(crate) struct StoredEntry {
+    pub entry: CacheEntry,
+    pub last_access: AtomicU64,
+}
+
+/// The lock-protected indexes of one shard.
+#[derive(Debug, Default)]
+pub(crate) struct ShardData {
+    pub entries: HashMap<EntryId, StoredEntry>,
+    pub by_key: HashMap<CacheKey, Vec<EntryId>>,
+    /// Still-valid entries indexed by each of their dependency tags.
+    pub tag_index: HashMap<InvalidationTag, HashSet<EntryId>>,
+    /// Still-valid entries indexed by dependency table (for wildcard
+    /// invalidations).
+    pub table_index: HashMap<String, HashSet<EntryId>>,
+    /// Keys that have ever been inserted, for compulsory-miss
+    /// classification.
+    pub known_keys: HashSet<CacheKey>,
+    pub used_bytes: usize,
+}
+
+impl ShardData {
+    /// Entry ids whose still-valid entries an invalidation with `tags`
+    /// would truncate on this shard.
+    pub fn affected_by(&self, tags: &TagSet) -> HashSet<EntryId> {
+        let mut affected: HashSet<EntryId> = HashSet::new();
+        for tag in tags.iter() {
+            if tag.is_wildcard() {
+                if let Some(ids) = self.table_index.get(&tag.table) {
+                    affected.extend(ids.iter().copied());
+                }
+            } else {
+                if let Some(ids) = self.tag_index.get(tag) {
+                    affected.extend(ids.iter().copied());
+                }
+                // Entries that depend on the whole table (wildcard
+                // dependency) are affected by any keyed update on that table.
+                if let Some(ids) = self.tag_index.get(&InvalidationTag::wildcard(&tag.table)) {
+                    affected.extend(ids.iter().copied());
+                }
+            }
+        }
+        affected
+    }
+
+    /// Whether an invalidation with `tags` touches anything on this shard.
+    /// Used as a shared-lock pre-check so unaffected shards are never
+    /// write-locked by the invalidation stream.
+    pub fn touched_by(&self, tags: &TagSet) -> bool {
+        tags.iter().any(|tag| {
+            if tag.is_wildcard() {
+                self.table_index.contains_key(&tag.table)
+            } else {
+                self.tag_index.contains_key(tag)
+                    || self
+                        .tag_index
+                        .contains_key(&InvalidationTag::wildcard(&tag.table))
+            }
+        })
+    }
+
+    /// Drops a no-longer-still-valid entry from the tag indexes.
+    pub fn unindex_tags(&mut self, id: EntryId, tags: &TagSet) {
+        for tag in tags.iter() {
+            if let Some(set) = self.tag_index.get_mut(tag) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.tag_index.remove(tag);
+                }
+            }
+            if let Some(set) = self.table_index.get_mut(&tag.table) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.table_index.remove(&tag.table);
+                }
+            }
+        }
+    }
+
+    /// Removes an entry from every index and returns it.
+    pub fn remove_entry(&mut self, id: EntryId) -> Option<CacheEntry> {
+        let stored = self.entries.remove(&id)?;
+        let entry = stored.entry;
+        self.used_bytes = self.used_bytes.saturating_sub(entry.size_bytes());
+        if let Some(ids) = self.by_key.get_mut(&entry.key) {
+            ids.retain(|e| *e != id);
+            if ids.is_empty() {
+                self.by_key.remove(&entry.key);
+            }
+        }
+        let tags = entry.tags.clone();
+        self.unindex_tags(id, &tags);
+        Some(entry)
+    }
+}
+
+/// One shard: its data behind a counted reader/writer lock, plus its live
+/// statistics bank.
+#[derive(Debug, Default)]
+pub(crate) struct Shard {
+    data: RwLock<ShardData>,
+    pub stats: AtomicCacheStats,
+    pub read_locks: AtomicU64,
+    pub write_locks: AtomicU64,
+    pub read_waits: AtomicU64,
+    pub write_waits: AtomicU64,
+}
+
+impl Shard {
+    /// Takes the shared lock, counting the acquisition and whether it had to
+    /// wait behind a writer.
+    pub fn read(&self) -> RwLockReadGuard<'_, ShardData> {
+        self.read_locks.fetch_add(1, Ordering::Relaxed);
+        if let Some(guard) = self.data.try_read() {
+            return guard;
+        }
+        self.read_waits.fetch_add(1, Ordering::Relaxed);
+        self.data.read()
+    }
+
+    /// Takes the exclusive lock, counting the acquisition and whether it had
+    /// to wait.
+    pub fn write(&self) -> RwLockWriteGuard<'_, ShardData> {
+        self.write_locks.fetch_add(1, Ordering::Relaxed);
+        if let Some(guard) = self.data.try_write() {
+            return guard;
+        }
+        self.write_waits.fetch_add(1, Ordering::Relaxed);
+        self.data.write()
+    }
+
+    /// Takes the shared lock *without* counting it — for telemetry paths
+    /// (stats, shard snapshots, invariant checks) that must not pollute the
+    /// contention counters they report.
+    pub fn peek(&self) -> RwLockReadGuard<'_, ShardData> {
+        self.data.read()
+    }
+
+    /// Zeroes the lock counters (the stats bank has its own reset).
+    pub fn reset_lock_stats(&self) {
+        self.read_locks.store(0, Ordering::Relaxed);
+        self.write_locks.store(0, Ordering::Relaxed);
+        self.read_waits.store(0, Ordering::Relaxed);
+        self.write_waits.store(0, Ordering::Relaxed);
+    }
+}

@@ -1,4 +1,14 @@
 //! Cache statistics, including the miss breakdown of §8.3.
+//!
+//! [`CacheStats`] is the serializable snapshot handed to callers.
+//! [`AtomicCacheStats`] is the live per-shard counter bank: every counter is
+//! a relaxed atomic so lookups can record hits and misses while holding only
+//! a shard's *shared* lock. [`CacheShardStats`] reports per-shard lock
+//! activity and eviction pressure — the cache-tier mirror of
+//! `mvdb::ShardStats` — so contention regressions show up in `txcached`
+//! telemetry and bench output instead of only in flat scaling curves.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -36,6 +46,10 @@ pub struct CacheStats {
     pub lru_evictions: u64,
     /// Entries evicted because they were too stale to be useful.
     pub staleness_evictions: u64,
+    /// Still-valid insertions dropped because their validity began below the
+    /// node's pruned invalidation-history floor, where the §4.2 race check
+    /// can no longer prove the value was not already invalidated.
+    pub history_floor_drops: u64,
     /// Bytes currently used (point-in-time, maintained by the node).
     pub used_bytes: u64,
 }
@@ -108,7 +122,129 @@ impl CacheStats {
         self.invalidation_messages += other.invalidation_messages;
         self.lru_evictions += other.lru_evictions;
         self.staleness_evictions += other.staleness_evictions;
+        self.history_floor_drops += other.history_floor_drops;
         self.used_bytes += other.used_bytes;
+    }
+}
+
+/// Live counters of one cache shard (or a node's node-scoped events). All
+/// increments are relaxed: the counters are monotonic telemetry, never
+/// synchronization, which is what lets a lookup record its outcome while
+/// holding only the shard's shared lock.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicCacheStats {
+    pub hits: AtomicU64,
+    pub compulsory_misses: AtomicU64,
+    pub staleness_misses: AtomicU64,
+    pub capacity_misses: AtomicU64,
+    pub consistency_misses: AtomicU64,
+    pub insertions: AtomicU64,
+    pub duplicate_insertions: AtomicU64,
+    pub invalidated_entries: AtomicU64,
+    pub late_insert_truncations: AtomicU64,
+    pub sealed_entries: AtomicU64,
+    pub invalidation_messages: AtomicU64,
+    pub lru_evictions: AtomicU64,
+    pub staleness_evictions: AtomicU64,
+    pub history_floor_drops: AtomicU64,
+}
+
+impl AtomicCacheStats {
+    /// Records a miss of the given kind.
+    pub fn record_miss(&self, kind: MissKind) {
+        let counter = match kind {
+            MissKind::Compulsory => &self.compulsory_misses,
+            MissKind::Staleness => &self.staleness_misses,
+            MissKind::Capacity => &self.capacity_misses,
+            MissKind::Consistency => &self.consistency_misses,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds this counter bank into a snapshot (`used_bytes` is the caller's
+    /// business: shards track it under their locks).
+    pub fn add_into(&self, total: &mut CacheStats) {
+        total.hits += self.hits.load(Ordering::Relaxed);
+        total.compulsory_misses += self.compulsory_misses.load(Ordering::Relaxed);
+        total.staleness_misses += self.staleness_misses.load(Ordering::Relaxed);
+        total.capacity_misses += self.capacity_misses.load(Ordering::Relaxed);
+        total.consistency_misses += self.consistency_misses.load(Ordering::Relaxed);
+        total.insertions += self.insertions.load(Ordering::Relaxed);
+        total.duplicate_insertions += self.duplicate_insertions.load(Ordering::Relaxed);
+        total.invalidated_entries += self.invalidated_entries.load(Ordering::Relaxed);
+        total.late_insert_truncations += self.late_insert_truncations.load(Ordering::Relaxed);
+        total.sealed_entries += self.sealed_entries.load(Ordering::Relaxed);
+        total.invalidation_messages += self.invalidation_messages.load(Ordering::Relaxed);
+        total.lru_evictions += self.lru_evictions.load(Ordering::Relaxed);
+        total.staleness_evictions += self.staleness_evictions.load(Ordering::Relaxed);
+        total.history_floor_drops += self.history_floor_drops.load(Ordering::Relaxed);
+    }
+
+    /// Zeroes every counter. Increments racing the reset may survive it or
+    /// be lost; callers reset only at quiescent points.
+    pub fn reset(&self) {
+        for counter in [
+            &self.hits,
+            &self.compulsory_misses,
+            &self.staleness_misses,
+            &self.capacity_misses,
+            &self.consistency_misses,
+            &self.insertions,
+            &self.duplicate_insertions,
+            &self.invalidated_entries,
+            &self.late_insert_truncations,
+            &self.sealed_entries,
+            &self.invalidation_messages,
+            &self.lru_evictions,
+            &self.staleness_evictions,
+            &self.history_floor_drops,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-shard lock activity and eviction pressure, snapshotted by
+/// [`crate::CacheNode::shard_stats`] (the cache-tier mirror of
+/// `mvdb::Database::shard_stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheShardStats {
+    /// Index of the shard within its node.
+    pub shard: usize,
+    /// Shared (reader) lock acquisitions.
+    pub read_locks: u64,
+    /// Exclusive (writer) lock acquisitions.
+    pub write_locks: u64,
+    /// Reader acquisitions that could not be granted immediately.
+    pub read_waits: u64,
+    /// Writer acquisitions that could not be granted immediately.
+    pub write_waits: u64,
+    /// Entries this shard evicted to fit its capacity budget.
+    pub lru_evictions: u64,
+    /// Entries this shard evicted as too stale to be useful.
+    pub staleness_evictions: u64,
+    /// Entries currently stored on the shard.
+    pub entries: u64,
+    /// Bytes currently stored on the shard.
+    pub used_bytes: u64,
+}
+
+impl CacheShardStats {
+    /// Total lock acquisitions on this shard.
+    #[must_use]
+    pub fn acquisitions(&self) -> u64 {
+        self.read_locks + self.write_locks
+    }
+
+    /// Fraction of acquisitions that had to wait, in [0, 1].
+    #[must_use]
+    pub fn contention_rate(&self) -> f64 {
+        let total = self.acquisitions();
+        if total == 0 {
+            0.0
+        } else {
+            (self.read_waits + self.write_waits) as f64 / total as f64
+        }
     }
 }
 
@@ -128,6 +264,7 @@ impl From<CacheStats> for wire::NodeStats {
             invalidation_messages: s.invalidation_messages,
             lru_evictions: s.lru_evictions,
             staleness_evictions: s.staleness_evictions,
+            history_floor_drops: s.history_floor_drops,
             used_bytes: s.used_bytes,
         }
     }
@@ -149,6 +286,39 @@ impl From<wire::NodeStats> for CacheStats {
             invalidation_messages: s.invalidation_messages,
             lru_evictions: s.lru_evictions,
             staleness_evictions: s.staleness_evictions,
+            history_floor_drops: s.history_floor_drops,
+            used_bytes: s.used_bytes,
+        }
+    }
+}
+
+impl From<CacheShardStats> for wire::ShardStats {
+    fn from(s: CacheShardStats) -> wire::ShardStats {
+        wire::ShardStats {
+            shard: s.shard as u32,
+            read_locks: s.read_locks,
+            write_locks: s.write_locks,
+            read_waits: s.read_waits,
+            write_waits: s.write_waits,
+            lru_evictions: s.lru_evictions,
+            staleness_evictions: s.staleness_evictions,
+            entries: s.entries,
+            used_bytes: s.used_bytes,
+        }
+    }
+}
+
+impl From<wire::ShardStats> for CacheShardStats {
+    fn from(s: wire::ShardStats) -> CacheShardStats {
+        CacheShardStats {
+            shard: s.shard as usize,
+            read_locks: s.read_locks,
+            write_locks: s.write_locks,
+            read_waits: s.read_waits,
+            write_waits: s.write_waits,
+            lru_evictions: s.lru_evictions,
+            staleness_evictions: s.staleness_evictions,
+            entries: s.entries,
             used_bytes: s.used_bytes,
         }
     }

@@ -6,7 +6,11 @@
 //! boundary so both deployments run the *same* client library:
 //!
 //! * [`cache_server::CacheCluster`] implements the trait directly — the
-//!   original in-process configuration, still the default;
+//!   original in-process configuration, still the default. The cluster
+//!   holds its sharded nodes by reference (no wrapper mutexes), so
+//!   concurrent application-server threads hit the node shards in
+//!   parallel: lookups under shared locks, inserts under one shard's
+//!   exclusive lock;
 //! * [`RemoteCluster`] speaks the `wire` protocol to a set of `txcached`
 //!   servers, with one pooled connection per consistent-hash-ring node.
 //!

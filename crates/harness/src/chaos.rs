@@ -300,6 +300,7 @@ fn build_stack(config: &ChaosScenarioConfig) -> Result<ScenarioStack> {
                         format!("chaos-{i}"),
                         NodeConfig {
                             capacity_bytes: 4 << 20,
+                            ..NodeConfig::default()
                         },
                     )
                     .map_err(|e| txtypes::Error::Network(format!("sim serve {addr}: {e}")))?,

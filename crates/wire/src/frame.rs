@@ -35,8 +35,10 @@ use crate::msg::{Request, Response};
 use crate::WireError;
 
 /// The protocol version this crate encodes and accepts. Version 2 added
-/// the per-request sequence number carried by [`FramedStream`].
-pub const PROTOCOL_VERSION: u8 = 2;
+/// the per-request sequence number carried by [`FramedStream`]; version 3
+/// added `history_floor_drops` to the `StatsSnapshot` layout and the
+/// per-shard stats request/response pair.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Upper bound on a frame body; larger declared lengths are rejected before
 /// any allocation happens.

@@ -72,7 +72,7 @@ pub use codec::{Reader, Writer};
 pub use frame::{
     read_frame, write_frame, FramedStream, MAX_FRAME_BYTES, PROTOCOL_VERSION, SEQ_BYTES,
 };
-pub use msg::{ErrorCode, InvalidationEvent, MissCode, NodeStats, Request, Response};
+pub use msg::{ErrorCode, InvalidationEvent, MissCode, NodeStats, Request, Response, ShardStats};
 pub use sim::{ChaosConfig, FaultAction, FaultCounts, SimConn, SimListener, SimNet, SplitMix64};
 pub use transport::{Closer, Connector, Listener, TcpConnector, Transport};
 

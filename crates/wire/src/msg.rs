@@ -117,6 +117,8 @@ pub struct NodeStats {
     pub lru_evictions: u64,
     /// Entries evicted as too stale to use.
     pub staleness_evictions: u64,
+    /// Still-valid insertions dropped below the pruned-history floor.
+    pub history_floor_drops: u64,
     /// Bytes currently cached.
     pub used_bytes: u64,
 }
@@ -137,6 +139,7 @@ impl NodeStats {
             self.invalidation_messages,
             self.lru_evictions,
             self.staleness_evictions,
+            self.history_floor_drops,
             self.used_bytes,
         ] {
             w.put_u64(v);
@@ -158,6 +161,64 @@ impl NodeStats {
             invalidation_messages: r.get_u64()?,
             lru_evictions: r.get_u64()?,
             staleness_evictions: r.get_u64()?,
+            history_floor_drops: r.get_u64()?,
+            used_bytes: r.get_u64()?,
+        })
+    }
+}
+
+/// One shard's lock-contention and eviction counters as carried on the wire
+/// (mirrors `cache_server::CacheShardStats`; conversions live in
+/// `cache-server`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Index of the shard within its node.
+    pub shard: u32,
+    /// Shared (reader) lock acquisitions.
+    pub read_locks: u64,
+    /// Exclusive (writer) lock acquisitions.
+    pub write_locks: u64,
+    /// Reader acquisitions that had to wait.
+    pub read_waits: u64,
+    /// Writer acquisitions that had to wait.
+    pub write_waits: u64,
+    /// Entries evicted to fit the shard's capacity budget.
+    pub lru_evictions: u64,
+    /// Entries evicted as too stale to use.
+    pub staleness_evictions: u64,
+    /// Entries currently stored on the shard.
+    pub entries: u64,
+    /// Bytes currently stored on the shard.
+    pub used_bytes: u64,
+}
+
+impl ShardStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.shard);
+        for v in [
+            self.read_locks,
+            self.write_locks,
+            self.read_waits,
+            self.write_waits,
+            self.lru_evictions,
+            self.staleness_evictions,
+            self.entries,
+            self.used_bytes,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> crate::Result<ShardStats> {
+        Ok(ShardStats {
+            shard: r.get_u32()?,
+            read_locks: r.get_u64()?,
+            write_locks: r.get_u64()?,
+            read_waits: r.get_u64()?,
+            write_waits: r.get_u64()?,
+            lru_evictions: r.get_u64()?,
+            staleness_evictions: r.get_u64()?,
+            entries: r.get_u64()?,
             used_bytes: r.get_u64()?,
         })
     }
@@ -172,6 +233,7 @@ const OP_EVICT_STALE: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
 const OP_RESET_STATS: u8 = 0x07;
 const OP_SEAL_STILL_VALID: u8 = 0x08;
+const OP_SHARD_STATS: u8 = 0x09;
 
 // Response opcodes (>= 0x80).
 const OP_PONG: u8 = 0x81;
@@ -182,6 +244,7 @@ const OP_INVALIDATION_ACK: u8 = 0x85;
 const OP_STATS_SNAPSHOT: u8 = 0x86;
 const OP_OK: u8 = 0x87;
 const OP_SEALED: u8 = 0x88;
+const OP_SHARD_STATS_SNAPSHOT: u8 = 0x89;
 const OP_ERROR: u8 = 0xFF;
 
 /// A request from the TxCache library to a cache node.
@@ -234,6 +297,8 @@ pub enum Request {
     },
     /// Fetch the node's counter snapshot.
     Stats,
+    /// Fetch the node's per-shard lock-contention and eviction counters.
+    ShardStats,
     /// Zero the node's hit/miss counters.
     ResetStats,
     /// Bound every still-valid entry at the node's current invalidation
@@ -295,6 +360,7 @@ impl Request {
                 w.put_timestamp(*min_useful_ts);
             }
             Request::Stats => w.put_u8(OP_STATS),
+            Request::ShardStats => w.put_u8(OP_SHARD_STATS),
             Request::ResetStats => w.put_u8(OP_RESET_STATS),
             Request::SealStillValid => w.put_u8(OP_SEAL_STILL_VALID),
         }
@@ -347,6 +413,7 @@ impl Request {
                 min_useful_ts: r.get_timestamp()?,
             },
             OP_STATS => Request::Stats,
+            OP_SHARD_STATS => Request::ShardStats,
             OP_RESET_STATS => Request::ResetStats,
             OP_SEAL_STILL_VALID => Request::SealStillValid,
             other => return Err(WireError::UnknownOpcode(other)),
@@ -398,6 +465,8 @@ pub enum Response {
     },
     /// The node's counters.
     StatsSnapshot(NodeStats),
+    /// The node's per-shard lock-contention and eviction counters.
+    ShardStatsSnapshot(Vec<ShardStats>),
     /// Generic success for requests with no payload to return.
     Ok,
     /// The request failed; the connection remains usable unless the error is
@@ -450,6 +519,13 @@ impl Response {
                 w.put_u8(OP_STATS_SNAPSHOT);
                 stats.encode(&mut w);
             }
+            Response::ShardStatsSnapshot(shards) => {
+                w.put_u8(OP_SHARD_STATS_SNAPSHOT);
+                w.put_u32(shards.len() as u32);
+                for shard in shards {
+                    shard.encode(&mut w);
+                }
+            }
             Response::Ok => w.put_u8(OP_OK),
             Response::Error { code, message } => {
                 w.put_u8(OP_ERROR);
@@ -489,6 +565,18 @@ impl Response {
                 sealed: r.get_u64()?,
             },
             OP_STATS_SNAPSHOT => Response::StatsSnapshot(NodeStats::decode(&mut r)?),
+            OP_SHARD_STATS_SNAPSHOT => {
+                let count = r.get_u32()? as usize;
+                // Each shard entry is 68 bytes; reject counts no frame can hold.
+                if count > crate::MAX_FRAME_BYTES / 68 {
+                    return Err(WireError::TooLarge(count));
+                }
+                let mut shards = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    shards.push(ShardStats::decode(&mut r)?);
+                }
+                Response::ShardStatsSnapshot(shards)
+            }
             OP_OK => Response::Ok,
             OP_ERROR => Response::Error {
                 code: ErrorCode::from_u8(r.get_u8()?)?,
@@ -557,6 +645,7 @@ mod tests {
                 min_useful_ts: Timestamp(11),
             },
             Request::Stats,
+            Request::ShardStats,
             Request::ResetStats,
             Request::SealStillValid,
         ]
@@ -579,9 +668,25 @@ mod tests {
             Response::Sealed { sealed: 7 },
             Response::StatsSnapshot(NodeStats {
                 hits: 5,
+                history_floor_drops: 2,
                 used_bytes: 1024,
                 ..NodeStats::default()
             }),
+            Response::ShardStatsSnapshot(vec![
+                ShardStats {
+                    shard: 0,
+                    read_locks: 12,
+                    write_locks: 3,
+                    read_waits: 1,
+                    write_waits: 0,
+                    lru_evictions: 2,
+                    staleness_evictions: 1,
+                    entries: 9,
+                    used_bytes: 512,
+                },
+                ShardStats::default(),
+            ]),
+            Response::ShardStatsSnapshot(Vec::new()),
             Response::Ok,
             Response::Error {
                 code: ErrorCode::Malformed,

@@ -28,6 +28,7 @@ fn main() -> Result<()> {
                 format!("txcached-{i}"),
                 NodeConfig {
                     capacity_bytes: 8 << 20,
+                    ..NodeConfig::default()
                 },
             )
             .expect("bind loopback txcached")

@@ -1,0 +1,279 @@
+//! Concurrency stress tests for the sharded cache node.
+//!
+//! Parallel lookups, inserts, commit-ordered invalidation batches, and
+//! staleness evictions hammer one node, then the node's structural
+//! invariants are verified at quiescence:
+//!
+//! * versions of one key keep pairwise disjoint validity intervals,
+//! * `used_bytes` matches the byte size of the live entries,
+//! * the tag indexes hold exactly the still-valid entries,
+//! * no still-valid entry survives a matching invalidation (§4.2), checked
+//!   both against the node's retained history and by a final invalidation
+//!   sweep followed by lookups above it.
+//!
+//! The workload is deterministic apart from thread interleaving: every
+//! version chain is pre-planned with disjoint intervals, each key is
+//! inserted by exactly one thread, and invalidation timestamps sit above
+//! every chain so truncation can never create an overlap.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use txcache_repro::cache_server::{CacheCluster, CacheNode, LookupRequest, NodeConfig};
+use txcache_repro::txtypes::{
+    CacheKey, InvalidationTag, TagSet, Timestamp, ValidityInterval, WallClock,
+};
+
+const WORKERS: u64 = 4;
+const KEYS_PER_WORKER: u64 = 48;
+/// Width of each pre-planned bounded version.
+const STEP: u64 = 10;
+/// Bounded versions per key before the final still-valid one.
+const VERSIONS: u64 = 4;
+/// Invalidation timestamps start here — above every version chain, so a
+/// truncation can never overlap a bounded version.
+const INVALIDATION_BASE: u64 = 1_000;
+const INVALIDATION_ROUNDS: u64 = 120;
+const FINAL_SWEEP_TS: u64 = 50_000;
+
+fn key(worker: u64, k: u64) -> CacheKey {
+    CacheKey::new("stress", format!("[{worker}:{k}]"))
+}
+
+fn tag(worker: u64, k: u64) -> InvalidationTag {
+    InvalidationTag::keyed("items", format!("id={worker}:{k}"))
+}
+
+fn tags(worker: u64, k: u64) -> TagSet {
+    [tag(worker, k)].into_iter().collect()
+}
+
+/// Tiny deterministic generator so the test needs no RNG dependency.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn run_stress(node: &CacheNode) -> (u64, u64) {
+    let insert_attempts = AtomicU64::new(0);
+    let lookup_attempts = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        // Worker threads: each owns its key range for inserts (so version
+        // chains stay internally consistent) and looks up everyone's keys.
+        for worker in 0..WORKERS {
+            let insert_attempts = &insert_attempts;
+            let lookup_attempts = &lookup_attempts;
+            scope.spawn(move || {
+                for k in 0..KEYS_PER_WORKER {
+                    // The pre-planned chain: bounded versions in a
+                    // deterministic shuffled order, then the still-valid one.
+                    let mut order: Vec<u64> = (0..VERSIONS).collect();
+                    let swap = (mix(worker * 1_000 + k) % VERSIONS) as usize;
+                    order.swap(0, swap);
+                    for v in order {
+                        node.insert(
+                            key(worker, k),
+                            Bytes::from(vec![v as u8; 24]),
+                            ValidityInterval::bounded(
+                                Timestamp(v * STEP),
+                                Timestamp((v + 1) * STEP),
+                            )
+                            .unwrap(),
+                            TagSet::new(),
+                            WallClock::ZERO,
+                        );
+                        insert_attempts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // The still-valid tail, inserted twice: the second
+                    // attempt is either a duplicate or (after an
+                    // invalidation landed in between) a §4.2 late insert
+                    // that must be truncated on arrival.
+                    for _ in 0..2 {
+                        node.insert(
+                            key(worker, k),
+                            Bytes::from(vec![0xAA; 24]),
+                            ValidityInterval::unbounded(Timestamp(VERSIONS * STEP)),
+                            tags(worker, k),
+                            WallClock::ZERO,
+                        );
+                        insert_attempts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Interleave lookups over the whole key space.
+                    for probe in 0..4 {
+                        let t = mix(worker + probe) % WORKERS;
+                        let kk = mix(k + probe) % KEYS_PER_WORKER;
+                        let at = mix(worker ^ k ^ probe) % (VERSIONS * STEP + 200);
+                        node.lookup(&key(t, kk), &LookupRequest::at(Timestamp(at)));
+                        lookup_attempts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+
+        // Invalidator: one thread drives the commit-ordered stream, mixing
+        // single messages, batches, and heartbeats.
+        scope.spawn(|| {
+            let mut ts = INVALIDATION_BASE;
+            for round in 0..INVALIDATION_ROUNDS {
+                let worker = mix(round) % WORKERS;
+                let k = mix(round * 31) % KEYS_PER_WORKER;
+                if round % 3 == 0 {
+                    let batch: Vec<(Timestamp, TagSet)> = (0..2)
+                        .map(|i| {
+                            ts += 1;
+                            (Timestamp(ts), tags((worker + i) % WORKERS, k))
+                        })
+                        .collect();
+                    let heartbeat = Timestamp(ts);
+                    node.apply_invalidation_batch(batch, heartbeat);
+                } else {
+                    ts += 1;
+                    node.apply_invalidation(Timestamp(ts), &tags(worker, k));
+                }
+                if round % 10 == 0 {
+                    node.note_timestamp(Timestamp(ts));
+                }
+            }
+        });
+
+        // Evictor: advances a staleness horizon through the bounded-version
+        // range, forcing staleness evictions while everything else runs.
+        scope.spawn(|| {
+            for horizon in 0..VERSIONS * STEP {
+                node.evict_stale(Timestamp(horizon));
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    (
+        insert_attempts.load(Ordering::Relaxed),
+        lookup_attempts.load(Ordering::Relaxed),
+    )
+}
+
+#[test]
+fn stressed_node_upholds_every_invariant() {
+    let capacity: usize = 48 << 10; // small enough to force capacity evictions
+    let node = CacheNode::new(
+        "stress",
+        NodeConfig {
+            capacity_bytes: capacity,
+            shards: 4,
+            ..NodeConfig::default()
+        },
+    );
+
+    let (insert_attempts, lookup_attempts) = run_stress(&node);
+
+    // Structural invariants at quiescence: disjoint versions, exact byte
+    // accounting, index consistency, §4.2 closure vs the retained history.
+    node.validate_invariants().unwrap();
+
+    // A final maintenance pass: every pre-planned bounded version is dead
+    // below this horizon, so staleness evictions are guaranteed even if the
+    // concurrent evictor raced ahead of the inserters.
+    node.evict_stale(Timestamp(VERSIONS * STEP));
+
+    let stats = node.stats();
+    // Every insert attempt was either stored, skipped as a duplicate, or
+    // rejected below the history floor (none here: nothing pruned the
+    // invalidation-era history).
+    assert_eq!(
+        stats.insertions + stats.duplicate_insertions + stats.history_floor_drops,
+        insert_attempts,
+    );
+    assert_eq!(stats.lookups(), lookup_attempts);
+    assert!(node.used_bytes() <= capacity, "budget holds at quiescence");
+    assert!(
+        stats.staleness_evictions > 0,
+        "the evictor thread reclaimed dead versions"
+    );
+
+    // Final sweep: after invalidating every key's tag, nothing may serve a
+    // timestamp at or above the sweep — no still-valid entry survives a
+    // matching invalidation.
+    let all_tags: Vec<(Timestamp, TagSet)> = (0..WORKERS)
+        .flat_map(|w| (0..KEYS_PER_WORKER).map(move |k| (w, k)))
+        .map(|(w, k)| (Timestamp(FINAL_SWEEP_TS), tags(w, k)))
+        .collect();
+    node.apply_invalidation_batch(all_tags, Timestamp(FINAL_SWEEP_TS));
+    node.note_timestamp(Timestamp(FINAL_SWEEP_TS + 100));
+    for w in 0..WORKERS {
+        for k in 0..KEYS_PER_WORKER {
+            let out = node.lookup(
+                &key(w, k),
+                &LookupRequest::range(Timestamp(FINAL_SWEEP_TS), Timestamp(FINAL_SWEEP_TS + 100)),
+            );
+            assert!(
+                !out.is_hit(),
+                "key {w}:{k} served a value above its invalidation"
+            );
+        }
+    }
+    node.validate_invariants().unwrap();
+
+    // The lock counters saw the traffic.
+    let shard_stats = node.shard_stats();
+    assert_eq!(shard_stats.len(), 4);
+    assert!(shard_stats.iter().map(|s| s.read_locks).sum::<u64>() > 0);
+    assert!(shard_stats.iter().map(|s| s.write_locks).sum::<u64>() > 0);
+}
+
+#[test]
+fn stressed_cluster_exposes_consistent_nodes() {
+    // The same workload through the in-process cluster: nodes are shared by
+    // reference (no wrapper mutex), and every node must independently uphold
+    // its invariants.
+    let cluster = CacheCluster::with_config(
+        3,
+        NodeConfig {
+            capacity_bytes: 64 << 10,
+            shards: 4,
+            ..NodeConfig::default()
+        },
+    );
+
+    std::thread::scope(|scope| {
+        for worker in 0..WORKERS {
+            let cluster = &cluster;
+            scope.spawn(move || {
+                for k in 0..KEYS_PER_WORKER {
+                    cluster.insert(
+                        key(worker, k),
+                        Bytes::from(vec![1u8; 24]),
+                        ValidityInterval::unbounded(Timestamp(1)),
+                        tags(worker, k),
+                        WallClock::ZERO,
+                    );
+                    cluster.lookup(&key(worker, k), &LookupRequest::at(Timestamp(1)));
+                }
+            });
+        }
+        let cluster = &cluster;
+        scope.spawn(move || {
+            for round in 0..INVALIDATION_ROUNDS {
+                cluster.apply_invalidation(
+                    Timestamp(INVALIDATION_BASE + round),
+                    &tags(mix(round) % WORKERS, mix(round * 7) % KEYS_PER_WORKER),
+                );
+            }
+        });
+    });
+
+    for i in 0..cluster.node_count() {
+        cluster.node(i).validate_invariants().unwrap();
+    }
+    let stats = cluster.stats();
+    assert_eq!(
+        stats.insertions + stats.duplicate_insertions,
+        WORKERS * KEYS_PER_WORKER
+    );
+    assert_eq!(
+        stats.invalidation_messages,
+        INVALIDATION_ROUNDS * cluster.node_count() as u64
+    );
+}

@@ -184,6 +184,7 @@ fn healed_connection_seals_still_valid_entries_sim() {
         "seal-sim",
         NodeConfig {
             capacity_bytes: 4 << 20,
+            ..NodeConfig::default()
         },
     )
     .unwrap();

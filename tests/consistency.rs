@@ -40,6 +40,7 @@ fn build_backend(kind: BackendKind) -> (Arc<dyn CacheBackend>, Vec<TxcachedServe
                         format!("txcached-{i}"),
                         NodeConfig {
                             capacity_bytes: 2 << 20,
+                            ..NodeConfig::default()
                         },
                     )
                     .expect("bind loopback txcached")

@@ -38,6 +38,7 @@ fn rubis_stack_on(mode: CacheMode, kind: BackendKind) -> (RubisApp, SimClock, Ve
                         format!("txcached-{i}"),
                         NodeConfig {
                             capacity_bytes: 8 << 20,
+                            ..NodeConfig::default()
                         },
                     )
                     .expect("bind loopback txcached")

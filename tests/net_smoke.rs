@@ -25,6 +25,7 @@ fn spawn_servers(n: usize) -> (Vec<TxcachedServer>, Vec<String>) {
                 format!("txcached-{i}"),
                 NodeConfig {
                     capacity_bytes: 4 << 20,
+                    ..NodeConfig::default()
                 },
             )
             .expect("bind loopback txcached")

@@ -104,7 +104,7 @@ proptest! {
         lo in 0u64..300,
         width in 0u64..50,
     ) {
-        let mut node = CacheNode::new("prop", NodeConfig { capacity_bytes: 1 << 20 });
+        let node = CacheNode::new("prop", NodeConfig { capacity_bytes: 1 << 20, ..NodeConfig::default() });
         // Make "now" known so unbounded entries are usable.
         node.apply_invalidation(Timestamp(1_000), &TagSet::new());
         for (iv, k) in &entries {

@@ -8,7 +8,8 @@ use txcache_repro::txtypes::{
 };
 use txcache_repro::wire::{read_frame, write_frame};
 use txcache_repro::wire::{
-    ErrorCode, InvalidationEvent, MissCode, NodeStats, Request, Response, PROTOCOL_VERSION,
+    ErrorCode, InvalidationEvent, MissCode, NodeStats, Request, Response, ShardStats,
+    PROTOCOL_VERSION,
 };
 
 use bytes::Bytes;
@@ -142,9 +143,35 @@ proptest! {
         roundtrip_response(&Response::Ok);
         roundtrip_response(&Response::StatsSnapshot(NodeStats {
             hits,
+            history_floor_drops: applied,
             used_bytes: bytes,
             ..NodeStats::default()
         }));
+    }
+
+    #[test]
+    fn shard_stats_roundtrip(
+        shards in proptest::collection::vec(
+            (0u32..64, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..1_000_000, 0u64..1_000_000),
+            0..16,
+        ),
+    ) {
+        roundtrip_request(&Request::ShardStats);
+        let shards: Vec<ShardStats> = shards
+            .into_iter()
+            .map(|(shard, reads, writes, evictions, bytes)| ShardStats {
+                shard,
+                read_locks: reads,
+                write_locks: writes,
+                read_waits: reads / 7,
+                write_waits: writes / 11,
+                lru_evictions: evictions,
+                staleness_evictions: evictions / 3,
+                entries: evictions.saturating_add(1),
+                used_bytes: bytes,
+            })
+            .collect();
+        roundtrip_response(&Response::ShardStatsSnapshot(shards));
     }
 
     #[test]
