@@ -17,22 +17,31 @@
 #      cache backends. Failures print the seed and a CHAOS_SEED=... repro
 #      command; set CHAOS_SEED to pin the sweep to one seed.
 #   7. optionally, the network smoke gate (--net-smoke): starts a real
-#      txcached server on an ephemeral loopback port, probes it with
-#      `txcached --ping`, runs the remote-backend consistency test against it
-#      via TXCACHED_ADDRS, and tears the server down again
+#      txcached server (event-driven loop, explicit --shards) on an
+#      ephemeral loopback port, probes it with `txcached --ping`, runs the
+#      remote-backend consistency test against it via TXCACHED_ADDRS, and
+#      tears the server down again. A second server is then started under
+#      a deliberately tiny `ulimit -n` and flooded with more connections
+#      than it has descriptors: fd exhaustion must park the accept loop
+#      (EMFILE backoff) rather than crash the process, and once the flood
+#      closes, `--ping` must answer again over the recovered loop.
 #   8. optionally, the bench-regression smoke gate (--bench-smoke): the
-#      fig5_throughput thread sweep compared against a baseline JSON, and
-#      the cache_scaling sweep (mixed lookup/insert throughput against one
-#      sharded cache node, in-process) compared against its own baseline.
-#      The baselines default to the checked-in
-#      crates/bench/BENCH_fig5.baseline.json and
-#      crates/bench/BENCH_cache_scaling.baseline.json and can be
-#      overridden with the BENCH_BASELINE / CACHE_BENCH_BASELINE
-#      environment variables. Absolute txn/s is only compared when the
-#      host has the same CPU count the baseline was recorded with (the
-#      hosted workflow caches a runner-class baseline for this); the
-#      >=1.5x 4-thread speedup floor applies on any host with at least 4
-#      CPUs.
+#      fig5_throughput thread sweep compared against a baseline JSON, the
+#      cache_scaling sweep (mixed lookup/insert throughput against one
+#      sharded cache node, in-process) compared against its own baseline,
+#      and the high_connection connection-ramp sweep (one event-driven
+#      txcached, 1..128 concurrent connections) compared against its
+#      baseline. The baselines default to the checked-in
+#      crates/bench/BENCH_fig5.baseline.json,
+#      crates/bench/BENCH_cache_scaling.baseline.json and
+#      crates/bench/BENCH_high_connection.baseline.json and can be
+#      overridden with the BENCH_BASELINE / CACHE_BENCH_BASELINE /
+#      HIGH_CONN_BENCH_BASELINE environment variables. Absolute txn/s is
+#      only compared when the host has the same CPU count the baseline was
+#      recorded with (the hosted workflow caches a runner-class baseline
+#      for this); the >=1.5x 4-thread speedup floor applies on any host
+#      with at least 4 CPUs (connection ramps carry no speedup floor —
+#      flat is the win).
 #
 # Every step is timed, and a summary is printed at the end; on failure the
 # summary names the step that failed so workflow logs show the broken gate
@@ -50,11 +59,14 @@
 #                                fixed seeds, history checker)
 #
 # To refresh the bench baselines after an intentional perf change:
-#   cargo build --release -p bench --bin fig5_throughput --bin cache_scaling
+#   cargo build --release -p bench --bin fig5_throughput --bin cache_scaling \
+#       --bin high_connection
 #   target/release/fig5_throughput --scaling-only --threads 1,4 \
 #       --requests 30000 --json crates/bench/BENCH_fig5.baseline.json
 #   target/release/cache_scaling --threads 1,4 --requests 500000 \
 #       --skip-tcp --json crates/bench/BENCH_cache_scaling.baseline.json
+#   target/release/high_connection --connections 1,16,64,128 \
+#       --requests 20000 --json crates/bench/BENCH_high_connection.baseline.json
 
 set -uo pipefail
 cd "$(dirname "$0")"
@@ -161,9 +173,11 @@ if [ "$NET_SMOKE" -eq 1 ]; then
         run_step "cargo build --release txcached (for net smoke)" \
             cargo build --release -p cache-server --bin txcached
     fi
+    # --shards 4 exercises the event loop's worker pool handing off to a
+    # sharded node, not just the single-shard default.
     TXCACHED_LOG="$(mktemp)"
     target/release/txcached --addr 127.0.0.1:0 --capacity-mb 16 \
-        --name ci-smoke >"$TXCACHED_LOG" 2>&1 &
+        --name ci-smoke --shards 4 >"$TXCACHED_LOG" 2>&1 &
     TXCACHED_PID=$!
     trap 'kill "$TXCACHED_PID" 2>/dev/null; rm -f "$TXCACHED_LOG"' EXIT
     TXCACHED_ADDR=""
@@ -188,12 +202,59 @@ if [ "$NET_SMOKE" -eq 1 ]; then
     trap - EXIT
     rm -f "$TXCACHED_LOG"
     SUMMARY+=("ok   net smoke teardown (txcached stopped)")
+
+    # fd-exhaustion probe: a second server under a deliberately tiny fd
+    # limit, flooded with more connections than the process can hold. The
+    # event loop must park the accept side (EMFILE backoff) instead of
+    # crashing, keep already-admitted connections alive, and resume
+    # accepting once descriptors free up.
+    FDPROBE_LOG="$(mktemp)"
+    ( ulimit -n 48 2>/dev/null; exec target/release/txcached \
+        --addr 127.0.0.1:0 --capacity-mb 16 --name ci-fd-probe \
+        --shards 2 ) >"$FDPROBE_LOG" 2>&1 &
+    FDPROBE_PID=$!
+    trap 'kill "$FDPROBE_PID" 2>/dev/null; rm -f "$FDPROBE_LOG"' EXIT
+    FDPROBE_ADDR=""
+    for _ in $(seq 1 50); do
+        FDPROBE_ADDR="$(sed -n 's/^txcached listening on //p' "$FDPROBE_LOG" | head -n1)"
+        [ -n "$FDPROBE_ADDR" ] && break
+        sleep 0.1
+    done
+    if [ -z "$FDPROBE_ADDR" ]; then
+        SUMMARY+=("FAIL net smoke (fd-probe txcached did not start)")
+        print_summary
+        cat "$FDPROBE_LOG"
+        exit 1
+    fi
+    FDPROBE_HOST="${FDPROBE_ADDR%:*}"
+    FDPROBE_PORT="${FDPROBE_ADDR##*:}"
+    # Hold 64 idle connections open for a few seconds — well past the ~40
+    # descriptors the server has left under ulimit -n 48 — from throwaway
+    # subshells so the flood releases itself.
+    for _ in $(seq 1 64); do
+        ( exec 3<>"/dev/tcp/${FDPROBE_HOST}/${FDPROBE_PORT}" && sleep 3 ) \
+            2>/dev/null &
+    done
+    sleep 1
+    run_step "net smoke: server survives fd exhaustion (ulimit -n 48, 64 conns)" \
+        kill -0 "$FDPROBE_PID"
+    # Let the flood's subshells exit and the accept backoff lapse, then the
+    # probe must get a fresh connection accepted and answered.
+    sleep 3
+    run_step "net smoke: txcached --ping after fd-exhaustion backoff" \
+        target/release/txcached --ping "$FDPROBE_ADDR"
+    kill "$FDPROBE_PID" 2>/dev/null
+    wait "$FDPROBE_PID" 2>/dev/null
+    trap - EXIT
+    rm -f "$FDPROBE_LOG"
+    SUMMARY+=("ok   net smoke teardown (fd-probe txcached stopped)")
 fi
 
 if [ "$BENCH_SMOKE" -eq 1 ]; then
     if [ "$PROFILE" != release ]; then
         run_step "cargo build --release -p bench (for bench smoke)" \
-            cargo build --release -p bench --bin fig5_throughput --bin cache_scaling
+            cargo build --release -p bench --bin fig5_throughput \
+            --bin cache_scaling --bin high_connection
     fi
     # Which gates apply depends on the host: the absolute-throughput
     # comparison runs when the host's CPU count matches the baseline's
@@ -214,6 +275,21 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
         --requests 500000 --skip-tcp --json BENCH_cache_scaling.json \
         --baseline "$CACHE_BASELINE" \
         --min-speedup 1.5
+    # The network-tier gate: the event-driven server under a connection
+    # ramp. The series should be flat — the point of the event loop is that
+    # idle connections are free — so there is no speedup floor, only the
+    # regression ceiling at the highest common ramp point (and only on
+    # hosts matching the baseline's CPU count). The ceiling is looser than
+    # the in-process gates' 20%: with client threads, reactor, and workers
+    # all sharing the host's cores, this bench is scheduler-sensitive, and
+    # what the gate exists to catch (the loop degrading as connections
+    # ramp) is an order-of-magnitude collapse, not a 20% wobble.
+    HIGH_CONN_BASELINE="${HIGH_CONN_BENCH_BASELINE:-crates/bench/BENCH_high_connection.baseline.json}"
+    run_step "bench smoke (high_connection ramp vs ${HIGH_CONN_BASELINE})" \
+        target/release/high_connection --connections 1,16,64,128 \
+        --requests 20000 --json BENCH_high_connection.json \
+        --baseline "$HIGH_CONN_BASELINE" \
+        --max-regress 0.5
 fi
 
 print_summary

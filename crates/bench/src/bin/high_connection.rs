@@ -1,0 +1,208 @@
+//! Connection-ramp benchmark for the event-driven `txcached` server.
+//!
+//! The thread-per-connection server paid one OS thread (stack, scheduler
+//! slot) per connection, so fan-in from many application servers was the
+//! configuration it handled worst. The event-driven server multiplexes all
+//! connections onto one epoll reactor plus a small worker pool, so holding
+//! hundreds of mostly-idle connections should cost nothing and throughput
+//! should stay flat as the connection count ramps.
+//!
+//! This binary measures exactly that: one server, a ramp of connection
+//! counts (`--connections 1,16,64,128`), the same total number of warm
+//! `VersionedGet`s driven at every point by a small fixed pool of client
+//! threads that round-robin over their share of the connections. Reported
+//! per point: aggregate throughput and p99 latency. The throughput series
+//! is written as JSON and compared against
+//! `crates/bench/BENCH_high_connection.baseline.json` by `ci.sh
+//! --bench-smoke` (connection counts ride in the baseline's `threads`
+//! field, and the ceiling is looser than the in-process gates' — this
+//! bench shares the host's cores between client threads, reactor, and
+//! workers, so it wobbles with the scheduler).
+//!
+//! ```text
+//! high_connection [--connections 1,16,64,128] [--requests N] [--json PATH]
+//!                 [--baseline PATH] [--max-regress 0.2]
+//! ```
+
+use std::net::TcpStream;
+use std::time::Instant;
+
+use bench::{gate_failures, BenchArgs, SweepReport};
+use bytes::Bytes;
+use cache_server::{NodeConfig, TxcachedServer};
+use txtypes::{CacheKey, TagSet, Timestamp, ValidityInterval, WallClock};
+use wire::{FramedStream, Request, Response};
+
+/// Keys warmed into the node before measuring.
+const WARM_KEYS: u64 = 1_024;
+const VALUE_BYTES: usize = 128;
+/// Client threads driving the ramp — fixed and small so the ramp varies
+/// only the connection count, never the driving parallelism.
+const CLIENT_THREADS: usize = 4;
+
+fn key(i: u64) -> CacheKey {
+    CacheKey::new("get_item", format!("[{i}]"))
+}
+
+/// Deterministic mixer so the op stream needs no RNG dependency.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One client thread's share: closed-loop warm gets, round-robin over its
+/// connections, per-op latency captured in nanoseconds.
+fn drive(
+    conns: &mut [FramedStream<TcpStream>],
+    thread: u64,
+    ops: u64,
+    latencies_ns: &mut Vec<u64>,
+) {
+    for i in 0..ops {
+        let conn = &mut conns[(i as usize) % conns.len()];
+        let r = mix(thread.wrapping_mul(0x5_0000_0007).wrapping_add(i));
+        let t = Instant::now();
+        let got = conn
+            .call(&Request::VersionedGet {
+                key: key(r % WARM_KEYS),
+                pinset_lo: Timestamp(500),
+                pinset_hi: Timestamp(500),
+                freshness_lo: Timestamp(500),
+            })
+            .expect("get");
+        latencies_ns.push(t.elapsed().as_nanos() as u64);
+        assert!(matches!(got, Response::Hit { .. }), "warm key must hit");
+    }
+}
+
+fn parse_connections() -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 1..args.len() {
+        if args[i] == "--connections" && i + 1 < args.len() {
+            let parsed: Vec<usize> = args[i + 1]
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&c| c > 0)
+                .collect();
+            if !parsed.is_empty() {
+                return parsed;
+            }
+        }
+    }
+    vec![1, 16, 64, 128]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let connections = parse_connections();
+    // Each ramp point drives pure cache gets, so a proper sample is cheap.
+    let requests = args.requests.max(10_000);
+
+    println!(
+        "high_connection: {} warm keys, {}-byte values, {} requests/point, \
+         {} client thread(s), ramp {:?}",
+        WARM_KEYS, VALUE_BYTES, requests, CLIENT_THREADS, connections
+    );
+
+    let server = TxcachedServer::bind(
+        "127.0.0.1:0",
+        "bench-node",
+        NodeConfig {
+            capacity_bytes: 64 << 20,
+            ..NodeConfig::default()
+        },
+    )
+    .expect("bind loopback txcached");
+    let addr = server.local_addr();
+
+    let mut warm = FramedStream::new(TcpStream::connect(addr).expect("connect"));
+    for i in 0..WARM_KEYS {
+        warm.call(&Request::Put {
+            key: key(i),
+            value: Bytes::from(vec![7u8; VALUE_BYTES]),
+            validity: ValidityInterval::unbounded(Timestamp(1)),
+            tags: TagSet::new(),
+            now: WallClock::ZERO,
+        })
+        .expect("warm put");
+    }
+    warm.call(&Request::InvalidationBatch {
+        events: Vec::new(),
+        heartbeat: Timestamp(1_000_000),
+    })
+    .expect("warm heartbeat");
+    drop(warm);
+
+    println!(
+        "\n  {:>11} {:>12} {:>12} {:>12}",
+        "connections", "ops/s", "mean us", "p99 us"
+    );
+    let mut rates = Vec::with_capacity(connections.len());
+    for &count in &connections {
+        // All connections for this ramp point are opened before the clock
+        // starts: the ramp measures holding + serving them, not dialling.
+        let mut pool: Vec<Vec<FramedStream<TcpStream>>> =
+            (0..CLIENT_THREADS.min(count)).map(|_| Vec::new()).collect();
+        let threads = pool.len();
+        for c in 0..count {
+            let stream = TcpStream::connect(addr).expect("connect ramp");
+            stream.set_nodelay(true).expect("set nodelay");
+            pool[c % threads].push(FramedStream::new(stream));
+        }
+        let ops_per_thread = (requests / threads).max(1) as u64;
+        let started = Instant::now();
+        let mut all_latencies: Vec<u64> = Vec::with_capacity(requests);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = pool
+                .iter_mut()
+                .enumerate()
+                .map(|(thread, conns)| {
+                    scope.spawn(move || {
+                        let mut latencies = Vec::with_capacity(ops_per_thread as usize);
+                        drive(conns, thread as u64, ops_per_thread, &mut latencies);
+                        latencies
+                    })
+                })
+                .collect();
+            for handle in handles {
+                all_latencies.extend(handle.join().expect("client thread"));
+            }
+        });
+        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+        let total_ops = ops_per_thread * threads as u64;
+        let rate = total_ops as f64 / elapsed;
+        all_latencies.sort_unstable();
+        let mean_us =
+            all_latencies.iter().sum::<u64>() as f64 / all_latencies.len() as f64 / 1_000.0;
+        let p99_us = all_latencies[(all_latencies.len() * 99 / 100).min(all_latencies.len() - 1)]
+            as f64
+            / 1_000.0;
+        println!("  {count:>11} {rate:>12.0} {mean_us:>12.2} {p99_us:>12.2}");
+        rates.push(rate);
+    }
+
+    let stats = server.stats();
+    println!(
+        "\n  server: {} connections accepted, {} requests served",
+        stats.connections_accepted, stats.requests
+    );
+
+    let report = SweepReport {
+        available_parallelism: std::thread::available_parallelism().map_or(1, usize::from),
+        threads: connections.clone(),
+        txn_per_sec: rates,
+    };
+    if let Some(path) = &args.json_out {
+        std::fs::write(path, report.to_json()).expect("failed to write sweep JSON");
+        println!("\n  sweep written to {path}");
+    }
+    let failures = gate_failures(&args, &report);
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("BENCH GATE FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

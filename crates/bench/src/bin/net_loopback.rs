@@ -57,12 +57,18 @@ fn parse_args() -> Args {
     args
 }
 
+/// Keys per batched lookup in the scatter-gather phase.
+const MULTI_BATCH: usize = 16;
+
 struct BackendReport {
     label: &'static str,
     fill_ops_per_sec: f64,
     hit_mean_us: f64,
     hit_p99_us: f64,
     hit_ops_per_sec: f64,
+    /// Mean latency of one MULTI_BATCH-key `lookup_many` round trip.
+    multi_mean_us: f64,
+    multi_p99_us: f64,
     invalidation_batches_per_sec: f64,
     hit_rate: f64,
 }
@@ -111,6 +117,25 @@ fn drive(label: &'static str, backend: &dyn CacheBackend, args: &Args) -> Backen
     }
     let hit_secs = t0.elapsed().as_secs_f64();
 
+    // Batched-read phase: the same warm keys fetched MULTI_BATCH at a time
+    // through lookup_many — on the remote backend one scatter-gather
+    // MultiGet round trip per involved node instead of MULTI_BATCH serial
+    // round trips.
+    let multi_rounds = (args.ops / MULTI_BATCH).max(1);
+    let mut multi_latencies_ns: Vec<u64> = Vec::with_capacity(multi_rounds);
+    for round in 0..multi_rounds {
+        let batch: Vec<CacheKey> = (0..MULTI_BATCH)
+            .map(|j| key((round * MULTI_BATCH + j) % args.keys))
+            .collect();
+        let t = Instant::now();
+        let outcomes = backend.lookup_many(&batch, &request);
+        multi_latencies_ns.push(t.elapsed().as_nanos() as u64);
+        assert!(
+            outcomes.iter().all(cache_server::LookupOutcome::is_hit),
+            "warm batched lookup must hit ({label})"
+        );
+    }
+
     // Invalidation phase: empty batches with advancing heartbeats measure
     // the fan-out cost of the stream.
     let inval_rounds = 1_000usize;
@@ -123,6 +148,11 @@ fn drive(label: &'static str, backend: &dyn CacheBackend, args: &Args) -> Backen
     latencies_ns.sort_unstable();
     let mean_ns = latencies_ns.iter().sum::<u64>() as f64 / latencies_ns.len() as f64;
     let p99_ns = latencies_ns[(latencies_ns.len() * 99 / 100).min(latencies_ns.len() - 1)];
+    multi_latencies_ns.sort_unstable();
+    let multi_mean_ns =
+        multi_latencies_ns.iter().sum::<u64>() as f64 / multi_latencies_ns.len() as f64;
+    let multi_p99_ns =
+        multi_latencies_ns[(multi_latencies_ns.len() * 99 / 100).min(multi_latencies_ns.len() - 1)];
 
     let stats = backend.stats();
     BackendReport {
@@ -131,6 +161,8 @@ fn drive(label: &'static str, backend: &dyn CacheBackend, args: &Args) -> Backen
         hit_mean_us: mean_ns / 1_000.0,
         hit_p99_us: p99_ns as f64 / 1_000.0,
         hit_ops_per_sec: args.ops as f64 / hit_secs.max(1e-9),
+        multi_mean_us: multi_mean_ns / 1_000.0,
+        multi_p99_us: multi_p99_ns as f64 / 1_000.0,
         invalidation_batches_per_sec: inval_rounds as f64 / inval_secs.max(1e-9),
         hit_rate: stats.hit_rate(),
     }
@@ -166,19 +198,46 @@ fn main() {
     let remote = Arc::new(RemoteCluster::connect(&addrs).expect("connect loopback txcached"));
     let remote_report = drive("remote-tcp", remote.as_ref(), &args);
 
+    // Single-node remote measurement for the protocol-efficiency gate: the
+    // "one MultiGet frame vs one Get frame" ratio is a per-connection
+    // property, and on hosts with fewer cores than nodes the multi-node
+    // scatter's per-node round trips cannot overlap, which would charge
+    // scheduling (not protocol) cost to the ratio.
+    let single_report = if args.nodes > 1 {
+        let single =
+            Arc::new(RemoteCluster::connect(&addrs[..1]).expect("connect single loopback node"));
+        let report = drive("remote-1node", single.as_ref(), &args);
+        assert_eq!(single.degraded_ops(), 0, "loopback run must not degrade");
+        Some(report)
+    } else {
+        None
+    };
+
     println!();
     println!(
-        "{:<12} {:>14} {:>14} {:>12} {:>14} {:>16}",
-        "backend", "fill ops/s", "hit ops/s", "hit mean us", "hit p99 us", "inval batch/s"
+        "{:<12} {:>14} {:>14} {:>12} {:>14} {:>13} {:>13} {:>16}",
+        "backend",
+        "fill ops/s",
+        "hit ops/s",
+        "hit mean us",
+        "hit p99 us",
+        "m16 mean us",
+        "m16 p99 us",
+        "inval batch/s"
     );
-    for r in [&in_process_report, &remote_report] {
+    for r in [&in_process_report, &remote_report]
+        .into_iter()
+        .chain(single_report.as_ref())
+    {
         println!(
-            "{:<12} {:>14.0} {:>14.0} {:>12.2} {:>14.2} {:>16.0}",
+            "{:<12} {:>14.0} {:>14.0} {:>12.2} {:>14.2} {:>13.2} {:>13.2} {:>16.0}",
             r.label,
             r.fill_ops_per_sec,
             r.hit_ops_per_sec,
             r.hit_mean_us,
             r.hit_p99_us,
+            r.multi_mean_us,
+            r.multi_p99_us,
             r.invalidation_batches_per_sec
         );
         assert!(
@@ -193,6 +252,25 @@ fn main() {
         "protocol cost: TCP hit path is {slowdown:.1}x slower than in-process \
          ({:.2} us vs {:.2} us mean)",
         remote_report.hit_mean_us, in_process_report.hit_mean_us
+    );
+    println!(
+        "scatter-gather ({} nodes): one {MULTI_BATCH}-key batch costs {:.2} us mean = {:.2}x \
+         a single Get round trip ({:.2}x the serial cost of {MULTI_BATCH} Gets)",
+        args.nodes,
+        remote_report.multi_mean_us,
+        remote_report.multi_mean_us / remote_report.hit_mean_us.max(1e-9),
+        remote_report.multi_mean_us / (remote_report.hit_mean_us * MULTI_BATCH as f64).max(1e-9)
+    );
+    let gate = single_report.as_ref().unwrap_or(&remote_report);
+    let multi_ratio = gate.multi_mean_us / gate.hit_mean_us.max(1e-9);
+    println!(
+        "protocol efficiency (one node, one connection): a {MULTI_BATCH}-key MultiGet frame \
+         costs {multi_ratio:.2}x a single Get frame (gate: <= 2x)"
+    );
+    assert!(
+        multi_ratio <= 2.0,
+        "a {MULTI_BATCH}-key MultiGet must cost no more than 2x a single Get \
+         (got {multi_ratio:.2}x)"
     );
     println!(
         "remote degraded ops: {} (must be 0 on loopback)",

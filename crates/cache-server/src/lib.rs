@@ -44,6 +44,7 @@
 
 pub mod cluster;
 pub mod entry;
+mod event_loop;
 pub mod node;
 pub mod ring;
 pub mod server;

@@ -2,25 +2,31 @@
 //!
 //! The paper deploys cache nodes as standalone `txcached` processes that
 //! application servers reach over a memcached-like protocol extended with
-//! versioned lookups and an invalidation stream (§4, §7). This module is that
-//! server: a std-only threaded accept loop hosting one [`CacheNode`]
-//! behind the [`wire`] protocol, generic over the transport.
+//! versioned lookups and an invalidation stream (§4, §7). This module is
+//! that server, hosting one [`CacheNode`] behind the [`wire`] protocol,
+//! generic over the transport.
 //!
 //! The server is parameterized by a [`wire::Listener`]: production binds a
-//! real `TcpListener` ([`TxcachedServer::bind`]); the chaos tests serve the
-//! *same* code over an in-process [`wire::SimListener`]
-//! ([`TxcachedServer::serve`]) so the full request/invalidation path runs
+//! real `TcpListener` ([`TxcachedServer::bind`]), served by the
+//! readiness-driven event loop in [`crate::event_loop`] — one epoll reactor
+//! thread plus a small worker pool, so thousands of idle connections cost
+//! no threads. The chaos tests serve the *same* request logic over an
+//! in-process [`wire::SimListener`] ([`TxcachedServer::serve`]), whose
+//! condvar-based pipes cannot be polled: that path keeps the
+//! thread-per-connection loop, so the full request/invalidation path runs
 //! under deterministic fault injection — frame drops, duplicates,
 //! reorderings, resets, partitions — without sockets.
 //!
 //! Design points:
 //!
-//! * **One thread per connection**, each running a framed request loop. The
-//!   node is internally sharded ([`crate::CacheNode`]): handlers hit its
-//!   key-hash shards concurrently — lookups under shared locks, inserts
-//!   under one shard's exclusive lock — instead of queueing on a node-wide
-//!   mutex, so a many-connection server scales with cores. This is the same
-//!   contention model as the in-process [`crate::CacheCluster`].
+//! * **One request dispatcher, two connection models.** Both the event loop
+//!   and the per-connection threads funnel every decoded request through
+//!   [`apply_request`]. The node is internally sharded
+//!   ([`crate::CacheNode`]): handlers hit its key-hash shards concurrently —
+//!   lookups under shared locks, inserts under one shard's exclusive lock —
+//!   instead of queueing on a node-wide mutex, so a many-connection server
+//!   scales with cores. This is the same contention model as the in-process
+//!   [`crate::CacheCluster`].
 //! * **Server-side invalidation application**: an
 //!   [`wire::Request::InvalidationBatch`] applies every event in commit order
 //!   under the node's invalidation sequencer and then advances the node's
@@ -47,7 +53,8 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 use wire::{
-    Closer, FramedStream, InvalidationEvent, Listener, Request, Response, Transport, WireError,
+    Closer, FramedStream, GetResult, InvalidationEvent, Listener, PutEntry, Request, Response,
+    Transport, WireError,
 };
 
 use crate::entry::{LookupOutcome, LookupRequest};
@@ -122,16 +129,25 @@ pub struct ConnectionSummary {
     pub bytes_out: u64,
 }
 
-struct Shared {
-    node: CacheNode,
-    counters: ServerCounters,
-    shutting_down: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) node: CacheNode,
+    pub(crate) counters: ServerCounters,
+    pub(crate) shutting_down: AtomicBool,
     /// Closers for *currently open* connections, keyed by connection id, so
     /// shutdown can unblock their reads. Handlers remove their own entry on
     /// exit, so the map never outgrows the live connection count.
-    open_conns: Mutex<HashMap<u64, Closer>>,
-    handlers: Mutex<Vec<JoinHandle<()>>>,
-    closed_log: Mutex<VecDeque<ConnectionSummary>>,
+    pub(crate) open_conns: Mutex<HashMap<u64, Closer>>,
+    pub(crate) handlers: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) closed_log: Mutex<VecDeque<ConnectionSummary>>,
+}
+
+/// Appends one finished connection to the bounded closed-connection log.
+pub(crate) fn log_closed(shared: &Shared, summary: ConnectionSummary) {
+    let mut log = shared.closed_log.lock();
+    if log.len() == CONNECTION_LOG_CAP {
+        log.pop_front();
+    }
+    log.push_back(summary);
 }
 
 /// A running `txcached` server behind some [`Listener`] — a TCP address in
@@ -144,13 +160,16 @@ pub struct TxcachedServer<L: Listener = TcpListener> {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     listener_closer: Closer,
+    event_loop: Option<crate::event_loop::EventLoopHandle>,
     _listener: std::marker::PhantomData<fn() -> L>,
 }
 
 impl TxcachedServer<TcpListener> {
     /// Binds a TCP listener (use port 0 for an ephemeral port) and starts
-    /// the accept loop. The hosted node is named `name` and configured by
-    /// `config`.
+    /// the readiness-driven event loop ([`crate::event_loop`]): one epoll
+    /// reactor thread multiplexing every connection, plus a small worker
+    /// pool executing requests against the sharded node. The hosted node
+    /// is named `name` and configured by `config`.
     pub fn bind(
         addr: impl ToSocketAddrs,
         name: impl Into<String>,
@@ -158,9 +177,26 @@ impl TxcachedServer<TcpListener> {
     ) -> std::io::Result<TxcachedServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let mut server = TxcachedServer::serve(listener, name, config)?;
-        server.local_addr = Some(local_addr);
-        Ok(server)
+        let label = Listener::local_label(&listener);
+        let listener_closer = Listener::closer(&listener)?;
+        let shared = Arc::new(Shared {
+            node: CacheNode::new(name, config),
+            counters: ServerCounters::default(),
+            shutting_down: AtomicBool::new(false),
+            open_conns: Mutex::new(HashMap::new()),
+            handlers: Mutex::new(Vec::new()),
+            closed_log: Mutex::new(VecDeque::new()),
+        });
+        let event_loop = crate::event_loop::spawn(listener, Arc::clone(&shared))?;
+        Ok(TxcachedServer {
+            local_addr: Some(local_addr),
+            label,
+            shared,
+            accept: None,
+            listener_closer,
+            event_loop: Some(event_loop),
+            _listener: std::marker::PhantomData,
+        })
     }
 
     /// The TCP address the server is listening on.
@@ -202,6 +238,7 @@ impl<L: Listener> TxcachedServer<L> {
             shared,
             accept: Some(accept),
             listener_closer,
+            event_loop: None,
             _listener: std::marker::PhantomData,
         })
     }
@@ -249,9 +286,15 @@ impl<L: Listener> TxcachedServer<L> {
         if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        self.listener_closer.close();
-        if let Some(handle) = self.accept.take() {
-            let _ = handle.join();
+        if let Some(mut event_loop) = self.event_loop.take() {
+            // The event-driven path: the wake pipe unblocks the reactor,
+            // which tears every connection down itself before exiting.
+            event_loop.shutdown();
+        } else {
+            self.listener_closer.close();
+            if let Some(handle) = self.accept.take() {
+                let _ = handle.join();
+            }
         }
         for (_, closer) in self.shared.open_conns.lock().drain() {
             closer.close();
@@ -406,19 +449,18 @@ fn handle_connection<T: Transport>(conn_id: u64, stream: T, shared: &Arc<Shared>
         .counters
         .connections_closed
         .fetch_add(1, Ordering::Relaxed);
-    let mut log = shared.closed_log.lock();
-    if log.len() == CONNECTION_LOG_CAP {
-        log.pop_front();
-    }
-    log.push_back(ConnectionSummary {
-        peer,
-        requests,
-        bytes_in: counting.bytes_in,
-        bytes_out: counting.bytes_out,
-    });
+    log_closed(
+        shared,
+        ConnectionSummary {
+            peer,
+            requests,
+            bytes_in: counting.bytes_in,
+            bytes_out: counting.bytes_out,
+        },
+    );
 }
 
-fn error_frame(e: &WireError) -> Response {
+pub(crate) fn error_frame(e: &WireError) -> Response {
     let code = match e {
         WireError::Version { .. } => wire::ErrorCode::Version,
         _ => wire::ErrorCode::Malformed,
@@ -429,7 +471,7 @@ fn error_frame(e: &WireError) -> Response {
     }
 }
 
-fn apply_request(shared: &Shared, request: Request) -> Response {
+pub(crate) fn apply_request(shared: &Shared, request: Request) -> Response {
     match request {
         Request::Ping { nonce } => Response::Pong { nonce },
         Request::VersionedGet {
@@ -467,6 +509,52 @@ fn apply_request(shared: &Shared, request: Request) -> Response {
         } => {
             shared.node.insert(key, value, validity, tags, now);
             Response::PutAck
+        }
+        Request::MultiGet {
+            keys,
+            pinset_lo,
+            pinset_hi,
+            freshness_lo,
+        } => {
+            let lookup = LookupRequest {
+                pinset_lo,
+                pinset_hi,
+                freshness_lo,
+            };
+            // One result per key, in request order — the client zips them
+            // back onto its read set positionally.
+            let results = keys
+                .iter()
+                .map(|key| match shared.node.lookup(key, &lookup) {
+                    LookupOutcome::Hit {
+                        value,
+                        validity,
+                        stored_validity,
+                        tags,
+                    } => GetResult::Hit {
+                        value,
+                        validity,
+                        stored_validity,
+                        tags,
+                    },
+                    LookupOutcome::Miss(kind) => GetResult::Miss { kind: kind.into() },
+                })
+                .collect();
+            Response::MultiGetResult { results }
+        }
+        Request::MultiPut { entries } => {
+            let applied = entries.len() as u64;
+            for PutEntry {
+                key,
+                value,
+                validity,
+                tags,
+                now,
+            } in entries
+            {
+                shared.node.insert(key, value, validity, tags, now);
+            }
+            Response::MultiPutAck { applied }
         }
         Request::InvalidationBatch { events, heartbeat } => {
             shared
@@ -787,6 +875,73 @@ mod tests {
         // The server side is gone: the next call fails or yields EOF.
         let result = conn.call(&Request::Ping { nonce: 2 });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn multiget_and_multiput_roundtrip_over_tcp() {
+        let srv = server();
+        let mut conn = client(&srv);
+        let entries: Vec<wire::PutEntry> = (0..3)
+            .map(|i| wire::PutEntry {
+                key: CacheKey::new("f", format!("[{i}]")),
+                value: Bytes::from(format!("v{i}").into_bytes()),
+                validity: ValidityInterval::unbounded(Timestamp(3)),
+                tags: tags(i),
+                now: WallClock::ZERO,
+            })
+            .collect();
+        let ack = conn.call(&Request::MultiPut { entries }).unwrap();
+        assert_eq!(ack, Response::MultiPutAck { applied: 3 });
+
+        let keys: Vec<CacheKey> = (0..4)
+            .map(|i| CacheKey::new("f", format!("[{i}]")))
+            .collect();
+        match conn
+            .call(&Request::MultiGet {
+                keys,
+                pinset_lo: Timestamp(3),
+                pinset_hi: Timestamp(3),
+                freshness_lo: Timestamp(3),
+            })
+            .unwrap()
+        {
+            Response::MultiGetResult { results } => {
+                assert_eq!(results.len(), 4, "one result per key, in order");
+                for (i, result) in results.iter().take(3).enumerate() {
+                    match result {
+                        wire::GetResult::Hit { value, .. } => {
+                            assert_eq!(value.as_slice(), format!("v{i}").as_bytes());
+                        }
+                        other => panic!("expected hit for key {i}, got {other:?}"),
+                    }
+                }
+                assert_eq!(
+                    results[3],
+                    wire::GetResult::Miss {
+                        kind: MissCode::Compulsory
+                    }
+                );
+            }
+            other => panic!("expected multiget result, got {other:?}"),
+        }
+        assert_eq!(srv.cache_stats().insertions, 3);
+    }
+
+    #[test]
+    fn many_in_flight_requests_multiplex_on_one_connection() {
+        let srv = server();
+        let mut conn = client(&srv);
+        // Fire a burst of requests without reading, then collect the
+        // responses newest-first: the pending table (not arrival order)
+        // pairs each response to its request.
+        let seqs: Vec<u64> = (0..32)
+            .map(|i| conn.send_request(&Request::Ping { nonce: i }).unwrap())
+            .collect();
+        for (i, seq) in seqs.iter().enumerate().rev() {
+            let response = conn.recv_for(*seq).unwrap();
+            assert_eq!(response, Response::Pong { nonce: i as u64 });
+        }
+        assert_eq!(srv.stats().requests, 32);
     }
 
     #[test]

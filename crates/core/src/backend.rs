@@ -23,13 +23,33 @@
 //! injection exercises the code that runs in production.
 //!
 //! The remote backend is deliberately failure-tolerant in the way a cache
-//! must be: any transport error, timeout, or response-sequence desync on
-//! the lookup/insert path is *absorbed as a cache miss* (and counted in
+//! must be: any transport error or timeout on the lookup/insert path is
+//! *absorbed as a cache miss* (and counted in
 //! [`RemoteCluster::degraded_ops`]), the connection is dropped and lazily
 //! re-established, and the application keeps running against the database.
-//! Inserts are pipelined — the `Put` frame is written and the ack collected
-//! before the connection's next use — so a miss-then-fill does not pay a
-//! second round trip.
+//! A correlation-id desync ([`wire::WireError::Desync`]) degrades only the
+//! affected request: since protocol v4 the stream stays frame-aligned, so
+//! the pooled connection (and every other request multiplexed on it) is
+//! kept.
+//!
+//! ## Multiplexed pipelining (protocol v4)
+//!
+//! Every request on a pooled connection carries a correlation id, so the
+//! client never has to serialize request/response pairs:
+//!
+//! * **Inserts** write their `Put` frame and move on; acks are collected
+//!   *opportunistically* whenever a later exchange happens to receive them
+//!   (they park in the [`FramedStream`] mailbox and are swept for free).
+//!   Only when [`MAX_PENDING_PUTS`] acks are outstanding with none already
+//!   received does an insert block on the wire — counted in
+//!   [`RemoteCluster::put_stalls`] and surfaced as
+//!   `ClientStats::put_pipeline_stalls`.
+//! * **Batch reads** ([`CacheBackend::lookup_many`]) fan a read set out as
+//!   one `MultiGet` per involved ring node — scatter first, then gather —
+//!   so a transaction's whole read set costs one round trip instead of one
+//!   per key.
+//! * **Batch writes** ([`CacheBackend::insert_many`]) ship one `MultiPut`
+//!   frame per node, acked as a unit.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
@@ -40,7 +60,8 @@ use mvdb::InvalidationMessage;
 use parking_lot::{Mutex, MutexGuard};
 use txtypes::{CacheKey, Error, Result, TagSet, Timestamp, ValidityInterval, WallClock};
 use wire::{
-    Connector, FramedStream, InvalidationEvent, Request, Response, TcpConnector, Transport,
+    Connector, FramedStream, GetResult, InvalidationEvent, PutEntry, Request, Response,
+    TcpConnector, Transport,
 };
 
 use crate::config::BackendKind;
@@ -59,6 +80,15 @@ pub trait CacheBackend: Send + Sync + std::fmt::Debug {
     /// Looks up a key on the responsible node (§4.1).
     fn lookup(&self, key: &CacheKey, request: &LookupRequest) -> LookupOutcome;
 
+    /// Looks up a batch of keys sharing one pin-set interval, returning one
+    /// outcome per key in request order. The default loops over
+    /// [`CacheBackend::lookup`]; the remote backend overrides it with a
+    /// scatter-gather `MultiGet` so the batch costs one round trip per
+    /// involved node instead of one per key.
+    fn lookup_many(&self, keys: &[CacheKey], request: &LookupRequest) -> Vec<LookupOutcome> {
+        keys.iter().map(|key| self.lookup(key, request)).collect()
+    }
+
     /// Inserts a computed value on the responsible node (§6.1).
     fn insert(
         &self,
@@ -68,6 +98,26 @@ pub trait CacheBackend: Send + Sync + std::fmt::Debug {
         tags: TagSet,
         now: WallClock,
     );
+
+    /// Inserts a batch of computed values. The default loops over
+    /// [`CacheBackend::insert`]; the remote backend overrides it to ship one
+    /// `MultiPut` frame per responsible node.
+    fn insert_many(
+        &self,
+        entries: Vec<(CacheKey, Bytes, ValidityInterval, TagSet)>,
+        now: WallClock,
+    ) {
+        for (key, value, validity, tags) in entries {
+            self.insert(key, value, validity, tags, now);
+        }
+    }
+
+    /// Inserts that had to *block* collecting pipelined put acks (see
+    /// [`crate::ClientStats::put_pipeline_stalls`]). Zero for backends
+    /// without a put pipeline.
+    fn put_stalls(&self) -> u64 {
+        0
+    }
 
     /// Delivers a commit-ordered slice of the invalidation stream to every
     /// node, then advances every node's heartbeat to `heartbeat` (§4.2). An
@@ -155,17 +205,25 @@ impl Default for RemoteOptions {
 /// Most `Put` acks a connection may leave uncollected. Unbounded pipelining
 /// would eventually fill both transport buffer directions on an insert-heavy
 /// burst (the server blocks writing acks nobody reads, then stops reading)
-/// and stall until the op timeout; draining at a threshold keeps the window
-/// safely below any practical socket-buffer size.
+/// and stall until the op timeout; bounding the window keeps it safely below
+/// any practical socket-buffer size. Acks that arrived while other requests
+/// were being awaited are swept from the mailbox for free, so an insert only
+/// *blocks* (a [`RemoteCluster::put_stalls`] event) when the window is full
+/// of acks genuinely still in flight.
 const MAX_PENDING_PUTS: u32 = 64;
+
+/// A scattered node's state during a `lookup_many` gather: the node index,
+/// its held connection lock, and the in-flight MultiGet's correlation id.
+type InFlightGet<'a, T> = (usize, MutexGuard<'a, NodeConn<T>>, u64);
 
 /// One pooled node connection plus its pipelining state.
 struct NodeConn<T> {
     /// The framed stream, or `None` until (re)connected.
     framed: Option<FramedStream<T>>,
-    /// `Put` frames written whose acks have not been collected yet. Acks are
-    /// drained before the next request that needs a response, preserving the
-    /// one-response-per-request ordering the protocol guarantees.
+    /// `Put`/`MultiPut` frames written whose acks have not been collected
+    /// yet. The multiplexed stream matches acks by correlation id, so they
+    /// are collected whenever convenient — from the mailbox after any other
+    /// exchange, or on the wire when the pipeline bound is hit.
     pending_puts: u32,
     /// Whether this node has ever been connected. A connection established
     /// when this is already `true` is a *heal*: invalidation batches may
@@ -202,6 +260,9 @@ pub struct RemoteCluster<C: Connector = TcpConnector> {
     degraded: AtomicU64,
     /// Connections healed after a failure (startup connects not counted).
     reconnects: AtomicU64,
+    /// Inserts that blocked collecting put acks (pipeline window full with
+    /// no acks already received).
+    put_stalls: AtomicU64,
     /// Fault-injection mutation hook: when set, healed connections skip the
     /// §4.2 `SealStillValid` step. See
     /// [`RemoteCluster::disable_seal_on_heal_for_fault_injection`].
@@ -253,6 +314,7 @@ impl<C: Connector> RemoteCluster<C> {
             options,
             degraded: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
+            put_stalls: AtomicU64::new(0),
             seal_on_heal_disabled: AtomicBool::new(false),
         };
         for (idx, node) in cluster.nodes.iter().enumerate() {
@@ -276,6 +338,13 @@ impl<C: Connector> RemoteCluster<C> {
     #[must_use]
     pub fn reconnects(&self) -> u64 {
         self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Inserts that had to block collecting pipelined put acks because a
+    /// node's pipeline window was full with none already received.
+    #[must_use]
+    pub fn put_stalls(&self) -> u64 {
+        self.put_stalls.load(Ordering::Relaxed)
     }
 
     /// Drops every pooled connection and starts each node's reconnect
@@ -368,43 +437,91 @@ impl<C: Connector> RemoteCluster<C> {
         }
     }
 
-    /// Collects outstanding pipelined `Put` acks so the next request's
-    /// response is the next frame on the stream.
-    fn drain_pending(conn: &mut NodeConn<C::Conn>) -> wire::Result<()> {
+    /// Sweeps put acks that already arrived (parked in the mailbox while
+    /// some other response was being awaited) without touching the wire.
+    /// Free: never blocks, never reads.
+    fn sweep_parked_acks(conn: &mut NodeConn<C::Conn>) -> wire::Result<()> {
+        if conn.pending_puts == 0 {
+            return Ok(());
+        }
+        let framed = conn.framed.as_mut().expect("swept only when connected");
         while conn.pending_puts > 0 {
-            let framed = conn.framed.as_mut().expect("drained only when connected");
-            match framed.recv_response()? {
-                Some(response) => {
+            match framed.pop_mailbox() {
+                Some((_seq, response)) => {
                     response.into_result()?;
                     conn.pending_puts -= 1;
                 }
-                None => {
-                    return Err(wire::WireError::Io(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "connection closed with puts outstanding",
-                    )))
-                }
+                None => break,
             }
         }
         Ok(())
     }
 
+    /// Blocks until one outstanding put ack arrives off the wire. Only
+    /// called when the pipeline window is full and the mailbox is empty —
+    /// the genuine stall case.
+    fn collect_one_ack(conn: &mut NodeConn<C::Conn>) -> wire::Result<()> {
+        let framed = conn.framed.as_mut().expect("collected only when connected");
+        match framed.recv_matched()? {
+            Some((_seq, response)) => {
+                response.into_result()?;
+                conn.pending_puts -= 1;
+                Ok(())
+            }
+            None => Err(wire::WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed with puts outstanding",
+            ))),
+        }
+    }
+
+    /// Enforces the [`MAX_PENDING_PUTS`] window before writing another put.
+    /// Sweeping the mailbox is free; only if the window is still full does
+    /// the caller genuinely stall on the wire (a counted event).
+    fn bound_put_pipeline(&self, conn: &mut NodeConn<C::Conn>) -> wire::Result<()> {
+        Self::sweep_parked_acks(conn)?;
+        if conn.pending_puts >= MAX_PENDING_PUTS {
+            self.put_stalls.fetch_add(1, Ordering::Relaxed);
+            while conn.pending_puts >= MAX_PENDING_PUTS {
+                Self::collect_one_ack(conn)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Absorbs an operation failure: counts it, and drops the pooled
+    /// connection unless the failure was a correlation-id desync. A desync
+    /// stream is still frame-aligned (the offending frame was consumed
+    /// whole), so the connection — and every other request multiplexed on
+    /// it — remains usable; only the awaited request degrades.
+    fn absorb_failure(&self, conn: &mut NodeConn<C::Conn>, error: &wire::WireError) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+        if !matches!(error, wire::WireError::Desync { .. }) {
+            conn.mark_dead();
+        }
+    }
+
     /// Runs one request/response exchange against a node, healing the
-    /// connection lazily. On any failure the pooled connection is dropped
-    /// (the next use reconnects) and `None` is returned; callers degrade.
+    /// connection lazily. On any failure the operation degrades and `None`
+    /// is returned; transport failures additionally drop the pooled
+    /// connection (the next use reconnects).
     fn exchange(&self, idx: usize, request: &Request) -> Option<Response> {
         let mut conn = self.nodes[idx].conn.lock();
         let result = (|| -> wire::Result<Response> {
             self.ensure_connected(idx, &mut conn)?;
-            Self::drain_pending(&mut conn)?;
             let framed = conn.framed.as_mut().expect("just connected");
-            framed.call(request)?.into_result()
+            let seq = framed.send_request(request)?;
+            // Awaiting our response parks any put acks that arrive first in
+            // the mailbox; sweep them afterwards so the pipeline window
+            // shrinks without ever paying a dedicated read for acks.
+            let response = framed.recv_for(seq)?.into_result()?;
+            Self::sweep_parked_acks(&mut conn)?;
+            Ok(response)
         })();
         match result {
             Ok(response) => Some(response),
-            Err(_) => {
-                conn.mark_dead();
-                self.degraded.fetch_add(1, Ordering::Relaxed);
+            Err(e) => {
+                self.absorb_failure(&mut conn, &e);
                 None
             }
         }
@@ -416,50 +533,59 @@ impl<C: Connector> RemoteCluster<C> {
     fn broadcast(&self, request: &Request) -> Vec<Option<Response>> {
         let mut guards: Vec<MutexGuard<'_, NodeConn<C::Conn>>> =
             self.nodes.iter().map(|n| n.conn.lock()).collect();
-        let mut alive: Vec<bool> = Vec::with_capacity(guards.len());
+        let mut sent: Vec<Option<u64>> = Vec::with_capacity(guards.len());
         for (idx, conn) in guards.iter_mut().enumerate() {
-            let sent = (|| -> wire::Result<()> {
+            let outcome = (|| -> wire::Result<u64> {
                 self.ensure_connected(idx, conn)?;
-                Self::drain_pending(conn)?;
                 conn.framed
                     .as_mut()
                     .expect("just connected")
                     .send_request(request)
             })();
-            alive.push(sent.is_ok());
+            match outcome {
+                Ok(seq) => sent.push(Some(seq)),
+                Err(e) => {
+                    self.absorb_failure(conn, &e);
+                    sent.push(None);
+                }
+            }
         }
         let mut responses = Vec::with_capacity(guards.len());
-        for (conn, sent) in guards.iter_mut().zip(alive) {
-            if !sent {
-                conn.mark_dead();
-                self.degraded.fetch_add(1, Ordering::Relaxed);
+        for (conn, seq) in guards.iter_mut().zip(sent) {
+            let Some(seq) = seq else {
                 responses.push(None);
                 continue;
-            }
+            };
             let received = (|| -> wire::Result<Response> {
-                match conn
+                let response = conn
                     .framed
                     .as_mut()
                     .expect("sent on this conn")
-                    .recv_response()?
-                {
-                    Some(r) => r.into_result(),
-                    None => Err(wire::WireError::Io(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "connection closed awaiting broadcast response",
-                    ))),
-                }
+                    .recv_for(seq)?
+                    .into_result()?;
+                Self::sweep_parked_acks(conn)?;
+                Ok(response)
             })();
             match received {
                 Ok(response) => responses.push(Some(response)),
-                Err(_) => {
-                    conn.mark_dead();
-                    self.degraded.fetch_add(1, Ordering::Relaxed);
+                Err(e) => {
+                    self.absorb_failure(conn, &e);
                     responses.push(None);
                 }
             }
         }
         responses
+    }
+
+    /// Groups each key's position by the ring node responsible for it.
+    /// Returned in node-index order so callers lock nodes in the same order
+    /// as [`RemoteCluster::broadcast`] (no lock-order inversion).
+    fn positions_by_node<'k>(&self, keys: impl Iterator<Item = &'k CacheKey>) -> Vec<Vec<usize>> {
+        let mut by_node: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (pos, key) in keys.enumerate() {
+            by_node[self.ring.node_for(key)].push(pos);
+        }
+        by_node
     }
 }
 
@@ -512,6 +638,89 @@ impl<C: Connector> CacheBackend for RemoteCluster<C> {
         }
     }
 
+    fn lookup_many(&self, keys: &[CacheKey], request: &LookupRequest) -> Vec<LookupOutcome> {
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        let by_node = self.positions_by_node(keys.iter());
+        let mut out: Vec<LookupOutcome> = keys
+            .iter()
+            .map(|_| LookupOutcome::Miss(degraded_miss_kind()))
+            .collect();
+        // Scatter: lock every involved node (ascending index, matching
+        // broadcast's lock order) and send its share of the read set as one
+        // MultiGet, keeping every node's lookup in flight concurrently.
+        let mut in_flight: Vec<InFlightGet<'_, C::Conn>> = Vec::new();
+        for (idx, positions) in by_node.iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let mut conn = self.nodes[idx].conn.lock();
+            let sent = (|| -> wire::Result<u64> {
+                self.ensure_connected(idx, &mut conn)?;
+                let node_keys: Vec<CacheKey> =
+                    positions.iter().map(|&pos| keys[pos].clone()).collect();
+                conn.framed
+                    .as_mut()
+                    .expect("just connected")
+                    .send_request(&Request::MultiGet {
+                        keys: node_keys,
+                        pinset_lo: request.pinset_lo,
+                        pinset_hi: request.pinset_hi,
+                        freshness_lo: request.freshness_lo,
+                    })
+            })();
+            match sent {
+                Ok(seq) => in_flight.push((idx, conn, seq)),
+                Err(e) => self.absorb_failure(&mut conn, &e),
+            }
+        }
+        // Gather: each node's single MultiGetResult carries its whole share
+        // in request order. A failed node leaves its keys as the degraded
+        // misses they were initialized to.
+        for (idx, mut conn, seq) in in_flight {
+            let received = (|| -> wire::Result<Response> {
+                let response = conn
+                    .framed
+                    .as_mut()
+                    .expect("sent on this conn")
+                    .recv_for(seq)?
+                    .into_result()?;
+                Self::sweep_parked_acks(&mut conn)?;
+                Ok(response)
+            })();
+            match received {
+                Ok(Response::MultiGetResult { results }) if results.len() == by_node[idx].len() => {
+                    for (&pos, result) in by_node[idx].iter().zip(results) {
+                        out[pos] = match result {
+                            GetResult::Hit {
+                                value,
+                                validity,
+                                stored_validity,
+                                tags,
+                            } => LookupOutcome::Hit {
+                                value,
+                                validity,
+                                stored_validity,
+                                tags,
+                            },
+                            GetResult::Miss { kind } => LookupOutcome::Miss(kind.into()),
+                        };
+                    }
+                }
+                // A well-formed frame of the wrong shape (or a result count
+                // that disagrees with the request) is a protocol bug on the
+                // node: treat it like any transport failure.
+                Ok(_) => {
+                    self.degraded.fetch_add(1, Ordering::Relaxed);
+                    conn.mark_dead();
+                }
+                Err(e) => self.absorb_failure(&mut conn, &e),
+            }
+        }
+        out
+    }
+
     fn insert(
         &self,
         key: CacheKey,
@@ -524,12 +733,7 @@ impl<C: Connector> CacheBackend for RemoteCluster<C> {
         let mut conn = self.nodes[idx].conn.lock();
         let sent = (|| -> wire::Result<()> {
             self.ensure_connected(idx, &mut conn)?;
-            // Keep the pipeline bounded: past the threshold, collect acks
-            // before writing more so the two transport buffer directions can
-            // never fill up against each other on an insert-heavy burst.
-            if conn.pending_puts >= MAX_PENDING_PUTS {
-                Self::drain_pending(&mut conn)?;
-            }
+            self.bound_put_pipeline(&mut conn)?;
             let framed = conn.framed.as_mut().expect("just connected");
             framed.send_request(&Request::Put {
                 key,
@@ -537,15 +741,63 @@ impl<C: Connector> CacheBackend for RemoteCluster<C> {
                 validity,
                 tags,
                 now,
-            })
+            })?;
+            Ok(())
         })();
         match sent {
             Ok(()) => conn.pending_puts += 1,
-            Err(_) => {
-                conn.mark_dead();
-                self.degraded.fetch_add(1, Ordering::Relaxed);
+            Err(e) => self.absorb_failure(&mut conn, &e),
+        }
+    }
+
+    fn insert_many(
+        &self,
+        entries: Vec<(CacheKey, Bytes, ValidityInterval, TagSet)>,
+        now: WallClock,
+    ) {
+        if entries.is_empty() {
+            return;
+        }
+        let by_node = self.positions_by_node(entries.iter().map(|(key, ..)| key));
+        let mut slots: Vec<Option<(CacheKey, Bytes, ValidityInterval, TagSet)>> =
+            entries.into_iter().map(Some).collect();
+        for (idx, positions) in by_node.iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let batch: Vec<PutEntry> = positions
+                .iter()
+                .map(|&pos| {
+                    let (key, value, validity, tags) =
+                        slots[pos].take().expect("each position taken once");
+                    PutEntry {
+                        key,
+                        value,
+                        validity,
+                        tags,
+                        now,
+                    }
+                })
+                .collect();
+            let mut conn = self.nodes[idx].conn.lock();
+            let sent = (|| -> wire::Result<()> {
+                self.ensure_connected(idx, &mut conn)?;
+                self.bound_put_pipeline(&mut conn)?;
+                let framed = conn.framed.as_mut().expect("just connected");
+                framed.send_request(&Request::MultiPut { entries: batch })?;
+                Ok(())
+            })();
+            match sent {
+                // One `MultiPut` is one pipelined ack, however many entries
+                // it carries.
+                Ok(()) => conn.pending_puts += 1,
+                Err(e) => self.absorb_failure(&mut conn, &e),
             }
         }
+    }
+
+    fn put_stalls(&self) -> u64 {
+        RemoteCluster::put_stalls(self)
     }
 
     fn apply_invalidations(&self, batch: &[InvalidationMessage], heartbeat: Timestamp) {

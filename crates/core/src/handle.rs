@@ -108,10 +108,13 @@ impl TxCache {
         &self.clock
     }
 
-    /// Library-side statistics.
+    /// Library-side statistics. Put-pipeline stalls counted inside the
+    /// backend (the remote backend counts its own) are merged in.
     #[must_use]
     pub fn stats(&self) -> ClientStats {
-        self.stats.snapshot()
+        let mut snapshot = self.stats.snapshot();
+        snapshot.put_pipeline_stalls += self.cache.put_stalls();
+        snapshot
     }
 
     /// Begins a read-only transaction with the given staleness limit

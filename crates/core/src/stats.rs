@@ -28,6 +28,12 @@ pub struct ClientStats {
     pub commits: u64,
     /// Transactions that aborted.
     pub aborts: u64,
+    /// Inserts that had to *block* on collecting pipelined put acks
+    /// because a node's pipeline hit its bound with no acks already
+    /// received. A healthy multiplexed connection absorbs acks
+    /// opportunistically, so this staying near zero is the signal that the
+    /// put pipeline is not stalling foreground traffic.
+    pub put_pipeline_stalls: u64,
 }
 
 impl ClientStats {
@@ -71,6 +77,10 @@ pub struct AtomicClientStats {
     pub commits: StripedCounter,
     /// Transactions that aborted.
     pub aborts: StripedCounter,
+    /// Inserts that blocked on put-ack collection (see
+    /// [`ClientStats::put_pipeline_stalls`]). The remote backend also
+    /// counts its own stalls; [`crate::TxCache::stats`] merges both.
+    pub put_pipeline_stalls: StripedCounter,
 }
 
 impl AtomicClientStats {
@@ -89,6 +99,7 @@ impl AtomicClientStats {
             reused_pins: self.reused_pins.get(),
             commits: self.commits.get(),
             aborts: self.aborts.get(),
+            put_pipeline_stalls: self.put_pipeline_stalls.get(),
         }
     }
 }

@@ -230,31 +230,7 @@ impl<'a> Transaction<'a> {
 
         let key = CacheKey::new(name, codec::encode_hex(args)?);
         self.ensure_candidates()?;
-
-        // Build the lookup request from the pin set (or, for the
-        // no-consistency baseline, from the staleness limit alone).
-        let request = {
-            let ro = self.read_only_state()?;
-            let freshness_lo = ro.freshness_lo.unwrap_or(Timestamp::ZERO);
-            match mode {
-                CacheMode::NoConsistency => LookupRequest {
-                    pinset_lo: freshness_lo,
-                    pinset_hi: Timestamp::MAX,
-                    freshness_lo,
-                },
-                _ => {
-                    let (lo, hi) = ro
-                        .pin_set
-                        .bounds()
-                        .ok_or_else(|| Error::InvalidState("pin set has no candidates".into()))?;
-                    LookupRequest {
-                        pinset_lo: lo,
-                        pinset_hi: hi,
-                        freshness_lo,
-                    }
-                }
-            }
-        };
+        let request = self.lookup_request(mode)?;
 
         match self.sys.cache.lookup(&key, &request) {
             LookupOutcome::Hit {
@@ -291,6 +267,86 @@ impl<'a> Transaction<'a> {
                 Ok(value)
             }
         }
+    }
+
+    /// Invokes a batch of cacheable calls to the same function — one per
+    /// element of `args_list` — paying one scatter-gather cache round trip
+    /// for the whole batch instead of one per call.
+    ///
+    /// All keys are looked up together through the backend's `lookup_many`
+    /// (on the remote backend: one `MultiGet` frame per involved cache
+    /// node). Hits are observed and decoded exactly as in
+    /// [`Transaction::cached`]; for each miss `body` runs with the miss's
+    /// index into `args_list`, inside its own accumulation frame, and every
+    /// computed value is written back in one batch insert (`MultiPut` on
+    /// the remote backend). Results come back in `args_list` order.
+    pub fn cached_many<A, R, F>(
+        &mut self,
+        name: &str,
+        args_list: &[A],
+        mut body: F,
+    ) -> Result<Vec<R>>
+    where
+        A: Serialize,
+        R: Serialize + DeserializeOwned,
+        F: FnMut(&mut Transaction<'a>, usize) -> Result<R>,
+    {
+        if args_list.is_empty() {
+            return Ok(Vec::new());
+        }
+        let count = args_list.len() as u64;
+        self.sys.stats.cacheable_calls.add(count);
+        let mode = self.sys.mode();
+        let bypass = mode == CacheMode::Disabled || !self.is_read_only();
+        if bypass {
+            self.cache_misses += count;
+            self.sys.stats.cache_misses.add(count);
+            return (0..args_list.len()).map(|i| body(self, i)).collect();
+        }
+
+        let keys: Vec<CacheKey> = args_list
+            .iter()
+            .map(|args| Ok(CacheKey::new(name, codec::encode_hex(args)?)))
+            .collect::<Result<_>>()?;
+        self.ensure_candidates()?;
+        let request = self.lookup_request(mode)?;
+
+        let outcomes = self.sys.cache.lookup_many(&keys, &request);
+        let mut results: Vec<R> = Vec::with_capacity(keys.len());
+        let mut write_backs = Vec::new();
+        for (pos, (key, outcome)) in keys.into_iter().zip(outcomes).enumerate() {
+            match outcome {
+                LookupOutcome::Hit {
+                    value,
+                    validity,
+                    stored_validity,
+                    tags,
+                } => {
+                    self.cache_hits += 1;
+                    self.sys.stats.cache_hits.bump();
+                    if mode == CacheMode::Full {
+                        self.observe(&validity, &stored_validity, &tags)?;
+                    }
+                    results.push(codec::decode(&value)?);
+                }
+                LookupOutcome::Miss(_) => {
+                    self.cache_misses += 1;
+                    self.sys.stats.cache_misses.bump();
+                    self.push_frame()?;
+                    let result = body(self, pos);
+                    let frame = self.pop_frame()?;
+                    let value = result?;
+                    write_backs.push((key, codec::encode(&value)?, frame.validity, frame.tags));
+                    results.push(value);
+                }
+            }
+        }
+        if !write_backs.is_empty() {
+            self.sys
+                .cache
+                .insert_many(write_backs, self.sys.clock.now());
+        }
+        Ok(results)
     }
 
     // ------------------------------------------------------------------
@@ -481,6 +537,31 @@ impl<'a> Transaction<'a> {
             )),
             State::Finished => Err(Error::InvalidState("transaction already finished".into())),
         }
+    }
+
+    /// Builds the cache lookup request from the pin set (or, for the
+    /// no-consistency baseline, from the staleness limit alone).
+    fn lookup_request(&self, mode: CacheMode) -> Result<LookupRequest> {
+        let ro = self.read_only_state()?;
+        let freshness_lo = ro.freshness_lo.unwrap_or(Timestamp::ZERO);
+        Ok(match mode {
+            CacheMode::NoConsistency => LookupRequest {
+                pinset_lo: freshness_lo,
+                pinset_hi: Timestamp::MAX,
+                freshness_lo,
+            },
+            _ => {
+                let (lo, hi) = ro
+                    .pin_set
+                    .bounds()
+                    .ok_or_else(|| Error::InvalidState("pin set has no candidates".into()))?;
+                LookupRequest {
+                    pinset_lo: lo,
+                    pinset_hi: hi,
+                    freshness_lo,
+                }
+            }
+        })
     }
 
     fn push_frame(&mut self) -> Result<()> {

@@ -1,0 +1,394 @@
+//! Minimal readiness polling over Linux `epoll(7)`.
+//!
+//! The event-driven `txcached` server needs exactly four operations: create
+//! an interest set, add/modify/remove a file descriptor with a caller-chosen
+//! token, and block until some registered descriptor is ready. This crate
+//! wraps the three `epoll` syscalls behind a safe [`Poller`] type and nothing
+//! more — no reactor, no callbacks, no executor. The server supplies its own
+//! loop, buffers, and wake channel.
+//!
+//! ## Model
+//!
+//! * **Level-triggered.** `wait` reports a descriptor as long as it *is*
+//!   ready, not only on the edge where it becomes ready. The server can
+//!   therefore read or write as much as it likes per wakeup without fear of
+//!   losing a readiness notification — the descriptor shows up again on the
+//!   next `wait` if bytes remain. The cost (spurious wakeups when a buffer
+//!   is intentionally left full) is handled by deregistering interest the
+//!   server cannot act on, e.g. dropping `EPOLLOUT` once a connection's
+//!   write buffer drains, or dropping the listener's `EPOLLIN` while
+//!   accepting is backed off after fd exhaustion.
+//! * **Tokens, not pointers.** Each registration carries a `u64` token that
+//!   comes back in the [`Event`]; the server maps tokens to connections.
+//!   Nothing is borrowed across the syscall boundary.
+//! * **Errors surface as readiness.** `EPOLLERR`/`EPOLLHUP` are always
+//!   reported (they cannot be masked); they are exposed via
+//!   [`Event::is_error`] / [`Event::is_hangup`] so the loop can tear the
+//!   connection down through its normal read path (a read on such a
+//!   descriptor returns 0 or an error).
+//!
+//! The FFI layer declares the three syscall wrappers `std` itself links from
+//! libc; no external crate is required. `epoll_event` is `packed` on x86-64
+//! only, matching the kernel ABI quirk inherited from the 32-bit layout.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::c_int;
+use std::time::Duration;
+
+// epoll_event carries a 32-bit event mask and a 64-bit user datum. On
+// x86-64 the kernel ABI packs the struct (no padding after `events`);
+// everywhere else natural alignment applies.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// Which readiness conditions a registration asks to be told about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    read: bool,
+    write: bool,
+}
+
+impl Interest {
+    /// Interest in readability (and peer hangup).
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Interest in writability.
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    /// Interest in both directions.
+    pub const BOTH: Interest = Interest {
+        read: true,
+        write: true,
+    };
+    /// No readiness interest — the registration stays (errors and hangups
+    /// are always reported) but neither readable nor writable wakes the
+    /// poller. Used to park a connection under backpressure.
+    pub const NONE: Interest = Interest {
+        read: false,
+        write: false,
+    };
+
+    fn mask(self) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if self.read {
+            m |= EPOLLIN;
+        }
+        if self.write {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token supplied when the descriptor was registered.
+    pub token: u64,
+    mask: u32,
+}
+
+impl Event {
+    /// The descriptor has bytes to read (or a pending connection to
+    /// accept). Also set on peer half-close so the read path observes the
+    /// EOF.
+    #[must_use]
+    pub fn is_readable(self) -> bool {
+        self.mask & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// The descriptor can accept more outgoing bytes.
+    #[must_use]
+    pub fn is_writable(self) -> bool {
+        self.mask & EPOLLOUT != 0
+    }
+
+    /// An error condition is pending (e.g. connection reset); the next
+    /// read or write will surface it.
+    #[must_use]
+    pub fn is_error(self) -> bool {
+        self.mask & EPOLLERR != 0
+    }
+
+    /// The peer closed its end (full or half close).
+    #[must_use]
+    pub fn is_hangup(self) -> bool {
+        self.mask & (EPOLLHUP | EPOLLRDHUP) != 0
+    }
+}
+
+/// Reusable buffer for readiness notifications, sized once and filled by
+/// each [`Poller::wait`] call.
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// Creates a buffer that can carry up to `capacity` notifications per
+    /// wait (excess readiness is simply reported on the next wait —
+    /// level-triggering makes that lossless).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Iterates over the notifications from the most recent wait.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|raw| Event {
+            token: raw.data,
+            mask: raw.events,
+        })
+    }
+
+    /// Number of notifications delivered by the most recent wait.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the most recent wait timed out with nothing ready.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A level-triggered epoll interest set.
+///
+/// The poller owns only the epoll descriptor; registered descriptors are
+/// borrowed by raw fd and must outlive their registration (the server
+/// deregisters before closing a connection).
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Creates an empty interest set.
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1 allocates a new descriptor; no pointers.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+        let mut event = event;
+        let ptr = event
+            .as_mut()
+            .map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+        // SAFETY: `ptr` is null (DEL) or points at a live stack value for
+        // the duration of the call; the kernel copies it synchronously.
+        if unsafe { epoll_ctl(self.epfd, op, fd, ptr) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Adds `fd` to the interest set under `token`.
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            fd,
+            Some(EpollEvent {
+                events: interest.mask(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Changes the interest (and token) of an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            fd,
+            Some(EpollEvent {
+                events: interest.mask(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Removes `fd` from the interest set. Must happen before the fd is
+    /// closed if any other clone of the description remains open.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Blocks until at least one registered descriptor is ready, the
+    /// timeout elapses (`events` left empty), or a signal interrupts the
+    /// wait (reported as ready-nothing rather than an error, so callers
+    /// simply loop). `None` waits forever.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            // Round up so a 100µs timeout spins on 1ms ticks instead of 0ms
+            // busy-waiting.
+            Some(d) => c_int::try_from(d.as_millis().max(u128::from(!d.is_zero() as u8)))
+                .unwrap_or(c_int::MAX),
+        };
+        let capacity = c_int::try_from(events.buf.len()).unwrap_or(c_int::MAX);
+        // SAFETY: the buffer outlives the call and its length is passed.
+        let n = unsafe { epoll_wait(self.epfd, events.buf.as_mut_ptr(), capacity, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                events.len = 0;
+                return Ok(());
+            }
+            return Err(err);
+        }
+        events.len = n as usize;
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: closing the epoll fd we created; errors on close are
+        // unreportable here and harmless.
+        unsafe {
+            let _ = close(self.epfd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readable_after_peer_writes() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Events::with_capacity(8);
+        // Nothing written yet: a zero-ish timeout reports nothing ready.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        a.write_all(b"x").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let event = events.iter().next().expect("readable event");
+        assert_eq!(event.token, 7);
+        assert!(event.is_readable());
+        assert!(!event.is_writable());
+    }
+
+    #[test]
+    fn level_triggering_reports_until_drained() {
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 1, Interest::READ).unwrap();
+        a.write_all(b"abc").unwrap();
+
+        let mut events = Events::with_capacity(4);
+        for _ in 0..2 {
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "still ready while bytes remain");
+        }
+        let mut buf = [0u8; 8];
+        let n = b.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"abc");
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert!(events.is_empty(), "drained socket is no longer readable");
+    }
+
+    #[test]
+    fn modify_and_deregister_change_what_is_reported() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let poller = Poller::new().unwrap();
+        // A fresh socket with write interest is immediately writable.
+        poller.register(b.as_raw_fd(), 2, Interest::WRITE).unwrap();
+        let mut events = Events::with_capacity(4);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().next().unwrap().is_writable());
+
+        // Switch to read interest: no longer reported merely-writable.
+        poller.modify(b.as_raw_fd(), 2, Interest::READ).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        // Deregister: even readable data goes unreported.
+        a.write_all(b"x").unwrap();
+        poller.deregister(b.as_raw_fd()).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn hangup_is_reported_as_readable() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.register(b.as_raw_fd(), 3, Interest::READ).unwrap();
+        drop(a);
+        let mut events = Events::with_capacity(4);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let event = events.iter().next().expect("hangup event");
+        assert!(event.is_hangup());
+        // Readable too, so a read loop observes the EOF naturally.
+        assert!(event.is_readable());
+    }
+}

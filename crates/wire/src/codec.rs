@@ -129,13 +129,34 @@ impl Writer {
 pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// When decoding straight out of a received frame buffer, value blobs
+    /// are handed out as zero-copy [`Bytes`] slices of this backing instead
+    /// of being copied into fresh allocations (see [`Reader::get_value`]).
+    backing: Option<&'a Bytes>,
 }
 
 impl<'a> Reader<'a> {
     /// Wraps a byte slice for decoding.
     #[must_use]
     pub fn new(buf: &'a [u8]) -> Reader<'a> {
-        Reader { buf, pos: 0 }
+        Reader {
+            buf,
+            pos: 0,
+            backing: None,
+        }
+    }
+
+    /// Wraps a shared frame buffer for decoding. Equivalent to
+    /// [`Reader::new`] except that [`Reader::get_value`] returns slices of
+    /// `backing` (sharing its allocation) instead of copying — the hot-path
+    /// zero-copy decode used by the framing layer.
+    #[must_use]
+    pub fn new_shared(backing: &'a Bytes) -> Reader<'a> {
+        Reader {
+            buf: backing.as_slice(),
+            pos: 0,
+            backing: Some(backing),
+        }
     }
 
     /// Bytes not yet consumed.
@@ -190,8 +211,23 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads a length-prefixed blob into a shareable [`Bytes`].
+    ///
+    /// On a [`Reader::new_shared`] reader this is zero-copy: the returned
+    /// `Bytes` is a subrange of the backing frame buffer, alive for as long
+    /// as any clone of it is (the backing is reference-counted).
     pub fn get_value(&mut self) -> crate::Result<Bytes> {
-        Ok(Bytes::from(self.get_bytes()?))
+        match self.backing {
+            Some(backing) => {
+                let len = self.get_u32()? as usize;
+                if len > MAX_FRAME_BYTES {
+                    return Err(WireError::TooLarge(len));
+                }
+                let start = self.pos;
+                self.take(len)?;
+                Ok(backing.slice(start..start + len))
+            }
+            None => Ok(Bytes::from(self.get_bytes()?)),
+        }
     }
 
     /// Reads a length-prefixed UTF-8 string.
@@ -331,6 +367,31 @@ mod tests {
         let buf = w.into_vec();
         let mut r = Reader::new(&buf);
         assert!(matches!(r.get_bytes(), Err(WireError::TooLarge(_))));
+    }
+
+    #[test]
+    fn shared_readers_hand_out_zero_copy_slices() {
+        let mut w = Writer::new();
+        w.put_str("k");
+        w.put_bytes(b"payload");
+        w.put_u64(7);
+        let frame = Bytes::from(w.into_vec());
+
+        let mut r = Reader::new_shared(&frame);
+        assert_eq!(r.get_str().unwrap(), "k");
+        let value = r.get_value().unwrap();
+        assert_eq!(&value[..], b"payload");
+        assert_eq!(r.get_u64().unwrap(), 7);
+        r.finish().unwrap();
+        // The value is a subrange of the frame buffer, not a copy: slicing
+        // the frame at the same offsets yields an equal Bytes.
+        let start = 4 + 1 + 4;
+        assert_eq!(value, frame.slice(start..start + 7));
+        // Truncated shared values are rejected like copied ones.
+        let short = Bytes::from(frame.as_slice()[..start + 3].to_vec());
+        let mut r = Reader::new_shared(&short);
+        r.get_str().unwrap();
+        assert!(matches!(r.get_value(), Err(WireError::Truncated)));
     }
 
     #[test]

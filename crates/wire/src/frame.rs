@@ -6,18 +6,25 @@
 //! (real `TcpStream`s or the chaos-testing [`crate::sim::SimConn`]), and
 //! the tests run it over in-memory buffers.
 //!
-//! ## Request correlation (protocol v2)
+//! ## Request correlation (protocol v2) and multiplexing (protocol v4)
 //!
 //! Every body carried through a [`FramedStream`] starts with an 8-byte
 //! little-endian **sequence number**. The client stamps each request with
 //! the next value of a per-connection counter; the server echoes the
-//! request's sequence number in its response. The stream layer verifies,
-//! on every received response, that the echoed number matches the oldest
-//! outstanding request — so a duplicated, reordered, or dropped frame
-//! (which shifts the pairing of requests to responses) is detected as
+//! request's sequence number in its response. Since protocol v4 the
+//! sequence numbers are *correlation ids*: many requests may be in flight
+//! on one connection, the server may answer them in any order (its worker
+//! pool completes requests as the cache shards release them), and the
+//! stream layer pairs each response with its request through a
+//! **pending-request table** instead of the old strict oldest-outstanding
+//! check. A response whose id is not in the table — a duplicated frame, or
+//! a frame invented by a confused peer — is still detected as
 //! [`WireError::Desync`] *before* a wrong value can be attributed to the
-//! wrong request. Clients treat a desync like any transport failure: drop
-//! the connection, degrade to a miss, reconnect (and re-seal, §4.2).
+//! wrong request; since the stream itself remains frame-aligned, only the
+//! request that was being waited on degrades (it is abandoned and its late
+//! response, if any, silently discarded) while the connection and its
+//! other in-flight requests stay usable. Transport errors, by contrast,
+//! still poison the whole connection.
 //!
 //! ## Partial reads
 //!
@@ -27,9 +34,18 @@
 //! one stopped instead of desynchronizing the stream or surfacing a decode
 //! error. Only clean EOFs at a frame boundary are reported as end of
 //! stream; an EOF mid-frame is [`WireError::Truncated`].
+//!
+//! ## Zero-copy receive
+//!
+//! Received frames are handed to the decoder as shared [`bytes::Bytes`]
+//! buffers, so a hit's value travels from the socket buffer to the caller
+//! with one allocation per *frame* — per-value payload bytes are
+//! reference-counted subrange slices, never copied again.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::io::{Read, Write};
+
+use bytes::Bytes;
 
 use crate::msg::{Request, Response};
 use crate::WireError;
@@ -37,8 +53,10 @@ use crate::WireError;
 /// The protocol version this crate encodes and accepts. Version 2 added
 /// the per-request sequence number carried by [`FramedStream`]; version 3
 /// added `history_floor_drops` to the `StatsSnapshot` layout and the
-/// per-shard stats request/response pair.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// per-shard stats request/response pair; version 4 made the sequence
+/// numbers true correlation ids (responses may arrive out of request
+/// order) and added the scatter-gather `MultiGet`/`MultiPut` opcodes.
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Upper bound on a frame body; larger declared lengths are rejected before
 /// any allocation happens.
@@ -97,10 +115,11 @@ pub fn read_frame(r: &mut impl Read) -> crate::Result<Option<Vec<u8>>> {
 /// A bidirectional framed message stream over any `Read + Write` transport.
 ///
 /// Used symmetrically: the server reads requests and writes responses, the
-/// client writes requests and reads responses. `send_request` and
-/// `recv_response` are separate calls so a client can *pipeline* — write
-/// several requests before reading the (in-order, sequence-verified)
-/// responses back.
+/// client writes requests and reads responses. `send_request` and the
+/// `recv_*` family are separate calls so a client can *multiplex* — keep
+/// many requests in flight on one connection and collect their responses in
+/// whatever order the server finishes them, pairing each by its correlation
+/// id through the pending-request table (protocol v4).
 #[derive(Debug)]
 pub struct FramedStream<S> {
     stream: S,
@@ -113,9 +132,17 @@ pub struct FramedStream<S> {
     rx_filled: usize,
     /// The next request sequence number to stamp.
     tx_seq: u64,
-    /// Sequence numbers of sent requests whose responses are outstanding,
-    /// oldest first.
-    awaiting: VecDeque<u64>,
+    /// Correlation ids of sent requests whose responses are outstanding.
+    /// Ordered so a desync diagnostic can name the oldest outstanding id.
+    pending: BTreeSet<u64>,
+    /// Responses that arrived while a caller was waiting for a *different*
+    /// correlation id ([`FramedStream::recv_for`]); drained before the
+    /// transport is read again.
+    mailbox: VecDeque<(u64, Response)>,
+    /// Ids of requests a caller gave up on after a desync. A late or
+    /// duplicated response bearing one of these ids is discarded silently
+    /// instead of cascading desyncs through unrelated in-flight requests.
+    abandoned: HashSet<u64>,
 }
 
 impl<S: Read + Write> FramedStream<S> {
@@ -127,7 +154,9 @@ impl<S: Read + Write> FramedStream<S> {
             rx_partial: Vec::new(),
             rx_filled: 0,
             tx_seq: 1,
-            awaiting: VecDeque::new(),
+            pending: BTreeSet::new(),
+            mailbox: VecDeque::new(),
+            abandoned: HashSet::new(),
         }
     }
 
@@ -201,9 +230,11 @@ impl<S: Read + Write> FramedStream<S> {
         }
     }
 
-    /// Sends one request frame, stamped with the next sequence number. The
-    /// number is remembered so the matching response can be verified.
-    pub fn send_request(&mut self, request: &Request) -> crate::Result<()> {
+    /// Sends one request frame, stamped with the next sequence number, and
+    /// returns that number — the correlation id to pass to
+    /// [`FramedStream::recv_for`]. Any number of requests may be in flight
+    /// before a response is collected.
+    pub fn send_request(&mut self, request: &Request) -> crate::Result<u64> {
         let seq = self.tx_seq;
         let mut body = Vec::with_capacity(SEQ_BYTES + 32);
         body.extend_from_slice(&seq.to_le_bytes());
@@ -212,27 +243,108 @@ impl<S: Read + Write> FramedStream<S> {
         // Count the request only once it is fully written: a failed write
         // never produces a response.
         self.tx_seq += 1;
-        self.awaiting.push_back(seq);
-        Ok(())
+        self.pending.insert(seq);
+        Ok(seq)
     }
 
-    /// Receives one response frame and verifies its echoed sequence number
-    /// against the oldest outstanding request; `Ok(None)` on clean
-    /// disconnect. A mismatch (duplicated, reordered, or dropped frame
-    /// upstream) is [`WireError::Desync`] — the connection must be dropped.
+    /// How many sent requests have no response collected yet.
+    #[must_use]
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The oldest outstanding correlation id, if any request is in flight.
+    #[must_use]
+    pub fn oldest_pending(&self) -> Option<u64> {
+        self.pending.first().copied()
+    }
+
+    /// Reads frames until one matches *some* pending request, returning
+    /// `(correlation id, response)`; `Ok(None)` on clean disconnect.
+    /// Responses to abandoned requests are discarded along the way. A frame
+    /// whose id matches nothing — duplicated, reordered upstream, or
+    /// invented by a confused peer — is [`WireError::Desync`]; the stream
+    /// itself is still frame-aligned afterwards, so the caller may keep the
+    /// connection and fail only the affected request.
+    fn next_matched(&mut self) -> crate::Result<Option<(u64, Response)>> {
+        loop {
+            let Some(body) = self.recv_frame()? else {
+                return Ok(None);
+            };
+            let body = Bytes::from(body);
+            let (seq, rest) = split_seq_shared(&body)?;
+            if self.pending.remove(&seq) {
+                return Ok(Some((seq, Response::decode_shared(&rest)?)));
+            }
+            if self.abandoned.remove(&seq) {
+                // A late response to a request the caller already gave up
+                // on — drop it so it cannot desync an unrelated request.
+                continue;
+            }
+            return Err(WireError::Desync {
+                got: seq,
+                want: self.pending.first().copied(),
+            });
+        }
+    }
+
+    /// Takes one already-received response out of the mailbox without
+    /// touching the transport — the non-blocking half of the receive path,
+    /// used to opportunistically collect pipelined acks that arrived while
+    /// a different request was being awaited.
+    pub fn pop_mailbox(&mut self) -> Option<(u64, Response)> {
+        self.mailbox.pop_front()
+    }
+
+    /// Receives the next available response for any pending request,
+    /// draining the mailbox first; `Ok(None)` on clean disconnect.
+    pub fn recv_matched(&mut self) -> crate::Result<Option<(u64, Response)>> {
+        if let Some(entry) = self.mailbox.pop_front() {
+            return Ok(Some(entry));
+        }
+        self.next_matched()
+    }
+
+    /// Receives the next available response, discarding its correlation id
+    /// — the pre-v4 convenience shape, for callers that treat any matched
+    /// response as progress (e.g. draining put acks).
     pub fn recv_response(&mut self) -> crate::Result<Option<Response>> {
-        match self.recv_frame()? {
-            None => Ok(None),
-            Some(body) => {
-                let (seq, rest) = split_seq(&body)?;
-                let want = self.awaiting.front().copied();
-                match want {
-                    Some(want) if want == seq => {
-                        self.awaiting.pop_front();
-                    }
-                    want => return Err(WireError::Desync { got: seq, want }),
+        Ok(self.recv_matched()?.map(|(_, response)| response))
+    }
+
+    /// Waits for the response to the specific request `seq`, parking
+    /// responses to other pending requests in the mailbox for their own
+    /// waiters. On [`WireError::Desync`], `seq` is marked abandoned — its
+    /// late response, should one arrive, will be silently discarded — so
+    /// the connection and other in-flight requests remain usable.
+    pub fn recv_for(&mut self, seq: u64) -> crate::Result<Response> {
+        if let Some(at) = self.mailbox.iter().position(|(s, _)| *s == seq) {
+            return Ok(self.mailbox.remove(at).expect("position is in range").1);
+        }
+        loop {
+            match self.next_matched() {
+                Ok(Some((got, response))) if got == seq => return Ok(response),
+                Ok(Some(other)) => self.mailbox.push_back(other),
+                Ok(None) => {
+                    self.pending.remove(&seq);
+                    return Err(WireError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed awaiting response",
+                    )));
                 }
-                Ok(Some(Response::decode(rest)?))
+                Err(e) => {
+                    if matches!(e, WireError::Desync { .. }) && self.pending.remove(&seq) {
+                        self.abandoned.insert(seq);
+                        // Bound the tombstone set: past this size the peer
+                        // is hopeless and dropping the connection (which
+                        // clears everything) is the caller's only real
+                        // option anyway.
+                        if self.abandoned.len() > 4096 {
+                            self.abandoned.clear();
+                        }
+                    }
+                    return Err(e);
+                }
             }
         }
     }
@@ -249,8 +361,9 @@ impl<S: Read + Write> FramedStream<S> {
         match self.recv_frame()? {
             None => Ok(None),
             Some(body) => {
-                let (seq, rest) = split_seq(&body)?;
-                Ok(Some((seq, Request::decode(rest))))
+                let body = Bytes::from(body);
+                let (seq, rest) = split_seq_shared(&body)?;
+                Ok(Some((seq, Request::decode_shared(&rest))))
             }
         }
     }
@@ -264,28 +377,34 @@ impl<S: Read + Write> FramedStream<S> {
         write_frame(&mut self.stream, &body)
     }
 
-    /// Sends a request and waits for its (sequence-verified) response — the
-    /// unpipelined convenience path. A clean disconnect mid-call is an
-    /// error here.
+    /// Sends a request and waits for its (correlation-verified) response —
+    /// the unmultiplexed convenience path. A clean disconnect mid-call is
+    /// an error here.
     pub fn call(&mut self, request: &Request) -> crate::Result<Response> {
-        self.send_request(request)?;
-        match self.recv_response()? {
-            Some(r) => Ok(r),
-            None => Err(WireError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "connection closed awaiting response",
-            ))),
-        }
+        let seq = self.send_request(request)?;
+        self.recv_for(seq)
     }
 }
 
-/// Splits the 8-byte sequence prefix off a framed body.
-fn split_seq(body: &[u8]) -> crate::Result<(u64, &[u8])> {
+/// Splits the 8-byte sequence prefix off a framed body. Servers that
+/// manage their own receive buffers (the event-loop server) use this to
+/// recover the correlation id before decoding the request payload.
+pub fn split_seq(body: &[u8]) -> crate::Result<(u64, &[u8])> {
     if body.len() < SEQ_BYTES {
         return Err(WireError::Truncated);
     }
     let seq = u64::from_le_bytes(body[..SEQ_BYTES].try_into().expect("8 bytes"));
     Ok((seq, &body[SEQ_BYTES..]))
+}
+
+/// [`split_seq`] over a shared buffer: the returned body slice shares the
+/// frame's allocation, keeping the decode path zero-copy.
+fn split_seq_shared(body: &Bytes) -> crate::Result<(u64, Bytes)> {
+    if body.len() < SEQ_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let seq = u64::from_le_bytes(body[..SEQ_BYTES].try_into().expect("8 bytes"));
+    Ok((seq, body.slice(SEQ_BYTES..)))
 }
 
 #[cfg(test)]
@@ -443,5 +562,90 @@ mod tests {
             framed.recv_response(),
             Err(WireError::Desync { got: 1, want: None })
         ));
+    }
+
+    /// Encodes a response frame echoing `seq` into `out`.
+    fn push_response(out: &mut Vec<u8>, seq: u64, response: &Response) {
+        let mut body = seq.to_le_bytes().to_vec();
+        body.extend_from_slice(&response.encode());
+        write_frame(out, &body).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_responses_match_the_pending_table() {
+        // Server answers 3, 1, 2 while the client waits 1, 2, 3.
+        let mut wire_bytes = Vec::new();
+        push_response(&mut wire_bytes, 3, &Response::PutAck);
+        push_response(&mut wire_bytes, 1, &Response::Pong { nonce: 11 });
+        push_response(&mut wire_bytes, 2, &Response::Pong { nonce: 22 });
+        let mut framed = FramedStream::new(Duplex {
+            input: Cursor::new(wire_bytes),
+            output: Vec::new(),
+        });
+        let s1 = framed.send_request(&Request::Ping { nonce: 11 }).unwrap();
+        let s2 = framed.send_request(&Request::Ping { nonce: 22 }).unwrap();
+        let s3 = framed.send_request(&Request::Ping { nonce: 33 }).unwrap();
+        assert_eq!((s1, s2, s3), (1, 2, 3));
+        assert_eq!(framed.pending_count(), 3);
+        assert!(matches!(
+            framed.recv_for(s1),
+            Ok(Response::Pong { nonce: 11 })
+        ));
+        // Waiting for 1 parked 3's response in the mailbox.
+        assert!(matches!(
+            framed.recv_for(s2),
+            Ok(Response::Pong { nonce: 22 })
+        ));
+        assert!(matches!(framed.recv_for(s3), Ok(Response::PutAck)));
+        assert_eq!(framed.pending_count(), 0);
+    }
+
+    #[test]
+    fn desync_abandons_only_the_awaited_request() {
+        // Stream: an unsolicited id 99 (desyncs the wait for request 1),
+        // then a late response for 1 (now abandoned — must be skipped),
+        // then request 2's response (must still match).
+        let mut wire_bytes = Vec::new();
+        push_response(&mut wire_bytes, 99, &Response::PutAck);
+        push_response(&mut wire_bytes, 1, &Response::Pong { nonce: 11 });
+        push_response(&mut wire_bytes, 2, &Response::Pong { nonce: 22 });
+        let mut framed = FramedStream::new(Duplex {
+            input: Cursor::new(wire_bytes),
+            output: Vec::new(),
+        });
+        let s1 = framed.send_request(&Request::Ping { nonce: 11 }).unwrap();
+        let s2 = framed.send_request(&Request::Ping { nonce: 22 }).unwrap();
+        // The unknown id fails only the request being waited on.
+        assert!(matches!(
+            framed.recv_for(s1),
+            Err(WireError::Desync {
+                got: 99,
+                want: Some(1)
+            })
+        ));
+        // Request 2 survives: the late response to abandoned 1 is skipped,
+        // then 2's own response matches.
+        assert!(matches!(
+            framed.recv_for(s2),
+            Ok(Response::Pong { nonce: 22 })
+        ));
+        assert_eq!(framed.pending_count(), 0);
+    }
+
+    #[test]
+    fn recv_matched_returns_any_pending_response() {
+        let mut wire_bytes = Vec::new();
+        push_response(&mut wire_bytes, 2, &Response::PutAck);
+        push_response(&mut wire_bytes, 1, &Response::PutAck);
+        let mut framed = FramedStream::new(Duplex {
+            input: Cursor::new(wire_bytes),
+            output: Vec::new(),
+        });
+        framed.send_request(&Request::Ping { nonce: 1 }).unwrap();
+        framed.send_request(&Request::Ping { nonce: 2 }).unwrap();
+        let (first, _) = framed.recv_matched().unwrap().unwrap();
+        let (second, _) = framed.recv_matched().unwrap().unwrap();
+        assert_eq!((first, second), (2, 1));
+        assert!(framed.recv_matched().unwrap().is_none());
     }
 }

@@ -7,7 +7,7 @@
 //! message exchanged between the TxCache client library and a `txcached`
 //! cache node, independent of any particular transport.
 //!
-//! ## Framing (protocol v2)
+//! ## Framing (protocol v4)
 //!
 //! Every message travels in one frame:
 //!
@@ -19,15 +19,25 @@
 //!
 //! The 4-byte little-endian length counts the body (sequence number,
 //! version byte, opcode byte, and payload). The 8-byte sequence number —
-//! new in protocol version 2 — is stamped on every request by the client
-//! and echoed verbatim in the matching response, so a duplicated,
-//! reordered, or dropped frame is detected as [`WireError::Desync`]
-//! instead of pairing a response with the wrong request (see
-//! [`FramedStream`]). Frames larger than [`MAX_FRAME_BYTES`] are rejected
-//! before allocation, so a corrupt peer cannot make a node allocate
-//! gigabytes. The version byte is checked on decode; a mismatch produces
-//! [`WireError::Version`], which servers answer with an explicit
-//! [`Response::Error`] frame carrying [`ErrorCode::Version`].
+//! introduced in protocol version 2 — is stamped on every request by the
+//! client and echoed verbatim in the matching response. Since protocol
+//! version 4 it is a true *correlation id*: many requests may be in flight
+//! on one connection and the server may answer them in any order, with
+//! [`FramedStream`] pairing each response to its request through a
+//! pending-request table. A response whose id matches no pending request —
+//! a duplicated, reordered, or invented frame — is detected as
+//! [`WireError::Desync`] before a value can be attributed to the wrong
+//! request; only the awaited request degrades, the connection stays
+//! usable. Version 4 also added the scatter-gather [`Request::MultiGet`] /
+//! [`Request::MultiPut`] opcodes, so a transaction's read or write set
+//! reaches each cache node in one round trip, and a zero-copy receive path
+//! ([`codec::Reader::new_shared`]) that hands out [`bytes::Bytes`] slices
+//! of the received frame instead of copying every value. Frames larger
+//! than [`MAX_FRAME_BYTES`] are rejected before allocation, so a corrupt
+//! peer cannot make a node allocate gigabytes. The version byte is checked
+//! on decode; a mismatch produces [`WireError::Version`], which servers
+//! answer with an explicit [`Response::Error`] frame carrying
+//! [`ErrorCode::Version`].
 //!
 //! ## Transports
 //!
@@ -70,9 +80,12 @@ pub mod transport;
 
 pub use codec::{Reader, Writer};
 pub use frame::{
-    read_frame, write_frame, FramedStream, MAX_FRAME_BYTES, PROTOCOL_VERSION, SEQ_BYTES,
+    read_frame, split_seq, write_frame, FramedStream, MAX_FRAME_BYTES, PROTOCOL_VERSION, SEQ_BYTES,
 };
-pub use msg::{ErrorCode, InvalidationEvent, MissCode, NodeStats, Request, Response, ShardStats};
+pub use msg::{
+    ErrorCode, GetResult, InvalidationEvent, MissCode, NodeStats, PutEntry, Request, Response,
+    ShardStats,
+};
 pub use sim::{ChaosConfig, FaultAction, FaultCounts, SimConn, SimListener, SimNet, SplitMix64};
 pub use transport::{Closer, Connector, Listener, TcpConnector, Transport};
 
@@ -101,14 +114,15 @@ pub enum WireError {
     BadUtf8,
     /// A tag byte (option marker, miss kind, error code) was out of range.
     BadTag(u8),
-    /// A response's echoed sequence number did not match the oldest
-    /// outstanding request — a frame was duplicated, reordered, or lost
-    /// upstream. The connection is desynchronized and must be dropped.
+    /// A response's echoed correlation id matched no pending request — the
+    /// frame was duplicated, reordered, or invented upstream. The stream
+    /// is still frame-aligned: the request being awaited is abandoned, but
+    /// the connection and its other in-flight requests remain usable.
     Desync {
-        /// The sequence number the response carried.
+        /// The correlation id the response carried.
         got: u64,
-        /// The sequence number expected next (`None` if no request was
-        /// outstanding at all).
+        /// The oldest outstanding correlation id at the time (`None` if no
+        /// request was pending at all).
         want: Option<u64>,
     },
     /// The peer answered with an explicit error frame.

@@ -234,6 +234,8 @@ const OP_STATS: u8 = 0x06;
 const OP_RESET_STATS: u8 = 0x07;
 const OP_SEAL_STILL_VALID: u8 = 0x08;
 const OP_SHARD_STATS: u8 = 0x09;
+const OP_MULTI_GET: u8 = 0x0A;
+const OP_MULTI_PUT: u8 = 0x0B;
 
 // Response opcodes (>= 0x80).
 const OP_PONG: u8 = 0x81;
@@ -245,7 +247,107 @@ const OP_STATS_SNAPSHOT: u8 = 0x86;
 const OP_OK: u8 = 0x87;
 const OP_SEALED: u8 = 0x88;
 const OP_SHARD_STATS_SNAPSHOT: u8 = 0x89;
+const OP_MULTI_GET_RESULT: u8 = 0x8A;
+const OP_MULTI_PUT_ACK: u8 = 0x8B;
 const OP_ERROR: u8 = 0xFF;
+
+/// One store operation of a [`Request::MultiPut`] batch; field-for-field the
+/// payload of a single [`Request::Put`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PutEntry {
+    /// The cacheable call this value memoizes.
+    pub key: CacheKey,
+    /// The serialized result.
+    pub value: Bytes,
+    /// The range of timestamps over which the value is current.
+    pub validity: ValidityInterval,
+    /// The value's invalidation tags.
+    pub tags: TagSet,
+    /// The client's wall-clock time of the insert.
+    pub now: WallClock,
+}
+
+impl PutEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.put_key(&self.key);
+        w.put_bytes(&self.value);
+        w.put_interval(self.validity);
+        w.put_tagset(&self.tags);
+        w.put_wallclock(self.now);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> crate::Result<PutEntry> {
+        Ok(PutEntry {
+            key: r.get_key()?,
+            value: r.get_value()?,
+            validity: r.get_interval()?,
+            tags: r.get_tagset()?,
+            now: r.get_wallclock()?,
+        })
+    }
+}
+
+/// One position of a [`Response::MultiGetResult`]: the per-key outcome of a
+/// scatter-gather lookup, mirroring the single-key
+/// [`Response::Hit`]/[`Response::Miss`] pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GetResult {
+    /// The lookup found a matching version.
+    Hit {
+        /// The cached value.
+        value: Bytes,
+        /// The effective validity interval (still-valid entries bounded by
+        /// the node's last processed invalidation, §4.2).
+        validity: ValidityInterval,
+        /// The validity interval exactly as stored (possibly unbounded).
+        stored_validity: ValidityInterval,
+        /// The entry's dependency tags.
+        tags: TagSet,
+    },
+    /// The lookup found nothing usable.
+    Miss {
+        /// Why (§8.3 classification).
+        kind: MissCode,
+    },
+}
+
+impl GetResult {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            GetResult::Miss { kind } => {
+                w.put_u8(0);
+                w.put_u8(kind.to_u8());
+            }
+            GetResult::Hit {
+                value,
+                validity,
+                stored_validity,
+                tags,
+            } => {
+                w.put_u8(1);
+                w.put_bytes(value);
+                w.put_interval(*validity);
+                w.put_interval(*stored_validity);
+                w.put_tagset(tags);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> crate::Result<GetResult> {
+        match r.get_u8()? {
+            0 => Ok(GetResult::Miss {
+                kind: MissCode::from_u8(r.get_u8()?)?,
+            }),
+            1 => Ok(GetResult::Hit {
+                value: r.get_value()?,
+                validity: r.get_interval()?,
+                stored_validity: r.get_interval()?,
+                tags: r.get_tagset()?,
+            }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
 
 /// A request from the TxCache library to a cache node.
 #[derive(Debug, Clone, PartialEq)]
@@ -307,6 +409,26 @@ pub enum Request {
     /// so its still-valid entries must not be extended by later heartbeats
     /// (the reliable-multicast recovery rule of §4.2).
     SealStillValid,
+    /// A scatter-gather batch of versioned lookups (protocol v4): every key
+    /// of a transaction's read set routed to this node, sharing one pin-set
+    /// interval, answered by a single [`Response::MultiGetResult`] — so a
+    /// 16-key read set costs one round trip instead of sixteen.
+    MultiGet {
+        /// The cacheable calls being looked up, in request order.
+        keys: Vec<CacheKey>,
+        /// Lowest timestamp in the transaction's pin set.
+        pinset_lo: Timestamp,
+        /// Highest timestamp in the transaction's pin set.
+        pinset_hi: Timestamp,
+        /// Earliest timestamp acceptable under the staleness limit alone.
+        freshness_lo: Timestamp,
+    },
+    /// A batch of stores (protocol v4), acknowledged as one
+    /// [`Response::MultiPutAck`].
+    MultiPut {
+        /// The store operations, applied in order.
+        entries: Vec<PutEntry>,
+    },
 }
 
 impl Request {
@@ -363,13 +485,44 @@ impl Request {
             Request::ShardStats => w.put_u8(OP_SHARD_STATS),
             Request::ResetStats => w.put_u8(OP_RESET_STATS),
             Request::SealStillValid => w.put_u8(OP_SEAL_STILL_VALID),
+            Request::MultiGet {
+                keys,
+                pinset_lo,
+                pinset_hi,
+                freshness_lo,
+            } => {
+                w.put_u8(OP_MULTI_GET);
+                w.put_u32(keys.len() as u32);
+                for key in keys {
+                    w.put_key(key);
+                }
+                w.put_timestamp(*pinset_lo);
+                w.put_timestamp(*pinset_hi);
+                w.put_timestamp(*freshness_lo);
+            }
+            Request::MultiPut { entries } => {
+                w.put_u8(OP_MULTI_PUT);
+                w.put_u32(entries.len() as u32);
+                for entry in entries {
+                    entry.encode(&mut w);
+                }
+            }
         }
         w.into_vec()
     }
 
     /// Decodes a frame body into a request.
     pub fn decode(body: &[u8]) -> crate::Result<Request> {
-        let mut r = Reader::new(body);
+        Request::decode_reader(Reader::new(body))
+    }
+
+    /// Decodes a frame body held in a shared buffer; value payloads come out
+    /// as zero-copy slices of `body` instead of per-value allocations.
+    pub fn decode_shared(body: &Bytes) -> crate::Result<Request> {
+        Request::decode_reader(Reader::new_shared(body))
+    }
+
+    fn decode_reader(mut r: Reader<'_>) -> crate::Result<Request> {
         let version = r.get_u8()?;
         if version != PROTOCOL_VERSION {
             return Err(WireError::Version { got: version });
@@ -416,6 +569,33 @@ impl Request {
             OP_SHARD_STATS => Request::ShardStats,
             OP_RESET_STATS => Request::ResetStats,
             OP_SEAL_STILL_VALID => Request::SealStillValid,
+            OP_MULTI_GET => {
+                let count = r.get_u32()? as usize;
+                if count > crate::MAX_FRAME_BYTES / 8 {
+                    return Err(WireError::TooLarge(count));
+                }
+                let mut keys = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    keys.push(r.get_key()?);
+                }
+                Request::MultiGet {
+                    keys,
+                    pinset_lo: r.get_timestamp()?,
+                    pinset_hi: r.get_timestamp()?,
+                    freshness_lo: r.get_timestamp()?,
+                }
+            }
+            OP_MULTI_PUT => {
+                let count = r.get_u32()? as usize;
+                if count > crate::MAX_FRAME_BYTES / 8 {
+                    return Err(WireError::TooLarge(count));
+                }
+                let mut entries = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    entries.push(PutEntry::decode(&mut r)?);
+                }
+                Request::MultiPut { entries }
+            }
             other => return Err(WireError::UnknownOpcode(other)),
         };
         r.finish()?;
@@ -467,6 +647,18 @@ pub enum Response {
     StatsSnapshot(NodeStats),
     /// The node's per-shard lock-contention and eviction counters.
     ShardStatsSnapshot(Vec<ShardStats>),
+    /// Per-key outcomes of a [`Request::MultiGet`], in the request's key
+    /// order.
+    MultiGetResult {
+        /// One outcome per requested key.
+        results: Vec<GetResult>,
+    },
+    /// A [`Request::MultiPut`] was applied.
+    MultiPutAck {
+        /// Number of entries stored (duplicates included — they are counted
+        /// by the node's own `duplicate_insertions` stat).
+        applied: u64,
+    },
     /// Generic success for requests with no payload to return.
     Ok,
     /// The request failed; the connection remains usable unless the error is
@@ -526,6 +718,17 @@ impl Response {
                     shard.encode(&mut w);
                 }
             }
+            Response::MultiGetResult { results } => {
+                w.put_u8(OP_MULTI_GET_RESULT);
+                w.put_u32(results.len() as u32);
+                for result in results {
+                    result.encode(&mut w);
+                }
+            }
+            Response::MultiPutAck { applied } => {
+                w.put_u8(OP_MULTI_PUT_ACK);
+                w.put_u64(*applied);
+            }
             Response::Ok => w.put_u8(OP_OK),
             Response::Error { code, message } => {
                 w.put_u8(OP_ERROR);
@@ -538,7 +741,16 @@ impl Response {
 
     /// Decodes a frame body into a response.
     pub fn decode(body: &[u8]) -> crate::Result<Response> {
-        let mut r = Reader::new(body);
+        Response::decode_reader(Reader::new(body))
+    }
+
+    /// Decodes a frame body held in a shared buffer; hit values come out as
+    /// zero-copy slices of `body` instead of per-value allocations.
+    pub fn decode_shared(body: &Bytes) -> crate::Result<Response> {
+        Response::decode_reader(Reader::new_shared(body))
+    }
+
+    fn decode_reader(mut r: Reader<'_>) -> crate::Result<Response> {
         let version = r.get_u8()?;
         if version != PROTOCOL_VERSION {
             return Err(WireError::Version { got: version });
@@ -577,6 +789,20 @@ impl Response {
                 }
                 Response::ShardStatsSnapshot(shards)
             }
+            OP_MULTI_GET_RESULT => {
+                let count = r.get_u32()? as usize;
+                if count > crate::MAX_FRAME_BYTES / 2 {
+                    return Err(WireError::TooLarge(count));
+                }
+                let mut results = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    results.push(GetResult::decode(&mut r)?);
+                }
+                Response::MultiGetResult { results }
+            }
+            OP_MULTI_PUT_ACK => Response::MultiPutAck {
+                applied: r.get_u64()?,
+            },
             OP_OK => Response::Ok,
             OP_ERROR => Response::Error {
                 code: ErrorCode::from_u8(r.get_u8()?)?,
@@ -648,6 +874,40 @@ mod tests {
             Request::ShardStats,
             Request::ResetStats,
             Request::SealStillValid,
+            Request::MultiGet {
+                keys: vec![
+                    CacheKey::new("f", "[1]"),
+                    CacheKey::new("f", "[2]"),
+                    CacheKey::new("g", ""),
+                ],
+                pinset_lo: Timestamp(3),
+                pinset_hi: Timestamp(9),
+                freshness_lo: Timestamp(1),
+            },
+            Request::MultiGet {
+                keys: Vec::new(),
+                pinset_lo: Timestamp(1),
+                pinset_hi: Timestamp(1),
+                freshness_lo: Timestamp(1),
+            },
+            Request::MultiPut {
+                entries: vec![
+                    PutEntry {
+                        key: CacheKey::new("g", "[1]"),
+                        value: Bytes::from(vec![4, 5]),
+                        validity: ValidityInterval::unbounded(Timestamp(4)),
+                        tags: tags(),
+                        now: WallClock::from_secs(2),
+                    },
+                    PutEntry {
+                        key: CacheKey::new("g", "[2]"),
+                        value: Bytes::new(),
+                        validity: ValidityInterval::bounded(Timestamp(1), Timestamp(2)).unwrap(),
+                        tags: TagSet::new(),
+                        now: WallClock::ZERO,
+                    },
+                ],
+            },
         ]
     }
 
@@ -687,6 +947,23 @@ mod tests {
                 ShardStats::default(),
             ]),
             Response::ShardStatsSnapshot(Vec::new()),
+            Response::MultiGetResult {
+                results: vec![
+                    GetResult::Hit {
+                        value: Bytes::from(vec![1, 2, 3]),
+                        validity: ValidityInterval::bounded(Timestamp(1), Timestamp(5)).unwrap(),
+                        stored_validity: ValidityInterval::unbounded(Timestamp(1)),
+                        tags: tags(),
+                    },
+                    GetResult::Miss {
+                        kind: MissCode::Compulsory,
+                    },
+                ],
+            },
+            Response::MultiGetResult {
+                results: Vec::new(),
+            },
+            Response::MultiPutAck { applied: 2 },
             Response::Ok,
             Response::Error {
                 code: ErrorCode::Malformed,

@@ -164,6 +164,109 @@ fn checker_catches_disabled_reconnect_seal() {
     );
 }
 
+/// The multiplexed client's failure containment, scripted frame by frame on
+/// the simulated transport: reordered responses are matched by correlation
+/// id (no fault at all), and a duplicated response surfaces as a `Desync`
+/// charged to exactly the request that was awaiting — the connection is
+/// NOT poisoned, no reconnect happens, and the very next request on the
+/// same connection succeeds (the duplicate's victim is tombstoned, so its
+/// late real answer is silently discarded).
+#[test]
+fn multiplexed_client_charges_desyncs_per_request_not_per_connection() {
+    use bytes::Bytes;
+    use txcache_repro::cache_server::{LookupOutcome, LookupRequest, MissKind};
+    use txcache_repro::txcache::backend::{CacheBackend, RemoteCluster, RemoteOptions};
+    use txcache_repro::txtypes::{CacheKey, TagSet, Timestamp, ValidityInterval, WallClock};
+    use txcache_repro::wire::{FramedStream, Listener, MissCode, Response, SimNet};
+
+    let net = SimNet::new(seed_from_env(7));
+    let listener = net.bind("node-0");
+
+    // A scripted server standing in for the network's misbehavior: it
+    // reorders one put ack behind a later hit, duplicates one miss, and
+    // otherwise answers normally.
+    let hit = || Response::Hit {
+        value: Bytes::from_static(b"v1"),
+        validity: ValidityInterval::unbounded(Timestamp(1)),
+        stored_validity: ValidityInterval::unbounded(Timestamp(1)),
+        tags: TagSet::new(),
+    };
+    let server = std::thread::spawn(move || {
+        let conn = listener.accept().unwrap();
+        let mut framed = FramedStream::new(conn);
+        let next = |framed: &mut FramedStream<_>| framed.recv_request().unwrap().unwrap().0;
+
+        // 1: the put — hold its ack.
+        let put_seq = next(&mut framed);
+        // 2: a get — answer it BEFORE the held ack (reorder).
+        let get1 = next(&mut framed);
+        framed.send_response(get1, &hit()).unwrap();
+        framed.send_response(put_seq, &Response::PutAck).unwrap();
+        // 3: a get for an absent key — answer it twice (duplicate).
+        let get2 = next(&mut framed);
+        let miss = Response::Miss {
+            kind: MissCode::Compulsory,
+        };
+        framed.send_response(get2, &miss).unwrap();
+        framed.send_response(get2, &miss).unwrap();
+        // 4 and 5: normal gets, answered normally.
+        let get3 = next(&mut framed);
+        framed.send_response(get3, &hit()).unwrap();
+        let get4 = next(&mut framed);
+        framed.send_response(get4, &hit()).unwrap();
+    });
+
+    let remote = RemoteCluster::connect_via(
+        net.clone(),
+        &["node-0".to_string()],
+        RemoteOptions::default(),
+    )
+    .unwrap();
+    let k1 = CacheKey::new("f", "[1]");
+    let k2 = CacheKey::new("f", "[2]");
+    let request = LookupRequest::at(Timestamp(1));
+
+    // Pipelined put, ack uncollected.
+    remote.insert(
+        k1.clone(),
+        Bytes::from_static(b"v1"),
+        ValidityInterval::unbounded(Timestamp(1)),
+        TagSet::new(),
+        WallClock::ZERO,
+    );
+    // The reordered exchange: the hit comes back before the put ack, and
+    // the late ack is absorbed by the pending table — no fault at all.
+    assert!(remote.lookup(&k1, &request).is_hit(), "reordered hit");
+    assert!(!remote.lookup(&k2, &request).is_hit(), "genuine miss");
+    assert_eq!(
+        remote.degraded_ops(),
+        0,
+        "reordering alone must not degrade anything"
+    );
+
+    // The duplicated miss lands where the next request's response belongs:
+    // that one request degrades as a Desync...
+    match remote.lookup(&k1, &request) {
+        LookupOutcome::Miss(MissKind::Capacity) => {}
+        other => panic!("the duplicate's victim must degrade to a miss, got {other:?}"),
+    }
+    assert_eq!(remote.degraded_ops(), 1, "exactly one op degrades");
+    // ...but the connection survives: the next request on the SAME
+    // connection succeeds (its recv discards the victim's tombstoned late
+    // answer first), and no reconnect ever happens.
+    assert!(
+        remote.lookup(&k1, &request).is_hit(),
+        "the connection must stay usable after a desync"
+    );
+    assert_eq!(remote.degraded_ops(), 1);
+    assert_eq!(
+        remote.reconnects(),
+        0,
+        "a desync must not drop the pooled connection"
+    );
+    server.join().unwrap();
+}
+
 /// Port of `net_smoke::healed_connection_seals_still_valid_entries` to the
 /// simulated transport: the same §4.2 recovery rule, with deterministic
 /// partition timing and no real sockets or sleeps.

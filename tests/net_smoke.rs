@@ -6,7 +6,9 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use txcache_repro::cache_server::{LookupOutcome, LookupRequest, NodeConfig, TxcachedServer};
+use txcache_repro::cache_server::{
+    CacheCluster, LookupOutcome, LookupRequest, NodeConfig, TxcachedServer,
+};
 use txcache_repro::mvdb::{
     ColumnType, Database, DbConfig, Predicate, SelectQuery, TableSchema, Value,
 };
@@ -238,6 +240,80 @@ fn pipelined_puts_then_lookup_stay_in_sync() {
     assert_eq!(stats.insertions, 100);
     assert_eq!(stats.hits, 100);
     assert_eq!(remote.degraded_ops(), 0);
+}
+
+/// A batched lookup whose read set is only partly cached must return hits
+/// and misses positionally aligned with the request, and a batched
+/// write-back of exactly the missed positions must convert them all to
+/// hits. Run against both backends: the in-process cluster (the default
+/// `lookup_many`/`insert_many` loops) and the remote cluster (scatter-gather
+/// `MultiGet`/`MultiPut` frames over TCP).
+#[test]
+fn multiget_partial_hits_line_up_on_both_backends() {
+    fn exercise(backend: &dyn CacheBackend, label: &str) {
+        let keys: Vec<CacheKey> = (0..16)
+            .map(|i| CacheKey::new("f", format!("[{i}]")))
+            .collect();
+        // Pre-fill only the even positions.
+        for (i, key) in keys.iter().enumerate().filter(|(i, _)| i % 2 == 0) {
+            backend.insert(
+                key.clone(),
+                Bytes::from(vec![i as u8; 8]),
+                ValidityInterval::unbounded(Timestamp(1)),
+                TagSet::new(),
+                WallClock::ZERO,
+            );
+        }
+        let request = LookupRequest::at(Timestamp(1));
+        let outcomes = backend.lookup_many(&keys, &request);
+        assert_eq!(outcomes.len(), keys.len(), "{label}: one outcome per key");
+        for (i, outcome) in outcomes.iter().enumerate() {
+            match outcome {
+                LookupOutcome::Hit { value, .. } if i % 2 == 0 => {
+                    assert_eq!(value.as_ref(), &vec![i as u8; 8][..], "{label}: key {i}");
+                }
+                LookupOutcome::Miss(_) if i % 2 == 1 => {}
+                other => panic!("{label}: position {i} mismatched: {other:?}"),
+            }
+        }
+        // Batch write-back of exactly the missed positions.
+        let fills: Vec<_> = keys
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 1)
+            .map(|(i, key)| {
+                (
+                    key.clone(),
+                    Bytes::from(vec![i as u8; 8]),
+                    ValidityInterval::unbounded(Timestamp(1)),
+                    TagSet::new(),
+                )
+            })
+            .collect();
+        backend.insert_many(fills, WallClock::ZERO);
+        for (i, outcome) in backend.lookup_many(&keys, &request).iter().enumerate() {
+            match outcome {
+                LookupOutcome::Hit { value, .. } => {
+                    assert_eq!(value.as_ref(), &vec![i as u8; 8][..], "{label}: key {i}");
+                }
+                other => panic!("{label}: key {i} must hit after write-back: {other:?}"),
+            }
+        }
+    }
+
+    let in_process = CacheCluster::new(2, 4 << 20);
+    exercise(&in_process, "in-process");
+
+    let (_servers, addrs) = spawn_servers(2);
+    let remote = RemoteCluster::connect(&addrs).unwrap();
+    exercise(&remote, "remote");
+    assert_eq!(
+        remote.degraded_ops(),
+        0,
+        "loopback batches must not degrade"
+    );
+    let stats = remote.stats();
+    assert_eq!(stats.insertions, 16, "8 puts + one 8-entry MultiPut");
 }
 
 /// The full client-library stack over TCP: a TxCache bank whose cache tier

@@ -8,8 +8,8 @@ use txcache_repro::txtypes::{
 };
 use txcache_repro::wire::{read_frame, write_frame};
 use txcache_repro::wire::{
-    ErrorCode, InvalidationEvent, MissCode, NodeStats, Request, Response, ShardStats,
-    PROTOCOL_VERSION,
+    ErrorCode, GetResult, InvalidationEvent, MissCode, NodeStats, PutEntry, Request, Response,
+    ShardStats, PROTOCOL_VERSION,
 };
 
 use bytes::Bytes;
@@ -190,6 +190,115 @@ proptest! {
         let _ = Request::decode(&noise);
         let _ = Response::decode(&noise);
     }
+
+    #[test]
+    fn multiget_roundtrips(
+        keys in proptest::collection::vec(key_strategy(), 0..8),
+        lo in ts(),
+        hi in ts(),
+        fresh in ts(),
+    ) {
+        roundtrip_request(&Request::MultiGet {
+            keys,
+            pinset_lo: lo,
+            pinset_hi: hi,
+            freshness_lo: fresh,
+        });
+    }
+
+    #[test]
+    fn multiput_roundtrips(entries in proptest::collection::vec(put_entry_strategy(), 0..6)) {
+        roundtrip_request(&Request::MultiPut { entries });
+    }
+
+    #[test]
+    fn multiget_result_and_multiput_ack_roundtrip(
+        results in proptest::collection::vec(get_result_strategy(), 0..8),
+        applied in 0u64..u64::MAX,
+    ) {
+        roundtrip_response(&Response::MultiGetResult { results });
+        roundtrip_response(&Response::MultiPutAck { applied });
+    }
+
+    #[test]
+    fn corrupt_multi_frames_never_panic(
+        keys in proptest::collection::vec(key_strategy(), 1..5),
+        entries in proptest::collection::vec(put_entry_strategy(), 1..4),
+        cut in 0usize..200,
+        flip_at in 0usize..200,
+        flip_with in 1u8..=255,
+    ) {
+        // Valid MultiGet/MultiPut encodings mutilated by truncation and a
+        // byte flip must fail to decode cleanly, never panic — the server
+        // feeds exactly these bytes to Request::decode off the wire.
+        let frames = [
+            Request::MultiGet {
+                keys,
+                pinset_lo: Timestamp(1),
+                pinset_hi: Timestamp(9),
+                freshness_lo: Timestamp(1),
+            }
+            .encode(),
+            Request::MultiPut { entries }.encode(),
+        ];
+        for body in &frames {
+            let truncated = &body[..cut.min(body.len())];
+            let _ = Request::decode(truncated);
+            let mut flipped = body.clone();
+            let at = flip_at % flipped.len();
+            flipped[at] ^= flip_with;
+            let _ = Request::decode(&flipped);
+        }
+    }
+}
+
+fn put_entry_strategy() -> impl Strategy<Value = PutEntry> {
+    (
+        key_strategy(),
+        value_strategy(),
+        interval_strategy(),
+        tagset_strategy(),
+        0u64..u64::MAX,
+    )
+        .prop_map(|(key, value, validity, tags, now)| PutEntry {
+            key,
+            value,
+            validity,
+            tags,
+            now: WallClock::from_micros(now),
+        })
+}
+
+fn get_result_strategy() -> impl Strategy<Value = GetResult> {
+    (
+        0u8..8,
+        value_strategy(),
+        interval_strategy(),
+        interval_strategy(),
+        tagset_strategy(),
+    )
+        .prop_map(
+            |(pick, value, validity, stored_validity, tags)| match pick {
+                0 => GetResult::Miss {
+                    kind: MissCode::Compulsory,
+                },
+                1 => GetResult::Miss {
+                    kind: MissCode::Staleness,
+                },
+                2 => GetResult::Miss {
+                    kind: MissCode::Capacity,
+                },
+                3 => GetResult::Miss {
+                    kind: MissCode::Consistency,
+                },
+                _ => GetResult::Hit {
+                    value,
+                    validity,
+                    stored_validity,
+                    tags,
+                },
+            },
+        )
 }
 
 // ----------------------------------------------------------------------

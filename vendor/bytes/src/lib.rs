@@ -2,11 +2,14 @@
 //!
 //! Provides [`Bytes`]: an immutable, cheaply cloneable, thread-safe byte
 //! container. Static slices are stored without allocation; owned buffers are
-//! reference-counted so cache entries can be shared across threads.
+//! reference-counted so cache entries can be shared across threads, and
+//! [`Bytes::slice`] carves out subranges that share the same allocation —
+//! the wire protocol's zero-copy decode path hands out slices of a received
+//! frame instead of copying each value into its own `Vec`.
 
 #![forbid(unsafe_code)]
 
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// An immutable, cheaply cloneable slice of bytes.
@@ -16,7 +19,11 @@ pub struct Bytes(Repr);
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
-    Shared(Arc<Vec<u8>>),
+    Shared {
+        buf: Arc<Vec<u8>>,
+        offset: usize,
+        len: usize,
+    },
 }
 
 impl Bytes {
@@ -49,7 +56,7 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         match &self.0 {
             Repr::Static(s) => s,
-            Repr::Shared(v) => v,
+            Repr::Shared { buf, offset, len } => &buf[*offset..*offset + *len],
         }
     }
 
@@ -57,6 +64,38 @@ impl Bytes {
     #[must_use]
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
+    }
+
+    /// Returns a `Bytes` over `range` of this one, sharing the backing
+    /// allocation — no bytes are copied. Mirrors `bytes::Bytes::slice`.
+    ///
+    /// # Panics
+    /// If the range is out of bounds or decreasing, like slice indexing.
+    #[must_use]
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            start <= end && end <= self.len(),
+            "slice range {start}..{end} out of bounds for {} bytes",
+            self.len()
+        );
+        match &self.0 {
+            Repr::Static(s) => Bytes(Repr::Static(&s[start..end])),
+            Repr::Shared { buf, offset, .. } => Bytes(Repr::Shared {
+                buf: Arc::clone(buf),
+                offset: offset + start,
+                len: end - start,
+            }),
+        }
     }
 }
 
@@ -87,7 +126,12 @@ impl std::borrow::Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes(Repr::Shared(Arc::new(v)))
+        let len = v.len();
+        Bytes(Repr::Shared {
+            buf: Arc::new(v),
+            offset: 0,
+            len,
+        })
     }
 }
 
@@ -221,5 +265,27 @@ mod tests {
         let b = Bytes::from(vec![0u8; 1024]);
         let c = b.clone();
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn slices_share_the_backing_allocation() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = b.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        // A slice of a slice composes offsets.
+        let inner = mid.slice(1..=2);
+        assert_eq!(&inner[..], &[3, 4]);
+        // Static slices stay static.
+        let s = Bytes::from_static(b"abcdef").slice(..3);
+        assert_eq!(&s[..], b"abc");
+        // Degenerate ranges are fine.
+        assert!(b.slice(4..4).is_empty());
+        assert_eq!(b.slice(..), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_slices_panic() {
+        let _ = Bytes::from(vec![1, 2, 3]).slice(1..9);
     }
 }
