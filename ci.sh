@@ -14,8 +14,11 @@
 #      remote client joined by the deterministic in-process SimNet, with
 #      frame drops/duplicates/reorders/resets and a scripted partition,
 #      verified by the transactional-consistency history checker on both
-#      cache backends. Failures print the seed and a CHAOS_SEED=... repro
-#      command; set CHAOS_SEED to pin the sweep to one seed.
+#      cache backends. The sweep ends with the replication profile: R=2
+#      replica sets, a scripted primary kill mid-workload, zero checker
+#      violations, a bounded hit-rate dip, and a bit-for-bit replay.
+#      Failures print the seed and a CHAOS_SEED=... repro command; set
+#      CHAOS_SEED to pin the sweep to one seed.
 #   7. optionally, the network smoke gate (--net-smoke): starts a real
 #      txcached server (event-driven loop, explicit --shards) on an
 #      ephemeral loopback port, probes it with `txcached --ping`, runs the
@@ -29,15 +32,21 @@
 #      fig5_throughput thread sweep compared against a baseline JSON, the
 #      cache_scaling sweep (mixed lookup/insert throughput against one
 #      sharded cache node, in-process) compared against its own baseline,
-#      and the high_connection connection-ramp sweep (one event-driven
+#      the high_connection connection-ramp sweep (one event-driven
 #      txcached, 1..128 concurrent connections) compared against its
-#      baseline. The baselines default to the checked-in
+#      baseline, and the net_loopback replicated-write phase (an R=2
+#      client fanning every Put to its full replica set over real
+#      loopback servers; write amplification gated in-binary at <= 3.5x
+#      and the fill-rate pair tracked against a baseline). The baselines
+#      default to the checked-in
 #      crates/bench/BENCH_fig5.baseline.json,
-#      crates/bench/BENCH_cache_scaling.baseline.json and
-#      crates/bench/BENCH_high_connection.baseline.json and can be
+#      crates/bench/BENCH_cache_scaling.baseline.json,
+#      crates/bench/BENCH_high_connection.baseline.json and
+#      crates/bench/BENCH_net_replication.baseline.json and can be
 #      overridden with the BENCH_BASELINE / CACHE_BENCH_BASELINE /
-#      HIGH_CONN_BENCH_BASELINE environment variables. Absolute txn/s is
-#      only compared when the host has the same CPU count the baseline was
+#      HIGH_CONN_BENCH_BASELINE / NET_REPL_BENCH_BASELINE environment
+#      variables. Absolute txn/s is only compared when the host has the
+#      same CPU count the baseline was
 #      recorded with (the hosted workflow caches a runner-class baseline
 #      for this); the >=1.5x 4-thread speedup floor applies on any host
 #      with at least 4 CPUs (connection ramps carry no speedup floor —
@@ -67,6 +76,8 @@
 #       --skip-tcp --json crates/bench/BENCH_cache_scaling.baseline.json
 #   target/release/high_connection --connections 1,16,64,128 \
 #       --requests 20000 --json crates/bench/BENCH_high_connection.baseline.json
+#   target/release/net_loopback --keys 2048 \
+#       --json crates/bench/BENCH_net_replication.baseline.json
 
 set -uo pipefail
 cd "$(dirname "$0")"
@@ -162,6 +173,15 @@ if [ "$CHAOS_SMOKE" -eq 1 ]; then
                 sim_remote_backend_survives_random_faults \
                 in_process_backend_passes_the_history_checker
         done
+        # The replication profile: R=2 replica sets on the simulated wire
+        # tier, a scripted primary kill mid-workload, and the history
+        # checker — zero violations, a bounded hit-rate dip, and the healed
+        # node serving again, plus the bit-for-bit replay of the same run.
+        # These scenarios keep their own fixed, vetted seeds (CHAOS_SEED
+        # does not move them), so the gate is deterministic.
+        run_step "chaos smoke (replicated failover, R=2, fixed seed)" \
+            cargo test $CHAOS_PROFILE_FLAG --quiet --test chaos -- \
+            replicated_failover
     fi
 fi
 
@@ -254,7 +274,7 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     if [ "$PROFILE" != release ]; then
         run_step "cargo build --release -p bench (for bench smoke)" \
             cargo build --release -p bench --bin fig5_throughput \
-            --bin cache_scaling --bin high_connection
+            --bin cache_scaling --bin high_connection --bin net_loopback
     fi
     # Which gates apply depends on the host: the absolute-throughput
     # comparison runs when the host's CPU count matches the baseline's
@@ -289,6 +309,18 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
         target/release/high_connection --connections 1,16,64,128 \
         --requests 20000 --json BENCH_high_connection.json \
         --baseline "$HIGH_CONN_BASELINE" \
+        --max-regress 0.5
+    # The replication gate: net_loopback's replicated-write phase fills the
+    # same servers through an R=1 and an R=2 client, asserts the servers
+    # hold exactly 2x the entries, gates the measured write amplification
+    # at <= 3.5x in-binary, and compares the fill-rate pair (the "threads"
+    # column is the replication factor) against its baseline. Loopback
+    # timing wobbles more than in-process, hence the looser 50% ceiling.
+    NET_REPL_BASELINE="${NET_REPL_BENCH_BASELINE:-crates/bench/BENCH_net_replication.baseline.json}"
+    run_step "bench smoke (net_loopback R=2 write amplification vs ${NET_REPL_BASELINE})" \
+        target/release/net_loopback --keys 2048 \
+        --json BENCH_net_replication.json \
+        --baseline "$NET_REPL_BASELINE" \
         --max-regress 0.5
 fi
 

@@ -22,7 +22,11 @@
 //! * **Eviction** (§4.1): LRU under a per-node byte budget, plus eager
 //!   removal of entries too stale to satisfy any transaction.
 //! * **Consistent hashing** (§4): keys are partitioned across nodes; every
-//!   client maps keys to nodes directly.
+//!   client maps keys to nodes directly. Placement is published as an
+//!   immutable, epoch-versioned [`RingView`] mapping each key to an ordered
+//!   replica set (primary + R−1 ring successors); the [`Membership`] handle
+//!   supports node join/leave at runtime with a migration window during
+//!   which the old owner keeps serving relocated keys.
 //! * **Miss classification** (§8.3): compulsory, staleness, capacity and
 //!   consistency misses, used to regenerate Figure 8.
 //!
@@ -45,6 +49,7 @@
 pub mod cluster;
 pub mod entry;
 mod event_loop;
+pub mod membership;
 pub mod node;
 pub mod ring;
 pub mod server;
@@ -53,7 +58,8 @@ pub mod stats;
 
 pub use cluster::CacheCluster;
 pub use entry::{CacheEntry, LookupOutcome, LookupRequest, MissKind};
+pub use membership::Membership;
 pub use node::{CacheNode, NodeConfig};
-pub use ring::ConsistentHashRing;
+pub use ring::{RingBuilder, RingView};
 pub use server::{ConnectionSummary, ServerStats, TxcachedServer};
 pub use stats::{CacheShardStats, CacheStats};

@@ -1,0 +1,138 @@
+//! The epoch-versioned membership handle.
+//!
+//! [`Membership`] publishes the cluster's current [`RingView`] and drives
+//! membership changes: a join or leave builds the successor view at
+//! `epoch + 1` and atomically swaps it in. The displaced view is retained
+//! as the **previous** view for the migration window — the old owner of a
+//! relocated key keeps serving reads until the epoch is
+//! [retired](Membership::retire_previous), while new entries and
+//! still-valid re-inserts flow to the new owner (they route through the
+//! current view). Readers clone an `Arc` under a brief read lock; views
+//! themselves are immutable.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::ring::{RingBuilder, RingView};
+
+struct MembershipState {
+    current: Arc<RingView>,
+    /// The displaced view, kept until the migration window is retired so
+    /// the old owners of relocated keys can keep serving reads.
+    previous: Option<Arc<RingView>>,
+}
+
+/// Publishes the current ring view and sequences membership changes.
+pub struct Membership {
+    state: RwLock<MembershipState>,
+}
+
+impl Membership {
+    /// Wraps an initial view (no previous epoch to migrate from).
+    #[must_use]
+    pub fn new(view: Arc<RingView>) -> Membership {
+        Membership {
+            state: RwLock::new(MembershipState {
+                current: view,
+                previous: None,
+            }),
+        }
+    }
+
+    /// The current view.
+    #[must_use]
+    pub fn current(&self) -> Arc<RingView> {
+        Arc::clone(&self.state.read().current)
+    }
+
+    /// The previous epoch's view, while its migration window is open.
+    #[must_use]
+    pub fn previous(&self) -> Option<Arc<RingView>> {
+        self.state.read().previous.clone()
+    }
+
+    /// The current membership epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.state.read().current.epoch()
+    }
+
+    /// Publishes the next view through `change`, bumping the epoch by one.
+    /// The displaced view becomes the previous view (opening a migration
+    /// window); returns the newly published view.
+    pub fn publish(&self, change: impl FnOnce(RingBuilder) -> RingBuilder) -> Arc<RingView> {
+        let mut state = self.state.write();
+        let next = change(state.current.builder()).build(state.current.epoch() + 1);
+        state.previous = Some(Arc::clone(&state.current));
+        state.current = Arc::clone(&next);
+        next
+    }
+
+    /// Adds a node at runtime (see [`Membership::publish`]).
+    pub fn join(&self, name: impl Into<String>) -> Arc<RingView> {
+        let name = name.into();
+        self.publish(|b| b.add(name))
+    }
+
+    /// Removes a node at runtime (see [`Membership::publish`]).
+    pub fn leave(&self, name: &str) -> Arc<RingView> {
+        self.publish(|b| b.remove(name))
+    }
+
+    /// Closes the migration window: the previous view is dropped, so old
+    /// owners stop being consulted for keys that moved.
+    pub fn retire_previous(&self) {
+        self.state.write().previous = None;
+    }
+}
+
+impl std::fmt::Debug for Membership {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.read();
+        f.debug_struct("Membership")
+            .field("epoch", &state.current.epoch())
+            .field("nodes", &state.current.len())
+            .field("migrating", &state.previous.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_leave_bump_the_epoch_and_keep_the_previous_view() {
+        let m = Membership::new(RingBuilder::new().add_all(["a", "b"]).build(1));
+        assert_eq!(m.epoch(), 1);
+        assert!(m.previous().is_none());
+
+        let v2 = m.join("c");
+        assert_eq!(v2.epoch(), 2);
+        assert_eq!(m.epoch(), 2);
+        assert_eq!(m.current().len(), 3);
+        let prev = m.previous().expect("migration window open");
+        assert_eq!(prev.epoch(), 1);
+        assert_eq!(prev.len(), 2);
+
+        m.retire_previous();
+        assert!(m.previous().is_none());
+
+        let v3 = m.leave("a");
+        assert_eq!(v3.epoch(), 3);
+        assert_eq!(
+            m.current().node_names(),
+            &["b".to_string(), "c".to_string()]
+        );
+        assert_eq!(m.previous().expect("window reopened").epoch(), 2);
+    }
+
+    #[test]
+    fn debug_shows_migration_state() {
+        let m = Membership::new(RingBuilder::new().add("a").build(1));
+        assert!(format!("{m:?}").contains("migrating: false"));
+        m.join("b");
+        assert!(format!("{m:?}").contains("migrating: true"));
+    }
+}

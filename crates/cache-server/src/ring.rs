@@ -1,50 +1,49 @@
-//! Consistent hashing (§4).
+//! Consistent hashing with replica sets and epoch-versioned views (§4).
 //!
 //! Cached data is partitioned across cache nodes with consistent hashing so
 //! that adding or removing a node relocates only a small fraction of the
 //! keys. Unlike a DHT, every client knows the full node list and can map a
-//! key to its node directly.
+//! key to its nodes directly.
+//!
+//! Two types split the job:
+//!
+//! * [`RingView`] is an **immutable, epoch-versioned snapshot** of the
+//!   ring. It maps a key to an *ordered replica set*: the primary owner
+//!   plus the next `replication - 1` distinct ring successors. Views are
+//!   shared (`Arc`) between readers; membership changes never mutate a
+//!   published view.
+//! * [`RingBuilder`] constructs the next view: seed it from the current
+//!   one, `add`/`remove` nodes, and `build(epoch)` the successor. The
+//!   epoch is the fencing token the wire protocol (v5) carries so a client
+//!   routing on a stale view gets a typed `WrongEpoch` redirect instead of
+//!   silent misses.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use txtypes::key::stable_hash_of;
 use txtypes::CacheKey;
 
-/// A consistent-hash ring over named nodes.
-#[derive(Debug, Clone)]
-pub struct ConsistentHashRing {
+/// An immutable snapshot of the consistent-hash ring at one membership
+/// epoch.
+#[derive(Debug)]
+pub struct RingView {
+    /// The fencing token of this membership generation.
+    epoch: u64,
     /// hash point → node index.
     points: BTreeMap<u64, usize>,
     node_names: Vec<String>,
-    replicas: usize,
+    /// Virtual points per node.
+    vnodes: usize,
+    /// Replica-set size R: primary + R−1 distinct ring successors.
+    replication: usize,
 }
 
-impl ConsistentHashRing {
-    /// Default number of virtual points per node.
-    pub const DEFAULT_REPLICAS: usize = 64;
-
-    /// Builds a ring with the given node names and virtual replica count.
+impl RingView {
+    /// The membership epoch this view was built at.
     #[must_use]
-    pub fn new(node_names: Vec<String>, replicas: usize) -> ConsistentHashRing {
-        let replicas = replicas.max(1);
-        let mut points = BTreeMap::new();
-        for (idx, name) in node_names.iter().enumerate() {
-            for r in 0..replicas {
-                let point = stable_hash_of(&(name.as_str(), r));
-                points.insert(point, idx);
-            }
-        }
-        ConsistentHashRing {
-            points,
-            node_names,
-            replicas,
-        }
-    }
-
-    /// Builds a ring with the default replica count.
-    #[must_use]
-    pub fn with_nodes(node_names: Vec<String>) -> ConsistentHashRing {
-        ConsistentHashRing::new(node_names, Self::DEFAULT_REPLICAS)
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of nodes on the ring.
@@ -53,26 +52,59 @@ impl ConsistentHashRing {
         self.node_names.len()
     }
 
-    /// Returns `true` if the ring has no nodes.
+    /// Returns `true` if the view has no nodes.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.node_names.is_empty()
     }
 
-    /// The node names, in construction order (indexes returned by
-    /// [`node_for`](Self::node_for) refer to this list).
+    /// The replica-set size R the view was built with (clamped to the node
+    /// count when fewer nodes exist).
+    #[must_use]
+    pub fn replication(&self) -> usize {
+        self.replication.min(self.node_names.len()).max(1)
+    }
+
+    /// The node names, in membership order (indexes returned by
+    /// [`replicas_for`](Self::replicas_for) refer to this list).
     #[must_use]
     pub fn node_names(&self) -> &[String] {
         &self.node_names
     }
 
-    /// The node index responsible for `key`.
+    /// The ordered replica set for `key`: the primary owner first, then the
+    /// next distinct nodes in ring order, `replication` entries in total
+    /// (fewer only if the ring has fewer nodes).
     ///
     /// # Panics
-    /// Panics if the ring is empty; construct rings with at least one node.
+    /// Panics if the view is empty; build views with at least one node.
     #[must_use]
-    pub fn node_for(&self, key: &CacheKey) -> usize {
-        assert!(!self.is_empty(), "consistent-hash ring has no nodes");
+    pub fn replicas_for(&self, key: &CacheKey) -> Vec<usize> {
+        assert!(!self.is_empty(), "ring view has no nodes");
+        let want = self.replication();
+        let h = key.stable_hash();
+        let mut replicas = Vec::with_capacity(want);
+        // Walk the ring clockwise from the key's hash point, wrapping once,
+        // collecting distinct nodes until the replica set is full.
+        for (_, &idx) in self.points.range(h..).chain(self.points.range(..h)) {
+            if !replicas.contains(&idx) {
+                replicas.push(idx);
+                if replicas.len() == want {
+                    break;
+                }
+            }
+        }
+        replicas
+    }
+
+    /// The primary owner of `key` (the first entry of
+    /// [`replicas_for`](Self::replicas_for)).
+    ///
+    /// # Panics
+    /// Panics if the view is empty.
+    #[must_use]
+    pub fn primary_for(&self, key: &CacheKey) -> usize {
+        assert!(!self.is_empty(), "ring view has no nodes");
         let h = key.stable_hash();
         match self.points.range(h..).next() {
             Some((_, idx)) => *idx,
@@ -80,16 +112,122 @@ impl ConsistentHashRing {
                 .points
                 .values()
                 .next()
-                .expect("non-empty ring has points"),
+                .expect("non-empty view has points"),
         }
     }
 
-    /// Returns a new ring with an additional node.
+    /// Starts building this view's successor: same nodes, virtual-point
+    /// count, and replication factor.
     #[must_use]
-    pub fn with_added_node(&self, name: impl Into<String>) -> ConsistentHashRing {
-        let mut names = self.node_names.clone();
-        names.push(name.into());
-        ConsistentHashRing::new(names, self.replicas)
+    pub fn builder(&self) -> RingBuilder {
+        RingBuilder {
+            node_names: self.node_names.clone(),
+            vnodes: self.vnodes,
+            replication: self.replication,
+        }
+    }
+}
+
+/// Constructs the next [`RingView`]. Seed a builder from scratch
+/// ([`RingBuilder::new`]) or from the current view
+/// ([`RingView::builder`]), adjust membership with
+/// [`add`](Self::add)/[`remove`](Self::remove), then
+/// [`build`](Self::build) the immutable view at its epoch.
+#[derive(Debug, Clone)]
+pub struct RingBuilder {
+    node_names: Vec<String>,
+    vnodes: usize,
+    replication: usize,
+}
+
+impl Default for RingBuilder {
+    fn default() -> Self {
+        RingBuilder::new()
+    }
+}
+
+impl RingBuilder {
+    /// Default number of virtual points per node.
+    pub const DEFAULT_VNODES: usize = 64;
+
+    /// An empty builder with the default virtual-point count and no
+    /// replication (R = 1).
+    #[must_use]
+    pub fn new() -> RingBuilder {
+        RingBuilder {
+            node_names: Vec::new(),
+            vnodes: Self::DEFAULT_VNODES,
+            replication: 1,
+        }
+    }
+
+    /// Sets the number of virtual points per node (min 1).
+    #[must_use]
+    pub fn vnodes(mut self, vnodes: usize) -> RingBuilder {
+        self.vnodes = vnodes.max(1);
+        self
+    }
+
+    /// Sets the replica-set size R (min 1).
+    #[must_use]
+    pub fn replication(mut self, replication: usize) -> RingBuilder {
+        self.replication = replication.max(1);
+        self
+    }
+
+    /// Adds a node. Adding a name already on the ring is a no-op, so
+    /// membership changes are idempotent.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // builder verb, not arithmetic
+    pub fn add(mut self, name: impl Into<String>) -> RingBuilder {
+        let name = name.into();
+        if !self.node_names.contains(&name) {
+            self.node_names.push(name);
+        }
+        self
+    }
+
+    /// Adds every node of an iterator, in order.
+    #[must_use]
+    pub fn add_all<I, S>(mut self, names: I) -> RingBuilder
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for name in names {
+            self = self.add(name);
+        }
+        self
+    }
+
+    /// Removes a node by name (a no-op if absent). The surviving nodes keep
+    /// their relative order, so view indexes stay aligned with any node
+    /// list maintained in parallel.
+    #[must_use]
+    pub fn remove(mut self, name: &str) -> RingBuilder {
+        self.node_names.retain(|n| n != name);
+        self
+    }
+
+    /// Builds the immutable view at `epoch`. The epoch is chosen by the
+    /// membership handle publishing the view — monotonically increasing per
+    /// cluster, so it can act as the wire protocol's fencing token.
+    #[must_use]
+    pub fn build(self, epoch: u64) -> Arc<RingView> {
+        let mut points = BTreeMap::new();
+        for (idx, name) in self.node_names.iter().enumerate() {
+            for r in 0..self.vnodes {
+                let point = stable_hash_of(&(name.as_str(), r));
+                points.insert(point, idx);
+            }
+        }
+        Arc::new(RingView {
+            epoch,
+            points,
+            node_names: self.node_names,
+            vnodes: self.vnodes,
+            replication: self.replication,
+        })
     }
 }
 
@@ -103,23 +241,29 @@ mod tests {
             .collect()
     }
 
+    fn view3() -> Arc<RingView> {
+        RingBuilder::new().add_all(["a", "b", "c"]).build(1)
+    }
+
     #[test]
     fn placement_is_deterministic() {
-        let ring = ConsistentHashRing::with_nodes(vec!["a".into(), "b".into(), "c".into()]);
+        let ring = view3();
         for k in keys(50) {
-            assert_eq!(ring.node_for(&k), ring.node_for(&k));
+            assert_eq!(ring.primary_for(&k), ring.primary_for(&k));
+            assert_eq!(ring.replicas_for(&k), ring.replicas_for(&k));
         }
         assert_eq!(ring.len(), 3);
         assert!(!ring.is_empty());
         assert_eq!(ring.node_names().len(), 3);
+        assert_eq!(ring.epoch(), 1);
     }
 
     #[test]
     fn keys_spread_across_nodes() {
-        let ring = ConsistentHashRing::with_nodes(vec!["a".into(), "b".into(), "c".into()]);
+        let ring = view3();
         let mut counts = [0usize; 3];
         for k in keys(3000) {
-            counts[ring.node_for(&k)] += 1;
+            counts[ring.primary_for(&k)] += 1;
         }
         for c in counts {
             assert!(
@@ -131,14 +275,15 @@ mod tests {
 
     #[test]
     fn adding_a_node_moves_only_a_fraction_of_keys() {
-        let ring3 = ConsistentHashRing::with_nodes(vec!["a".into(), "b".into(), "c".into()]);
-        let ring4 = ring3.with_added_node("d");
+        let ring3 = view3();
+        let ring4 = ring3.builder().add("d").build(2);
+        assert_eq!(ring4.epoch(), 2);
         let ks = keys(4000);
         let moved = ks
             .iter()
             .filter(|k| {
-                let before = ring3.node_names()[ring3.node_for(k)].clone();
-                let after = ring4.node_names()[ring4.node_for(k)].clone();
+                let before = &ring3.node_names()[ring3.primary_for(k)];
+                let after = &ring4.node_names()[ring4.primary_for(k)];
                 before != after
             })
             .count();
@@ -152,17 +297,74 @@ mod tests {
     }
 
     #[test]
-    fn single_node_ring_maps_everything_to_it() {
-        let ring = ConsistentHashRing::with_nodes(vec!["only".into()]);
-        for k in keys(20) {
-            assert_eq!(ring.node_for(&k), 0);
+    fn removing_a_node_reroutes_only_its_keys() {
+        let ring3 = view3();
+        let ring2 = ring3.builder().remove("b").build(2);
+        assert_eq!(ring2.len(), 2);
+        // Survivors keep their relative order: a stays index 0, c becomes 1.
+        assert_eq!(ring2.node_names(), &["a".to_string(), "c".to_string()]);
+        for k in keys(2000) {
+            let before = &ring3.node_names()[ring3.primary_for(&k)];
+            let after = &ring2.node_names()[ring2.primary_for(&k)];
+            if before != "b" {
+                assert_eq!(before, after, "keys not owned by b must not move");
+            } else {
+                assert_ne!(after, "b");
+            }
         }
     }
 
     #[test]
+    fn replica_sets_are_distinct_and_ordered() {
+        let ring = RingBuilder::new()
+            .add_all(["a", "b", "c", "d"])
+            .replication(3)
+            .build(1);
+        for k in keys(500) {
+            let replicas = ring.replicas_for(&k);
+            assert_eq!(replicas.len(), 3);
+            assert_eq!(replicas[0], ring.primary_for(&k));
+            let mut sorted = replicas.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replica set must be distinct nodes");
+        }
+    }
+
+    #[test]
+    fn replication_clamps_to_the_node_count() {
+        let ring = RingBuilder::new().add("only").replication(3).build(1);
+        assert_eq!(ring.replication(), 1);
+        for k in keys(20) {
+            assert_eq!(ring.replicas_for(&k), vec![0]);
+        }
+    }
+
+    #[test]
+    fn adding_a_replica_target_preserves_primaries() {
+        // The replica walk must not perturb primary placement: R only
+        // appends successors.
+        let r1 = RingBuilder::new().add_all(["a", "b", "c"]).build(1);
+        let r2 = RingBuilder::new()
+            .add_all(["a", "b", "c"])
+            .replication(2)
+            .build(1);
+        for k in keys(500) {
+            assert_eq!(r1.primary_for(&k), r2.primary_for(&k));
+            assert_eq!(r2.replicas_for(&k)[0], r1.primary_for(&k));
+        }
+    }
+
+    #[test]
+    fn duplicate_adds_are_idempotent() {
+        let ring = RingBuilder::new().add("a").add("a").add("b").build(1);
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
     #[should_panic(expected = "no nodes")]
-    fn empty_ring_panics_on_lookup() {
-        let ring = ConsistentHashRing::with_nodes(vec![]);
-        let _ = ring.node_for(&CacheKey::new("f", "[]"));
+    fn empty_view_panics_on_lookup() {
+        let ring = RingBuilder::new().build(1);
+        let _ = ring.replicas_for(&CacheKey::new("f", "[]"));
     }
 }

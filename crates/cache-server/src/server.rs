@@ -132,6 +132,9 @@ pub struct ConnectionSummary {
 pub(crate) struct Shared {
     pub(crate) node: CacheNode,
     pub(crate) counters: ServerCounters,
+    /// Highest ring-membership epoch any client has announced (protocol
+    /// v5). Zero until the first announcement: epoch checks are skipped.
+    pub(crate) ring_epoch: AtomicU64,
     pub(crate) shutting_down: AtomicBool,
     /// Closers for *currently open* connections, keyed by connection id, so
     /// shutdown can unblock their reads. Handlers remove their own entry on
@@ -182,6 +185,7 @@ impl TxcachedServer<TcpListener> {
         let shared = Arc::new(Shared {
             node: CacheNode::new(name, config),
             counters: ServerCounters::default(),
+            ring_epoch: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             open_conns: Mutex::new(HashMap::new()),
             handlers: Mutex::new(Vec::new()),
@@ -223,6 +227,7 @@ impl<L: Listener> TxcachedServer<L> {
         let shared = Arc::new(Shared {
             node: CacheNode::new(name, config),
             counters: ServerCounters::default(),
+            ring_epoch: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             open_conns: Mutex::new(HashMap::new()),
             handlers: Mutex::new(Vec::new()),
@@ -266,6 +271,13 @@ impl<L: Listener> TxcachedServer<L> {
     #[must_use]
     pub fn shard_stats(&self) -> Vec<crate::CacheShardStats> {
         self.shared.node.shard_stats()
+    }
+
+    /// Highest ring-membership epoch any client has announced (zero before
+    /// the first [`wire::Request::RingEpoch`]).
+    #[must_use]
+    pub fn ring_epoch(&self) -> u64 {
+        self.shared.ring_epoch.load(Ordering::SeqCst)
     }
 
     /// Summaries of recently closed connections (most recent last, bounded).
@@ -511,11 +523,15 @@ pub(crate) fn apply_request(shared: &Shared, request: Request) -> Response {
             Response::PutAck
         }
         Request::MultiGet {
+            epoch,
             keys,
             pinset_lo,
             pinset_hi,
             freshness_lo,
         } => {
+            if let Some(expected) = stale_epoch(shared, epoch) {
+                return Response::WrongEpoch { expected };
+            }
             let lookup = LookupRequest {
                 pinset_lo,
                 pinset_hi,
@@ -542,7 +558,10 @@ pub(crate) fn apply_request(shared: &Shared, request: Request) -> Response {
                 .collect();
             Response::MultiGetResult { results }
         }
-        Request::MultiPut { entries } => {
+        Request::MultiPut { epoch, entries } => {
+            if let Some(expected) = stale_epoch(shared, epoch) {
+                return Response::WrongEpoch { expected };
+            }
             let applied = entries.len() as u64;
             for PutEntry {
                 key,
@@ -592,7 +611,25 @@ pub(crate) fn apply_request(shared: &Shared, request: Request) -> Response {
         Request::SealStillValid => Response::Sealed {
             sealed: shared.node.seal_still_valid(),
         },
+        Request::RingEpoch { epoch } => {
+            // Remember the highest epoch ever announced; a racing older
+            // announcement can never roll the fence back.
+            let prev = shared.ring_epoch.fetch_max(epoch, Ordering::SeqCst);
+            Response::EpochAck {
+                epoch: prev.max(epoch),
+            }
+        }
     }
+}
+
+/// Returns the node's expected epoch when an epoch-stamped batch must be
+/// refused: both sides are versioned (non-zero) and they disagree.
+fn stale_epoch(shared: &Shared, request_epoch: u64) -> Option<u64> {
+    if request_epoch == 0 {
+        return None;
+    }
+    let known = shared.ring_epoch.load(Ordering::SeqCst);
+    (known != 0 && known != request_epoch).then_some(known)
 }
 
 #[cfg(test)]
@@ -890,7 +927,7 @@ mod tests {
                 now: WallClock::ZERO,
             })
             .collect();
-        let ack = conn.call(&Request::MultiPut { entries }).unwrap();
+        let ack = conn.call(&Request::MultiPut { epoch: 0, entries }).unwrap();
         assert_eq!(ack, Response::MultiPutAck { applied: 3 });
 
         let keys: Vec<CacheKey> = (0..4)
@@ -898,6 +935,7 @@ mod tests {
             .collect();
         match conn
             .call(&Request::MultiGet {
+                epoch: 0,
                 keys,
                 pinset_lo: Timestamp(3),
                 pinset_hi: Timestamp(3),
@@ -925,6 +963,63 @@ mod tests {
             other => panic!("expected multiget result, got {other:?}"),
         }
         assert_eq!(srv.cache_stats().insertions, 3);
+    }
+
+    #[test]
+    fn ring_epoch_announcements_fence_stale_batches() {
+        let srv = server();
+        let mut conn = client(&srv);
+        assert_eq!(srv.ring_epoch(), 0);
+
+        // Unversioned batches are always served.
+        let ok = conn
+            .call(&Request::MultiGet {
+                epoch: 0,
+                keys: vec![CacheKey::new("f", "[0]")],
+                pinset_lo: Timestamp(1),
+                pinset_hi: Timestamp(1),
+                freshness_lo: Timestamp(1),
+            })
+            .unwrap();
+        assert!(matches!(ok, Response::MultiGetResult { .. }));
+
+        // Announce epoch 4; a lower re-announcement cannot roll it back.
+        let ack = conn.call(&Request::RingEpoch { epoch: 4 }).unwrap();
+        assert_eq!(ack, Response::EpochAck { epoch: 4 });
+        let ack = conn.call(&Request::RingEpoch { epoch: 2 }).unwrap();
+        assert_eq!(ack, Response::EpochAck { epoch: 4 });
+        assert_eq!(srv.ring_epoch(), 4);
+
+        // A batch stamped with a different epoch gets the typed redirect.
+        let redirected = conn
+            .call(&Request::MultiGet {
+                epoch: 3,
+                keys: vec![CacheKey::new("f", "[0]")],
+                pinset_lo: Timestamp(1),
+                pinset_hi: Timestamp(1),
+                freshness_lo: Timestamp(1),
+            })
+            .unwrap();
+        assert_eq!(redirected, Response::WrongEpoch { expected: 4 });
+        let redirected = conn
+            .call(&Request::MultiPut {
+                epoch: 9,
+                entries: Vec::new(),
+            })
+            .unwrap();
+        assert_eq!(redirected, Response::WrongEpoch { expected: 4 });
+
+        // The matching epoch is served.
+        let served = conn
+            .call(&Request::MultiGet {
+                epoch: 4,
+                keys: vec![CacheKey::new("f", "[0]")],
+                pinset_lo: Timestamp(1),
+                pinset_hi: Timestamp(1),
+                freshness_lo: Timestamp(1),
+            })
+            .unwrap();
+        assert!(matches!(served, Response::MultiGetResult { .. }));
     }
 
     #[test]

@@ -32,6 +32,33 @@
 //! the pooled connection (and every other request multiplexed on it) is
 //! kept.
 //!
+//! ## Replication and membership (protocol v5)
+//!
+//! Placement goes through an immutable, epoch-versioned
+//! [`cache_server::RingView`]: each key maps to an ordered *replica set*
+//! (the ring primary plus R−1 distinct successors, R set by
+//! [`RemoteOptions::replication`]). Writes fan out to the whole replica
+//! set; reads try the primary first and *fall back across the remaining
+//! replicas on transport failure, timeout, desync, or a compulsory miss*
+//! (counted in [`RemoteCluster::replica_fallbacks`]) — non-compulsory
+//! misses are final, since fan-out writes mirror versions across the set.
+//! A hit served by a fallback replica is copied to the preferred one
+//! ([`RemoteCluster::migration_fills`]), so still-valid entries migrate to
+//! their new owner as they are read after a join, leave, or heal.
+//! [`RemoteOptions::failover_threshold`] consecutive
+//! failures demote a node: demoted nodes are tried last on reads (their
+//! successors are effectively promoted) while writes and broadcasts keep
+//! probing them, so the first frame a healed node answers promotes it
+//! back — no restart of clients or peers.
+//!
+//! Membership changes at runtime ([`RemoteCluster::join_node`] /
+//! [`RemoteCluster::leave_node`]) publish the next ring epoch and announce
+//! it to every node (`RingEpoch`). Epoch-stamped `MultiGet`/`MultiPut`
+//! batches from a client still routing on an older ring draw a typed
+//! [`wire::Response::WrongEpoch`] redirect (counted in
+//! [`RemoteCluster::wrong_epoch_redirects`]) instead of silently missing
+//! on keys that moved.
+//!
 //! ## Multiplexed pipelining (protocol v4)
 //!
 //! Every request on a pooled connection carries a correlation id, so the
@@ -51,13 +78,15 @@
 //! * **Batch writes** ([`CacheBackend::insert_many`]) ship one `MultiPut`
 //!   frame per node, acked as a unit.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use cache_server::{CacheCluster, CacheStats, ConsistentHashRing, LookupOutcome, LookupRequest};
+use cache_server::{CacheCluster, CacheStats, LookupOutcome, LookupRequest, RingBuilder, RingView};
 use mvdb::InvalidationMessage;
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use txtypes::{CacheKey, Error, Result, TagSet, Timestamp, ValidityInterval, WallClock};
 use wire::{
     Connector, FramedStream, GetResult, InvalidationEvent, PutEntry, Request, Response,
@@ -69,7 +98,12 @@ use crate::config::BackendKind;
 /// The cache transport the TxCache library talks through.
 ///
 /// Both implementations expose the identical operation set, so every
-/// transaction code path (and every test) runs unchanged on either.
+/// transaction code path (and every test) runs unchanged on either. The
+/// *batched* operations are the required methods — a transaction's read or
+/// write set is the natural unit on the wire — and the single-key forms
+/// are default wrappers over one-element batches, so every backend gets
+/// the batched path for free and may override the singles with a fast
+/// path.
 pub trait CacheBackend: Send + Sync + std::fmt::Debug {
     /// Which kind of backend this is (for reporting and config assertions).
     fn kind(&self) -> BackendKind;
@@ -77,19 +111,31 @@ pub trait CacheBackend: Send + Sync + std::fmt::Debug {
     /// Number of cache nodes behind this backend.
     fn node_count(&self) -> usize;
 
-    /// Looks up a key on the responsible node (§4.1).
-    fn lookup(&self, key: &CacheKey, request: &LookupRequest) -> LookupOutcome;
-
     /// Looks up a batch of keys sharing one pin-set interval, returning one
-    /// outcome per key in request order. The default loops over
-    /// [`CacheBackend::lookup`]; the remote backend overrides it with a
-    /// scatter-gather `MultiGet` so the batch costs one round trip per
-    /// involved node instead of one per key.
-    fn lookup_many(&self, keys: &[CacheKey], request: &LookupRequest) -> Vec<LookupOutcome> {
-        keys.iter().map(|key| self.lookup(key, request)).collect()
+    /// outcome per key in request order (§4.1). The remote backend fans the
+    /// batch out as one scatter-gather `MultiGet` per involved ring node,
+    /// so it costs one round trip per node instead of one per key.
+    fn lookup_many(&self, keys: &[CacheKey], request: &LookupRequest) -> Vec<LookupOutcome>;
+
+    /// Looks up a single key: a one-element [`CacheBackend::lookup_many`]
+    /// by default; backends may override with a single-key fast path.
+    fn lookup(&self, key: &CacheKey, request: &LookupRequest) -> LookupOutcome {
+        self.lookup_many(std::slice::from_ref(key), request)
+            .pop()
+            .expect("one outcome per key")
     }
 
-    /// Inserts a computed value on the responsible node (§6.1).
+    /// Inserts a batch of computed values (§6.1). The remote backend ships
+    /// one `MultiPut` frame per responsible node.
+    fn insert_many(
+        &self,
+        entries: Vec<(CacheKey, Bytes, ValidityInterval, TagSet)>,
+        now: WallClock,
+    );
+
+    /// Inserts a single computed value: a one-element
+    /// [`CacheBackend::insert_many`] by default; backends may override with
+    /// a single-key fast path.
     fn insert(
         &self,
         key: CacheKey,
@@ -97,25 +143,28 @@ pub trait CacheBackend: Send + Sync + std::fmt::Debug {
         validity: ValidityInterval,
         tags: TagSet,
         now: WallClock,
-    );
-
-    /// Inserts a batch of computed values. The default loops over
-    /// [`CacheBackend::insert`]; the remote backend overrides it to ship one
-    /// `MultiPut` frame per responsible node.
-    fn insert_many(
-        &self,
-        entries: Vec<(CacheKey, Bytes, ValidityInterval, TagSet)>,
-        now: WallClock,
     ) {
-        for (key, value, validity, tags) in entries {
-            self.insert(key, value, validity, tags, now);
-        }
+        self.insert_many(vec![(key, value, validity, tags)], now);
     }
 
     /// Inserts that had to *block* collecting pipelined put acks (see
     /// [`crate::ClientStats::put_pipeline_stalls`]). Zero for backends
     /// without a put pipeline.
     fn put_stalls(&self) -> u64 {
+        0
+    }
+
+    /// Reads retried on a further replica after the preferred one failed
+    /// (see [`crate::ClientStats::replica_fallbacks`]). Zero for backends
+    /// without replica fallback.
+    fn replica_fallbacks(&self) -> u64 {
+        0
+    }
+
+    /// Batches refused by a node because this client routed them on a stale
+    /// ring epoch (see [`crate::ClientStats::wrong_epoch_redirects`]). Zero
+    /// for backends without epoch fencing.
+    fn wrong_epoch_redirects(&self) -> u64 {
         0
     }
 
@@ -143,8 +192,24 @@ impl CacheBackend for CacheCluster {
         CacheCluster::node_count(self)
     }
 
+    fn lookup_many(&self, keys: &[CacheKey], request: &LookupRequest) -> Vec<LookupOutcome> {
+        keys.iter()
+            .map(|key| CacheCluster::lookup(self, key, request))
+            .collect()
+    }
+
     fn lookup(&self, key: &CacheKey, request: &LookupRequest) -> LookupOutcome {
         CacheCluster::lookup(self, key, request)
+    }
+
+    fn insert_many(
+        &self,
+        entries: Vec<(CacheKey, Bytes, ValidityInterval, TagSet)>,
+        now: WallClock,
+    ) {
+        for (key, value, validity, tags) in entries {
+            CacheCluster::insert(self, key, value, validity, tags, now);
+        }
     }
 
     fn insert(
@@ -190,6 +255,13 @@ pub struct RemoteOptions {
     /// the cooldown, operations routed to the node fail fast (degrading to
     /// misses) instead of stalling every caller for `connect_timeout`.
     pub retry_cooldown: Duration,
+    /// Replica-set size R: every key is written to its ring primary plus
+    /// R−1 distinct successors, and reads fall back across them. 1 (the
+    /// default) reproduces the unreplicated deployment exactly.
+    pub replication: usize,
+    /// Consecutive failed exchanges after which a node is demoted: reads
+    /// prefer its successors until a successful frame promotes it back.
+    pub failover_threshold: u32,
 }
 
 impl Default for RemoteOptions {
@@ -198,6 +270,8 @@ impl Default for RemoteOptions {
             op_timeout: Duration::from_secs(2),
             connect_timeout: Duration::from_secs(2),
             retry_cooldown: Duration::from_secs(1),
+            replication: 1,
+            failover_threshold: 3,
         }
     }
 }
@@ -212,8 +286,9 @@ impl Default for RemoteOptions {
 /// of acks genuinely still in flight.
 const MAX_PENDING_PUTS: u32 = 64;
 
-/// A scattered node's state during a `lookup_many` gather: the node index,
-/// its held connection lock, and the in-flight MultiGet's correlation id.
+/// A scattered node's state during a `lookup_many` gather: the node's index
+/// in the topology snapshot, its held connection lock, and the in-flight
+/// MultiGet's correlation id.
 type InFlightGet<'a, T> = (usize, MutexGuard<'a, NodeConn<T>>, u64);
 
 /// One pooled node connection plus its pipelining state.
@@ -246,16 +321,53 @@ impl<T> NodeConn<T> {
 struct RemoteNode<T> {
     addr: String,
     conn: Mutex<NodeConn<T>>,
+    /// Consecutive failed exchanges; reset by any success. Crossing
+    /// [`RemoteOptions::failover_threshold`] demotes the node.
+    consecutive_failures: AtomicU32,
+    /// Demoted: reads try this node last; writes and broadcasts keep
+    /// probing it, and the first success promotes it back.
+    down: AtomicBool,
 }
+
+impl<T> RemoteNode<T> {
+    fn new(addr: &str) -> RemoteNode<T> {
+        RemoteNode {
+            addr: addr.to_string(),
+            conn: Mutex::new(NodeConn {
+                framed: None,
+                pending_puts: 0,
+                was_connected: false,
+                last_failure: None,
+            }),
+            consecutive_failures: AtomicU32::new(0),
+            down: AtomicBool::new(false),
+        }
+    }
+}
+
+/// The cluster's membership snapshot: the epoch-versioned ring view plus
+/// the node handles, index-aligned with the view's node names (the ring
+/// builder preserves order on add/remove, so the invariant survives
+/// membership changes).
+struct Topology<T> {
+    view: Arc<RingView>,
+    nodes: Vec<Arc<RemoteNode<T>>>,
+}
+
+/// What [`RemoteCluster::snapshot`] hands out: one coherent (view, nodes)
+/// pair cloned out of the topology lock.
+type TopologySnapshot<T> = (Arc<RingView>, Vec<Arc<RemoteNode<T>>>);
 
 /// A cache cluster reached over the wire protocol: one `txcached` server
 /// per ring node, dialled through a [`Connector`] (real TCP by default; the
 /// chaos tests substitute a [`wire::SimNet`]).
 pub struct RemoteCluster<C: Connector = TcpConnector> {
     connector: C,
-    nodes: Vec<RemoteNode<C::Conn>>,
-    ring: ConsistentHashRing,
+    topology: RwLock<Topology<C::Conn>>,
     options: RemoteOptions,
+    /// Mirror of the current view's epoch, readable without the topology
+    /// lock (connection healing re-announces it).
+    epoch: AtomicU64,
     /// Operations absorbed as misses because of transport failures.
     degraded: AtomicU64,
     /// Connections healed after a failure (startup connects not counted).
@@ -263,6 +375,21 @@ pub struct RemoteCluster<C: Connector = TcpConnector> {
     /// Inserts that blocked collecting put acks (pipeline window full with
     /// no acks already received).
     put_stalls: AtomicU64,
+    /// Keys whose read was retried on a further replica after the preferred
+    /// one failed (transport error, timeout, or desync — a clean miss from
+    /// a live replica is final and not counted).
+    replica_fallbacks: AtomicU64,
+    /// Epoch-stamped batches a node refused because this client routed them
+    /// on a stale ring.
+    wrong_epoch_redirects: AtomicU64,
+    /// Nodes demoted after `failover_threshold` consecutive failures.
+    failovers: AtomicU64,
+    /// Demoted nodes promoted back by a successful exchange.
+    rejoins: AtomicU64,
+    /// Still-valid entries copied to a key's preferred replica after a
+    /// fallback hit — the read-driven half of rebalancing after a
+    /// membership change or heal.
+    migration_fills: AtomicU64,
     /// Fault-injection mutation hook: when set, healed connections skip the
     /// §4.2 `SealStillValid` step. See
     /// [`RemoteCluster::disable_seal_on_heal_for_fault_injection`].
@@ -296,34 +423,52 @@ impl<C: Connector> RemoteCluster<C> {
         if addrs.is_empty() {
             return Err(Error::Network("no cache node addresses given".into()));
         }
+        let view = RingBuilder::new()
+            .add_all(addrs.iter().cloned())
+            .replication(options.replication)
+            .build(1);
+        let nodes: Vec<Arc<RemoteNode<C::Conn>>> = addrs
+            .iter()
+            .map(|addr| Arc::new(RemoteNode::new(addr)))
+            .collect();
         let cluster = RemoteCluster {
             connector,
-            nodes: addrs
-                .iter()
-                .map(|addr| RemoteNode {
-                    addr: addr.clone(),
-                    conn: Mutex::new(NodeConn {
-                        framed: None,
-                        pending_puts: 0,
-                        was_connected: false,
-                        last_failure: None,
-                    }),
-                })
-                .collect(),
-            ring: ConsistentHashRing::with_nodes(addrs.to_vec()),
+            topology: RwLock::new(Topology {
+                view,
+                nodes: nodes.clone(),
+            }),
             options,
+            epoch: AtomicU64::new(1),
             degraded: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
             put_stalls: AtomicU64::new(0),
+            replica_fallbacks: AtomicU64::new(0),
+            wrong_epoch_redirects: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
+            migration_fills: AtomicU64::new(0),
             seal_on_heal_disabled: AtomicBool::new(false),
         };
-        for (idx, node) in cluster.nodes.iter().enumerate() {
+        for node in &nodes {
             let mut conn = node.conn.lock();
             cluster
-                .ensure_connected(idx, &mut conn)
+                .ensure_connected(node, &mut conn)
                 .map_err(|e| Error::Network(format!("cache node {}: {e}", node.addr)))?;
         }
         Ok(cluster)
+    }
+
+    /// The current ring-membership epoch (1 at connect; each
+    /// [`RemoteCluster::join_node`]/[`RemoteCluster::leave_node`] bumps it).
+    #[must_use]
+    pub fn ring_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The replica-set size reads and writes are routed with.
+    #[must_use]
+    pub fn replication(&self) -> usize {
+        self.topology.read().view.replication()
     }
 
     /// Operations that were absorbed as misses because a node was
@@ -347,13 +492,47 @@ impl<C: Connector> RemoteCluster<C> {
         self.put_stalls.load(Ordering::Relaxed)
     }
 
+    /// Keys whose read was served by (or retried on) a further replica
+    /// after the preferred one failed.
+    #[must_use]
+    pub fn replica_fallbacks(&self) -> u64 {
+        self.replica_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Epoch-stamped batches refused by a node because this client routed
+    /// them on a stale ring epoch.
+    #[must_use]
+    pub fn wrong_epoch_redirects(&self) -> u64 {
+        self.wrong_epoch_redirects.load(Ordering::Relaxed)
+    }
+
+    /// Nodes demoted after [`RemoteOptions::failover_threshold`]
+    /// consecutive failed exchanges.
+    #[must_use]
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Demoted nodes promoted back to service by a successful exchange.
+    #[must_use]
+    pub fn rejoins(&self) -> u64 {
+        self.rejoins.load(Ordering::Relaxed)
+    }
+
+    /// Still-valid entries copied to a key's preferred replica after a
+    /// fallback hit (read-driven rebalancing after a join or heal).
+    #[must_use]
+    pub fn migration_fills(&self) -> u64 {
+        self.migration_fills.load(Ordering::Relaxed)
+    }
+
     /// Drops every pooled connection and starts each node's reconnect
     /// cooldown, as a network partition would. Operations during the
     /// cooldown degrade to misses; the first operation after it heals the
     /// connection (sealing the node's still-valid entries first). Exposed
     /// for failure injection in tests and operational tooling.
     pub fn drop_connections(&self) {
-        for node in &self.nodes {
+        for node in &self.topology.read().nodes {
             node.conn.lock().mark_dead();
         }
     }
@@ -374,10 +553,107 @@ impl<C: Connector> RemoteCluster<C> {
     /// The node addresses, in ring order.
     #[must_use]
     pub fn addrs(&self) -> Vec<String> {
-        self.nodes.iter().map(|n| n.addr.clone()).collect()
+        self.topology
+            .read()
+            .nodes
+            .iter()
+            .map(|n| n.addr.clone())
+            .collect()
     }
 
-    fn ensure_connected(&self, idx: usize, conn: &mut NodeConn<C::Conn>) -> wire::Result<()> {
+    /// Adds a `txcached` node to the ring at runtime: connects to it,
+    /// publishes the next ring epoch, and announces the epoch to every
+    /// node so stale-stamped batches are fenced. Returns the new epoch.
+    pub fn join_node(&self, addr: &str) -> Result<u64> {
+        let node = Arc::new(RemoteNode::new(addr));
+        {
+            let mut conn = node.conn.lock();
+            self.ensure_connected(&node, &mut conn)
+                .map_err(|e| Error::Network(format!("cache node {addr}: {e}")))?;
+        }
+        let epoch = {
+            let mut topology = self.topology.write();
+            if topology.nodes.iter().any(|n| n.addr == addr) {
+                return Err(Error::Network(format!("cache node {addr} already joined")));
+            }
+            let next = topology
+                .view
+                .builder()
+                .add(addr)
+                .build(topology.view.epoch() + 1);
+            topology.nodes.push(node);
+            topology.view = next;
+            let epoch = topology.view.epoch();
+            self.epoch.store(epoch, Ordering::SeqCst);
+            epoch
+        };
+        self.announce_epoch(epoch);
+        Ok(epoch)
+    }
+
+    /// Removes a node from the ring at runtime, publishing and announcing
+    /// the next ring epoch. Its keys are served by the surviving replicas
+    /// (re-cached on first miss). Returns the new epoch.
+    pub fn leave_node(&self, addr: &str) -> Result<u64> {
+        let epoch = {
+            let mut topology = self.topology.write();
+            let Some(pos) = topology.nodes.iter().position(|n| n.addr == addr) else {
+                return Err(Error::Network(format!("cache node {addr} is not joined")));
+            };
+            if topology.nodes.len() == 1 {
+                return Err(Error::Network("cannot remove the last cache node".into()));
+            }
+            topology.nodes.remove(pos);
+            topology.view = topology
+                .view
+                .builder()
+                .remove(addr)
+                .build(topology.view.epoch() + 1);
+            let epoch = topology.view.epoch();
+            self.epoch.store(epoch, Ordering::SeqCst);
+            epoch
+        };
+        self.announce_epoch(epoch);
+        Ok(epoch)
+    }
+
+    /// One coherent membership snapshot: the view plus its index-aligned
+    /// node handles.
+    fn snapshot(&self) -> TopologySnapshot<C::Conn> {
+        let topology = self.topology.read();
+        (Arc::clone(&topology.view), topology.nodes.clone())
+    }
+
+    /// Broadcasts a `RingEpoch` announcement to every node. Failures are
+    /// absorbed: an unreachable node learns the epoch when its connection
+    /// heals (see [`RemoteCluster::ensure_connected`]).
+    fn announce_epoch(&self, epoch: u64) {
+        self.broadcast(&Request::RingEpoch { epoch });
+    }
+
+    /// Records a failed exchange against a node's health; crossing the
+    /// failover threshold demotes it (successors take over reads).
+    fn note_failure(&self, node: &RemoteNode<C::Conn>) {
+        let failures = node.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if failures >= self.options.failover_threshold && !node.down.swap(true, Ordering::Relaxed) {
+            self.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a successful exchange: resets the failure streak and
+    /// promotes the node back if it was demoted.
+    fn note_success(&self, node: &RemoteNode<C::Conn>) {
+        node.consecutive_failures.store(0, Ordering::Relaxed);
+        if node.down.swap(false, Ordering::Relaxed) {
+            self.rejoins.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn ensure_connected(
+        &self,
+        node: &RemoteNode<C::Conn>,
+        conn: &mut NodeConn<C::Conn>,
+    ) -> wire::Result<()> {
         if conn.framed.is_some() {
             return Ok(());
         }
@@ -395,7 +671,7 @@ impl<C: Connector> RemoteCluster<C> {
         let connected = (|| -> wire::Result<FramedStream<C::Conn>> {
             let stream = self
                 .connector
-                .connect(&self.nodes[idx].addr, self.options.connect_timeout)
+                .connect(&node.addr, self.options.connect_timeout)
                 .map_err(wire::WireError::Io)?;
             stream
                 .set_io_timeout(Some(self.options.op_timeout))
@@ -413,6 +689,26 @@ impl<C: Connector> RemoteCluster<C> {
                         return Err(wire::WireError::Io(std::io::Error::new(
                             std::io::ErrorKind::InvalidData,
                             format!("unexpected seal reply: {other:?}"),
+                        )))
+                    }
+                }
+            }
+            // Tell the node which ring epoch this client routes with, so
+            // epoch-stamped batches are fenced from the first frame (and a
+            // node that was unreachable during a membership change catches
+            // up as soon as it heals). Epoch 1 is the initial, never-changed
+            // membership: announcing it would fence nothing (nodes treat an
+            // unannounced ring as unfenced), so the handshake is skipped and
+            // the connect conversation stays one round trip shorter until
+            // the first join/leave.
+            let epoch = self.epoch.load(Ordering::SeqCst);
+            if epoch > 1 {
+                match framed.call(&Request::RingEpoch { epoch })?.into_result()? {
+                    Response::EpochAck { .. } => {}
+                    other => {
+                        return Err(wire::WireError::Io(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("unexpected epoch reply: {other:?}"),
                         )))
                     }
                 }
@@ -440,7 +736,7 @@ impl<C: Connector> RemoteCluster<C> {
     /// Sweeps put acks that already arrived (parked in the mailbox while
     /// some other response was being awaited) without touching the wire.
     /// Free: never blocks, never reads.
-    fn sweep_parked_acks(conn: &mut NodeConn<C::Conn>) -> wire::Result<()> {
+    fn sweep_parked_acks(&self, conn: &mut NodeConn<C::Conn>) -> wire::Result<()> {
         if conn.pending_puts == 0 {
             return Ok(());
         }
@@ -448,7 +744,7 @@ impl<C: Connector> RemoteCluster<C> {
         while conn.pending_puts > 0 {
             match framed.pop_mailbox() {
                 Some((_seq, response)) => {
-                    response.into_result()?;
+                    self.absorb_put_ack(response.into_result()?);
                     conn.pending_puts -= 1;
                 }
                 None => break,
@@ -460,11 +756,11 @@ impl<C: Connector> RemoteCluster<C> {
     /// Blocks until one outstanding put ack arrives off the wire. Only
     /// called when the pipeline window is full and the mailbox is empty —
     /// the genuine stall case.
-    fn collect_one_ack(conn: &mut NodeConn<C::Conn>) -> wire::Result<()> {
+    fn collect_one_ack(&self, conn: &mut NodeConn<C::Conn>) -> wire::Result<()> {
         let framed = conn.framed.as_mut().expect("collected only when connected");
         match framed.recv_matched()? {
             Some((_seq, response)) => {
-                response.into_result()?;
+                self.absorb_put_ack(response.into_result()?);
                 conn.pending_puts -= 1;
                 Ok(())
             }
@@ -475,29 +771,46 @@ impl<C: Connector> RemoteCluster<C> {
         }
     }
 
+    /// Inspects a collected put ack: a `WrongEpoch` means the write batch
+    /// was refused (the entries were not stored) because this client
+    /// stamped it with a stale ring epoch — counted so the redirect is
+    /// visible, not silent.
+    fn absorb_put_ack(&self, response: Response) {
+        if matches!(response, Response::WrongEpoch { .. }) {
+            self.wrong_epoch_redirects.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Enforces the [`MAX_PENDING_PUTS`] window before writing another put.
     /// Sweeping the mailbox is free; only if the window is still full does
     /// the caller genuinely stall on the wire (a counted event).
     fn bound_put_pipeline(&self, conn: &mut NodeConn<C::Conn>) -> wire::Result<()> {
-        Self::sweep_parked_acks(conn)?;
+        self.sweep_parked_acks(conn)?;
         if conn.pending_puts >= MAX_PENDING_PUTS {
             self.put_stalls.fetch_add(1, Ordering::Relaxed);
             while conn.pending_puts >= MAX_PENDING_PUTS {
-                Self::collect_one_ack(conn)?;
+                self.collect_one_ack(conn)?;
             }
         }
         Ok(())
     }
 
-    /// Absorbs an operation failure: counts it, and drops the pooled
-    /// connection unless the failure was a correlation-id desync. A desync
-    /// stream is still frame-aligned (the offending frame was consumed
-    /// whole), so the connection — and every other request multiplexed on
-    /// it — remains usable; only the awaited request degrades.
-    fn absorb_failure(&self, conn: &mut NodeConn<C::Conn>, error: &wire::WireError) {
+    /// Absorbs an operation failure: counts it, tracks the node's health,
+    /// and drops the pooled connection unless the failure was a
+    /// correlation-id desync. A desync stream is still frame-aligned (the
+    /// offending frame was consumed whole), so the connection — and every
+    /// other request multiplexed on it — remains usable; only the awaited
+    /// request degrades, and the node's failover streak is not charged.
+    fn absorb_failure(
+        &self,
+        node: &RemoteNode<C::Conn>,
+        conn: &mut NodeConn<C::Conn>,
+        error: &wire::WireError,
+    ) {
         self.degraded.fetch_add(1, Ordering::Relaxed);
         if !matches!(error, wire::WireError::Desync { .. }) {
             conn.mark_dead();
+            self.note_failure(node);
         }
     }
 
@@ -505,23 +818,26 @@ impl<C: Connector> RemoteCluster<C> {
     /// connection lazily. On any failure the operation degrades and `None`
     /// is returned; transport failures additionally drop the pooled
     /// connection (the next use reconnects).
-    fn exchange(&self, idx: usize, request: &Request) -> Option<Response> {
-        let mut conn = self.nodes[idx].conn.lock();
+    fn exchange(&self, node: &RemoteNode<C::Conn>, request: &Request) -> Option<Response> {
+        let mut conn = node.conn.lock();
         let result = (|| -> wire::Result<Response> {
-            self.ensure_connected(idx, &mut conn)?;
+            self.ensure_connected(node, &mut conn)?;
             let framed = conn.framed.as_mut().expect("just connected");
             let seq = framed.send_request(request)?;
             // Awaiting our response parks any put acks that arrive first in
             // the mailbox; sweep them afterwards so the pipeline window
             // shrinks without ever paying a dedicated read for acks.
             let response = framed.recv_for(seq)?.into_result()?;
-            Self::sweep_parked_acks(&mut conn)?;
+            self.sweep_parked_acks(&mut conn)?;
             Ok(response)
         })();
         match result {
-            Ok(response) => Some(response),
+            Ok(response) => {
+                self.note_success(node);
+                Some(response)
+            }
             Err(e) => {
-                self.absorb_failure(&mut conn, &e);
+                self.absorb_failure(node, &mut conn, &e);
                 None
             }
         }
@@ -529,14 +845,17 @@ impl<C: Connector> RemoteCluster<C> {
 
     /// Sends one request to every node, *then* collects every response — the
     /// fan-out pipelining used for invalidation batches and maintenance, so
-    /// total latency is one round trip rather than one per node.
+    /// total latency is one round trip rather than one per node. Demoted
+    /// nodes are included: broadcasts are the probe traffic that promotes a
+    /// healed node back into service.
     fn broadcast(&self, request: &Request) -> Vec<Option<Response>> {
+        let (_, nodes) = self.snapshot();
         let mut guards: Vec<MutexGuard<'_, NodeConn<C::Conn>>> =
-            self.nodes.iter().map(|n| n.conn.lock()).collect();
+            nodes.iter().map(|n| n.conn.lock()).collect();
         let mut sent: Vec<Option<u64>> = Vec::with_capacity(guards.len());
-        for (idx, conn) in guards.iter_mut().enumerate() {
+        for (node, conn) in nodes.iter().zip(guards.iter_mut()) {
             let outcome = (|| -> wire::Result<u64> {
-                self.ensure_connected(idx, conn)?;
+                self.ensure_connected(node, conn)?;
                 conn.framed
                     .as_mut()
                     .expect("just connected")
@@ -545,13 +864,13 @@ impl<C: Connector> RemoteCluster<C> {
             match outcome {
                 Ok(seq) => sent.push(Some(seq)),
                 Err(e) => {
-                    self.absorb_failure(conn, &e);
+                    self.absorb_failure(node, conn, &e);
                     sent.push(None);
                 }
             }
         }
         let mut responses = Vec::with_capacity(guards.len());
-        for (conn, seq) in guards.iter_mut().zip(sent) {
+        for ((node, conn), seq) in nodes.iter().zip(guards.iter_mut()).zip(sent) {
             let Some(seq) = seq else {
                 responses.push(None);
                 continue;
@@ -563,13 +882,16 @@ impl<C: Connector> RemoteCluster<C> {
                     .expect("sent on this conn")
                     .recv_for(seq)?
                     .into_result()?;
-                Self::sweep_parked_acks(conn)?;
+                self.sweep_parked_acks(conn)?;
                 Ok(response)
             })();
             match received {
-                Ok(response) => responses.push(Some(response)),
+                Ok(response) => {
+                    self.note_success(node);
+                    responses.push(Some(response));
+                }
                 Err(e) => {
-                    self.absorb_failure(conn, &e);
+                    self.absorb_failure(node, conn, &e);
                     responses.push(None);
                 }
             }
@@ -577,22 +899,67 @@ impl<C: Connector> RemoteCluster<C> {
         responses
     }
 
-    /// Groups each key's position by the ring node responsible for it.
-    /// Returned in node-index order so callers lock nodes in the same order
-    /// as [`RemoteCluster::broadcast`] (no lock-order inversion).
-    fn positions_by_node<'k>(&self, keys: impl Iterator<Item = &'k CacheKey>) -> Vec<Vec<usize>> {
-        let mut by_node: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
-        for (pos, key) in keys.enumerate() {
-            by_node[self.ring.node_for(key)].push(pos);
+    /// Copies an entry served by a fallback replica to the key's preferred
+    /// replica, with the sibling's *stored* validity and tags so the copy
+    /// invalidates identically, at the LRU-coldest access time. This is the
+    /// read-driven half of rebalancing: after a join or heal, still-valid
+    /// entries flow to the new owner as they are read, and the double round
+    /// trip disappears. Pipelined like any put; failures are absorbed.
+    fn migration_fill(
+        &self,
+        node: &RemoteNode<C::Conn>,
+        key: &CacheKey,
+        value: &Bytes,
+        stored_validity: ValidityInterval,
+        tags: &TagSet,
+    ) {
+        let mut conn = node.conn.lock();
+        let sent = (|| -> wire::Result<()> {
+            self.ensure_connected(node, &mut conn)?;
+            self.bound_put_pipeline(&mut conn)?;
+            conn.framed
+                .as_mut()
+                .expect("just connected")
+                .send_request(&Request::Put {
+                    key: key.clone(),
+                    value: value.clone(),
+                    validity: stored_validity,
+                    tags: tags.clone(),
+                    now: WallClock::ZERO,
+                })?;
+            Ok(())
+        })();
+        match sent {
+            Ok(()) => {
+                conn.pending_puts += 1;
+                self.migration_fills.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => self.absorb_failure(node, &mut conn, &e),
         }
-        by_node
+    }
+
+    /// A key's replica indices in read-attempt order: ring order, with
+    /// demoted nodes moved to the back (stable — their successors are
+    /// effectively promoted while they keep serving as the last resort).
+    fn read_order(
+        &self,
+        view: &RingView,
+        nodes: &[Arc<RemoteNode<C::Conn>>],
+        key: &CacheKey,
+    ) -> Vec<usize> {
+        let mut replicas = view.replicas_for(key);
+        replicas.sort_by_key(|&idx| nodes[idx].down.load(Ordering::Relaxed));
+        replicas
     }
 }
 
 impl<C: Connector> std::fmt::Debug for RemoteCluster<C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let topology = self.topology.read();
         f.debug_struct("RemoteCluster")
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &topology.nodes.len())
+            .field("epoch", &topology.view.epoch())
+            .field("replication", &topology.view.replication())
             .field("degraded_ops", &self.degraded_ops())
             .finish()
     }
@@ -604,118 +971,241 @@ impl<C: Connector> CacheBackend for RemoteCluster<C> {
     }
 
     fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.topology.read().nodes.len()
     }
 
     fn lookup(&self, key: &CacheKey, request: &LookupRequest) -> LookupOutcome {
-        let idx = self.ring.node_for(key);
-        let response = self.exchange(
-            idx,
-            &Request::VersionedGet {
-                key: key.clone(),
-                pinset_lo: request.pinset_lo,
-                pinset_hi: request.pinset_hi,
-                freshness_lo: request.freshness_lo,
-            },
-        );
-        match response {
-            Some(Response::Hit {
-                value,
-                validity,
-                stored_validity,
-                tags,
-            }) => LookupOutcome::Hit {
-                value,
-                validity,
-                stored_validity,
-                tags,
-            },
-            Some(Response::Miss { kind }) => LookupOutcome::Miss(kind.into()),
-            // Unexpected frame or transport failure: serve the request from
-            // the database instead of stalling it (§4's availability model —
-            // a cache node that is down is just a miss).
-            Some(_) | None => LookupOutcome::Miss(degraded_miss_kind()),
+        let (view, nodes) = self.snapshot();
+        let order = self.read_order(&view, &nodes, key);
+        let mut first_miss: Option<cache_server::MissKind> = None;
+        for (attempt, &idx) in order.iter().enumerate() {
+            if attempt > 0 {
+                self.replica_fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+            let response = self.exchange(
+                &nodes[idx],
+                &Request::VersionedGet {
+                    key: key.clone(),
+                    pinset_lo: request.pinset_lo,
+                    pinset_hi: request.pinset_hi,
+                    freshness_lo: request.freshness_lo,
+                },
+            );
+            match response {
+                Some(Response::Hit {
+                    value,
+                    validity,
+                    stored_validity,
+                    tags,
+                }) => {
+                    // Served by a non-preferred replica: copy the entry to
+                    // the preferred one so the next read is one hop.
+                    if attempt > 0 {
+                        self.migration_fill(&nodes[order[0]], key, &value, stored_validity, &tags);
+                    }
+                    return LookupOutcome::Hit {
+                        value,
+                        validity,
+                        stored_validity,
+                        tags,
+                    };
+                }
+                Some(Response::Miss { kind }) => {
+                    let kind: cache_server::MissKind = kind.into();
+                    first_miss.get_or_insert(kind);
+                    // A compulsory miss means the replica simply never saw
+                    // the key — a sibling may still hold it (it was the
+                    // owner before a join or heal), so keep probing. Any
+                    // other miss kind means the replica *has* versions and
+                    // none fit the interval; fan-out writes mirror versions
+                    // across the set, so siblings would answer identically.
+                    if matches!(kind, cache_server::MissKind::Compulsory) {
+                        continue;
+                    }
+                    return LookupOutcome::Miss(kind);
+                }
+                // Unexpected frame or transport failure: try the next
+                // replica; if all fail, serve from the database (§4's
+                // availability model — a cache node that is down is just a
+                // miss).
+                Some(_) | None => continue,
+            }
         }
+        LookupOutcome::Miss(first_miss.unwrap_or_else(degraded_miss_kind))
     }
 
     fn lookup_many(&self, keys: &[CacheKey], request: &LookupRequest) -> Vec<LookupOutcome> {
         if keys.is_empty() {
             return Vec::new();
         }
-        let by_node = self.positions_by_node(keys.iter());
+        let (view, nodes) = self.snapshot();
+        let epoch = view.epoch();
+        let orders: Vec<Vec<usize>> = keys
+            .iter()
+            .map(|key| self.read_order(&view, &nodes, key))
+            .collect();
         let mut out: Vec<LookupOutcome> = keys
             .iter()
             .map(|_| LookupOutcome::Miss(degraded_miss_kind()))
             .collect();
-        // Scatter: lock every involved node (ascending index, matching
-        // broadcast's lock order) and send its share of the read set as one
-        // MultiGet, keeping every node's lookup in flight concurrently.
-        let mut in_flight: Vec<InFlightGet<'_, C::Conn>> = Vec::new();
-        for (idx, positions) in by_node.iter().enumerate() {
-            if positions.is_empty() {
-                continue;
+        // Keys that hit a fallback replica, to be copied to their preferred
+        // one afterwards (read-driven rebalancing).
+        let mut fills: Vec<usize> = Vec::new();
+        // Attempt 0 routes every key to its preferred replica; keys whose
+        // node failed (transport error, timeout, desync) or compulsorily
+        // missed (a sibling may still hold the entry after a join or heal)
+        // retry on their next replica in the following round. Hits and
+        // non-compulsory misses are final: fan-out writes mirror versions
+        // across the replica set, so a replica that *has* versions answers
+        // for its siblings.
+        let mut pending: Vec<usize> = (0..keys.len()).collect();
+        for attempt in 0..view.replication().max(1) {
+            if pending.is_empty() {
+                break;
             }
-            let mut conn = self.nodes[idx].conn.lock();
-            let sent = (|| -> wire::Result<u64> {
-                self.ensure_connected(idx, &mut conn)?;
-                let node_keys: Vec<CacheKey> =
-                    positions.iter().map(|&pos| keys[pos].clone()).collect();
-                conn.framed
-                    .as_mut()
-                    .expect("just connected")
-                    .send_request(&Request::MultiGet {
-                        keys: node_keys,
-                        pinset_lo: request.pinset_lo,
-                        pinset_hi: request.pinset_hi,
-                        freshness_lo: request.freshness_lo,
-                    })
-            })();
-            match sent {
-                Ok(seq) => in_flight.push((idx, conn, seq)),
-                Err(e) => self.absorb_failure(&mut conn, &e),
+            // Group this round's keys by the node each tries now; BTreeMap
+            // iteration locks nodes in ascending index order, matching
+            // broadcast (no lock-order inversion).
+            let mut by_node: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for &pos in &pending {
+                if let Some(&idx) = orders[pos].get(attempt) {
+                    by_node.entry(idx).or_default().push(pos);
+                }
             }
-        }
-        // Gather: each node's single MultiGetResult carries its whole share
-        // in request order. A failed node leaves its keys as the degraded
-        // misses they were initialized to.
-        for (idx, mut conn, seq) in in_flight {
-            let received = (|| -> wire::Result<Response> {
-                let response = conn
-                    .framed
-                    .as_mut()
-                    .expect("sent on this conn")
-                    .recv_for(seq)?
-                    .into_result()?;
-                Self::sweep_parked_acks(&mut conn)?;
-                Ok(response)
-            })();
-            match received {
-                Ok(Response::MultiGetResult { results }) if results.len() == by_node[idx].len() => {
-                    for (&pos, result) in by_node[idx].iter().zip(results) {
-                        out[pos] = match result {
-                            GetResult::Hit {
-                                value,
-                                validity,
-                                stored_validity,
-                                tags,
-                            } => LookupOutcome::Hit {
-                                value,
-                                validity,
-                                stored_validity,
-                                tags,
-                            },
-                            GetResult::Miss { kind } => LookupOutcome::Miss(kind.into()),
-                        };
+            if by_node.is_empty() {
+                break;
+            }
+            if attempt > 0 {
+                let retried: u64 = by_node.values().map(|p| p.len() as u64).sum();
+                self.replica_fallbacks.fetch_add(retried, Ordering::Relaxed);
+            }
+            let mut failed: Vec<usize> = Vec::new();
+            // Scatter: lock every involved node and send its share of the
+            // read set as one MultiGet, keeping every node's lookup in
+            // flight concurrently.
+            let mut in_flight: Vec<InFlightGet<'_, C::Conn>> = Vec::new();
+            for (&idx, positions) in &by_node {
+                let node = &nodes[idx];
+                let mut conn = node.conn.lock();
+                let sent = (|| -> wire::Result<u64> {
+                    self.ensure_connected(node, &mut conn)?;
+                    let node_keys: Vec<CacheKey> =
+                        positions.iter().map(|&pos| keys[pos].clone()).collect();
+                    conn.framed
+                        .as_mut()
+                        .expect("just connected")
+                        .send_request(&Request::MultiGet {
+                            epoch,
+                            keys: node_keys,
+                            pinset_lo: request.pinset_lo,
+                            pinset_hi: request.pinset_hi,
+                            freshness_lo: request.freshness_lo,
+                        })
+                })();
+                match sent {
+                    Ok(seq) => in_flight.push((idx, conn, seq)),
+                    Err(e) => {
+                        self.absorb_failure(node, &mut conn, &e);
+                        failed.extend_from_slice(positions);
                     }
                 }
-                // A well-formed frame of the wrong shape (or a result count
-                // that disagrees with the request) is a protocol bug on the
-                // node: treat it like any transport failure.
-                Ok(_) => {
-                    self.degraded.fetch_add(1, Ordering::Relaxed);
-                    conn.mark_dead();
+            }
+            // Gather: each node's single MultiGetResult carries its whole
+            // share in request order. A failed node's keys go to the next
+            // replica round; if every replica fails they stay the degraded
+            // misses they were initialized to.
+            for (idx, mut conn, seq) in in_flight {
+                let node = &nodes[idx];
+                let received = (|| -> wire::Result<Response> {
+                    let response = conn
+                        .framed
+                        .as_mut()
+                        .expect("sent on this conn")
+                        .recv_for(seq)?
+                        .into_result()?;
+                    self.sweep_parked_acks(&mut conn)?;
+                    Ok(response)
+                })();
+                match received {
+                    Ok(Response::MultiGetResult { results })
+                        if results.len() == by_node[&idx].len() =>
+                    {
+                        self.note_success(node);
+                        for (&pos, result) in by_node[&idx].iter().zip(results) {
+                            match result {
+                                GetResult::Hit {
+                                    value,
+                                    validity,
+                                    stored_validity,
+                                    tags,
+                                } => {
+                                    if attempt > 0 {
+                                        fills.push(pos);
+                                    }
+                                    out[pos] = LookupOutcome::Hit {
+                                        value,
+                                        validity,
+                                        stored_validity,
+                                        tags,
+                                    };
+                                }
+                                GetResult::Miss { kind } => {
+                                    let kind: cache_server::MissKind = kind.into();
+                                    // Record the first concrete miss kind
+                                    // (overwriting the degraded placeholder,
+                                    // never a previously recorded kind).
+                                    if matches!(
+                                        out[pos],
+                                        LookupOutcome::Miss(cache_server::MissKind::Capacity)
+                                    ) {
+                                        out[pos] = LookupOutcome::Miss(kind);
+                                    }
+                                    if matches!(kind, cache_server::MissKind::Compulsory)
+                                        && orders[pos].len() > attempt + 1
+                                    {
+                                        failed.push(pos);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // The node routes on a different ring epoch than this
+                    // client: a typed redirect, not a node failure. The
+                    // keys degrade (the replicas would refuse identically)
+                    // until the client's ring view catches up.
+                    Ok(Response::WrongEpoch { .. }) => {
+                        self.note_success(node);
+                        self.wrong_epoch_redirects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // A well-formed frame of the wrong shape (or a result
+                    // count that disagrees with the request) is a protocol
+                    // bug on the node: treat it like any transport failure.
+                    Ok(_) => {
+                        self.degraded.fetch_add(1, Ordering::Relaxed);
+                        conn.mark_dead();
+                        self.note_failure(node);
+                        failed.extend_from_slice(&by_node[&idx]);
+                    }
+                    Err(e) => {
+                        self.absorb_failure(node, &mut conn, &e);
+                        failed.extend_from_slice(&by_node[&idx]);
+                    }
                 }
-                Err(e) => self.absorb_failure(&mut conn, &e),
+            }
+            pending = failed;
+        }
+        // Copy fallback hits to their preferred replicas so the next batch
+        // finds them one hop away.
+        for pos in fills {
+            if let LookupOutcome::Hit {
+                value,
+                stored_validity,
+                tags,
+                ..
+            } = &out[pos]
+            {
+                let preferred = orders[pos][0];
+                self.migration_fill(&nodes[preferred], &keys[pos], value, *stored_validity, tags);
             }
         }
         out
@@ -729,24 +1219,30 @@ impl<C: Connector> CacheBackend for RemoteCluster<C> {
         tags: TagSet,
         now: WallClock,
     ) {
-        let idx = self.ring.node_for(&key);
-        let mut conn = self.nodes[idx].conn.lock();
-        let sent = (|| -> wire::Result<()> {
-            self.ensure_connected(idx, &mut conn)?;
-            self.bound_put_pipeline(&mut conn)?;
-            let framed = conn.framed.as_mut().expect("just connected");
-            framed.send_request(&Request::Put {
-                key,
-                value,
-                validity,
-                tags,
-                now,
-            })?;
-            Ok(())
-        })();
-        match sent {
-            Ok(()) => conn.pending_puts += 1,
-            Err(e) => self.absorb_failure(&mut conn, &e),
+        let (view, nodes) = self.snapshot();
+        // Fan the write out to the full replica set — demoted nodes
+        // included (a cheap, cooldown-gated probe that re-fills them the
+        // moment they heal).
+        for &idx in &view.replicas_for(&key) {
+            let node = &nodes[idx];
+            let mut conn = node.conn.lock();
+            let sent = (|| -> wire::Result<()> {
+                self.ensure_connected(node, &mut conn)?;
+                self.bound_put_pipeline(&mut conn)?;
+                let framed = conn.framed.as_mut().expect("just connected");
+                framed.send_request(&Request::Put {
+                    key: key.clone(),
+                    value: value.clone(),
+                    validity,
+                    tags: tags.clone(),
+                    now,
+                })?;
+                Ok(())
+            })();
+            match sent {
+                Ok(()) => conn.pending_puts += 1,
+                Err(e) => self.absorb_failure(node, &mut conn, &e),
+            }
         }
     }
 
@@ -758,46 +1254,61 @@ impl<C: Connector> CacheBackend for RemoteCluster<C> {
         if entries.is_empty() {
             return;
         }
-        let by_node = self.positions_by_node(entries.iter().map(|(key, ..)| key));
-        let mut slots: Vec<Option<(CacheKey, Bytes, ValidityInterval, TagSet)>> =
-            entries.into_iter().map(Some).collect();
-        for (idx, positions) in by_node.iter().enumerate() {
-            if positions.is_empty() {
-                continue;
+        let (view, nodes) = self.snapshot();
+        let epoch = view.epoch();
+        // Group entry positions by node across the *full* replica set of
+        // each key (replicated entries appear under several nodes).
+        let mut by_node: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (pos, (key, ..)) in entries.iter().enumerate() {
+            for idx in view.replicas_for(key) {
+                by_node.entry(idx).or_default().push(pos);
             }
+        }
+        for (&idx, positions) in &by_node {
             let batch: Vec<PutEntry> = positions
                 .iter()
                 .map(|&pos| {
-                    let (key, value, validity, tags) =
-                        slots[pos].take().expect("each position taken once");
+                    let (key, value, validity, tags) = &entries[pos];
                     PutEntry {
-                        key,
-                        value,
-                        validity,
-                        tags,
+                        key: key.clone(),
+                        value: value.clone(),
+                        validity: *validity,
+                        tags: tags.clone(),
                         now,
                     }
                 })
                 .collect();
-            let mut conn = self.nodes[idx].conn.lock();
+            let node = &nodes[idx];
+            let mut conn = node.conn.lock();
             let sent = (|| -> wire::Result<()> {
-                self.ensure_connected(idx, &mut conn)?;
+                self.ensure_connected(node, &mut conn)?;
                 self.bound_put_pipeline(&mut conn)?;
                 let framed = conn.framed.as_mut().expect("just connected");
-                framed.send_request(&Request::MultiPut { entries: batch })?;
+                framed.send_request(&Request::MultiPut {
+                    epoch,
+                    entries: batch,
+                })?;
                 Ok(())
             })();
             match sent {
                 // One `MultiPut` is one pipelined ack, however many entries
                 // it carries.
                 Ok(()) => conn.pending_puts += 1,
-                Err(e) => self.absorb_failure(&mut conn, &e),
+                Err(e) => self.absorb_failure(node, &mut conn, &e),
             }
         }
     }
 
     fn put_stalls(&self) -> u64 {
         RemoteCluster::put_stalls(self)
+    }
+
+    fn replica_fallbacks(&self) -> u64 {
+        RemoteCluster::replica_fallbacks(self)
+    }
+
+    fn wrong_epoch_redirects(&self) -> u64 {
+        RemoteCluster::wrong_epoch_redirects(self)
     }
 
     fn apply_invalidations(&self, batch: &[InvalidationMessage], heartbeat: Timestamp) {

@@ -108,12 +108,15 @@ impl TxCache {
         &self.clock
     }
 
-    /// Library-side statistics. Put-pipeline stalls counted inside the
-    /// backend (the remote backend counts its own) are merged in.
+    /// Library-side statistics. Counters kept inside the backend — put
+    /// stalls, replica fallbacks, wrong-epoch redirects (the remote backend
+    /// counts its own) — are merged in.
     #[must_use]
     pub fn stats(&self) -> ClientStats {
         let mut snapshot = self.stats.snapshot();
         snapshot.put_pipeline_stalls += self.cache.put_stalls();
+        snapshot.replica_fallbacks += self.cache.replica_fallbacks();
+        snapshot.wrong_epoch_redirects += self.cache.wrong_epoch_redirects();
         snapshot
     }
 

@@ -34,6 +34,15 @@ pub struct ClientStats {
     /// opportunistically, so this staying near zero is the signal that the
     /// put pipeline is not stalling foreground traffic.
     pub put_pipeline_stalls: u64,
+    /// Reads retried on a further replica after the preferred one failed
+    /// (remote backend with replication only). Nonzero means the replica
+    /// tier absorbed node failures that would otherwise have been misses.
+    pub replica_fallbacks: u64,
+    /// Batches a cache node refused because this client routed them on a
+    /// stale ring-membership epoch (remote backend only). A burst is
+    /// expected around a membership change, then the counter should go
+    /// quiet once the client's ring view catches up.
+    pub wrong_epoch_redirects: u64,
 }
 
 impl ClientStats {
@@ -100,6 +109,10 @@ impl AtomicClientStats {
             commits: self.commits.get(),
             aborts: self.aborts.get(),
             put_pipeline_stalls: self.put_pipeline_stalls.get(),
+            // Replica fallbacks and wrong-epoch redirects live in the
+            // backend's own counters; `TxCache::stats` merges them in.
+            replica_fallbacks: 0,
+            wrong_epoch_redirects: 0,
         }
     }
 }

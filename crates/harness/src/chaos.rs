@@ -31,7 +31,7 @@ use cache_server::{CacheCluster, CacheStats, NodeConfig, TxcachedServer};
 use mvdb::{ColumnType, Database, DbConfig, Predicate, SelectQuery, TableSchema, Value};
 use pincushion::Pincushion;
 use txcache::backend::{CacheBackend, RemoteCluster, RemoteOptions};
-use txcache::{Transaction, TxCache, TxCacheConfig};
+use txcache::{ClientStats, Transaction, TxCache, TxCacheConfig};
 use txtypes::{Result, SimClock, Staleness};
 use wire::{ChaosConfig, FaultCounts, SimListener, SimNet, SplitMix64};
 
@@ -97,6 +97,12 @@ pub struct ChaosScenarioConfig {
     /// Per-operation transport timeout (how long a lost frame stalls a
     /// client before it degrades). Real time, so keep it small in tests.
     pub op_timeout: std::time::Duration,
+    /// Replica-set size R for the cache tier: every key lives on its ring
+    /// primary plus R−1 successors, writes fan out, reads fall back.
+    pub replication: usize,
+    /// Consecutive failed exchanges before the remote backend demotes a
+    /// node and its successors take over reads.
+    pub failover_threshold: u32,
     /// **Mutation hook**: disable the §4.2 seal-on-heal recovery rule, so
     /// the checker can be shown to catch the resulting stale resurrection.
     pub disable_seal_on_heal: bool,
@@ -129,6 +135,8 @@ impl ChaosScenarioConfig {
             // scheduler hiccup on a loaded CI host cannot masquerade as a
             // fault and perturb the run's reproducibility.
             op_timeout: std::time::Duration::from_millis(100),
+            replication: 1,
+            failover_threshold: 3,
             disable_seal_on_heal: false,
         }
     }
@@ -147,6 +155,8 @@ impl ChaosScenarioConfig {
             staleness: Staleness::seconds(30),
             op_gap_micros: 50_000,
             op_timeout: std::time::Duration::from_millis(40),
+            replication: 1,
+            failover_threshold: 3,
             disable_seal_on_heal: false,
         }
     }
@@ -180,6 +190,39 @@ impl ChaosScenarioConfig {
             staleness: Staleness::millis(80),
             op_gap_micros: 50_000,
             op_timeout: std::time::Duration::from_millis(100),
+            replication: 1,
+            failover_threshold: 3,
+            disable_seal_on_heal: false,
+        }
+    }
+
+    /// The replicated-failover scenario: three `txcached` nodes with R=2
+    /// replication, no random frame faults, and one node killed (severed
+    /// and blackholed) for a third of the run, then healed. The surviving
+    /// replica of every key keeps serving reads through the kill window
+    /// (counted as replica fallbacks once the dead node is demoted), the
+    /// history stays consistent, and the healed node is re-filled by
+    /// fan-out writes and serves traffic again without any client or peer
+    /// restarting.
+    #[must_use]
+    pub fn replicated_failover(seed: u64) -> ChaosScenarioConfig {
+        ChaosScenarioConfig {
+            seed,
+            backend: ChaosBackend::SimRemote { nodes: 3 },
+            chaos: ChaosConfig::healthy(),
+            partitions: vec![PartitionWindow {
+                node: 0,
+                from_round: 30,
+                until_round: 60,
+            }],
+            accounts: 12,
+            sessions: 6,
+            rounds: 90,
+            staleness: Staleness::seconds(5),
+            op_gap_micros: 50_000,
+            op_timeout: std::time::Duration::from_millis(100),
+            replication: 2,
+            failover_threshold: 3,
             disable_seal_on_heal: false,
         }
     }
@@ -207,6 +250,27 @@ pub struct ChaosOutcome {
     pub degraded_ops: u64,
     /// Remote-backend heals (0 for in-process runs).
     pub reconnects: u64,
+    /// Reads served by (or retried on) a further replica after the
+    /// preferred one failed (0 without replication).
+    pub replica_fallbacks: u64,
+    /// Nodes demoted after consecutive failed exchanges (0 without
+    /// replication or failures).
+    pub failovers: u64,
+    /// Batches refused by a node for carrying a stale ring epoch.
+    pub wrong_epoch_redirects: u64,
+    /// Client hit rate before the first partition window opened (over the
+    /// whole run when there is no partition).
+    pub steady_hit_rate: f64,
+    /// Client hit rate *inside* the first partition window (0 when there is
+    /// no partition).
+    pub disrupted_hit_rate: f64,
+    /// The first partitioned node's server-side hit count at the moment it
+    /// healed.
+    pub healed_node_hits_at_heal: u64,
+    /// The same node's hit count at the end of the run; growth past
+    /// `healed_node_hits_at_heal` proves the healed node served traffic
+    /// again without any client or peer restarting.
+    pub healed_node_hits_final: u64,
 }
 
 impl ChaosOutcome {
@@ -288,7 +352,14 @@ fn build_stack(config: &ChaosScenarioConfig) -> Result<ScenarioStack> {
     let mut servers: Vec<TxcachedServer<SimListener>> = Vec::new();
     let mut addrs: Vec<String> = Vec::new();
     let cache: Arc<dyn CacheBackend> = match config.backend {
-        ChaosBackend::InProcess { nodes } => Arc::new(CacheCluster::new(nodes.max(1), 4 << 20)),
+        ChaosBackend::InProcess { nodes } => Arc::new(CacheCluster::with_replication(
+            nodes.max(1),
+            config.replication.max(1),
+            NodeConfig {
+                capacity_bytes: 4 << 20,
+                ..NodeConfig::default()
+            },
+        )),
         ChaosBackend::SimRemote { nodes } => {
             let sim = SimNet::with_chaos(config.seed, config.chaos);
             for i in 0..nodes.max(1) {
@@ -314,6 +385,8 @@ fn build_stack(config: &ChaosScenarioConfig) -> Result<ScenarioStack> {
                 // (every operation retries; refusals are instant in the
                 // sim) and lets scripted heals take effect immediately.
                 retry_cooldown: std::time::Duration::ZERO,
+                replication: config.replication.max(1),
+                failover_threshold: config.failover_threshold.max(1),
             };
             let cluster = Arc::new(RemoteCluster::connect_via(sim.clone(), &addrs, options)?);
             if config.disable_seal_on_heal {
@@ -370,7 +443,27 @@ pub fn run_chaos_scenario(config: &ChaosScenarioConfig) -> ChaosOutcome {
     let mut history = History::new((0..config.accounts).map(|id| (id, INITIAL_BALANCE)));
     let mut rng = SplitMix64::new(config.seed ^ 0x5EED_F00D);
 
+    // The first partition window splits the run into phases for the
+    // hit-rate comparison: steady state before it opens, disrupted inside
+    // it. Snapshots are taken at the boundaries, before the fault fires.
+    let phase_window = config.partitions.first().copied();
+    let mut stats_at_open: Option<ClientStats> = None;
+    let mut stats_at_heal: Option<ClientStats> = None;
+    let mut healed_node_hits_at_heal = 0u64;
+
     for round in 0..config.rounds {
+        if let Some(w) = phase_window {
+            if round == w.from_round {
+                stats_at_open = Some(stack.txcache.stats());
+            }
+            if round == w.until_round {
+                stats_at_heal = Some(stack.txcache.stats());
+                healed_node_hits_at_heal = stack
+                    .servers
+                    .get(w.node)
+                    .map_or(0, |s| s.cache_stats().hits);
+            }
+        }
         // Scripted partitions fire at round boundaries, while no request is
         // in flight — deterministic fault timing.
         if let Some(net) = &stack.net {
@@ -416,6 +509,33 @@ pub fn run_chaos_scenario(config: &ChaosScenarioConfig) -> ChaosOutcome {
     let client = stack.txcache.stats();
     let degraded_ops = stack.remote.as_ref().map_or(0, |r| r.degraded_ops());
     let reconnects = stack.remote.as_ref().map_or(0, |r| r.reconnects());
+    let replica_fallbacks = stack.remote.as_ref().map_or(0, |r| r.replica_fallbacks());
+    let failovers = stack.remote.as_ref().map_or(0, |r| r.failovers());
+    let wrong_epoch_redirects = stack
+        .remote
+        .as_ref()
+        .map_or(0, |r| r.wrong_epoch_redirects());
+    let rate = |hits: u64, calls: u64| {
+        if calls == 0 {
+            0.0
+        } else {
+            hits as f64 / calls as f64
+        }
+    };
+    let steady_hit_rate = match &stats_at_open {
+        Some(s) => rate(s.cache_hits, s.cacheable_calls),
+        None => rate(client.cache_hits, client.cacheable_calls),
+    };
+    let disrupted_hit_rate = match (&stats_at_open, &stats_at_heal) {
+        (Some(open), Some(heal)) => rate(
+            heal.cache_hits - open.cache_hits,
+            heal.cacheable_calls - open.cacheable_calls,
+        ),
+        _ => 0.0,
+    };
+    let healed_node_hits_final = phase_window
+        .and_then(|w| stack.servers.get(w.node))
+        .map_or(0, |s| s.cache_stats().hits);
     let mut stack = stack;
     for server in &mut stack.servers {
         server.shutdown();
@@ -433,6 +553,13 @@ pub fn run_chaos_scenario(config: &ChaosScenarioConfig) -> ChaosOutcome {
         cache_hits: client.cache_hits,
         degraded_ops,
         reconnects,
+        replica_fallbacks,
+        failovers,
+        wrong_epoch_redirects,
+        steady_hit_rate,
+        disrupted_hit_rate,
+        healed_node_hits_at_heal,
+        healed_node_hits_final,
     }
 }
 

@@ -55,8 +55,11 @@ use crate::WireError;
 /// added `history_floor_drops` to the `StatsSnapshot` layout and the
 /// per-shard stats request/response pair; version 4 made the sequence
 /// numbers true correlation ids (responses may arrive out of request
-/// order) and added the scatter-gather `MultiGet`/`MultiPut` opcodes.
-pub const PROTOCOL_VERSION: u8 = 4;
+/// order) and added the scatter-gather `MultiGet`/`MultiPut` opcodes;
+/// version 5 added the `RingEpoch` membership announcement with its
+/// `EpochAck`/`WrongEpoch` responses and a ring-epoch fencing field on
+/// `MultiGet`/`MultiPut`.
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Upper bound on a frame body; larger declared lengths are rejected before
 /// any allocation happens.

@@ -7,7 +7,7 @@
 //! message exchanged between the TxCache client library and a `txcached`
 //! cache node, independent of any particular transport.
 //!
-//! ## Framing (protocol v4)
+//! ## Framing (protocol v5)
 //!
 //! Every message travels in one frame:
 //!
@@ -34,7 +34,12 @@
 //! ([`codec::Reader::new_shared`]) that hands out [`bytes::Bytes`] slices
 //! of the received frame instead of copying every value. Frames larger
 //! than [`MAX_FRAME_BYTES`] are rejected before allocation, so a corrupt
-//! peer cannot make a node allocate gigabytes. The version byte is checked
+//! peer cannot make a node allocate gigabytes. Version 5 added ring
+//! membership awareness: a [`Request::RingEpoch`] announcement (answered by
+//! [`Response::EpochAck`]) plus an epoch field on `MultiGet`/`MultiPut`, so
+//! a client routing on a stale ring view gets a typed
+//! [`Response::WrongEpoch`] redirect instead of silent misses for keys that
+//! moved. The version byte is checked
 //! on decode; a mismatch produces [`WireError::Version`], which servers
 //! answer with an explicit [`Response::Error`] frame carrying
 //! [`ErrorCode::Version`].

@@ -236,6 +236,7 @@ const OP_SEAL_STILL_VALID: u8 = 0x08;
 const OP_SHARD_STATS: u8 = 0x09;
 const OP_MULTI_GET: u8 = 0x0A;
 const OP_MULTI_PUT: u8 = 0x0B;
+const OP_RING_EPOCH: u8 = 0x0C;
 
 // Response opcodes (>= 0x80).
 const OP_PONG: u8 = 0x81;
@@ -249,6 +250,8 @@ const OP_SEALED: u8 = 0x88;
 const OP_SHARD_STATS_SNAPSHOT: u8 = 0x89;
 const OP_MULTI_GET_RESULT: u8 = 0x8A;
 const OP_MULTI_PUT_ACK: u8 = 0x8B;
+const OP_EPOCH_ACK: u8 = 0x8C;
+const OP_WRONG_EPOCH: u8 = 0x8D;
 const OP_ERROR: u8 = 0xFF;
 
 /// One store operation of a [`Request::MultiPut`] batch; field-for-field the
@@ -414,6 +417,11 @@ pub enum Request {
     /// interval, answered by a single [`Response::MultiGetResult`] — so a
     /// 16-key read set costs one round trip instead of sixteen.
     MultiGet {
+        /// The ring epoch the client routed this batch with (protocol v5).
+        /// A node that has been told a different epoch answers
+        /// [`Response::WrongEpoch`] instead of serving misses for keys that
+        /// moved. Zero means "unversioned": the check is skipped.
+        epoch: u64,
         /// The cacheable calls being looked up, in request order.
         keys: Vec<CacheKey>,
         /// Lowest timestamp in the transaction's pin set.
@@ -426,8 +434,19 @@ pub enum Request {
     /// A batch of stores (protocol v4), acknowledged as one
     /// [`Response::MultiPutAck`].
     MultiPut {
+        /// The ring epoch the client routed this batch with (protocol v5);
+        /// zero skips the check, see [`Request::MultiGet::epoch`].
+        epoch: u64,
         /// The store operations, applied in order.
         entries: Vec<PutEntry>,
+    },
+    /// Announces the cluster's ring-membership epoch to a node (protocol
+    /// v5). Nodes remember the highest epoch they have seen and use it to
+    /// fence epoch-stamped [`Request::MultiGet`]/[`Request::MultiPut`]
+    /// batches from clients still routing on an older ring.
+    RingEpoch {
+        /// The membership epoch being announced.
+        epoch: u64,
     },
 }
 
@@ -486,12 +505,14 @@ impl Request {
             Request::ResetStats => w.put_u8(OP_RESET_STATS),
             Request::SealStillValid => w.put_u8(OP_SEAL_STILL_VALID),
             Request::MultiGet {
+                epoch,
                 keys,
                 pinset_lo,
                 pinset_hi,
                 freshness_lo,
             } => {
                 w.put_u8(OP_MULTI_GET);
+                w.put_u64(*epoch);
                 w.put_u32(keys.len() as u32);
                 for key in keys {
                     w.put_key(key);
@@ -500,12 +521,17 @@ impl Request {
                 w.put_timestamp(*pinset_hi);
                 w.put_timestamp(*freshness_lo);
             }
-            Request::MultiPut { entries } => {
+            Request::MultiPut { epoch, entries } => {
                 w.put_u8(OP_MULTI_PUT);
+                w.put_u64(*epoch);
                 w.put_u32(entries.len() as u32);
                 for entry in entries {
                     entry.encode(&mut w);
                 }
+            }
+            Request::RingEpoch { epoch } => {
+                w.put_u8(OP_RING_EPOCH);
+                w.put_u64(*epoch);
             }
         }
         w.into_vec()
@@ -570,6 +596,7 @@ impl Request {
             OP_RESET_STATS => Request::ResetStats,
             OP_SEAL_STILL_VALID => Request::SealStillValid,
             OP_MULTI_GET => {
+                let epoch = r.get_u64()?;
                 let count = r.get_u32()? as usize;
                 if count > crate::MAX_FRAME_BYTES / 8 {
                     return Err(WireError::TooLarge(count));
@@ -579,6 +606,7 @@ impl Request {
                     keys.push(r.get_key()?);
                 }
                 Request::MultiGet {
+                    epoch,
                     keys,
                     pinset_lo: r.get_timestamp()?,
                     pinset_hi: r.get_timestamp()?,
@@ -586,6 +614,7 @@ impl Request {
                 }
             }
             OP_MULTI_PUT => {
+                let epoch = r.get_u64()?;
                 let count = r.get_u32()? as usize;
                 if count > crate::MAX_FRAME_BYTES / 8 {
                     return Err(WireError::TooLarge(count));
@@ -594,8 +623,11 @@ impl Request {
                 for _ in 0..count {
                     entries.push(PutEntry::decode(&mut r)?);
                 }
-                Request::MultiPut { entries }
+                Request::MultiPut { epoch, entries }
             }
+            OP_RING_EPOCH => Request::RingEpoch {
+                epoch: r.get_u64()?,
+            },
             other => return Err(WireError::UnknownOpcode(other)),
         };
         r.finish()?;
@@ -658,6 +690,20 @@ pub enum Response {
         /// Number of entries stored (duplicates included — they are counted
         /// by the node's own `duplicate_insertions` stat).
         applied: u64,
+    },
+    /// A [`Request::RingEpoch`] announcement was absorbed.
+    EpochAck {
+        /// The highest membership epoch the node has now seen (at least the
+        /// announced one; higher if another client announced a newer ring).
+        epoch: u64,
+    },
+    /// An epoch-stamped batch was refused because the client routed it on a
+    /// stale ring (protocol v5). A typed redirect: the client should refresh
+    /// its ring view to at least `expected` and re-route, instead of
+    /// mistaking relocated keys for misses.
+    WrongEpoch {
+        /// The membership epoch the node currently expects.
+        expected: u64,
     },
     /// Generic success for requests with no payload to return.
     Ok,
@@ -728,6 +774,14 @@ impl Response {
             Response::MultiPutAck { applied } => {
                 w.put_u8(OP_MULTI_PUT_ACK);
                 w.put_u64(*applied);
+            }
+            Response::EpochAck { epoch } => {
+                w.put_u8(OP_EPOCH_ACK);
+                w.put_u64(*epoch);
+            }
+            Response::WrongEpoch { expected } => {
+                w.put_u8(OP_WRONG_EPOCH);
+                w.put_u64(*expected);
             }
             Response::Ok => w.put_u8(OP_OK),
             Response::Error { code, message } => {
@@ -803,6 +857,12 @@ impl Response {
             OP_MULTI_PUT_ACK => Response::MultiPutAck {
                 applied: r.get_u64()?,
             },
+            OP_EPOCH_ACK => Response::EpochAck {
+                epoch: r.get_u64()?,
+            },
+            OP_WRONG_EPOCH => Response::WrongEpoch {
+                expected: r.get_u64()?,
+            },
             OP_OK => Response::Ok,
             OP_ERROR => Response::Error {
                 code: ErrorCode::from_u8(r.get_u8()?)?,
@@ -875,6 +935,7 @@ mod tests {
             Request::ResetStats,
             Request::SealStillValid,
             Request::MultiGet {
+                epoch: 3,
                 keys: vec![
                     CacheKey::new("f", "[1]"),
                     CacheKey::new("f", "[2]"),
@@ -885,12 +946,15 @@ mod tests {
                 freshness_lo: Timestamp(1),
             },
             Request::MultiGet {
+                epoch: 0,
                 keys: Vec::new(),
                 pinset_lo: Timestamp(1),
                 pinset_hi: Timestamp(1),
                 freshness_lo: Timestamp(1),
             },
+            Request::RingEpoch { epoch: 42 },
             Request::MultiPut {
+                epoch: 7,
                 entries: vec![
                     PutEntry {
                         key: CacheKey::new("g", "[1]"),
@@ -964,6 +1028,8 @@ mod tests {
                 results: Vec::new(),
             },
             Response::MultiPutAck { applied: 2 },
+            Response::EpochAck { epoch: 42 },
+            Response::WrongEpoch { expected: 43 },
             Response::Ok,
             Response::Error {
                 code: ErrorCode::Malformed,

@@ -264,8 +264,8 @@ fn stressed_cluster_exposes_consistent_nodes() {
         });
     });
 
-    for i in 0..cluster.node_count() {
-        cluster.node(i).validate_invariants().unwrap();
+    for node in cluster.nodes() {
+        node.validate_invariants().unwrap();
     }
     let stats = cluster.stats();
     assert_eq!(

@@ -164,6 +164,68 @@ fn checker_catches_disabled_reconnect_seal() {
     );
 }
 
+/// The tentpole failover assertion: with R=2 replication over three nodes,
+/// a scripted kill of node 0 for a third of the run must (a) keep every
+/// transaction snapshot-consistent, (b) keep the cache serving — the
+/// surviving replica of each key answers reads, so the hit rate inside the
+/// kill window stays within 50% of steady state, (c) demote the dead node
+/// after consecutive failures and count replica fallbacks, and (d) heal:
+/// the node rejoins and serves traffic again without any client or peer
+/// restarting.
+#[test]
+fn replicated_failover_keeps_history_consistent_and_bounds_hit_dip() {
+    // Fixed seed, like the other scripted-window scenarios: the secondary
+    // assertions are workload-shape-specific and vetted for this seed.
+    let seed = 0xFA11;
+    println!("replicated failover scenario, fixed seed {seed}");
+    let outcome = run_chaos_scenario(&ChaosScenarioConfig::replicated_failover(seed));
+    let summary = outcome
+        .expect_consistent("replicated_failover_keeps_history_consistent_and_bounds_hit_dip");
+    assert!(summary.read_txns > 0 && summary.commits > 0);
+    assert!(
+        outcome.failovers >= 1,
+        "consecutive failed probes must demote the killed node: {outcome:?}"
+    );
+    assert!(
+        outcome.replica_fallbacks > 0,
+        "reads must fall back to the surviving replica during the kill: {outcome:?}"
+    );
+    assert!(
+        outcome.steady_hit_rate > 0.0,
+        "the cache must be warm before the kill: {outcome:?}"
+    );
+    assert!(
+        outcome.disrupted_hit_rate >= 0.5 * outcome.steady_hit_rate,
+        "the surviving replicas must bound the hit-rate dip during the \
+         kill window: steady {:.3} vs disrupted {:.3}",
+        outcome.steady_hit_rate,
+        outcome.disrupted_hit_rate
+    );
+    assert!(
+        outcome.reconnects >= 1,
+        "the killed node must heal its connection: {outcome:?}"
+    );
+    assert!(
+        outcome.healed_node_hits_final > outcome.healed_node_hits_at_heal,
+        "the healed node must serve hits again after rejoining ({} at \
+         heal, {} at end) without clients or peers restarting",
+        outcome.healed_node_hits_at_heal,
+        outcome.healed_node_hits_final
+    );
+}
+
+/// The replicated failover scenario is as reproducible as the rest of the
+/// suite: same seed, same fault schedule, same history, bit for bit.
+#[test]
+fn replicated_failover_replays_bit_for_bit() {
+    let seed = 0xFA11;
+    let a = run_chaos_scenario(&ChaosScenarioConfig::replicated_failover(seed));
+    let b = run_chaos_scenario(&ChaosScenarioConfig::replicated_failover(seed));
+    assert_eq!(a.fault_digest, b.fault_digest, "fault schedules diverged");
+    assert_eq!(a.history_digest, b.history_digest, "histories diverged");
+    assert_eq!(a.verdict.is_ok(), b.verdict.is_ok());
+}
+
 /// The multiplexed client's failure containment, scripted frame by frame on
 /// the simulated transport: reordered responses are matched by correlation
 /// id (no fault at all), and a duplicated response surfaces as a `Desync`
@@ -295,6 +357,7 @@ fn healed_connection_seals_still_valid_entries_sim() {
         op_timeout: std::time::Duration::from_millis(100),
         connect_timeout: std::time::Duration::from_millis(100),
         retry_cooldown: std::time::Duration::ZERO,
+        ..RemoteOptions::default()
     };
     let remote = RemoteCluster::connect_via(net.clone(), &["node-0".to_string()], options).unwrap();
 

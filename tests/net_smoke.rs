@@ -316,6 +316,142 @@ fn multiget_partial_hits_line_up_on_both_backends() {
     assert_eq!(stats.insertions, 16, "8 puts + one 8-entry MultiPut");
 }
 
+/// Runtime membership over real TCP: a node joins the ring mid-flight (the
+/// ring epoch bumps and is announced to every server), still-valid entries
+/// migrate to their new owners as they are read, and a node leaves again
+/// with the survivors picking its keys back up — no client or server
+/// restarts anywhere.
+#[test]
+fn runtime_join_and_leave_republish_the_ring() {
+    let (servers, addrs) = spawn_servers(3);
+    let options = RemoteOptions {
+        replication: 2,
+        ..RemoteOptions::default()
+    };
+    // Start with two of the three servers in the ring.
+    let remote = RemoteCluster::connect_with(&addrs[..2], options).unwrap();
+    assert_eq!(remote.ring_epoch(), 1);
+    assert_eq!(remote.node_count(), 2);
+
+    // Enough keys that the joined node is certain to become some key's
+    // preferred replica (each node owns a healthy share of the ring).
+    let keys: Vec<CacheKey> = (0..256)
+        .map(|i| CacheKey::new("f", format!("[{i}]")))
+        .collect();
+    let request = LookupRequest::at(Timestamp(1));
+    for (i, key) in keys.iter().enumerate() {
+        remote.insert(
+            key.clone(),
+            Bytes::from(vec![i as u8; 16]),
+            ValidityInterval::unbounded(Timestamp(1)),
+            TagSet::new(),
+            WallClock::ZERO,
+        );
+    }
+    assert!(remote
+        .lookup_many(&keys, &request)
+        .iter()
+        .all(|o| o.is_hit()));
+
+    // Join the third node at runtime: epoch 2, announced everywhere.
+    let epoch = remote.join_node(&addrs[2]).unwrap();
+    assert_eq!(epoch, 2);
+    assert_eq!(remote.node_count(), 3);
+    for server in &servers {
+        assert_eq!(
+            server.ring_epoch(),
+            2,
+            "every node must learn the announced epoch"
+        );
+    }
+
+    // Every key still hits: keys whose preferred replica moved to the cold
+    // new node fall back to the sibling that held them — and get copied to
+    // the new owner in the process.
+    assert!(
+        remote
+            .lookup_many(&keys, &request)
+            .iter()
+            .all(|o| o.is_hit()),
+        "old owners must keep serving moved keys after the join"
+    );
+    assert!(
+        remote.migration_fills() > 0,
+        "fallback hits must migrate entries to the joined node"
+    );
+    // Once migrated, the same batch is all first-hop hits — no new fills.
+    let fills_after_migration = remote.migration_fills();
+    assert!(remote
+        .lookup_many(&keys, &request)
+        .iter()
+        .all(|o| o.is_hit()));
+    assert_eq!(
+        remote.migration_fills(),
+        fills_after_migration,
+        "a second pass must find every entry on its preferred replica"
+    );
+
+    // Leave: the ring shrinks back, epoch 3, and the survivors (every key
+    // kept a replica on them) still serve everything.
+    let epoch = remote.leave_node(&addrs[2]).unwrap();
+    assert_eq!(epoch, 3);
+    assert_eq!(remote.node_count(), 2);
+    assert!(
+        remote
+            .lookup_many(&keys, &request)
+            .iter()
+            .all(|o| o.is_hit()),
+        "the surviving replicas must serve every key after the leave"
+    );
+    assert_eq!(remote.degraded_ops(), 0, "no transport failures anywhere");
+}
+
+/// The typed stale-routing redirect over real TCP: after one client changes
+/// the membership, a second client still routing (and stamping batches) on
+/// the old ring epoch gets `WrongEpoch` redirects — counted, degraded to
+/// misses, never silently misrouted — while unversioned single gets keep
+/// working.
+#[test]
+fn stale_ring_clients_get_wrong_epoch_redirects() {
+    let (_servers, addrs) = spawn_servers(3);
+    let fresh = RemoteCluster::connect(&addrs[..2]).unwrap();
+    let stale = RemoteCluster::connect(&addrs[..2]).unwrap();
+
+    let keys: Vec<CacheKey> = (0..8)
+        .map(|i| CacheKey::new("f", format!("[{i}]")))
+        .collect();
+    let request = LookupRequest::at(Timestamp(1));
+    assert_eq!(stale.wrong_epoch_redirects(), 0);
+
+    // The fresh client moves the membership to epoch 2 and announces it.
+    fresh.join_node(&addrs[2]).unwrap();
+
+    // The stale client's batches are stamped with epoch 1: refused with a
+    // typed redirect, not served against the wrong ring.
+    let outcomes = stale.lookup_many(&keys, &request);
+    assert!(outcomes.iter().all(|o| !o.is_hit()));
+    assert!(
+        stale.wrong_epoch_redirects() > 0,
+        "stale-stamped batches must draw WrongEpoch redirects"
+    );
+    assert_eq!(
+        stale.reconnects(),
+        0,
+        "a redirect is not a node failure; connections must survive"
+    );
+
+    // Unversioned operations (single gets carry no epoch) still work on
+    // the nodes the stale client knows about.
+    stale.insert(
+        keys[0].clone(),
+        Bytes::from_static(b"v"),
+        ValidityInterval::unbounded(Timestamp(1)),
+        TagSet::new(),
+        WallClock::ZERO,
+    );
+    assert!(stale.lookup(&keys[0], &request).is_hit());
+}
+
 /// The full client-library stack over TCP: a TxCache bank whose cache tier
 /// is remote, checked for snapshot consistency. With `TXCACHED_ADDRS` set
 /// (comma-separated), runs against those servers — this is what

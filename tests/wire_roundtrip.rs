@@ -197,8 +197,10 @@ proptest! {
         lo in ts(),
         hi in ts(),
         fresh in ts(),
+        epoch in 0u64..u64::MAX,
     ) {
         roundtrip_request(&Request::MultiGet {
+            epoch,
             keys,
             pinset_lo: lo,
             pinset_hi: hi,
@@ -207,8 +209,18 @@ proptest! {
     }
 
     #[test]
-    fn multiput_roundtrips(entries in proptest::collection::vec(put_entry_strategy(), 0..6)) {
-        roundtrip_request(&Request::MultiPut { entries });
+    fn multiput_roundtrips(
+        entries in proptest::collection::vec(put_entry_strategy(), 0..6),
+        epoch in 0u64..u64::MAX,
+    ) {
+        roundtrip_request(&Request::MultiPut { epoch, entries });
+    }
+
+    #[test]
+    fn ring_epoch_messages_roundtrip(epoch in 0u64..u64::MAX, expected in 0u64..u64::MAX) {
+        roundtrip_request(&Request::RingEpoch { epoch });
+        roundtrip_response(&Response::EpochAck { epoch });
+        roundtrip_response(&Response::WrongEpoch { expected });
     }
 
     #[test]
@@ -233,13 +245,14 @@ proptest! {
         // feeds exactly these bytes to Request::decode off the wire.
         let frames = [
             Request::MultiGet {
+                epoch: 3,
                 keys,
                 pinset_lo: Timestamp(1),
                 pinset_hi: Timestamp(9),
                 freshness_lo: Timestamp(1),
             }
             .encode(),
-            Request::MultiPut { entries }.encode(),
+            Request::MultiPut { epoch: 7, entries }.encode(),
         ];
         for body in &frames {
             let truncated = &body[..cut.min(body.len())];
