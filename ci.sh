@@ -50,14 +50,23 @@
 #      recorded with (the hosted workflow caches a runner-class baseline
 #      for this); the >=1.5x 4-thread speedup floor applies on any host
 #      with at least 4 CPUs (connection ramps carry no speedup floor —
-#      flat is the win).
+#      flat is the win). The step ends with the instrumentation-overhead
+#      gate: cache_scaling's wire-path A/B phase (metrics on vs off,
+#      median paired per-op cost) must stay within 5%.
+#   9. optionally, the observability smoke gate (--obs-smoke): starts a
+#      real txcached on an ephemeral loopback port, drives traffic and
+#      scrapes it over the wire via the obs_smoke integration test
+#      (Metrics opcode answers with nonzero per-opcode latency
+#      percentiles, counters monotone across scrapes), exercises the
+#      `txcached --metrics` / `--prom` CLI scrape against the live node,
+#      and tears it down.
 #
 # Every step is timed, and a summary is printed at the end; on failure the
 # summary names the step that failed so workflow logs show the broken gate
 # at a glance.
 #
 # Usage: ./ci.sh [--no-clippy] [--profile debug|release] [--bench-smoke]
-#                [--net-smoke] [--chaos-smoke]
+#                [--net-smoke] [--chaos-smoke] [--obs-smoke]
 #
 #   --profile release (default)  build and test with --release
 #   --profile debug              build and test the dev profile
@@ -66,6 +75,8 @@
 #   --net-smoke                  run the txcached loopback network gate
 #   --chaos-smoke                run the bounded chaos sweep (both backends,
 #                                fixed seeds, history checker)
+#   --obs-smoke                  run the live-metrics scrape gate against a
+#                                real txcached
 #
 # To refresh the bench baselines after an intentional perf change:
 #   cargo build --release -p bench --bin fig5_throughput --bin cache_scaling \
@@ -86,6 +97,7 @@ NO_CLIPPY=0
 BENCH_SMOKE=0
 NET_SMOKE=0
 CHAOS_SMOKE=0
+OBS_SMOKE=0
 PROFILE=release
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -93,6 +105,7 @@ while [ $# -gt 0 ]; do
         --bench-smoke) BENCH_SMOKE=1 ;;
         --net-smoke) NET_SMOKE=1 ;;
         --chaos-smoke) CHAOS_SMOKE=1 ;;
+        --obs-smoke) OBS_SMOKE=1 ;;
         --profile)
             shift
             PROFILE="${1:-}"
@@ -270,6 +283,47 @@ if [ "$NET_SMOKE" -eq 1 ]; then
     SUMMARY+=("ok   net smoke teardown (fd-probe txcached stopped)")
 fi
 
+if [ "$OBS_SMOKE" -eq 1 ]; then
+    # Start a real txcached, drive traffic and scrape its metrics over the
+    # wire (the obs_smoke test asserts nonzero per-opcode latency
+    # percentiles and counter monotonicity across scrapes), then exercise
+    # the CLI scrape paths against the same live node.
+    if [ "$PROFILE" != release ]; then
+        run_step "cargo build --release txcached (for obs smoke)" \
+            cargo build --release -p cache-server --bin txcached
+    fi
+    OBS_LOG="$(mktemp)"
+    target/release/txcached --addr 127.0.0.1:0 --capacity-mb 16 \
+        --name ci-obs-smoke --shards 4 >"$OBS_LOG" 2>&1 &
+    OBS_PID=$!
+    trap 'kill "$OBS_PID" 2>/dev/null; rm -f "$OBS_LOG"' EXIT
+    OBS_ADDR=""
+    for _ in $(seq 1 50); do
+        OBS_ADDR="$(sed -n 's/^txcached listening on //p' "$OBS_LOG" | head -n1)"
+        [ -n "$OBS_ADDR" ] && break
+        sleep 0.1
+    done
+    if [ -z "$OBS_ADDR" ]; then
+        SUMMARY+=("FAIL obs smoke (txcached did not start)")
+        print_summary
+        cat "$OBS_LOG"
+        exit 1
+    fi
+    run_step "obs smoke: wire scrape + monotone counters vs ${OBS_ADDR}" \
+        env TXCACHED_ADDRS="$OBS_ADDR" \
+        cargo test --release --quiet --test obs_smoke \
+        metrics_scrape_reports_latencies_and_monotone_counters
+    run_step "obs smoke: txcached --metrics ${OBS_ADDR}" \
+        target/release/txcached --metrics "$OBS_ADDR"
+    run_step "obs smoke: txcached --metrics --prom ${OBS_ADDR}" \
+        target/release/txcached --metrics "$OBS_ADDR" --prom
+    kill "$OBS_PID" 2>/dev/null
+    wait "$OBS_PID" 2>/dev/null
+    trap - EXIT
+    rm -f "$OBS_LOG"
+    SUMMARY+=("ok   obs smoke teardown (txcached stopped)")
+fi
+
 if [ "$BENCH_SMOKE" -eq 1 ]; then
     if [ "$PROFILE" != release ]; then
         run_step "cargo build --release -p bench (for bench smoke)" \
@@ -322,6 +376,14 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
         --json BENCH_net_replication.json \
         --baseline "$NET_REPL_BASELINE" \
         --max-regress 0.5
+    # The instrumentation-overhead gate: cache_scaling's wire-path A/B
+    # phase runs a metrics-on and a metrics-off txcached in adjacent pairs
+    # and gates the median paired per-op cost ratio at <= 5%. This
+    # invocation deliberately omits --skip-tcp (the phase needs the wire
+    # path) and carries no baseline — it is a self-contained A/B gate.
+    run_step "bench smoke (instrumentation overhead <= 5%, wire A/B)" \
+        target/release/cache_scaling --threads 1 --requests 10000 \
+        --overhead-gate
 fi
 
 print_summary

@@ -16,10 +16,21 @@
 //! `crates/bench/BENCH_cache_scaling.baseline.json` with the same
 //! regression/speedup rules as the fig5 gate.
 //!
+//! A third phase measures **instrumentation overhead**: the same
+//! single-connection workload against a fully instrumented server
+//! (`NodeConfig::metrics = true`, the default: per-opcode latency
+//! histograms, per-request tracing, slow-op ring) and against one with
+//! metrics off (no per-request clock reads at all). Each round measures
+//! the trimmed mean ns/op (middle 80%), rounds run in adjacent on/off
+//! pairs, and the comparison is the median per-pair cost ratio — host
+//! drift cancels within a pair and scheduling bursts are discarded by the
+//! median. With `--overhead-gate` the binary fails if the instrumented
+//! cost exceeds the no-op mode by more than 5%.
+//!
 //! ```text
 //! cache_scaling [--threads 1,2,4,8] [--requests N] [--json PATH]
 //!               [--baseline PATH] [--max-regress 0.2] [--min-speedup X]
-//!               [--skip-tcp]
+//!               [--skip-tcp] [--overhead-gate]
 //! ```
 
 use std::net::TcpStream;
@@ -127,6 +138,29 @@ fn drive_tcp(addr: std::net::SocketAddr, thread: u64, ops: u64) {
     }
 }
 
+/// Warms a TCP server with the standard key set and advances its
+/// invalidation horizon so still-valid entries are servable.
+fn warm_tcp(addr: std::net::SocketAddr) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("set nodelay");
+    let mut warm = FramedStream::new(stream);
+    for i in 0..WARM_KEYS {
+        warm.call(&Request::Put {
+            key: key(i),
+            value: Bytes::from(vec![7u8; VALUE_BYTES]),
+            validity: ValidityInterval::unbounded(Timestamp(1)),
+            tags: TagSet::new(),
+            now: WallClock::ZERO,
+        })
+        .expect("warm put");
+    }
+    warm.call(&Request::InvalidationBatch {
+        events: Vec::new(),
+        heartbeat: Timestamp(1_000_000),
+    })
+    .expect("warm heartbeat");
+}
+
 /// Runs the sweep, returning measured ops/s per thread count.
 fn sweep(
     label: &str,
@@ -152,6 +186,111 @@ fn sweep(
         rates.push(rate);
     }
     rates
+}
+
+/// One overhead round: a fresh server with metrics on or off, the standard
+/// warm set, then `requests` timed round-trips over one connection.
+/// Returns the trimmed mean ns/op over the middle 80% of per-op latencies —
+/// host scheduling noise lands in the tails of the per-op distribution, so
+/// trimming isolates the steady-state cost wall-clock throughput can't.
+/// The instrumented server is also asked for its metrics snapshot so the
+/// phase doubles as a sanity check that the histograms really recorded (an
+/// accidentally dead no-op path would otherwise "win" the comparison).
+fn overhead_round(requests: usize, metrics: bool) -> f64 {
+    let server = TxcachedServer::bind(
+        "127.0.0.1:0",
+        "bench-node",
+        NodeConfig {
+            capacity_bytes: 256 << 20,
+            metrics,
+            ..NodeConfig::default()
+        },
+    )
+    .expect("bind loopback txcached");
+    let addr = server.local_addr();
+    warm_tcp(addr);
+
+    let stream = TcpStream::connect(addr).expect("connect loopback txcached");
+    stream.set_nodelay(true).expect("set nodelay");
+    let mut conn = FramedStream::new(stream);
+    let ops = requests.max(100) as u64;
+    let mut fresh = WARM_KEYS + 20_000_000;
+    let mut samples_ns = Vec::with_capacity(ops as usize);
+    for i in 0..ops {
+        let r = mix(0x5eed_0b50_u64.wrapping_add(i));
+        let started = Instant::now();
+        if r.is_multiple_of(10) {
+            fresh += 1;
+            let ack = conn
+                .call(&Request::Put {
+                    key: key(fresh),
+                    value: Bytes::from(vec![7u8; VALUE_BYTES]),
+                    validity: ValidityInterval::unbounded(Timestamp(1)),
+                    tags: TagSet::new(),
+                    now: WallClock::ZERO,
+                })
+                .expect("put");
+            assert_eq!(ack, Response::PutAck);
+        } else {
+            let got = conn
+                .call(&Request::VersionedGet {
+                    key: key(r % WARM_KEYS),
+                    pinset_lo: Timestamp(500),
+                    pinset_hi: Timestamp(500),
+                    freshness_lo: Timestamp(500),
+                })
+                .expect("get");
+            assert!(matches!(got, Response::Hit { .. }), "warm key must hit");
+        }
+        samples_ns.push(started.elapsed().as_nanos() as u64);
+    }
+
+    let recorded: u64 = server
+        .metrics()
+        .histograms
+        .iter()
+        .map(|(_, h)| h.count)
+        .sum();
+    if metrics {
+        assert!(
+            recorded >= ops,
+            "instrumented server must have recorded per-op latencies \
+             (got {recorded} for {ops} ops)"
+        );
+    } else {
+        assert_eq!(
+            recorded, 0,
+            "metrics-off server must take no latency samples"
+        );
+    }
+
+    let lo = samples_ns.len() / 10;
+    let hi = samples_ns.len() - lo;
+    samples_ns.select_nth_unstable(lo);
+    samples_ns[lo..].select_nth_unstable(hi - 1 - lo);
+    let middle = &samples_ns[lo..hi];
+    middle.iter().sum::<u64>() as f64 / middle.len() as f64
+}
+
+/// Instrumented vs no-op per-op cost. Rounds run in adjacent on/off pairs
+/// and the comparison is the MEDIAN of the per-pair ratios: host-load drift
+/// over seconds is nearly identical within a pair (so it cancels in the
+/// ratio), and the median discards pairs where a scheduling burst landed on
+/// one side anyway. Returns `(best instrumented ns/op, best no-op ns/op,
+/// median overhead fraction)`.
+fn overhead_phase(requests: usize, rounds: usize) -> (f64, f64, f64) {
+    let mut best_on = f64::INFINITY;
+    let mut best_off = f64::INFINITY;
+    let mut ratios = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let on = overhead_round(requests, true);
+        let off = overhead_round(requests, false);
+        best_on = best_on.min(on);
+        best_off = best_off.min(off);
+        ratios.push(on / off.max(1e-9));
+    }
+    ratios.sort_by(f64::total_cmp);
+    (best_on, best_off, ratios[ratios.len() / 2] - 1.0)
 }
 
 fn print_shard_stats(shards: &[cache_server::CacheShardStats]) {
@@ -205,27 +344,30 @@ fn main() {
         )
         .expect("bind loopback txcached");
         let addr = server.local_addr();
-        let mut warm = FramedStream::new(TcpStream::connect(addr).expect("connect"));
-        for i in 0..WARM_KEYS {
-            warm.call(&Request::Put {
-                key: key(i),
-                value: Bytes::from(vec![7u8; VALUE_BYTES]),
-                validity: ValidityInterval::unbounded(Timestamp(1)),
-                tags: TagSet::new(),
-                now: WallClock::ZERO,
-            })
-            .expect("warm put");
-        }
-        warm.call(&Request::InvalidationBatch {
-            events: Vec::new(),
-            heartbeat: Timestamp(1_000_000),
-        })
-        .expect("warm heartbeat");
-        drop(warm);
+        warm_tcp(addr);
         sweep("loopback TCP", &threads, requests, |thread, ops| {
             drive_tcp(addr, thread, ops);
         });
         print_shard_stats(&server.shard_stats());
+    }
+
+    // ---- instrumentation overhead (metrics on vs off, wire path) ----
+    let overhead_gate = std::env::args().any(|a| a == "--overhead-gate");
+    if !skip_tcp {
+        let (on, off, overhead) = overhead_phase(requests, 5);
+        println!(
+            "\n  instrumentation overhead: {on:.0} ns/op instrumented vs {off:.0} ns/op \
+             metrics-off ({:.1}% median paired overhead{})",
+            overhead * 100.0,
+            if overhead_gate { ", gate: <= 5%" } else { "" }
+        );
+        if overhead_gate && overhead > 0.05 {
+            eprintln!(
+                "BENCH GATE FAILED: instrumentation overhead {:.1}% exceeds 5%",
+                overhead * 100.0
+            );
+            std::process::exit(1);
+        }
     }
 
     // ---- JSON + CI gate (the in-process series, like the fig5 gate) ----

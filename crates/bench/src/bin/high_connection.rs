@@ -30,6 +30,7 @@ use std::time::Instant;
 use bench::{gate_failures, BenchArgs, SweepReport};
 use bytes::Bytes;
 use cache_server::{NodeConfig, TxcachedServer};
+use obs::HistogramSnapshot;
 use txtypes::{CacheKey, TagSet, Timestamp, ValidityInterval, WallClock};
 use wire::{FramedStream, Request, Response};
 
@@ -53,12 +54,13 @@ fn mix(mut x: u64) -> u64 {
 }
 
 /// One client thread's share: closed-loop warm gets, round-robin over its
-/// connections, per-op latency captured in nanoseconds.
+/// connections, per-op latency tallied in nanoseconds into a mergeable
+/// histogram (no per-op Vec growth, no end-of-run sort).
 fn drive(
     conns: &mut [FramedStream<TcpStream>],
     thread: u64,
     ops: u64,
-    latencies_ns: &mut Vec<u64>,
+    latencies_ns: &mut HistogramSnapshot,
 ) {
     for i in 0..ops {
         let conn = &mut conns[(i as usize) % conns.len()];
@@ -72,7 +74,7 @@ fn drive(
                 freshness_lo: Timestamp(500),
             })
             .expect("get");
-        latencies_ns.push(t.elapsed().as_nanos() as u64);
+        latencies_ns.record(t.elapsed().as_nanos() as u64);
         assert!(matches!(got, Response::Hit { .. }), "warm key must hit");
     }
 }
@@ -117,7 +119,9 @@ fn main() {
     .expect("bind loopback txcached");
     let addr = server.local_addr();
 
-    let mut warm = FramedStream::new(TcpStream::connect(addr).expect("connect"));
+    let warm_stream = TcpStream::connect(addr).expect("connect");
+    warm_stream.set_nodelay(true).expect("set nodelay");
+    let mut warm = FramedStream::new(warm_stream);
     for i in 0..WARM_KEYS {
         warm.call(&Request::Put {
             key: key(i),
@@ -153,32 +157,28 @@ fn main() {
         }
         let ops_per_thread = (requests / threads).max(1) as u64;
         let started = Instant::now();
-        let mut all_latencies: Vec<u64> = Vec::with_capacity(requests);
+        let mut all_latencies = HistogramSnapshot::default();
         std::thread::scope(|scope| {
             let handles: Vec<_> = pool
                 .iter_mut()
                 .enumerate()
                 .map(|(thread, conns)| {
                     scope.spawn(move || {
-                        let mut latencies = Vec::with_capacity(ops_per_thread as usize);
+                        let mut latencies = HistogramSnapshot::default();
                         drive(conns, thread as u64, ops_per_thread, &mut latencies);
                         latencies
                     })
                 })
                 .collect();
             for handle in handles {
-                all_latencies.extend(handle.join().expect("client thread"));
+                all_latencies.merge(&handle.join().expect("client thread"));
             }
         });
         let elapsed = started.elapsed().as_secs_f64().max(1e-9);
         let total_ops = ops_per_thread * threads as u64;
         let rate = total_ops as f64 / elapsed;
-        all_latencies.sort_unstable();
-        let mean_us =
-            all_latencies.iter().sum::<u64>() as f64 / all_latencies.len() as f64 / 1_000.0;
-        let p99_us = all_latencies[(all_latencies.len() * 99 / 100).min(all_latencies.len() - 1)]
-            as f64
-            / 1_000.0;
+        let mean_us = all_latencies.mean() / 1_000.0;
+        let p99_us = all_latencies.percentile(0.99) as f64 / 1_000.0;
         println!("  {count:>11} {rate:>12.0} {mean_us:>12.2} {p99_us:>12.2}");
         rates.push(rate);
     }

@@ -8,13 +8,22 @@
 //!
 //! ```text
 //! txcached [--addr 127.0.0.1:11222] [--capacity-mb 64] [--name NAME]
-//!          [--shards N] [--stats-every-secs N]
+//!          [--shards N] [--stats-every-secs N] [--no-metrics]
+//!          [--slow-op-threshold-us N]
 //! txcached --ping ADDR     # liveness probe: exit 0 if ADDR answers a Ping
+//! txcached --metrics ADDR  # scrape a live node's metrics (human dump)
+//! txcached --metrics ADDR --prom   # same, Prometheus text exposition
 //! ```
 //!
 //! With `--addr 127.0.0.1:0` the kernel picks a free port; the bound address
 //! is printed on the first line of stdout (`txcached listening on ADDR`), so
-//! scripts (see `ci.sh --net-smoke`) can scrape it.
+//! scripts (see `ci.sh --net-smoke` and `--obs-smoke`) can scrape it.
+//!
+//! `--metrics` sends the `Metrics` wire request and renders the decoded
+//! snapshot: named counters, gauges, and per-opcode latency histograms with
+//! p50/p99 computed from the log2 buckets. With `--stats-every-secs N` the
+//! serving process itself prints the same per-opcode `p50/p99` lines on
+//! every tick, next to the legacy counter dump.
 
 use std::net::TcpStream;
 use std::process::ExitCode;
@@ -29,25 +38,38 @@ struct Options {
     name: String,
     shards: usize,
     stats_every_secs: u64,
+    metrics_enabled: bool,
+    slow_op_threshold_us: u64,
     ping: Option<String>,
+    /// Scrape a live node's metrics instead of serving (`--metrics ADDR`).
+    metrics: Option<String>,
+    /// Render the `--metrics` scrape as Prometheus text exposition.
+    prometheus: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: txcached [--addr HOST:PORT] [--capacity-mb N] [--name NAME] \
-         [--shards N] [--stats-every-secs N] | --ping HOST:PORT"
+         [--shards N] [--stats-every-secs N] [--no-metrics] \
+         [--slow-op-threshold-us N] | --ping HOST:PORT \
+         | --metrics HOST:PORT [--prom]"
     );
     std::process::exit(2);
 }
 
 fn parse_options() -> Options {
+    let defaults = NodeConfig::default();
     let mut options = Options {
         addr: "127.0.0.1:11222".to_string(),
         capacity_mb: 64,
         name: "txcached-0".to_string(),
-        shards: NodeConfig::default().shards,
+        shards: defaults.shards,
         stats_every_secs: 0,
+        metrics_enabled: defaults.metrics,
+        slow_op_threshold_us: defaults.slow_op_threshold_us,
         ping: None,
+        metrics: None,
+        prometheus: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -71,7 +93,15 @@ fn parse_options() -> Options {
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
+            "--no-metrics" => options.metrics_enabled = false,
+            "--slow-op-threshold-us" => {
+                options.slow_op_threshold_us = value("--slow-op-threshold-us")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--ping" => options.ping = Some(value("--ping")),
+            "--metrics" => options.metrics = Some(value("--metrics")),
+            "--prom" => options.prometheus = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -113,10 +143,47 @@ fn ping(addr: &str) -> ExitCode {
     }
 }
 
+/// Connects to a running node, sends a `Metrics` request, and renders the
+/// decoded snapshot — the CLI scrape path behind `--metrics ADDR`.
+fn scrape_metrics(addr: &str, prometheus: bool) -> ExitCode {
+    let scrape = || -> wire::Result<obs::MetricsSnapshot> {
+        let stream = TcpStream::connect(addr).map_err(wire::WireError::Io)?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .map_err(wire::WireError::Io)?;
+        let mut conn = FramedStream::new(stream);
+        match conn.call(&Request::Metrics)?.into_result()? {
+            Response::MetricsSnapshot(report) => Ok(cache_server::snapshot_from_wire(&report)),
+            other => Err(wire::WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected reply: {other:?}"),
+            ))),
+        }
+    };
+    match scrape() {
+        Ok(snapshot) => {
+            if prometheus {
+                print!("{}", snapshot.render_prometheus());
+            } else {
+                println!("# txcached metrics at {addr}");
+                print!("{}", snapshot.render_human());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("metrics scrape of {addr} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let options = parse_options();
     if let Some(addr) = &options.ping {
         return ping(addr);
+    }
+    if let Some(addr) = &options.metrics {
+        return scrape_metrics(addr, options.prometheus);
     }
 
     let server = match TxcachedServer::bind(
@@ -125,6 +192,8 @@ fn main() -> ExitCode {
         NodeConfig {
             capacity_bytes: options.capacity_mb << 20,
             shards: options.shards,
+            metrics: options.metrics_enabled,
+            slow_op_threshold_us: options.slow_op_threshold_us,
             ..NodeConfig::default()
         },
     ) {
@@ -151,6 +220,7 @@ fn main() -> ExitCode {
     } else {
         Duration::from_secs(options.stats_every_secs)
     };
+    let mut slow_ops_seen = 0u64;
     loop {
         std::thread::sleep(interval);
         if options.stats_every_secs > 0 {
@@ -183,6 +253,31 @@ fn main() -> ExitCode {
                     shard.lru_evictions,
                     shard.staleness_evictions,
                 );
+            }
+            // Per-opcode latency lines from the obs histograms (only
+            // opcodes that have actually been exercised).
+            let snapshot = server.metrics();
+            for (name, hist) in &snapshot.histograms {
+                if hist.count > 0 {
+                    println!(
+                        "txcached latency {name}: n={} p50<={}us p99<={}us max={}us",
+                        hist.count,
+                        hist.percentile(0.5),
+                        hist.percentile(0.99),
+                        hist.max,
+                    );
+                }
+            }
+            // The ring is a non-draining dump; print only the entries
+            // captured since the previous tick.
+            let captured = snapshot.counter("server.slow_ops.captured").unwrap_or(0);
+            if captured > slow_ops_seen {
+                let ring = server.slow_ops();
+                let new = (captured - slow_ops_seen).min(ring.len() as u64) as usize;
+                for op in &ring[ring.len() - new..] {
+                    println!("txcached slow op: {}", op.render());
+                }
+                slow_ops_seen = captured;
             }
             let _ = std::io::stdout().flush();
         }

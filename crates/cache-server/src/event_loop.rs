@@ -54,7 +54,10 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use poll::{Events, Interest, Poller};
 use wire::{Request, Transport, MAX_FRAME_BYTES, SEQ_BYTES};
 
-use crate::server::{apply_request, error_frame, log_closed, ConnectionSummary, Shared};
+use obs::Trace;
+
+use crate::server::{error_frame, log_closed, ConnectionSummary, Shared};
+use crate::telemetry;
 
 /// Token of the listening socket in the poller.
 const TOKEN_LISTENER: u64 = u64::MAX;
@@ -75,8 +78,10 @@ const READ_CHUNK: usize = 64 << 10;
 /// parallelism, the workers only need to keep them fed.
 const MAX_WORKERS: usize = 4;
 
-/// A decoded request traveling reactor → worker.
-type Job = (u64, u64, Request);
+/// A decoded request traveling reactor → worker, with the arrival instant
+/// captured at parse time (`None` when metrics are off) so queue wait shows
+/// up in the span trail the worker resumes from it.
+type Job = (u64, u64, Request, Option<std::time::Instant>);
 /// An encoded response frame traveling worker → reactor.
 type Done = (u64, Vec<u8>);
 
@@ -148,8 +153,16 @@ pub(crate) fn spawn(
 
 fn worker_loop(job_rx: &Receiver<Job>, done_tx: &Sender<Done>, shared: &Shared, wake: &UnixStream) {
     let mut wake = wake;
-    while let Ok((conn_id, seq, request)) = job_rx.recv() {
-        let response = apply_request(shared, request);
+    while let Ok((conn_id, seq, request, arrived)) = job_rx.recv() {
+        if shared.obs.enabled {
+            shared.obs.queue_depth.dec();
+        }
+        let trace = arrived.map(|t0| {
+            let mut t = Trace::resume(seq, t0);
+            t.span("queued");
+            t
+        });
+        let response = telemetry::apply_timed(shared, request, trace);
         let frame = encode_response_frame(seq, &response);
         if done_tx.send((conn_id, frame)).is_err() {
             break;
@@ -405,6 +418,7 @@ impl Reactor {
             // leaves its bytes in the kernel buffer (level-triggering
             // re-reports them later).
             if conn.tx_backlog() >= TX_HIGH_WATER || conn.in_flight >= MAX_CONN_IN_FLIGHT {
+                self.shared.obs.backpressure_pauses.bump();
                 break;
             }
             match conn.stream.read(&mut self.scratch) {
@@ -415,10 +429,7 @@ impl Reactor {
                 Ok(n) => {
                     conn.rx.extend_from_slice(&self.scratch[..n]);
                     conn.bytes_in += n as u64;
-                    self.shared
-                        .counters
-                        .bytes_in
-                        .fetch_add(n as u64, Ordering::Relaxed);
+                    self.shared.counters.bytes_in.add(n as u64);
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -461,11 +472,12 @@ impl Reactor {
                 Ok(request) => {
                     conn.requests += 1;
                     conn.in_flight += 1;
-                    self.shared
-                        .counters
-                        .requests
-                        .fetch_add(1, Ordering::Relaxed);
-                    if self.job_tx.send((conn_id, seq, request)).is_err() {
+                    self.shared.counters.requests.bump();
+                    let arrived = self.shared.obs.trace_start();
+                    if arrived.is_some() {
+                        self.shared.obs.queue_depth.inc();
+                    }
+                    if self.job_tx.send((conn_id, seq, request, arrived)).is_err() {
                         return false;
                     }
                 }
@@ -473,10 +485,7 @@ impl Reactor {
                     // Body-level decode error: the stream is still at a
                     // frame boundary, answer and keep serving (same
                     // contract as the threaded path).
-                    self.shared
-                        .counters
-                        .protocol_errors
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared.counters.protocol_errors.bump();
                     let frame = encode_response_frame(seq, &error_frame(&e));
                     conn.tx.extend_from_slice(&frame);
                 }
@@ -502,10 +511,7 @@ impl Reactor {
                 Ok(n) => {
                     conn.tx_pos += n;
                     conn.bytes_out += n as u64;
-                    self.shared
-                        .counters
-                        .bytes_out
-                        .fetch_add(n as u64, Ordering::Relaxed);
+                    self.shared.counters.bytes_out.add(n as u64);
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -568,10 +574,7 @@ impl Reactor {
         };
         let _ = self.poller.deregister(conn.stream.as_raw_fd());
         self.shared.open_conns.lock().remove(&conn_id);
-        self.shared
-            .counters
-            .connections_closed
-            .fetch_add(1, Ordering::Relaxed);
+        self.shared.counters.connections_closed.bump();
         log_closed(
             &self.shared,
             ConnectionSummary {

@@ -55,6 +55,7 @@ pub mod ring;
 pub mod server;
 mod shard;
 pub mod stats;
+pub mod telemetry;
 
 pub use cluster::CacheCluster;
 pub use entry::{CacheEntry, LookupOutcome, LookupRequest, MissKind};
@@ -63,3 +64,4 @@ pub use node::{CacheNode, NodeConfig};
 pub use ring::{RingBuilder, RingView};
 pub use server::{ConnectionSummary, ServerStats, TxcachedServer};
 pub use stats::{CacheShardStats, CacheStats};
+pub use telemetry::snapshot_from_wire;

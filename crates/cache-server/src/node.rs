@@ -69,6 +69,19 @@ pub struct NodeConfig {
     /// Maximum invalidation-history events retained for the §4.2 race
     /// check; exceeding it advances the history floor.
     pub history_limit: usize,
+    /// Per-request observability on the hosting server (opcode latency
+    /// histograms, slow-op tracing). Off, the server takes no per-request
+    /// clock readings at all — the no-op mode the instrumentation-overhead
+    /// benchmark compares against.
+    pub metrics: bool,
+    /// Requests whose end-to-end latency reaches this many microseconds are
+    /// captured (with their span trail) in the server's slow-op ring.
+    /// `u64::MAX` disables capture; 0 captures everything.
+    pub slow_op_threshold_us: u64,
+    /// Test hook: hold every request for this many microseconds before
+    /// dispatch, so tests can exercise the slow-op recorder
+    /// deterministically. Zero (the default) in any real deployment.
+    pub inject_delay_us: u64,
 }
 
 impl Default for NodeConfig {
@@ -77,6 +90,9 @@ impl Default for NodeConfig {
             capacity_bytes: 64 << 20,
             shards: 8,
             history_limit: 4096,
+            metrics: true,
+            slow_op_threshold_us: 10_000,
+            inject_delay_us: 0,
         }
     }
 }
@@ -191,8 +207,8 @@ impl CacheNode {
                     write_locks: shard.write_locks.load(Ordering::Relaxed),
                     read_waits: shard.read_waits.load(Ordering::Relaxed),
                     write_waits: shard.write_waits.load(Ordering::Relaxed),
-                    lru_evictions: shard.stats.lru_evictions.load(Ordering::Relaxed),
-                    staleness_evictions: shard.stats.staleness_evictions.load(Ordering::Relaxed),
+                    lru_evictions: shard.stats.lru_evictions.get(),
+                    staleness_evictions: shard.stats.staleness_evictions.get(),
                     entries: data.entries.len() as u64,
                     used_bytes: data.used_bytes as u64,
                 }
@@ -293,7 +309,7 @@ impl CacheNode {
         if let Some((id, effective)) = best {
             let stored = &data.entries[&id];
             stored.last_access.store(tick, Ordering::Relaxed);
-            shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+            shard.stats.hits.bump();
             return LookupOutcome::Hit {
                 value: stored.entry.value.clone(),
                 validity: effective,
@@ -351,10 +367,7 @@ impl CacheNode {
         if validity.is_unbounded() {
             let history = self.history.read();
             if validity.lower < history.floor && !tags.is_empty() {
-                shard
-                    .stats
-                    .history_floor_drops
-                    .fetch_add(1, Ordering::Relaxed);
+                shard.stats.history_floor_drops.bump();
                 return;
             }
             let mut earliest_hit: Option<Timestamp> = None;
@@ -371,10 +384,7 @@ impl CacheNode {
                 match validity.truncate_at(ts) {
                     Some(truncated) => {
                         validity = truncated;
-                        shard
-                            .stats
-                            .late_insert_truncations
-                            .fetch_add(1, Ordering::Relaxed);
+                        shard.stats.late_insert_truncations.bump();
                     }
                     None => return, // the value was never current as far as the cache can tell
                 }
@@ -392,10 +402,7 @@ impl CacheNode {
                             (Some(_), None) => false,
                         };
                     if covers {
-                        shard
-                            .stats
-                            .duplicate_insertions
-                            .fetch_add(1, Ordering::Relaxed);
+                        shard.stats.duplicate_insertions.bump();
                         return;
                     }
                 }
@@ -431,7 +438,7 @@ impl CacheNode {
                 last_access: AtomicU64::new(tick),
             },
         );
-        shard.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        shard.stats.insertions.bump();
 
         Self::enforce_capacity(&mut data, &shard.stats, self.shard_budget());
     }
@@ -473,7 +480,7 @@ impl CacheNode {
                 break;
             }
             data.remove_entry(id);
-            stats.lru_evictions.fetch_add(1, Ordering::Relaxed);
+            stats.lru_evictions.bump();
         }
     }
 
@@ -518,9 +525,7 @@ impl CacheNode {
         if tags.is_empty() {
             self.last_invalidation
                 .fetch_max(timestamp.0, Ordering::AcqRel);
-            self.node_stats
-                .invalidation_messages
-                .fetch_add(1, Ordering::Relaxed);
+            self.node_stats.invalidation_messages.bump();
             return;
         }
 
@@ -556,10 +561,7 @@ impl CacheNode {
                 match stored.entry.validity.truncate_at(timestamp) {
                     Some(truncated) => {
                         stored.entry.validity = truncated;
-                        shard
-                            .stats
-                            .invalidated_entries
-                            .fetch_add(1, Ordering::Relaxed);
+                        shard.stats.invalidated_entries.bump();
                         // No longer still-valid: drop it from the tag indexes.
                         let entry_tags = stored.entry.tags.clone();
                         data.unindex_tags(id, &entry_tags);
@@ -568,10 +570,7 @@ impl CacheNode {
                         // The entry was never valid before this invalidation —
                         // discard it outright.
                         data.remove_entry(id);
-                        shard
-                            .stats
-                            .invalidated_entries
-                            .fetch_add(1, Ordering::Relaxed);
+                        shard.stats.invalidated_entries.bump();
                     }
                 }
             }
@@ -581,9 +580,7 @@ impl CacheNode {
         // is guaranteed (release/acquire) to see the truncations above.
         self.last_invalidation
             .fetch_max(timestamp.0, Ordering::AcqRel);
-        self.node_stats
-            .invalidation_messages
-            .fetch_add(1, Ordering::Relaxed);
+        self.node_stats.invalidation_messages.bump();
     }
 
     /// Informs the node that every invalidation up to `ts` has been
@@ -632,10 +629,7 @@ impl CacheNode {
                 let entry_tags = stored.entry.tags.clone();
                 data.unindex_tags(id, &entry_tags);
             }
-            shard
-                .stats
-                .sealed_entries
-                .fetch_add(shard_sealed, Ordering::Relaxed);
+            shard.stats.sealed_entries.add(shard_sealed);
             sealed += shard_sealed;
         }
         sealed
@@ -667,10 +661,7 @@ impl CacheNode {
                 .collect();
             for id in stale {
                 data.remove_entry(id);
-                shard
-                    .stats
-                    .staleness_evictions
-                    .fetch_add(1, Ordering::Relaxed);
+                shard.stats.staleness_evictions.bump();
             }
             // Maintenance-time rebalance: a shard that drifted over its
             // budget (e.g. after a capacity reconfiguration) is trimmed here
@@ -1323,6 +1314,7 @@ mod tests {
                 capacity_bytes: 10_000,
                 shards: 1,
                 history_limit: 4,
+                ..NodeConfig::default()
             },
         );
         // Six invalidations; the cap keeps the newest four, so the floor is

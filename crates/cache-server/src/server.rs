@@ -59,28 +59,34 @@ use wire::{
 
 use crate::entry::{LookupOutcome, LookupRequest};
 use crate::node::{CacheNode, NodeConfig};
+use crate::telemetry::{self, ServerObs};
 
 /// How many closed-connection summaries the server retains.
 const CONNECTION_LOG_CAP: usize = 64;
 
 /// Node-wide protocol counters (distinct from the cache's own
 /// [`crate::CacheStats`], which count lookups/insertions/invalidations).
+/// The per-request and per-read counters are cache-line-striped
+/// [`obs::StripedCounter`]s, so concurrent connection handlers never
+/// contend on one cache line just to tally bytes.
 #[derive(Debug, Default)]
 pub struct ServerCounters {
-    /// Connections accepted since the server started.
+    /// Connections accepted since the server started. A plain atomic, not a
+    /// striped counter: its `fetch_add` return value doubles as the new
+    /// connection's id, which needs one totally ordered allocator.
     pub connections_accepted: AtomicU64,
     /// Connections that have finished.
-    pub connections_closed: AtomicU64,
+    pub connections_closed: obs::StripedCounter,
     /// Requests served across all connections.
-    pub requests: AtomicU64,
+    pub requests: obs::StripedCounter,
     /// Bytes read from clients.
-    pub bytes_in: AtomicU64,
+    pub bytes_in: obs::StripedCounter,
     /// Bytes written to clients.
-    pub bytes_out: AtomicU64,
+    pub bytes_out: obs::StripedCounter,
     /// Frames that failed to decode (answered with an error frame).
-    pub protocol_errors: AtomicU64,
+    pub protocol_errors: obs::StripedCounter,
     /// Invalidation batches applied.
-    pub invalidation_batches: AtomicU64,
+    pub invalidation_batches: obs::StripedCounter,
 }
 
 /// A plain snapshot of [`ServerCounters`].
@@ -106,12 +112,12 @@ impl ServerCounters {
     fn snapshot(&self) -> ServerStats {
         ServerStats {
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            connections_closed: self.connections_closed.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            invalidation_batches: self.invalidation_batches.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.get(),
+            requests: self.requests.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            protocol_errors: self.protocol_errors.get(),
+            invalidation_batches: self.invalidation_batches.get(),
         }
     }
 }
@@ -132,6 +138,9 @@ pub struct ConnectionSummary {
 pub(crate) struct Shared {
     pub(crate) node: CacheNode,
     pub(crate) counters: ServerCounters,
+    /// Per-opcode latency histograms, queue gauges, and the slow-op flight
+    /// recorder (see [`crate::telemetry`]).
+    pub(crate) obs: ServerObs,
     /// Highest ring-membership epoch any client has announced (protocol
     /// v5). Zero until the first announcement: epoch checks are skipped.
     pub(crate) ring_epoch: AtomicU64,
@@ -183,6 +192,7 @@ impl TxcachedServer<TcpListener> {
         let label = Listener::local_label(&listener);
         let listener_closer = Listener::closer(&listener)?;
         let shared = Arc::new(Shared {
+            obs: ServerObs::new(&config),
             node: CacheNode::new(name, config),
             counters: ServerCounters::default(),
             ring_epoch: AtomicU64::new(0),
@@ -225,6 +235,7 @@ impl<L: Listener> TxcachedServer<L> {
         let label = listener.local_label();
         let listener_closer = listener.closer()?;
         let shared = Arc::new(Shared {
+            obs: ServerObs::new(&config),
             node: CacheNode::new(name, config),
             counters: ServerCounters::default(),
             ring_epoch: AtomicU64::new(0),
@@ -278,6 +289,26 @@ impl<L: Listener> TxcachedServer<L> {
     #[must_use]
     pub fn ring_epoch(&self) -> u64 {
         self.shared.ring_epoch.load(Ordering::SeqCst)
+    }
+
+    /// The full metrics snapshot: obs registry (per-opcode latency
+    /// histograms, queue gauges, slow-op counters) merged with the
+    /// node-wide protocol counters — the same data a
+    /// [`wire::Request::Metrics`] returns over the wire.
+    #[must_use]
+    pub fn metrics(&self) -> obs::MetricsSnapshot {
+        telemetry::metrics_snapshot(&self.shared)
+    }
+
+    /// The slow-op flight recorder's current contents, oldest first.
+    #[must_use]
+    pub fn slow_ops(&self) -> Vec<obs::SlowOp> {
+        self.shared.obs.slow_ops.dump()
+    }
+
+    /// Adjusts the slow-op capture threshold at runtime (microseconds).
+    pub fn set_slow_op_threshold_us(&self, us: u64) {
+        self.shared.obs.slow_ops.set_threshold_us(us);
     }
 
     /// Summaries of recently closed connections (most recent last, bounded).
@@ -386,9 +417,7 @@ impl<T: Read> Read for CountingStream<'_, T> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         let n = self.inner.read(buf)?;
         self.bytes_in += n as u64;
-        self.counters
-            .bytes_in
-            .fetch_add(n as u64, Ordering::Relaxed);
+        self.counters.bytes_in.add(n as u64);
         Ok(n)
     }
 }
@@ -397,9 +426,7 @@ impl<T: Write> Write for CountingStream<'_, T> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
         let n = self.inner.write(buf)?;
         self.bytes_out += n as u64;
-        self.counters
-            .bytes_out
-            .fetch_add(n as u64, Ordering::Relaxed);
+        self.counters.bytes_out.add(n as u64);
         Ok(n)
     }
 
@@ -434,14 +461,11 @@ fn handle_connection<T: Transport>(conn_id: u64, stream: T, shared: &Arc<Shared>
         let response = match decoded {
             Ok(request) => {
                 requests += 1;
-                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-                apply_request(shared, request)
+                shared.counters.requests.bump();
+                telemetry::apply_timed(shared, request, shared.obs.trace(seq))
             }
             Err(e) => {
-                shared
-                    .counters
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.counters.protocol_errors.bump();
                 error_frame(&e)
             }
         };
@@ -457,10 +481,7 @@ fn handle_connection<T: Transport>(conn_id: u64, stream: T, shared: &Arc<Shared>
     if let Some(closer) = shared.open_conns.lock().remove(&conn_id) {
         closer.close();
     }
-    shared
-        .counters
-        .connections_closed
-        .fetch_add(1, Ordering::Relaxed);
+    shared.counters.connections_closed.bump();
     log_closed(
         shared,
         ConnectionSummary {
@@ -576,10 +597,7 @@ pub(crate) fn apply_request(shared: &Shared, request: Request) -> Response {
             Response::MultiPutAck { applied }
         }
         Request::InvalidationBatch { events, heartbeat } => {
-            shared
-                .counters
-                .invalidation_batches
-                .fetch_add(1, Ordering::Relaxed);
+            shared.counters.invalidation_batches.bump();
             // The whole batch applies under one acquisition of the node's
             // invalidation sequencer, so concurrent batches cannot
             // interleave their commit-ordered events.
@@ -618,6 +636,9 @@ pub(crate) fn apply_request(shared: &Shared, request: Request) -> Response {
             Response::EpochAck {
                 epoch: prev.max(epoch),
             }
+        }
+        Request::Metrics => {
+            Response::MetricsSnapshot(telemetry::to_wire(telemetry::metrics_snapshot(shared)))
         }
     }
 }
@@ -1020,6 +1041,110 @@ mod tests {
             })
             .unwrap();
         assert!(matches!(served, Response::MultiGetResult { .. }));
+    }
+
+    #[test]
+    fn metrics_request_returns_per_opcode_latency_histograms() {
+        let srv = server();
+        let mut conn = client(&srv);
+        for i in 0..8 {
+            conn.call(&Request::Put {
+                key: CacheKey::new("f", format!("[{i}]")),
+                value: Bytes::from_static(b"v"),
+                validity: ValidityInterval::unbounded(Timestamp(3)),
+                tags: tags(i),
+                now: WallClock::ZERO,
+            })
+            .unwrap();
+        }
+        conn.call(&Request::VersionedGet {
+            key: CacheKey::new("f", "[0]"),
+            pinset_lo: Timestamp(3),
+            pinset_hi: Timestamp(3),
+            freshness_lo: Timestamp(3),
+        })
+        .unwrap();
+
+        let snap = match conn.call(&Request::Metrics).unwrap() {
+            Response::MetricsSnapshot(report) => crate::telemetry::snapshot_from_wire(&report),
+            other => panic!("expected metrics snapshot, got {other:?}"),
+        };
+        let puts = snap.histogram("server.req.put.us").unwrap();
+        assert_eq!(puts.count, 8);
+        assert!(puts.percentile(0.99) >= puts.percentile(0.50));
+        let gets = snap.histogram("server.req.get.us").unwrap();
+        assert_eq!(gets.count, 1);
+        // The merged protocol counters ride along, and the local accessor
+        // sees the same series.
+        assert_eq!(snap.counter("server.conns.accepted"), Some(1));
+        assert!(snap.counter("server.req.total").unwrap() >= 9);
+        assert!(snap.gauge("server.queue.depth").is_some());
+        let local = srv.metrics();
+        assert_eq!(
+            local.histogram("server.req.put.us").unwrap().count,
+            puts.count
+        );
+    }
+
+    #[test]
+    fn metrics_disabled_mode_serves_requests_without_recording() {
+        let srv = TxcachedServer::bind(
+            "127.0.0.1:0",
+            "test-node",
+            NodeConfig {
+                capacity_bytes: 1 << 20,
+                metrics: false,
+                ..NodeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut conn = client(&srv);
+        conn.call(&Request::Ping { nonce: 1 }).unwrap();
+        let snap = match conn.call(&Request::Metrics).unwrap() {
+            Response::MetricsSnapshot(report) => crate::telemetry::snapshot_from_wire(&report),
+            other => panic!("expected metrics snapshot, got {other:?}"),
+        };
+        // No clock readings: the histograms exist but stay empty. The plain
+        // protocol counters keep running.
+        assert_eq!(snap.histogram("server.req.ping.us").unwrap().count, 0);
+        assert!(snap.counter("server.req.total").unwrap() >= 1);
+        assert_eq!(snap.gauge("server.queue.depth"), Some(0));
+    }
+
+    #[test]
+    fn slow_op_ring_captures_an_artificially_delayed_request() {
+        let srv = TxcachedServer::bind(
+            "127.0.0.1:0",
+            "test-node",
+            NodeConfig {
+                capacity_bytes: 1 << 20,
+                // Every request is held for 2 ms, and anything over 1 ms is
+                // captured: the ring must see the delayed op with its trail.
+                inject_delay_us: 2_000,
+                slow_op_threshold_us: 1_000,
+                ..NodeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut conn = client(&srv);
+        conn.call(&Request::Ping { nonce: 9 }).unwrap();
+        let ops = srv.slow_ops();
+        assert_eq!(ops.len(), 1);
+        let op = &ops[0];
+        assert_eq!(op.op, "ping");
+        assert!(op.total_us >= 2_000, "total {}us", op.total_us);
+        let labels: Vec<&str> = op.spans.iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, ["queued", "injected_delay", "applied", "done"]);
+        assert_eq!(
+            srv.metrics().counter("server.slow_ops.captured"),
+            Some(1),
+            "capture count surfaces in the registry"
+        );
+
+        // Raising the threshold at runtime stops further captures.
+        srv.set_slow_op_threshold_us(u64::MAX);
+        conn.call(&Request::Ping { nonce: 10 }).unwrap();
+        assert_eq!(srv.slow_ops().len(), 1);
     }
 
     #[test]

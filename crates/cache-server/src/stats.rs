@@ -2,14 +2,14 @@
 //!
 //! [`CacheStats`] is the serializable snapshot handed to callers.
 //! [`AtomicCacheStats`] is the live per-shard counter bank: every counter is
-//! a relaxed atomic so lookups can record hits and misses while holding only
-//! a shard's *shared* lock. [`CacheShardStats`] reports per-shard lock
-//! activity and eviction pressure — the cache-tier mirror of
+//! a relaxed [`obs::StripedCounter`] (the shared primitive all three tiers'
+//! stats banks are built on) so lookups can record hits and misses while
+//! holding only a shard's *shared* lock. [`CacheShardStats`] reports
+//! per-shard lock activity and eviction pressure — the cache-tier mirror of
 //! `mvdb::ShardStats` — so contention regressions show up in `txcached`
 //! telemetry and bench output instead of only in flat scaling curves.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
+use obs::StripedCounter;
 use serde::{Deserialize, Serialize};
 
 use crate::entry::MissKind;
@@ -133,20 +133,20 @@ impl CacheStats {
 /// holding only the shard's shared lock.
 #[derive(Debug, Default)]
 pub(crate) struct AtomicCacheStats {
-    pub hits: AtomicU64,
-    pub compulsory_misses: AtomicU64,
-    pub staleness_misses: AtomicU64,
-    pub capacity_misses: AtomicU64,
-    pub consistency_misses: AtomicU64,
-    pub insertions: AtomicU64,
-    pub duplicate_insertions: AtomicU64,
-    pub invalidated_entries: AtomicU64,
-    pub late_insert_truncations: AtomicU64,
-    pub sealed_entries: AtomicU64,
-    pub invalidation_messages: AtomicU64,
-    pub lru_evictions: AtomicU64,
-    pub staleness_evictions: AtomicU64,
-    pub history_floor_drops: AtomicU64,
+    pub hits: StripedCounter,
+    pub compulsory_misses: StripedCounter,
+    pub staleness_misses: StripedCounter,
+    pub capacity_misses: StripedCounter,
+    pub consistency_misses: StripedCounter,
+    pub insertions: StripedCounter,
+    pub duplicate_insertions: StripedCounter,
+    pub invalidated_entries: StripedCounter,
+    pub late_insert_truncations: StripedCounter,
+    pub sealed_entries: StripedCounter,
+    pub invalidation_messages: StripedCounter,
+    pub lru_evictions: StripedCounter,
+    pub staleness_evictions: StripedCounter,
+    pub history_floor_drops: StripedCounter,
 }
 
 impl AtomicCacheStats {
@@ -158,26 +158,26 @@ impl AtomicCacheStats {
             MissKind::Capacity => &self.capacity_misses,
             MissKind::Consistency => &self.consistency_misses,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.bump();
     }
 
     /// Adds this counter bank into a snapshot (`used_bytes` is the caller's
     /// business: shards track it under their locks).
     pub fn add_into(&self, total: &mut CacheStats) {
-        total.hits += self.hits.load(Ordering::Relaxed);
-        total.compulsory_misses += self.compulsory_misses.load(Ordering::Relaxed);
-        total.staleness_misses += self.staleness_misses.load(Ordering::Relaxed);
-        total.capacity_misses += self.capacity_misses.load(Ordering::Relaxed);
-        total.consistency_misses += self.consistency_misses.load(Ordering::Relaxed);
-        total.insertions += self.insertions.load(Ordering::Relaxed);
-        total.duplicate_insertions += self.duplicate_insertions.load(Ordering::Relaxed);
-        total.invalidated_entries += self.invalidated_entries.load(Ordering::Relaxed);
-        total.late_insert_truncations += self.late_insert_truncations.load(Ordering::Relaxed);
-        total.sealed_entries += self.sealed_entries.load(Ordering::Relaxed);
-        total.invalidation_messages += self.invalidation_messages.load(Ordering::Relaxed);
-        total.lru_evictions += self.lru_evictions.load(Ordering::Relaxed);
-        total.staleness_evictions += self.staleness_evictions.load(Ordering::Relaxed);
-        total.history_floor_drops += self.history_floor_drops.load(Ordering::Relaxed);
+        total.hits += self.hits.get();
+        total.compulsory_misses += self.compulsory_misses.get();
+        total.staleness_misses += self.staleness_misses.get();
+        total.capacity_misses += self.capacity_misses.get();
+        total.consistency_misses += self.consistency_misses.get();
+        total.insertions += self.insertions.get();
+        total.duplicate_insertions += self.duplicate_insertions.get();
+        total.invalidated_entries += self.invalidated_entries.get();
+        total.late_insert_truncations += self.late_insert_truncations.get();
+        total.sealed_entries += self.sealed_entries.get();
+        total.invalidation_messages += self.invalidation_messages.get();
+        total.lru_evictions += self.lru_evictions.get();
+        total.staleness_evictions += self.staleness_evictions.get();
+        total.history_floor_drops += self.history_floor_drops.get();
     }
 
     /// Zeroes every counter. Increments racing the reset may survive it or
@@ -199,7 +199,7 @@ impl AtomicCacheStats {
             &self.staleness_evictions,
             &self.history_floor_drops,
         ] {
-            counter.store(0, Ordering::Relaxed);
+            counter.reset();
         }
     }
 }

@@ -81,11 +81,12 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use cache_server::{CacheCluster, CacheStats, LookupOutcome, LookupRequest, RingBuilder, RingView};
 use mvdb::InvalidationMessage;
+use obs::{Histogram, MetricsSnapshot, Registry};
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use txtypes::{CacheKey, Error, Result, TagSet, Timestamp, ValidityInterval, WallClock};
 use wire::{
@@ -286,10 +287,82 @@ impl Default for RemoteOptions {
 /// of acks genuinely still in flight.
 const MAX_PENDING_PUTS: u32 = 64;
 
+/// Client-side opcode labels, indexed by [`client_op_index`]; the same
+/// naming as the server's per-opcode histograms, so a scrape of the client
+/// and a scrape of the node line up (`client.rtt.get.us` against
+/// `server.req.get.us` is the network's share of the latency).
+const CLIENT_OP_LABELS: [&str; 13] = [
+    "ping",
+    "get",
+    "put",
+    "multi_get",
+    "multi_put",
+    "inval_batch",
+    "evict_stale",
+    "stats",
+    "shard_stats",
+    "reset_stats",
+    "seal",
+    "ring_epoch",
+    "metrics",
+];
+
+/// The [`CLIENT_OP_LABELS`] slot for the scatter-gather `MultiGet`, whose
+/// gather site no longer holds the request it timed.
+const MULTI_GET_OP: usize = 3;
+
+/// The slot in [`CLIENT_OP_LABELS`] (and the RTT histogram bank) for a
+/// request.
+fn client_op_index(request: &Request) -> usize {
+    match request {
+        Request::Ping { .. } => 0,
+        Request::VersionedGet { .. } => 1,
+        Request::Put { .. } => 2,
+        Request::MultiGet { .. } => MULTI_GET_OP,
+        Request::MultiPut { .. } => 4,
+        Request::InvalidationBatch { .. } => 5,
+        Request::EvictStale { .. } => 6,
+        Request::Stats => 7,
+        Request::ShardStats => 8,
+        Request::ResetStats => 9,
+        Request::SealStillValid => 10,
+        Request::RingEpoch { .. } => 11,
+        Request::Metrics => 12,
+    }
+}
+
+/// The client's round-trip observability: one latency histogram per opcode,
+/// recorded from just before a frame is written to just after its response
+/// is decoded (connection healing is excluded — a reconnect is not a round
+/// trip). Only *successful* exchanges are recorded; failures degrade and
+/// are visible through the cluster's failure counters instead.
+struct ClientObs {
+    registry: Registry,
+    /// Cached handles, indexed by [`client_op_index`]: the hot path never
+    /// touches the registry lock.
+    rtt_us: [Arc<Histogram>; CLIENT_OP_LABELS.len()],
+}
+
+impl ClientObs {
+    fn new() -> ClientObs {
+        let registry = Registry::new();
+        let rtt_us = std::array::from_fn(|i| {
+            registry.histogram(&format!("client.rtt.{}.us", CLIENT_OP_LABELS[i]))
+        });
+        ClientObs { registry, rtt_us }
+    }
+
+    /// Records one completed round trip for the opcode slot.
+    fn record(&self, op: usize, started: Instant) {
+        self.rtt_us[op].record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+}
+
 /// A scattered node's state during a `lookup_many` gather: the node's index
-/// in the topology snapshot, its held connection lock, and the in-flight
-/// MultiGet's correlation id.
-type InFlightGet<'a, T> = (usize, MutexGuard<'a, NodeConn<T>>, u64);
+/// in the topology snapshot, its held connection lock, the in-flight
+/// MultiGet's correlation id, and when the frame was written (for the
+/// round-trip histogram).
+type InFlightGet<'a, T> = (usize, MutexGuard<'a, NodeConn<T>>, u64, Instant);
 
 /// One pooled node connection plus its pipelining state.
 struct NodeConn<T> {
@@ -394,6 +467,9 @@ pub struct RemoteCluster<C: Connector = TcpConnector> {
     /// §4.2 `SealStillValid` step. See
     /// [`RemoteCluster::disable_seal_on_heal_for_fault_injection`].
     seal_on_heal_disabled: AtomicBool,
+    /// Per-opcode round-trip histograms; snapshot through
+    /// [`RemoteCluster::metrics`].
+    obs: ClientObs,
 }
 
 impl RemoteCluster<TcpConnector> {
@@ -448,6 +524,7 @@ impl<C: Connector> RemoteCluster<C> {
             rejoins: AtomicU64::new(0),
             migration_fills: AtomicU64::new(0),
             seal_on_heal_disabled: AtomicBool::new(false),
+            obs: ClientObs::new(),
         };
         for node in &nodes {
             let mut conn = node.conn.lock();
@@ -524,6 +601,39 @@ impl<C: Connector> RemoteCluster<C> {
     #[must_use]
     pub fn migration_fills(&self) -> u64 {
         self.migration_fills.load(Ordering::Relaxed)
+    }
+
+    /// A merged snapshot of the client's observability registry: per-opcode
+    /// round-trip histograms (`client.rtt.<op>.us`, successful exchanges
+    /// only) plus the cluster's failure and degradation counters, in one
+    /// sorted namespace. Round trips time frame-write to response-decode on
+    /// this client's side of the wire, so comparing `client.rtt.get.us`
+    /// against a node's `server.req.get.us` isolates the network's share.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.obs.registry.snapshot();
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        snap.counters.extend([
+            ("client.degraded.ops".to_string(), load(&self.degraded)),
+            ("client.failovers".to_string(), load(&self.failovers)),
+            (
+                "client.migration.fills".to_string(),
+                load(&self.migration_fills),
+            ),
+            ("client.put.stalls".to_string(), load(&self.put_stalls)),
+            ("client.reconnects".to_string(), load(&self.reconnects)),
+            ("client.rejoins".to_string(), load(&self.rejoins)),
+            (
+                "client.replica.fallbacks".to_string(),
+                load(&self.replica_fallbacks),
+            ),
+            (
+                "client.wrong_epoch.redirects".to_string(),
+                load(&self.wrong_epoch_redirects),
+            ),
+        ]);
+        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
     }
 
     /// Drops every pooled connection and starts each node's reconnect
@@ -823,11 +933,13 @@ impl<C: Connector> RemoteCluster<C> {
         let result = (|| -> wire::Result<Response> {
             self.ensure_connected(node, &mut conn)?;
             let framed = conn.framed.as_mut().expect("just connected");
+            let started = Instant::now();
             let seq = framed.send_request(request)?;
             // Awaiting our response parks any put acks that arrive first in
             // the mailbox; sweep them afterwards so the pipeline window
             // shrinks without ever paying a dedicated read for acks.
             let response = framed.recv_for(seq)?.into_result()?;
+            self.obs.record(client_op_index(request), started);
             self.sweep_parked_acks(&mut conn)?;
             Ok(response)
         })();
@@ -852,17 +964,20 @@ impl<C: Connector> RemoteCluster<C> {
         let (_, nodes) = self.snapshot();
         let mut guards: Vec<MutexGuard<'_, NodeConn<C::Conn>>> =
             nodes.iter().map(|n| n.conn.lock()).collect();
-        let mut sent: Vec<Option<u64>> = Vec::with_capacity(guards.len());
+        let mut sent: Vec<Option<(u64, Instant)>> = Vec::with_capacity(guards.len());
         for (node, conn) in nodes.iter().zip(guards.iter_mut()) {
-            let outcome = (|| -> wire::Result<u64> {
+            let outcome = (|| -> wire::Result<(u64, Instant)> {
                 self.ensure_connected(node, conn)?;
-                conn.framed
+                let started = Instant::now();
+                let seq = conn
+                    .framed
                     .as_mut()
                     .expect("just connected")
-                    .send_request(request)
+                    .send_request(request)?;
+                Ok((seq, started))
             })();
             match outcome {
-                Ok(seq) => sent.push(Some(seq)),
+                Ok(stamped) => sent.push(Some(stamped)),
                 Err(e) => {
                     self.absorb_failure(node, conn, &e);
                     sent.push(None);
@@ -871,7 +986,7 @@ impl<C: Connector> RemoteCluster<C> {
         }
         let mut responses = Vec::with_capacity(guards.len());
         for ((node, conn), seq) in nodes.iter().zip(guards.iter_mut()).zip(sent) {
-            let Some(seq) = seq else {
+            let Some((seq, started)) = seq else {
                 responses.push(None);
                 continue;
             };
@@ -887,6 +1002,7 @@ impl<C: Connector> RemoteCluster<C> {
             })();
             match received {
                 Ok(response) => {
+                    self.obs.record(client_op_index(request), started);
                     self.note_success(node);
                     responses.push(Some(response));
                 }
@@ -1087,23 +1203,24 @@ impl<C: Connector> CacheBackend for RemoteCluster<C> {
             for (&idx, positions) in &by_node {
                 let node = &nodes[idx];
                 let mut conn = node.conn.lock();
-                let sent = (|| -> wire::Result<u64> {
+                let sent = (|| -> wire::Result<(u64, Instant)> {
                     self.ensure_connected(node, &mut conn)?;
                     let node_keys: Vec<CacheKey> =
                         positions.iter().map(|&pos| keys[pos].clone()).collect();
-                    conn.framed
-                        .as_mut()
-                        .expect("just connected")
-                        .send_request(&Request::MultiGet {
+                    let started = Instant::now();
+                    let seq = conn.framed.as_mut().expect("just connected").send_request(
+                        &Request::MultiGet {
                             epoch,
                             keys: node_keys,
                             pinset_lo: request.pinset_lo,
                             pinset_hi: request.pinset_hi,
                             freshness_lo: request.freshness_lo,
-                        })
+                        },
+                    )?;
+                    Ok((seq, started))
                 })();
                 match sent {
-                    Ok(seq) => in_flight.push((idx, conn, seq)),
+                    Ok((seq, started)) => in_flight.push((idx, conn, seq, started)),
                     Err(e) => {
                         self.absorb_failure(node, &mut conn, &e);
                         failed.extend_from_slice(positions);
@@ -1114,7 +1231,7 @@ impl<C: Connector> CacheBackend for RemoteCluster<C> {
             // share in request order. A failed node's keys go to the next
             // replica round; if every replica fails they stay the degraded
             // misses they were initialized to.
-            for (idx, mut conn, seq) in in_flight {
+            for (idx, mut conn, seq, started) in in_flight {
                 let node = &nodes[idx];
                 let received = (|| -> wire::Result<Response> {
                     let response = conn
@@ -1130,6 +1247,7 @@ impl<C: Connector> CacheBackend for RemoteCluster<C> {
                     Ok(Response::MultiGetResult { results })
                         if results.len() == by_node[&idx].len() =>
                     {
+                        self.obs.record(MULTI_GET_OP, started);
                         self.note_success(node);
                         for (&pos, result) in by_node[&idx].iter().zip(results) {
                             match result {
@@ -1347,4 +1465,39 @@ impl<C: Connector> CacheBackend for RemoteCluster<C> {
 /// polluting the compulsory/consistency analysis.
 fn degraded_miss_kind() -> cache_server::MissKind {
     cache_server::MissKind::Capacity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_op_labels_are_distinct_and_indexed_consistently() {
+        let unique: std::collections::HashSet<&str> = CLIENT_OP_LABELS.iter().copied().collect();
+        assert_eq!(unique.len(), CLIENT_OP_LABELS.len());
+        assert_eq!(CLIENT_OP_LABELS[MULTI_GET_OP], "multi_get");
+        assert_eq!(
+            client_op_index(&Request::MultiGet {
+                epoch: 1,
+                keys: Vec::new(),
+                pinset_lo: Timestamp(0),
+                pinset_hi: Timestamp(0),
+                freshness_lo: Timestamp(0),
+            }),
+            MULTI_GET_OP
+        );
+        assert_eq!(CLIENT_OP_LABELS[client_op_index(&Request::Stats)], "stats");
+    }
+
+    #[test]
+    fn rtt_histograms_register_under_the_client_namespace() {
+        let obs = ClientObs::new();
+        obs.record(MULTI_GET_OP, Instant::now());
+        let snap = obs.registry.snapshot();
+        let hist = snap
+            .histogram("client.rtt.multi_get.us")
+            .expect("registered at construction");
+        assert_eq!(hist.count, 1);
+        assert!(snap.histogram("client.rtt.get.us").is_some());
+    }
 }

@@ -1,7 +1,7 @@
 //! Client-library statistics and per-transaction commit reports.
 
-use mvdb::stats::StripedCounter;
 use mvdb::PageCounts;
+use obs::StripedCounter;
 use serde::{Deserialize, Serialize};
 use txtypes::Timestamp;
 
@@ -59,8 +59,8 @@ impl ClientStats {
 
 /// The live counter bank behind [`ClientStats`].
 ///
-/// Every field is a cache-line-striped relaxed atomic (the
-/// [`mvdb::stats::StripedCounter`] style), so hot-path readers on different
+/// Every field is a cache-line-striped relaxed atomic (an
+/// [`obs::StripedCounter`]), so hot-path readers on different
 /// application-server threads never serialize on a stats mutex just to bump
 /// a counter. Reads sum the stripes: monotonic, not linearizable — telemetry
 /// semantics, exactly like the database's own counters.

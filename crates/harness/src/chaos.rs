@@ -501,6 +501,16 @@ pub fn run_chaos_scenario(config: &ChaosScenarioConfig) -> ChaosOutcome {
     }
 
     let verdict = history.check();
+    if verdict.is_err() {
+        // A failing run is about to panic in `expect_consistent`; dump each
+        // server's slow-op flight recorder first so the anomalous requests'
+        // span trails survive into the test log alongside the repro seed.
+        for server in &stack.servers {
+            for op in server.slow_ops() {
+                eprintln!("[chaos] {} slow op: {}", server.label(), op.render());
+            }
+        }
+    }
     // Collect stats that travel over the (still-running) cache tier first,
     // then quiesce every server thread, and only then read the fault
     // schedule — lingering handler writes to abandoned connections finish

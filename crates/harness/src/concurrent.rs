@@ -19,6 +19,7 @@ use std::time::Instant;
 
 use cache_server::{CacheCluster, CacheStats};
 use mvdb::{Database, ShardStats};
+use obs::HistogramSnapshot;
 use pincushion::Pincushion;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -49,84 +50,62 @@ fn shared_components_are_thread_safe() {
     assert_send_sync::<Arc<TxCache>>();
 }
 
-/// Number of power-of-two latency buckets (covers 1 µs to ~1.2 h).
-const LATENCY_BUCKETS: usize = 32;
-
-/// A merge-able latency accumulator with power-of-two microsecond buckets.
-#[derive(Debug, Clone, Copy)]
+/// A merge-able latency accumulator: a thin view over the shared
+/// [`obs::HistogramSnapshot`] log2 histogram, so per-thread tallies merge
+/// bucket-wise (associative, exact) instead of concatenating sample vecs,
+/// and percentiles are nearest-rank with no small-N index bias.
+#[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
-    /// Number of recorded operations.
-    pub count: u64,
-    /// Sum of all recorded latencies, in microseconds.
-    pub total_us: u64,
-    /// Smallest recorded latency, in microseconds.
-    pub min_us: u64,
-    /// Largest recorded latency, in microseconds.
-    pub max_us: u64,
-    buckets: [u64; LATENCY_BUCKETS],
-}
-
-impl Default for LatencyStats {
-    fn default() -> Self {
-        LatencyStats {
-            count: 0,
-            total_us: 0,
-            min_us: u64::MAX,
-            max_us: 0,
-            buckets: [0; LATENCY_BUCKETS],
-        }
-    }
+    hist: HistogramSnapshot,
 }
 
 impl LatencyStats {
     /// Records one operation's latency.
     pub fn record_us(&mut self, us: u64) {
-        self.count += 1;
-        self.total_us += us;
-        self.min_us = self.min_us.min(us);
-        self.max_us = self.max_us.max(us);
-        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
-        self.buckets[bucket] += 1;
+        self.hist.record(us);
     }
 
     /// Merges another accumulator (e.g. a different thread's) into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
-        self.count += other.count;
-        self.total_us += other.total_us;
-        self.min_us = self.min_us.min(other.min_us);
-        self.max_us = self.max_us.max(other.max_us);
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
+        self.hist.merge(&other.hist);
+    }
+
+    /// Number of recorded operations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.hist.count
+    }
+
+    /// Smallest recorded latency in microseconds, 0 when empty.
+    #[must_use]
+    pub fn min_us(&self) -> u64 {
+        self.hist.min()
+    }
+
+    /// Largest recorded latency, in microseconds.
+    #[must_use]
+    pub fn max_us(&self) -> u64 {
+        self.hist.max
     }
 
     /// Mean latency in microseconds.
     #[must_use]
     pub fn mean_us(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.total_us as f64 / self.count as f64
-        }
+        self.hist.mean()
     }
 
-    /// Approximate percentile (`p` in [0, 1]) from the bucket histogram; the
-    /// value returned is the upper bound of the bucket containing the
-    /// percentile, so it errs high by at most 2x.
+    /// Nearest-rank percentile (`p` in [0, 1]), an upper bound within one
+    /// power-of-two bucket of the true order statistic (see
+    /// [`obs::HistogramSnapshot::percentile`]).
     #[must_use]
     pub fn percentile_us(&self, p: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank.max(1) {
-                return (1u64 << (i + 1)).min(self.max_us.max(1));
-            }
-        }
-        self.max_us
+        self.hist.percentile(p)
+    }
+
+    /// The underlying histogram, for callers that want bucket detail.
+    #[must_use]
+    pub fn histogram(&self) -> &HistogramSnapshot {
+        &self.hist
     }
 }
 
@@ -401,9 +380,9 @@ mod tests {
         let mut b = LatencyStats::default();
         b.record_us(1000);
         a.merge(&b);
-        assert_eq!(a.count, 5);
-        assert_eq!(a.min_us, 10);
-        assert_eq!(a.max_us, 1000);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min_us(), 10);
+        assert_eq!(a.max_us(), 1000);
         assert!(a.mean_us() > 0.0);
         assert!(a.percentile_us(0.5) <= a.percentile_us(1.0));
         assert!(a.percentile_us(1.0) >= 1000);
@@ -437,7 +416,7 @@ mod tests {
         let result = run_concurrent(&quick_config(), 1).unwrap();
         assert_eq!(result.threads, 1);
         assert!(result.usage.cacheable_calls > 0);
-        assert!(result.latency.count >= 400);
+        assert!(result.latency.count() >= 400);
     }
 
     #[test]

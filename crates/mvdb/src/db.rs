@@ -63,6 +63,9 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+use obs::{Histogram, MetricsSnapshot, Registry};
 
 use crossbeam::channel::Receiver;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -241,6 +244,13 @@ pub struct Database {
     bus: Mutex<InvalidationBus>,
     buffer: SharedBuffer,
     stats: AtomicDbStats,
+    /// Engine latency histograms (`db.commit.us`, `db.query.us`,
+    /// `db.vacuum.us`) plus anything future subsystems register.
+    obs: Registry,
+    /// Cached handles so the hot paths never touch the registry lock.
+    commit_us: Arc<Histogram>,
+    query_us: Arc<Histogram>,
+    vacuum_us: Arc<Histogram>,
     config: DbConfig,
     clock: SimClock,
 }
@@ -249,6 +259,10 @@ impl Database {
     /// Creates an empty database.
     #[must_use]
     pub fn new(config: DbConfig, clock: SimClock) -> Database {
+        let obs = Registry::new();
+        let commit_us = obs.histogram("db.commit.us");
+        let query_us = obs.histogram("db.query.us");
+        let vacuum_us = obs.histogram("db.vacuum.us");
         Database {
             tables: RwLock::new(HashMap::new()),
             latest: AtomicU64::new(Timestamp::ZERO.0),
@@ -261,6 +275,10 @@ impl Database {
             bus: Mutex::new(InvalidationBus::new()),
             buffer: SharedBuffer::new(config.buffer_pages, SharedBuffer::DEFAULT_SHARDS),
             stats: AtomicDbStats::default(),
+            obs,
+            commit_us,
+            query_us,
+            vacuum_us,
             config,
             clock,
         }
@@ -461,6 +479,13 @@ impl Database {
     /// an invalidation message — all before the sequencer is released, so
     /// invalidations are delivered in commit-timestamp order.
     pub fn commit(&self, token: TxnToken) -> Result<Timestamp> {
+        let t0 = Instant::now();
+        let result = self.commit_inner(token);
+        self.commit_us.record(t0.elapsed().as_micros() as u64);
+        result
+    }
+
+    fn commit_inner(&self, token: TxnToken) -> Result<Timestamp> {
         let handle = self
             .txns
             .remove(token.0)
@@ -632,6 +657,13 @@ impl Database {
     /// Queries take only *shared* table locks (in sorted-name order when a
     /// join touches two tables), so any number of them run in parallel.
     pub fn query(&self, token: TxnToken, query: &SelectQuery) -> Result<QueryResult> {
+        let t0 = Instant::now();
+        let result = self.query_inner(token, query);
+        self.query_us.record(t0.elapsed().as_micros() as u64);
+        result
+    }
+
+    fn query_inner(&self, token: TxnToken, query: &SelectQuery) -> Result<QueryResult> {
         let (snapshot, me) = {
             let handle = self.txn_handle(token)?;
             let tx = handle.lock();
@@ -840,6 +872,13 @@ impl Database {
     /// retry), then recorded as the vacuum watermark — pins below it are
     /// refused from then on — before tables are swept one at a time.
     pub fn vacuum(&self) -> usize {
+        let t0 = Instant::now();
+        let removed = self.vacuum_inner();
+        self.vacuum_us.record(t0.elapsed().as_micros() as u64);
+        removed
+    }
+
+    fn vacuum_inner(&self) -> usize {
         let horizon = {
             let _seq = self.commit_lock.lock();
             let _pins = self.pins.lock();
@@ -890,6 +929,13 @@ impl Database {
     #[must_use]
     pub fn stats(&self) -> DbStats {
         self.stats.snapshot()
+    }
+
+    /// The engine's latency metrics: `db.commit.us`, `db.query.us`, and
+    /// `db.vacuum.us` histograms (microseconds, mergeable log2 buckets).
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
     }
 
     /// Per-table lock-contention counters, sorted by table name. A rising

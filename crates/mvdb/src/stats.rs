@@ -8,76 +8,11 @@
 //! acquisition had to wait — so lock contention regressions show up in
 //! benchmark output instead of only in flat scaling curves.
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-
 use serde::{Deserialize, Serialize};
 
-/// Number of slots a [`StripedCounter`] spreads its increments over.
-const STRIPES: usize = 16;
-
-/// A cache-line-padded atomic counter cell.
-#[derive(Debug, Default)]
-#[repr(align(64))]
-struct PaddedU64(AtomicU64);
-
-/// A relaxed monotonic counter striped across cache lines.
-///
-/// Every thread is assigned one of [`STRIPES`] slots the first time it
-/// increments any striped counter, so concurrent increments from different
-/// threads land on different cache lines instead of ping-ponging one. Reads
-/// sum the stripes; they are monotonic but not linearizable — exactly what
-/// telemetry needs and no more.
-#[derive(Debug)]
-pub struct StripedCounter([PaddedU64; STRIPES]);
-
-impl Default for StripedCounter {
-    fn default() -> Self {
-        StripedCounter(std::array::from_fn(|_| PaddedU64::default()))
-    }
-}
-
-/// The calling thread's stripe slot, assigned round-robin on first use.
-fn stripe_slot() -> usize {
-    static NEXT: AtomicUsize = AtomicUsize::new(0);
-    thread_local! {
-        static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
-    }
-    SLOT.with(|slot| {
-        let mut v = slot.get();
-        if v == usize::MAX {
-            v = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
-            slot.set(v);
-        }
-        v
-    })
-}
-
-impl StripedCounter {
-    /// Adds one.
-    pub fn bump(&self) {
-        self.add(1);
-    }
-
-    /// Adds `n` on the calling thread's stripe.
-    pub fn add(&self, n: u64) {
-        self.0[stripe_slot()].0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// The summed value across all stripes.
-    #[must_use]
-    pub fn get(&self) -> u64 {
-        self.0.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Zeroes every stripe. Increments racing the reset may survive it or be
-    /// lost; callers reset only at quiescent points (e.g. a warmup barrier).
-    pub fn reset(&self) {
-        for c in &self.0 {
-            c.0.store(0, Ordering::Relaxed);
-        }
-    }
-}
+// The striped-counter primitive moved to the shared `obs` crate; re-exported
+// here so existing `mvdb::stats::StripedCounter` users keep compiling.
+pub use obs::StripedCounter;
 
 /// Counters accumulated over the lifetime of a [`crate::Database`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]

@@ -1,0 +1,164 @@
+//! Relaxed atomic counters and gauges.
+//!
+//! [`StripedCounter`] was born in the `mvdb` engine and is now the shared
+//! counter primitive for every crate: a monotonic counter striped across
+//! cache lines so concurrent increments from different threads do not
+//! ping-pong one line. [`Gauge`] is its level-valued sibling (queue depths,
+//! in-flight requests): a single signed atomic, because gauges are read as
+//! often as written and must support decrements.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Number of slots a [`StripedCounter`] spreads its increments over.
+const STRIPES: usize = 16;
+
+/// A cache-line-padded atomic counter cell.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// A relaxed monotonic counter striped across cache lines.
+///
+/// Every thread is assigned one of [`STRIPES`] slots the first time it
+/// increments any striped counter, so concurrent increments from different
+/// threads land on different cache lines instead of ping-ponging one. Reads
+/// sum the stripes; they are monotonic but not linearizable — exactly what
+/// telemetry needs and no more.
+#[derive(Debug)]
+pub struct StripedCounter([PaddedU64; STRIPES]);
+
+impl Default for StripedCounter {
+    fn default() -> Self {
+        StripedCounter(std::array::from_fn(|_| PaddedU64::default()))
+    }
+}
+
+/// The calling thread's stripe slot, assigned round-robin on first use.
+fn stripe_slot() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SLOT.with(|slot| {
+        let mut v = slot.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+            slot.set(v);
+        }
+        v
+    })
+}
+
+impl StripedCounter {
+    /// Adds one.
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` on the calling thread's stripe.
+    pub fn add(&self, n: u64) {
+        self.0[stripe_slot()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The summed value across all stripes.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Zeroes every stripe. Increments racing the reset may survive it or be
+    /// lost; callers reset only at quiescent points (e.g. a warmup barrier).
+    pub fn reset(&self) {
+        for c in &self.0 {
+            c.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A cache-line-padded signed atomic cell.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedI64(AtomicI64);
+
+/// A level-valued relaxed gauge: queue depths, in-flight requests, bytes
+/// buffered. Striped like [`StripedCounter`]: a gauge's increments and
+/// decrements typically come from *different* threads (a producer enqueues,
+/// a consumer drains), and a single atomic would ping-pong its cache line
+/// on every request. The level is the sum of the per-stripe deltas, so
+/// individual stripes may go negative; only the sum is meaningful.
+#[derive(Debug)]
+pub struct Gauge([PaddedI64; STRIPES]);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(std::array::from_fn(|_| PaddedI64::default()))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge to an absolute level. Like [`StripedCounter::reset`],
+    /// racing updates may be lost; callers set only at quiescent points.
+    pub fn set(&self, v: i64) {
+        for c in &self.0[1..] {
+            c.0.store(0, Ordering::Relaxed);
+        }
+        self.0[0].0.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the gauge by a signed delta on the calling thread's stripe.
+    pub fn add(&self, delta: i64) {
+        self.0[stripe_slot()].0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The current level: the sum across stripes.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striped_counter_sums_across_threads() {
+        let c = StripedCounter::default();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.bump();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_levels() {
+        let g = Gauge::default();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.add(-5);
+        assert_eq!(g.get(), -4);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+}

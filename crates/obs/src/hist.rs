@@ -1,0 +1,426 @@
+//! The shared fixed-bucket log2 latency histogram.
+//!
+//! One bucket per power of two covers the whole `u64` range, so recording
+//! never allocates, merging is bucket-wise addition (associative and
+//! commutative — per-thread or per-shard histograms combine exactly), and a
+//! snapshot is a few hundred bytes no matter how many samples went in.
+//! Percentiles are nearest-rank over the cumulative bucket counts, clamped
+//! to the observed min/max: the reported value brackets the true order
+//! statistic to within one power of two, with none of the index bias the
+//! naive `sorted[len * 99 / 100]` form has on small sample counts (on
+//! `len == 10` that indexes element 9-of-10 as "p99" *and* element 9 as
+//! "p90" — both are really p100 neighbours).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets: one per power of two over the `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Bucket index for a recorded value: bucket 0 holds {0, 1}, bucket `i`
+/// holds `[2^i, 2^(i+1))` for `i >= 1`.
+fn bucket_index(v: u64) -> usize {
+    (63 - v.max(1).leading_zeros()) as usize
+}
+
+/// Inclusive upper edge of a bucket.
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// Inclusive lower edge of a bucket.
+fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// A lock-free mergeable latency histogram.
+///
+/// All updates are relaxed atomics: recording threads never serialize, and
+/// a snapshot taken concurrently with recording is "consistent enough" —
+/// monotonic per bucket, possibly skewed across buckets — the same
+/// telemetry contract as [`crate::StripedCounter`].
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// Smallest recorded value; `u64::MAX` until the first record.
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one value (conventionally microseconds).
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of values recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Folds another histogram's contents into this one.
+    pub fn merge_from(&self, other: &Histogram) {
+        self.absorb(&other.snapshot());
+    }
+
+    /// Folds a snapshot's contents into this live histogram.
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        if snap.count == 0 {
+            return;
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.min.fetch_min(snap.min, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
+        for (b, v) in self.buckets.iter().zip(snap.buckets.iter()) {
+            if *v != 0 {
+                b.fetch_add(*v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A point-in-time copy of the distribution.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Zeroes the distribution. Records racing the reset may survive it or
+    /// be lost; callers reset only at quiescent points.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`]: what travels in reports, over the
+/// wire, and between merge stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value; `u64::MAX` when empty.
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bucket counts; bucket `i` holds values in
+    /// `[bucket lower(i), bucket upper(i)]`.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Records one value into this plain-data snapshot — the single-threaded
+    /// accumulator form (per-thread latency tallies that are merged later),
+    /// sparing the atomics of a live [`Histogram`].
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Folds another snapshot into this one. Bucket-wise addition, so the
+    /// operation is associative and commutative: merging per-thread
+    /// snapshots in any grouping yields the same distribution.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, v) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *v;
+        }
+    }
+
+    /// Mean of the recorded values, 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value, 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 1]`): an upper bound on the
+    /// order statistic, clamped to the observed extremes. The true value
+    /// lies within the same power-of-two bucket, i.e. in
+    /// `[percentile / 2, percentile]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        let (_, upper) = self.percentile_bounds(p);
+        upper
+    }
+
+    /// The bucket edges bracketing the nearest-rank percentile: the true
+    /// order statistic lies in `[lower, upper]` inclusive. Zeroes when the
+    /// histogram is empty.
+    #[must_use]
+    pub fn percentile_bounds(&self, p: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        // Nearest-rank: the smallest value with at least ceil(p * count)
+        // values at or below it. Clamped into [1, count] so p = 0 means the
+        // minimum and p = 1 the maximum, with no index bias on small N.
+        let rank = (p * self.count as f64)
+            .ceil()
+            .max(1.0)
+            .min(self.count as f64) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let lower = bucket_lower(i).max(self.min);
+                let upper = bucket_upper(i).min(self.max);
+                return (lower.min(upper), upper);
+            }
+        }
+        (self.min.min(self.max), self.max)
+    }
+
+    /// The buckets holding at least one value, as `(lower edge, upper edge,
+    /// count)` triples — the sparse form used for rendering and the wire.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c != 0)
+            .map(|(i, c)| (bucket_lower(i), bucket_upper(i), *c))
+            .collect()
+    }
+
+    /// Rebuilds a snapshot from sparse `(bucket index, count)` pairs plus
+    /// the scalar fields — the wire decode path. Out-of-range indices are
+    /// ignored rather than trusted.
+    #[must_use]
+    pub fn from_sparse(count: u64, sum: u64, min: u64, max: u64, sparse: &[(u8, u64)]) -> Self {
+        let mut snap = HistogramSnapshot {
+            count,
+            sum,
+            min,
+            max,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        };
+        for &(i, c) in sparse {
+            if let Some(b) = snap.buckets.get_mut(i as usize) {
+                *b += c;
+            }
+        }
+        snap
+    }
+
+    /// The sparse `(bucket index, count)` form for the wire encode path.
+    #[must_use]
+    pub fn to_sparse(&self) -> Vec<(u8, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c != 0)
+            .map(|(i, c)| (i as u8, *c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_partition_the_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_lower(i).max(1)), i);
+            assert_eq!(bucket_index(bucket_upper(i)), i);
+        }
+    }
+
+    #[test]
+    fn percentiles_bracket_the_true_order_statistic() {
+        // A deterministic skewed sample set; compare against the exact
+        // sorted-order statistic.
+        let mut values: Vec<u64> = (0..500u64).map(|i| (i * i * 37) % 10_000).collect();
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        for &p in &[0.0, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((p * values.len() as f64).ceil().max(1.0) as usize).min(values.len());
+            let truth = values[rank - 1];
+            let (lower, upper) = snap.percentile_bounds(p);
+            assert!(
+                lower <= truth && truth <= upper,
+                "p{p}: true {truth} outside [{lower}, {upper}]"
+            );
+        }
+        assert_eq!(snap.percentile(1.0), *values.last().unwrap());
+        assert_eq!(snap.min(), values[0]);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |seed: u64, n: u64| {
+            let mut s = HistogramSnapshot::default();
+            let h = Histogram::new();
+            for i in 0..n {
+                h.record((seed.wrapping_mul(i + 1) * 2654435761) % 100_000);
+            }
+            s.merge(&h.snapshot());
+            s
+        };
+        let (a, b, c) = (mk(1, 100), mk(7, 50), mk(13, 200));
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // c + b + a
+        let mut rev = c.clone();
+        rev.merge(&b);
+        rev.merge(&a);
+        assert_eq!(left, rev);
+        assert_eq!(left.count, 350);
+    }
+
+    #[test]
+    fn merging_matches_recording_into_one() {
+        let all = Histogram::new();
+        let parts: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        for i in 0..1000u64 {
+            let v = (i * 97) % 5000;
+            all.record(v);
+            parts[(i % 4) as usize].record(v);
+        }
+        let merged = Histogram::new();
+        for p in &parts {
+            merged.merge_from(p);
+        }
+        assert_eq!(merged.snapshot(), all.snapshot());
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.percentile(0.99), 0);
+        assert_eq!(snap.mean(), 0.0);
+        assert_eq!(snap.min(), 0);
+        let mut merged = HistogramSnapshot::default();
+        merged.merge(&snap);
+        assert_eq!(merged, HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn sparse_roundtrip_preserves_the_distribution() {
+        let h = Histogram::new();
+        for v in [0, 1, 5, 900, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let sparse = snap.to_sparse();
+        assert!(sparse.len() <= 6);
+        let back =
+            HistogramSnapshot::from_sparse(snap.count, snap.sum, snap.min, snap.max, &sparse);
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.snapshot().buckets.iter().sum::<u64>(), 40_000);
+    }
+}

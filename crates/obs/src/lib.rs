@@ -1,0 +1,45 @@
+//! Shared observability primitives for the TxCache reproduction.
+//!
+//! Every layer of the system — the `mvdb` storage engine, the `txcached`
+//! cache server, the client library's `RemoteCluster`, and the experiment
+//! harness — needs the same three things: relaxed monotonic counters that
+//! never serialize hot paths, latency distributions that can be merged
+//! across threads and shards without keeping raw samples, and a way to see
+//! *which* requests were slow, not just how many. This crate provides them
+//! once:
+//!
+//! - [`StripedCounter`] / [`Gauge`]: cache-line-friendly relaxed atomics
+//!   with telemetry (not synchronization) semantics.
+//! - [`Histogram`]: a fixed-bucket log2 latency histogram. Recording is one
+//!   relaxed `fetch_add` per bucket plus rank bookkeeping; merging is
+//!   bucket-wise addition, so per-thread histograms combine exactly —
+//!   unlike concatenating sample vectors, the merge is associative and
+//!   O(buckets). Percentiles come from the bucket boundaries
+//!   (nearest-rank, clamped to the observed min/max), which brackets the
+//!   true value to within one power of two instead of the off-by-one index
+//!   bias of `samples[len * 99 / 100]` on small sample counts.
+//! - [`Registry`]: a named bank of counters/gauges/histograms. Lookup and
+//!   registration take a lock; the returned [`std::sync::Arc`] handles are
+//!   lock-free to update, so hot paths register once and bump forever.
+//! - [`Trace`] / [`SlowOpRing`]: a per-request span trail with one
+//!   timestamped event per pipeline stage, kept only when the request
+//!   exceeds a configurable slow-op threshold — a bounded flight recorder
+//!   for tail latency, dumpable on demand.
+//!
+//! ## Metric naming
+//!
+//! Names are dot-separated `component.subject.unit` strings, e.g.
+//! `server.req.get.us` (per-opcode request latency), `server.queue.depth`
+//! (worker-queue gauge), `db.commit.us`, `client.rtt.multi_get.us`,
+//! `client.failovers`. The Prometheus-style exposition
+//! ([`MetricsSnapshot::render_prometheus`]) rewrites dots to underscores.
+
+mod counter;
+mod hist;
+mod registry;
+mod trace;
+
+pub use counter::{Gauge, StripedCounter};
+pub use hist::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use registry::{MetricsSnapshot, Registry};
+pub use trace::{SlowOp, SlowOpRing, Trace};

@@ -1,0 +1,282 @@
+//! The named metrics registry and its snapshot/rendering types.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use crate::{Gauge, Histogram, HistogramSnapshot, StripedCounter};
+
+/// A named bank of counters, gauges, and histograms.
+///
+/// Registration (first lookup of a name) takes a write lock; subsequent
+/// lookups take a read lock and hot paths hold the returned [`Arc`] handle
+/// instead, so steady-state updates never touch the registry lock at all.
+/// Names are dot-separated `component.subject.unit` strings (see the crate
+/// docs); the maps are ordered so snapshots and renderings are
+/// deterministic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<StripedCounter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+impl Registry {
+    /// A fresh empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use. Hold the handle;
+    /// updates through it are lock-free.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<StripedCounter> {
+        if let Some(c) = self.inner.read().expect("registry lock").counters.get(name) {
+            return Arc::clone(c);
+        }
+        let mut inner = self.inner.write().expect("registry lock");
+        Arc::clone(
+            inner
+                .counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(StripedCounter::default())),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.inner.read().expect("registry lock").gauges.get(name) {
+            return Arc::clone(g);
+        }
+        let mut inner = self.inner.write().expect("registry lock");
+        Arc::clone(
+            inner
+                .gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self
+            .inner
+            .read()
+            .expect("registry lock")
+            .histograms
+            .get(name)
+        {
+            return Arc::clone(h);
+        }
+        let mut inner = self.inner.write().expect("registry lock");
+        Arc::clone(
+            inner
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.read().expect("registry lock");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Registry`]: what a `Metrics` wire request
+/// returns and what the CLI renders.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, level)` for every gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, distribution)` for every histogram, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The named counter's value, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The named gauge's level, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The named histogram's distribution, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// A human-readable dump: one line per counter/gauge, one summary line
+    /// per histogram (count, mean, p50/p90/p99, max).
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name:<40} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("{name:<40} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{name:<40} count={} mean={:.1} p50={} p90={} p99={} max={}\n",
+                h.count,
+                h.mean(),
+                h.percentile(0.50),
+                h.percentile(0.90),
+                h.percentile(0.99),
+                h.percentile(1.0),
+            ));
+        }
+        out
+    }
+
+    /// Prometheus-style text exposition: counters and gauges as plain
+    /// series, histograms as cumulative `_bucket{le="..."}` series plus
+    /// `_sum` and `_count`. Dots in metric names become underscores.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mangle = |name: &str| name.replace('.', "_");
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let name = mangle(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let name = mangle(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let name = mangle(name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (_, upper, count) in h.nonzero_buckets() {
+                cumulative += count;
+                out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_handles_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("server.req.get");
+        let b = r.counter("server.req.get");
+        a.add(3);
+        b.bump();
+        assert_eq!(r.counter("server.req.get").get(), 4);
+        r.gauge("server.queue.depth").set(9);
+        r.histogram("server.req.get.us").record(17);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("server.req.get"), Some(4));
+        assert_eq!(snap.gauge("server.queue.depth"), Some(9));
+        assert_eq!(snap.histogram("server.req.get.us").unwrap().count, 1);
+        assert_eq!(snap.counter("no.such"), None);
+    }
+
+    #[test]
+    fn concurrent_registration_and_increments_agree() {
+        // Every thread looks the counters up by name while others are
+        // registering new names — the registration path must never lose an
+        // increment or hand out divergent handles.
+        let r = Registry::new();
+        let threads = 8;
+        let per_thread = 5_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let r = &r;
+                scope.spawn(move || {
+                    let shared = r.counter("stress.shared");
+                    for i in 0..per_thread {
+                        shared.bump();
+                        // Re-lookup interleaved with fresh registrations.
+                        r.counter(&format!("stress.thread.{t}")).bump();
+                        if i % 64 == 0 {
+                            r.histogram("stress.lat.us").record(i);
+                        }
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter("stress.shared"),
+            Some(threads as u64 * per_thread)
+        );
+        for t in 0..threads {
+            assert_eq!(
+                snap.counter(&format!("stress.thread.{t}")),
+                Some(per_thread)
+            );
+        }
+        let lat = snap.histogram("stress.lat.us").unwrap();
+        assert_eq!(lat.count, threads as u64 * per_thread.div_ceil(64));
+    }
+
+    #[test]
+    fn renderings_cover_every_metric() {
+        let r = Registry::new();
+        r.counter("a.hits").add(2);
+        r.gauge("a.depth").set(-3);
+        for v in [10, 100, 1000] {
+            r.histogram("a.lat.us").record(v);
+        }
+        let snap = r.snapshot();
+        let human = snap.render_human();
+        assert!(human.contains("a.hits"));
+        assert!(human.contains("p99="));
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("a_hits 2"));
+        assert!(prom.contains("a_depth -3"));
+        assert!(prom.contains("a_lat_us_bucket{le=\"+Inf\"} 3"));
+        assert!(prom.contains("a_lat_us_sum 1110"));
+        assert!(prom.contains("a_lat_us_count 3"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Per-request tracing and the slow-op flight recorder.
+//!
+//! A [`Trace`] is started when a request enters the system and carries a
+//! trail of `(label, microseconds since start)` span events as the request
+//! moves through pipeline stages (parsed, queued, applied, replied). When
+//! the request finishes, [`SlowOpRing::observe`] keeps the trail only if
+//! the total latency crossed the configured threshold — so steady-state
+//! cost is one ring check per request and the ring holds a bounded window
+//! of the slowest, most interesting operations, dumpable on demand.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Spans a trace keeps inline; later spans are dropped (the trail is a
+/// bounded flight-recorder breadcrumb, not a general event log).
+pub const MAX_SPANS: usize = 8;
+
+/// One in-flight request's span trail.
+///
+/// Entirely inline — no heap allocation. Traces are created on one thread
+/// (the reactor, at parse time) and dropped on another (the worker), and a
+/// per-request cross-thread malloc/free pair costs more than everything
+/// else on this path combined.
+#[derive(Debug)]
+pub struct Trace {
+    id: u64,
+    start: Instant,
+    span_count: usize,
+    spans: [(&'static str, u64); MAX_SPANS],
+}
+
+impl Trace {
+    /// Starts a trace; `id` is the caller's correlation id (e.g. the wire
+    /// sequence number).
+    #[must_use]
+    pub fn start(id: u64) -> Trace {
+        Trace {
+            id,
+            start: Instant::now(),
+            span_count: 0,
+            spans: [("", 0); MAX_SPANS],
+        }
+    }
+
+    /// Rebuilds a trace around an `Instant` captured earlier — typically on
+    /// another thread. Shipping the 16-byte start time across a channel and
+    /// resuming is much cheaper than moving the whole span array.
+    #[must_use]
+    pub fn resume(id: u64, start: Instant) -> Trace {
+        Trace {
+            id,
+            start,
+            span_count: 0,
+            spans: [("", 0); MAX_SPANS],
+        }
+    }
+
+    /// Appends a span event stamped with the time since the trace started.
+    pub fn span(&mut self, label: &'static str) {
+        self.span_at(label, self.start.elapsed().as_micros() as u64);
+    }
+
+    /// Appends a span event at an already-measured offset — lets a caller
+    /// reuse one clock read for a span stamp and its own bookkeeping.
+    pub fn span_at(&mut self, label: &'static str, at_us: u64) {
+        if self.span_count < MAX_SPANS {
+            self.spans[self.span_count] = (label, at_us);
+            self.span_count += 1;
+        }
+    }
+
+    /// The recorded span trail, oldest first.
+    #[must_use]
+    pub fn spans(&self) -> &[(&'static str, u64)] {
+        &self.spans[..self.span_count]
+    }
+
+    /// Microseconds since the trace started.
+    #[must_use]
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// The trace's correlation id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// A completed slow operation, as kept in the ring.
+#[derive(Debug, Clone)]
+pub struct SlowOp {
+    /// The request's correlation id.
+    pub id: u64,
+    /// What the operation was (the opcode label).
+    pub op: &'static str,
+    /// End-to-end latency in microseconds.
+    pub total_us: u64,
+    /// The span trail: `(label, microseconds since the request entered)`.
+    pub spans: Vec<(&'static str, u64)>,
+}
+
+impl SlowOp {
+    /// One-line rendering: `op id=N total=Nus [label@Nus ...]`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let trail: Vec<String> = self
+            .spans
+            .iter()
+            .map(|(label, us)| format!("{label}@{us}us"))
+            .collect();
+        format!(
+            "{} id={} total={}us [{}]",
+            self.op,
+            self.id,
+            self.total_us,
+            trail.join(" ")
+        )
+    }
+}
+
+/// A bounded ring of the most recent slow operations.
+#[derive(Debug)]
+pub struct SlowOpRing {
+    threshold_us: AtomicU64,
+    captured: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<SlowOp>>,
+}
+
+impl SlowOpRing {
+    /// A ring keeping at most `capacity` slow ops; requests at or above
+    /// `threshold_us` end-to-end are captured. A threshold of 0 captures
+    /// everything (useful in tests); `u64::MAX` effectively disables
+    /// capture.
+    #[must_use]
+    pub fn new(capacity: usize, threshold_us: u64) -> SlowOpRing {
+        SlowOpRing {
+            threshold_us: AtomicU64::new(threshold_us),
+            captured: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+        }
+    }
+
+    /// The current capture threshold in microseconds.
+    #[must_use]
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Adjusts the capture threshold at runtime.
+    pub fn set_threshold_us(&self, us: u64) {
+        self.threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Finishes a trace: if the request's end-to-end latency crossed the
+    /// threshold, its trail is captured (evicting the oldest entry when the
+    /// ring is full). Returns whether the op was captured.
+    pub fn observe(&self, op: &'static str, trace: Trace) -> bool {
+        let total_us = trace.elapsed_us();
+        self.observe_at(op, trace, total_us)
+    }
+
+    /// [`SlowOpRing::observe`] with an already-measured end-to-end latency,
+    /// so a caller recording the same value elsewhere (e.g. a latency
+    /// histogram) pays for one clock read, not two.
+    pub fn observe_at(&self, op: &'static str, mut trace: Trace, total_us: u64) -> bool {
+        if total_us < self.threshold_us() {
+            return false;
+        }
+        trace.span_at("done", total_us);
+        self.captured.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().expect("slow-op ring lock");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(SlowOp {
+            id: trace.id,
+            op,
+            total_us,
+            spans: trace.spans().to_vec(),
+        });
+        true
+    }
+
+    /// Total slow ops captured since startup (including ones the bounded
+    /// ring has since evicted).
+    #[must_use]
+    pub fn captured(&self) -> u64 {
+        self.captured.load(Ordering::Relaxed)
+    }
+
+    /// Copies the ring's current contents, oldest first.
+    #[must_use]
+    pub fn dump(&self) -> Vec<SlowOp> {
+        self.ring
+            .lock()
+            .expect("slow-op ring lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_ops_are_not_captured() {
+        let ring = SlowOpRing::new(8, u64::MAX);
+        let mut t = Trace::start(1);
+        t.span("parsed");
+        assert!(!ring.observe("get", t));
+        assert_eq!(ring.captured(), 0);
+        assert!(ring.dump().is_empty());
+    }
+
+    #[test]
+    fn zero_threshold_captures_the_full_trail() {
+        let ring = SlowOpRing::new(8, 0);
+        let mut t = Trace::start(42);
+        t.span("parsed");
+        t.span("applied");
+        assert!(ring.observe("put", t));
+        let ops = ring.dump();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].id, 42);
+        assert_eq!(ops[0].op, "put");
+        // parsed, applied, plus the terminal "done" span.
+        assert_eq!(ops[0].spans.len(), 3);
+        assert_eq!(ops[0].spans[0].0, "parsed");
+        assert_eq!(ops[0].spans.last().unwrap().0, "done");
+        let line = ops[0].render();
+        assert!(line.contains("put id=42"));
+        assert!(line.contains("parsed@"));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let ring = SlowOpRing::new(4, 0);
+        for id in 0..10 {
+            ring.observe("get", Trace::start(id));
+        }
+        assert_eq!(ring.captured(), 10);
+        let ops = ring.dump();
+        assert_eq!(ops.len(), 4);
+        assert_eq!(ops.first().unwrap().id, 6);
+        assert_eq!(ops.last().unwrap().id, 9);
+    }
+
+    #[test]
+    fn threshold_is_adjustable_at_runtime() {
+        let ring = SlowOpRing::new(4, u64::MAX);
+        assert!(!ring.observe("get", Trace::start(1)));
+        ring.set_threshold_us(0);
+        assert!(ring.observe("get", Trace::start(2)));
+        assert_eq!(ring.threshold_us(), 0);
+    }
+}

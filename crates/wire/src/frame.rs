@@ -58,8 +58,10 @@ use crate::WireError;
 /// order) and added the scatter-gather `MultiGet`/`MultiPut` opcodes;
 /// version 5 added the `RingEpoch` membership announcement with its
 /// `EpochAck`/`WrongEpoch` responses and a ring-epoch fencing field on
-/// `MultiGet`/`MultiPut`.
-pub const PROTOCOL_VERSION: u8 = 5;
+/// `MultiGet`/`MultiPut`; version 6 added the `Metrics` request and its
+/// `MetricsSnapshot` response, carrying a node's full observability
+/// registry (counters, gauges, and log2 latency histogram buckets).
+pub const PROTOCOL_VERSION: u8 = 6;
 
 /// Upper bound on a frame body; larger declared lengths are rejected before
 /// any allocation happens.
@@ -69,12 +71,27 @@ pub const MAX_FRAME_BYTES: usize = 32 << 20;
 pub const SEQ_BYTES: usize = 8;
 
 /// Writes one frame (length prefix + body) and flushes.
+///
+/// Small frames go out in a single `write` call: on an unbuffered socket,
+/// a separately written 4-byte prefix becomes its own tiny TCP segment,
+/// and with Nagle enabled the body is then withheld until that segment is
+/// ACKed — a latency cliff at best, a wedged connection at worst. Large
+/// bodies are written separately to skip the copy; their first segment is
+/// MSS-sized, so the tiny-segment interlock cannot arise.
 pub fn write_frame(w: &mut impl Write, body: &[u8]) -> crate::Result<()> {
     if body.len() > MAX_FRAME_BYTES {
         return Err(WireError::TooLarge(body.len()));
     }
-    w.write_all(&(body.len() as u32).to_le_bytes())?;
-    w.write_all(body)?;
+    let prefix = (body.len() as u32).to_le_bytes();
+    if body.len() <= 64 * 1024 {
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(&prefix);
+        frame.extend_from_slice(body);
+        w.write_all(&frame)?;
+    } else {
+        w.write_all(&prefix)?;
+        w.write_all(body)?;
+    }
     w.flush()?;
     Ok(())
 }

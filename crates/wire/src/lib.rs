@@ -7,7 +7,7 @@
 //! message exchanged between the TxCache client library and a `txcached`
 //! cache node, independent of any particular transport.
 //!
-//! ## Framing (protocol v5)
+//! ## Framing (protocol v6)
 //!
 //! Every message travels in one frame:
 //!
@@ -39,7 +39,11 @@
 //! [`Response::EpochAck`]) plus an epoch field on `MultiGet`/`MultiPut`, so
 //! a client routing on a stale ring view gets a typed
 //! [`Response::WrongEpoch`] redirect instead of silent misses for keys that
-//! moved. The version byte is checked
+//! moved. Version 6 added the observability pair: [`Request::Metrics`]
+//! fetches the node's full metrics registry as a
+//! [`Response::MetricsSnapshot`] — named counters, gauges, and sparse log2
+//! latency histogram buckets ([`MetricsReport`]), the wire form of the
+//! `obs` crate's registry. The version byte is checked
 //! on decode; a mismatch produces [`WireError::Version`], which servers
 //! answer with an explicit [`Response::Error`] frame carrying
 //! [`ErrorCode::Version`].
@@ -88,8 +92,8 @@ pub use frame::{
     read_frame, split_seq, write_frame, FramedStream, MAX_FRAME_BYTES, PROTOCOL_VERSION, SEQ_BYTES,
 };
 pub use msg::{
-    ErrorCode, GetResult, InvalidationEvent, MissCode, NodeStats, PutEntry, Request, Response,
-    ShardStats,
+    ErrorCode, GetResult, HistogramReport, InvalidationEvent, MetricsReport, MissCode, NodeStats,
+    PutEntry, Request, Response, ShardStats,
 };
 pub use sim::{ChaosConfig, FaultAction, FaultCounts, SimConn, SimListener, SimNet, SplitMix64};
 pub use transport::{Closer, Connector, Listener, TcpConnector, Transport};

@@ -224,6 +224,134 @@ impl ShardStats {
     }
 }
 
+/// One latency histogram as carried on the wire (protocol v6): the scalar
+/// summary plus the *nonzero* log2 buckets as sparse `(bucket index,
+/// count)` pairs — a full 64-bucket array would mostly carry zeroes.
+/// Mirrors `obs::HistogramSnapshot`; conversions live in `cache-server` so
+/// this crate stays dependency-light.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramReport {
+    /// The histogram's registry name (e.g. `server.req.get.us`).
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Sparse nonzero buckets: `(log2 bucket index, count)`.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramReport {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.name);
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_u64(self.min);
+        w.put_u64(self.max);
+        w.put_u32(self.buckets.len() as u32);
+        for (index, count) in &self.buckets {
+            w.put_u8(*index);
+            w.put_u64(*count);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> crate::Result<HistogramReport> {
+        let name = r.get_str()?;
+        let count = r.get_u64()?;
+        let sum = r.get_u64()?;
+        let min = r.get_u64()?;
+        let max = r.get_u64()?;
+        let bucket_count = r.get_u32()? as usize;
+        // A log2 histogram has at most 64 buckets; a larger count is a
+        // corrupt or hostile frame.
+        if bucket_count > 64 {
+            return Err(WireError::TooLarge(bucket_count));
+        }
+        let mut buckets = Vec::with_capacity(bucket_count);
+        for _ in 0..bucket_count {
+            buckets.push((r.get_u8()?, r.get_u64()?));
+        }
+        Ok(HistogramReport {
+            name,
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        })
+    }
+}
+
+/// A node's full observability registry as carried on the wire (protocol
+/// v6): every named counter, gauge, and latency histogram, sorted by name.
+/// Mirrors `obs::MetricsSnapshot`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, level)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// Every latency histogram.
+    pub histograms: Vec<HistogramReport>,
+}
+
+impl MetricsReport {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.counters.len() as u32);
+        for (name, v) in &self.counters {
+            w.put_str(name);
+            w.put_u64(*v);
+        }
+        w.put_u32(self.gauges.len() as u32);
+        for (name, v) in &self.gauges {
+            w.put_str(name);
+            w.put_u64(*v as u64);
+        }
+        w.put_u32(self.histograms.len() as u32);
+        for h in &self.histograms {
+            h.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> crate::Result<MetricsReport> {
+        // Each counter/gauge entry is at least 12 bytes, each histogram at
+        // least 40; reject counts no legal frame could hold.
+        let counter_count = r.get_u32()? as usize;
+        if counter_count > crate::MAX_FRAME_BYTES / 12 {
+            return Err(WireError::TooLarge(counter_count));
+        }
+        let mut counters = Vec::with_capacity(counter_count.min(1024));
+        for _ in 0..counter_count {
+            counters.push((r.get_str()?, r.get_u64()?));
+        }
+        let gauge_count = r.get_u32()? as usize;
+        if gauge_count > crate::MAX_FRAME_BYTES / 12 {
+            return Err(WireError::TooLarge(gauge_count));
+        }
+        let mut gauges = Vec::with_capacity(gauge_count.min(1024));
+        for _ in 0..gauge_count {
+            gauges.push((r.get_str()?, r.get_u64()? as i64));
+        }
+        let histogram_count = r.get_u32()? as usize;
+        if histogram_count > crate::MAX_FRAME_BYTES / 40 {
+            return Err(WireError::TooLarge(histogram_count));
+        }
+        let mut histograms = Vec::with_capacity(histogram_count.min(1024));
+        for _ in 0..histogram_count {
+            histograms.push(HistogramReport::decode(r)?);
+        }
+        Ok(MetricsReport {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+}
+
 // Request opcodes (< 0x80).
 const OP_PING: u8 = 0x01;
 const OP_GET: u8 = 0x02;
@@ -237,6 +365,7 @@ const OP_SHARD_STATS: u8 = 0x09;
 const OP_MULTI_GET: u8 = 0x0A;
 const OP_MULTI_PUT: u8 = 0x0B;
 const OP_RING_EPOCH: u8 = 0x0C;
+const OP_METRICS: u8 = 0x0D;
 
 // Response opcodes (>= 0x80).
 const OP_PONG: u8 = 0x81;
@@ -252,6 +381,7 @@ const OP_MULTI_GET_RESULT: u8 = 0x8A;
 const OP_MULTI_PUT_ACK: u8 = 0x8B;
 const OP_EPOCH_ACK: u8 = 0x8C;
 const OP_WRONG_EPOCH: u8 = 0x8D;
+const OP_METRICS_SNAPSHOT: u8 = 0x8E;
 const OP_ERROR: u8 = 0xFF;
 
 /// One store operation of a [`Request::MultiPut`] batch; field-for-field the
@@ -448,6 +578,12 @@ pub enum Request {
         /// The membership epoch being announced.
         epoch: u64,
     },
+    /// Fetch the node's full observability registry (protocol v6): every
+    /// named counter, gauge, and per-opcode latency histogram, answered by
+    /// [`Response::MetricsSnapshot`]. Unlike [`Request::Stats`] — a fixed
+    /// struct of cache counters — the registry is open-ended, so new
+    /// metrics reach monitoring without a protocol change.
+    Metrics,
 }
 
 impl Request {
@@ -533,6 +669,7 @@ impl Request {
                 w.put_u8(OP_RING_EPOCH);
                 w.put_u64(*epoch);
             }
+            Request::Metrics => w.put_u8(OP_METRICS),
         }
         w.into_vec()
     }
@@ -628,6 +765,7 @@ impl Request {
             OP_RING_EPOCH => Request::RingEpoch {
                 epoch: r.get_u64()?,
             },
+            OP_METRICS => Request::Metrics,
             other => return Err(WireError::UnknownOpcode(other)),
         };
         r.finish()?;
@@ -705,6 +843,9 @@ pub enum Response {
         /// The membership epoch the node currently expects.
         expected: u64,
     },
+    /// The node's full observability registry (protocol v6), answering
+    /// [`Request::Metrics`].
+    MetricsSnapshot(MetricsReport),
     /// Generic success for requests with no payload to return.
     Ok,
     /// The request failed; the connection remains usable unless the error is
@@ -782,6 +923,10 @@ impl Response {
             Response::WrongEpoch { expected } => {
                 w.put_u8(OP_WRONG_EPOCH);
                 w.put_u64(*expected);
+            }
+            Response::MetricsSnapshot(report) => {
+                w.put_u8(OP_METRICS_SNAPSHOT);
+                report.encode(&mut w);
             }
             Response::Ok => w.put_u8(OP_OK),
             Response::Error { code, message } => {
@@ -863,6 +1008,7 @@ impl Response {
             OP_WRONG_EPOCH => Response::WrongEpoch {
                 expected: r.get_u64()?,
             },
+            OP_METRICS_SNAPSHOT => Response::MetricsSnapshot(MetricsReport::decode(&mut r)?),
             OP_OK => Response::Ok,
             OP_ERROR => Response::Error {
                 code: ErrorCode::from_u8(r.get_u8()?)?,
@@ -953,6 +1099,7 @@ mod tests {
                 freshness_lo: Timestamp(1),
             },
             Request::RingEpoch { epoch: 42 },
+            Request::Metrics,
             Request::MultiPut {
                 epoch: 7,
                 entries: vec![
@@ -1030,6 +1177,32 @@ mod tests {
             Response::MultiPutAck { applied: 2 },
             Response::EpochAck { epoch: 42 },
             Response::WrongEpoch { expected: 43 },
+            Response::MetricsSnapshot(MetricsReport {
+                counters: vec![
+                    ("server.conns.accepted".into(), 12),
+                    ("server.slow_ops.captured".into(), 1),
+                ],
+                gauges: vec![("server.queue.depth".into(), -2)],
+                histograms: vec![
+                    HistogramReport {
+                        name: "server.req.get.us".into(),
+                        count: 3,
+                        sum: 900,
+                        min: 100,
+                        max: 500,
+                        buckets: vec![(6, 1), (8, 2)],
+                    },
+                    HistogramReport {
+                        name: "server.req.put.us".into(),
+                        count: 0,
+                        sum: 0,
+                        min: u64::MAX,
+                        max: 0,
+                        buckets: Vec::new(),
+                    },
+                ],
+            }),
+            Response::MetricsSnapshot(MetricsReport::default()),
             Response::Ok,
             Response::Error {
                 code: ErrorCode::Malformed,

@@ -8,6 +8,7 @@
 pub use cache_server;
 pub use harness;
 pub use mvdb;
+pub use obs;
 pub use pincushion;
 pub use rubis;
 pub use txcache;

@@ -320,6 +320,6 @@ fn concurrent_rubis_driver_scales_without_failures() {
     assert_eq!(multi.per_thread.len(), 4);
     for t in &multi.per_thread {
         assert!(t.usage.requests > 0);
-        assert!(t.latency.count == t.usage.requests + t.failed);
+        assert!(t.latency.count() == t.usage.requests + t.failed);
     }
 }

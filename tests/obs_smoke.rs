@@ -1,0 +1,199 @@
+//! Observability smoke tests: the `Metrics` wire opcode answered by a live
+//! `txcached` with real per-opcode latency distributions, counter
+//! monotonicity across scrapes, and the slow-op flight recorder capturing
+//! an artificially delayed request with its span trail.
+//!
+//! With `TXCACHED_ADDRS` set (comma-separated), the scrape test runs
+//! against those externally started servers — this is what
+//! `ci.sh --obs-smoke` drives; otherwise loopback servers are spawned
+//! in-process.
+
+use bytes::Bytes;
+use txcache_repro::cache_server::{snapshot_from_wire, NodeConfig, TxcachedServer};
+use txcache_repro::txtypes::{CacheKey, TagSet, Timestamp, ValidityInterval, WallClock};
+use txcache_repro::wire::{FramedStream, Request, Response};
+
+fn external_addrs() -> Option<Vec<String>> {
+    match std::env::var("TXCACHED_ADDRS") {
+        Ok(list) if !list.trim().is_empty() => {
+            Some(list.split(',').map(|s| s.trim().to_string()).collect())
+        }
+        _ => None,
+    }
+}
+
+fn connect(addr: &str) -> FramedStream<std::net::TcpStream> {
+    let stream = std::net::TcpStream::connect(addr).expect("connect txcached");
+    stream.set_nodelay(true).expect("set nodelay");
+    FramedStream::new(stream)
+}
+
+/// Scrapes one node's metrics over the wire and rebuilds the local snapshot.
+fn scrape(conn: &mut FramedStream<std::net::TcpStream>) -> txcache_repro::obs::MetricsSnapshot {
+    match conn
+        .call(&Request::Metrics)
+        .expect("metrics call")
+        .into_result()
+        .expect("metrics result")
+    {
+        Response::MetricsSnapshot(report) => snapshot_from_wire(&report),
+        other => panic!("expected a MetricsSnapshot, got {other:?}"),
+    }
+}
+
+/// Drives a put + warm-get burst over one connection. The heartbeat goes
+/// first: it advances the node's invalidation horizon so the still-valid
+/// entries are servable at the lookup timestamp.
+fn drive_traffic(conn: &mut FramedStream<std::net::TcpStream>, rounds: usize) {
+    conn.call(&Request::InvalidationBatch {
+        events: Vec::new(),
+        heartbeat: Timestamp(1_000_000),
+    })
+    .expect("heartbeat");
+    for i in 0..rounds {
+        let key = CacheKey::new("obs_smoke", format!("[{i}]"));
+        conn.call(&Request::Put {
+            key: key.clone(),
+            value: Bytes::from(vec![0x42u8; 64]),
+            validity: ValidityInterval::unbounded(Timestamp(1)),
+            tags: TagSet::new(),
+            now: WallClock::ZERO,
+        })
+        .expect("put");
+        let got = conn
+            .call(&Request::VersionedGet {
+                key,
+                pinset_lo: Timestamp(500),
+                pinset_hi: Timestamp(500),
+                freshness_lo: Timestamp(500),
+            })
+            .expect("get");
+        assert!(matches!(got, Response::Hit { .. }), "fresh put must hit");
+    }
+}
+
+/// A live node must answer the `Metrics` opcode with nonzero per-opcode
+/// latency percentiles, and every counter must be monotone across scrapes.
+#[test]
+fn metrics_scrape_reports_latencies_and_monotone_counters() {
+    let (server, addr) = match external_addrs() {
+        Some(addrs) => (None, addrs[0].clone()),
+        None => {
+            let server = TxcachedServer::bind(
+                "127.0.0.1:0",
+                "obs-smoke",
+                NodeConfig {
+                    capacity_bytes: 4 << 20,
+                    ..NodeConfig::default()
+                },
+            )
+            .expect("bind loopback txcached");
+            let addr = server.local_addr().to_string();
+            (Some(server), addr)
+        }
+    };
+
+    let mut conn = connect(&addr);
+    drive_traffic(&mut conn, 50);
+    let first = scrape(&mut conn);
+
+    // Per-opcode latency histograms with real distributions behind them.
+    for op in ["get", "put"] {
+        let hist = first
+            .histogram(&format!("server.req.{op}.us"))
+            .unwrap_or_else(|| panic!("server.req.{op}.us must be exported"));
+        assert!(hist.count >= 50, "{op}: at least the driven ops recorded");
+        assert!(hist.percentile(0.5) > 0, "{op}: p50 must be nonzero");
+        assert!(hist.percentile(0.99) > 0, "{op}: p99 must be nonzero");
+        assert!(
+            hist.percentile(0.5) <= hist.percentile(0.99),
+            "{op}: percentiles must be ordered"
+        );
+    }
+    // The key protocol series exist and saw the traffic.
+    for series in ["server.req.total", "server.bytes.in", "server.bytes.out"] {
+        assert!(
+            first.counter(series).unwrap_or(0) > 0,
+            "{series} must be nonzero after traffic"
+        );
+    }
+
+    // Monotonicity: more traffic, then a second scrape — every counter and
+    // histogram count is non-decreasing, and the driven ones grew.
+    drive_traffic(&mut conn, 25);
+    let second = scrape(&mut conn);
+    for (name, value) in &first.counters {
+        let later = second.counter(name).unwrap_or(0);
+        assert!(later >= *value, "{name} went backwards: {value} -> {later}");
+    }
+    for (name, hist) in &first.histograms {
+        let later = second.histogram(name).map_or(0, |h| h.count);
+        assert!(
+            later >= hist.count,
+            "{name} count went backwards: {} -> {later}",
+            hist.count
+        );
+    }
+    assert!(
+        second.counter("server.req.total") > first.counter("server.req.total"),
+        "the second burst must be visible in req.total"
+    );
+    assert!(
+        second.histogram("server.req.get.us").map_or(0, |h| h.count)
+            > first.histogram("server.req.get.us").map_or(0, |h| h.count),
+        "the second burst must be visible in the get histogram"
+    );
+    drop(server);
+}
+
+/// An artificially delayed request must land in the slow-op flight
+/// recorder with its span trail intact — the on-demand dump the chaos
+/// harness prints when a checker fails.
+#[test]
+fn slow_op_ring_captures_a_delayed_request_with_spans() {
+    let server = TxcachedServer::bind(
+        "127.0.0.1:0",
+        "obs-slow",
+        NodeConfig {
+            capacity_bytes: 4 << 20,
+            // Every request is held for 2 ms before dispatch, well past the
+            // 1 ms capture threshold.
+            inject_delay_us: 2_000,
+            slow_op_threshold_us: 1_000,
+            ..NodeConfig::default()
+        },
+    )
+    .expect("bind loopback txcached");
+    let mut conn = connect(&server.local_addr().to_string());
+    let pong = conn
+        .call(&Request::Ping { nonce: 7 })
+        .expect("ping")
+        .into_result()
+        .expect("pong");
+    assert_eq!(pong, Response::Pong { nonce: 7 });
+
+    let captured = server.slow_ops();
+    assert!(
+        !captured.is_empty(),
+        "a 2 ms request must cross the 1 ms slow-op threshold"
+    );
+    let op = captured.last().expect("captured slow op");
+    assert!(op.total_us >= 1_000, "captured total reflects the delay");
+    let rendered = op.render();
+    assert!(
+        rendered.contains("ping"),
+        "the opcode must be in the dump: {rendered}"
+    );
+    assert!(
+        rendered.contains("injected_delay") && rendered.contains("applied"),
+        "the span trail must survive into the dump: {rendered}"
+    );
+    assert!(
+        server
+            .metrics()
+            .counter("server.slow_ops.captured")
+            .unwrap_or(0)
+            >= 1,
+        "the capture must be counted"
+    );
+}

@@ -8,8 +8,8 @@ use txcache_repro::txtypes::{
 };
 use txcache_repro::wire::{read_frame, write_frame};
 use txcache_repro::wire::{
-    ErrorCode, GetResult, InvalidationEvent, MissCode, NodeStats, PutEntry, Request, Response,
-    ShardStats, PROTOCOL_VERSION,
+    ErrorCode, GetResult, HistogramReport, InvalidationEvent, MetricsReport, MissCode, NodeStats,
+    PutEntry, Request, Response, ShardStats, PROTOCOL_VERSION,
 };
 
 use bytes::Bytes;
@@ -263,6 +263,62 @@ proptest! {
             let _ = Request::decode(&flipped);
         }
     }
+
+    #[test]
+    fn metrics_frames_roundtrip(report in metrics_report_strategy()) {
+        roundtrip_request(&Request::Metrics);
+        roundtrip_response(&Response::MetricsSnapshot(report));
+    }
+
+    #[test]
+    fn corrupt_metrics_frames_never_panic(
+        report in metrics_report_strategy(),
+        cut in 0usize..400,
+        flip_at in 0usize..400,
+        flip_with in 1u8..=255,
+    ) {
+        // A MetricsSnapshot is the largest response frame the protocol has
+        // (named series plus sparse histogram buckets); a scraping client
+        // feeds exactly these bytes to Response::decode, so mutilated
+        // encodings must fail cleanly, never panic.
+        let body = Response::MetricsSnapshot(report).encode();
+        let truncated = &body[..cut.min(body.len())];
+        let _ = Response::decode(truncated);
+        let mut flipped = body.clone();
+        let at = flip_at % flipped.len();
+        flipped[at] ^= flip_with;
+        let _ = Response::decode(&flipped);
+    }
+}
+
+fn metrics_report_strategy() -> impl Strategy<Value = MetricsReport> {
+    let name = "[a-z][a-z0-9._]{0,24}";
+    let histogram = (
+        name,
+        0u64..1_000_000,
+        0u64..u64::MAX,
+        0u64..u64::MAX,
+        0u64..u64::MAX,
+        proptest::collection::vec((0u8..64, 1u64..1_000_000), 0..8),
+    )
+        .prop_map(|(name, count, sum, min, max, buckets)| HistogramReport {
+            name,
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        });
+    (
+        proptest::collection::vec((name, 0u64..u64::MAX), 0..8),
+        proptest::collection::vec((name, i64::MIN..i64::MAX), 0..4),
+        proptest::collection::vec(histogram, 0..4),
+    )
+        .prop_map(|(counters, gauges, histograms)| MetricsReport {
+            counters,
+            gauges,
+            histograms,
+        })
 }
 
 fn put_entry_strategy() -> impl Strategy<Value = PutEntry> {
