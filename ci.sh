@@ -16,7 +16,13 @@
 #      verified by the transactional-consistency history checker on both
 #      cache backends. The sweep ends with the replication profile: R=2
 #      replica sets, a scripted primary kill mid-workload, zero checker
-#      violations, a bounded hit-rate dip, and a bit-for-bit replay.
+#      violations, a bounded hit-rate dip, and a bit-for-bit replay —
+#      followed by the crash-restart profile: a durable mvdb (group-
+#      committed WAL) crashed mid-workload after silently committed
+#      transfers, recovered into the same warm caches, with the history
+#      checker proving the recovered invalidation horizon kept every cache
+#      honest, a bit-for-bit replay of the whole run, and a mutation canary
+#      (horizon rebuild skipped) that must make the checker fail.
 #      Failures print the seed and a CHAOS_SEED=... repro command; set
 #      CHAOS_SEED to pin the sweep to one seed.
 #   7. optionally, the network smoke gate (--net-smoke): starts a real
@@ -45,7 +51,11 @@
 #      crates/bench/BENCH_net_replication.baseline.json and can be
 #      overridden with the BENCH_BASELINE / CACHE_BENCH_BASELINE /
 #      HIGH_CONN_BENCH_BASELINE / NET_REPL_BENCH_BASELINE environment
-#      variables. Absolute txn/s is only compared when the host has the
+#      variables. The step also runs the durability sweep (fig5_throughput
+#      --durability: committed writes against a real durable mvdb under
+#      Never / GroupCommit / Always fsync policies) against
+#      crates/bench/BENCH_fig5_durability.baseline.json (override with
+#      DURABILITY_BENCH_BASELINE) at the standard 20% ceiling. Absolute txn/s is only compared when the host has the
 #      same CPU count the baseline was
 #      recorded with (the hosted workflow caches a runner-class baseline
 #      for this); the >=1.5x 4-thread speedup floor applies on any host
@@ -89,6 +99,8 @@
 #       --requests 20000 --json crates/bench/BENCH_high_connection.baseline.json
 #   target/release/net_loopback --keys 2048 \
 #       --json crates/bench/BENCH_net_replication.baseline.json
+#   target/release/fig5_throughput --durability --requests 2000 \
+#       --json crates/bench/BENCH_fig5_durability.baseline.json
 
 set -uo pipefail
 cd "$(dirname "$0")"
@@ -195,6 +207,17 @@ if [ "$CHAOS_SMOKE" -eq 1 ]; then
         run_step "chaos smoke (replicated failover, R=2, fixed seed)" \
             cargo test $CHAOS_PROFILE_FLAG --quiet --test chaos -- \
             replicated_failover
+        # The crash-restart profile: a durable mvdb (group-committed WAL in
+        # a scratch dir) is crashed mid-workload after a burst of silently
+        # committed transfers, recovered into the same warm caches, and the
+        # history checker verifies the recovered invalidation horizon kept
+        # every cache honest — zero violations, a bit-for-bit replay, and
+        # the mutation canary (recovery with the horizon rebuild skipped)
+        # must make the checker fail. Fixed, vetted seed; CHAOS_SEED does
+        # not move it, so the gate is deterministic.
+        run_step "chaos smoke (crash-restart recovery, durable WAL, fixed seed)" \
+            cargo test $CHAOS_PROFILE_FLAG --quiet --test chaos -- \
+            crash_restart checker_catches_skipped_horizon_recovery
     fi
 fi
 
@@ -376,6 +399,18 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
         --json BENCH_net_replication.json \
         --baseline "$NET_REPL_BASELINE" \
         --max-regress 0.5
+    # The durability gate: fig5_throughput's fsync-policy sweep drives
+    # committed write transactions against a real durable mvdb (WAL in a
+    # scratch dir) under Never / GroupCommit / Always and compares against
+    # its baseline with the standard 20% ceiling. The gate point is the
+    # Always leg (the highest "thread" index) — fsync-bound and the most
+    # stable of the three — so a regression here means the WAL append or
+    # group-commit path itself got slower, not scheduler noise.
+    DURABILITY_BASELINE="${DURABILITY_BENCH_BASELINE:-crates/bench/BENCH_fig5_durability.baseline.json}"
+    run_step "bench smoke (durability fsync-policy sweep vs ${DURABILITY_BASELINE})" \
+        target/release/fig5_throughput --durability --requests 2000 \
+        --json BENCH_fig5_durability.json \
+        --baseline "$DURABILITY_BASELINE"
     # The instrumentation-overhead gate: cache_scaling's wire-path A/B
     # phase runs a metrics-on and a metrics-off txcached in adjacent pairs
     # and gates the median paired per-op cost ratio at <= 5%. This

@@ -11,13 +11,26 @@
 //! --baseline bench/BENCH_fig5.baseline.json` runs only the sweep, records
 //! it, and exits non-zero if throughput regressed more than `--max-regress`
 //! against the checked-in baseline.
+//!
+//! `--durability` switches the binary to the fsync-policy sweep instead:
+//! committed write transactions against a real durable `mvdb` (WAL on disk)
+//! under `Never`, `GroupCommit`, and `Always`, reported as commits/s with
+//! the measured group-commit batching factor. The sweep reuses the
+//! `SweepReport` JSON/baseline machinery with the policy index standing in
+//! for the thread count (1 = Never, 2 = GroupCommit, 3 = Always), so the CI
+//! gate's regression ceiling applies unchanged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bench::{format_size, gate_failures, BenchArgs, SweepReport};
 use harness::{
     run_concurrent, run_experiment, scalability_table, throughput_table, ConcurrentResult, DbKind,
     ExperimentConfig, ExperimentResult,
 };
+use mvdb::{ColumnType, Database, DbConfig, FsyncPolicy, Predicate, TableSchema, Value};
 use txcache::CacheMode;
+use txtypes::SimClock;
 
 fn sweep(
     base: &ExperimentConfig,
@@ -147,8 +160,138 @@ fn thread_scaling(args: &BenchArgs) -> SweepReport {
     }
 }
 
+/// One policy's leg of the durability sweep: `total` committed single-row
+/// updates from `writers` threads against a durable database in a scratch
+/// directory, returning measured commits/s.
+fn durability_leg(policy: FsyncPolicy, writers: usize, total: usize) -> (f64, u64, u64) {
+    static LEG: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "txcache-bench-durability-{}-{}",
+        std::process::id(),
+        LEG.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = DbConfig {
+        fsync: policy,
+        ..DbConfig::default()
+    };
+    let db = Arc::new(Database::open_durable(&dir, config, SimClock::new()).expect("open durable"));
+    const ROWS: usize = 1024;
+    db.create_table(
+        TableSchema::new("accounts")
+            .column("id", ColumnType::Int)
+            .column("balance", ColumnType::Int)
+            .unique_index("id"),
+    )
+    .expect("create table");
+    db.bulk_load(
+        "accounts",
+        (0..ROWS)
+            .map(|id| vec![Value::Int(id as i64), Value::Int(0)])
+            .collect(),
+    )
+    .expect("bulk load");
+    let appends_before = db.stats().wal_appends;
+    let fsyncs_before = db.stats().wal_fsyncs;
+
+    let t0 = std::time::Instant::now();
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let db = Arc::clone(&db);
+            let commits = total / writers + usize::from(w < total % writers);
+            std::thread::spawn(move || {
+                // Each writer owns the rows congruent to it mod `writers`,
+                // so no two transactions ever conflict on a version.
+                for i in 0..commits {
+                    let id = ((w + i * writers) % ROWS) as i64;
+                    let token = db.begin_rw().expect("begin");
+                    db.update(
+                        token,
+                        "accounts",
+                        &Predicate::eq("id", id),
+                        &[("balance".to_string(), Value::Int(i as i64))],
+                    )
+                    .expect("update");
+                    db.commit(token).expect("commit");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    let stats = db.stats();
+    let appends = stats.wal_appends - appends_before;
+    let fsyncs = stats.wal_fsyncs - fsyncs_before;
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    (total as f64 / wall.max(1e-9), appends, fsyncs)
+}
+
+/// The fsync-policy sweep: commits/s under each durability policy, printed
+/// with the measured batching factor and mapped into a [`SweepReport`]
+/// (policy index as the "thread count") for the CI regression gate.
+fn durability_sweep(args: &BenchArgs) -> SweepReport {
+    let policies = [
+        ("Never (no fsync)", FsyncPolicy::Never),
+        (
+            "GroupCommit 100us",
+            FsyncPolicy::GroupCommit { max_wait_us: 100 },
+        ),
+        ("Always (per commit)", FsyncPolicy::Always),
+    ];
+    let writers = 4;
+    let total = args.requests.max(writers);
+
+    println!(
+        "Durability sweep: {total} committed single-row updates, {writers} writer threads, \
+         WAL in {}",
+        std::env::temp_dir().display()
+    );
+    println!(
+        "\n  {:<20} {:>12} {:>14} {:>9} {:>16}",
+        "fsync policy", "commits/s", "mean commit us", "fsyncs", "commits/fsync"
+    );
+    let mut rates = Vec::new();
+    for (label, policy) in policies {
+        let (rate, appends, fsyncs) = durability_leg(policy, writers, total);
+        let mean_us = 1e6 / rate * writers as f64;
+        let batching = if fsyncs > 0 {
+            format!("{:.1}", appends as f64 / fsyncs as f64)
+        } else {
+            "-".to_string()
+        };
+        println!("  {label:<20} {rate:>12.0} {mean_us:>14.1} {fsyncs:>9} {batching:>16}");
+        rates.push(rate);
+    }
+
+    SweepReport {
+        available_parallelism: std::thread::available_parallelism().map_or(1, usize::from),
+        threads: (1..=rates.len()).collect(),
+        txn_per_sec: rates,
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
+
+    if std::env::args().any(|a| a == "--durability") {
+        let report = durability_sweep(&args);
+        if let Some(path) = &args.json_out {
+            std::fs::write(path, report.to_json()).expect("failed to write sweep JSON");
+            println!("\n  sweep written to {path}");
+        }
+        let failures = gate_failures(&args, &report);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("BENCH GATE FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if !args.scaling_only {
         figure_panels(&args);

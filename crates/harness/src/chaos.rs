@@ -25,10 +25,15 @@
 //! reproducibility. On a failure, print [`ChaosOutcome::repro`] — setting
 //! `CHAOS_SEED` replays the exact run.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cache_server::{CacheCluster, CacheStats, NodeConfig, TxcachedServer};
-use mvdb::{ColumnType, Database, DbConfig, Predicate, SelectQuery, TableSchema, Value};
+use mvdb::{
+    ColumnType, Database, DbConfig, FsyncPolicy, Predicate, RecoverOptions, SelectQuery,
+    TableSchema, Value,
+};
 use pincushion::Pincushion;
 use txcache::backend::{CacheBackend, RemoteCluster, RemoteOptions};
 use txcache::{ClientStats, Transaction, TxCache, TxCacheConfig};
@@ -57,6 +62,31 @@ pub enum ChaosBackend {
         /// Number of `txcached` servers.
         nodes: usize,
     },
+}
+
+/// A scripted database crash-and-restart, applied at one round boundary.
+///
+/// Just before the crash, `silent_transfers` read/write transactions commit
+/// *directly* on the database — bypassing the TxCache invalidation pump —
+/// so the cache tier never hears their invalidations, exactly like a crash
+/// that takes the invalidation multicast down with it. The database then
+/// suffers a simulated power loss (the WAL keeps only its fsynced prefix),
+/// is recovered from disk into a fresh instance, and a new `TxCache` is
+/// attached to the *same, still-warm* cache nodes. On reconnect the
+/// recovered invalidation log and horizon are delivered to the cache tier,
+/// which invalidates the silently-updated entries and seals everything else
+/// at the recovered horizon — the §4.2 rule, surviving a restart.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashRestartScript {
+    /// Round boundary at which the crash fires.
+    pub crash_round: usize,
+    /// Transfers committed durably but invisibly to the caches just before
+    /// the power loss.
+    pub silent_transfers: usize,
+    /// **Mutation hook**: skip rebuilding the invalidation horizon during
+    /// recovery, so the reconnect heartbeat revalidates the stale entries
+    /// and the checker can be shown to catch the resurrection.
+    pub skip_horizon_recovery: bool,
 }
 
 /// A scripted partition window, applied at round boundaries: the node is
@@ -106,6 +136,10 @@ pub struct ChaosScenarioConfig {
     /// **Mutation hook**: disable the §4.2 seal-on-heal recovery rule, so
     /// the checker can be shown to catch the resulting stale resurrection.
     pub disable_seal_on_heal: bool,
+    /// Scripted database crash-and-restart (None for the purely
+    /// transport-fault scenarios). When set, the database runs durably (WAL
+    /// plus snapshots) in a scratch directory for the length of the run.
+    pub crash: Option<CrashRestartScript>,
 }
 
 impl ChaosScenarioConfig {
@@ -138,6 +172,7 @@ impl ChaosScenarioConfig {
             replication: 1,
             failover_threshold: 3,
             disable_seal_on_heal: false,
+            crash: None,
         }
     }
 
@@ -158,6 +193,7 @@ impl ChaosScenarioConfig {
             replication: 1,
             failover_threshold: 3,
             disable_seal_on_heal: false,
+            crash: None,
         }
     }
 
@@ -193,6 +229,7 @@ impl ChaosScenarioConfig {
             replication: 1,
             failover_threshold: 3,
             disable_seal_on_heal: false,
+            crash: None,
         }
     }
 
@@ -224,6 +261,45 @@ impl ChaosScenarioConfig {
             replication: 2,
             failover_threshold: 3,
             disable_seal_on_heal: false,
+            crash: None,
+        }
+    }
+
+    /// The crash-restart scenario: a durable database (WAL plus snapshots,
+    /// group commit with no dally so every commit is fsynced before it
+    /// acks) behind two `txcached` nodes with *no* transport faults. Halfway
+    /// through, a burst of transfers commits without the caches hearing
+    /// their invalidations, the database crashes and recovers from disk,
+    /// and a fresh `TxCache` reconnects the still-warm cache tier to the
+    /// recovered instance. The recovered invalidation horizon must bound
+    /// every pre-crash cache entry, or the silent transfers resurrect as
+    /// stale reads.
+    #[must_use]
+    pub fn crash_restart(seed: u64) -> ChaosScenarioConfig {
+        ChaosScenarioConfig {
+            seed,
+            backend: ChaosBackend::SimRemote { nodes: 2 },
+            chaos: ChaosConfig::healthy(),
+            partitions: Vec::new(),
+            accounts: 8,
+            sessions: 4,
+            rounds: 60,
+            // Same rationale as `partition_heal`: near-fresh snapshots keep
+            // the cache full of still-valid unbounded entries at crash time
+            // (the state the recovered horizon must bound) and make
+            // post-restart reads run past the silent commits (the state a
+            // resurrected entry would poison).
+            staleness: Staleness::millis(80),
+            op_gap_micros: 50_000,
+            op_timeout: std::time::Duration::from_millis(100),
+            replication: 1,
+            failover_threshold: 3,
+            disable_seal_on_heal: false,
+            crash: Some(CrashRestartScript {
+                crash_round: 30,
+                silent_transfers: 4,
+                skip_horizon_recovery: false,
+            }),
         }
     }
 }
@@ -271,6 +347,9 @@ pub struct ChaosOutcome {
     /// `healed_node_hits_at_heal` proves the healed node served traffic
     /// again without any client or peer restarting.
     pub healed_node_hits_final: u64,
+    /// WAL commits replayed by the scripted crash-restart's recovery (0
+    /// when the scenario has no crash script).
+    pub recovered_commits: u64,
 }
 
 impl ChaosOutcome {
@@ -323,17 +402,59 @@ pub fn repro_command(seed: u64, test_name: &str) -> String {
 /// Everything a running scenario holds alive.
 struct ScenarioStack {
     clock: SimClock,
+    /// Replaced wholesale by the scripted crash-restart; everything else in
+    /// the stack survives the database's death.
     txcache: Arc<TxCache>,
+    /// The cache tier, kept separately so a crash-restart can attach a new
+    /// `TxCache` to the same still-warm nodes.
+    cache: Arc<dyn CacheBackend>,
     /// Kept for fault control and teardown.
     net: Option<SimNet>,
     remote: Option<Arc<RemoteCluster<SimNet>>>,
     servers: Vec<TxcachedServer<SimListener>>,
     addrs: Vec<String>,
+    /// Scratch directory holding the WAL and snapshots of a durable run;
+    /// wiped on teardown.
+    durable_dir: Option<PathBuf>,
+}
+
+/// Distinguishes concurrently-running durable scenarios within one process.
+static DURABLE_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The database configuration for durable (crash-scripted) scenarios: group
+/// commit with a zero dally, so every commit is fsynced before it acks —
+/// committed history is never lost to the scripted power cut, keeping the
+/// checker's ground truth and the recovered state in agreement.
+fn durable_db_config() -> DbConfig {
+    DbConfig {
+        fsync: FsyncPolicy::GroupCommit { max_wait_us: 0 },
+        ..DbConfig::default()
+    }
 }
 
 fn build_stack(config: &ChaosScenarioConfig) -> Result<ScenarioStack> {
     let clock = SimClock::new();
-    let db = Arc::new(Database::new(DbConfig::default(), clock.clone()));
+    let mut durable_dir = None;
+    let db = if config.crash.is_some() {
+        let dir = std::env::temp_dir().join(format!(
+            "txcache-chaos-{}-{}-{:016x}",
+            std::process::id(),
+            DURABLE_DIR_COUNTER.fetch_add(1, Ordering::Relaxed),
+            config.seed
+        ));
+        // A leftover directory from a killed run would replay foreign
+        // history into this one; start from empty.
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = Arc::new(Database::open_durable(
+            &dir,
+            durable_db_config(),
+            clock.clone(),
+        )?);
+        durable_dir = Some(dir);
+        db
+    } else {
+        Arc::new(Database::new(DbConfig::default(), clock.clone()))
+    };
     db.create_table(
         TableSchema::new("accounts")
             .column("id", ColumnType::Int)
@@ -401,7 +522,7 @@ fn build_stack(config: &ChaosScenarioConfig) -> Result<ScenarioStack> {
     let pincushion = Arc::new(Pincushion::new(Default::default(), clock.clone()));
     let txcache = Arc::new(TxCache::with_backend(
         db,
-        cache,
+        Arc::clone(&cache),
         pincushion,
         clock.clone(),
         TxCacheConfig::default(),
@@ -409,10 +530,12 @@ fn build_stack(config: &ChaosScenarioConfig) -> Result<ScenarioStack> {
     Ok(ScenarioStack {
         clock,
         txcache,
+        cache,
         net,
         remote,
         servers,
         addrs,
+        durable_dir,
     })
 }
 
@@ -433,7 +556,7 @@ fn cached_balance(tx: &mut Transaction<'_>, account: u64) -> Result<i64> {
 /// application path.
 #[must_use]
 pub fn run_chaos_scenario(config: &ChaosScenarioConfig) -> ChaosOutcome {
-    let stack = build_stack(config).unwrap_or_else(|e| {
+    let mut stack = build_stack(config).unwrap_or_else(|e| {
         panic!(
             "chaos stack failed to build under CHAOS_SEED={}: {e}\n  repro: {}",
             config.seed,
@@ -462,6 +585,22 @@ pub fn run_chaos_scenario(config: &ChaosScenarioConfig) -> ChaosOutcome {
                     .servers
                     .get(w.node)
                     .map_or(0, |s| s.cache_stats().hits);
+            }
+        }
+        // The scripted crash fires at a round boundary, while no request is
+        // in flight: the silent transfers, the power loss, the recovery and
+        // the reconnect all happen here, then the workload resumes against
+        // the recovered database through the same warm cache tier.
+        if let Some(script) = config.crash.filter(|s| s.crash_round == round) {
+            if let Err(e) =
+                perform_crash_restart(&mut stack, config, script, &mut rng, &mut history)
+            {
+                panic!(
+                    "chaos crash-restart at round {round} failed under \
+                     CHAOS_SEED={}: {e}\n  repro: {}",
+                    config.seed,
+                    repro_command(config.seed, "")
+                );
             }
         }
         // Scripted partitions fire at round boundaries, while no request is
@@ -546,9 +685,16 @@ pub fn run_chaos_scenario(config: &ChaosScenarioConfig) -> ChaosOutcome {
     let healed_node_hits_final = phase_window
         .and_then(|w| stack.servers.get(w.node))
         .map_or(0, |s| s.cache_stats().hits);
-    let mut stack = stack;
+    let recovered_commits = stack
+        .txcache
+        .database()
+        .recovery_report()
+        .map_or(0, |r| r.replayed_commits as u64);
     for server in &mut stack.servers {
         server.shutdown();
+    }
+    if let Some(dir) = &stack.durable_dir {
+        let _ = std::fs::remove_dir_all(dir);
     }
     ChaosOutcome {
         seed: config.seed,
@@ -570,7 +716,98 @@ pub fn run_chaos_scenario(config: &ChaosScenarioConfig) -> ChaosOutcome {
         disrupted_hit_rate,
         healed_node_hits_at_heal,
         healed_node_hits_final,
+        recovered_commits,
     }
+}
+
+/// The scripted crash: silent transfers, power loss, recovery from disk,
+/// and reconnecting the warm cache tier to the recovered database.
+fn perform_crash_restart(
+    stack: &mut ScenarioStack,
+    config: &ChaosScenarioConfig,
+    script: CrashRestartScript,
+    rng: &mut SplitMix64,
+    history: &mut History,
+) -> Result<()> {
+    let db = Arc::clone(stack.txcache.database());
+
+    // Transfers committed directly on the database, bypassing the TxCache
+    // invalidation pump: durable (the commit fsyncs before acking), part of
+    // the checker's ground truth, but invisible to the cache tier — the
+    // invalidation multicast dies with the crash.
+    for _ in 0..script.silent_transfers {
+        stack.clock.advance_micros(config.op_gap_micros.max(1));
+        let from = rng.below(config.accounts);
+        let to = (from + 1 + rng.below(config.accounts - 1)) % config.accounts;
+        let amount = 1 + rng.below(5) as i64;
+        let token = db.begin_rw()?;
+        let read = |id: u64| -> Result<i64> {
+            let q = SelectQuery::table("accounts").filter(Predicate::eq("id", id as i64));
+            Ok(db
+                .query(token, &q)?
+                .get(0, "balance")?
+                .as_int()
+                .unwrap_or(0))
+        };
+        let a = read(from)?;
+        db.update(
+            token,
+            "accounts",
+            &Predicate::eq("id", from as i64),
+            &[("balance".to_string(), Value::Int(a - amount))],
+        )?;
+        let b = read(to)?;
+        db.update(
+            token,
+            "accounts",
+            &Predicate::eq("id", to as i64),
+            &[("balance".to_string(), Value::Int(b + amount))],
+        )?;
+        let timestamp = db.commit(token)?;
+        history.record_commit(CommitRecord {
+            timestamp,
+            wall: stack.clock.now(),
+            writes: vec![(from, a - amount), (to, b + amount)],
+        });
+    }
+
+    // Power loss: the WAL keeps only its fsynced prefix; every in-memory
+    // structure — tables, pins, the invalidation bus — is gone.
+    db.simulate_crash();
+
+    let dir = stack
+        .durable_dir
+        .clone()
+        .expect("a crash script requires a durable stack");
+    let recovered = Arc::new(Database::recover_with(
+        &dir,
+        durable_db_config(),
+        stack.clock.clone(),
+        RecoverOptions {
+            skip_horizon_rebuild_for_fault_injection: script.skip_horizon_recovery,
+        },
+    )?);
+
+    // Reconnect: a fresh TxCache (and pincushion — every pre-crash pin
+    // refers to snapshots the dead instance forgot) over the SAME warm
+    // cache nodes, then one delivery of the recovered invalidation log with
+    // the recovered horizon as heartbeat. This is what invalidates the
+    // silently-updated entries and bounds everything else at the horizon;
+    // with the mutation hook the log is empty and the heartbeat instead
+    // revalidates the stale entries.
+    let pincushion = Arc::new(Pincushion::new(Default::default(), stack.clock.clone()));
+    let txcache = Arc::new(TxCache::with_backend(
+        Arc::clone(&recovered),
+        Arc::clone(&stack.cache),
+        pincushion,
+        stack.clock.clone(),
+        TxCacheConfig::default(),
+    ));
+    stack
+        .cache
+        .apply_invalidations(&recovered.invalidation_log(), recovered.latest_timestamp());
+    stack.txcache = txcache;
+    Ok(())
 }
 
 /// One read/write transfer between two distinct accounts; records the

@@ -177,6 +177,7 @@ impl SimCluster {
                 rows_per_page,
                 wildcard_threshold: 64,
                 exec: ExecOptions::default(),
+                ..DbConfig::default()
             },
             clock.clone(),
         ));

@@ -61,9 +61,10 @@
 //! swept one at a time.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use obs::{Histogram, MetricsSnapshot, Registry};
 
@@ -86,6 +87,11 @@ use crate::table::{Slot, Table};
 use crate::tuple::{Stamp, TupleVersion, TxnId};
 use crate::txn::{Transaction, TxnMode, TxnToken};
 use crate::value::Value;
+use crate::wal::codec::{encode_record, scan_wal, WalCommit, WalOp, WalRecord};
+use crate::wal::log::{crashed_err, CrashPoint, FsyncPolicy, WalLog};
+use crate::wal::snapshot_file::{self, SnapshotImage, SnapshotTable, SnapshotVersion};
+use crate::wal::{self, RecoverOptions, RecoveryReport};
+use wire::sim::{fnv1a, FNV_OFFSET};
 
 /// Static configuration of a [`Database`].
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -102,6 +108,11 @@ pub struct DbConfig {
     /// Database-side TxCache support (validity tracking + invalidation tags).
     /// Disabling it models the stock DBMS baseline of §8.1.
     pub exec: ExecOptions,
+    /// When (and whether) commits wait for the write-ahead log to fsync.
+    /// Only consulted when the database is opened durably
+    /// ([`Database::recover`] / [`Database::open_durable`]); in-memory
+    /// databases ignore it.
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for DbConfig {
@@ -111,6 +122,7 @@ impl Default for DbConfig {
             rows_per_page: 32,
             wildcard_threshold: 64,
             exec: ExecOptions::default(),
+            fsync: FsyncPolicy::default(),
         }
     }
 }
@@ -251,6 +263,19 @@ pub struct Database {
     commit_us: Arc<Histogram>,
     query_us: Arc<Histogram>,
     vacuum_us: Arc<Histogram>,
+    /// Time commits spend waiting for WAL durability (zero for in-memory
+    /// databases).
+    fsync_us: Arc<Histogram>,
+    /// The write-ahead log, present only when the database was opened
+    /// durably. Appends happen under the commit sequencer; durability waits
+    /// happen with no locks held.
+    durability: Option<Arc<WalLog>>,
+    /// The directory holding the WAL and snapshot files.
+    durable_dir: Option<PathBuf>,
+    /// What recovery did to produce this database, if it was recovered.
+    recovery: Option<RecoveryReport>,
+    /// Snapshot files written over this database's lifetime.
+    snapshots_written: AtomicU64,
     config: DbConfig,
     clock: SimClock,
 }
@@ -263,6 +288,7 @@ impl Database {
         let commit_us = obs.histogram("db.commit.us");
         let query_us = obs.histogram("db.query.us");
         let vacuum_us = obs.histogram("db.vacuum.us");
+        let fsync_us = obs.histogram("db.fsync.us");
         Database {
             tables: RwLock::new(HashMap::new()),
             latest: AtomicU64::new(Timestamp::ZERO.0),
@@ -279,6 +305,11 @@ impl Database {
             commit_us,
             query_us,
             vacuum_us,
+            fsync_us,
+            durability: None,
+            durable_dir: None,
+            recovery: None,
+            snapshots_written: AtomicU64::new(0),
             config,
             clock,
         }
@@ -337,15 +368,32 @@ impl Database {
     // Schema management and bulk loading
     // ------------------------------------------------------------------
 
-    /// Creates a table.
+    /// Creates a table. On a durable database the schema is logged and
+    /// fsynced before this returns, so a table acknowledged as created can
+    /// never vanish in a crash.
     pub fn create_table(&self, schema: TableSchema) -> Result<()> {
         let name = schema.name.clone();
-        let table = Table::new(schema, self.config.rows_per_page)?;
-        let mut tables = self.tables.write();
-        if tables.contains_key(&name) {
-            return Err(Error::Schema(format!("table '{name}' already exists")));
+        let table = Table::new(schema.clone(), self.config.rows_per_page)?;
+        {
+            let mut tables = self.tables.write();
+            if tables.contains_key(&name) {
+                return Err(Error::Schema(format!("table '{name}' already exists")));
+            }
+            tables.insert(name.clone(), TableShard::new(table));
         }
-        tables.insert(name, TableShard::new(table));
+        if let Some(log) = &self.durability {
+            let appended = {
+                let _seq = self.commit_lock.lock();
+                log.append(&encode_record(&WalRecord::CreateTable(schema)))
+            };
+            match appended.and_then(|lsn| log.wait_durable(lsn)) {
+                Ok(()) => {}
+                Err(e) => {
+                    self.tables.write().remove(&name);
+                    return Err(e);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -395,18 +443,49 @@ impl Database {
     /// single new commit timestamp and publish no invalidations; this is the
     /// initial-population path used by the data generators.
     pub fn bulk_load(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<Vec<u64>> {
-        let tables = self.tables.read();
-        let shard = Self::shard_of(&tables, table)?;
-        let mut t = shard.write();
-        let _seq = self.commit_lock.lock();
-        let commit_ts = self.latest_ts().next();
+        let wal_lsn;
         let mut row_ids = Vec::with_capacity(rows.len());
-        for values in rows {
-            let row_id = t.allocate_row_id();
-            t.insert_version(TupleVersion::committed(row_id, values, commit_ts))?;
-            row_ids.push(row_id);
+        {
+            let tables = self.tables.read();
+            let shard = Self::shard_of(&tables, table)?;
+            let mut t = shard.write();
+            let _seq = self.commit_lock.lock();
+            let commit_ts = self.latest_ts().next();
+            let mut ops = self
+                .durability
+                .as_ref()
+                .map(|_| Vec::with_capacity(rows.len()));
+            for values in rows {
+                let row_id = t.allocate_row_id();
+                if let Some(ops) = &mut ops {
+                    ops.push(WalOp::Insert {
+                        table: table.to_string(),
+                        row_id,
+                        values: values.clone(),
+                        self_deleted: false,
+                    });
+                }
+                t.insert_version(TupleVersion::committed(row_id, values, commit_ts))?;
+                row_ids.push(row_id);
+            }
+            // Bulk loads are commits with no invalidation tags: they log
+            // their rows but publish nothing, matching the in-memory path.
+            wal_lsn = match (&self.durability, ops) {
+                (Some(log), Some(ops)) => {
+                    Some(log.append(&encode_record(&WalRecord::Commit(WalCommit {
+                        commit_ts,
+                        committed_at: self.clock.now(),
+                        tags: TagSet::new(),
+                        ops,
+                    })))?)
+                }
+                _ => None,
+            };
+            self.latest.store(commit_ts.0, Ordering::Release);
         }
-        self.latest.store(commit_ts.0, Ordering::Release);
+        if let (Some(log), Some(lsn)) = (&self.durability, wal_lsn) {
+            log.wait_durable(lsn)?;
+        }
         Ok(row_ids)
     }
 
@@ -480,12 +559,25 @@ impl Database {
     /// invalidations are delivered in commit-timestamp order.
     pub fn commit(&self, token: TxnToken) -> Result<Timestamp> {
         let t0 = Instant::now();
-        let result = self.commit_inner(token);
+        let result = match self.commit_inner(token) {
+            // The commit is stamped and published; wait for durability with
+            // no database locks held, so concurrent commits pile into the
+            // same group fsync.
+            Ok((ts, Some(lsn))) => {
+                let log = self.durability.as_ref().expect("lsn implies a wal").clone();
+                let f0 = Instant::now();
+                let wait = log.wait_durable(lsn);
+                self.fsync_us.record(f0.elapsed().as_micros() as u64);
+                wait.map(|()| ts)
+            }
+            Ok((ts, None)) => Ok(ts),
+            Err(e) => Err(e),
+        };
         self.commit_us.record(t0.elapsed().as_micros() as u64);
         result
     }
 
-    fn commit_inner(&self, token: TxnToken) -> Result<Timestamp> {
+    fn commit_inner(&self, token: TxnToken) -> Result<(Timestamp, Option<u64>)> {
         let handle = self
             .txns
             .remove(token.0)
@@ -493,7 +585,7 @@ impl Database {
         let tx = Self::into_transaction(handle);
         self.stats.commits.bump();
         if !tx.has_writes() {
-            return Ok(tx.snapshot);
+            return Ok((tx.snapshot, None));
         }
 
         // Write locks on every touched table, in sorted-name order (the
@@ -523,13 +615,13 @@ impl Database {
                 }
             }
         }
-        self.latest.store(commit_ts.0, Ordering::Release);
 
         // Build the invalidation tag set, collapsing to wildcards for tables
-        // with many modified rows, and publish before releasing the
-        // sequencer so the stream stays in commit order.
+        // with many modified rows. Built before `latest` advances because
+        // the WAL record carries it: recovery rebuilds the invalidation
+        // horizon from the same commit-ordered stream as the data.
+        let mut tags = TagSet::new();
         if self.config.exec.track_validity {
-            let mut tags = TagSet::new();
             for tag in tx.pending_tags.iter() {
                 let collapse = tx
                     .rows_modified
@@ -541,15 +633,86 @@ impl Database {
                     tags.insert(tag.clone());
                 }
             }
+        }
+        let committed_at = self.clock.now();
+
+        // Append to the WAL under the sequencer (log order = commit order)
+        // before `latest` advances. If the append fails — only possible
+        // after a simulated crash — the stamps are reverted so `commit_ts`
+        // never leaks: the sequencer will hand the same timestamp to the
+        // next commit, and a half-stamped transaction must not be visible.
+        let mut wal_lsn = None;
+        if let Some(log) = &self.durability {
+            let mut ops = Vec::new();
+            // Deletes first, so replay kills superseded versions before the
+            // replacing inserts land.
+            for (table, slot) in &tx.deleted_slots {
+                if let Some(version) = Self::version_ref(&guards, table, *slot) {
+                    if let Stamp::Committed(created_ts) = version.created {
+                        if created_ts != commit_ts {
+                            ops.push(WalOp::Delete {
+                                table: table.clone(),
+                                row_id: version.row_id,
+                                created_ts,
+                            });
+                        }
+                    }
+                }
+            }
+            for (table, slot) in &tx.created_slots {
+                if let Some(version) = Self::version_ref(&guards, table, *slot) {
+                    ops.push(WalOp::Insert {
+                        table: table.clone(),
+                        row_id: version.row_id,
+                        values: version.values.clone(),
+                        self_deleted: matches!(
+                            version.deleted,
+                            Some(Stamp::Committed(ts)) if ts == commit_ts
+                        ),
+                    });
+                }
+            }
+            let frame = encode_record(&WalRecord::Commit(WalCommit {
+                commit_ts,
+                committed_at,
+                tags: tags.clone(),
+                ops,
+            }));
+            match log.append(&frame) {
+                Ok(lsn) => wal_lsn = Some(lsn),
+                Err(e) => {
+                    for (table, slot) in &tx.created_slots {
+                        if let Some(version) = Self::version_mut(&mut guards, table, *slot) {
+                            version.created = Stamp::Aborted;
+                        }
+                    }
+                    for (table, slot) in &tx.deleted_slots {
+                        if let Some(version) = Self::version_mut(&mut guards, table, *slot) {
+                            if matches!(version.deleted, Some(Stamp::Committed(ts)) if ts == commit_ts)
+                            {
+                                version.deleted = None;
+                            }
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        self.latest.store(commit_ts.0, Ordering::Release);
+
+        // Publish before releasing the sequencer so the stream stays in
+        // commit order.
+        if self.config.exec.track_validity {
             let message = InvalidationMessage {
                 timestamp: commit_ts,
                 tags,
-                committed_at: self.clock.now(),
+                committed_at,
             };
             self.bus.lock().publish(message);
             self.stats.invalidating_commits.bump();
         }
-        Ok(commit_ts)
+        Ok((commit_ts, wal_lsn))
     }
 
     /// Aborts a transaction, undoing any pending writes.
@@ -583,6 +746,19 @@ impl Database {
             }
         }
         Ok(())
+    }
+
+    /// Immutable version lookup under the already-held write guards; used to
+    /// build WAL records after stamping.
+    fn version_ref<'a, 'g>(
+        guards: &'a [(String, RwLockWriteGuard<'g, Table>)],
+        table: &str,
+        slot: Slot,
+    ) -> Option<&'a TupleVersion> {
+        guards
+            .iter()
+            .find(|(name, _)| name == table)
+            .and_then(|(_, guard)| guard.get(slot))
     }
 
     /// Looks up a version under the already-held write guards of a commit or
@@ -887,9 +1063,22 @@ impl Database {
             if let Some(min) = self.txns.min_snapshot() {
                 horizon = horizon.min(min);
             }
-            let watermark = self.vacuum_watermark.load(Ordering::Acquire).max(horizon.0);
+            let previous = self.vacuum_watermark.load(Ordering::Acquire);
+            let watermark = previous.max(horizon.0);
             self.vacuum_watermark.store(watermark, Ordering::Release);
             self.begin_epoch.fetch_add(1, Ordering::SeqCst);
+            // Log the advanced watermark (still under the sequencer) so a
+            // recovered database keeps refusing pins below it. No durability
+            // wait: losing the record in a crash just replays the older,
+            // more permissive watermark, which is safe because replay also
+            // reconstructs the swept versions.
+            if watermark > previous {
+                if let Some(log) = &self.durability {
+                    let _ = log.append(&encode_record(&WalRecord::VacuumWatermark(Timestamp(
+                        watermark,
+                    ))));
+                }
+            }
             horizon
         };
 
@@ -928,7 +1117,13 @@ impl Database {
     /// Database operation counters.
     #[must_use]
     pub fn stats(&self) -> DbStats {
-        self.stats.snapshot()
+        let mut stats = self.stats.snapshot();
+        if let Some(log) = &self.durability {
+            stats.wal_appends = log.appends();
+            stats.wal_fsyncs = log.fsyncs();
+        }
+        stats.snapshots_written = self.snapshots_written.load(Ordering::Relaxed);
+        stats
     }
 
     /// The engine's latency metrics: `db.commit.us`, `db.query.us`, and
@@ -1099,6 +1294,491 @@ impl Database {
             result: result?,
             snapshot,
         })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Durability: recovery, snapshots, crash simulation
+// ----------------------------------------------------------------------
+
+impl Database {
+    /// Opens (creating if necessary) a durable database in `dir`: loads the
+    /// newest valid snapshot, replays the WAL tail, truncates any torn
+    /// tail, and attaches a write-ahead log with the configured fsync
+    /// policy. On an empty directory this is a durable cold start.
+    pub fn open_durable(
+        dir: impl AsRef<Path>,
+        config: DbConfig,
+        clock: SimClock,
+    ) -> Result<Database> {
+        Self::recover(dir, config, clock)
+    }
+
+    /// Recovers a durable database from `dir`. See
+    /// [`Database::recovery_report`] for what was found.
+    pub fn recover(dir: impl AsRef<Path>, config: DbConfig, clock: SimClock) -> Result<Database> {
+        Self::recover_with(dir, config, clock, RecoverOptions::default())
+    }
+
+    /// [`Database::recover`] with fault-injection knobs (test-only).
+    pub fn recover_with(
+        dir: impl AsRef<Path>,
+        config: DbConfig,
+        clock: SimClock,
+        opts: RecoverOptions,
+    ) -> Result<Database> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| Error::Serialization(format!("recover io (mkdir): {e}")))?;
+        let loaded = wal::load_dir(dir)?;
+        let mut db = Database::new(config, clock);
+
+        let mut latest = Timestamp::ZERO;
+        let mut watermark = Timestamp::ZERO;
+        let mut invalidations: Vec<InvalidationMessage> = Vec::new();
+        let snapshot_ts = loaded.snapshot.as_ref().map(|s| s.snapshot_ts);
+
+        if let Some(image) = &loaded.snapshot {
+            latest = image.snapshot_ts;
+            watermark = image.vacuum_watermark;
+            invalidations = image.invalidations.clone();
+            let mut tables = db.tables.write();
+            for snap_table in &image.tables {
+                let mut table = Table::new(snap_table.schema.clone(), config.rows_per_page)?;
+                for v in &snap_table.versions {
+                    let mut version =
+                        TupleVersion::committed(v.row_id, v.values.clone(), v.created_ts);
+                    version.deleted = v.deleted_ts.map(Stamp::Committed);
+                    table.insert_version(version)?;
+                }
+                table.ensure_next_row_id(snap_table.next_row_id);
+                tables.insert(snap_table.schema.name.clone(), TableShard::new(table));
+            }
+        }
+
+        let mut replayed = 0usize;
+        let mut skipped = 0usize;
+        {
+            let mut tables = db.tables.write();
+            for record in &loaded.records {
+                match record {
+                    WalRecord::CreateTable(schema) => {
+                        // Compaction drops CreateTable records once a
+                        // snapshot carries the schema, so a surviving record
+                        // may duplicate a snapshot table: create only if
+                        // missing.
+                        if !tables.contains_key(&schema.name) {
+                            tables.insert(
+                                schema.name.clone(),
+                                TableShard::new(Table::new(schema.clone(), config.rows_per_page)?),
+                            );
+                        }
+                    }
+                    WalRecord::VacuumWatermark(ts) => watermark = watermark.max(*ts),
+                    WalRecord::Commit(c) => {
+                        if snapshot_ts.is_some_and(|s| c.commit_ts <= s) {
+                            skipped += 1;
+                            continue;
+                        }
+                        Self::apply_replayed_commit(&tables, c)?;
+                        latest = latest.max(c.commit_ts);
+                        if !c.tags.is_empty() {
+                            invalidations.push(InvalidationMessage {
+                                timestamp: c.commit_ts,
+                                tags: c.tags.clone(),
+                                committed_at: c.committed_at,
+                            });
+                        }
+                        replayed += 1;
+                    }
+                }
+            }
+        }
+
+        db.latest.store(latest.0, Ordering::Release);
+        db.vacuum_watermark.store(watermark.0, Ordering::Release);
+        if !opts.skip_horizon_rebuild_for_fault_injection {
+            db.bus.lock().restore(invalidations);
+        }
+
+        let log = WalLog::open(dir, config.fsync, loaded.wal_valid_len)?;
+        db.durability = Some(Arc::new(log));
+        db.durable_dir = Some(dir.to_path_buf());
+        db.recovery = Some(RecoveryReport {
+            snapshot_ts,
+            snapshots_skipped: loaded.snapshots_skipped,
+            replayed_commits: replayed,
+            skipped_commits: skipped,
+            truncated_bytes: loaded.truncated_bytes,
+            recovered_latest: latest,
+            recovered_watermark: watermark,
+        });
+        Ok(db)
+    }
+
+    /// Applies one replayed WAL commit: deletes first (so superseded
+    /// versions die before their replacements land), then inserts.
+    fn apply_replayed_commit(tables: &HashMap<String, TableShard>, c: &WalCommit) -> Result<()> {
+        for op in &c.ops {
+            if let WalOp::Delete {
+                table,
+                row_id,
+                created_ts,
+            } = op
+            {
+                let shard = Self::shard_of(tables, table)?;
+                let mut t = shard.write();
+                let slots: Vec<Slot> = t.versions_of_row(*row_id).to_vec();
+                let target = slots.into_iter().find(|&slot| {
+                    t.get(slot).is_some_and(|v| {
+                        matches!(v.created, Stamp::Committed(ts) if ts == *created_ts)
+                            && v.deleted.is_none()
+                    })
+                });
+                if let Some(slot) = target {
+                    if let Some(v) = t.get_mut(slot) {
+                        v.deleted = Some(Stamp::Committed(c.commit_ts));
+                    }
+                }
+            }
+        }
+        for op in &c.ops {
+            if let WalOp::Insert {
+                table,
+                row_id,
+                values,
+                self_deleted,
+            } = op
+            {
+                let shard = Self::shard_of(tables, table)?;
+                let mut t = shard.write();
+                let mut version = TupleVersion::committed(*row_id, values.clone(), c.commit_ts);
+                if *self_deleted {
+                    version.deleted = Some(Stamp::Committed(c.commit_ts));
+                }
+                t.insert_version(version)?;
+                t.ensure_next_row_id(*row_id + 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether this database carries a write-ahead log.
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The directory holding this database's WAL and snapshots, if durable.
+    #[must_use]
+    pub fn durable_dir(&self) -> Option<&Path> {
+        self.durable_dir.as_deref()
+    }
+
+    /// What recovery did to produce this database, if it was recovered.
+    #[must_use]
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery
+    }
+
+    /// Bytes currently in the write-ahead log (zero when in-memory). The
+    /// background snapshotter uses this as its compaction trigger.
+    #[must_use]
+    pub fn wal_bytes(&self) -> u64 {
+        self.durability.as_ref().map_or(0, |log| log.written_len())
+    }
+
+    /// The timestamp of the newest invalidation the bus has seen — after
+    /// recovery, the horizon reconnecting caches seal their unbounded
+    /// entries at.
+    #[must_use]
+    pub fn invalidation_horizon(&self) -> Option<Timestamp> {
+        self.bus.lock().last_timestamp()
+    }
+
+    /// Arms a test-only crash point on the WAL; the next operation reaching
+    /// that stage simulates power loss.
+    pub fn set_crash_point(&self, point: CrashPoint) {
+        if let Some(log) = &self.durability {
+            log.arm_crash_point(point);
+        }
+    }
+
+    /// Pulls the plug (test-only): un-fsynced WAL bytes are discarded and
+    /// every subsequent durable operation fails. The in-memory state is left
+    /// as-is but unreachable through any durable path — recover from the
+    /// directory to get the survivor's view.
+    pub fn simulate_crash(&self) {
+        if let Some(log) = &self.durability {
+            log.crash();
+        }
+    }
+
+    /// True once a simulated crash has fired.
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.durability.as_ref().is_some_and(|log| log.is_crashed())
+    }
+
+    /// Writes a snapshot of the current committed state (version store +
+    /// invalidation horizon) and compacts the WAL down to the records the
+    /// snapshot does not cover. Returns the snapshot file path.
+    ///
+    /// The capture is consistent at a single timestamp without blocking
+    /// writers: the timestamp is fixed under the commit sequencer, then
+    /// tables are walked one at a time under shared locks, including only
+    /// versions committed at or before it.
+    pub fn snapshot_now(&self) -> Result<PathBuf> {
+        let log = self
+            .durability
+            .as_ref()
+            .ok_or_else(|| Error::InvalidState("snapshot_now on a non-durable database".into()))?
+            .clone();
+        if log.is_crashed() {
+            return Err(crashed_err());
+        }
+        let dir = self.durable_dir.as_ref().expect("durable dir").clone();
+
+        let (snap_ts, watermark) = {
+            let _seq = self.commit_lock.lock();
+            (
+                self.latest_ts(),
+                Timestamp(self.vacuum_watermark.load(Ordering::Acquire)),
+            )
+        };
+        let invalidations: Vec<InvalidationMessage> = self
+            .bus
+            .lock()
+            .log()
+            .iter()
+            .filter(|m| m.timestamp <= snap_ts)
+            .cloned()
+            .collect();
+
+        let mut image_tables = Vec::new();
+        {
+            let tables = self.tables.read();
+            let mut names: Vec<&String> = tables.keys().collect();
+            names.sort();
+            for name in names {
+                let t = tables[name].read();
+                let mut versions = Vec::new();
+                for slot in t.scan_slots() {
+                    let Some(v) = t.get(slot) else { continue };
+                    // Pending and aborted stamps never reach disk: the
+                    // snapshot is consistent as of `snap_ts`.
+                    let Stamp::Committed(created_ts) = v.created else {
+                        continue;
+                    };
+                    if created_ts > snap_ts {
+                        continue;
+                    }
+                    let deleted_ts = match v.deleted {
+                        Some(Stamp::Committed(ts)) if ts <= snap_ts => Some(ts),
+                        _ => None,
+                    };
+                    versions.push(SnapshotVersion {
+                        row_id: v.row_id,
+                        created_ts,
+                        deleted_ts,
+                        values: v.values.clone(),
+                    });
+                }
+                image_tables.push(SnapshotTable {
+                    schema: t.schema().clone(),
+                    next_row_id: t.next_row_id(),
+                    versions,
+                });
+            }
+        }
+        let image = SnapshotImage {
+            snapshot_ts: snap_ts,
+            vacuum_watermark: watermark,
+            invalidations,
+            tables: image_tables,
+        };
+
+        let crash_mid = log.take_crash_point(CrashPoint::MidSnapshot);
+        let written = snapshot_file::write_snapshot(&dir, &image, crash_mid);
+        if crash_mid {
+            log.crash();
+            return Err(crashed_err());
+        }
+        let path = written?;
+        self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        if log.take_crash_point(CrashPoint::PostSnapshotPreTruncate) {
+            log.crash();
+            return Err(crashed_err());
+        }
+
+        // Rotate first, then compact — and compact only down to the *oldest
+        // retained* snapshot, not the one just written. Recovery falls back
+        // past a corrupt newest snapshot to the older one, so the WAL must
+        // keep every record the fallback does not cover; compacting to the
+        // new snapshot's timestamp would leave that fallback with a hole
+        // (commits between the two snapshots) it could never fill.
+        let _ = snapshot_file::prune_snapshots(&dir, 2);
+        let mut floor_ts = snap_ts;
+        let mut floor_tables: Vec<String> =
+            image.tables.iter().map(|t| t.schema.name.clone()).collect();
+        let mut floor_watermark = watermark;
+        if let Ok(retained) = snapshot_file::list_snapshots(&dir) {
+            if let Some((older_ts, older_path)) = retained.last().filter(|(ts, _)| *ts < snap_ts) {
+                // Re-reading verifies the fallback end to end; a corrupt
+                // fallback snapshot buys nothing, so drop it and keep the
+                // floor at the snapshot just written.
+                match snapshot_file::read_snapshot(older_path) {
+                    Ok(older) => {
+                        floor_ts = *older_ts;
+                        floor_tables = older.tables.iter().map(|t| t.schema.name.clone()).collect();
+                        floor_watermark = older.vacuum_watermark;
+                    }
+                    Err(_) => {
+                        let _ = std::fs::remove_file(older_path);
+                    }
+                }
+            }
+        }
+
+        // Compact the WAL down to what the floor snapshot does not cover.
+        // Under the sequencer so no append interleaves with the rewrite.
+        {
+            let _seq = self.commit_lock.lock();
+            let bytes = std::fs::read(dir.join(wal::WAL_FILE))
+                .map_err(|e| Error::Serialization(format!("wal io (compact read): {e}")))?;
+            let scan = scan_wal(&bytes)?;
+            let mut kept = Vec::new();
+            for record in &scan.records {
+                let keep = match record {
+                    WalRecord::Commit(c) => c.commit_ts > floor_ts,
+                    WalRecord::CreateTable(schema) => !floor_tables.contains(&schema.name),
+                    WalRecord::VacuumWatermark(ts) => *ts > floor_watermark,
+                };
+                if keep {
+                    kept.extend_from_slice(&encode_record(record));
+                }
+            }
+            log.compact_to(&kept)?;
+        }
+        Ok(path)
+    }
+
+    /// A deterministic digest of the committed state: `latest`, the vacuum
+    /// watermark, every table's schema and committed versions, and the
+    /// invalidation horizon. Two databases with equal digests are
+    /// indistinguishable to clients; used to assert recovery idempotence.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv1a(&mut h, &self.latest_ts().0.to_le_bytes());
+        fnv1a(
+            &mut h,
+            &self.vacuum_watermark.load(Ordering::Acquire).to_le_bytes(),
+        );
+        let tables = self.tables.read();
+        let mut names: Vec<&String> = tables.keys().collect();
+        names.sort();
+        for name in names {
+            let t = tables[name].read();
+            fnv1a(&mut h, name.as_bytes());
+            fnv1a(&mut h, format!("{:?}", t.schema()).as_bytes());
+            fnv1a(&mut h, &t.next_row_id().to_le_bytes());
+            let mut versions: Vec<(u64, u64, u64, String)> = t
+                .scan_slots()
+                .filter_map(|slot| t.get(slot))
+                .filter_map(|v| {
+                    let Stamp::Committed(created) = v.created else {
+                        return None;
+                    };
+                    let deleted = match v.deleted {
+                        Some(Stamp::Committed(ts)) => ts.0,
+                        _ => u64::MAX,
+                    };
+                    let rendered = v
+                        .values
+                        .iter()
+                        .map(Value::render_key)
+                        .collect::<Vec<_>>()
+                        .join("\u{1f}");
+                    Some((v.row_id, created.0, deleted, rendered))
+                })
+                .collect();
+            versions.sort();
+            for (row_id, created, deleted, rendered) in versions {
+                fnv1a(&mut h, &row_id.to_le_bytes());
+                fnv1a(&mut h, &created.to_le_bytes());
+                fnv1a(&mut h, &deleted.to_le_bytes());
+                fnv1a(&mut h, rendered.as_bytes());
+            }
+        }
+        drop(tables);
+        let bus = self.bus.lock();
+        fnv1a(&mut h, &(bus.log().len() as u64).to_le_bytes());
+        fnv1a(
+            &mut h,
+            &bus.last_timestamp()
+                .unwrap_or(Timestamp::ZERO)
+                .0
+                .to_le_bytes(),
+        );
+        h
+    }
+}
+
+/// Handle to a background snapshotter thread; signals it to stop and joins
+/// it on drop (or via [`Snapshotter::stop`]).
+pub struct Snapshotter {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Snapshotter {
+    /// Stops the snapshotter and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Snapshotter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawns the background snapshotter: every `poll` interval it checks the
+/// WAL's size, and once it reaches `wal_bytes_threshold` writes a snapshot
+/// and compacts the log (the `aof_writer`/`spldb_saver` split: appends keep
+/// flowing while compaction runs in the background). Snapshot errors are
+/// swallowed — a failed background snapshot only means a longer replay.
+pub fn spawn_snapshotter(
+    db: &Arc<Database>,
+    wal_bytes_threshold: u64,
+    poll: Duration,
+) -> Snapshotter {
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let thread_db = Arc::clone(db);
+    let handle = std::thread::spawn(move || {
+        while !thread_stop.load(Ordering::Acquire) {
+            if thread_db.is_crashed() {
+                break;
+            }
+            if thread_db.wal_bytes() >= wal_bytes_threshold {
+                let _ = thread_db.snapshot_now();
+            }
+            std::thread::sleep(poll);
+        }
+    });
+    Snapshotter {
+        stop,
+        handle: Some(handle),
     }
 }
 

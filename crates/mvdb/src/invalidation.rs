@@ -78,6 +78,19 @@ impl InvalidationBus {
         &self.log
     }
 
+    /// Reinstates the invalidation history after crash recovery. The log
+    /// must be in commit order; the horizon (`last_timestamp`) is set to the
+    /// newest restored message so caches reconnecting after the crash seal
+    /// at the recovered horizon. Replaces any existing history — only valid
+    /// on a bus with no subscribers (recovery runs before anything
+    /// reconnects).
+    pub fn restore(&mut self, log: Vec<InvalidationMessage>) {
+        debug_assert!(self.subscribers.is_empty(), "restore before subscribers");
+        self.last_timestamp = log.last().map(|m| m.timestamp);
+        self.log = log;
+        self.out_of_order = 0;
+    }
+
     /// Timestamp of the most recently published message, if any.
     #[must_use]
     pub fn last_timestamp(&self) -> Option<Timestamp> {

@@ -59,9 +59,10 @@ pub mod tuple;
 pub mod txn;
 pub mod validity;
 pub mod value;
+pub mod wal;
 
 pub use buffer::{BufferManager, BufferStats, PageAccess, SharedBuffer};
-pub use db::{Database, DbConfig, OneShotQuery};
+pub use db::{spawn_snapshotter, Database, DbConfig, OneShotQuery, Snapshotter};
 pub use exec::{ExecOptions, PageCounts, QueryResult};
 pub use invalidation::{InvalidationBus, InvalidationMessage};
 pub use plan::{plan_query, AccessPath, QueryPlan};
@@ -74,3 +75,4 @@ pub use tuple::{RowId, Stamp, TupleVersion, TxnId};
 pub use txn::{TxnMode, TxnToken};
 pub use validity::ValidityTracker;
 pub use value::{ColumnType, Value};
+pub use wal::{CrashPoint, FsyncPolicy, RecoverOptions, RecoveryReport};

@@ -39,6 +39,15 @@ pub struct DbStats {
     pub unpins: u64,
     /// Tuple versions reclaimed by vacuum.
     pub vacuumed_versions: u64,
+    /// Records appended to the write-ahead log (zero for in-memory
+    /// databases).
+    pub wal_appends: u64,
+    /// Fsyncs issued by the write-ahead log; under group commit this is
+    /// (often much) smaller than `wal_appends`.
+    pub wal_fsyncs: u64,
+    /// Snapshot files written by `snapshot_now` or the background
+    /// snapshotter.
+    pub snapshots_written: u64,
 }
 
 impl DbStats {
@@ -94,6 +103,11 @@ impl AtomicDbStats {
             pins: self.pins.get(),
             unpins: self.unpins.get(),
             vacuumed_versions: self.vacuumed_versions.get(),
+            // Durability counters live on the WAL itself;
+            // `Database::stats` fills them in when one is attached.
+            wal_appends: 0,
+            wal_fsyncs: 0,
+            snapshots_written: 0,
         }
     }
 }

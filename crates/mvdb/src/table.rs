@@ -65,6 +65,20 @@ impl Table {
         id
     }
 
+    /// The next row id [`Table::allocate_row_id`] would hand out. Persisted
+    /// by snapshots so recovery never re-issues an id.
+    #[must_use]
+    pub fn next_row_id(&self) -> RowId {
+        self.next_row_id
+    }
+
+    /// Raises the row-id allocator to at least `at_least`. Used by recovery
+    /// after restoring versions whose row ids were allocated pre-crash;
+    /// never lowers it.
+    pub fn ensure_next_row_id(&mut self, at_least: RowId) {
+        self.next_row_id = self.next_row_id.max(at_least);
+    }
+
     /// Appends a version to the heap, updating indexes and the row's version
     /// chain. Returns the slot it was stored in.
     pub fn insert_version(&mut self, version: TupleVersion) -> Result<Slot> {

@@ -1,0 +1,505 @@
+//! Binary encoding of write-ahead-log records.
+//!
+//! Records reuse the `wire` crate's codec discipline: the same
+//! length-prefixed, non-self-describing little-endian encoding the network
+//! protocol uses ([`wire::Writer`] / [`wire::Reader`]), with one addition —
+//! every record carries an FNV-1a checksum of its payload, so a torn or
+//! bit-rotted tail is detected *before* it can replay as a partial
+//! transaction:
+//!
+//! ```text
+//! +----------------+------------------+---------------------+
+//! | payload len u32| checksum u64     | payload (len bytes) |
+//! +----------------+------------------+---------------------+
+//! ```
+//!
+//! Decoding stops at the first frame that is incomplete, oversized, or
+//! fails its checksum; everything before it is exactly the prefix of
+//! records that were fully written. Commit payloads carry the stamped
+//! operations *and* the transaction's invalidation tag set, so recovery can
+//! rebuild both the version store and the invalidation horizon from the
+//! same totally-ordered stream.
+
+use txtypes::{Error, Result, TagSet, Timestamp, WallClock};
+use wire::sim::{fnv1a, FNV_OFFSET};
+use wire::{Reader, Writer};
+
+use crate::schema::{ColumnDef, IndexDef, TableSchema};
+use crate::value::{ColumnType, Value};
+
+/// Upper bound on a single record's payload, mirroring
+/// [`wire::MAX_FRAME_BYTES`]: a corrupt length prefix must not make
+/// recovery attempt a gigabyte allocation.
+pub const MAX_RECORD_BYTES: usize = 32 << 20;
+
+/// Bytes of framing (`len` + `checksum`) preceding every record payload.
+pub const RECORD_HEADER_BYTES: usize = 4 + 8;
+
+const KIND_COMMIT: u8 = 1;
+const KIND_CREATE_TABLE: u8 = 2;
+const KIND_VACUUM_WATERMARK: u8 = 3;
+
+const OP_INSERT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+/// One durable operation inside a committed transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// A version created by the transaction (insert, or the new version of
+    /// an update). `self_deleted` marks a version the same transaction also
+    /// deleted (insert-then-delete in one transaction).
+    Insert {
+        /// Table the version belongs to.
+        table: String,
+        /// Logical row identity, stable across versions.
+        row_id: u64,
+        /// Column values of the version.
+        values: Vec<Value>,
+        /// The creating transaction also deleted it.
+        self_deleted: bool,
+    },
+    /// A pre-existing version the transaction deleted or superseded. The
+    /// target is identified by `(row_id, created_ts)` — slots are positional
+    /// and do not survive recovery, but only the live tip of a row's version
+    /// chain has no deletion stamp, so the pair is unambiguous.
+    Delete {
+        /// Table the version belongs to.
+        table: String,
+        /// Logical row identity.
+        row_id: u64,
+        /// Commit timestamp of the version being deleted.
+        created_ts: Timestamp,
+    },
+}
+
+/// One record in the write-ahead log. Appended under the commit sequencer,
+/// so file order equals commit-timestamp order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A committed read/write transaction (or a bulk load, which commits
+    /// with no tags).
+    Commit(WalCommit),
+    /// A table creation.
+    CreateTable(TableSchema),
+    /// The vacuum watermark advanced; pins below it are refused, before and
+    /// after recovery.
+    VacuumWatermark(Timestamp),
+}
+
+/// The durable image of one committed transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalCommit {
+    /// The commit timestamp the sequencer assigned.
+    pub commit_ts: Timestamp,
+    /// Wall-clock commit time (staleness bookkeeping in the rebuilt
+    /// invalidation stream).
+    pub committed_at: WallClock,
+    /// The invalidation tag set published for this commit (already
+    /// wildcard-collapsed), so recovery rebuilds the horizon exactly.
+    pub tags: TagSet,
+    /// The stamped operations, deletes and inserts.
+    pub ops: Vec<WalOp>,
+}
+
+fn codec_err(what: &str, e: impl std::fmt::Display) -> Error {
+    Error::Serialization(format!("wal {what}: {e}"))
+}
+
+pub(crate) fn put_value(w: &mut Writer, v: &Value) {
+    match v {
+        Value::Null => w.put_u8(0),
+        Value::Int(i) => {
+            w.put_u8(1);
+            w.put_u64(*i as u64);
+        }
+        Value::Float(f) => {
+            w.put_u8(2);
+            w.put_u64(f.to_bits());
+        }
+        Value::Text(s) => {
+            w.put_u8(3);
+            w.put_str(s);
+        }
+        Value::Bool(b) => {
+            w.put_u8(4);
+            w.put_u8(u8::from(*b));
+        }
+    }
+}
+
+pub(crate) fn get_value(r: &mut Reader<'_>) -> Result<Value> {
+    let tag = r.get_u8().map_err(|e| codec_err("value tag", e))?;
+    Ok(match tag {
+        0 => Value::Null,
+        1 => Value::Int(r.get_u64().map_err(|e| codec_err("int", e))? as i64),
+        2 => Value::Float(f64::from_bits(
+            r.get_u64().map_err(|e| codec_err("float", e))?,
+        )),
+        3 => Value::Text(r.get_str().map_err(|e| codec_err("text", e))?),
+        4 => Value::Bool(r.get_u8().map_err(|e| codec_err("bool", e))? != 0),
+        other => return Err(codec_err("value tag", format!("unknown tag {other}"))),
+    })
+}
+
+fn column_type_tag(ty: ColumnType) -> u8 {
+    match ty {
+        ColumnType::Int => 1,
+        ColumnType::Float => 2,
+        ColumnType::Text => 3,
+        ColumnType::Bool => 4,
+    }
+}
+
+fn column_type_of(tag: u8) -> Result<ColumnType> {
+    Ok(match tag {
+        1 => ColumnType::Int,
+        2 => ColumnType::Float,
+        3 => ColumnType::Text,
+        4 => ColumnType::Bool,
+        other => return Err(codec_err("column type", format!("unknown tag {other}"))),
+    })
+}
+
+/// Encodes a table schema into an open writer (shared by `CreateTable`
+/// records and snapshot files).
+pub fn put_schema(w: &mut Writer, schema: &TableSchema) {
+    w.put_str(&schema.name);
+    w.put_u32(schema.columns.len() as u32);
+    for col in &schema.columns {
+        w.put_str(&col.name);
+        w.put_u8(column_type_tag(col.ty));
+    }
+    w.put_u32(schema.indexes.len() as u32);
+    for ix in &schema.indexes {
+        w.put_str(&ix.name);
+        w.put_str(&ix.column);
+        w.put_u8(u8::from(ix.unique));
+    }
+}
+
+/// Decodes a table schema written by [`put_schema`].
+pub fn get_schema(r: &mut Reader<'_>) -> Result<TableSchema> {
+    let name = r.get_str().map_err(|e| codec_err("table name", e))?;
+    let columns = r.get_u32().map_err(|e| codec_err("column count", e))?;
+    let mut schema = TableSchema {
+        name,
+        columns: Vec::with_capacity(columns as usize),
+        indexes: Vec::new(),
+    };
+    for _ in 0..columns {
+        let name = r.get_str().map_err(|e| codec_err("column name", e))?;
+        let ty = column_type_of(r.get_u8().map_err(|e| codec_err("column type", e))?)?;
+        schema.columns.push(ColumnDef { name, ty });
+    }
+    let indexes = r.get_u32().map_err(|e| codec_err("index count", e))?;
+    for _ in 0..indexes {
+        let name = r.get_str().map_err(|e| codec_err("index name", e))?;
+        let column = r.get_str().map_err(|e| codec_err("index column", e))?;
+        let unique = r.get_u8().map_err(|e| codec_err("index unique", e))? != 0;
+        schema.indexes.push(IndexDef {
+            name,
+            column,
+            unique,
+        });
+    }
+    Ok(schema)
+}
+
+fn encode_payload(record: &WalRecord) -> Vec<u8> {
+    let mut w = Writer::new();
+    match record {
+        WalRecord::Commit(c) => {
+            w.put_u8(KIND_COMMIT);
+            w.put_timestamp(c.commit_ts);
+            w.put_wallclock(c.committed_at);
+            w.put_tagset(&c.tags);
+            w.put_u32(c.ops.len() as u32);
+            for op in &c.ops {
+                match op {
+                    WalOp::Insert {
+                        table,
+                        row_id,
+                        values,
+                        self_deleted,
+                    } => {
+                        w.put_u8(OP_INSERT);
+                        w.put_str(table);
+                        w.put_u64(*row_id);
+                        w.put_u8(u8::from(*self_deleted));
+                        w.put_u32(values.len() as u32);
+                        for v in values {
+                            put_value(&mut w, v);
+                        }
+                    }
+                    WalOp::Delete {
+                        table,
+                        row_id,
+                        created_ts,
+                    } => {
+                        w.put_u8(OP_DELETE);
+                        w.put_str(table);
+                        w.put_u64(*row_id);
+                        w.put_timestamp(*created_ts);
+                    }
+                }
+            }
+        }
+        WalRecord::CreateTable(schema) => {
+            w.put_u8(KIND_CREATE_TABLE);
+            put_schema(&mut w, schema);
+        }
+        WalRecord::VacuumWatermark(ts) => {
+            w.put_u8(KIND_VACUUM_WATERMARK);
+            w.put_timestamp(*ts);
+        }
+    }
+    w.into_vec()
+}
+
+/// FNV-1a digest of a byte slice, seeded from the shared offset basis.
+#[must_use]
+pub fn checksum_of(bytes: &[u8]) -> u64 {
+    let mut digest = FNV_OFFSET;
+    fnv1a(&mut digest, bytes);
+    digest
+}
+
+/// Encodes a record into its on-disk frame: length, checksum, payload.
+#[must_use]
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let payload = encode_payload(record);
+    let mut out = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum_of(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes one record payload (the frame's body, after the checksum has
+/// already been verified).
+pub fn decode_payload(payload: &[u8]) -> Result<WalRecord> {
+    let mut r = Reader::new(payload);
+    let kind = r.get_u8().map_err(|e| codec_err("record kind", e))?;
+    let record = match kind {
+        KIND_COMMIT => {
+            let commit_ts = r.get_timestamp().map_err(|e| codec_err("commit ts", e))?;
+            let committed_at = r.get_wallclock().map_err(|e| codec_err("commit wall", e))?;
+            let tags = r.get_tagset().map_err(|e| codec_err("tags", e))?;
+            let op_count = r.get_u32().map_err(|e| codec_err("op count", e))?;
+            let mut ops = Vec::with_capacity(op_count as usize);
+            for _ in 0..op_count {
+                let op = r.get_u8().map_err(|e| codec_err("op kind", e))?;
+                match op {
+                    OP_INSERT => {
+                        let table = r.get_str().map_err(|e| codec_err("op table", e))?;
+                        let row_id = r.get_u64().map_err(|e| codec_err("op row", e))?;
+                        let self_deleted = r.get_u8().map_err(|e| codec_err("op flag", e))? != 0;
+                        let n = r.get_u32().map_err(|e| codec_err("value count", e))?;
+                        let mut values = Vec::with_capacity(n as usize);
+                        for _ in 0..n {
+                            values.push(get_value(&mut r)?);
+                        }
+                        ops.push(WalOp::Insert {
+                            table,
+                            row_id,
+                            values,
+                            self_deleted,
+                        });
+                    }
+                    OP_DELETE => {
+                        let table = r.get_str().map_err(|e| codec_err("op table", e))?;
+                        let row_id = r.get_u64().map_err(|e| codec_err("op row", e))?;
+                        let created_ts =
+                            r.get_timestamp().map_err(|e| codec_err("op created", e))?;
+                        ops.push(WalOp::Delete {
+                            table,
+                            row_id,
+                            created_ts,
+                        });
+                    }
+                    other => return Err(codec_err("op kind", format!("unknown op {other}"))),
+                }
+            }
+            WalRecord::Commit(WalCommit {
+                commit_ts,
+                committed_at,
+                tags,
+                ops,
+            })
+        }
+        KIND_CREATE_TABLE => WalRecord::CreateTable(get_schema(&mut r)?),
+        KIND_VACUUM_WATERMARK => {
+            WalRecord::VacuumWatermark(r.get_timestamp().map_err(|e| codec_err("watermark", e))?)
+        }
+        other => return Err(codec_err("record kind", format!("unknown kind {other}"))),
+    };
+    r.finish().map_err(|e| codec_err("trailing bytes", e))?;
+    Ok(record)
+}
+
+/// The outcome of scanning a WAL byte buffer: every fully-written record,
+/// plus the byte length of the valid prefix. Bytes past `valid_len` are a
+/// torn tail (partial header, short payload, or checksum mismatch) and must
+/// be truncated before the log is appended to again.
+#[derive(Debug)]
+pub struct WalScan {
+    /// The decoded records of the valid prefix, in file (= commit) order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix.
+    pub valid_len: u64,
+}
+
+/// Scans a WAL image, stopping at the first torn or corrupt frame. A decode
+/// error *after* a checksum-valid frame is a format error, not a torn tail,
+/// and is returned as `Err` — truncating there would silently drop durable
+/// commits.
+pub fn scan_wal(bytes: &[u8]) -> Result<WalScan> {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        let rest = &bytes[offset..];
+        if rest.len() < RECORD_HEADER_BYTES {
+            break;
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_RECORD_BYTES {
+            // A garbage length prefix: treat as a torn tail.
+            break;
+        }
+        let checksum = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+        let Some(payload) = rest.get(RECORD_HEADER_BYTES..RECORD_HEADER_BYTES + len) else {
+            break;
+        };
+        if checksum_of(payload) != checksum {
+            break;
+        }
+        records.push(decode_payload(payload)?);
+        offset += RECORD_HEADER_BYTES + len;
+    }
+    Ok(WalScan {
+        records,
+        valid_len: offset as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txtypes::InvalidationTag;
+
+    fn sample_commit() -> WalRecord {
+        WalRecord::Commit(WalCommit {
+            commit_ts: Timestamp(42),
+            committed_at: WallClock::from_secs(7),
+            tags: [
+                InvalidationTag::keyed("accounts", "id=3"),
+                InvalidationTag::wildcard("audit"),
+            ]
+            .into_iter()
+            .collect(),
+            ops: vec![
+                WalOp::Delete {
+                    table: "accounts".into(),
+                    row_id: 3,
+                    created_ts: Timestamp(40),
+                },
+                WalOp::Insert {
+                    table: "accounts".into(),
+                    row_id: 3,
+                    values: vec![
+                        Value::Int(3),
+                        Value::text("x"),
+                        Value::Null,
+                        Value::Float(1.5),
+                        Value::Bool(true),
+                    ],
+                    self_deleted: false,
+                },
+            ],
+        })
+    }
+
+    fn sample_schema() -> TableSchema {
+        TableSchema::new("accounts")
+            .column("id", ColumnType::Int)
+            .column("balance", ColumnType::Int)
+            .column("note", ColumnType::Text)
+            .unique_index("id")
+            .index("note")
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for record in [
+            sample_commit(),
+            WalRecord::CreateTable(sample_schema()),
+            WalRecord::VacuumWatermark(Timestamp(9)),
+        ] {
+            let frame = encode_record(&record);
+            let scan = scan_wal(&frame).unwrap();
+            assert_eq!(scan.valid_len, frame.len() as u64);
+            assert_eq!(scan.records, vec![record]);
+        }
+    }
+
+    #[test]
+    fn concatenated_records_scan_in_order() {
+        let a = encode_record(&WalRecord::VacuumWatermark(Timestamp(1)));
+        let b = encode_record(&sample_commit());
+        let mut buf = a.clone();
+        buf.extend_from_slice(&b);
+        let scan = scan_wal(&buf).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.valid_len, (a.len() + b.len()) as u64);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_at_every_offset() {
+        let a = encode_record(&sample_commit());
+        let b = encode_record(&WalRecord::VacuumWatermark(Timestamp(5)));
+        let mut buf = a.clone();
+        buf.extend_from_slice(&b);
+        // Truncate anywhere inside the second record: exactly the first
+        // record survives.
+        for cut in a.len()..buf.len() {
+            let scan = scan_wal(&buf[..cut]).unwrap();
+            assert_eq!(scan.records.len(), 1, "cut at {cut}");
+            assert_eq!(scan.valid_len, a.len() as u64, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_the_scan() {
+        let a = encode_record(&WalRecord::VacuumWatermark(Timestamp(5)));
+        let b = encode_record(&sample_commit());
+        let mut buf = a.clone();
+        buf.extend_from_slice(&b);
+        // Flip one payload byte of the second record.
+        let idx = a.len() + RECORD_HEADER_BYTES + 1;
+        buf[idx] ^= 0xFF;
+        let scan = scan_wal(&buf).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, a.len() as u64);
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_a_torn_tail_not_an_allocation() {
+        let mut buf = encode_record(&WalRecord::VacuumWatermark(Timestamp(5)));
+        let good = buf.len() as u64;
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let scan = scan_wal(&buf).unwrap();
+        assert_eq!(scan.valid_len, good);
+    }
+
+    #[test]
+    fn schema_round_trips() {
+        let schema = sample_schema();
+        let mut w = Writer::new();
+        put_schema(&mut w, &schema);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(get_schema(&mut r).unwrap(), schema);
+        r.finish().unwrap();
+    }
+}

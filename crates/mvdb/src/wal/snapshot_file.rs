@@ -1,0 +1,359 @@
+//! Snapshot files: a checksummed, atomically-renamed serialization of the
+//! version store *and* the invalidation horizon.
+//!
+//! The split mirrors spineldb's `aof_writer`/`spldb_saver` pair: the WAL
+//! ([`super::log`]) is the always-appending durability path; snapshots are
+//! the background compaction path that bounds replay time. A snapshot file
+//! is written to `snap-{ts}.snap.tmp`, fsynced, renamed to
+//! `snap-{ts}.snap`, and the directory fsynced — a crash mid-write leaves
+//! only a `.tmp` that recovery ignores, and a crash mid-rename leaves either
+//! the old name or the new one, never a half-file.
+//!
+//! Layout: `MVSNAP01` magic, a [`wire`]-encoded payload, and a trailing
+//! FNV-1a checksum of the payload. Recovery walks snapshots newest-first
+//! and uses the first one whose checksum verifies, so a corrupted newest
+//! snapshot degrades to "older snapshot + longer replay", never to an error.
+
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use txtypes::{Error, Result, Timestamp};
+use wire::{Reader, Writer};
+
+use crate::invalidation::InvalidationMessage;
+use crate::schema::TableSchema;
+use crate::value::Value;
+use crate::wal::codec::{checksum_of, get_schema, put_schema};
+use crate::wal::log::sync_dir;
+
+const MAGIC: &[u8; 8] = b"MVSNAP01";
+const SNAP_PREFIX: &str = "snap-";
+const SNAP_SUFFIX: &str = ".snap";
+
+/// One committed tuple version inside a snapshot. Pending stamps never
+/// reach disk: a snapshot is consistent as of its timestamp, so in-flight
+/// transactions are simply absent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotVersion {
+    /// Logical row identity.
+    pub row_id: u64,
+    /// Commit timestamp that created the version.
+    pub created_ts: Timestamp,
+    /// Commit timestamp that deleted it, if any (≤ the snapshot timestamp).
+    pub deleted_ts: Option<Timestamp>,
+    /// Column values.
+    pub values: Vec<Value>,
+}
+
+/// One table's slice of a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotTable {
+    /// The table's schema, including indexes.
+    pub schema: TableSchema,
+    /// The next row id the table would hand out.
+    pub next_row_id: u64,
+    /// Every version visible at the snapshot timestamp's horizon, in
+    /// arbitrary slot order.
+    pub versions: Vec<SnapshotVersion>,
+}
+
+/// A full database snapshot: version store + invalidation horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotImage {
+    /// The timestamp the snapshot is consistent at: every commit ≤ this is
+    /// included, nothing later is.
+    pub snapshot_ts: Timestamp,
+    /// The vacuum watermark at capture time; restored so pins below it are
+    /// refused after recovery exactly as before the crash.
+    pub vacuum_watermark: Timestamp,
+    /// The invalidation log up to `snapshot_ts` — the recovered horizon
+    /// caches seal against at reconnect.
+    pub invalidations: Vec<InvalidationMessage>,
+    /// All tables.
+    pub tables: Vec<SnapshotTable>,
+}
+
+fn io_err(what: &str, e: std::io::Error) -> Error {
+    Error::Serialization(format!("snapshot io ({what}): {e}"))
+}
+
+fn codec_err(what: &str, e: impl std::fmt::Display) -> Error {
+    Error::Serialization(format!("snapshot {what}: {e}"))
+}
+
+fn encode_payload(image: &SnapshotImage) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_timestamp(image.snapshot_ts);
+    w.put_timestamp(image.vacuum_watermark);
+    w.put_u32(image.invalidations.len() as u32);
+    for m in &image.invalidations {
+        w.put_timestamp(m.timestamp);
+        w.put_wallclock(m.committed_at);
+        w.put_tagset(&m.tags);
+    }
+    w.put_u32(image.tables.len() as u32);
+    for t in &image.tables {
+        put_schema(&mut w, &t.schema);
+        w.put_u64(t.next_row_id);
+        w.put_u32(t.versions.len() as u32);
+        for v in &t.versions {
+            w.put_u64(v.row_id);
+            w.put_timestamp(v.created_ts);
+            match v.deleted_ts {
+                Some(ts) => {
+                    w.put_u8(1);
+                    w.put_timestamp(ts);
+                }
+                None => w.put_u8(0),
+            }
+            w.put_u32(v.values.len() as u32);
+            for value in &v.values {
+                super::codec::put_value(&mut w, value);
+            }
+        }
+    }
+    w.into_vec()
+}
+
+fn decode_payload(payload: &[u8]) -> Result<SnapshotImage> {
+    let mut r = Reader::new(payload);
+    let snapshot_ts = r.get_timestamp().map_err(|e| codec_err("ts", e))?;
+    let vacuum_watermark = r.get_timestamp().map_err(|e| codec_err("watermark", e))?;
+    let inv_count = r.get_u32().map_err(|e| codec_err("inv count", e))?;
+    let mut invalidations = Vec::with_capacity(inv_count as usize);
+    for _ in 0..inv_count {
+        let timestamp = r.get_timestamp().map_err(|e| codec_err("inv ts", e))?;
+        let committed_at = r.get_wallclock().map_err(|e| codec_err("inv wall", e))?;
+        let tags = r.get_tagset().map_err(|e| codec_err("inv tags", e))?;
+        invalidations.push(InvalidationMessage {
+            timestamp,
+            tags,
+            committed_at,
+        });
+    }
+    let table_count = r.get_u32().map_err(|e| codec_err("table count", e))?;
+    let mut tables = Vec::with_capacity(table_count as usize);
+    for _ in 0..table_count {
+        let schema = get_schema(&mut r)?;
+        let next_row_id = r.get_u64().map_err(|e| codec_err("next row id", e))?;
+        let version_count = r.get_u32().map_err(|e| codec_err("version count", e))?;
+        let mut versions = Vec::with_capacity(version_count as usize);
+        for _ in 0..version_count {
+            let row_id = r.get_u64().map_err(|e| codec_err("row id", e))?;
+            let created_ts = r.get_timestamp().map_err(|e| codec_err("created", e))?;
+            let deleted_ts = if r.get_u8().map_err(|e| codec_err("deleted flag", e))? != 0 {
+                Some(r.get_timestamp().map_err(|e| codec_err("deleted", e))?)
+            } else {
+                None
+            };
+            let value_count = r.get_u32().map_err(|e| codec_err("value count", e))?;
+            let mut values = Vec::with_capacity(value_count as usize);
+            for _ in 0..value_count {
+                values.push(super::codec::get_value(&mut r)?);
+            }
+            versions.push(SnapshotVersion {
+                row_id,
+                created_ts,
+                deleted_ts,
+                values,
+            });
+        }
+        tables.push(SnapshotTable {
+            schema,
+            next_row_id,
+            versions,
+        });
+    }
+    r.finish().map_err(|e| codec_err("trailing bytes", e))?;
+    Ok(SnapshotImage {
+        snapshot_ts,
+        vacuum_watermark,
+        invalidations,
+        tables,
+    })
+}
+
+/// The file name a snapshot at `ts` lives under (zero-padded hex so
+/// lexicographic order equals timestamp order).
+#[must_use]
+pub fn snapshot_file_name(ts: Timestamp) -> String {
+    format!("{SNAP_PREFIX}{:016x}{SNAP_SUFFIX}", ts.0)
+}
+
+fn parse_snapshot_name(name: &str) -> Option<Timestamp> {
+    let hex = name.strip_prefix(SNAP_PREFIX)?.strip_suffix(SNAP_SUFFIX)?;
+    u64::from_str_radix(hex, 16).ok().map(Timestamp)
+}
+
+/// Serializes `image` and atomically installs it in `dir`: temp file,
+/// fsync, rename, directory fsync. `crash_mid_write` (test-only) aborts
+/// after the temp file is complete but before the rename, modelling a power
+/// cut at the worst moment.
+pub fn write_snapshot(dir: &Path, image: &SnapshotImage, crash_mid_write: bool) -> Result<PathBuf> {
+    let payload = encode_payload(image);
+    let mut bytes = Vec::with_capacity(MAGIC.len() + payload.len() + 8);
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&payload);
+    bytes.extend_from_slice(&checksum_of(&payload).to_le_bytes());
+
+    let final_path = dir.join(snapshot_file_name(image.snapshot_ts));
+    let tmp_path = final_path.with_extension("snap.tmp");
+    {
+        let mut f = File::create(&tmp_path).map_err(|e| io_err("create", e))?;
+        f.write_all(&bytes).map_err(|e| io_err("write", e))?;
+        f.sync_all().map_err(|e| io_err("sync", e))?;
+    }
+    if crash_mid_write {
+        return Err(super::log::crashed_err());
+    }
+    std::fs::rename(&tmp_path, &final_path).map_err(|e| io_err("rename", e))?;
+    sync_dir(dir)?;
+    Ok(final_path)
+}
+
+/// Reads and verifies one snapshot file. Fails on bad magic, short file, or
+/// checksum mismatch.
+pub fn read_snapshot(path: &Path) -> Result<SnapshotImage> {
+    let bytes = std::fs::read(path).map_err(|e| io_err("read", e))?;
+    if bytes.len() < MAGIC.len() + 8 || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(codec_err("header", "bad magic or short file"));
+    }
+    let payload = &bytes[MAGIC.len()..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    if checksum_of(payload) != stored {
+        return Err(codec_err("checksum", "mismatch"));
+    }
+    decode_payload(payload)
+}
+
+/// All snapshot files in `dir`, newest first. `.tmp` leftovers from a crash
+/// mid-write are ignored (and are not an error).
+pub fn list_snapshots(dir: &Path) -> Result<Vec<(Timestamp, PathBuf)>> {
+    let mut found = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err("read dir", e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("read dir entry", e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(ts) = parse_snapshot_name(name) {
+            found.push((ts, entry.path()));
+        }
+    }
+    found.sort_by_key(|&(ts, _)| std::cmp::Reverse(ts));
+    Ok(found)
+}
+
+/// Removes snapshots older than the newest `keep` (dead weight once a newer
+/// snapshot is durable). Best-effort: removal errors are ignored.
+pub fn prune_snapshots(dir: &Path, keep: usize) -> Result<usize> {
+    let snaps = list_snapshots(dir)?;
+    let mut removed = 0;
+    for (_, path) in snaps.into_iter().skip(keep) {
+        if std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ColumnType;
+    use txtypes::{InvalidationTag, WallClock};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mvdb-snap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_image(ts: u64) -> SnapshotImage {
+        SnapshotImage {
+            snapshot_ts: Timestamp(ts),
+            vacuum_watermark: Timestamp(ts / 2),
+            invalidations: vec![InvalidationMessage {
+                timestamp: Timestamp(ts),
+                tags: [InvalidationTag::keyed("accounts", "id=1")]
+                    .into_iter()
+                    .collect(),
+                committed_at: WallClock::from_secs(3),
+            }],
+            tables: vec![SnapshotTable {
+                schema: TableSchema::new("accounts")
+                    .column("id", ColumnType::Int)
+                    .column("balance", ColumnType::Int)
+                    .unique_index("id"),
+                next_row_id: 2,
+                versions: vec![
+                    SnapshotVersion {
+                        row_id: 0,
+                        created_ts: Timestamp(1),
+                        deleted_ts: Some(Timestamp(ts)),
+                        values: vec![Value::Int(1), Value::Int(900)],
+                    },
+                    SnapshotVersion {
+                        row_id: 1,
+                        created_ts: Timestamp(ts),
+                        deleted_ts: None,
+                        values: vec![Value::Int(2), Value::Int(1100)],
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let image = sample_image(7);
+        let path = write_snapshot(&dir, &image, false).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), image);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn listing_is_newest_first_and_skips_tmp() {
+        let dir = temp_dir("list");
+        write_snapshot(&dir, &sample_image(3), false).unwrap();
+        write_snapshot(&dir, &sample_image(9), false).unwrap();
+        // A crash mid-write leaves a .tmp behind.
+        let err = write_snapshot(&dir, &sample_image(12), true);
+        assert!(err.is_err());
+        let snaps = list_snapshots(&dir).unwrap();
+        assert_eq!(
+            snaps.iter().map(|(ts, _)| ts.0).collect::<Vec<_>>(),
+            vec![9, 3]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checksum_is_rejected() {
+        let dir = temp_dir("corrupt");
+        let path = write_snapshot(&dir, &sample_image(5), false).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = bytes.len() / 2;
+        bytes[idx] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_snapshot(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pruning_keeps_the_newest() {
+        let dir = temp_dir("prune");
+        for ts in [2, 4, 6, 8] {
+            write_snapshot(&dir, &sample_image(ts), false).unwrap();
+        }
+        assert_eq!(prune_snapshots(&dir, 2).unwrap(), 2);
+        let snaps = list_snapshots(&dir).unwrap();
+        assert_eq!(
+            snaps.iter().map(|(ts, _)| ts.0).collect::<Vec<_>>(),
+            vec![8, 6]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -214,6 +214,78 @@ fn replicated_failover_keeps_history_consistent_and_bounds_hit_dip() {
     );
 }
 
+/// The crash-restart tentpole: a durable database crashes mid-run right
+/// after a burst of transfers the caches never heard about, recovers from
+/// its WAL, and a fresh `TxCache` reconnects the still-warm cache tier.
+/// Delivering the recovered invalidation log and horizon on reconnect must
+/// keep every transaction snapshot-consistent — the invalidation horizon
+/// survives the restart.
+#[test]
+fn crash_restart_recovery_is_consistent() {
+    // Fixed seed, like the other scripted scenarios: the secondary
+    // assertions (cache warm at crash time, silent commits recovered) are
+    // workload-shape-specific and vetted for this seed.
+    let seed = 0xC4A5;
+    println!("scripted crash-restart scenario, fixed seed {seed}");
+    let outcome = run_chaos_scenario(&ChaosScenarioConfig::crash_restart(seed));
+    let summary = outcome.expect_consistent("crash_restart_recovery_is_consistent");
+    assert!(summary.read_txns > 0 && summary.commits > 0);
+    assert!(
+        outcome.recovered_commits > 0,
+        "recovery must replay the durable pre-crash commits: {outcome:?}"
+    );
+    assert!(
+        outcome.cache_hits > 0,
+        "the cache must serve hits across the restart: {outcome:?}"
+    );
+}
+
+/// Mutation test of the recovery path (the acceptance criterion): recover
+/// the database *without* rebuilding the invalidation horizon and the same
+/// scenario must FAIL the checker with a snapshot-consistency violation —
+/// the reconnect heartbeat revalidates entries the silent pre-crash
+/// transfers made stale. This proves the chaos suite actually exercises the
+/// horizon-survives-restart property rather than vacuously passing.
+#[test]
+fn checker_catches_skipped_horizon_recovery() {
+    let seed = 0xC4A5;
+    println!("horizon-recovery mutation scenario, fixed seed {seed}");
+    let mut config = ChaosScenarioConfig::crash_restart(seed);
+    let script = config.crash.as_mut().expect("scenario is crash-scripted");
+    script.skip_horizon_recovery = true;
+    let outcome = run_chaos_scenario(&config);
+    let violations = outcome.verdict.as_ref().expect_err(
+        "with horizon recovery skipped, the reconnect heartbeat must \
+             resurrect entries staled by the silent pre-crash transfers and \
+             the checker must catch them; a pass here means the crash suite \
+             has lost its teeth",
+    );
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.invariant == "snapshot-consistency"),
+        "expected a snapshot-consistency (stale resurrection) violation, \
+         got: {violations:?}"
+    );
+}
+
+/// The crash-restart scenario is as reproducible as the rest of the suite:
+/// the recovery path (WAL replay, horizon rebuild, reconnect) introduces no
+/// nondeterminism — same seed, same history, bit for bit.
+#[test]
+fn crash_restart_replays_bit_for_bit() {
+    let seed = 0xC4A5;
+    let a = run_chaos_scenario(&ChaosScenarioConfig::crash_restart(seed));
+    let b = run_chaos_scenario(&ChaosScenarioConfig::crash_restart(seed));
+    assert_eq!(a.fault_digest, b.fault_digest, "fault schedules diverged");
+    assert_eq!(a.history_digest, b.history_digest, "histories diverged");
+    assert_eq!(
+        a.recovered_commits, b.recovered_commits,
+        "recovery replayed a different number of commits"
+    );
+    assert_eq!(a.verdict.is_ok(), b.verdict.is_ok());
+}
+
 /// The replicated failover scenario is as reproducible as the rest of the
 /// suite: same seed, same fault schedule, same history, bit for bit.
 #[test]

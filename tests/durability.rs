@@ -1,0 +1,641 @@
+//! Durability tests for mvdb's WAL + snapshot subsystem: torn-write
+//! recovery at every byte offset of the final record, the crash-point
+//! matrix verified against the harness history checker's ground truth,
+//! newest-*valid*-snapshot selection with fallback past a corrupt file,
+//! replay idempotence, watermark restoration, and the fsync policies' loss
+//! semantics.
+//!
+//! Every test works on a scratch directory under the system temp dir and
+//! recovers real files written by the real commit path — no mocked I/O.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use txcache_repro::harness::history::{CommitRecord, History, ReadRecord};
+use txcache_repro::mvdb::{
+    wal, ColumnType, CrashPoint, Database, DbConfig, FsyncPolicy, Predicate, SelectQuery,
+    TableSchema, Value,
+};
+use txcache_repro::txtypes::{SimClock, Timestamp};
+
+const ACCOUNTS: u64 = 4;
+const INITIAL_BALANCE: i64 = 100;
+/// Staleness bound for recorded reads: wide enough that the staleness-floor
+/// invariant never bites (these tests pin exact values instead).
+const AN_HOUR_US: u64 = 3_600_000_000;
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique, initially-absent scratch directory for one durable database.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mvdb-durability-{tag}-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(fsync: FsyncPolicy) -> DbConfig {
+    DbConfig {
+        fsync,
+        ..DbConfig::default()
+    }
+}
+
+/// Opens a fresh durable database in `dir` with the accounts table loaded.
+fn seed(dir: &Path, fsync: FsyncPolicy, clock: &SimClock) -> Database {
+    let db = Database::open_durable(dir, config(fsync), clock.clone()).unwrap();
+    db.create_table(
+        TableSchema::new("accounts")
+            .column("id", ColumnType::Int)
+            .column("balance", ColumnType::Int)
+            .unique_index("id"),
+    )
+    .unwrap();
+    db.bulk_load(
+        "accounts",
+        (0..ACCOUNTS)
+            .map(|id| vec![Value::Int(id as i64), Value::Int(INITIAL_BALANCE)])
+            .collect(),
+    )
+    .unwrap();
+    db
+}
+
+fn balance(db: &Database, id: u64) -> i64 {
+    let q = SelectQuery::table("accounts").filter(Predicate::eq("id", id as i64));
+    db.query_ro_once(&q)
+        .unwrap()
+        .result
+        .get(0, "balance")
+        .unwrap()
+        .as_int()
+        .unwrap()
+}
+
+/// One committed balance bump; returns the commit timestamp and the new
+/// balance.
+fn bump(db: &Database, clock: &SimClock, id: u64, delta: i64) -> (Timestamp, i64) {
+    clock.advance_micros(1_000);
+    let token = db.begin_rw().unwrap();
+    let q = SelectQuery::table("accounts").filter(Predicate::eq("id", id as i64));
+    let bal = db
+        .query(token, &q)
+        .unwrap()
+        .get(0, "balance")
+        .unwrap()
+        .as_int()
+        .unwrap();
+    let next = bal + delta;
+    db.update(
+        token,
+        "accounts",
+        &Predicate::eq("id", id as i64),
+        &[("balance".to_string(), Value::Int(next))],
+    )
+    .unwrap();
+    let ts = db.commit(token).unwrap();
+    (ts, next)
+}
+
+/// A bump that is also recorded into the history's ground truth.
+fn recorded_bump(
+    db: &Database,
+    clock: &SimClock,
+    history: &mut History,
+    id: u64,
+    delta: i64,
+) -> (Timestamp, i64) {
+    let (ts, value) = bump(db, clock, id, delta);
+    history.record_commit(CommitRecord {
+        timestamp: ts,
+        wall: clock.now(),
+        writes: vec![(id, value)],
+    });
+    (ts, value)
+}
+
+/// Reads every account through its own read-only transaction, records what
+/// it saw, and runs the history checker over everything recorded so far.
+fn observe_and_check(db: &Database, clock: &SimClock, history: &mut History) {
+    for id in 0..ACCOUNTS {
+        let begin_latest = db.latest_timestamp();
+        let begin_wall = clock.now();
+        let q = SelectQuery::table("accounts").filter(Predicate::eq("id", id as i64));
+        let out = db.query_ro_once(&q).unwrap();
+        let value = out.result.get(0, "balance").unwrap().as_int().unwrap();
+        history.record_read_txn(ReadRecord {
+            session: 0,
+            begin_latest,
+            begin_wall,
+            staleness_micros: AN_HOUR_US,
+            snapshot: out.snapshot,
+            reads: vec![(id, value)],
+        });
+    }
+    if let Err(violations) = history.check() {
+        panic!("post-recovery reads violate the recorded history: {violations:?}");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Torn-write recovery
+// ----------------------------------------------------------------------
+
+/// Truncating the WAL at *every* byte offset inside the final record must
+/// recover exactly the commits before it: a torn tail is silently dropped,
+/// never misread, and never takes a fully-written commit with it.
+#[test]
+fn torn_wal_tail_recovers_the_exact_durable_prefix() {
+    let dir = scratch_dir("torn");
+    let clock = SimClock::new();
+    let db = seed(&dir, FsyncPolicy::Always, &clock);
+
+    let mut ends = Vec::new(); // WAL length after each bump commit
+    let mut stamps = Vec::new();
+    for i in 0..5u64 {
+        let (ts, _) = bump(&db, &clock, i % ACCOUNTS, 7);
+        ends.push(db.wal_bytes());
+        stamps.push(ts);
+    }
+    // Balances as of the 4th bump (the state every torn cut must recover).
+    let prefix_balances: Vec<i64> = {
+        // Bumps hit accounts 0,1,2,3,0 in order; after 4 bumps each account
+        // was bumped exactly once.
+        (0..ACCOUNTS).map(|_| INITIAL_BALANCE + 7).collect()
+    };
+    drop(db);
+
+    let wal_bytes = std::fs::read(dir.join(wal::WAL_FILE)).unwrap();
+    assert_eq!(wal_bytes.len() as u64, *ends.last().unwrap());
+    let base = ends[3]; // end of the 4th bump = start of the final record
+    let full = ends[4];
+
+    let cut_dir = scratch_dir("torn-cut");
+    std::fs::create_dir_all(&cut_dir).unwrap();
+    for cut in base..full {
+        std::fs::write(cut_dir.join(wal::WAL_FILE), &wal_bytes[..cut as usize]).unwrap();
+        let rec = Database::recover(&cut_dir, config(FsyncPolicy::Always), clock.clone())
+            .unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+        let report = rec.recovery_report().unwrap();
+        // CreateTable + bulk-load commit + 4 bumps survive; the torn record
+        // is dropped byte-for-byte.
+        assert_eq!(report.replayed_commits, 5, "cut {cut}");
+        assert_eq!(report.truncated_bytes, cut - base, "cut {cut}");
+        assert_eq!(rec.latest_timestamp(), stamps[3], "cut {cut}");
+        for id in 0..ACCOUNTS {
+            assert_eq!(balance(&rec, id), prefix_balances[id as usize], "cut {cut}");
+        }
+    }
+
+    // The untruncated log recovers all five bumps.
+    std::fs::write(cut_dir.join(wal::WAL_FILE), &wal_bytes).unwrap();
+    let rec = Database::recover(&cut_dir, config(FsyncPolicy::Always), clock.clone()).unwrap();
+    assert_eq!(rec.recovery_report().unwrap().replayed_commits, 6);
+    assert_eq!(rec.latest_timestamp(), stamps[4]);
+    assert_eq!(balance(&rec, 0), INITIAL_BALANCE + 14);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&cut_dir);
+}
+
+proptest! {
+    /// Property form: for a random commit count and a random cut anywhere
+    /// past the bulk load, recovery yields exactly the commits whose
+    /// records fit inside the cut — and recovering the same prefix twice
+    /// yields bit-identical state digests (replay is idempotent).
+    #[test]
+    fn torn_tail_recovery_is_prefix_consistent(
+        commits in 1usize..5,
+        cut_permille in 0u64..=1000,
+    ) {
+        let dir = scratch_dir("torn-prop");
+        let clock = SimClock::new();
+        let db = seed(&dir, FsyncPolicy::Always, &clock);
+        let seed_end = db.wal_bytes();
+        let mut ends = Vec::new();
+        let mut stamps = Vec::new();
+        for i in 0..commits {
+            let (ts, _) = bump(&db, &clock, i as u64 % ACCOUNTS, 3);
+            ends.push(db.wal_bytes());
+            stamps.push(ts);
+        }
+        let full = *ends.last().unwrap();
+        drop(db);
+
+        let cut = seed_end + (full - seed_end) * cut_permille / 1000;
+        let wal_bytes = std::fs::read(dir.join(wal::WAL_FILE)).unwrap();
+        let cut_dir = scratch_dir("torn-prop-cut");
+        std::fs::create_dir_all(&cut_dir).unwrap();
+        std::fs::write(cut_dir.join(wal::WAL_FILE), &wal_bytes[..cut as usize]).unwrap();
+
+        let expected = ends.iter().filter(|&&end| end <= cut).count();
+        let rec = Database::recover(&cut_dir, config(FsyncPolicy::Always), clock.clone())
+            .unwrap();
+        let report = rec.recovery_report().unwrap();
+        // +1 for the bulk-load commit, always inside the cut.
+        prop_assert_eq!(report.replayed_commits, expected + 1);
+        let expected_latest = if expected == 0 {
+            rec.latest_timestamp() // the bulk-load commit's stamp
+        } else {
+            stamps[expected - 1]
+        };
+        prop_assert_eq!(rec.latest_timestamp(), expected_latest);
+        let digest = rec.state_digest();
+        drop(rec);
+
+        let again = Database::recover(&cut_dir, config(FsyncPolicy::Always), clock.clone())
+            .unwrap();
+        prop_assert_eq!(again.state_digest(), digest);
+        drop(again);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&cut_dir);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Crash-point matrix
+// ----------------------------------------------------------------------
+
+/// Crash before the fsync: the commit errors at the client AND is absent
+/// after recovery — a never-acknowledged commit may be lost, and the
+/// history checker agrees the recovered state is consistent without it.
+#[test]
+fn pre_fsync_crash_loses_the_unacked_commit() {
+    let dir = scratch_dir("prefsync");
+    let clock = SimClock::new();
+    let mut history = History::new((0..ACCOUNTS).map(|id| (id, INITIAL_BALANCE)));
+    let db = seed(&dir, FsyncPolicy::Always, &clock);
+    let (ts1, _) = recorded_bump(&db, &clock, &mut history, 0, 5);
+
+    db.set_crash_point(CrashPoint::PreFsync);
+    clock.advance_micros(1_000);
+    let token = db.begin_rw().unwrap();
+    db.update(
+        token,
+        "accounts",
+        &Predicate::eq("id", 1i64),
+        &[("balance".to_string(), Value::Int(INITIAL_BALANCE + 9))],
+    )
+    .unwrap();
+    assert!(
+        db.commit(token).is_err(),
+        "the commit must error at the crash point"
+    );
+    assert!(db.is_crashed());
+
+    let rec = Database::recover(&dir, config(FsyncPolicy::Always), clock.clone()).unwrap();
+    assert_eq!(
+        rec.latest_timestamp(),
+        ts1,
+        "the unfsynced commit must not survive"
+    );
+    assert_eq!(balance(&rec, 1), INITIAL_BALANCE);
+    // The lost commit is NOT in the ground truth; post-recovery reads must
+    // still check out.
+    observe_and_check(&rec, &clock, &mut history);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash after the fsync but before the acknowledgment: the commit errors
+/// at the client but IS present after recovery — the classic unknown-
+/// outcome window resolves to "committed", and the ground truth must
+/// include it for the post-recovery reads to check out.
+#[test]
+fn post_fsync_crash_preserves_the_unacked_commit() {
+    let dir = scratch_dir("postfsync");
+    let clock = SimClock::new();
+    let mut history = History::new((0..ACCOUNTS).map(|id| (id, INITIAL_BALANCE)));
+    let db = seed(&dir, FsyncPolicy::Always, &clock);
+    let (ts1, _) = recorded_bump(&db, &clock, &mut history, 0, 5);
+
+    db.set_crash_point(CrashPoint::PostFsyncPreAck);
+    clock.advance_micros(1_000);
+    let attempt_wall = clock.now();
+    let token = db.begin_rw().unwrap();
+    db.update(
+        token,
+        "accounts",
+        &Predicate::eq("id", 1i64),
+        &[("balance".to_string(), Value::Int(INITIAL_BALANCE + 9))],
+    )
+    .unwrap();
+    assert!(
+        db.commit(token).is_err(),
+        "the commit must error at the crash point"
+    );
+    assert!(db.is_crashed());
+
+    let rec = Database::recover(&dir, config(FsyncPolicy::Always), clock.clone()).unwrap();
+    let ts2 = rec.latest_timestamp();
+    assert!(ts2 > ts1, "the fsynced commit must survive recovery");
+    assert_eq!(balance(&rec, 1), INITIAL_BALANCE + 9);
+    // Resolve the unknown outcome in the ground truth: it committed.
+    history.record_commit(CommitRecord {
+        timestamp: ts2,
+        wall: attempt_wall,
+        writes: vec![(1, INITIAL_BALANCE + 9)],
+    });
+    observe_and_check(&rec, &clock, &mut history);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash between the snapshot temp-file write and the atomic rename: the
+/// half-written `.tmp` file is left behind and recovery must ignore it,
+/// replaying the full WAL instead.
+#[test]
+fn mid_snapshot_crash_leaves_an_ignored_temp_file() {
+    let dir = scratch_dir("midsnap");
+    let clock = SimClock::new();
+    let mut history = History::new((0..ACCOUNTS).map(|id| (id, INITIAL_BALANCE)));
+    let db = seed(&dir, FsyncPolicy::Always, &clock);
+    for i in 0..3u64 {
+        recorded_bump(&db, &clock, &mut history, i % ACCOUNTS, 11);
+    }
+    let latest = db.latest_timestamp();
+
+    db.set_crash_point(CrashPoint::MidSnapshot);
+    assert!(
+        db.snapshot_now().is_err(),
+        "the snapshot must die mid-write"
+    );
+    assert!(db.is_crashed());
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+        .collect();
+    assert!(
+        !leftovers.is_empty(),
+        "the crash must leave the half-written temp file behind"
+    );
+
+    let rec = Database::recover(&dir, config(FsyncPolicy::Always), clock.clone()).unwrap();
+    let report = rec.recovery_report().unwrap();
+    assert_eq!(
+        report.snapshot_ts, None,
+        "a temp file must never be treated as a snapshot"
+    );
+    assert_eq!(report.snapshots_skipped, 0);
+    assert_eq!(report.replayed_commits, 4); // bulk load + 3 bumps
+    assert_eq!(rec.latest_timestamp(), latest);
+    observe_and_check(&rec, &clock, &mut history);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash after the snapshot is renamed into place but before the WAL is
+/// compacted: recovery starts from the snapshot and must skip (not
+/// re-apply) the WAL prefix the snapshot already covers.
+#[test]
+fn post_snapshot_crash_skips_the_covered_wal_prefix() {
+    let dir = scratch_dir("postsnap");
+    let clock = SimClock::new();
+    let mut history = History::new((0..ACCOUNTS).map(|id| (id, INITIAL_BALANCE)));
+    let db = seed(&dir, FsyncPolicy::Always, &clock);
+    for i in 0..3u64 {
+        recorded_bump(&db, &clock, &mut history, i % ACCOUNTS, 11);
+    }
+    let latest = db.latest_timestamp();
+    let wal_before = db.wal_bytes();
+
+    db.set_crash_point(CrashPoint::PostSnapshotPreTruncate);
+    assert!(
+        db.snapshot_now().is_err(),
+        "the crash fires after the rename, before compaction"
+    );
+    assert!(db.is_crashed());
+    assert_eq!(
+        std::fs::metadata(dir.join(wal::WAL_FILE)).unwrap().len(),
+        wal_before,
+        "the WAL must be left uncompacted"
+    );
+
+    let rec = Database::recover(&dir, config(FsyncPolicy::Always), clock.clone()).unwrap();
+    let report = rec.recovery_report().unwrap();
+    assert_eq!(
+        report.snapshot_ts,
+        Some(latest),
+        "the renamed snapshot must be used"
+    );
+    assert_eq!(report.replayed_commits, 0);
+    assert_eq!(
+        report.skipped_commits, 4,
+        "every WAL commit predates the snapshot and must be skipped"
+    );
+    assert_eq!(rec.latest_timestamp(), latest);
+    observe_and_check(&rec, &clock, &mut history);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ----------------------------------------------------------------------
+// Snapshot selection and idempotence
+// ----------------------------------------------------------------------
+
+/// A corrupt newest snapshot is skipped, recovery falls back to the older
+/// one and replays a longer WAL tail — ending at exactly the same state a
+/// recovery with the healthy snapshot produces.
+#[test]
+fn corrupt_newest_snapshot_falls_back_and_replays_more() {
+    let dir = scratch_dir("fallback");
+    let clock = SimClock::new();
+    let db = seed(&dir, FsyncPolicy::Always, &clock);
+    bump(&db, &clock, 0, 1);
+    bump(&db, &clock, 1, 2);
+    let s1_ts = db.latest_timestamp();
+    db.snapshot_now().unwrap();
+    bump(&db, &clock, 2, 3);
+    bump(&db, &clock, 3, 4);
+    let s2_ts = db.latest_timestamp();
+    let s2_path = db.snapshot_now().unwrap();
+    let (_, tail_value) = bump(&db, &clock, 0, 5);
+    db.simulate_crash();
+
+    // Healthy recovery first: the newest snapshot plus the one-commit tail.
+    let healthy = Database::recover(&dir, config(FsyncPolicy::Always), clock.clone()).unwrap();
+    let healthy_report = healthy.recovery_report().unwrap();
+    assert_eq!(healthy_report.snapshot_ts, Some(s2_ts));
+    assert_eq!(healthy_report.snapshots_skipped, 0);
+    assert_eq!(healthy_report.replayed_commits, 1);
+    let healthy_digest = healthy.state_digest();
+    drop(healthy);
+
+    // Corrupt the newest snapshot's tail (checksum breaks) and recover
+    // again: fallback to the older snapshot, longer replay, same state.
+    let mut snap = std::fs::read(&s2_path).unwrap();
+    let last = snap.len() - 1;
+    snap[last] ^= 0xFF;
+    std::fs::write(&s2_path, &snap).unwrap();
+
+    let rec = Database::recover(&dir, config(FsyncPolicy::Always), clock.clone()).unwrap();
+    let report = rec.recovery_report().unwrap();
+    assert_eq!(
+        report.snapshots_skipped, 1,
+        "the corrupt snapshot is skipped"
+    );
+    assert_eq!(report.snapshot_ts, Some(s1_ts), "fallback to the older one");
+    assert_eq!(
+        report.replayed_commits, 3,
+        "the two commits between the snapshots plus the tail commit"
+    );
+    assert_eq!(balance(&rec, 0), tail_value);
+    assert_eq!(
+        rec.state_digest(),
+        healthy_digest,
+        "fallback recovery must reconstruct the identical state"
+    );
+    let digest = rec.state_digest();
+    drop(rec);
+
+    // Idempotence: recovering the same directory again changes nothing.
+    let again = Database::recover(&dir, config(FsyncPolicy::Always), clock.clone()).unwrap();
+    assert_eq!(again.state_digest(), digest);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ----------------------------------------------------------------------
+// Latent-bug audit: recovered latest and watermark
+// ----------------------------------------------------------------------
+
+/// The recovered `latest` timestamp must bound every replayed commit — a
+/// client of the recovered database can never be handed a snapshot that
+/// excludes a committed-and-recovered write — and the next commit must
+/// stamp strictly above it (timestamps never repeat across a crash).
+#[test]
+fn recovered_latest_bounds_every_replayed_commit() {
+    let dir = scratch_dir("latest");
+    let clock = SimClock::new();
+    let db = seed(&dir, FsyncPolicy::Always, &clock);
+    let mut stamps = Vec::new();
+    for i in 0..6u64 {
+        stamps.push(bump(&db, &clock, i % ACCOUNTS, 1).0);
+    }
+    db.simulate_crash();
+
+    let rec = Database::recover(&dir, config(FsyncPolicy::Always), clock.clone()).unwrap();
+    let report = rec.recovery_report().unwrap();
+    for ts in &stamps {
+        assert!(
+            report.recovered_latest >= *ts,
+            "recovered latest {} excludes replayed commit {}",
+            report.recovered_latest,
+            ts
+        );
+    }
+    assert_eq!(rec.latest_timestamp(), report.recovered_latest);
+    let (next, _) = bump(&rec, &clock, 0, 1);
+    assert!(
+        next > report.recovered_latest,
+        "post-recovery commits must stamp above the recovered latest"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The vacuum watermark survives recovery: versions below it were swept
+/// before the crash, so a recovered database must keep refusing pins below
+/// it exactly as the pre-crash one did.
+#[test]
+fn pins_below_the_recovered_watermark_are_refused() {
+    let dir = scratch_dir("watermark");
+    let clock = SimClock::new();
+    let db = seed(&dir, FsyncPolicy::Always, &clock);
+    for i in 0..3u64 {
+        bump(&db, &clock, i % ACCOUNTS, 1);
+    }
+    let horizon = db.latest_timestamp();
+    db.vacuum();
+    // The watermark record carries no durability wait of its own; the next
+    // committed bump's fsync covers it.
+    let (after, _) = bump(&db, &clock, 0, 1);
+    db.simulate_crash();
+
+    let rec = Database::recover(&dir, config(FsyncPolicy::Always), clock.clone()).unwrap();
+    let report = rec.recovery_report().unwrap();
+    assert_eq!(report.recovered_watermark, horizon);
+    assert!(
+        rec.pin(Timestamp(horizon.0 - 1)).is_err(),
+        "pins below the recovered watermark must be refused"
+    );
+    assert!(rec.pin(horizon).is_ok(), "the watermark itself is pinnable");
+    assert!(rec.pin(after).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ----------------------------------------------------------------------
+// Fsync policies
+// ----------------------------------------------------------------------
+
+/// `FsyncPolicy::Never` is honest about its loss semantics: nothing is
+/// ever promised, so a crash wipes the entire log — including the schema.
+#[test]
+fn never_policy_loses_everything_on_crash() {
+    let dir = scratch_dir("never");
+    let clock = SimClock::new();
+    let db = seed(&dir, FsyncPolicy::Never, &clock);
+    for i in 0..3u64 {
+        bump(&db, &clock, i % ACCOUNTS, 1);
+    }
+    assert_eq!(db.stats().wal_fsyncs, 0, "Never must not fsync");
+    db.simulate_crash();
+
+    let rec = Database::recover(&dir, config(FsyncPolicy::Never), clock.clone()).unwrap();
+    let report = rec.recovery_report().unwrap();
+    assert_eq!(report.replayed_commits, 0);
+    assert_eq!(rec.latest_timestamp(), Timestamp::ZERO);
+    assert!(
+        rec.table_names().is_empty(),
+        "an un-fsynced CreateTable vanishes with the rest"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Group commit batches concurrent committers into fewer fsyncs: with all
+/// writers parked at the commit point before any of them proceeds, the
+/// dallying leader's single sync must cover followers.
+#[test]
+fn group_commit_issues_fewer_fsyncs_than_commits() {
+    let dir = scratch_dir("group");
+    let clock = SimClock::new();
+    let db = Arc::new(seed(
+        &dir,
+        FsyncPolicy::GroupCommit { max_wait_us: 5_000 },
+        &clock,
+    ));
+    let writers = 8usize;
+    let barrier = Arc::new(std::sync::Barrier::new(writers));
+    let mut handles = Vec::new();
+    for i in 0..writers {
+        let db = Arc::clone(&db);
+        let clock = clock.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            // Each writer inserts its own fresh row so no two transactions
+            // ever touch the same version (a write-write conflict would
+            // block one writer behind another that is parked at the
+            // barrier).
+            let id = 100 + i as i64;
+            let token = db.begin_rw().unwrap();
+            db.insert(token, "accounts", vec![Value::Int(id), Value::Int(1)])
+                .unwrap();
+            let _ = clock;
+            barrier.wait();
+            db.commit(token).unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = db.stats();
+    assert_eq!(stats.wal_appends, 2 + writers as u64); // schema + bulk + commits
+    assert!(
+        stats.wal_fsyncs < stats.wal_appends,
+        "group commit must batch at least once: {} fsyncs for {} appends",
+        stats.wal_fsyncs,
+        stats.wal_appends
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
