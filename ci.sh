@@ -55,7 +55,12 @@
 #      --durability: committed writes against a real durable mvdb under
 #      Never / GroupCommit / Always fsync policies) against
 #      crates/bench/BENCH_fig5_durability.baseline.json (override with
-#      DURABILITY_BENCH_BASELINE) at the standard 20% ceiling. Absolute txn/s is only compared when the host has the
+#      DURABILITY_BENCH_BASELINE) at the standard 20% ceiling, and the
+#      query_paths fast-path sweep (index-assisted top-N / MIN-MAX /
+#      COUNT / IN-list plans vs the forced seq scan; >= 3x top-N speedup
+#      enforced in-binary) against
+#      crates/bench/BENCH_query_paths.baseline.json (override with
+#      QUERY_PATHS_BENCH_BASELINE). Absolute txn/s is only compared when the host has the
 #      same CPU count the baseline was
 #      recorded with (the hosted workflow caches a runner-class baseline
 #      for this); the >=1.5x 4-thread speedup floor applies on any host
@@ -90,7 +95,7 @@
 #
 # To refresh the bench baselines after an intentional perf change:
 #   cargo build --release -p bench --bin fig5_throughput --bin cache_scaling \
-#       --bin high_connection
+#       --bin high_connection --bin net_loopback --bin query_paths
 #   target/release/fig5_throughput --scaling-only --threads 1,4 \
 #       --requests 30000 --json crates/bench/BENCH_fig5.baseline.json
 #   target/release/cache_scaling --threads 1,4 --requests 500000 \
@@ -101,6 +106,8 @@
 #       --json crates/bench/BENCH_net_replication.baseline.json
 #   target/release/fig5_throughput --durability --requests 2000 \
 #       --json crates/bench/BENCH_fig5_durability.baseline.json
+#   target/release/query_paths --requests 2000 \
+#       --json crates/bench/BENCH_query_paths.baseline.json
 
 set -uo pipefail
 cd "$(dirname "$0")"
@@ -351,7 +358,8 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
     if [ "$PROFILE" != release ]; then
         run_step "cargo build --release -p bench (for bench smoke)" \
             cargo build --release -p bench --bin fig5_throughput \
-            --bin cache_scaling --bin high_connection --bin net_loopback
+            --bin cache_scaling --bin high_connection --bin net_loopback \
+            --bin query_paths
     fi
     # Which gates apply depends on the host: the absolute-throughput
     # comparison runs when the host's CPU count matches the baseline's
@@ -411,6 +419,18 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
         target/release/fig5_throughput --durability --requests 2000 \
         --json BENCH_fig5_durability.json \
         --baseline "$DURABILITY_BASELINE"
+    # The query-planner gate: query_paths drives the index-assisted fast
+    # paths (top-N pushdown, MIN/MAX endpoint probe, COUNT shortcut,
+    # IN-list probes) against the forced-seq-scan reference on a RUBiS-
+    # shaped items table. The >= 3x top-N-vs-seq-scan floor is enforced
+    # in-binary on every host; the baseline comparison additionally gates
+    # the index_topn leg ("thread" index 5) at the standard 20% ceiling
+    # on hosts matching the baseline's CPU count.
+    QUERY_PATHS_BASELINE="${QUERY_PATHS_BENCH_BASELINE:-crates/bench/BENCH_query_paths.baseline.json}"
+    run_step "bench smoke (query_paths fast paths vs ${QUERY_PATHS_BASELINE})" \
+        target/release/query_paths --requests 2000 \
+        --json BENCH_query_paths.json \
+        --baseline "$QUERY_PATHS_BASELINE"
     # The instrumentation-overhead gate: cache_scaling's wire-path A/B
     # phase runs a metrics-on and a metrics-off txcached in adjacent pairs
     # and gates the median paired per-op cost ratio at <= 5%. This

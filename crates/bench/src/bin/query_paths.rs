@@ -1,0 +1,182 @@
+//! Index-assisted query fast-path microbenchmark and CI regression gate.
+//!
+//! Measures the planner's fast paths against the forced sequential-scan
+//! reference on a RUBiS-shaped `items` table (unique `id`, secondary indexes
+//! on `seller` and `category`):
+//!
+//! * **seq_topn**   — `ORDER BY id DESC LIMIT 10` with `force_seq_scan`:
+//!   materialize every visible row, sort, truncate (the pre-fast-path plan);
+//! * **index_topn** — the same query planned naturally (`IndexOrdered`):
+//!   walk the `id` B-tree from the high end and stop after 10 visible rows;
+//! * **endpoint_max** — `MAX(id)` as an `IndexEndpoint` probe;
+//! * **count_eq**   — `COUNT(*) WHERE category = c` through the `IndexEq`
+//!   probe plus the no-materialization COUNT loop;
+//! * **in_list**    — `WHERE category IN (c, c+1, c+2)` as `IndexIn` probes.
+//!
+//! All legs produce answers with validity intervals identical to the
+//! sequential scan (enforced by `tests/properties.rs`); this binary measures
+//! the throughput side and doubles as the CI gate (`ci.sh --bench-smoke`).
+//! The per-path rates are recorded as a [`SweepReport`] whose "thread"
+//! column is the path index (1=seq_topn, 2=count_eq, 3=in_list,
+//! 4=endpoint_max, 5=index_topn), so the standard baseline comparison gates
+//! the tentpole `index_topn` leg. Independently of any baseline, the binary
+//! fails if `index_topn` is not at least 3x faster than `seq_topn`.
+//!
+//! ```text
+//! query_paths [--scale 0.01] [--requests N] [--quick] [--json PATH]
+//!             [--baseline PATH] [--max-regress 0.2] [--min-speedup 3]
+//! ```
+
+use std::time::Instant;
+
+use bench::{gate_failures, BenchArgs, SweepReport};
+use mvdb::{
+    AccessPath, Aggregate, ColumnType, Database, DbConfig, Predicate, SelectQuery, SortOrder,
+    TableSchema, Value,
+};
+use txtypes::SimClock;
+
+const CATEGORIES: i64 = 20;
+const TOP_N: usize = 10;
+
+/// Builds the items table at `scale` (1.0 = 800k rows, the default 0.01 =
+/// 8k) with the RUBiS secondary indexes the fast paths probe.
+fn build_db(scale: f64) -> (Database, usize) {
+    let rows = ((scale * 800_000.0) as usize).max(1_000);
+    let db = Database::new(DbConfig::default(), SimClock::new());
+    db.create_table(
+        TableSchema::new("items")
+            .column("id", ColumnType::Int)
+            .column("seller", ColumnType::Int)
+            .column("category", ColumnType::Int)
+            .column("price", ColumnType::Int)
+            .unique_index("id")
+            .index("seller")
+            .index("category"),
+    )
+    .expect("create items");
+    let data: Vec<Vec<Value>> = (0..rows as i64)
+        .map(|i| {
+            vec![
+                Value::Int(i + 1),
+                Value::Int(i % (rows as i64 / 10).max(1)),
+                Value::Int(i % CATEGORIES),
+                Value::Int((i * 7) % 1_000),
+            ]
+        })
+        .collect();
+    db.bulk_load("items", data).expect("bulk load items");
+    (db, rows)
+}
+
+/// Runs `ops` iterations of `make_query`, one read-only transaction each,
+/// and returns the rate in queries/s.
+fn drive(db: &Database, label: &str, ops: usize, make_query: impl Fn(u64) -> SelectQuery) -> f64 {
+    let started = Instant::now();
+    for i in 0..ops as u64 {
+        let q = make_query(i);
+        let token = db.begin_ro(None).expect("begin ro");
+        let result = db.query(token, &q).expect("query");
+        db.commit(token).expect("commit ro");
+        assert!(!result.rows.is_empty(), "every leg returns at least a row");
+    }
+    let rate = ops as f64 / started.elapsed().as_secs_f64().max(1e-9);
+    println!("    {label:<12} {rate:>12.0} q/s ({ops} queries)");
+    rate
+}
+
+fn topn_query() -> SelectQuery {
+    SelectQuery::table("items")
+        .select(vec!["id", "price"])
+        .order_by("id", SortOrder::Desc)
+        .limit(TOP_N)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let requests = args.requests.max(200);
+    let (db, rows) = build_db(args.scale);
+    println!(
+        "query_paths: {rows} items, {CATEGORIES} categories, {requests} requests/leg \
+         (seq leg {})",
+        (requests / 20).max(50)
+    );
+
+    // The fast paths must actually be planned before measuring them —
+    // otherwise the sweep silently compares seq scan against itself.
+    let plan = |q: &SelectQuery| db.plan_for(q).expect("plan").access;
+    assert!(matches!(
+        plan(&topn_query()),
+        AccessPath::IndexOrdered { .. }
+    ));
+    assert!(matches!(
+        plan(&SelectQuery::table("items").aggregate(Aggregate::Max("id".into()))),
+        AccessPath::IndexEndpoint { max: true, .. }
+    ));
+    assert!(matches!(
+        plan(&SelectQuery::table("items").filter(Predicate::in_list("category", [1i64, 2, 3]))),
+        AccessPath::IndexIn { .. }
+    ));
+    println!("  planner: index_ordered / index_endpoint / index_in confirmed\n  rates:");
+
+    // The forced-scan leg materializes and sorts every visible row per
+    // query; run fewer iterations so the full sweep stays fast.
+    let seq_ops = (requests / 20).max(50);
+    let seq_topn = drive(&db, "seq_topn", seq_ops, |_| topn_query().force_seq_scan());
+    let count_eq = drive(&db, "count_eq", requests, |i| {
+        SelectQuery::table("items")
+            .filter(Predicate::eq("category", (i as i64) % CATEGORIES))
+            .aggregate(Aggregate::Count)
+    });
+    let in_list = drive(&db, "in_list", requests, |i| {
+        let c = (i as i64) % CATEGORIES;
+        SelectQuery::table("items")
+            .select(vec!["id"])
+            .filter(Predicate::in_list(
+                "category",
+                [c, (c + 1) % CATEGORIES, (c + 2) % CATEGORIES],
+            ))
+    });
+    let endpoint_max = drive(&db, "endpoint_max", requests, |_| {
+        SelectQuery::table("items").aggregate(Aggregate::Max("id".into()))
+    });
+    let index_topn = drive(&db, "index_topn", requests, |_| topn_query());
+
+    // Hard floor, independent of any baseline file: top-N pushdown must beat
+    // the forced sequential scan by at least 3x (or --min-speedup if set
+    // higher). O(limit) vs O(rows) should clear this by orders of magnitude.
+    let floor = args.min_speedup.max(3.0);
+    let speedup = index_topn / seq_topn.max(1e-9);
+    println!("\n  top-N pushdown speedup over forced seq scan: {speedup:.1}x (floor {floor:.1}x)");
+    if speedup < floor {
+        eprintln!("BENCH GATE FAILED: index_topn is only {speedup:.2}x seq_topn (floor {floor}x)");
+        std::process::exit(1);
+    }
+
+    // "Thread" indices are path indices; index 5 (index_topn) is what the
+    // baseline regression gate compares.
+    let report = SweepReport {
+        available_parallelism: std::thread::available_parallelism().map_or(1, usize::from),
+        threads: vec![1, 2, 3, 4, 5],
+        txn_per_sec: vec![seq_topn, count_eq, in_list, endpoint_max, index_topn],
+    };
+    if let Some(path) = &args.json_out {
+        std::fs::write(path, report.to_json()).expect("failed to write sweep JSON");
+        println!("  sweep written to {path}");
+    }
+    // The speedup floor is enforced above (it is a path ratio, not a thread
+    // scaling ratio), so only the baseline comparison runs here.
+    let failures = gate_failures(
+        &BenchArgs {
+            min_speedup: 0.0,
+            ..args
+        },
+        &report,
+    );
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("BENCH GATE FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

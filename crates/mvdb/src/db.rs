@@ -66,7 +66,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use obs::{Histogram, MetricsSnapshot, Registry};
+use obs::{Histogram, MetricsSnapshot, Registry, StripedCounter as ObsCounter};
 
 use crossbeam::channel::Receiver;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -78,7 +78,7 @@ use txtypes::{
 use crate::buffer::{BufferStats, SharedBuffer};
 use crate::exec::{execute_plan, ExecOptions, PageCounts, QueryResult};
 use crate::invalidation::{InvalidationBus, InvalidationMessage};
-use crate::plan::{choose_access_path, plan_query, AccessPath};
+use crate::plan::{choose_access_path, plan_query, AccessPath, QueryPlan};
 use crate::query::{Predicate, SelectQuery};
 use crate::schema::TableSchema;
 use crate::snapshot::{PinRegistry, SnapshotId};
@@ -236,6 +236,43 @@ impl TxnRegistry {
     }
 }
 
+/// Cached `db.plan.<path>` counter handles, one per access-path kind, so the
+/// query hot path records planner decisions without touching the registry
+/// lock. Labels come from [`AccessPath::label`].
+struct PlanCounters {
+    index_eq: Arc<ObsCounter>,
+    index_in: Arc<ObsCounter>,
+    index_range: Arc<ObsCounter>,
+    index_ordered: Arc<ObsCounter>,
+    index_endpoint: Arc<ObsCounter>,
+    seq_scan: Arc<ObsCounter>,
+}
+
+impl PlanCounters {
+    fn new(obs: &Registry) -> PlanCounters {
+        PlanCounters {
+            index_eq: obs.counter("db.plan.index_eq"),
+            index_in: obs.counter("db.plan.index_in"),
+            index_range: obs.counter("db.plan.index_range"),
+            index_ordered: obs.counter("db.plan.index_ordered"),
+            index_endpoint: obs.counter("db.plan.index_endpoint"),
+            seq_scan: obs.counter("db.plan.seq_scan"),
+        }
+    }
+
+    fn bump(&self, access: &AccessPath) {
+        match access {
+            AccessPath::IndexEq { .. } => &self.index_eq,
+            AccessPath::IndexIn { .. } => &self.index_in,
+            AccessPath::IndexRange { .. } => &self.index_range,
+            AccessPath::IndexOrdered { .. } => &self.index_ordered,
+            AccessPath::IndexEndpoint { .. } => &self.index_endpoint,
+            AccessPath::SeqScan => &self.seq_scan,
+        }
+        .bump();
+    }
+}
+
 /// A multiversion relational database with TxCache support.
 pub struct Database {
     tables: RwLock<HashMap<String, TableShard>>,
@@ -266,6 +303,8 @@ pub struct Database {
     /// Time commits spend waiting for WAL durability (zero for in-memory
     /// databases).
     fsync_us: Arc<Histogram>,
+    /// Per-access-path planner decision counters (`db.plan.<path>`).
+    plan_counters: PlanCounters,
     /// The write-ahead log, present only when the database was opened
     /// durably. Appends happen under the commit sequencer; durability waits
     /// happen with no locks held.
@@ -289,6 +328,7 @@ impl Database {
         let query_us = obs.histogram("db.query.us");
         let vacuum_us = obs.histogram("db.vacuum.us");
         let fsync_us = obs.histogram("db.fsync.us");
+        let plan_counters = PlanCounters::new(&obs);
         Database {
             tables: RwLock::new(HashMap::new()),
             latest: AtomicU64::new(Timestamp::ZERO.0),
@@ -306,6 +346,7 @@ impl Database {
             query_us,
             vacuum_us,
             fsync_us,
+            plan_counters,
             durability: None,
             durable_dir: None,
             recovery: None,
@@ -839,6 +880,38 @@ impl Database {
         result
     }
 
+    /// Plans `query` without executing it, so tests and diagnostics can
+    /// assert which access path a query takes (e.g. "no hot query plans a
+    /// `SeqScan`"). Takes the same shared table locks as `query`.
+    pub fn plan_for(&self, query: &SelectQuery) -> Result<QueryPlan> {
+        let tables = self.tables.read();
+        let outer_shard = Self::shard_of(&tables, &query.table)?;
+        match &query.join {
+            Some(join) if join.table != query.table => {
+                let inner_shard = Self::shard_of(&tables, &join.table)?;
+                let outer_first = query.table <= join.table;
+                let (first, second) = if outer_first {
+                    (outer_shard, inner_shard)
+                } else {
+                    (inner_shard, outer_shard)
+                };
+                let g1 = first.read();
+                let g2 = second.read();
+                let (outer_t, inner_t): (&Table, &Table) =
+                    if outer_first { (&g1, &g2) } else { (&g2, &g1) };
+                plan_query(query, outer_t, Some(inner_t))
+            }
+            Some(_) => {
+                let guard = outer_shard.read();
+                plan_query(query, &guard, Some(&guard))
+            }
+            None => {
+                let guard = outer_shard.read();
+                plan_query(query, &guard, None)
+            }
+        }
+    }
+
     fn query_inner(&self, token: TxnToken, query: &SelectQuery) -> Result<QueryResult> {
         let (snapshot, me) = {
             let handle = self.txn_handle(token)?;
@@ -863,6 +936,7 @@ impl Database {
                 let (outer_t, inner_t): (&Table, &Table) =
                     if outer_first { (&g1, &g2) } else { (&g2, &g1) };
                 let plan = plan_query(query, outer_t, Some(inner_t))?;
+                self.plan_counters.bump(&plan.access);
                 execute_plan(
                     &plan,
                     outer_t,
@@ -877,6 +951,7 @@ impl Database {
                 // Self-join: one shared lock serves both sides.
                 let guard = outer_shard.read();
                 let plan = plan_query(query, &guard, Some(&guard))?;
+                self.plan_counters.bump(&plan.access);
                 execute_plan(
                     &plan,
                     &guard,
@@ -890,6 +965,7 @@ impl Database {
             None => {
                 let guard = outer_shard.read();
                 let plan = plan_query(query, &guard, None)?;
+                self.plan_counters.bump(&plan.access);
                 execute_plan(
                     &plan,
                     &guard,
@@ -1178,7 +1254,22 @@ impl Database {
                 );
                 table.index_eq(column, value)?
             }
-            AccessPath::IndexRange { column, lo, hi } => {
+            AccessPath::IndexIn { column, values } => {
+                let mut slots = Vec::new();
+                for value in values {
+                    buffer.access(
+                        &format!("{}#idx:{}", table.schema().name, column),
+                        table.index_page_of(column, value),
+                    );
+                    slots.extend(table.index_eq(column, value)?);
+                }
+                slots.sort_unstable();
+                slots.dedup();
+                slots
+            }
+            AccessPath::IndexRange { column, lo, hi }
+            | AccessPath::IndexOrdered { column, lo, hi, .. }
+            | AccessPath::IndexEndpoint { column, lo, hi, .. } => {
                 table.index_range(column, lo.as_ref(), hi.as_ref())?
             }
             AccessPath::SeqScan => table.scan_slots().collect(),
@@ -1823,6 +1914,53 @@ mod tests {
         )
         .unwrap();
         db
+    }
+
+    #[test]
+    fn plan_counters_and_plan_for_track_access_paths() {
+        let db = setup();
+        let eq = SelectQuery::table("users").filter(Predicate::eq("id", 3i64));
+        let inl = SelectQuery::table("users").filter(Predicate::in_list("id", [1i64, 2]));
+        let ordered = SelectQuery::table("users")
+            .order_by("id", crate::query::SortOrder::Desc)
+            .limit(3);
+        let endpoint = SelectQuery::table("users").aggregate(Aggregate::Max("id".into()));
+        let scan = SelectQuery::table("users").filter(Predicate::eq("rating", 0i64));
+
+        assert!(matches!(
+            db.plan_for(&eq).unwrap().access,
+            AccessPath::IndexEq { .. }
+        ));
+        assert!(matches!(
+            db.plan_for(&inl).unwrap().access,
+            AccessPath::IndexIn { .. }
+        ));
+        assert!(matches!(
+            db.plan_for(&ordered).unwrap().access,
+            AccessPath::IndexOrdered { .. }
+        ));
+        assert!(matches!(
+            db.plan_for(&endpoint).unwrap().access,
+            AccessPath::IndexEndpoint { .. }
+        ));
+        assert!(matches!(
+            db.plan_for(&scan).unwrap().access,
+            AccessPath::SeqScan
+        ));
+
+        for q in [&eq, &inl, &ordered, &endpoint, &scan] {
+            db.query_ro_once(q).unwrap();
+        }
+        let m = db.metrics();
+        for name in [
+            "db.plan.index_eq",
+            "db.plan.index_in",
+            "db.plan.index_ordered",
+            "db.plan.index_endpoint",
+            "db.plan.seq_scan",
+        ] {
+            assert_eq!(m.counter(name), Some(1), "{name}");
+        }
     }
 
     #[test]

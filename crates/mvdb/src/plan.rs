@@ -2,16 +2,24 @@
 //!
 //! The planner picks an access method for the outer table and for the joined
 //! table (if any). The access method determines the invalidation tags the
-//! query receives: an index equality lookup yields a keyed `TABLE:COL=VALUE`
-//! tag, while sequential scans and index range scans yield the wildcard
+//! query receives: index equality and IN-list probes yield keyed
+//! `TABLE:COL=VALUE` tags (one per probed key), while sequential scans,
+//! index range scans, and the ordered/endpoint fast paths yield the wildcard
 //! `TABLE:?` tag, exactly as described in the paper. Tags for index-nested-
 //! loop joins are produced at execution time, one keyed tag per probed join
 //! key.
+//!
+//! Access paths form a cost lattice — `IndexEq` ≻ `IndexIn` ≻ `IndexRange` ≻
+//! `SeqScan` — and after the base choice the planner *upgrades* SeqScan (or a
+//! same-column IndexRange, whose bounds it absorbs) to `IndexOrdered` for
+//! ORDER BY pushdown or `IndexEndpoint` for MIN/MAX probes when the relevant
+//! column is indexed. Keyed paths are never downgraded: their tags are
+//! sharper, which matters more to the cache tier than saving a sort.
 
 use serde::{Deserialize, Serialize};
 use txtypes::{Error, InvalidationTag, Result, TagSet};
 
-use crate::query::{CmpOp, Join, Predicate, SelectQuery};
+use crate::query::{Aggregate, CmpOp, Join, Predicate, SelectQuery, SortOrder};
 use crate::table::Table;
 use crate::value::Value;
 
@@ -25,6 +33,15 @@ pub enum AccessPath {
         /// Key value.
         value: Value,
     },
+    /// Probe an index once per IN-list member, emitting one keyed tag per
+    /// probed key. `values` are deduplicated, NULL-free, and sorted at plan
+    /// time so probe order (and page accounting) is deterministic.
+    IndexIn {
+        /// Indexed column.
+        column: String,
+        /// Distinct non-NULL keys to probe.
+        values: Vec<Value>,
+    },
     /// Walk an index between two optional (inclusive) bounds.
     IndexRange {
         /// Indexed column.
@@ -34,20 +51,69 @@ pub enum AccessPath {
         /// Upper bound, if any.
         hi: Option<Value>,
     },
+    /// Walk an index in sort order for ORDER BY (+ LIMIT) pushdown, visiting
+    /// key groups lazily so the executor can stop after `limit` visible rows.
+    /// Bounds are absorbed from a same-column range predicate, if any.
+    IndexOrdered {
+        /// Indexed column (the ORDER BY column).
+        column: String,
+        /// Walk direction.
+        order: SortOrder,
+        /// Lower bound, if any (inclusive).
+        lo: Option<Value>,
+        /// Upper bound, if any (inclusive).
+        hi: Option<Value>,
+    },
+    /// Walk an index from one end to answer MIN/MAX on the indexed column,
+    /// stopping at the first key group with a visible matching row.
+    IndexEndpoint {
+        /// Indexed column (the aggregate's column).
+        column: String,
+        /// `true` for MAX (walk from the high end), `false` for MIN.
+        max: bool,
+        /// Lower bound, if any (inclusive).
+        lo: Option<Value>,
+        /// Upper bound, if any (inclusive).
+        hi: Option<Value>,
+    },
     /// Scan the whole heap.
     SeqScan,
 }
 
 impl AccessPath {
-    /// The invalidation tag this access method contributes for `table`
-    /// (§5.3): keyed for index equality, wildcard otherwise.
+    /// The invalidation tags this access method contributes for `table`
+    /// (§5.3): keyed for index equality and per probed IN-list key, wildcard
+    /// otherwise.
     #[must_use]
-    pub fn invalidation_tag(&self, table: &str) -> InvalidationTag {
+    pub fn invalidation_tags(&self, table: &str) -> Vec<InvalidationTag> {
         match self {
             AccessPath::IndexEq { column, value } => {
-                InvalidationTag::keyed(table, format!("{}={}", column, value.render_key()))
+                vec![InvalidationTag::keyed(
+                    table,
+                    format!("{}={}", column, value.render_key()),
+                )]
             }
-            AccessPath::IndexRange { .. } | AccessPath::SeqScan => InvalidationTag::wildcard(table),
+            AccessPath::IndexIn { column, values } => values
+                .iter()
+                .map(|v| InvalidationTag::keyed(table, format!("{}={}", column, v.render_key())))
+                .collect(),
+            AccessPath::IndexRange { .. }
+            | AccessPath::IndexOrdered { .. }
+            | AccessPath::IndexEndpoint { .. }
+            | AccessPath::SeqScan => vec![InvalidationTag::wildcard(table)],
+        }
+    }
+
+    /// Short label for observability counters (`db.plan.<label>`).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            AccessPath::IndexEq { .. } => "index_eq",
+            AccessPath::IndexIn { .. } => "index_in",
+            AccessPath::IndexRange { .. } => "index_range",
+            AccessPath::IndexOrdered { .. } => "index_ordered",
+            AccessPath::IndexEndpoint { .. } => "index_endpoint",
+            AccessPath::SeqScan => "seq_scan",
         }
     }
 }
@@ -101,9 +167,15 @@ pub fn plan_query(query: &SelectQuery, outer: &Table, inner: Option<&Table>) -> 
             query.table
         )));
     }
-    let access = choose_access_path(&query.predicate, outer);
+    let access = if query.force_seq_scan {
+        AccessPath::SeqScan
+    } else {
+        upgrade_access_path(choose_access_path(&query.predicate, outer), query, outer)
+    };
     let mut base_tags = TagSet::new();
-    base_tags.insert(access.invalidation_tag(&query.table));
+    for tag in access.invalidation_tags(&query.table) {
+        base_tags.insert(tag);
+    }
 
     let join = match (&query.join, inner) {
         (None, _) => None,
@@ -147,8 +219,68 @@ pub fn plan_query(query: &SelectQuery, outer: &Table, inner: Option<&Table>) -> 
     })
 }
 
+/// Upgrades a base access path to an order-aware fast path when the query
+/// shape allows it.
+///
+/// `IndexOrdered` replaces SeqScan (or an IndexRange on the ORDER BY column,
+/// absorbing its bounds) for no-join, no-aggregate queries ordering by an
+/// indexed column — gated on the index holding no NULL sort keys, because
+/// NULLs sort first in a materialized sort but are invisible to the index.
+/// `IndexEndpoint` does the same for MIN/MAX aggregates on an indexed column;
+/// it needs no NULL gate since both the index walk and the reference scan
+/// ignore NULLs when computing MIN/MAX. Keyed paths (IndexEq/IndexIn) are
+/// never replaced: their tags are sharper.
+fn upgrade_access_path(base: AccessPath, query: &SelectQuery, table: &Table) -> AccessPath {
+    if query.join.is_some() {
+        return base;
+    }
+    // Bounds the base path already commits to, if it is replaceable for
+    // walks over `column`; `None` means "keep the base path".
+    let absorbable = |column: &str| -> Option<(Option<Value>, Option<Value>)> {
+        match &base {
+            AccessPath::SeqScan => Some((None, None)),
+            AccessPath::IndexRange { column: c, lo, hi } if c == column => {
+                Some((lo.clone(), hi.clone()))
+            }
+            _ => None,
+        }
+    };
+    match &query.aggregate {
+        Some(Aggregate::Min(col)) | Some(Aggregate::Max(col)) => {
+            if table.has_index_on(col) {
+                if let Some((lo, hi)) = absorbable(col) {
+                    return AccessPath::IndexEndpoint {
+                        column: col.clone(),
+                        max: matches!(query.aggregate, Some(Aggregate::Max(_))),
+                        lo,
+                        hi,
+                    };
+                }
+            }
+            base
+        }
+        Some(_) => base,
+        None => {
+            if let Some((col, order)) = &query.order_by {
+                if table.has_index_on(col) && table.index_null_count(col) == 0 {
+                    if let Some((lo, hi)) = absorbable(col) {
+                        return AccessPath::IndexOrdered {
+                            column: col.clone(),
+                            order: *order,
+                            lo,
+                            hi,
+                        };
+                    }
+                }
+            }
+            base
+        }
+    }
+}
+
 /// Picks the cheapest access path supported by the predicate and the table's
-/// indexes: index equality beats index range beats sequential scan.
+/// indexes: index equality beats IN-list probes beats index range beats
+/// sequential scan.
 ///
 /// Exposed so the DML path (UPDATE/DELETE) can locate target rows the same
 /// way SELECT does.
@@ -167,6 +299,23 @@ pub fn choose_access_path(predicate: &Predicate, table: &Table) -> AccessPath {
                 return AccessPath::IndexEq {
                     column: column.clone(),
                     value: value.clone(),
+                };
+            }
+        }
+    }
+
+    // Then an IN-list on an indexed column: one probe (and one keyed tag)
+    // per distinct non-NULL member.
+    for p in &conjuncts {
+        if let Predicate::In { column, values } = p {
+            if table.has_index_on(column) {
+                let mut keys: Vec<Value> =
+                    values.iter().filter(|v| !v.is_null()).cloned().collect();
+                keys.sort();
+                keys.dedup();
+                return AccessPath::IndexIn {
+                    column: column.clone(),
+                    values: keys,
                 };
             }
         }
@@ -345,5 +494,183 @@ mod tests {
         let users = users_table();
         let q = SelectQuery::table("items").join("users", "nope", "id");
         assert!(plan_query(&q, &items, Some(&users)).is_err());
+    }
+
+    #[test]
+    fn in_list_on_indexed_column_probes_with_keyed_tags() {
+        let t = items_table();
+        let q = SelectQuery::table("items").filter(
+            Predicate::in_list("category", [5i64, 3, 5, 3]).and(Predicate::eq("price", 1.0)),
+        );
+        let plan = plan_query(&q, &t, None).unwrap();
+        assert_eq!(
+            plan.access,
+            AccessPath::IndexIn {
+                column: "category".into(),
+                values: vec![Value::Int(3), Value::Int(5)],
+            }
+        );
+        let mut tags = plan.base_tags.tags().to_vec();
+        tags.sort();
+        let mut want = vec![
+            InvalidationTag::keyed("items", "category=3"),
+            InvalidationTag::keyed("items", "category=5"),
+        ];
+        want.sort();
+        assert_eq!(tags, want);
+    }
+
+    #[test]
+    fn in_list_drops_null_members_and_eq_still_wins() {
+        let t = items_table();
+        let q = SelectQuery::table("items")
+            .filter(Predicate::in_list("category", [Value::Int(3), Value::Null]));
+        let plan = plan_query(&q, &t, None).unwrap();
+        assert_eq!(
+            plan.access,
+            AccessPath::IndexIn {
+                column: "category".into(),
+                values: vec![Value::Int(3)],
+            }
+        );
+        let q = SelectQuery::table("items")
+            .filter(Predicate::in_list("category", [3i64, 4]).and(Predicate::eq("id", 7i64)));
+        let plan = plan_query(&q, &t, None).unwrap();
+        assert!(matches!(plan.access, AccessPath::IndexEq { .. }));
+    }
+
+    #[test]
+    fn in_list_on_unindexed_column_falls_back_to_scan() {
+        let t = items_table();
+        let q = SelectQuery::table("items").filter(Predicate::in_list("price", [1.0, 2.0]));
+        let plan = plan_query(&q, &t, None).unwrap();
+        assert_eq!(plan.access, AccessPath::SeqScan);
+    }
+
+    #[test]
+    fn order_by_indexed_column_upgrades_to_index_ordered() {
+        let t = items_table();
+        let q = SelectQuery::table("items")
+            .order_by("category", SortOrder::Desc)
+            .limit(10);
+        let plan = plan_query(&q, &t, None).unwrap();
+        assert_eq!(
+            plan.access,
+            AccessPath::IndexOrdered {
+                column: "category".into(),
+                order: SortOrder::Desc,
+                lo: None,
+                hi: None,
+            }
+        );
+        assert_eq!(plan.base_tags.tags(), &[InvalidationTag::wildcard("items")]);
+    }
+
+    #[test]
+    fn index_ordered_absorbs_same_column_range_bounds() {
+        let t = items_table();
+        let q = SelectQuery::table("items")
+            .filter(
+                Predicate::cmp("category", CmpOp::Ge, 3i64).and(Predicate::cmp(
+                    "category",
+                    CmpOp::Le,
+                    5i64,
+                )),
+            )
+            .order_by("category", SortOrder::Asc);
+        let plan = plan_query(&q, &t, None).unwrap();
+        assert_eq!(
+            plan.access,
+            AccessPath::IndexOrdered {
+                column: "category".into(),
+                order: SortOrder::Asc,
+                lo: Some(Value::Int(3)),
+                hi: Some(Value::Int(5)),
+            }
+        );
+    }
+
+    #[test]
+    fn order_by_upgrade_gated_on_null_free_index() {
+        use crate::tuple::TupleVersion;
+        use txtypes::Timestamp;
+        let mut t = items_table();
+        let row = t.allocate_row_id();
+        t.insert_version(TupleVersion::committed(
+            row,
+            vec![Value::Int(1), Value::Int(1), Value::Null, Value::Float(1.0)],
+            Timestamp(1),
+        ))
+        .unwrap();
+        let q = SelectQuery::table("items").order_by("category", SortOrder::Asc);
+        let plan = plan_query(&q, &t, None).unwrap();
+        assert_eq!(plan.access, AccessPath::SeqScan);
+        // NULL-free indexed column still upgrades.
+        let q = SelectQuery::table("items").order_by("id", SortOrder::Asc);
+        let plan = plan_query(&q, &t, None).unwrap();
+        assert!(matches!(plan.access, AccessPath::IndexOrdered { .. }));
+    }
+
+    #[test]
+    fn order_by_does_not_downgrade_keyed_paths_or_joins() {
+        let items = items_table();
+        let q = SelectQuery::table("items")
+            .filter(Predicate::eq("category", 3i64))
+            .order_by("id", SortOrder::Asc)
+            .limit(5);
+        let plan = plan_query(&q, &items, None).unwrap();
+        assert!(matches!(plan.access, AccessPath::IndexEq { .. }));
+
+        let users = users_table();
+        let qj = SelectQuery::table("items")
+            .join("users", "seller", "id")
+            .order_by("id", SortOrder::Asc);
+        let plan = plan_query(&qj, &items, Some(&users)).unwrap();
+        assert_eq!(plan.access, AccessPath::SeqScan);
+    }
+
+    #[test]
+    fn min_max_on_indexed_column_upgrades_to_endpoint() {
+        let t = items_table();
+        let q = SelectQuery::table("items").aggregate(Aggregate::Max("id".into()));
+        let plan = plan_query(&q, &t, None).unwrap();
+        assert_eq!(
+            plan.access,
+            AccessPath::IndexEndpoint {
+                column: "id".into(),
+                max: true,
+                lo: None,
+                hi: None,
+            }
+        );
+        let q = SelectQuery::table("items")
+            .filter(Predicate::cmp("category", CmpOp::Ge, 2i64))
+            .aggregate(Aggregate::Min("category".into()));
+        let plan = plan_query(&q, &t, None).unwrap();
+        assert_eq!(
+            plan.access,
+            AccessPath::IndexEndpoint {
+                column: "category".into(),
+                max: false,
+                lo: Some(Value::Int(2)),
+                hi: None,
+            }
+        );
+        // MIN/MAX on an unindexed column keeps the base path.
+        let q = SelectQuery::table("items").aggregate(Aggregate::Min("price".into()));
+        let plan = plan_query(&q, &t, None).unwrap();
+        assert_eq!(plan.access, AccessPath::SeqScan);
+    }
+
+    #[test]
+    fn force_seq_scan_bypasses_every_fast_path() {
+        let t = items_table();
+        let q = SelectQuery::table("items")
+            .filter(Predicate::eq("id", 1i64))
+            .order_by("id", SortOrder::Asc)
+            .force_seq_scan();
+        let plan = plan_query(&q, &t, None).unwrap();
+        assert_eq!(plan.access, AccessPath::SeqScan);
+        assert_eq!(plan.base_tags.tags(), &[InvalidationTag::wildcard("items")]);
     }
 }

@@ -59,6 +59,13 @@ pub enum Predicate {
         /// Constant to compare against.
         value: Value,
     },
+    /// Membership in a list of constants (`column IN (v1, v2, ...)`).
+    In {
+        /// Column name.
+        column: String,
+        /// Candidate values. NULL members never match (SQL semantics).
+        values: Vec<Value>,
+    },
     /// Conjunction.
     And(Vec<Predicate>),
     /// Disjunction.
@@ -85,6 +92,18 @@ impl Predicate {
             column: column.into(),
             op,
             value: value.into(),
+        }
+    }
+
+    /// Convenience constructor for `column IN (values)`.
+    #[must_use]
+    pub fn in_list(
+        column: impl Into<String>,
+        values: impl IntoIterator<Item = impl Into<Value>>,
+    ) -> Predicate {
+        Predicate::In {
+            column: column.into(),
+            values: values.into_iter().map(Into::into).collect(),
         }
     }
 
@@ -126,6 +145,17 @@ impl Predicate {
                     return Ok(false);
                 }
                 Ok(op.eval(cell, value))
+            }
+            Predicate::In { column, values } => {
+                let idx = schema.column_index(column)?;
+                let cell = row
+                    .get(idx)
+                    .ok_or_else(|| Error::Query(format!("row too short for column '{column}'")))?;
+                if cell.is_null() {
+                    // NULL IN (...) is unknown; collapsed to false.
+                    return Ok(false);
+                }
+                Ok(values.iter().any(|v| !v.is_null() && v == cell))
             }
             Predicate::And(ps) => {
                 for p in ps {
@@ -214,6 +244,10 @@ pub struct SelectQuery {
     pub limit: Option<usize>,
     /// Optional aggregate; when present the result is a single row.
     pub aggregate: Option<Aggregate>,
+    /// Forces the planner to use a sequential scan for the outer table.
+    /// Used by tests (and diagnostics) to compare an index-assisted plan
+    /// against the reference scan plan; never set by applications.
+    pub force_seq_scan: bool,
 }
 
 impl SelectQuery {
@@ -228,6 +262,7 @@ impl SelectQuery {
             order_by: None,
             limit: None,
             aggregate: None,
+            force_seq_scan: false,
         }
     }
 
@@ -300,6 +335,16 @@ impl SelectQuery {
         self.aggregate = Some(aggregate);
         self
     }
+
+    /// Forces the outer table to be read with a sequential scan, disabling
+    /// every index-assisted access path. The result (rows and validity
+    /// interval) must be identical to the planner's choice; tests rely on
+    /// this to prove the fast paths sound.
+    #[must_use]
+    pub fn force_seq_scan(mut self) -> SelectQuery {
+        self.force_seq_scan = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -349,6 +394,37 @@ mod tests {
         assert!(q.eval(&s, &row).unwrap());
         let n = Predicate::Not(Box::new(Predicate::eq("id", 1i64)));
         assert!(!n.eval(&s, &row).unwrap());
+    }
+
+    #[test]
+    fn in_list_matches_membership_and_ignores_nulls() {
+        let s = schema();
+        let row = vec![Value::Int(1), Value::text("alice"), Value::Int(5)];
+        assert!(Predicate::in_list("rating", [4i64, 5, 6])
+            .eval(&s, &row)
+            .unwrap());
+        assert!(!Predicate::in_list("rating", [1i64, 2])
+            .eval(&s, &row)
+            .unwrap());
+        // NULL members never match, and an empty list matches nothing.
+        let with_null = Predicate::In {
+            column: "rating".into(),
+            values: vec![Value::Null, Value::Int(5)],
+        };
+        assert!(with_null.eval(&s, &row).unwrap());
+        let only_null = Predicate::In {
+            column: "rating".into(),
+            values: vec![Value::Null],
+        };
+        assert!(!only_null.eval(&s, &row).unwrap());
+        assert!(!Predicate::in_list("rating", Vec::<i64>::new())
+            .eval(&s, &row)
+            .unwrap());
+        // A NULL cell is never IN anything.
+        let null_row = vec![Value::Int(1), Value::text("a"), Value::Null];
+        assert!(!Predicate::in_list("rating", [5i64])
+            .eval(&s, &null_row)
+            .unwrap());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! mask (§5.2).
 
 use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
 
 use txtypes::{key::stable_hash_of, Error, Result};
 
@@ -29,6 +30,10 @@ pub struct Table {
     row_versions: HashMap<RowId, Vec<Slot>>,
     /// column name → value → slots whose version has that value.
     indexes: HashMap<String, BTreeMap<Value, Vec<Slot>>>,
+    /// column name → number of heap versions whose key is NULL (and thus
+    /// absent from the index). Fast paths that must see *every* version
+    /// through the index are only sound while this is zero.
+    index_null_counts: HashMap<String, usize>,
     next_row_id: RowId,
     rows_per_page: usize,
 }
@@ -39,14 +44,17 @@ impl Table {
     pub fn new(schema: TableSchema, rows_per_page: usize) -> Result<Table> {
         schema.validate()?;
         let mut indexes = HashMap::new();
+        let mut index_null_counts = HashMap::new();
         for ix in &schema.indexes {
             indexes.insert(ix.column.clone(), BTreeMap::new());
+            index_null_counts.insert(ix.column.clone(), 0);
         }
         Ok(Table {
             schema,
             slots: Vec::new(),
             row_versions: HashMap::new(),
             indexes,
+            index_null_counts,
             next_row_id: 1,
             rows_per_page: rows_per_page.max(1),
         })
@@ -92,7 +100,11 @@ impl Table {
                 .position(|c| &c.name == column)
                 .ok_or_else(|| Error::Schema(format!("index on unknown column {column}")))?;
             let key = version.values[pos].clone();
-            if !key.is_null() {
+            if key.is_null() {
+                if let Some(nulls) = self.index_null_counts.get_mut(column) {
+                    *nulls += 1;
+                }
+            } else {
                 index.entry(key).or_default().push(slot);
             }
         }
@@ -170,6 +182,35 @@ impl Table {
         Ok(out)
     }
 
+    /// Iterates the index on `column` in key order between the optional
+    /// (inclusive) bounds, yielding one `(key, slots)` group per distinct
+    /// key. Slots within a group are in insertion (ascending heap) order,
+    /// which is exactly the tie order a stable sort of a heap scan produces.
+    /// Reverse the iterator for a descending walk.
+    pub fn index_groups(
+        &self,
+        column: &str,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Result<impl DoubleEndedIterator<Item = (&Value, &[Slot])> + '_> {
+        let index = self
+            .indexes
+            .get(column)
+            .ok_or_else(|| Error::Query(format!("no index on {}.{}", self.schema.name, column)))?;
+        let lo = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        let hi = hi.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        Ok(index.range((lo, hi)).map(|(k, v)| (k, v.as_slice())))
+    }
+
+    /// Number of heap versions whose `column` key is NULL and therefore not
+    /// reachable through the index. Index-only fast paths (top-N pushdown,
+    /// endpoint probes) are only equivalent to a heap scan while this is
+    /// zero.
+    #[must_use]
+    pub fn index_null_count(&self, column: &str) -> usize {
+        self.index_null_counts.get(column).copied().unwrap_or(0)
+    }
+
     /// Returns `true` if the table has an index on `column`.
     #[must_use]
     pub fn has_index_on(&self, column: &str) -> bool {
@@ -215,7 +256,11 @@ impl Table {
         for (column, index) in &mut self.indexes {
             if let Some(pos) = self.schema.columns.iter().position(|c| &c.name == column) {
                 let key = &version.values[pos];
-                if let Some(slots) = index.get_mut(key) {
+                if key.is_null() {
+                    if let Some(nulls) = self.index_null_counts.get_mut(column) {
+                        *nulls = nulls.saturating_sub(1);
+                    }
+                } else if let Some(slots) = index.get_mut(key) {
                     slots.retain(|s| *s != slot);
                     if slots.is_empty() {
                         index.remove(key);
@@ -331,6 +376,59 @@ mod tests {
         ))
         .unwrap();
         assert!(t.index_eq("name", &Value::Null).unwrap().is_empty());
+    }
+
+    #[test]
+    fn index_groups_walk_in_key_order_and_reverse() {
+        let mut t = table();
+        for (id, name) in [(3, "carol"), (1, "alice"), (2, "bob"), (4, "alice")] {
+            ver(&mut t, id, name, 1);
+        }
+        let keys: Vec<i64> = t
+            .index_groups("id", None, None)
+            .unwrap()
+            .map(|(k, _)| k.as_int().unwrap())
+            .collect();
+        assert_eq!(keys, vec![1, 2, 3, 4]);
+        let rev: Vec<i64> = t
+            .index_groups("id", Some(&Value::Int(2)), None)
+            .unwrap()
+            .rev()
+            .map(|(k, _)| k.as_int().unwrap())
+            .collect();
+        assert_eq!(rev, vec![4, 3, 2]);
+        // Groups carry every slot of the key, in insertion order.
+        let alice: Vec<Vec<Slot>> = t
+            .index_groups(
+                "name",
+                Some(&Value::text("alice")),
+                Some(&Value::text("alice")),
+            )
+            .unwrap()
+            .map(|(_, s)| s.to_vec())
+            .collect();
+        assert_eq!(alice, vec![vec![1, 3]]);
+        assert!(t.index_groups("missing", None, None).is_err());
+    }
+
+    #[test]
+    fn index_null_counts_track_insert_and_vacuum() {
+        let mut t = table();
+        assert_eq!(t.index_null_count("name"), 0);
+        let row = t.allocate_row_id();
+        let s = t
+            .insert_version(TupleVersion::committed(
+                row,
+                vec![Value::Int(1), Value::Null],
+                Timestamp(1),
+            ))
+            .unwrap();
+        assert_eq!(t.index_null_count("name"), 1);
+        assert_eq!(t.index_null_count("id"), 0);
+        // Unindexed columns report zero.
+        assert_eq!(t.index_null_count("nope"), 0);
+        t.remove_slot(s);
+        assert_eq!(t.index_null_count("name"), 0);
     }
 
     #[test]

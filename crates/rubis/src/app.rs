@@ -235,6 +235,49 @@ impl RubisApp {
         self.summaries_for(tx, &ids)
     }
 
+    /// Returns the `count` newest active auctions site-wide (a "latest
+    /// items" feed). Item ids are allocated in insertion order, so the query
+    /// is served by the ORDER BY + LIMIT index pushdown
+    /// (`AccessPath::IndexOrdered` walking `items.id` descending) at
+    /// O(count · log n) instead of a full scan and sort.
+    pub fn browse_newest_items(
+        &self,
+        tx: &mut Transaction<'_>,
+        count: usize,
+    ) -> Result<Vec<ItemSummary>> {
+        let ids: Vec<i64> = tx.cached("newest_item_ids", &count, |tx| {
+            let q = SelectQuery::table("items")
+                .select(vec!["id"])
+                .order_by("id", SortOrder::Desc)
+                .limit(count);
+            let r = tx.query(&q)?;
+            (0..r.len()).map(|i| int(&r, i, "id")).collect()
+        })?;
+        self.summaries_for(tx, &ids)
+    }
+
+    /// Returns one page of active items across several categories at once,
+    /// planned as per-category index probes (`AccessPath::IndexIn`). The
+    /// probes yield one keyed `items:category=N` tag per probed category, so
+    /// the cached page is invalidated only by writes to those categories —
+    /// not by every item insert, as a wildcard-tagged scan would be.
+    pub fn search_items_by_categories(
+        &self,
+        tx: &mut Transaction<'_>,
+        categories: &[i64],
+    ) -> Result<Vec<ItemSummary>> {
+        let ids: Vec<i64> = tx.cached("multi_category_item_ids", &categories.to_vec(), |tx| {
+            let q = SelectQuery::table("items")
+                .filter(Predicate::in_list("category", categories.iter().copied()))
+                .select(vec!["id"])
+                .order_by("id", SortOrder::Asc)
+                .limit(ITEMS_PER_PAGE);
+            let r = tx.query(&q)?;
+            (0..r.len()).map(|i| int(&r, i, "id")).collect()
+        })?;
+        self.summaries_for(tx, &ids)
+    }
+
     fn summaries_for(&self, tx: &mut Transaction<'_>, ids: &[i64]) -> Result<Vec<ItemSummary>> {
         let mut out = Vec::with_capacity(ids.len());
         for id in ids {
@@ -630,4 +673,142 @@ fn render_items(items: &[ItemSummary]) -> String {
             )
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{create_tables, populate, RubisScale};
+    use cache_server::CacheCluster;
+    use mvdb::{AccessPath, Database, DbConfig};
+    use pincushion::Pincushion;
+    use txcache::{CacheMode, TxCacheConfig};
+    use txtypes::SimClock;
+
+    fn stack() -> (RubisApp, Arc<Database>) {
+        let clock = SimClock::new();
+        let db = Arc::new(Database::new(DbConfig::default(), clock.clone()));
+        create_tables(&db).unwrap();
+        populate(&db, &RubisScale::tiny(), 11).unwrap();
+        let cache = Arc::new(CacheCluster::new(2, 16 << 20));
+        let pincushion = Arc::new(Pincushion::new(Default::default(), clock.clone()));
+        let txcache = Arc::new(TxCache::new(
+            db.clone(),
+            cache,
+            pincushion,
+            clock,
+            TxCacheConfig {
+                mode: CacheMode::Full,
+                ..TxCacheConfig::default()
+            },
+        ));
+        (RubisApp::new(txcache), db)
+    }
+
+    #[test]
+    fn hot_queries_never_plan_a_seq_scan() {
+        let (_, db) = stack();
+        let hot: Vec<(&str, SelectQuery)> = vec![
+            (
+                "get_bid_history",
+                SelectQuery::table("bids")
+                    .filter(Predicate::eq("item_id", 1i64))
+                    .order_by("date", SortOrder::Desc),
+            ),
+            (
+                "page_about_me bids",
+                SelectQuery::table("bids")
+                    .filter(Predicate::eq("user_id", 1i64))
+                    .select(vec!["item_id"])
+                    .limit(ITEMS_PER_PAGE),
+            ),
+            (
+                "search_items_by_category",
+                SelectQuery::table("items")
+                    .filter(Predicate::eq("category", 1i64))
+                    .select(vec!["id"])
+                    .order_by("id", SortOrder::Asc)
+                    .limit(ITEMS_PER_PAGE),
+            ),
+            (
+                "search_items_by_region",
+                SelectQuery::table("item_region_category")
+                    .filter(Predicate::eq("region", 1i64).and(Predicate::eq("category", 1i64)))
+                    .select(vec!["item_id"])
+                    .order_by("item_id", SortOrder::Asc)
+                    .limit(ITEMS_PER_PAGE),
+            ),
+            (
+                "get_categories",
+                SelectQuery::table("categories").order_by("id", SortOrder::Asc),
+            ),
+            (
+                "get_regions",
+                SelectQuery::table("regions").order_by("id", SortOrder::Asc),
+            ),
+            (
+                "browse_newest_items",
+                SelectQuery::table("items")
+                    .select(vec!["id"])
+                    .order_by("id", SortOrder::Desc)
+                    .limit(10),
+            ),
+            (
+                "search_items_by_categories",
+                SelectQuery::table("items")
+                    .filter(Predicate::in_list("category", [1i64, 2]))
+                    .select(vec!["id"])
+                    .order_by("id", SortOrder::Asc)
+                    .limit(ITEMS_PER_PAGE),
+            ),
+            (
+                "next_id seed",
+                SelectQuery::table("items").aggregate(Aggregate::Max("id".into())),
+            ),
+        ];
+        for (name, q) in hot {
+            let plan = db.plan_for(&q).unwrap();
+            assert!(
+                !matches!(plan.access, AccessPath::SeqScan),
+                "{name} plans a SeqScan"
+            );
+        }
+        // And the specific fast paths land where expected.
+        let newest = SelectQuery::table("items")
+            .select(vec!["id"])
+            .order_by("id", SortOrder::Desc)
+            .limit(10);
+        assert!(matches!(
+            db.plan_for(&newest).unwrap().access,
+            AccessPath::IndexOrdered { .. }
+        ));
+        let multi = SelectQuery::table("items")
+            .filter(Predicate::in_list("category", [1i64, 2]))
+            .select(vec!["id"]);
+        assert!(matches!(
+            db.plan_for(&multi).unwrap().access,
+            AccessPath::IndexIn { .. }
+        ));
+        let max = SelectQuery::table("items").aggregate(Aggregate::Max("id".into()));
+        assert!(matches!(
+            db.plan_for(&max).unwrap().access,
+            AccessPath::IndexEndpoint { max: true, .. }
+        ));
+    }
+
+    #[test]
+    fn newest_and_multi_category_browse_return_items() {
+        let (app, _db) = stack();
+        let mut tx = app.begin_ro(Staleness::seconds(30)).unwrap();
+        let newest = app.browse_newest_items(&mut tx, 5).unwrap();
+        assert_eq!(newest.len(), 5);
+        assert!(
+            newest.windows(2).all(|w| w[0].id > w[1].id),
+            "newest feed must be id-descending"
+        );
+        let multi = app.search_items_by_categories(&mut tx, &[1, 2]).unwrap();
+        assert!(!multi.is_empty());
+        assert!(multi.windows(2).all(|w| w[0].id < w[1].id));
+        tx.commit().unwrap();
+    }
 }

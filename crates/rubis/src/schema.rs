@@ -5,6 +5,13 @@
 //! tables. Following §7.1 of the paper we also add the
 //! `item_region_category` table (and its indexes) that the authors introduced
 //! to avoid a sequential scan when browsing items by region and category.
+//!
+//! The secondary indexes declared here (`bids.item_id`, `bids.user_id`,
+//! `items.category`, `items.seller`, `item_region_category.{region,category}`,
+//! `comments.to_user`, and the unique `id` indexes) back the planner's
+//! fast paths: equality and IN-list probes with keyed invalidation tags,
+//! ORDER BY + LIMIT pushdown, and MIN/MAX endpoint probes. The hot `app.rs`
+//! queries assert (in tests) that none of them plans a sequential scan.
 
 use mvdb::{ColumnType, Database, TableSchema, Value};
 use rand::rngs::StdRng;

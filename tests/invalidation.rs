@@ -198,6 +198,83 @@ fn registering_an_item_invalidates_category_listings() {
 }
 
 #[test]
+fn in_list_keyed_tags_invalidate_only_probed_categories() {
+    // An IN-list probe plan tags the cached entry with one keyed tag per
+    // probed key (items:category=1, items:category=2) instead of the table
+    // wildcard. A write to an UNprobed category must leave the entry alive;
+    // a write to a probed category must kill it.
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use txcache_repro::mvdb::{Predicate, SelectQuery, SortOrder};
+    use txcache_repro::txcache::Transaction;
+
+    let (app, clock) = rubis_stack(CacheMode::Full);
+    let recomputes = AtomicU32::new(0);
+    let fetch = |tx: &mut Transaction<'_>| -> Vec<i64> {
+        tx.cached("inlist_probe_ids", &(1i64, 2i64), |tx| {
+            recomputes.fetch_add(1, Ordering::Relaxed);
+            let q = SelectQuery::table("items")
+                .filter(Predicate::in_list("category", [1i64, 2]))
+                .select(vec!["id"])
+                .order_by("id", SortOrder::Asc);
+            let r = tx.query(&q)?;
+            Ok((0..r.len())
+                .map(|i| r.get(i, "id").unwrap().as_int().unwrap())
+                .collect())
+        })
+        .unwrap()
+    };
+
+    // Warm the entry, then confirm a second read is served from cache.
+    let mut tx = app.begin_ro(Staleness::seconds(30)).unwrap();
+    fetch(&mut tx);
+    tx.commit().unwrap();
+    assert_eq!(recomputes.load(Ordering::Relaxed), 1);
+    let mut tx = app.begin_ro(Staleness::seconds(30)).unwrap();
+    fetch(&mut tx);
+    tx.commit().unwrap();
+    assert_eq!(
+        recomputes.load(Ordering::Relaxed),
+        1,
+        "second read must hit"
+    );
+
+    // Register an item in category 4 — NOT probed by the IN-list. The write
+    // emits items:category=4, which does not match the entry's keyed tags,
+    // so even a fresh-snapshot read keeps hitting the cache.
+    let mut rw = app.begin_rw().unwrap();
+    app.register_item(&mut rw, 1, 4, 1, "unrelated", "other category", 5.0)
+        .unwrap();
+    rw.commit().unwrap();
+    clock.advance_secs(40);
+    let mut tx = app.begin_ro(Staleness::seconds(1)).unwrap();
+    fetch(&mut tx);
+    tx.commit().unwrap();
+    assert_eq!(
+        recomputes.load(Ordering::Relaxed),
+        1,
+        "write to an unprobed category must not invalidate the entry"
+    );
+
+    // Register an item in category 2 — probed. items:category=2 matches a
+    // keyed tag, the entry is invalidated, and the recompute sees the item.
+    let mut rw = app.begin_rw().unwrap();
+    let new_id = app
+        .register_item(&mut rw, 1, 2, 1, "probed", "probed category", 5.0)
+        .unwrap();
+    rw.commit().unwrap();
+    clock.advance_secs(40);
+    let mut tx = app.begin_ro(Staleness::seconds(1)).unwrap();
+    let ids = fetch(&mut tx);
+    tx.commit().unwrap();
+    assert_eq!(
+        recomputes.load(Ordering::Relaxed),
+        2,
+        "write to a probed category must invalidate the entry"
+    );
+    assert!(ids.contains(&new_id), "recompute must observe the new item");
+}
+
+#[test]
 fn no_consistency_mode_still_returns_fresh_data_eventually() {
     let (app, clock) = rubis_stack(CacheMode::NoConsistency);
     let mut tx = app.begin_ro(Staleness::seconds(30)).unwrap();
